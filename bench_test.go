@@ -1,0 +1,441 @@
+package sramtest
+
+// The benchmark harness regenerates every evaluation artifact of the
+// paper (DESIGN.md §4 experiment index):
+//
+//	BenchmarkTable1        — EXP-T1: case-study DRV ladder (Table I)
+//	BenchmarkFig4          — EXP-F4: per-transistor DRV sweeps (Fig. 4)
+//	BenchmarkTable2        — EXP-T2: defect characterization (Table II)
+//	BenchmarkTable3        — EXP-T3: flow optimization (Table III)
+//	BenchmarkPowerSavings  — EXP-P1: §IV.B static power observation
+//	BenchmarkCoverage      — EXP-CV: March fault-detection matrix
+//	BenchmarkTestTime      — EXP-C1: 5N+4 length and 75% time reduction
+//	BenchmarkDwellTime     — EXP-DT: §V DS-dwell justification
+//
+// plus micro-benchmarks of the substrates and ablation benchmarks of the
+// key design choices. Heavy experiments run on reduced grids; the cmd/
+// tools run the full paper grids.
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"sramtest/internal/bist"
+	"sramtest/internal/cell"
+	"sramtest/internal/charac"
+	"sramtest/internal/exp"
+	"sramtest/internal/march"
+	"sramtest/internal/power"
+	"sramtest/internal/process"
+	"sramtest/internal/regulator"
+	"sramtest/internal/spice"
+	"sramtest/internal/sram"
+	"sramtest/internal/testflow"
+)
+
+func hot(vdd float64) process.Condition {
+	return process.Condition{Corner: process.FS, VDD: vdd, TempC: 125}
+}
+
+// benchConds is the reduced PVT set for benchmark-scale experiments: the
+// two temperature extremes of the dominant fs corner.
+func benchConds() []process.Condition {
+	return []process.Condition{
+		{Corner: process.FS, VDD: 1.1, TempC: 125},
+		{Corner: process.FS, VDD: 1.1, TempC: -30},
+	}
+}
+
+// BenchmarkTable1 regenerates Table I on the reduced grid and checks the
+// headline number (worst-case DRV ≈ 730 mV, paper band).
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.Table1(benchConds())
+		worst := 0.0
+		for _, r := range rows {
+			if r.DRV > worst {
+				worst = r.DRV
+			}
+		}
+		if worst < 0.69 || worst > 0.76 {
+			b.Fatalf("worst-case DRV %gmV out of the paper band", worst*1e3)
+		}
+		if i == 0 {
+			b.Logf("worst-case DRV_DS = %.0f mV (paper: 730 mV)", worst*1e3)
+		}
+	}
+}
+
+// BenchmarkFig4 regenerates a reduced Fig. 4 (5 sigma points, dominant
+// conditions) and validates the paper's §III.B observations.
+func BenchmarkFig4(b *testing.B) {
+	sigmas := []float64{-6, -3, 0, 3, 6}
+	for i := 0; i < b.N; i++ {
+		res := exp.Fig4(sigmas, benchConds())
+		if bad := exp.Fig4Observations(res); len(bad) != 0 {
+			b.Fatalf("observations violated: %v", bad)
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates one full Table II row (Df16 across the five
+// case studies) at the paper's dominant PVT condition.
+func BenchmarkTable2(b *testing.B) {
+	opt := charac.DefaultOptions()
+	opt.Conditions = []process.Condition{hot(1.0)}
+	css := process.Table1CaseStudies()
+	for i := 0; i < b.N; i++ {
+		prev := 0.0
+		for _, idx := range []int{0, 2, 4, 6} {
+			res, err := charac.CharacterizeDefect(regulator.Df16, css[idx], opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.MinRes < prev {
+				b.Fatalf("CS ladder violated at %s", css[idx].Name)
+			}
+			prev = res.MinRes
+			if i == 0 {
+				b.Logf("Df16/%s: %.3g Ω", css[idx].Name, res.MinRes)
+			}
+		}
+	}
+}
+
+// BenchmarkTable3 measures the (VDD, Vref) sensitivity of one defect per
+// divider group and re-derives the optimized flow: 3 iterations, 75%.
+func BenchmarkTable3(b *testing.B) {
+	mopt := testflow.DefaultMeasureOptions()
+	mopt.Defects = []regulator.Defect{regulator.Df16, regulator.Df3, regulator.Df4}
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Table3(mopt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Flow.Iterations) != 3 {
+			b.Fatalf("flow has %d iterations, paper finds 3", len(res.Flow.Iterations))
+		}
+		if r := res.Flow.TimeReduction(); math.Abs(r-0.75) > 1e-9 {
+			b.Fatalf("time reduction %.0f%%, paper reports 75%%", r*100)
+		}
+		if i == 0 {
+			for k, it := range res.Flow.Iterations {
+				b.Logf("iteration %d: %s, Vreg=%.0fmV", k+1, it.Cond, it.MeasuredVreg*1e3)
+			}
+		}
+	}
+}
+
+// BenchmarkPowerSavings evaluates the §IV.B static power claim over the
+// full 45-condition grid.
+func BenchmarkPowerSavings(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := exp.PowerSavings(nil)
+		worst := exp.WorstDefectSavingsAtHighTemp(rows)
+		if worst < 0.30 {
+			b.Fatalf("worst defect savings %.1f%%, paper observes >30%%", worst*100)
+		}
+		if i == 0 {
+			b.Logf("worst Vreg=VDD savings at 125°C: %.1f%% (paper: >30%%)", worst*100)
+		}
+	}
+}
+
+// BenchmarkCoverage runs the full fault-injection campaign: 14 scenarios
+// × 5 March tests on the 4K×64 memory.
+func BenchmarkCoverage(b *testing.B) {
+	cond := hot(1.0)
+	for i := 0; i < b.N; i++ {
+		res, err := exp.Coverage(cond)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Violations) != 0 {
+			b.Fatalf("violations: %v", res.Violations)
+		}
+	}
+}
+
+// BenchmarkTestTime checks the §V complexity claims.
+func BenchmarkTestTime(b *testing.B) {
+	flow := testflow.Flow{Iterations: make([]testflow.Iteration, 3), Candidates: 12}
+	for i := 0; i < b.N; i++ {
+		r := exp.TestTime(flow)
+		if r.PerCell != 5 || r.Constant != 4 || math.Abs(r.Reduction-0.75) > 1e-12 {
+			b.Fatalf("claims violated: %+v", r)
+		}
+		if i == 0 {
+			b.Logf("March m-LZ: %dN+%d, single run %.3gs, optimized %.3gs vs exhaustive %.3gs",
+				r.PerCell, r.Constant, r.SingleRun, r.Optimized, r.Exhaustive)
+		}
+	}
+}
+
+// BenchmarkDwellTime evaluates the §V dwell-time justification.
+func BenchmarkDwellTime(b *testing.B) {
+	v := process.Variation{process.MPcc1: -3, process.MNcc1: -3}
+	for i := 0; i < b.N; i++ {
+		pts := exp.DwellTime(v, hot(1.0), nil, 20e-3)
+		if len(pts) == 0 {
+			b.Fatal("no dwell points")
+		}
+	}
+}
+
+// ---- substrate micro-benchmarks ----
+
+// BenchmarkRegulatorOP times one deep-sleep operating-point solve of the
+// full regulator netlist (cold start).
+func BenchmarkRegulatorOP(b *testing.B) {
+	cond := hot(1.0)
+	pm := power.NewModel(cond)
+	r := regulator.Build(cond, pm.LoadFunc(), regulator.DefaultParams())
+	r.SetVref(regulator.SelectFor(cond.VDD))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.SolveDS(nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRegulatorOPWarm times re-solves with a warm start (the inner
+// loop of every resistance search).
+func BenchmarkRegulatorOPWarm(b *testing.B) {
+	cond := hot(1.0)
+	pm := power.NewModel(cond)
+	r := regulator.Build(cond, pm.LoadFunc(), regulator.DefaultParams())
+	r.SetVref(regulator.SelectFor(cond.VDD))
+	_, warm, err := r.SolveDS(nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := r.SolveDS(warm); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSNM times one butterfly SNM extraction.
+func BenchmarkSNM(b *testing.B) {
+	c := cell.New(process.Variation{}, hot(1.1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if c.SNM1(0.5) <= 0 {
+			b.Fatal("SNM collapsed unexpectedly")
+		}
+	}
+}
+
+// BenchmarkDRV times one retention-voltage bisection.
+func BenchmarkDRV(b *testing.B) {
+	c := cell.New(process.WorstCase1(), hot(1.1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if d := c.DRV1(); d < 0.5 {
+			b.Fatalf("DRV %g", d)
+		}
+	}
+}
+
+// BenchmarkMarchMLZRun times one March m-LZ execution on the 4K×64 SRAM.
+func BenchmarkMarchMLZRun(b *testing.B) {
+	t := march.MarchMLZ()
+	for i := 0; i < b.N; i++ {
+		s := sram.New()
+		rep, err := march.Run(t, s)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Detected() {
+			b.Fatal("clean memory failed")
+		}
+	}
+}
+
+// BenchmarkDSEntryTransient times the ACT→DS turn-on transient.
+func BenchmarkDSEntryTransient(b *testing.B) {
+	cond := hot(1.0)
+	pm := power.NewModel(cond)
+	r := regulator.Build(cond, pm.LoadFunc(), regulator.DefaultParams())
+	r.SetVref(regulator.SelectFor(cond.VDD))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.DSEntry(1e-3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- ablation benchmarks (design choices called out in DESIGN.md) ----
+
+// BenchmarkAblationWarmStart quantifies the warm-start design choice of
+// the resistance searches: a 7-point Df16 sweep with and without warm
+// starting.
+func BenchmarkAblationWarmStart(b *testing.B) {
+	cond := hot(1.0)
+	sweep := []float64{1, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8}
+	run := func(warmStart bool) {
+		pm := power.NewModel(cond)
+		r := regulator.Build(cond, pm.LoadFunc(), regulator.DefaultParams())
+		r.SetVref(regulator.SelectFor(cond.VDD))
+		var warm *spice.Solution
+		for _, res := range sweep {
+			r.InjectDefect(regulator.Df16, res)
+			_, sol, err := r.SolveDS(warm)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if warmStart {
+				warm = sol
+			}
+		}
+	}
+	b.Run("warm", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(true)
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(false)
+		}
+	})
+}
+
+// BenchmarkAblationHomotopy quantifies the gmin/source-stepping fallback:
+// solving the bistable cross-coupled pair with and without homotopy
+// (NoHomo failures are expected and counted, not fatal).
+func BenchmarkAblationHomotopy(b *testing.B) {
+	build := func() *spice.Circuit {
+		pm := power.NewModel(hot(1.0))
+		r := regulator.Build(hot(1.0), pm.LoadFunc(), regulator.DefaultParams())
+		r.SetVref(regulator.L74)
+		r.SetRegOn(true)
+		return r.Ckt
+	}
+	b.Run("with-homotopy", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := spice.OP(build(), nil, spice.DefaultOptions()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("newton-only", func(b *testing.B) {
+		opt := spice.DefaultOptions()
+		opt.NoHomo = true
+		fails := 0
+		for i := 0; i < b.N; i++ {
+			if _, err := spice.OP(build(), nil, opt); err != nil {
+				fails++
+			}
+		}
+		if fails > 0 {
+			b.Logf("plain Newton failed %d/%d cold starts", fails, b.N)
+		}
+	})
+}
+
+// BenchmarkAblationGridReduction compares the full 45-point grid against
+// the reduced 18-point grid for one characterization, verifying that the
+// reduction preserves the minimum (the claim behind charac.ReducedGrid).
+func BenchmarkAblationGridReduction(b *testing.B) {
+	cs := process.Table1CaseStudies()[0]
+	run := func(conds []process.Condition) float64 {
+		opt := charac.DefaultOptions()
+		opt.Conditions = conds
+		res, err := charac.CharacterizeDefect(regulator.Df32, cs, opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return res.MinRes
+	}
+	var full, reduced float64
+	b.Run("full-grid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			full = run(process.Grid())
+		}
+	})
+	b.Run("reduced-grid", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			reduced = run(charac.ReducedGrid())
+		}
+	})
+	if full > 0 && reduced > 0 && math.Abs(full-reduced)/full > 0.05 {
+		b.Errorf("reduced grid min %.3g deviates from full grid %.3g", reduced, full)
+	} else if full > 0 {
+		b.Logf("Df32/CS1 min resistance: full=%s reduced=%s", fmt.Sprintf("%.3g", full), fmt.Sprintf("%.3g", reduced))
+	}
+}
+
+// BenchmarkPhaseMargin times one full loop-stability measurement (AC
+// small-signal sweep + unity-crossing search).
+func BenchmarkPhaseMargin(b *testing.B) {
+	cond := hot(1.0)
+	pm := power.NewModel(cond)
+	r := regulator.Build(cond, pm.LoadFunc(), regulator.DefaultParams())
+	r.SetVref(regulator.SelectFor(cond.VDD))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		deg, _, err := r.PhaseMargin()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if deg < 35 {
+			b.Fatalf("phase margin %.1f°", deg)
+		}
+	}
+}
+
+// BenchmarkBISTRun times the cycle-accurate BIST engine executing March
+// m-LZ on the 4K×64 memory (~220k cycles per run).
+func BenchmarkBISTRun(b *testing.B) {
+	prog, err := bist.Compile(march.MarchMLZ(), sram.CycleTime)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		res, err := bist.New(prog, sram.New()).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Pass() {
+			b.Fatal("clean BIST run failed")
+		}
+	}
+}
+
+// BenchmarkAblationCompensation quantifies the Miller compensation design
+// choice: phase margin with and without the network.
+func BenchmarkAblationCompensation(b *testing.B) {
+	cond := hot(1.0)
+	pmModel := power.NewModel(cond)
+	run := func(miller float64) float64 {
+		par := regulator.DefaultParams()
+		par.MillerCap = miller
+		r := regulator.Build(cond, pmModel.LoadFunc(), par)
+		r.SetVref(regulator.SelectFor(cond.VDD))
+		deg, _, err := r.PhaseMargin()
+		if err != nil {
+			b.Fatal(err)
+		}
+		return deg
+	}
+	var with, without float64
+	b.Run("compensated", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			with = run(regulator.DefaultParams().MillerCap)
+		}
+	})
+	b.Run("uncompensated", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			without = run(1e-18)
+		}
+	})
+	if with > 0 && without > 0 {
+		b.Logf("phase margin: compensated %.1f° vs uncompensated %.1f°", with, without)
+	}
+}

@@ -1,0 +1,84 @@
+// Command bistgen compiles a March test (built-in or given in van-de-Goor
+// notation) into BIST microcode, prints the disassembly and the cycle
+// budget on the 4K×64 memory — the "what would this cost on-chip" view of
+// a test algorithm.
+//
+// Usage:
+//
+//	bistgen -name "March m-LZ"
+//	bistgen -test '{⇕(w0); ⇑(r0,w1); ⇓(r1,w0)}' -dwell 1m
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sramtest/internal/bist"
+	"sramtest/internal/march"
+	"sramtest/internal/report"
+	"sramtest/internal/spice"
+	"sramtest/internal/sram"
+)
+
+func main() {
+	var (
+		name  = flag.String("name", "", "compile a library algorithm by name")
+		test  = flag.String("test", "", "compile a custom March test in van-de-Goor notation")
+		dwell = flag.String("dwell", "1m", "DS/LS dwell per sleep entry")
+	)
+	flag.Parse()
+
+	var tst march.Test
+	switch {
+	case *name != "":
+		found := false
+		for _, lib := range march.Library() {
+			if lib.Name == *name {
+				tst, found = lib, true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(os.Stderr, "bistgen: unknown algorithm %q; use marchsim -list\n", *name)
+			os.Exit(2)
+		}
+	case *test != "":
+		var err error
+		tst, err = march.ParseTest("custom", *test)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bistgen:", err)
+			os.Exit(2)
+		}
+	default:
+		tst = march.MarchMLZ()
+	}
+	dw, err := spice.ParseValue(*dwell)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bistgen:", err)
+		os.Exit(2)
+	}
+	tst.Dwell = dw
+
+	prog, err := bist.Compile(tst, sram.CycleTime)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bistgen:", err)
+		os.Exit(1)
+	}
+	fmt.Print(prog.String())
+
+	p, c := tst.Length()
+	ln := fmt.Sprintf("%dN", p)
+	if c > 0 {
+		ln = fmt.Sprintf("%dN+%d", p, c)
+	}
+	res, err := bist.New(prog, sram.New()).Run()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bistgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nalgorithm %s, length %s\n", tst, ln)
+	fmt.Printf("on %d words at %s cycle: %d cycles = %s\n",
+		sram.Words, report.SI(sram.CycleTime, "s"), res.Cycles,
+		report.SI(float64(res.Cycles)*sram.CycleTime, "s"))
+}

@@ -1,0 +1,165 @@
+// Command defectchar reproduces the paper's Table II: the minimal
+// resistive-open defect resistance that causes a data retention fault in
+// deep-sleep mode, per defect and case study, minimized over PVT.
+//
+// Usage:
+//
+//	defectchar                    # all 17 defects × 5 case studies, reduced grid
+//	defectchar -full              # full 45-condition PVT grid (slow)
+//	defectchar -defect 16 -cs 1   # a single Table II cell
+//	defectchar -classify          # re-derive the §IV.B defect categories
+//	defectchar -stability         # regulator loop-gain/phase-margin report
+//	defectchar -csv               # emit CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sramtest/internal/charac"
+	"sramtest/internal/exp"
+	"sramtest/internal/power"
+	"sramtest/internal/process"
+	"sramtest/internal/regulator"
+	"sramtest/internal/report"
+)
+
+func main() {
+	var (
+		full      = flag.Bool("full", false, "sweep the full 45-condition PVT grid")
+		defect    = flag.Int("defect", 0, "characterize a single defect (1..32)")
+		cs        = flag.Int("cs", 0, "restrict to one case study (1..5)")
+		classify  = flag.Bool("classify", false, "classify all 32 defects instead of characterizing")
+		stability = flag.Bool("stability", false, "report the regulator's loop stability across PVT")
+		csv       = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+
+	opt := charac.DefaultOptions()
+	if !*full {
+		opt.Conditions = charac.ReducedGrid()
+	}
+
+	if *classify {
+		runClassify()
+		return
+	}
+	if *stability {
+		runStability()
+		return
+	}
+
+	defects := regulator.DRFCandidates()
+	if *defect != 0 {
+		d := regulator.Defect(*defect)
+		if !d.Valid() {
+			fmt.Fprintf(os.Stderr, "defectchar: invalid defect %d\n", *defect)
+			os.Exit(2)
+		}
+		defects = []regulator.Defect{d}
+	}
+	all := process.Table1CaseStudies()
+	csList := []process.CaseStudy{all[0], all[2], all[4], all[6], all[8]}
+	if *cs != 0 {
+		if *cs < 1 || *cs > 5 {
+			fmt.Fprintf(os.Stderr, "defectchar: invalid case study %d\n", *cs)
+			os.Exit(2)
+		}
+		csList = csList[*cs-1 : *cs]
+	}
+
+	var results []charac.Result
+	for _, d := range defects {
+		for _, c := range csList {
+			res, err := charac.CharacterizeDefect(d, c, opt)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "defectchar:", err)
+				os.Exit(1)
+			}
+			results = append(results, res)
+			fmt.Fprintf(os.Stderr, "done %s/%s: %s\n", d, c.Name, res)
+		}
+	}
+	t := exp.Table2Report(results)
+	var err error
+	if *csv {
+		err = t.WriteCSV(os.Stdout)
+	} else {
+		err = t.Write(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "defectchar:", err)
+		os.Exit(1)
+	}
+}
+
+// runStability verifies the regulator design itself: loop gain, phase
+// margin, crossover and fault-free DS-entry undershoot across PVT — the
+// AC-analysis capability that drove the compensation design (DESIGN.md).
+func runStability() {
+	t := report.NewTable("Regulator loop stability (fault-free, per-VDD flow level)",
+		"Condition", "Vreg", "DC gain", "crossover", "phase margin", "DS-entry min")
+	for _, corner := range []process.Corner{process.FS, process.TT, process.SF} {
+		for _, vdd := range process.Supplies() {
+			for _, temp := range []float64{-30, 125} {
+				cond := process.Condition{Corner: corner, VDD: vdd, TempC: temp}
+				pm := power.NewModel(cond)
+				r := regulator.Build(cond, pm.LoadFunc(), regulator.DefaultParams())
+				r.SetVref(regulator.SelectFor(vdd))
+				vreg, err := r.FaultFreeVreg()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "defectchar:", err)
+					os.Exit(1)
+				}
+				mag, _, err := r.LoopGain([]float64{1})
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "defectchar:", err)
+					os.Exit(1)
+				}
+				pmDeg, fc, err := r.PhaseMargin()
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "defectchar:", err)
+					os.Exit(1)
+				}
+				wf, err := r.DSEntry(1e-3)
+				if err != nil {
+					fmt.Fprintln(os.Stderr, "defectchar:", err)
+					os.Exit(1)
+				}
+				_, min := wf.Min("vddcc")
+				t.AddRow(cond.String(),
+					report.SI(vreg, "V"),
+					fmt.Sprintf("%.1fdB", mag[0]),
+					report.SI(fc, "Hz"),
+					fmt.Sprintf("%.1f°", pmDeg),
+					report.SI(min, "V"))
+			}
+		}
+	}
+	if err := t.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "defectchar:", err)
+		os.Exit(1)
+	}
+}
+
+func runClassify() {
+	cond := process.Condition{Corner: process.FS, VDD: 1.0, TempC: 125}
+	pm := power.NewModel(cond)
+	r := regulator.Build(cond, pm.LoadFunc(), regulator.DefaultParams())
+	r.SetVref(regulator.SelectFor(cond.VDD))
+	t := report.NewTable("Defect classification (§IV.B categories)", "Defect", "Simulated", "Paper (Fig. 5)", "Description")
+	for _, d := range regulator.All() {
+		cat, err := r.Classify(d)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "defectchar:", err)
+			os.Exit(1)
+		}
+		info := regulator.Lookup(d)
+		t.AddRow(d.String(), cat.String(), info.Expected.String(), info.Desc)
+	}
+	if err := t.Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "defectchar:", err)
+		os.Exit(1)
+	}
+}

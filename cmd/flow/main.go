@@ -1,0 +1,126 @@
+// Command flow reproduces the paper's Table III: measure every defect's
+// detectability at all 12 (VDD, Vref) test conditions and derive the
+// optimized March m-LZ flow, then report the test-time reduction.
+//
+// Usage:
+//
+//	flow                  # full measurement (17 defects × 12 conditions)
+//	flow -defects 1,3,4,16  # restrict to a defect subset (faster)
+//	flow -no-vdd-constraint # drop the one-iteration-per-supply rule
+//	flow -time              # only print the test-time accounting
+//	flow -csv               # emit CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sramtest/internal/cell"
+	"sramtest/internal/exp"
+	"sramtest/internal/process"
+	"sramtest/internal/regulator"
+	"sramtest/internal/report"
+	"sramtest/internal/testflow"
+)
+
+func main() {
+	var (
+		defectsFlag = flag.String("defects", "", "comma-separated defect numbers (default: all 17 Table II defects)")
+		noVDD       = flag.Bool("no-vdd-constraint", false, "allow flows that skip supply voltages")
+		timeOnly    = flag.Bool("time", false, "print only the test-time accounting for the paper's 3-iteration flow")
+		csv         = flag.Bool("csv", false, "emit CSV")
+	)
+	flag.Parse()
+
+	if *timeOnly {
+		flow := testflow.Flow{Iterations: make([]testflow.Iteration, 3), Candidates: 12}
+		printTime(exp.TestTime(flow))
+		return
+	}
+
+	mopt := testflow.DefaultMeasureOptions()
+	if *defectsFlag != "" {
+		var ds []regulator.Defect
+		for _, tok := range strings.Split(*defectsFlag, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(tok))
+			if err != nil || !regulator.Defect(n).Valid() {
+				fmt.Fprintf(os.Stderr, "flow: bad defect %q\n", tok)
+				os.Exit(2)
+			}
+			ds = append(ds, regulator.Defect(n))
+		}
+		mopt.Defects = ds
+	}
+
+	fmt.Fprintf(os.Stderr, "measuring %d defects × 12 test conditions at %s/%g°C...\n",
+		len(mopt.Defects), mopt.Corner, mopt.TempC)
+	sens, err := testflow.Measure(mopt)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flow:", err)
+		os.Exit(1)
+	}
+
+	cond := process.Condition{Corner: mopt.Corner, VDD: 1.1, TempC: mopt.TempC}
+	worst := cell.New(mopt.CS.Variation, cond).DRV1()
+	oopt := testflow.DefaultOptimizeOptions(worst)
+	oopt.RequireAllVDD = !*noVDD
+	flow := testflow.Optimize(sens, oopt)
+
+	res := exp.Table3Result{WorstDRV: worst, Sensitivities: sens, Flow: flow}
+	t := exp.Table3Report(res)
+	if *csv {
+		err = t.WriteCSV(os.Stdout)
+	} else {
+		err = t.Write(os.Stdout)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flow:", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	if len(flow.Uncoverable) > 0 {
+		fmt.Printf("defects undetectable at every eligible condition: %v\n", flow.Uncoverable)
+	}
+
+	// Sensitivity matrix (one row per condition).
+	st := report.NewTable("Measured sensitivities (min DRF resistance per condition)",
+		append([]string{"Condition", "fault-free Vreg"}, defectNames(mopt.Defects)...)...)
+	for _, s := range sens {
+		row := []string{s.Cond.String(), report.SI(s.FaultFree, "V")}
+		for _, d := range mopt.Defects {
+			r := s.MinRes[d]
+			cell := "-"
+			if r == r && !isInf(r) { // not NaN, not Inf
+				cell = report.SI(r, "Ω")
+			}
+			row = append(row, cell)
+		}
+		st.AddRow(row...)
+	}
+	if !*csv {
+		_ = st.Write(os.Stdout)
+		fmt.Println()
+	}
+	printTime(exp.TestTime(flow))
+}
+
+func defectNames(ds []regulator.Defect) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.String()
+	}
+	return out
+}
+
+func isInf(v float64) bool { return v > 1e300 }
+
+func printTime(r exp.TestTimeResult) {
+	fmt.Printf("March m-LZ length: %dN+%d (paper: 5N+4)\n", r.PerCell, r.Constant)
+	fmt.Printf("single run on 4K words: %s\n", report.SI(r.SingleRun, "s"))
+	fmt.Printf("optimized flow:  %s\n", report.SI(r.Optimized, "s"))
+	fmt.Printf("exhaustive flow: %s\n", report.SI(r.Exhaustive, "s"))
+	fmt.Printf("test-time reduction: %.0f%% (paper: 75%%)\n", r.Reduction*100)
+}

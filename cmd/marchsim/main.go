@@ -1,0 +1,214 @@
+// Command marchsim runs the March fault-coverage campaign (EXP-CV): every
+// implemented March algorithm against every functional fault model,
+// including the paper's DRF_DS, and prints the detection matrix. It can
+// also run a single algorithm against an electrically modeled defective
+// regulator.
+//
+// Usage:
+//
+//	marchsim                       # full coverage matrix
+//	marchsim -defect 16 -res 5k    # March m-LZ vs one injected regulator defect
+//	marchsim -list                 # list the algorithm library
+//	marchsim -bist ...             # execute through the cycle-accurate BIST engine
+//	marchsim -psw-break 7          # broken power-switch chain vs March LZ
+//	marchsim -test '{⇕(w0); ⇑(r0,w1); ⇓(r1,w0)}'  # custom March notation
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sramtest/internal/bist"
+	"sramtest/internal/exp"
+	"sramtest/internal/march"
+	"sramtest/internal/process"
+	"sramtest/internal/psw"
+	"sramtest/internal/regulator"
+	"sramtest/internal/report"
+	"sramtest/internal/spice"
+	"sramtest/internal/sram"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list the algorithm library")
+		defect   = flag.Int("defect", 0, "inject this regulator defect (1..32) and run March m-LZ")
+		resStr   = flag.String("res", "1meg", "defect resistance (SPICE suffixes)")
+		csFlag   = flag.Int("cs", 1, "case study scenario for the affected cells (1..5)")
+		bistFlag = flag.Bool("bist", false, "execute through the cycle-accurate BIST engine")
+		pswBreak = flag.Int("psw-break", -1, "break the power-switch daisy chain after this segment and run March LZ")
+		custom   = flag.String("test", "", "run a custom March test in van-de-Goor notation")
+	)
+	flag.Parse()
+
+	if *pswBreak >= 0 {
+		runPSW(*pswBreak, *bistFlag)
+		return
+	}
+	if *custom != "" {
+		runCustom(*custom, *bistFlag)
+		return
+	}
+
+	if *list {
+		t := report.NewTable("March algorithm library", "Name", "Structure", "Length")
+		for _, tst := range march.Library() {
+			p, c := tst.Length()
+			ln := fmt.Sprintf("%dN", p)
+			if c > 0 {
+				ln = fmt.Sprintf("%dN+%d", p, c)
+			}
+			t.AddRow(tst.Name, tst.String(), ln)
+		}
+		_ = t.Write(os.Stdout)
+		return
+	}
+
+	if *defect != 0 {
+		runDefect(*defect, *resStr, *csFlag)
+		return
+	}
+
+	cond := process.Condition{Corner: process.FS, VDD: 1.0, TempC: 125}
+	res, err := exp.Coverage(cond)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marchsim:", err)
+		os.Exit(1)
+	}
+	if err := exp.CoverageReport(res).Write(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "marchsim:", err)
+		os.Exit(1)
+	}
+	if len(res.Violations) > 0 {
+		fmt.Println("\nEXPECTED-DETECTION VIOLATIONS:")
+		for _, v := range res.Violations {
+			fmt.Println("  -", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Println("\nAll expected detections hold; only March m-LZ catches DRF_DS.")
+}
+
+// runPSW demonstrates the power-switch substrate: a broken enable chain
+// un-powers a row slice during gated modes; March LZ catches it.
+func runPSW(breakAfter int, useBIST bool) {
+	n := psw.New()
+	n.BrokenAfter = breakAfter
+	s := sram.New()
+	if err := n.Attach(s); err != nil {
+		fmt.Fprintln(os.Stderr, "marchsim:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("power-switch chain broken after segment %d: %d dead rows\n",
+		breakAfter, len(n.DeadRows()))
+	execute(march.MarchLZ(), s, useBIST)
+}
+
+// runCustom parses and executes a user-provided March test.
+func runCustom(src string, useBIST bool) {
+	tst, err := march.ParseTest("custom", src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marchsim:", err)
+		os.Exit(2)
+	}
+	p, c := tst.Length()
+	fmt.Printf("parsed %s (length %dN+%d)\n", tst, p, c)
+	execute(tst, sram.New(), useBIST)
+}
+
+// execute runs a test through either engine and prints the outcome.
+func execute(tst march.Test, s *sram.SRAM, useBIST bool) {
+	if useBIST {
+		prog, err := bist.Compile(tst, sram.CycleTime)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "marchsim:", err)
+			os.Exit(1)
+		}
+		res, err := bist.New(prog, s).Run()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "marchsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("BIST: %d cycles (%s)\n", res.Cycles, report.SI(float64(res.Cycles)*sram.CycleTime, "s"))
+		printVerdict(res.Total, res.Failures)
+		return
+	}
+	rep, err := march.Run(tst, s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marchsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("%s: %d ops, %s test time\n", tst.Name, rep.Ops, report.SI(rep.TestTime, "s"))
+	printVerdict(rep.TotalMiscompares, rep.Failures)
+}
+
+func printVerdict(total int, failures []march.Failure) {
+	if total == 0 {
+		fmt.Println("PASS — no faults detected")
+		return
+	}
+	fmt.Printf("FAIL — %d miscompares; first failures:\n", total)
+	for i, f := range failures {
+		if i >= 8 {
+			fmt.Printf("  ... %d more\n", total-i)
+			break
+		}
+		fmt.Println("  ", f)
+	}
+}
+
+// runDefect wires the full electrical chain: regulator with the injected
+// defect -> retention model -> behavioral SRAM -> March m-LZ.
+func runDefect(dn int, resStr string, csIdx int) {
+	d := regulator.Defect(dn)
+	if !d.Valid() {
+		fmt.Fprintf(os.Stderr, "marchsim: invalid defect %d\n", dn)
+		os.Exit(2)
+	}
+	res, err := spice.ParseValue(resStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marchsim:", err)
+		os.Exit(2)
+	}
+	if csIdx < 1 || csIdx > 5 {
+		fmt.Fprintf(os.Stderr, "marchsim: invalid case study %d\n", csIdx)
+		os.Exit(2)
+	}
+	cs := process.Table1CaseStudies()[(csIdx-1)*2]
+	cond := process.Condition{Corner: process.FS, VDD: 1.0, TempC: 125}
+
+	fmt.Printf("condition: %s; defect %s = %s; scenario %s (%d cells)\n",
+		cond, d, report.SI(res, "Ω"), cs.Name, cs.Cells)
+	ret, err := sram.NewElectricalRetention(cond, d, res)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marchsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("deep-sleep rail: %s\n", report.SI(ret.RailVoltage(), "V"))
+
+	s := sram.New()
+	s.SetRetention(ret)
+	for _, loc := range sram.SpreadCells(cs.Cells) {
+		addr, bit := sram.CellAt(loc)
+		s.RegisterVariation(addr, bit, cs.Variation)
+	}
+	rep, err := march.Run(march.MarchMLZ(), s)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "marchsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("March m-LZ: %d ops, %s test time\n", rep.Ops, report.SI(rep.TestTime, "s"))
+	if rep.Detected() {
+		fmt.Printf("FAIL — %d miscompares; first failures:\n", rep.TotalMiscompares)
+		for i, f := range rep.Failures {
+			if i >= 8 {
+				fmt.Printf("  ... %d more\n", rep.TotalMiscompares-i)
+				break
+			}
+			fmt.Println("  ", f)
+		}
+	} else {
+		fmt.Println("PASS — no retention faults detected at this resistance")
+	}
+}

@@ -1,0 +1,252 @@
+// Command spicesim is a small general-purpose circuit simulator over the
+// library's SPICE-like netlist format — the same engine the reproduction
+// uses for the regulator, exposed so users can characterize their own
+// regulator designs ("the adopted methodology can be applied to any
+// similar low-power SRAM design", paper §I).
+//
+// Usage:
+//
+//	spicesim -op circuit.sp                     # DC operating point
+//	spicesim -dc V1:0:1.2:0.05 -probe out c.sp  # DC sweep of a source
+//	spicesim -tran 1m -probe vreg,vddcc c.sp    # transient, CSV to stdout
+//
+// Netlist format (see internal/spice.Parse): R/C/V/I/S/M cards, .temp,
+// .end; engineering suffixes f p n u m k meg g t.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"math"
+
+	"sramtest/internal/num"
+	"sramtest/internal/report"
+	"sramtest/internal/spice"
+)
+
+func main() {
+	var (
+		doOP  = flag.Bool("op", false, "compute the DC operating point")
+		dc    = flag.String("dc", "", "DC sweep: source:start:stop:step (e.g. V1:0:1.2:0.05)")
+		tran  = flag.String("tran", "", "transient stop time (e.g. 1m)")
+		dtMax = flag.String("dt", "", "transient max step (default tstop/200)")
+		ac    = flag.String("ac", "", "AC sweep: source:fstart:fstop:points (e.g. VIN:1:1g:61)")
+		probe = flag.String("probe", "", "comma-separated node names to output (default: all)")
+		vcd   = flag.String("vcd", "", "with -tran: write the waveform as VCD to this file instead of CSV")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "spicesim: exactly one netlist file required")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	ckt, err := spice.Parse(f)
+	if err != nil {
+		fatal(err)
+	}
+	if err := ckt.Check(); err != nil {
+		fatal(err)
+	}
+
+	probes := probeNodes(ckt, *probe)
+
+	switch {
+	case *dc != "":
+		runDC(ckt, *dc, probes)
+	case *tran != "":
+		runTran(ckt, *tran, *dtMax, probes, *vcd)
+	case *ac != "":
+		runAC(ckt, *ac, probes)
+	default:
+		_ = doOP // -op is the default analysis
+		runOP(ckt, probes)
+	}
+}
+
+// runAC sweeps a small-signal transfer function and emits CSV of
+// magnitude (dB) and phase (deg) per probe node.
+func runAC(ckt *spice.Circuit, spec string, probes []string) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 4 {
+		fatal(fmt.Errorf("-ac wants source:fstart:fstop:points, got %q", spec))
+	}
+	el, ok := ckt.Element(parts[0])
+	if !ok {
+		fatal(fmt.Errorf("no element %q", parts[0]))
+	}
+	src, ok := el.(*spice.VSource)
+	if !ok {
+		fatal(fmt.Errorf("%q is not a voltage source", parts[0]))
+	}
+	fstart, err := spice.ParseValue(parts[1])
+	if err != nil {
+		fatal(err)
+	}
+	fstop, err := spice.ParseValue(parts[2])
+	if err != nil {
+		fatal(err)
+	}
+	points, err := spice.ParseValue(parts[3])
+	if err != nil || points < 2 {
+		fatal(fmt.Errorf("bad point count %q", parts[3]))
+	}
+	op, err := spice.OP(ckt, nil, spice.DefaultOptions())
+	if err != nil {
+		fatal(fmt.Errorf("operating point: %w", err))
+	}
+	an, err := spice.NewAC(ckt, op, spice.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+	hdr := []string{"freq"}
+	for _, p := range probes {
+		hdr = append(hdr, p+"_dB", p+"_deg")
+	}
+	fmt.Println(strings.Join(hdr, ","))
+	for _, f := range num.Logspace(fstart, fstop, int(points)) {
+		sol, err := an.Solve(src, f)
+		if err != nil {
+			fatal(err)
+		}
+		row := []string{fmt.Sprintf("%.6g", f)}
+		for _, p := range probes {
+			h := sol.VName(p)
+			mag := 20 * math.Log10(math.Hypot(real(h), imag(h)))
+			ph := math.Atan2(imag(h), real(h)) * 180 / math.Pi
+			row = append(row, fmt.Sprintf("%.4g", mag), fmt.Sprintf("%.4g", ph))
+		}
+		fmt.Println(strings.Join(row, ","))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spicesim:", err)
+	os.Exit(1)
+}
+
+func probeNodes(ckt *spice.Circuit, arg string) []string {
+	if arg == "" {
+		return ckt.NodeNames()
+	}
+	var out []string
+	for _, n := range strings.Split(arg, ",") {
+		n = strings.TrimSpace(n)
+		if _, ok := ckt.FindNode(n); !ok {
+			fatal(fmt.Errorf("unknown probe node %q", n))
+		}
+		out = append(out, n)
+	}
+	return out
+}
+
+func runOP(ckt *spice.Circuit, probes []string) {
+	sol, err := spice.OP(ckt, nil, spice.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+	t := report.NewTable(fmt.Sprintf("Operating point (T=%g°C)", ckt.Temp), "Node", "Voltage")
+	for _, n := range probes {
+		t.AddRow(n, report.SI(sol.VName(n), "V"))
+	}
+	if err := t.Write(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func runDC(ckt *spice.Circuit, spec string, probes []string) {
+	parts := strings.Split(spec, ":")
+	if len(parts) != 4 {
+		fatal(fmt.Errorf("-dc wants source:start:stop:step, got %q", spec))
+	}
+	el, ok := ckt.Element(parts[0])
+	if !ok {
+		fatal(fmt.Errorf("no element %q", parts[0]))
+	}
+	src, ok := el.(*spice.VSource)
+	if !ok {
+		fatal(fmt.Errorf("%q is not a voltage source", parts[0]))
+	}
+	var start, stop, step float64
+	for i, dst := range []*float64{&start, &stop, &step} {
+		v, err := spice.ParseValue(parts[i+1])
+		if err != nil {
+			fatal(err)
+		}
+		*dst = v
+	}
+	if step <= 0 || stop < start {
+		fatal(fmt.Errorf("bad sweep range"))
+	}
+	n := int((stop-start)/step) + 1
+	values := num.Linspace(start, stop, n)
+
+	fmt.Printf("%s,%s\n", parts[0], strings.Join(probes, ","))
+	var warm *spice.Solution
+	for _, v := range values {
+		src.V = v
+		sol, err := spice.OP(ckt, warm, spice.DefaultOptions())
+		if err != nil {
+			fatal(fmt.Errorf("sweep point %g: %w", v, err))
+		}
+		warm = sol
+		row := make([]string, 0, len(probes)+1)
+		row = append(row, fmt.Sprintf("%g", v))
+		for _, p := range probes {
+			row = append(row, fmt.Sprintf("%.6g", sol.VName(p)))
+		}
+		fmt.Println(strings.Join(row, ","))
+	}
+}
+
+func runTran(ckt *spice.Circuit, tstop, dtmax string, probes []string, vcdPath string) {
+	ts, err := spice.ParseValue(tstop)
+	if err != nil {
+		fatal(err)
+	}
+	dt := ts / 200
+	if dtmax != "" {
+		if dt, err = spice.ParseValue(dtmax); err != nil {
+			fatal(err)
+		}
+	}
+	init, err := spice.OP(ckt, nil, spice.DefaultOptions())
+	if err != nil {
+		fatal(fmt.Errorf("initial operating point: %w", err))
+	}
+	rec := make([]spice.NodeID, len(probes))
+	for i, p := range probes {
+		rec[i], _ = ckt.FindNode(p)
+	}
+	wf, _, err := spice.Tran(ckt, init, spice.TranSpec{TStop: ts, DtMax: dt, Record: rec}, spice.DefaultOptions())
+	if err != nil {
+		fatal(err)
+	}
+	if vcdPath != "" {
+		f, err := os.Create(vcdPath)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := wf.WriteVCD(f, "spicesim"); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", vcdPath)
+		return
+	}
+	fmt.Printf("time,%s\n", strings.Join(probes, ","))
+	for i, tm := range wf.Time {
+		row := make([]string, 0, len(probes)+1)
+		row = append(row, fmt.Sprintf("%.6g", tm))
+		for k := range probes {
+			row = append(row, fmt.Sprintf("%.6g", wf.Signals[k][i]))
+		}
+		fmt.Println(strings.Join(row, ","))
+	}
+}

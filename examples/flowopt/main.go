@@ -1,0 +1,54 @@
+// Flow optimization: Section V of the paper end-to-end.
+//
+// Measure how detectable a representative defect subset is at each of the
+// 12 (VDD, Vref) test conditions, then derive the optimized production
+// flow — reproducing Table III's three iterations and the 75 % test-time
+// reduction. (The full 17-defect measurement lives in cmd/flow; this
+// example uses four defects that exercise every decision in the
+// optimizer: one per divider group plus the most critical amplifier
+// defect.)
+//
+// Run with: go run ./examples/flowopt
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sramtest"
+	"sramtest/internal/march"
+	"sramtest/internal/sram"
+)
+
+func main() {
+	opt := sramtest.DefaultFlowMeasureOptions()
+	opt.Defects = []sramtest.Defect{
+		sramtest.Defect(16), // output stage: maximized at the tightest margin
+		sramtest.Defect(2),  // divider: needs Vref ≤ 0.74·VDD
+		sramtest.Defect(3),  // divider: needs Vref ≤ 0.70·VDD
+		sramtest.Defect(4),  // divider: needs Vref = 0.64·VDD
+	}
+
+	// The flow's Vreg floor: the worst-case cell's retention voltage.
+	worst := sramtest.NewCell(sramtest.WorstCaseVariation(),
+		sramtest.Condition{Corner: opt.Corner, VDD: 1.1, TempC: opt.TempC}).DRV1()
+	fmt.Printf("worst-case DRV_DS = %.0f mV (paper: 730 mV)\n", worst*1e3)
+	fmt.Println("measuring 4 defects × 12 test conditions (takes a minute)...")
+
+	flow, err := sramtest.OptimizeFlow(opt, worst)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nOptimized test flow (paper Table III):")
+	for i, it := range flow.Iterations {
+		fmt.Printf("  iteration %d: VDD=%.1fV, Vref=%s, measured Vreg=%.0fmV, DS time=%.0fms, maximizes %v\n",
+			i+1, it.Cond.VDD, it.Cond.Level, it.MeasuredVreg*1e3, it.Dwell*1e3, it.Maximizes)
+	}
+
+	t := march.MarchMLZ()
+	fmt.Printf("\nMarch m-LZ: %s\n", t)
+	fmt.Printf("optimized flow:  %.2f ms\n", flow.TestTime(t, sram.Words, sram.CycleTime)*1e3)
+	fmt.Printf("exhaustive flow: %.2f ms\n", flow.ExhaustiveTestTime(t, sram.Words, sram.CycleTime)*1e3)
+	fmt.Printf("test-time reduction: %.0f%% (paper: 75%%)\n", flow.TimeReduction()*100)
+}

@@ -1,0 +1,57 @@
+// Retention study: Section III of the paper as a runnable walkthrough.
+//
+// For a 6T cell with increasing Vth skew, print the deep-sleep static
+// noise margins at a few supply levels and the resulting retention
+// voltages DRV_DS0/DRV_DS1, then run a small Monte-Carlo to show where a
+// manufactured array's worst cell typically lands between the symmetric
+// baseline and the theoretical 6σ worst case.
+//
+// Run with: go run ./examples/retention
+package main
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sramtest"
+	"sramtest/internal/process"
+)
+
+func main() {
+	cond := sramtest.Condition{Corner: sramtest.FS, VDD: 1.1, TempC: 125}
+
+	fmt.Println("== SNM collapse with supply scaling (symmetric cell) ==")
+	sym := sramtest.NewCell(sramtest.Variation{}, cond)
+	for _, vcc := range []float64{1.1, 0.5, 0.2, 0.1, 0.05} {
+		s0, s1 := sym.SNM(vcc)
+		fmt.Printf("  Vcc=%4.0fmV  SNM_DS0=%5.1fmV  SNM_DS1=%5.1fmV\n", vcc*1e3, s0*1e3, s1*1e3)
+	}
+
+	fmt.Println("\n== DRV vs variation strength (the Table I mechanism) ==")
+	for _, sigma := range []float64{0, 1, 2, 3, 4.5, 6} {
+		v := sramtest.Variation{
+			sramtest.MPcc1: -sigma, sramtest.MNcc1: -sigma,
+			sramtest.MPcc2: +sigma, sramtest.MNcc2: +sigma,
+		}
+		c := sramtest.NewCell(v, cond)
+		fmt.Printf("  ±%.1fσ on both inverters: DRV_DS1 = %3.0f mV, DRV_DS0 = %3.0f mV\n",
+			sigma, c.DRV1()*1e3, c.DRV0()*1e3)
+	}
+
+	fmt.Println("\n== Monte-Carlo: worst cell of a 512-cell sample ==")
+	rng := rand.New(rand.NewSource(2013))
+	worst := 0.0
+	var worstVar sramtest.Variation
+	for i := 0; i < 512; i++ {
+		v := process.RandomVariation(rng)
+		c := sramtest.NewCell(v, cond)
+		if d := c.DRV1(); d > worst {
+			worst, worstVar = d, v
+		}
+	}
+	fmt.Printf("  worst sampled DRV_DS1 = %.0f mV (variation: %s)\n", worst*1e3, worstVar)
+	wc := sramtest.NewCell(sramtest.WorstCaseVariation(), cond)
+	fmt.Printf("  theoretical 6σ worst case        = %.0f mV (paper: 730 mV)\n", wc.DRV1()*1e3)
+	fmt.Println("\nThe regulator's lowest fault-free output (740 mV at VDD=1.0V) sits")
+	fmt.Println("just above that worst case — the margin the whole test flow protects.")
+}

@@ -1,0 +1,3 @@
+module sramtest
+
+go 1.22

@@ -1,0 +1,126 @@
+// Package bist models a memory built-in self-test controller executing
+// March tests — the industrial embodiment of the paper's test solution
+// (a production SRAM runs March m-LZ from an on-chip BIST engine, not
+// from ATE software). The model is cycle-accurate at the granularity the
+// paper's test-time accounting uses: one clock per memory operation, a
+// programmable dwell counter for the DSM/LSM phases, an address counter
+// with up/down stepping, and a fail log with a bounded capture memory.
+//
+// The controller consumes a compiled microcode Program; Compile
+// translates any march.Test (including user tests from march.ParseTest)
+// into that microcode, and the result of a full run is bit-equivalent to
+// march.Run — a property the test suite checks against the whole fault
+// library.
+package bist
+
+import (
+	"fmt"
+
+	"sramtest/internal/march"
+)
+
+// OpCode is a BIST microcode operation.
+type OpCode int
+
+// Microcode operations.
+const (
+	OpRead0 OpCode = iota // read, compare against background
+	OpRead1               // read, compare against ~background
+	OpWrite0
+	OpWrite1
+	OpSleepDS // assert SLEEP (deep sleep), wait DwellCycles
+	OpSleepLS // light sleep, wait DwellCycles
+	OpWake    // deassert SLEEP, wake-up phase
+)
+
+// String implements fmt.Stringer.
+func (o OpCode) String() string {
+	return [...]string{"r0", "r1", "w0", "w1", "sleep-ds", "sleep-ls", "wake"}[o]
+}
+
+// Instr is one microcode word: an operation plus loop control. Ops with
+// PerAddress=true execute once per address of the current element loop;
+// the last instruction of an element carries EndElement so the sequencer
+// advances the address counter.
+type Instr struct {
+	Op         OpCode
+	PerAddress bool
+	EndElement bool
+	Descending bool // address counter direction for this element
+}
+
+// Program is a compiled March test.
+type Program struct {
+	Name        string
+	Instrs      []Instr
+	DwellCycles int // clocks spent in each sleep state
+}
+
+// Compile translates a March test into microcode. cycle is the BIST/SRAM
+// clock period used to convert the test's dwell into cycles.
+func Compile(t march.Test, cycle float64) (*Program, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if cycle <= 0 {
+		return nil, fmt.Errorf("bist: invalid cycle time %g", cycle)
+	}
+	p := &Program{Name: t.Name, DwellCycles: int(t.Dwell / cycle)}
+	for _, e := range t.Elems {
+		if e.IsMode() {
+			var op OpCode
+			switch e.Ops[0] {
+			case march.DSM:
+				op = OpSleepDS
+			case march.LSM:
+				op = OpSleepLS
+			case march.WUP:
+				op = OpWake
+			}
+			p.Instrs = append(p.Instrs, Instr{Op: op})
+			continue
+		}
+		desc := e.Order == march.Down
+		for i, mop := range e.Ops {
+			var op OpCode
+			switch mop {
+			case march.R0:
+				op = OpRead0
+			case march.R1:
+				op = OpRead1
+			case march.W0:
+				op = OpWrite0
+			case march.W1:
+				op = OpWrite1
+			default:
+				return nil, fmt.Errorf("bist: cannot compile op %s", mop)
+			}
+			p.Instrs = append(p.Instrs, Instr{
+				Op:         op,
+				PerAddress: true,
+				EndElement: i == len(e.Ops)-1,
+				Descending: desc,
+			})
+		}
+	}
+	return p, nil
+}
+
+// String disassembles the program.
+func (p *Program) String() string {
+	s := fmt.Sprintf("program %q (dwell %d cycles)\n", p.Name, p.DwellCycles)
+	for i, in := range p.Instrs {
+		flags := ""
+		if in.PerAddress {
+			flags += " per-addr"
+			if in.Descending {
+				flags += " desc"
+			}
+			if in.EndElement {
+				flags += " end"
+			}
+		}
+		s += fmt.Sprintf("  %2d: %-8s%s\n", i, in.Op, flags)
+	}
+	return s
+}

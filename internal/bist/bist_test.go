@@ -1,0 +1,240 @@
+package bist
+
+import (
+	"strings"
+	"testing"
+
+	"sramtest/internal/fault"
+	"sramtest/internal/march"
+	"sramtest/internal/process"
+	"sramtest/internal/sram"
+)
+
+func compileMust(t *testing.T, tst march.Test) *Program {
+	t.Helper()
+	p, err := Compile(tst, sram.CycleTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCompileMLZ(t *testing.T) {
+	p := compileMust(t, march.MarchMLZ())
+	// w1 | sleep | wake | r1 w0 r0 | sleep | wake | r0  = 9 instructions.
+	if len(p.Instrs) != 9 {
+		t.Fatalf("compiled %d instructions, want 9:\n%s", len(p.Instrs), p)
+	}
+	if p.DwellCycles != int(1e-3/sram.CycleTime) {
+		t.Errorf("dwell cycles %d", p.DwellCycles)
+	}
+	if !strings.Contains(p.String(), "sleep-ds") {
+		t.Errorf("disassembly:\n%s", p)
+	}
+}
+
+func TestCompileValidation(t *testing.T) {
+	if _, err := Compile(march.Test{Name: "bad", Elems: nil}, sram.CycleTime); err == nil {
+		t.Error("empty test should not compile")
+	}
+	if _, err := Compile(march.MATSPlus(), 0); err == nil {
+		t.Error("zero cycle time should not compile")
+	}
+}
+
+func TestCleanRunPasses(t *testing.T) {
+	for _, tst := range march.Library() {
+		p := compileMust(t, tst)
+		res, err := New(p, sram.New()).Run()
+		if err != nil {
+			t.Fatalf("%s: %v", tst.Name, err)
+		}
+		if !res.Pass() {
+			t.Errorf("%s: clean memory failed: %v", tst.Name, res.Failures)
+		}
+	}
+}
+
+func TestCycleAccounting(t *testing.T) {
+	// March m-LZ on N words: 5N op cycles + 2·dwell cycles + 2 wake cycles.
+	p := compileMust(t, march.MarchMLZ())
+	res, err := New(p, sram.New()).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(5*sram.Words) + 2*int64(p.DwellCycles) + 2
+	if res.Cycles != want {
+		t.Errorf("cycles %d, want %d", res.Cycles, want)
+	}
+	// Cross-check against the march package's test-time model.
+	tt := march.MarchMLZ().TestTime(sram.Words, sram.CycleTime)
+	if got := float64(res.Cycles) * sram.CycleTime; got < tt*0.99 || got > tt*1.01 {
+		t.Errorf("BIST time %g vs march model %g", got, tt)
+	}
+}
+
+// equivalence runs both engines on identically faulted memories and
+// compares the reports.
+func equivalence(t *testing.T, tst march.Test, build func() *sram.SRAM) {
+	t.Helper()
+	rep, err := march.Run(tst, build())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := New(compileMust(t, tst), build()).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalMiscompares != res.Total {
+		t.Fatalf("%s: march found %d miscompares, BIST %d", tst.Name, rep.TotalMiscompares, res.Total)
+	}
+	for i := range rep.Failures {
+		if i >= len(res.Failures) {
+			break
+		}
+		if rep.Failures[i] != res.Failures[i] {
+			t.Errorf("%s failure %d differs:\n march %v\n bist  %v", tst.Name, i, rep.Failures[i], res.Failures[i])
+		}
+	}
+}
+
+func TestEquivalenceWithMarchEngine(t *testing.T) {
+	// The BIST must be bit-equivalent to the reference software engine
+	// across the fault library and all algorithms.
+	scenarios := []func() *sram.SRAM{
+		func() *sram.SRAM {
+			s := sram.New()
+			fault.NewInjector(fault.Fault{Kind: fault.SAF0, Victim: fault.Cell{Addr: 99, Bit: 3}}).Attach(s)
+			return s
+		},
+		func() *sram.SRAM {
+			s := sram.New()
+			fault.NewInjector(fault.Fault{Kind: fault.TFDown, Victim: fault.Cell{Addr: 4000, Bit: 63}}).Attach(s)
+			return s
+		},
+		func() *sram.SRAM {
+			s := sram.New()
+			fault.NewInjector(fault.Fault{
+				Kind: fault.CFid, Aggressor: fault.Cell{Addr: 10, Bit: 0},
+				Victim: fault.Cell{Addr: 60, Bit: 0}, Val: true,
+			}).Attach(s)
+			return s
+		},
+		func() *sram.SRAM {
+			s := sram.New()
+			fault.NewInjector(fault.Fault{Kind: fault.PGF, Victim: fault.Cell{Addr: 1, Bit: 1}, Val: false}).Attach(s)
+			return s
+		},
+		func() *sram.SRAM {
+			cond := process.Condition{Corner: process.FS, VDD: 1.0, TempC: 125}
+			s := sram.New()
+			s.SetRetention(sram.NewThresholdRetention(cond, 0.5))
+			s.RegisterVariation(123, 45, process.WorstCase1())
+			return s
+		},
+	}
+	for _, tst := range march.Library() {
+		for _, build := range scenarios {
+			equivalence(t, tst, build)
+		}
+	}
+}
+
+func TestBISTDetectsDRFDS(t *testing.T) {
+	cond := process.Condition{Corner: process.FS, VDD: 1.0, TempC: 125}
+	s := sram.New()
+	s.SetRetention(sram.NewThresholdRetention(cond, 0.5))
+	s.RegisterVariation(50, 9, process.WorstCase1())
+	res, err := New(compileMust(t, march.MarchMLZ()), s).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pass() {
+		t.Fatal("BIST March m-LZ must detect DRF_DS")
+	}
+	if res.Failures[0].Addr != 50 {
+		t.Errorf("first failure at %d, want 50", res.Failures[0].Addr)
+	}
+}
+
+func TestBackgroundRegister(t *testing.T) {
+	// With a background loaded, a clean run still passes and the memory
+	// ends holding the background pattern.
+	s := sram.New()
+	c := New(compileMust(t, march.MarchCMinus()), s)
+	c.SetBackground(0xAAAAAAAAAAAAAAAA)
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Pass() {
+		t.Fatalf("clean background run failed: %v", res.Failures)
+	}
+	// March C- ends with w0 (background) in its last writing element.
+	if got := s.RawWord(0); got != 0xAAAAAAAAAAAAAAAA {
+		t.Errorf("final word %x", got)
+	}
+}
+
+func TestFailCaptureBounded(t *testing.T) {
+	cond := process.Condition{Corner: process.FS, VDD: 1.0, TempC: 125}
+	s := sram.New()
+	s.SetRetention(sram.NewThresholdRetention(cond, 0.01)) // whole-array wipe
+	res, err := New(compileMust(t, march.MarchMLZ()), s).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Failures) > FailCapacity {
+		t.Errorf("captured %d failures, capacity %d", len(res.Failures), FailCapacity)
+	}
+	if res.Total <= FailCapacity {
+		t.Errorf("total %d should exceed capacity on a wipe", res.Total)
+	}
+}
+
+func TestStepGranularity(t *testing.T) {
+	p := compileMust(t, march.MATSPlus())
+	c := New(p, sram.New())
+	if c.State() != Idle {
+		t.Error("controller should start idle")
+	}
+	done := c.Step()
+	if done || c.State() != Running {
+		t.Errorf("after one step: done=%v state=%s", done, c.State())
+	}
+	if c.Cycles() != 1 {
+		t.Errorf("cycles %d after one step", c.Cycles())
+	}
+	for !c.Step() {
+	}
+	if c.State() != Done {
+		t.Errorf("final state %s", c.State())
+	}
+	// Stepping a finished controller is a no-op returning done.
+	if !c.Step() {
+		t.Error("Step on done controller must return true")
+	}
+}
+
+func TestAbortOnIllegalSequence(t *testing.T) {
+	// A hand-built program that reads while asleep must abort cleanly.
+	p := &Program{
+		Name:        "bad",
+		DwellCycles: 4,
+		Instrs: []Instr{
+			{Op: OpSleepDS},
+			{Op: OpRead0, PerAddress: true, EndElement: true},
+		},
+	}
+	c := New(p, sram.New())
+	_, err := c.Run()
+	if err == nil {
+		t.Fatal("expected abort")
+	}
+	if c.State() != Errored {
+		t.Errorf("state %s", c.State())
+	}
+	if c.Err() == nil {
+		t.Error("Err() should report the abort cause")
+	}
+}

@@ -1,0 +1,256 @@
+package bist
+
+import (
+	"fmt"
+
+	"sramtest/internal/march"
+)
+
+// State of the controller FSM.
+type State int
+
+// Controller states.
+const (
+	Idle State = iota
+	Running
+	Sleeping
+	Done
+	Errored
+)
+
+// String implements fmt.Stringer.
+func (s State) String() string {
+	return [...]string{"idle", "running", "sleeping", "done", "errored"}[s]
+}
+
+// FailCapacity is the depth of the on-chip fail-capture memory; further
+// miscompares only increment the counter (real BIST engines do the same).
+const FailCapacity = 64
+
+// Controller is the BIST engine: a program sequencer, address counter,
+// background register, dwell counter, comparator and fail log.
+type Controller struct {
+	prog *Program
+	mem  march.Memory
+	bg   uint64 // data background register
+
+	state   State
+	pc      int // start instruction of the current element
+	opIdx   int // offset inside the current element
+	elemLen int // instruction count of the current element
+	addr    int
+	elemOrd int // ordinal of the current element (matches march.Test.Elems)
+	dwell   int // remaining sleep cycles
+
+	cycles   int64
+	failures []march.Failure
+	total    int
+	runErr   error
+}
+
+// New builds a controller over a compiled program and a memory.
+func New(p *Program, m march.Memory) *Controller {
+	c := &Controller{prog: p, mem: m, state: Idle}
+	return c
+}
+
+// SetBackground loads the data background register (default: solid 0).
+func (c *Controller) SetBackground(w uint64) { c.bg = w }
+
+// State returns the FSM state.
+func (c *Controller) State() State { return c.state }
+
+// Cycles returns the clock cycles consumed so far.
+func (c *Controller) Cycles() int64 { return c.cycles }
+
+// Result is the outcome of a completed run.
+type Result struct {
+	Program  string
+	Cycles   int64
+	Failures []march.Failure
+	Total    int // total miscompares (≥ len(Failures))
+}
+
+// Pass reports a clean run.
+func (r Result) Pass() bool { return r.Total == 0 }
+
+// Step advances the engine by one clock cycle. It returns true when the
+// program has completed (or errored; check Err).
+func (c *Controller) Step() bool {
+	switch c.state {
+	case Done, Errored:
+		return true
+	case Idle:
+		c.state = Running
+		c.enterElement()
+	}
+	c.cycles++
+
+	if c.state == Sleeping {
+		c.dwell--
+		if c.dwell <= 0 {
+			c.advanceElement()
+		}
+		return c.state == Done || c.state == Errored
+	}
+
+	in := c.prog.Instrs[c.pc+c.opIdx]
+	if !in.PerAddress {
+		c.execMode(in)
+		return c.state == Done || c.state == Errored
+	}
+
+	c.execCell(in)
+	if c.state == Errored {
+		return true
+	}
+	c.opIdx++
+	if c.opIdx == c.elemLen {
+		c.opIdx = 0
+		if c.advanceAddr(in.Descending) {
+			c.advanceElement()
+		}
+	}
+	return c.state == Done || c.state == Errored
+}
+
+// Err returns the error that aborted the run, if any.
+func (c *Controller) Err() error { return c.runErr }
+
+// Run steps the engine to completion.
+func (c *Controller) Run() (Result, error) {
+	for !c.Step() {
+	}
+	if c.runErr != nil {
+		return Result{}, c.runErr
+	}
+	return Result{
+		Program:  c.prog.Name,
+		Cycles:   c.cycles,
+		Failures: c.failures,
+		Total:    c.total,
+	}, nil
+}
+
+// enterElement initializes the sequencer for the element at pc.
+func (c *Controller) enterElement() {
+	if c.pc >= len(c.prog.Instrs) {
+		c.state = Done
+		return
+	}
+	in := c.prog.Instrs[c.pc]
+	if !in.PerAddress {
+		c.elemLen = 1
+		return
+	}
+	c.elemLen = 0
+	for i := c.pc; i < len(c.prog.Instrs); i++ {
+		c.elemLen++
+		if c.prog.Instrs[i].EndElement {
+			break
+		}
+	}
+	c.opIdx = 0
+	if in.Descending {
+		c.addr = c.mem.Size() - 1
+	} else {
+		c.addr = 0
+	}
+}
+
+// advanceElement moves to the next element.
+func (c *Controller) advanceElement() {
+	c.pc += c.elemLen
+	c.elemOrd++
+	c.state = Running
+	c.enterElement()
+}
+
+// advanceAddr steps the address counter; true when the loop is complete.
+func (c *Controller) advanceAddr(desc bool) bool {
+	if desc {
+		c.addr--
+		return c.addr < 0
+	}
+	c.addr++
+	return c.addr >= c.mem.Size()
+}
+
+func (c *Controller) fail(op int, want, got uint64) {
+	c.total++
+	if len(c.failures) < FailCapacity {
+		c.failures = append(c.failures, march.Failure{
+			Element: c.elemOrd, OpIndex: op, Addr: c.addr, Expected: want, Got: got,
+		})
+	}
+}
+
+func (c *Controller) abort(err error) {
+	c.runErr = err
+	c.state = Errored
+}
+
+func (c *Controller) execMode(in Instr) {
+	switch in.Op {
+	case OpSleepDS, OpSleepLS:
+		// The behavioural memory applies retention effects at entry; the
+		// controller then burns the dwell cycles.
+		var err error
+		dwellSeconds := float64(c.prog.DwellCycles) * cycleOf(c.mem)
+		if in.Op == OpSleepDS {
+			err = c.mem.EnterDS(dwellSeconds)
+		} else {
+			err = c.mem.EnterLS(dwellSeconds)
+		}
+		if err != nil {
+			c.abort(fmt.Errorf("bist: %s: %w", in.Op, err))
+			return
+		}
+		if c.prog.DwellCycles > 1 {
+			c.state = Sleeping
+			c.dwell = c.prog.DwellCycles - 1 // this cycle counts as the first
+			return
+		}
+		c.advanceElement()
+	case OpWake:
+		if err := c.mem.WakeUp(); err != nil {
+			c.abort(fmt.Errorf("bist: wake: %w", err))
+			return
+		}
+		c.advanceElement()
+	}
+}
+
+func (c *Controller) execCell(in Instr) {
+	switch in.Op {
+	case OpWrite0:
+		if err := c.mem.Write(c.addr, c.bg); err != nil {
+			c.abort(err)
+		}
+	case OpWrite1:
+		if err := c.mem.Write(c.addr, ^c.bg); err != nil {
+			c.abort(err)
+		}
+	case OpRead0, OpRead1:
+		want := c.bg
+		if in.Op == OpRead1 {
+			want = ^c.bg
+		}
+		got, err := c.mem.Read(c.addr)
+		if err != nil {
+			c.abort(err)
+			return
+		}
+		if got != want {
+			c.fail(c.opIdx, want, got)
+		}
+	}
+}
+
+// cycleOf mirrors march's accounting: devices exposing Cycle() use it.
+func cycleOf(m march.Memory) float64 {
+	if ct, ok := m.(interface{ Cycle() float64 }); ok {
+		return ct.Cycle()
+	}
+	return 10e-9
+}

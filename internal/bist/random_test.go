@@ -1,0 +1,117 @@
+package bist
+
+import (
+	"math/rand"
+	"testing"
+
+	"sramtest/internal/fault"
+	"sramtest/internal/march"
+	"sramtest/internal/sram"
+)
+
+// randomTest generates a random structurally valid March test: a few cell
+// elements with random orders/ops, optionally interleaved with DSM/WUP or
+// LSM/WUP pairs.
+func randomTest(rng *rand.Rand) march.Test {
+	t := march.Test{Name: "random", Dwell: 50e-9} // tiny dwell keeps runs fast
+	n := 1 + rng.Intn(5)
+	for i := 0; i < n; i++ {
+		if rng.Intn(4) == 0 {
+			sleep := march.DSM
+			if rng.Intn(2) == 0 {
+				sleep = march.LSM
+			}
+			t.Elems = append(t.Elems,
+				march.Element{Order: march.Any, Ops: []march.OpKind{sleep}},
+				march.Element{Order: march.Any, Ops: []march.OpKind{march.WUP}},
+			)
+		}
+		order := []march.Order{march.Up, march.Down, march.Any}[rng.Intn(3)]
+		nops := 1 + rng.Intn(4)
+		ops := make([]march.OpKind, nops)
+		for k := range ops {
+			ops[k] = []march.OpKind{march.R0, march.R1, march.W0, march.W1}[rng.Intn(4)]
+		}
+		t.Elems = append(t.Elems, march.Element{Order: order, Ops: ops})
+	}
+	return t
+}
+
+// randomFaults generates a random fault set.
+func randomFaults(rng *rand.Rand) []fault.Fault {
+	kinds := []fault.Kind{
+		fault.SAF0, fault.SAF1, fault.TFUp, fault.TFDown, fault.RDF,
+		fault.IRF, fault.WDF, fault.CFin, fault.CFid, fault.CFst, fault.PGF,
+	}
+	n := rng.Intn(4)
+	out := make([]fault.Fault, 0, n)
+	for i := 0; i < n; i++ {
+		f := fault.Fault{
+			Kind:   kinds[rng.Intn(len(kinds))],
+			Victim: fault.Cell{Addr: rng.Intn(sram.Words), Bit: rng.Intn(sram.Bits)},
+			Val:    rng.Intn(2) == 0,
+			AggVal: rng.Intn(2) == 0,
+		}
+		f.Aggressor = fault.Cell{Addr: rng.Intn(sram.Words), Bit: rng.Intn(sram.Bits)}
+		if f.Aggressor == f.Victim {
+			f.Aggressor.Bit = (f.Aggressor.Bit + 1) % sram.Bits
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// TestRandomEquivalence is the strongest BIST correctness property: for
+// random March tests against random fault populations, the cycle-accurate
+// engine and the reference software executor must report identical
+// miscompares. (The parse/print round trip of the random tests rides
+// along for free.)
+func TestRandomEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(20130318)) // the paper's conference date
+	for trial := 0; trial < 40; trial++ {
+		tst := randomTest(rng)
+		if err := tst.Validate(); err != nil {
+			t.Fatalf("trial %d: generated invalid test: %v", trial, err)
+		}
+		// Parse/print round trip.
+		back, err := march.ParseTest(tst.Name, tst.String())
+		if err != nil {
+			t.Fatalf("trial %d: reparse: %v", trial, err)
+		}
+		back.Dwell = tst.Dwell
+		if back.String() != tst.String() {
+			t.Fatalf("trial %d: notation round trip:\n %s\n %s", trial, tst, back)
+		}
+
+		faults := randomFaults(rng)
+		build := func() *sram.SRAM {
+			s := sram.New()
+			fault.NewInjector(faults...).Attach(s)
+			return s
+		}
+		rep, err := march.Run(tst, build())
+		if err != nil {
+			t.Fatalf("trial %d march: %v", trial, err)
+		}
+		prog, err := Compile(tst, sram.CycleTime)
+		if err != nil {
+			t.Fatalf("trial %d compile: %v", trial, err)
+		}
+		res, err := New(prog, build()).Run()
+		if err != nil {
+			t.Fatalf("trial %d bist: %v", trial, err)
+		}
+		if rep.TotalMiscompares != res.Total {
+			t.Fatalf("trial %d: %s with %v\n march: %d miscompares\n bist:  %d",
+				trial, tst, faults, rep.TotalMiscompares, res.Total)
+		}
+		for i := range rep.Failures {
+			if i >= len(res.Failures) {
+				break
+			}
+			if rep.Failures[i] != res.Failures[i] {
+				t.Fatalf("trial %d: failure %d differs: %v vs %v", trial, i, rep.Failures[i], res.Failures[i])
+			}
+		}
+	}
+}

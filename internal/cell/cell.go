@@ -1,0 +1,161 @@
+// Package cell models the 6T SRAM core-cell of the paper (Fig. 3) under
+// deep-sleep conditions and implements the stability analyses of Section
+// III: voltage-transfer-curve extraction, butterfly-plot static noise
+// margin (Seevinck maximum embedded square), the data retention voltages
+// DRV_DS1/DRV_DS0, and a dynamic flip-time model for the DS-dwell-time
+// discussion of Section V.
+//
+// Deep-sleep electrical conditions (paper §III.A): the core-cell supply
+// V_DD_CC is lowered to Vreg, word lines and both bit lines are at 0 V
+// because the peripheral circuitry is powered off. The off pass
+// transistors still leak toward the grounded bit lines, which is why
+// retention of a stored '1' and '0' degrade asymmetrically and why pass
+// transistor variations matter (paper Fig. 4).
+package cell
+
+import (
+	"fmt"
+
+	"sramtest/internal/device"
+	"sramtest/internal/num"
+	"sramtest/internal/process"
+)
+
+// Geometry holds the drawn sizes of the three device types of the cell.
+// The defaults give a conventional read-stable ratioed cell.
+type Geometry struct {
+	WPullDown float64 // NMOS pull-down width (m)
+	WPullUp   float64 // PMOS pull-up width (m)
+	WPass     float64 // NMOS pass-gate width (m)
+	L         float64 // common channel length (m)
+}
+
+// DefaultGeometry returns the cell sizing used throughout the reproduction.
+func DefaultGeometry() Geometry {
+	return Geometry{
+		WPullDown: 200e-9,
+		WPullUp:   100e-9,
+		WPass:     140e-9,
+		L:         40e-9,
+	}
+}
+
+// Cell is a 6T core-cell instance at one PVT condition with one local
+// variation assignment. The six transistors are indexed by
+// process.CellTransistor.
+type Cell struct {
+	Cond process.Condition
+	Var  process.Variation
+	Geom Geometry
+	devs [process.NumCellTransistors]*device.MOS
+}
+
+// New builds a cell with the given local variation at the given PVT
+// condition using the default geometry.
+func New(v process.Variation, cond process.Condition) *Cell {
+	return NewWithGeometry(v, cond, DefaultGeometry())
+}
+
+// NewWithGeometry builds a cell with explicit sizing.
+func NewWithGeometry(v process.Variation, cond process.Condition, g Geometry) *Cell {
+	c := &Cell{Cond: cond, Var: v, Geom: g}
+	shift := process.CornerShift(cond.Corner)
+	for t := process.CellTransistor(0); t < process.NumCellTransistors; t++ {
+		// Core-cell devices use the high-Vth array flavour (see
+		// device.NewHVTNMOSParams): low-power macros keep the array's
+		// standby current in the µA range this way.
+		var p device.MOSParams
+		switch {
+		case t.IsPMOS():
+			p = device.NewHVTPMOSParams(g.WPullUp, g.L)
+		case t == process.MNcc3 || t == process.MNcc4:
+			p = device.NewHVTNMOSParams(g.WPass, g.L)
+		default:
+			p = device.NewHVTNMOSParams(g.WPullDown, g.L)
+		}
+		m := device.NewMOS(t.String(), p)
+		m.ApplyCorner(shift)
+		m.DVth += v.DeltaVth(t)
+		c.devs[t] = m
+	}
+	return c
+}
+
+// Device exposes one of the six transistor models (read-only use).
+func (c *Cell) Device(t process.CellTransistor) *device.MOS { return c.devs[t] }
+
+// nodeCurrentS returns the KCL sum of currents leaving internal node S at
+// the given node voltages, with the cell supplied at vcc and in DS
+// conditions (WL = BL = 0 V).
+func (c *Cell) nodeCurrentS(vs, vsn, vcc float64) float64 {
+	tc := c.Cond.TempC
+	iPU := c.devs[process.MPcc1].Eval(vsn, vcc, vs, vcc, tc).Id // drain at S
+	iPD := c.devs[process.MNcc1].Eval(vsn, 0, vs, 0, tc).Id     // drain at S
+	iPG := c.devs[process.MNcc3].Eval(0, 0, vs, 0, tc).Id       // BL side at 0
+	return iPU + iPD + iPG
+}
+
+// nodeCurrentSN is the complement-node analog of nodeCurrentS.
+func (c *Cell) nodeCurrentSN(vsn, vs, vcc float64) float64 {
+	tc := c.Cond.TempC
+	iPU := c.devs[process.MPcc2].Eval(vs, vcc, vsn, vcc, tc).Id
+	iPD := c.devs[process.MNcc2].Eval(vs, 0, vsn, 0, tc).Id
+	iPG := c.devs[process.MNcc4].Eval(0, 0, vsn, 0, tc).Id
+	return iPU + iPD + iPG
+}
+
+// solveNode finds the node voltage where the KCL sum crosses zero. The sum
+// is strictly increasing in the node voltage (pull-down and pass currents
+// grow, pull-up sourcing shrinks), so bisection over [0, vcc] always
+// converges. A tiny bracket widening covers the case where leakage pushes
+// the equilibrium marginally outside the rails.
+func solveNode(f func(v float64) float64, vcc float64) float64 {
+	lo, hi := -0.02, vcc+0.02
+	v, err := num.Bisect(f, lo, hi, 1e-9)
+	if err != nil {
+		// The physics guarantees a bracket; failure means the model was
+		// driven far outside its domain — a construction bug.
+		panic(fmt.Sprintf("cell: node solve failed: %v", err))
+	}
+	return v
+}
+
+// InverterS returns the equilibrium voltage of node S for a given
+// complement-node voltage vsn (the VTC of inverter 1 including pass-gate
+// leakage).
+func (c *Cell) InverterS(vsn, vcc float64) float64 {
+	return solveNode(func(vs float64) float64 { return c.nodeCurrentS(vs, vsn, vcc) }, vcc)
+}
+
+// InverterSN returns the equilibrium voltage of node SN for a given
+// true-node voltage vs (the VTC of inverter 2 including pass-gate leakage).
+func (c *Cell) InverterSN(vs, vcc float64) float64 {
+	return solveNode(func(vsn float64) float64 { return c.nodeCurrentSN(vsn, vs, vcc) }, vcc)
+}
+
+// VTCPoints is the sampling density used for SNM curves. 81 points keeps
+// the interpolation error well below the 1 mV DRV search tolerance.
+const VTCPoints = 81
+
+// VTC1 samples inverter 1's transfer curve: S as a function of SN.
+func (c *Cell) VTC1(vcc float64) *num.Curve {
+	return c.sampleVTC(vcc, c.InverterS)
+}
+
+// VTC2 samples inverter 2's transfer curve: SN as a function of S.
+func (c *Cell) VTC2(vcc float64) *num.Curve {
+	return c.sampleVTC(vcc, c.InverterSN)
+}
+
+func (c *Cell) sampleVTC(vcc float64, inv func(vin, vcc float64) float64) *num.Curve {
+	xs := num.Linspace(0, vcc, VTCPoints)
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = inv(x, vcc)
+	}
+	cv, err := num.NewCurve(xs, ys)
+	if err != nil {
+		panic(fmt.Sprintf("cell: VTC sampling: %v", err))
+	}
+	return cv
+}

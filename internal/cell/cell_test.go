@@ -1,0 +1,200 @@
+package cell
+
+import (
+	"math"
+	"testing"
+
+	"sramtest/internal/process"
+)
+
+func tt25() process.Condition { return process.Condition{Corner: process.TT, VDD: 1.1, TempC: 25} }
+func fs125() process.Condition {
+	return process.Condition{Corner: process.FS, VDD: 1.1, TempC: 125}
+}
+
+func symCell() *Cell { return New(process.Variation{}, tt25()) }
+
+func TestVTCEndpoints(t *testing.T) {
+	c := symCell()
+	const vcc = 1.1
+	// Input low -> output high (minus pass-gate leakage droop).
+	if got := c.InverterS(0, vcc); got < vcc-0.05 {
+		t.Errorf("InverterS(0) = %g, want near %g", got, vcc)
+	}
+	// Input high -> output low.
+	if got := c.InverterS(vcc, vcc); got > 0.05 {
+		t.Errorf("InverterS(vcc) = %g, want near 0", got)
+	}
+	if got := c.InverterSN(0, vcc); got < vcc-0.05 {
+		t.Errorf("InverterSN(0) = %g, want near %g", got, vcc)
+	}
+}
+
+func TestVTCMonotone(t *testing.T) {
+	c := symCell()
+	vtc := c.VTC1(1.1)
+	for i := 1; i < len(vtc.Y); i++ {
+		if vtc.Y[i] > vtc.Y[i-1]+1e-6 {
+			t.Fatalf("VTC1 not monotone non-increasing at %d", i)
+		}
+	}
+}
+
+func TestSymmetricCellSNMEqual(t *testing.T) {
+	c := symCell()
+	for _, vcc := range []float64{0.2, 0.5, 1.1} {
+		s0, s1 := c.SNM(vcc)
+		if math.Abs(s0-s1) > 1e-4 {
+			t.Errorf("symmetric cell SNM0=%g SNM1=%g at vcc=%g, want equal", s0, s1, vcc)
+		}
+		if s1 <= 0 {
+			t.Errorf("symmetric cell SNM=%g at vcc=%g, want >0", s1, vcc)
+		}
+	}
+}
+
+func TestSNMIncreasesWithSupply(t *testing.T) {
+	c := symCell()
+	prev := -1.0
+	for _, vcc := range []float64{0.1, 0.3, 0.5, 0.8, 1.1} {
+		s := c.SNM1(vcc)
+		if s < prev {
+			t.Fatalf("SNM1 decreased at vcc=%g: %g < %g", vcc, s, prev)
+		}
+		prev = s
+	}
+}
+
+func TestNominalSNMPlausible(t *testing.T) {
+	// A healthy 6T cell at nominal supply has a hold SNM of a few hundred mV.
+	s := symCell().SNM1(1.1)
+	if s < 0.15 || s > 0.7 {
+		t.Errorf("hold SNM at 1.1V = %gmV, want 150-700mV", s*1e3)
+	}
+}
+
+func TestMirrorSymmetry(t *testing.T) {
+	// SNM0 of a variation equals SNM1 of the mirrored variation.
+	v := process.Variation{process.MPcc1: -2, process.MNcc1: 1.5, process.MNcc3: -1}
+	a := New(v, tt25())
+	b := New(v.Mirror(), tt25())
+	for _, vcc := range []float64{0.3, 0.7} {
+		if d := math.Abs(a.SNM0(vcc) - b.SNM1(vcc)); d > 1e-4 {
+			t.Errorf("mirror symmetry violated at vcc=%g: diff %g", vcc, d)
+		}
+	}
+}
+
+func TestWeakenedOneSNMDrops(t *testing.T) {
+	// Degrading the '1'-driving inverter (negative DVth per the paper's
+	// convention) must reduce SNM1 and barely affect / improve SNM0.
+	base := symCell()
+	weak := New(process.Variation{process.MPcc1: -3, process.MNcc1: -3}, tt25())
+	const vcc = 0.5
+	if got, want := weak.SNM1(vcc), base.SNM1(vcc); got >= want {
+		t.Errorf("weakened cell SNM1=%g, want below %g", got, want)
+	}
+	if got, want := weak.SNM0(vcc), base.SNM0(vcc); got < want-0.02 {
+		t.Errorf("SNM0 dropped unexpectedly: %g vs %g", got, want)
+	}
+}
+
+func TestDRVOrderingOfCaseStudies(t *testing.T) {
+	// The heart of Table I: CS1 > CS2 > CS3 > CS4 >= symmetric, using a
+	// single (worst-ish) condition to keep the test fast.
+	cond := fs125()
+	css := process.Table1CaseStudies()
+	drv1 := func(v process.Variation) float64 { return New(v, cond).DRV1() }
+	d1 := drv1(css[0].Variation) // CS1-1
+	d2 := drv1(css[2].Variation) // CS2-1
+	d3 := drv1(css[4].Variation) // CS3-1
+	d4 := drv1(css[6].Variation) // CS4-1
+	ds := drv1(process.Variation{})
+	if !(d1 > d2 && d2 > d3 && d3 > d4 && d4 >= ds) {
+		t.Errorf("DRV ladder violated: CS1=%g CS2=%g CS3=%g CS4=%g sym=%g", d1, d2, d3, d4, ds)
+	}
+}
+
+func TestDRVPairSymmetry(t *testing.T) {
+	// CSx-1 and CSx-0 must give the same overall DRV with the roles of
+	// DRV1/DRV0 exchanged (paper Table I structure).
+	cond := fs125()
+	v := process.Variation{process.MPcc1: -3, process.MNcc1: -3}
+	c1 := New(v, cond)
+	c0 := New(v.Mirror(), cond)
+	if d := math.Abs(c1.DRV1() - c0.DRV0()); d > 2*DRVTol {
+		t.Errorf("pair symmetry: DRV1=%g vs mirrored DRV0=%g", c1.DRV1(), c0.DRV0())
+	}
+}
+
+func TestWorstCaseDRVNearPaper(t *testing.T) {
+	// Calibration pin: the theoretical worst case (CS1) at its worst PVT
+	// must land in the paper's band (730 mV ± 40 mV) and, critically,
+	// below the regulator's tightest fault-free Vreg of 740 mV.
+	if testing.Short() {
+		t.Skip("full PVT scan in -short mode")
+	}
+	r := WorstDRV(process.WorstCase1(), DRVConditions())
+	if r.DRV1 < 0.69 || r.DRV1 > 0.74 {
+		t.Errorf("worst-case DRV_DS1 = %.0f mV, want 730±40 and <740", r.DRV1*1e3)
+	}
+	if r.Cond1.TempC != 125 {
+		t.Errorf("worst condition %s, paper finds high temperature worst", r.Cond1)
+	}
+}
+
+func TestSymmetricDRVNearPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full PVT scan in -short mode")
+	}
+	r := WorstDRV(process.Variation{}, DRVConditions())
+	// Paper Table I: ≈60 mV for the unskewed side. Accept 40-100 mV.
+	if r.DRV < 0.04 || r.DRV > 0.10 {
+		t.Errorf("symmetric worst-case DRV = %.0f mV, want ≈60 mV band", r.DRV*1e3)
+	}
+}
+
+func TestPassTransistorVariationMatters(t *testing.T) {
+	// Fig. 4 observation: pass-transistor Vth variations have less impact
+	// than inverter ones but are not negligible.
+	cond := fs125()
+	base := New(process.Variation{}, cond).DRV1()
+	pass := New(process.Variation{process.MNcc3: -6}, cond).DRV1()
+	inv := New(process.Variation{process.MPcc1: -6}, cond).DRV1()
+	if !(pass > base) {
+		t.Errorf("pass-gate skew should raise DRV1: %g vs base %g", pass, base)
+	}
+	if !(inv > pass) {
+		t.Errorf("inverter skew (%g) should dominate pass skew (%g)", inv, pass)
+	}
+}
+
+func TestDRVBoundsRespected(t *testing.T) {
+	cond := tt25()
+	c := New(process.Variation{}, cond)
+	d := c.DRV1()
+	if d < MinSupply || d > MaxSupply {
+		t.Errorf("DRV1 %g outside [%g,%g]", d, MinSupply, MaxSupply)
+	}
+}
+
+func TestDRVConditionsCount(t *testing.T) {
+	if got := len(DRVConditions()); got != 15 {
+		t.Errorf("DRVConditions: %d, want 15 (5 corners × 3 temps)", got)
+	}
+}
+
+func TestDeviceAccessorAndGeometry(t *testing.T) {
+	c := symCell()
+	if c.Device(process.MPcc1).Params.Type.String() != "pmos" {
+		t.Error("MPcc1 must be PMOS")
+	}
+	g := DefaultGeometry()
+	if !(g.WPullDown > g.WPass && g.WPass > g.WPullUp) {
+		t.Error("cell ratioing must be PD > PG > PU for read stability")
+	}
+	cc := NewWithGeometry(process.Variation{}, tt25(), g)
+	if cc.Geom != g {
+		t.Error("geometry not stored")
+	}
+}

@@ -1,0 +1,113 @@
+package cell
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"sramtest/internal/process"
+)
+
+// DRV search bounds. The supply is never scanned below MinSupply (the cell
+// model is meaningless at 0 V: every state "retains" trivially in the
+// noise) nor above MaxSupply (the nominal rail).
+const (
+	MinSupply = 0.02 // V
+	MaxSupply = 1.2  // V
+	// DRVTol is the bisection tolerance of the retention-voltage search.
+	DRVTol = 1e-3 // 1 mV
+)
+
+// DRV1 returns the data retention voltage of the stored-'1' state in DS
+// mode: the lowest core supply at which SNM_DS1 is still positive
+// (paper §III.A). If the state is unstable even at MaxSupply the cell can
+// never hold a '1' and MaxSupply is returned.
+func (c *Cell) DRV1() float64 {
+	return c.drv(func(vcc float64) bool { return c.Retains1(vcc) })
+}
+
+// DRV0 returns the data retention voltage of the stored-'0' state.
+func (c *Cell) DRV0() float64 {
+	return c.drv(func(vcc float64) bool { return c.Retains0(vcc) })
+}
+
+// drv bisects the retains predicate over the supply range. retains is
+// monotone in vcc (more supply means more margin), so plain binary search
+// on the boolean applies.
+func (c *Cell) drv(retains func(vcc float64) bool) float64 {
+	lo, hi := MinSupply, MaxSupply
+	if retains(lo) {
+		return lo
+	}
+	if !retains(hi) {
+		return hi
+	}
+	for hi-lo > DRVTol {
+		mid := 0.5 * (lo + hi)
+		if retains(mid) {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi
+}
+
+// DRVResult is the retention voltage of one scenario at its worst PVT
+// condition.
+type DRVResult struct {
+	DRV0, DRV1 float64
+	DRV        float64 // max(DRV0, DRV1): the cell's retention voltage
+	Cond0      process.Condition
+	Cond1      process.Condition
+}
+
+// DRVConditions returns the PVT sub-grid relevant for retention analysis.
+// In DS mode the cell supply is the swept variable and the peripheral
+// circuitry is off, so the main rail VDD does not appear in the cell
+// equations: only corner × temperature matter (15 conditions).
+func DRVConditions() []process.Condition {
+	var out []process.Condition
+	for _, corner := range process.Corners() {
+		for _, t := range process.Temperatures() {
+			out = append(out, process.Condition{Corner: corner, VDD: 1.1, TempC: t})
+		}
+	}
+	return out
+}
+
+// WorstDRV evaluates the variation scenario over all given PVT conditions
+// in parallel and returns the maxima, i.e. the paper's "maximum DRV_DS
+// measured when varying PVT conditions" (Table I).
+func WorstDRV(v process.Variation, conds []process.Condition) DRVResult {
+	type point struct {
+		d0, d1 float64
+		cond   process.Condition
+	}
+	pts := make([]point, len(conds))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, cond := range conds {
+		wg.Add(1)
+		go func(i int, cond process.Condition) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			cl := New(v, cond)
+			pts[i] = point{d0: cl.DRV0(), d1: cl.DRV1(), cond: cond}
+		}(i, cond)
+	}
+	wg.Wait()
+
+	res := DRVResult{DRV0: -1, DRV1: -1}
+	for _, p := range pts {
+		if p.d0 > res.DRV0 {
+			res.DRV0, res.Cond0 = p.d0, p.cond
+		}
+		if p.d1 > res.DRV1 {
+			res.DRV1, res.Cond1 = p.d1, p.cond
+		}
+	}
+	res.DRV = math.Max(res.DRV0, res.DRV1)
+	return res
+}

@@ -1,0 +1,154 @@
+package cell
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sramtest/internal/process"
+)
+
+// NodeCap is the effective capacitance of each internal storage node
+// (diffusion + gate load), used by the dynamic flip model.
+const NodeCap = 0.2e-15 // F
+
+// RetainedForever is returned by FlipTime when the state never flips.
+const RetainedForever = math.MaxFloat64
+
+// FlipTime integrates the two-node cell dynamics with the supply held at
+// vreg, starting from a stored '1' (S at vreg, SN at 0), and returns the
+// time until the state inverts (V_SN > V_S), or RetainedForever if the
+// state survives until tMax.
+//
+// This implements the paper's DS-dwell-time observation (§V): when the
+// supply sits just below DRV_DS the internal nodes of marginal cells
+// "discharge slowly due to leakage currents", so a DRF_DS is detectable
+// only if the SRAM stays in DS mode long enough for the flip to complete —
+// the justification for the flow's 1 ms DS dwell.
+//
+// Integration: adaptive explicit Euler. The node currents are pico-ampere
+// leakages against femtofarad capacitances, so the voltage rates are
+// $\le$ mV/µs; the step is chosen to bound the per-step voltage change,
+// which keeps explicit integration stable away from the (slow) crossing.
+func (c *Cell) FlipTime(vreg, tMax float64) float64 {
+	vs, vsn := vreg, 0.0
+	t := 0.0
+	const maxDV = 0.2e-3 // V per step: stability bound for explicit Euler
+	const maxSteps = 2_000_000
+	for step := 0; t < tMax && step < maxSteps; step++ {
+		iS := c.nodeCurrentS(vs, vsn, vreg)   // current leaving S
+		iSN := c.nodeCurrentSN(vsn, vs, vreg) // current leaving SN
+		dvs := -iS / NodeCap
+		dvsn := -iSN / NodeCap
+		rate := math.Max(math.Abs(dvs), math.Abs(dvsn))
+		if rate < 1e-12 {
+			// Equilibrium reached; decide by where it settled.
+			if vsn > vs {
+				return t
+			}
+			return RetainedForever
+		}
+		// Bound the per-step voltage change; never stretch the step to
+		// more than 1/200 of the horizon so slow drifts still terminate.
+		dt := maxDV / rate
+		if dt > tMax/200 {
+			dt = tMax / 200
+		}
+		vs += dvs * dt
+		vsn += dvsn * dt
+		// Nodes cannot leave the supply window by more than a diode drop;
+		// clamp guards the explicit integrator near the rails.
+		vs = clampNode(vs, vreg)
+		vsn = clampNode(vsn, vreg)
+		t += dt
+		if vsn > vs {
+			return t
+		}
+	}
+	return RetainedForever
+}
+
+func clampNode(v, vcc float64) float64 {
+	if v < -0.05 {
+		return -0.05
+	}
+	if v > vcc+0.05 {
+		return vcc + 0.05
+	}
+	return v
+}
+
+// CrowbarCurrent estimates the supply current a cell draws while it sits
+// near its metastable point mid-flip: both internal nodes around vcc/2,
+// so both pull-ups conduct into partially-on pull-downs. This is the
+// "extra current demanded from the voltage regulator" by the 64
+// variation-affected cells of case study CS5 (paper §IV.B), which drags
+// Vreg down further as it approaches DRV_DS.
+func (c *Cell) CrowbarCurrent(vcc float64) float64 {
+	if vcc <= 0 {
+		return 0
+	}
+	mid := vcc / 2
+	tc := c.Cond.TempC
+	i1 := c.devs[process.MPcc1].Eval(mid, vcc, mid, vcc, tc).Id
+	i2 := c.devs[process.MPcc2].Eval(mid, vcc, mid, vcc, tc).Id
+	return math.Abs(i1) + math.Abs(i2)
+}
+
+// FlipUnder integrates the cell dynamics under a time-varying supply
+// waveform (piecewise-linear between samples) starting from a stored '1'
+// at the initial supply, and reports whether the state inverts within the
+// waveform's time span. It is the retention criterion for
+// transient-sensitized regulator defects (Df8's delayed activation and
+// Df11's reference undershoot), where the DC Vreg is healthy but the
+// DS-entry dip can still flip marginal cells.
+func (c *Cell) FlipUnder(times, supply []float64) bool {
+	if len(times) != len(supply) || len(times) < 2 {
+		panic(fmt.Sprintf("cell: FlipUnder needs matching waveform slices, got %d/%d", len(times), len(supply)))
+	}
+	vAt := func(t float64) float64 {
+		i := sort.SearchFloat64s(times, t)
+		if i <= 0 {
+			return supply[0]
+		}
+		if i >= len(times) {
+			return supply[len(supply)-1]
+		}
+		t0, t1 := times[i-1], times[i]
+		f := (t - t0) / (t1 - t0)
+		return supply[i-1] + f*(supply[i]-supply[i-1])
+	}
+	tMax := times[len(times)-1]
+	vs, vsn := supply[0], 0.0
+	t := 0.0
+	const maxDV = 0.2e-3
+	const maxSteps = 2_000_000
+	for step := 0; t < tMax && step < maxSteps; step++ {
+		vcc := vAt(t)
+		iS := c.nodeCurrentS(vs, vsn, vcc)
+		iSN := c.nodeCurrentSN(vsn, vs, vcc)
+		dvs, dvsn := -iS/NodeCap, -iSN/NodeCap
+		rate := math.Max(math.Abs(dvs), math.Abs(dvsn))
+		dt := tMax / 200
+		if rate > 1e-12 && maxDV/rate < dt {
+			dt = maxDV / rate
+		}
+		vs = clampNode(vs+dvs*dt, vcc)
+		vsn = clampNode(vsn+dvsn*dt, vcc)
+		t += dt
+		if vsn > vs {
+			return true
+		}
+	}
+	return false
+}
+
+// RetainsFor reports whether a stored '1' survives a DS dwell of the given
+// duration with the array supplied at vreg. Static stability short-cuts
+// the transient: if SNM1 > 0 the state is an attractor and never flips.
+func (c *Cell) RetainsFor(vreg, dwell float64) bool {
+	if c.Retains1(vreg) {
+		return true
+	}
+	return c.FlipTime(vreg, dwell) > dwell
+}

@@ -1,0 +1,70 @@
+package cell
+
+import (
+	"testing"
+
+	"sramtest/internal/process"
+)
+
+// marginalCell returns a skewed cell and its DRV1, for flip-time tests
+// around the retention boundary.
+func marginalCell(t *testing.T) (*Cell, float64) {
+	t.Helper()
+	c := New(process.Variation{process.MPcc1: -3, process.MNcc1: -3}, fs125())
+	return c, c.DRV1()
+}
+
+func TestRetainsAboveDRV(t *testing.T) {
+	c, drv := marginalCell(t)
+	if !c.RetainsFor(drv+0.05, 1e-3) {
+		t.Errorf("cell should retain 50mV above its DRV (%gmV)", drv*1e3)
+	}
+}
+
+func TestFlipsWellBelowDRV(t *testing.T) {
+	c, drv := marginalCell(t)
+	ft := c.FlipTime(drv-0.15, 10e-3)
+	if ft == RetainedForever {
+		t.Fatalf("cell should flip 150mV below DRV (%gmV)", drv*1e3)
+	}
+	if ft <= 0 {
+		t.Errorf("flip time %g must be positive", ft)
+	}
+}
+
+func TestFlipTimeGrowsTowardDRV(t *testing.T) {
+	// Paper §V: near the DRV, internal nodes discharge slowly -> the flip
+	// takes longer, motivating the >=1ms DS dwell.
+	c, drv := marginalCell(t)
+	tFar := c.FlipTime(drv-0.20, 50e-3)
+	tNear := c.FlipTime(drv-0.04, 50e-3)
+	if tFar == RetainedForever {
+		t.Fatal("cell must flip 200mV below DRV")
+	}
+	if tNear != RetainedForever && tNear < tFar {
+		t.Errorf("flip should be slower near DRV: near=%g far=%g", tNear, tFar)
+	}
+}
+
+func TestRetainsForRespectsDwell(t *testing.T) {
+	c, drv := marginalCell(t)
+	// Find a supply where the flip takes a measurable time.
+	vreg := drv - 0.06
+	ft := c.FlipTime(vreg, 50e-3)
+	if ft == RetainedForever {
+		t.Skip("no measurable-flip point at this offset")
+	}
+	if c.RetainsFor(vreg, ft*2) {
+		t.Error("dwell longer than flip time must lose the datum")
+	}
+	if ft > 2e-6 && !c.RetainsFor(vreg, ft/4) {
+		t.Error("dwell much shorter than flip time must keep the datum")
+	}
+}
+
+func TestHealthyCellNeverFlipsAtNominalRetention(t *testing.T) {
+	c := symCell()
+	if got := c.FlipTime(0.5, 1e-3); got != RetainedForever {
+		t.Errorf("healthy cell flipped at 500mV in %gs", got)
+	}
+}

@@ -1,0 +1,83 @@
+package cell
+
+import (
+	"sramtest/internal/num"
+)
+
+// SNM1 returns the deep-sleep static noise margin of the stored-'1' state
+// (S high, SN low) at core supply vcc: the side of the largest square that
+// fits in the butterfly lobe containing that state (Seevinck criterion).
+// It returns 0 when the lobe has collapsed, i.e. the state is no longer
+// stable and data is lost.
+//
+// Geometry: the two butterfly curves in the (V_S, V_SN) plane are
+// v = g2(u) (inverter 2) and u = g1(v) (inverter 1). A square of side s in
+// the lower-right lobe has opposite corners (u, g2(u)) on the first curve
+// and (u+s, g2(u)−s) on the second; SNM1 is the maximum s over the lobe.
+func (c *Cell) SNM1(vcc float64) float64 {
+	g1 := c.VTC1(vcc) // S as function of SN
+	g2 := c.VTC2(vcc) // SN as function of S
+	return maxSquare(g1, g2, vcc)
+}
+
+// SNM0 returns the deep-sleep static noise margin of the stored-'0' state
+// (S low, SN high). By the cell's mirror symmetry this equals SNM1 of the
+// half-swapped cell, but it is computed directly on the opposite lobe to
+// keep the two measurements independent (the test suite cross-checks the
+// mirror identity).
+func (c *Cell) SNM0(vcc float64) float64 {
+	// Swap the roles of the axes: in the (V_SN, V_S) plane the stored-'0'
+	// lobe becomes the lower-right lobe, with curve roles exchanged.
+	g2 := c.VTC2(vcc) // SN as function of S -> plays "g1" (u' = g2(v'))
+	g1 := c.VTC1(vcc) // S as function of SN -> plays "g2" (v' = g1(u'))
+	return maxSquare(g2, g1, vcc)
+}
+
+// SNM returns both margins at vcc.
+func (c *Cell) SNM(vcc float64) (snm0, snm1 float64) {
+	return c.SNM0(vcc), c.SNM1(vcc)
+}
+
+// maxSquare computes the largest square inscribed in the lower-right lobe
+// between curve u = gU(v) and curve v = gV(u). Both curves are sampled on
+// [0, vcc]. For each sample u with v1 = gV(u), it grows the square side s
+// until the opposite corner (u+s, v1−s) reaches the gU curve.
+func maxSquare(gU, gV *num.Curve, vcc float64) float64 {
+	best := 0.0
+	for _, u := range num.Linspace(0, vcc, VTCPoints) {
+		v1 := gV.At(u)
+		h := func(s float64) float64 {
+			v2 := num.Clamp(v1-s, 0, vcc)
+			return u + s - gU.At(v2)
+		}
+		if h(0) >= 0 {
+			continue // outside the lobe: curves already crossed here
+		}
+		// h(vcc) = u + vcc - gU(..) >= u >= 0, so a bracket always exists.
+		s, err := num.Bisect(h, 0, vcc, 1e-6)
+		if err != nil {
+			continue
+		}
+		if s > best {
+			best = s
+		}
+	}
+	return best
+}
+
+// RetentionFloor is the static noise margin a state must exceed to count
+// as retained. A mathematically ideal long-channel cell keeps an
+// infinitesimally open butterfly lobe down to absurdly low supplies, which
+// silicon does not: thermal noise on the femtofarad storage nodes is
+// several mV rms (sqrt(kT/C) ≈ 4.5 mV at 0.2 fF), so a lobe shallower
+// than a couple of mV cannot hold data. The 2 mV floor is the calibration
+// choice that puts the symmetric-cell DRV_DS near the paper's ≈60 mV
+// (Table I); see EXPERIMENTS.md.
+const RetentionFloor = 2e-3 // V
+
+// Retains1 reports whether the stored-'1' state is statically stable at
+// core supply vcc (SNM1 above the thermal-noise retention floor).
+func (c *Cell) Retains1(vcc float64) bool { return c.SNM1(vcc) > RetentionFloor }
+
+// Retains0 reports whether the stored-'0' state is statically stable.
+func (c *Cell) Retains0(vcc float64) bool { return c.SNM0(vcc) > RetentionFloor }

@@ -1,0 +1,319 @@
+// Package charac implements the defect-characterization methodology of the
+// paper's Section IV: for each resistive-open defect in the voltage
+// regulator and each case study of core-cell Vth variation, it searches
+// the minimal defect resistance that causes a data retention fault in
+// deep-sleep mode, sweeping PVT conditions and reporting the worst (i.e.
+// smallest-resistance) condition — the content of Table II.
+//
+// The DRF criterion chains all the substrates exactly as the paper's
+// silicon does (DESIGN.md §5.4): the regulator (with the array's leakage
+// load and the extra crowbar current of flipping cells) sets V_DD_CC; the
+// variation-affected cell's DRV and flip dynamics decide whether a 1 ms
+// DS dwell loses the stored datum.
+package charac
+
+import (
+	"fmt"
+	"math"
+
+	"sramtest/internal/cell"
+	"sramtest/internal/power"
+	"sramtest/internal/process"
+	"sramtest/internal/regulator"
+	"sramtest/internal/spice"
+)
+
+// Options tunes a characterization run.
+type Options struct {
+	// Conditions to sweep; defaults to the full 45-point paper grid.
+	Conditions []process.Condition
+	// Dwell is the DS residence time of the test (paper: 1 ms).
+	Dwell float64
+	// ResTol is the relative precision of the minimal-resistance search
+	// (hi/lo ratio at termination).
+	ResTol float64
+	// Level overrides the reference-level selection; nil uses the
+	// paper's per-VDD choice (regulator.SelectFor). The test-flow
+	// optimizer uses this to probe all 12 (VDD, Vref) combinations.
+	Level *regulator.VrefLevel
+}
+
+// DefaultOptions mirrors the paper's experimental setup.
+func DefaultOptions() Options {
+	return Options{
+		Conditions: process.Grid(),
+		Dwell:      1e-3,
+		ResTol:     1.05,
+	}
+}
+
+// ReducedGrid returns the PVT sub-grid that empirically contains every
+// per-defect minimum (the hot and cold corner extremes); it cuts the
+// characterization cost ~2.5× and is used by the benchmarks.
+func ReducedGrid() []process.Condition {
+	var out []process.Condition
+	for _, corner := range []process.Corner{process.FS, process.SF, process.FF} {
+		for _, vdd := range process.Supplies() {
+			for _, temp := range []float64{-30, 125} {
+				out = append(out, process.Condition{Corner: corner, VDD: vdd, TempC: temp})
+			}
+		}
+	}
+	return out
+}
+
+// CondResult is the outcome of one (defect, case study, condition) search.
+type CondResult struct {
+	Cond   process.Condition
+	MinRes float64 // Ω; math.Inf(1) when no resistance ≤ 500 MΩ causes a DRF
+}
+
+// Open reports whether even a full open line causes no DRF here.
+func (c CondResult) Open() bool { return math.IsInf(c.MinRes, 1) }
+
+// Result is one Table II cell: the minimal DRF-causing resistance of a
+// defect for a case study, minimized over PVT.
+type Result struct {
+	Defect  regulator.Defect
+	CS      process.CaseStudy
+	MinRes  float64           // Ω; +Inf = "> 500M"
+	Cond    process.Condition // the PVT condition attaining the minimum
+	Details []CondResult      // per-condition results, in sweep order
+}
+
+// Open reports whether the defect never causes a DRF for this case study.
+func (r Result) Open() bool { return math.IsInf(r.MinRes, 1) }
+
+// String renders the result in Table II style.
+func (r Result) String() string {
+	if r.Open() {
+		return fmt.Sprintf("%s/%s: > 500M", r.Defect, r.CS.Name)
+	}
+	return fmt.Sprintf("%s/%s: %s (%s)", r.Defect, r.CS.Name, spice.FormatValue(r.MinRes), r.Cond)
+}
+
+// condEnv bundles the per-condition machinery shared by every defect
+// search at that condition.
+type condEnv struct {
+	cond  process.Condition
+	reg   *regulator.Regulator
+	cells map[string]*cellEnv // per case-study cell model + DRV
+	dwell float64
+}
+
+type cellEnv struct {
+	cs   process.CaseStudy
+	cell *cell.Cell
+	drv1 float64 // static DRV of the stored-'1' state at this condition
+}
+
+func newCondEnv(cond process.Condition, opt Options) *condEnv {
+	pm := power.NewModel(cond)
+	reg := regulator.Build(cond, pm.LoadFunc(), regulator.DefaultParams())
+	level := regulator.SelectFor(cond.VDD)
+	if opt.Level != nil {
+		level = *opt.Level
+	}
+	reg.SetVref(level)
+	return &condEnv{cond: cond, reg: reg, cells: map[string]*cellEnv{}, dwell: opt.Dwell}
+}
+
+// FaultFreeVreg returns the fault-free DS rail for a condition under the
+// options' reference-level choice (used by the flow optimizer to check
+// which test conditions would overkill fault-free devices).
+func FaultFreeVreg(cond process.Condition, opt Options) (float64, error) {
+	e := newCondEnv(cond, opt)
+	return e.reg.FaultFreeVreg()
+}
+
+func (e *condEnv) cellFor(cs process.CaseStudy) *cellEnv {
+	if ce, ok := e.cells[cs.Name]; ok {
+		return ce
+	}
+	cl := cell.New(cs.Variation, e.cond)
+	ce := &cellEnv{cs: cs, cell: cl, drv1: cl.DRV1()}
+	e.cells[cs.Name] = ce
+	return ce
+}
+
+// flipActivationWidth is the voltage window above a cell's DRV in which it
+// already draws partial crowbar current (its noise margin is thin and the
+// internal nodes wander toward midpoint).
+const flipActivationWidth = 0.015 // V
+
+// solveDS computes the DS-mode V_DD_CC with the affected cells' extra
+// crowbar current folded in by a damped fixed point (DESIGN.md §5.4 —
+// keeping the Newton load monotone while still modeling the regenerative
+// CS5 effect).
+func (e *condEnv) solveDS(ce *cellEnv, warm *spice.Solution) (float64, *spice.Solution, error) {
+	extra := 0.0
+	var v float64
+	var sol *spice.Solution
+	var err error
+	for i := 0; i < 8; i++ {
+		e.reg.SetExtraLoad(extra)
+		v, sol, err = e.reg.SolveDS(warm)
+		if err != nil {
+			e.reg.SetExtraLoad(0)
+			return 0, nil, err
+		}
+		warm = sol
+		act := 1.0 / (1.0 + math.Exp((v-ce.drv1)/flipActivationWidth*4))
+		next := float64(ce.cs.Cells) * ce.cell.CrowbarCurrent(v) * act
+		// Converged, or too small to move the µA-scale operating point.
+		if math.Abs(next-extra) < 1e-9 || (i == 0 && next < 0.5e-6) {
+			extra = next
+			break
+		}
+		extra = 0.5*extra + 0.5*next
+	}
+	e.reg.SetExtraLoad(0)
+	return v, sol, nil
+}
+
+// lostDC decides the DC-defect DRF criterion: with the rail at v, does the
+// affected cell lose its stored '1' within the dwell?
+func (e *condEnv) lostDC(ce *cellEnv, v float64) bool {
+	if v >= ce.drv1 {
+		return false
+	}
+	return ce.cell.FlipTime(v, e.dwell) <= e.dwell
+}
+
+// lostTransient decides the transient-defect criterion from the DS-entry
+// waveform of V_DD_CC.
+func (e *condEnv) lostTransient(ce *cellEnv) (bool, error) {
+	wf, err := e.reg.DSEntry(e.dwell)
+	if err != nil {
+		return false, err
+	}
+	// Fast path: a supply that never crosses below the static DRV cannot
+	// flip the cell — skip the trajectory integration.
+	if _, min := wf.Min("vddcc"); min >= ce.drv1 {
+		return false, nil
+	}
+	return ce.cell.FlipUnder(wf.Time, wf.Signal("vddcc")), nil
+}
+
+// lost evaluates the full DRF criterion for the presently injected defect.
+func (e *condEnv) lost(info regulator.Info, ce *cellEnv, warm **spice.Solution) (bool, error) {
+	if info.Transient {
+		return e.lostTransient(ce)
+	}
+	v, sol, err := e.solveDS(ce, *warm)
+	if err != nil {
+		// A non-converged extreme point is treated as data loss: the
+		// operating point only fails to exist when the rail collapses.
+		return true, nil
+	}
+	*warm = sol
+	return e.lostDC(ce, v), nil
+}
+
+// MinResistanceAt finds the minimal resistance of defect d that causes a
+// DRF for case study cs at one PVT condition.
+func MinResistanceAt(d regulator.Defect, cs process.CaseStudy, cond process.Condition, opt Options) (CondResult, error) {
+	e := newCondEnv(cond, opt)
+	r, err := minResistance(e, d, cs, opt)
+	return CondResult{Cond: cond, MinRes: r}, err
+}
+
+// minResistance is the search core, by bisection on log-resistance
+// (the DRF predicate is monotone in the defect resistance — tested in the
+// regulator package). Returns +Inf when the full open line causes no DRF.
+func minResistance(e *condEnv, d regulator.Defect, cs process.CaseStudy, opt Options) (float64, error) {
+	info := regulator.Lookup(d)
+	ce := e.cellFor(cs)
+	defer e.reg.ClearDefects()
+
+	var warm *spice.Solution
+
+	// Fault-free sanity: the healthy regulator must retain.
+	e.reg.ClearDefects()
+	if bad, err := e.lost(info, ce, &warm); err != nil {
+		return 0, err
+	} else if bad {
+		return 0, fmt.Errorf("charac: fault-free DRF at %s for %s — calibration broken", e.cond, cs.Name)
+	}
+
+	lo := e.reg.Par.WireRes // retains here
+	hi := regulator.OpenResistance
+	e.reg.InjectDefect(d, hi)
+	if bad, err := e.lost(info, ce, &warm); err != nil {
+		return 0, err
+	} else if !bad {
+		return math.Inf(1), nil // "> 500M"
+	}
+
+	for hi/lo > opt.ResTol {
+		mid := math.Sqrt(lo * hi)
+		e.reg.InjectDefect(d, mid)
+		bad, err := e.lost(info, ce, &warm)
+		if err != nil {
+			return 0, err
+		}
+		if bad {
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+	return hi, nil
+}
+
+// CharacterizeDefect runs the PVT sweep for one (defect, case study) pair
+// and returns the Table II cell.
+func CharacterizeDefect(d regulator.Defect, cs process.CaseStudy, opt Options) (Result, error) {
+	res := Result{Defect: d, CS: cs, MinRes: math.Inf(1)}
+	for _, cond := range opt.Conditions {
+		e := newCondEnv(cond, opt)
+		r, err := minResistance(e, d, cs, opt)
+		if err != nil {
+			return res, fmt.Errorf("charac: %s/%s at %s: %w", d, cs.Name, cond, err)
+		}
+		res.Details = append(res.Details, CondResult{Cond: cond, MinRes: r})
+		if r < res.MinRes {
+			res.MinRes, res.Cond = r, cond
+		}
+	}
+	return res, nil
+}
+
+// Table2 reproduces the paper's Table II: the 17 DRF-capable defects ×
+// the five case-study pairs (CSx-1 representatives; the CSx-0 twins are
+// mirror-symmetric and give identical resistances). Results are returned
+// defect-major in Table II's row order.
+func Table2(opt Options) ([]Result, error) {
+	// Environment cache: per condition, shared across defects and CSs so
+	// cell DRVs and regulator netlists are built once.
+	envs := make([]*condEnv, len(opt.Conditions))
+	for i, cond := range opt.Conditions {
+		envs[i] = newCondEnv(cond, opt)
+	}
+	csList := table2CaseStudies()
+	var out []Result
+	for _, d := range regulator.DRFCandidates() {
+		for _, cs := range csList {
+			res := Result{Defect: d, CS: cs, MinRes: math.Inf(1)}
+			for _, e := range envs {
+				r, err := minResistance(e, d, cs, opt)
+				if err != nil {
+					return nil, fmt.Errorf("charac: %s/%s at %s: %w", d, cs.Name, e.cond, err)
+				}
+				res.Details = append(res.Details, CondResult{Cond: e.cond, MinRes: r})
+				if r < res.MinRes {
+					res.MinRes, res.Cond = r, e.cond
+				}
+			}
+			out = append(out, res)
+		}
+	}
+	return out, nil
+}
+
+// table2CaseStudies returns the five CSx-1 representatives in Table II
+// column order.
+func table2CaseStudies() []process.CaseStudy {
+	all := process.Table1CaseStudies()
+	return []process.CaseStudy{all[0], all[2], all[4], all[6], all[8]}
+}

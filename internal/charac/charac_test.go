@@ -1,0 +1,185 @@
+package charac
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sramtest/internal/process"
+	"sramtest/internal/regulator"
+)
+
+// hotCond is the PVT condition the paper finds worst for most amplifier
+// defects (fs, 1.0V, 125°C).
+func hotCond() process.Condition {
+	return process.Condition{Corner: process.FS, VDD: 1.0, TempC: 125}
+}
+
+func cs(i int) process.CaseStudy { return process.Table1CaseStudies()[i] }
+
+func minAt(t *testing.T, d regulator.Defect, csIdx int, cond process.Condition) float64 {
+	t.Helper()
+	r, err := MinResistanceAt(d, cs(csIdx), cond, DefaultOptions())
+	if err != nil {
+		t.Fatalf("%s/%s: %v", d, cs(csIdx).Name, err)
+	}
+	return r.MinRes
+}
+
+func TestDf16LadderAcrossCaseStudies(t *testing.T) {
+	// Table II's central structure: the minimal DRF resistance grows from
+	// the worst-case variation (CS1) to the mildest (CS4), because weaker
+	// degradation requires pulling Vreg further down.
+	cond := hotCond()
+	r1 := minAt(t, regulator.Df16, 0, cond)
+	r2 := minAt(t, regulator.Df16, 2, cond)
+	r3 := minAt(t, regulator.Df16, 4, cond)
+	r4 := minAt(t, regulator.Df16, 6, cond)
+	if !(r1 < r2 && r2 < r3 && r3 < r4) {
+		t.Errorf("CS ladder violated for Df16: %g %g %g %g", r1, r2, r3, r4)
+	}
+	// Df16 is one of the paper's most critical defects: ~1 kΩ at CS1.
+	if r1 > 10e3 {
+		t.Errorf("Df16/CS1 min resistance %g, want low-kΩ (paper: 976Ω)", r1)
+	}
+}
+
+func TestCS5NotAboveCS2(t *testing.T) {
+	// CS5 has 64 affected cells; the extra current can only help the
+	// defect (paper finds slightly lower min resistance than CS2).
+	cond := hotCond()
+	r2 := minAt(t, regulator.Df16, 2, cond)
+	r5 := minAt(t, regulator.Df16, 8, cond)
+	if r5 > r2*1.001 {
+		t.Errorf("CS5 min resistance %g above CS2's %g", r5, r2)
+	}
+}
+
+func TestNegligibleDefectNeverFails(t *testing.T) {
+	r, err := MinResistanceAt(regulator.Df14, cs(0), hotCond(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Open() {
+		t.Errorf("gate-line defect Df14 caused a DRF at R=%g", r.MinRes)
+	}
+}
+
+func TestPowerDefectNeverFails(t *testing.T) {
+	r, err := MinResistanceAt(regulator.Df6, cs(0), hotCond(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Open() {
+		t.Errorf("power-category defect Df6 caused a DRF at R=%g", r.MinRes)
+	}
+}
+
+func TestHotWorseThanColdForAmplifierDefects(t *testing.T) {
+	// Paper §IV.B: "for defects injected in the error amplifier, minimal
+	// resistance values occur always at high temperatures" because array
+	// leakage loads the regulator harder.
+	hot := minAt(t, regulator.Df16, 0, hotCond())
+	cold := minAt(t, regulator.Df16, 0, process.Condition{Corner: process.FS, VDD: 1.0, TempC: -30})
+	if !(hot < cold) {
+		t.Errorf("Df16 min resistance should be smaller hot: hot=%g cold=%g", hot, cold)
+	}
+}
+
+func TestTransientDefectDf8(t *testing.T) {
+	// Df8 (delayed bias activation) must cause DRFs for the worst-case
+	// variation but not for the mild CS4 (paper: >500M).
+	r1, err := MinResistanceAt(regulator.Df8, cs(0), hotCond(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Open() {
+		t.Error("Df8 should cause a DRF for CS1")
+	}
+	if r1.MinRes < 1e6 {
+		t.Errorf("Df8 is an RC-delay defect; min resistance %g implausibly low", r1.MinRes)
+	}
+	r4, err := MinResistanceAt(regulator.Df8, cs(6), hotCond(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r4.Open() {
+		t.Errorf("Df8 should not reach CS4 (paper: >500M), got %g", r4.MinRes)
+	}
+}
+
+func TestDividerDefectDf1(t *testing.T) {
+	// Df1 lowers every tap: a mid-valued open must already fail CS1 while
+	// CS4 needs an order-of-magnitude more (paper: 9.76K vs 10.25M).
+	cond := hotCond()
+	r1 := minAt(t, regulator.Df1, 0, cond)
+	r4 := minAt(t, regulator.Df1, 6, cond)
+	if r1 > 1e6 {
+		t.Errorf("Df1/CS1 min resistance %g, want well below 1MΩ", r1)
+	}
+	if r4/r1 < 10 {
+		t.Errorf("Df1 CS4/CS1 ratio %g, want order(s) of magnitude", r4/r1)
+	}
+}
+
+func TestResultHelpers(t *testing.T) {
+	r := Result{Defect: regulator.Df7, CS: cs(0), MinRes: math.Inf(1)}
+	if !r.Open() {
+		t.Error("Open() wrong for +Inf")
+	}
+	if !strings.Contains(r.String(), "> 500M") {
+		t.Errorf("String() = %q", r.String())
+	}
+	r.MinRes = 12.5e3
+	r.Cond = hotCond()
+	if !strings.Contains(r.String(), "12.5k") {
+		t.Errorf("String() = %q", r.String())
+	}
+	c := CondResult{MinRes: math.Inf(1)}
+	if !c.Open() {
+		t.Error("CondResult.Open wrong")
+	}
+}
+
+func TestReducedGrid(t *testing.T) {
+	g := ReducedGrid()
+	if len(g) != 18 {
+		t.Fatalf("ReducedGrid: %d conditions, want 18", len(g))
+	}
+	for _, c := range g {
+		if c.TempC != 125 && c.TempC != -30 {
+			t.Errorf("reduced grid should only keep temperature extremes, got %s", c)
+		}
+	}
+}
+
+func TestDefaultOptions(t *testing.T) {
+	opt := DefaultOptions()
+	if len(opt.Conditions) != 45 {
+		t.Errorf("default grid %d, want the full 45", len(opt.Conditions))
+	}
+	if opt.Dwell != 1e-3 {
+		t.Errorf("dwell %g, want the paper's 1ms", opt.Dwell)
+	}
+}
+
+func TestCharacterizeDefectPicksWorstCondition(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Conditions = []process.Condition{
+		{Corner: process.FS, VDD: 1.0, TempC: -30},
+		{Corner: process.FS, VDD: 1.0, TempC: 125},
+	}
+	res, err := CharacterizeDefect(regulator.Df16, cs(0), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Details) != 2 {
+		t.Fatalf("expected 2 detail rows, got %d", len(res.Details))
+	}
+	if res.Cond.TempC != 125 {
+		t.Errorf("worst condition %s, want the hot one", res.Cond)
+	}
+	if res.Open() {
+		t.Error("Df16 must cause DRFs")
+	}
+}

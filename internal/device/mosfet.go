@@ -1,0 +1,293 @@
+// Package device implements the transistor-level device physics used by the
+// circuit solver: an EKV-style all-region MOSFET model with smooth
+// weak/strong-inversion interpolation, temperature dependence, global
+// corner shifts and local threshold-voltage variation.
+//
+// The model substitutes for the Intel 40 nm SPICE models of the paper. The
+// experiments reproduced here (SNM/DRV of a 6T cell near its retention
+// limit, error-amplifier operating points, array leakage vs temperature)
+// live in the weak- and moderate-inversion regions, which is exactly what
+// the EKV interpolation is good at; see DESIGN.md §5.1.
+package device
+
+import (
+	"fmt"
+	"math"
+
+	"sramtest/internal/process"
+)
+
+// MOSType distinguishes NMOS from PMOS devices.
+type MOSType int
+
+// Device polarities.
+const (
+	NMOS MOSType = iota
+	PMOS
+)
+
+// String implements fmt.Stringer.
+func (t MOSType) String() string {
+	if t == NMOS {
+		return "nmos"
+	}
+	return "pmos"
+}
+
+// MOSParams holds the static (geometry + process-typical) parameters of a
+// MOSFET. Vth0 is the threshold-voltage magnitude at the reference
+// temperature; polarity is carried by Type.
+type MOSParams struct {
+	Type MOSType
+	W, L float64 // channel width/length (m)
+
+	Vth0   float64 // |Vth| at 25 °C, typical corner (V)
+	N      float64 // subthreshold slope factor (dimensionless, >1)
+	KP     float64 // transconductance parameter µ0·Cox (A/V²)
+	Lambda float64 // channel-length modulation (1/V)
+	DIBL   float64 // drain-induced barrier lowering: |Vth| -= DIBL·|Vds| (V/V)
+
+	VthTempCo  float64 // d|Vth|/dT (V/K, positive value means |Vth| drops as T rises)
+	MobTempExp float64 // mobility exponent: µ(T) = µ0·(T/T0)^-MobTempExp
+}
+
+// Reference temperature for all temperature coefficients.
+const TRef = 25.0 // °C
+
+// Default 40 nm low-power-flavoured parameters. Only relative behaviour
+// matters for the reproduction; these values give subthreshold leakage in
+// the pA range per minimum device at 25 °C, rising ~100× at 125 °C,
+// matching the qualitative behaviour the paper relies on.
+const (
+	defaultVthN    = 0.45 // V
+	defaultVthP    = 0.45 // V (magnitude)
+	defaultNSlopeN = 1.35
+	defaultNSlopeP = 1.40
+	defaultKPN     = 300e-6 // A/V²
+	defaultKPP     = 120e-6 // A/V²
+	defaultLambda  = 0.08   // 1/V
+	defaultDIBL    = 0.08   // V/V; short-channel 40 nm devices
+	defaultVthTC   = 0.8e-3 // V/K
+	defaultMobExp  = 1.5
+)
+
+// NewNMOSParams returns default NMOS parameters for the given geometry.
+func NewNMOSParams(w, l float64) MOSParams {
+	return MOSParams{
+		Type: NMOS, W: w, L: l,
+		Vth0: defaultVthN, N: defaultNSlopeN, KP: defaultKPN,
+		Lambda: defaultLambda, DIBL: defaultDIBL,
+		VthTempCo: defaultVthTC, MobTempExp: defaultMobExp,
+	}
+}
+
+// NewPMOSParams returns default PMOS parameters for the given geometry.
+func NewPMOSParams(w, l float64) MOSParams {
+	return MOSParams{
+		Type: PMOS, W: w, L: l,
+		Vth0: defaultVthP, N: defaultNSlopeP, KP: defaultKPP,
+		Lambda: defaultLambda, DIBL: defaultDIBL,
+		VthTempCo: defaultVthTC, MobTempExp: defaultMobExp,
+	}
+}
+
+// High-Vth (HVT) array flavour: low-power SRAM macros use high-threshold,
+// DIBL-hardened devices in the core-cell array to keep the 256K-cell
+// standby current in the µA range (sub-pA per device at 25 °C, ~100×
+// more at 125 °C), while the analog periphery uses the standard flavour.
+const (
+	hvtVth  = 0.60
+	hvtDIBL = 0.03
+)
+
+// NewHVTNMOSParams returns array-flavour (high-Vth) NMOS parameters.
+func NewHVTNMOSParams(w, l float64) MOSParams {
+	p := NewNMOSParams(w, l)
+	p.Vth0, p.DIBL = hvtVth, hvtDIBL
+	return p
+}
+
+// NewHVTPMOSParams returns array-flavour (high-Vth) PMOS parameters.
+func NewHVTPMOSParams(w, l float64) MOSParams {
+	p := NewPMOSParams(w, l)
+	p.Vth0, p.DIBL = hvtVth, hvtDIBL
+	return p
+}
+
+// MOS is a MOSFET instance: static parameters plus the instance-specific
+// corner shift and local variation.
+//
+// DVth uses the paper's signed-Vth convention (see package process): it is
+// added to the *signed* threshold voltage, so a positive DVth weakens an
+// NMOS while a negative DVth weakens a PMOS.
+type MOS struct {
+	Name      string
+	Params    MOSParams
+	DVth      float64 // local + corner shift on the signed Vth (V)
+	BetaScale float64 // corner transconductance multiplier (1 = typical)
+}
+
+// NewMOS builds a MOSFET instance with neutral corner/variation.
+func NewMOS(name string, p MOSParams) *MOS {
+	return &MOS{Name: name, Params: p, BetaScale: 1}
+}
+
+// ApplyCorner folds a global corner shift into the instance.
+func (m *MOS) ApplyCorner(s process.Shift) {
+	if m.Params.Type == NMOS {
+		m.DVth += s.DVthN
+		m.BetaScale *= s.BetaN
+	} else {
+		m.DVth += s.DVthP
+		m.BetaScale *= s.BetaP
+	}
+}
+
+// VthMag returns the effective threshold-voltage magnitude at temperature
+// tempC, including temperature drift and the signed DVth shift.
+func (m *MOS) VthMag(tempC float64) float64 {
+	vth := m.Params.Vth0 - m.Params.VthTempCo*(tempC-TRef)
+	if m.Params.Type == NMOS {
+		vth += m.DVth
+	} else {
+		// Signed PMOS Vth is -Vth0; adding a negative DVth makes it more
+		// negative, i.e. increases the magnitude.
+		vth -= m.DVth
+	}
+	return vth
+}
+
+// beta returns the effective transconductance factor β = KP·(W/L) at
+// temperature tempC including mobility degradation and corner scaling.
+func (m *MOS) beta(tempC float64) float64 {
+	t := process.KelvinOf(tempC) / process.KelvinOf(TRef)
+	return m.Params.KP * (m.Params.W / m.Params.L) * m.BetaScale * math.Pow(t, -m.Params.MobTempExp)
+}
+
+// OpPoint is the evaluated operating point of a MOSFET: the drain current
+// and its partial derivatives with respect to the terminal voltages
+// (conductances), as needed for Newton-Raphson MNA stamping.
+//
+// Id is the current flowing *into the drain terminal* (out of the source),
+// so for an NMOS in normal operation Id > 0, and for a PMOS conducting
+// from source(high) to drain(low) Id < 0.
+type OpPoint struct {
+	Id  float64 // drain terminal current (A)
+	Gm  float64 // ∂Id/∂Vg (S)
+	Gds float64 // ∂Id/∂Vd (S)
+	Gms float64 // ∂Id/∂Vs (S)
+	Gmb float64 // ∂Id/∂Vb (S); Gm+Gds+Gms+Gmb = 0 (bulk-referenced model)
+}
+
+// lnOnePlusExpHalf computes f(x) = ln(1+exp(x/2)) with overflow guards.
+func lnOnePlusExpHalf(x float64) float64 {
+	h := 0.5 * x
+	switch {
+	case h > 40:
+		return h
+	case h < -40:
+		return math.Exp(h)
+	default:
+		return math.Log1p(math.Exp(h))
+	}
+}
+
+// logistic computes 1/(1+exp(-x)) with overflow guards.
+func logistic(x float64) float64 {
+	switch {
+	case x > 40:
+		return 1
+	case x < -40:
+		return math.Exp(x)
+	default:
+		return 1 / (1 + math.Exp(-x))
+	}
+}
+
+// ekvF is the EKV interpolation function F(x) = ln²(1+e^(x/2)) and its
+// derivative dF/dx = f(x)·σ(x/2).
+func ekvF(x float64) (f, df float64) {
+	l := lnOnePlusExpHalf(x)
+	return l * l, l * logistic(0.5*x)
+}
+
+// Eval computes the operating point at absolute terminal voltages
+// vg, vs, vd, vb (gate, source, drain, bulk) and temperature tempC.
+//
+// The model is the symmetric EKV interpolation
+//
+//	Id = Is·(1+λ·|Vds|)·[F((Vp−Vsb)/Vt) − F((Vp−Vdb)/Vt)]
+//	Vp = (Vgb − Vth)/n,  Is = 2·n·β·Vt²
+//
+// with all voltages bulk-referenced; PMOS devices are evaluated through the
+// usual polarity mirror.
+func (m *MOS) Eval(vg, vs, vd, vb, tempC float64) OpPoint {
+	sign := 1.0
+	vgb, vsb, vdb := vg-vb, vs-vb, vd-vb
+	if m.Params.Type == PMOS {
+		sign = -1
+		vgb, vsb, vdb = -vgb, -vsb, -vdb
+	}
+	vt := process.Vt(tempC)
+	n := m.Params.N
+	vds := vdb - vsb
+	sgn := signOf(vds)
+	// DIBL lowers the effective barrier with drain bias (symmetric in the
+	// source/drain exchange sense: |Vds| is what matters).
+	vth := m.VthMag(tempC) - m.Params.DIBL*math.Abs(vds)
+	is := 2 * n * m.beta(tempC) * vt * vt
+	vp := (vgb - vth) / n
+
+	ff, dff := ekvF((vp - vsb) / vt)
+	fr, dfr := ekvF((vp - vdb) / vt)
+
+	id0 := is * (ff - fr)
+	clm := 1 + m.Params.Lambda*math.Abs(vds)
+	id := id0 * clm
+
+	// Partial derivatives in the mirrored (NMOS-form) frame.
+	// vp depends on vdb and vsb through the DIBL term:
+	// ∂vp/∂vdb = +DIBL·sgn/n, ∂vp/∂vsb = −DIBL·sgn/n.
+	dvpD := m.Params.DIBL * sgn / n
+	dIdVp := is / vt * (dff - dfr) * clm
+	gm := dIdVp / n
+	gds := is/vt*(dff*dvpD-dfr*(dvpD-1))*clm + id0*m.Params.Lambda*sgn
+	gms := is/vt*(dff*(-dvpD-1)-dfr*(-dvpD))*clm - id0*m.Params.Lambda*sgn
+
+	// Undo the PMOS mirror: Id flips sign; conductances are invariant
+	// (both the current and the controlling voltage flip). The bulk
+	// terminal absorbs the remainder so the linearized KCL is exact.
+	return OpPoint{Id: sign * id, Gm: gm, Gds: gds, Gms: gms, Gmb: -(gm + gds + gms)}
+}
+
+func signOf(v float64) float64 {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	}
+	return 0
+}
+
+// Leakage returns the magnitude of the subthreshold (off-state) current of
+// the device with gate at the off rail and |Vds| = vds, at temperature
+// tempC. Used by the array-leakage model.
+func (m *MOS) Leakage(vds, tempC float64) float64 {
+	if vds < 0 {
+		vds = -vds
+	}
+	var op OpPoint
+	if m.Params.Type == NMOS {
+		op = m.Eval(0, 0, vds, 0, tempC)
+	} else {
+		// Gate tied to source (off), source at vds, drain at 0, bulk at vds.
+		op = m.Eval(vds, vds, 0, vds, tempC)
+	}
+	return math.Abs(op.Id)
+}
+
+// String identifies the device for diagnostics.
+func (m *MOS) String() string {
+	return fmt.Sprintf("%s %s W=%.3gu L=%.3gu dVth=%+.0fmV", m.Name, m.Params.Type, m.Params.W*1e6, m.Params.L*1e6, m.DVth*1e3)
+}

@@ -1,0 +1,234 @@
+package device
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"sramtest/internal/process"
+)
+
+func nmos() *MOS { return NewMOS("mn", NewNMOSParams(200e-9, 40e-9)) }
+func pmos() *MOS { return NewMOS("mp", NewPMOSParams(200e-9, 40e-9)) }
+
+func TestZeroVdsZeroCurrent(t *testing.T) {
+	for _, m := range []*MOS{nmos(), pmos()} {
+		for _, vg := range []float64{0, 0.3, 0.6, 1.1} {
+			op := m.Eval(vg, 0.4, 0.4, 0, 25)
+			if op.Id != 0 {
+				t.Errorf("%s: Id=%g at Vds=0, want exactly 0", m.Params.Type, op.Id)
+			}
+		}
+	}
+}
+
+func TestNMOSOnCurrentPositive(t *testing.T) {
+	m := nmos()
+	op := m.Eval(1.1, 0, 1.1, 0, 25)
+	if op.Id <= 0 {
+		t.Fatalf("on NMOS Id=%g, want >0", op.Id)
+	}
+	// Saturation current at strong inversion should be in a plausible
+	// micro-amp range for a 200n/40n device.
+	if op.Id < 1e-6 || op.Id > 1e-3 {
+		t.Errorf("on current %g A implausible", op.Id)
+	}
+}
+
+func TestPMOSOnCurrentNegative(t *testing.T) {
+	m := pmos()
+	// Source at VDD, drain low, gate low: PMOS on, current flows
+	// source->drain, i.e. into the source and OUT of the drain => Id < 0.
+	op := m.Eval(0, 1.1, 0, 1.1, 25)
+	if op.Id >= 0 {
+		t.Fatalf("on PMOS Id=%g, want <0", op.Id)
+	}
+}
+
+func TestOffLeakageSmallButNonZero(t *testing.T) {
+	m := nmos()
+	off := m.Eval(0, 0, 1.1, 0, 25)
+	if off.Id <= 0 {
+		t.Fatalf("off leakage %g, want small positive", off.Id)
+	}
+	on := m.Eval(1.1, 0, 1.1, 0, 25)
+	if on.Id/off.Id < 1e5 {
+		t.Errorf("on/off ratio %g too small for an LP process", on.Id/off.Id)
+	}
+}
+
+func TestLeakageGrowsWithTemperature(t *testing.T) {
+	for _, m := range []*MOS{nmos(), pmos()} {
+		cold := m.Leakage(1.1, -30)
+		room := m.Leakage(1.1, 25)
+		hot := m.Leakage(1.1, 125)
+		if !(cold < room && room < hot) {
+			t.Errorf("%s leakage not increasing with T: %g %g %g", m.Params.Type, cold, room, hot)
+		}
+		if hot/room < 10 {
+			t.Errorf("%s leakage at 125°C only %gx room value; subthreshold should give >>10x", m.Params.Type, hot/room)
+		}
+	}
+}
+
+func TestCurrentMonotoneInVgs(t *testing.T) {
+	m := nmos()
+	prev := math.Inf(-1)
+	for vg := 0.0; vg <= 1.2; vg += 0.05 {
+		id := m.Eval(vg, 0, 1.1, 0, 25).Id
+		if id <= prev {
+			t.Fatalf("Id not strictly increasing in Vgs at vg=%g: %g <= %g", vg, id, prev)
+		}
+		prev = id
+	}
+}
+
+func TestCurrentMonotoneInVds(t *testing.T) {
+	m := nmos()
+	prev := -1.0
+	for vd := 0.0; vd <= 1.2; vd += 0.05 {
+		id := m.Eval(0.8, 0, vd, 0, 25).Id
+		if id < prev {
+			t.Fatalf("Id decreasing in Vds at vd=%g", vd)
+		}
+		prev = id
+	}
+}
+
+// Property: the analytic conductances match finite differences over the
+// whole operating space (weak through strong inversion, forward and
+// reverse). This is the critical property for Newton-Raphson convergence.
+func TestDerivativesMatchFiniteDifference(t *testing.T) {
+	norm := func(v float64, lo, hi float64) float64 {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return (lo + hi) / 2
+		}
+		return lo + math.Mod(math.Abs(v), hi-lo)
+	}
+	for _, mt := range []MOSType{NMOS, PMOS} {
+		mt := mt
+		m := NewMOS("m", MOSParams{})
+		if mt == NMOS {
+			m = nmos()
+		} else {
+			m = pmos()
+		}
+		f := func(rvg, rvs, rvd, rvb float64) bool {
+			vg := norm(rvg, -0.2, 1.3)
+			vs := norm(rvs, -0.2, 1.3)
+			vd := norm(rvd, -0.2, 1.3)
+			vb := norm(rvb, 0, 1.1)
+			const h = 1e-7
+			op := m.Eval(vg, vs, vd, vb, 25)
+			fdGm := (m.Eval(vg+h, vs, vd, vb, 25).Id - m.Eval(vg-h, vs, vd, vb, 25).Id) / (2 * h)
+			fdGds := (m.Eval(vg, vs, vd+h, vb, 25).Id - m.Eval(vg, vs, vd-h, vb, 25).Id) / (2 * h)
+			fdGms := (m.Eval(vg, vs+h, vd, vb, 25).Id - m.Eval(vg, vs-h, vd, vb, 25).Id) / (2 * h)
+			scale := math.Abs(op.Gm) + math.Abs(op.Gds) + math.Abs(op.Gms) + 1e-12
+			ok := math.Abs(op.Gm-fdGm)/scale < 2e-3 &&
+				math.Abs(op.Gds-fdGds)/scale < 2e-3 &&
+				math.Abs(op.Gms-fdGms)/scale < 2e-3
+			if !ok {
+				t.Logf("%s at vg=%g vs=%g vd=%g vb=%g: gm %g/%g gds %g/%g gms %g/%g",
+					mt, vg, vs, vd, vb, op.Gm, fdGm, op.Gds, fdGds, op.Gms, fdGms)
+			}
+			return ok
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+			t.Errorf("%s: %v", mt, err)
+		}
+	}
+}
+
+func TestConductanceSumZero(t *testing.T) {
+	m := nmos()
+	op := m.Eval(0.7, 0.1, 0.9, 0, 25)
+	if s := op.Gm + op.Gds + op.Gms + op.Gmb; math.Abs(s) > 1e-15+1e-9*math.Abs(op.Gm) {
+		t.Errorf("terminal conductances sum to %g, want 0", s)
+	}
+}
+
+func TestSourceDrainSymmetry(t *testing.T) {
+	// Swapping source and drain must negate the current (EKV is symmetric).
+	m := nmos()
+	fwd := m.Eval(0.8, 0.2, 0.9, 0, 25).Id
+	rev := m.Eval(0.8, 0.9, 0.2, 0, 25).Id
+	if math.Abs(fwd+rev) > 1e-12*math.Abs(fwd) {
+		t.Errorf("S/D symmetry violated: fwd=%g rev=%g", fwd, rev)
+	}
+}
+
+func TestVariationSignConvention(t *testing.T) {
+	// Positive DVth weakens an NMOS (higher Vth magnitude, less current).
+	mn := nmos()
+	base := mn.Eval(0.5, 0, 1.1, 0, 25).Id
+	mn.DVth = +0.1
+	if weak := mn.Eval(0.5, 0, 1.1, 0, 25).Id; weak >= base {
+		t.Errorf("NMOS +DVth should reduce current: %g >= %g", weak, base)
+	}
+	// Negative DVth weakens a PMOS.
+	mp := pmos()
+	baseP := math.Abs(mp.Eval(0.5, 1.1, 0, 1.1, 25).Id)
+	mp.DVth = -0.1
+	if weak := math.Abs(mp.Eval(0.5, 1.1, 0, 1.1, 25).Id); weak >= baseP {
+		t.Errorf("PMOS -DVth should reduce current: %g >= %g", weak, baseP)
+	}
+}
+
+func TestVthTemperatureDrift(t *testing.T) {
+	m := nmos()
+	if !(m.VthMag(125) < m.VthMag(25) && m.VthMag(25) < m.VthMag(-30)) {
+		t.Error("Vth magnitude should decrease with temperature")
+	}
+}
+
+func TestApplyCorner(t *testing.T) {
+	mn, mp := nmos(), pmos()
+	mn.ApplyCorner(process.CornerShift(process.SS))
+	mp.ApplyCorner(process.CornerShift(process.SS))
+	if mn.DVth <= 0 {
+		t.Error("SS corner should raise NMOS Vth (positive DVth)")
+	}
+	if mp.DVth >= 0 {
+		t.Error("SS corner should push PMOS signed DVth negative")
+	}
+	if mn.BetaScale >= 1 || mp.BetaScale >= 1 {
+		t.Error("SS corner should reduce beta")
+	}
+	// Slow corner means weaker on-current for both.
+	if on := mn.Eval(1.1, 0, 1.1, 0, 25).Id; on >= nmos().Eval(1.1, 0, 1.1, 0, 25).Id {
+		t.Error("SS NMOS should be weaker than TT")
+	}
+}
+
+func TestFastCornerStronger(t *testing.T) {
+	mn := nmos()
+	mn.ApplyCorner(process.CornerShift(process.FF))
+	if mn.Eval(1.1, 0, 1.1, 0, 25).Id <= nmos().Eval(1.1, 0, 1.1, 0, 25).Id {
+		t.Error("FF NMOS should be stronger than TT")
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := nmos().String(); !strings.Contains(s, "nmos") {
+		t.Errorf("String = %q", s)
+	}
+	if NMOS.String() != "nmos" || PMOS.String() != "pmos" {
+		t.Error("MOSType strings wrong")
+	}
+}
+
+func TestEkvFGuards(t *testing.T) {
+	// Huge positive and negative arguments must not overflow.
+	f, df := ekvF(1000)
+	if math.IsInf(f, 0) || math.IsNaN(f) || df <= 0 {
+		t.Errorf("ekvF(1000) = %g, %g", f, df)
+	}
+	f, df = ekvF(-1000)
+	if f != 0 && (math.IsNaN(f) || f < 0) {
+		t.Errorf("ekvF(-1000) = %g", f)
+	}
+	if df < 0 {
+		t.Errorf("dF must be non-negative, got %g", df)
+	}
+}

@@ -1,0 +1,154 @@
+package exp
+
+import (
+	"fmt"
+
+	"sramtest/internal/fault"
+	"sramtest/internal/march"
+	"sramtest/internal/process"
+	"sramtest/internal/report"
+	"sramtest/internal/sram"
+)
+
+// Scenario is one fault-injection scenario of the coverage campaign.
+type Scenario struct {
+	Name string
+	// Build returns a fresh faulty SRAM.
+	Build func() *sram.SRAM
+	// Expected lists the library tests that MUST detect this scenario
+	// (detection by additional tests is not an error; missing one is).
+	Expected map[string]bool
+}
+
+// defaultVreg is the rail used in the DRF_DS scenarios: above the
+// symmetric-cell DRV, below the worst case.
+const defaultVreg = 0.5
+
+// CoverageScenarios returns the campaign of EXP-CV: every functional
+// fault model plus both DRF_DS polarities, each with the set of library
+// tests guaranteed to detect it.
+func CoverageScenarios(cond process.Condition) []Scenario {
+	all := map[string]bool{"MATS+": true, "March C-": true, "March SS": true, "March LZ": true, "March m-LZ": true}
+	cMinusUp := map[string]bool{"March C-": true, "March SS": true}
+	mk := func(f ...fault.Fault) func() *sram.SRAM {
+		return func() *sram.SRAM {
+			s := sram.New()
+			fault.NewInjector(f...).Attach(s)
+			return s
+		}
+	}
+	vic := fault.Cell{Addr: 1234, Bit: 17}
+	agg := fault.Cell{Addr: 1000, Bit: 17}
+
+	// The threshold retention is shared across the DRF scenarios so the
+	// (expensive) DRV evaluations happen once.
+	ret := sram.NewThresholdRetention(cond, defaultVreg)
+
+	return []Scenario{
+		{Name: "SAF0", Build: mk(fault.Fault{Kind: fault.SAF0, Victim: vic}), Expected: all},
+		{Name: "SAF1", Build: mk(fault.Fault{Kind: fault.SAF1, Victim: vic}), Expected: all},
+		{Name: "TF-up", Build: mk(fault.Fault{Kind: fault.TFUp, Victim: vic}), Expected: cMinusUp},
+		{Name: "TF-down", Build: mk(fault.Fault{Kind: fault.TFDown, Victim: vic}), Expected: cMinusUp},
+		{Name: "RDF", Build: mk(fault.Fault{Kind: fault.RDF, Victim: vic}), Expected: cMinusUp},
+		{Name: "IRF", Build: mk(fault.Fault{Kind: fault.IRF, Victim: vic}), Expected: cMinusUp},
+		{
+			Name: "WDF",
+			Build: func() *sram.SRAM {
+				s := sram.New()
+				s.RawSetBit(vic.Addr, vic.Bit, true) // unknown-initial-state analysis
+				fault.NewInjector(fault.Fault{Kind: fault.WDF, Victim: vic}).Attach(s)
+				return s
+			},
+			Expected: map[string]bool{"March SS": true},
+		},
+		{Name: "CFin", Build: mk(fault.Fault{Kind: fault.CFin, Aggressor: agg, Victim: vic, Val: true}), Expected: cMinusUp},
+		{Name: "CFid", Build: mk(fault.Fault{Kind: fault.CFid, Aggressor: agg, Victim: vic, Val: true}), Expected: cMinusUp},
+		{Name: "CFst", Build: mk(fault.Fault{Kind: fault.CFst, Aggressor: agg, Victim: vic, AggVal: true, Val: true}), Expected: cMinusUp},
+		{
+			Name: "AF (decoder)",
+			Build: func() *sram.SRAM {
+				s := sram.New()
+				fault.NewInjector().AttachDecoderFault(s, fault.DecoderFault{Kind: fault.AFWrongAccess, A: 100, B: 2000})
+				return s
+			},
+			Expected: all,
+		},
+		{
+			Name:     "PGF",
+			Build:    mk(fault.Fault{Kind: fault.PGF, Victim: vic, Val: false}),
+			Expected: map[string]bool{"March LZ": true, "March m-LZ": true},
+		},
+		{
+			Name: "DRF_DS('1' lost)",
+			Build: func() *sram.SRAM {
+				s := sram.New()
+				s.SetRetention(ret)
+				s.RegisterVariation(vic.Addr, vic.Bit, process.WorstCase1())
+				return s
+			},
+			Expected: map[string]bool{"March m-LZ": true},
+		},
+		{
+			Name: "DRF_DS('0' lost)",
+			Build: func() *sram.SRAM {
+				s := sram.New()
+				s.SetRetention(ret)
+				s.RegisterVariation(vic.Addr, vic.Bit, process.WorstCase1().Mirror())
+				return s
+			},
+			Expected: map[string]bool{"March m-LZ": true},
+		},
+	}
+}
+
+// CoverageResult is the detection matrix of EXP-CV.
+type CoverageResult struct {
+	Tests     []march.Test
+	Scenarios []Scenario
+	Detected  [][]bool // [scenario][test]
+	// Violations lists (scenario, test) pairs where an Expected
+	// detection did not happen.
+	Violations []string
+}
+
+// Coverage runs the campaign: every library test against every scenario.
+func Coverage(cond process.Condition) (CoverageResult, error) {
+	res := CoverageResult{Tests: march.Library(), Scenarios: CoverageScenarios(cond)}
+	for _, sc := range res.Scenarios {
+		row := make([]bool, len(res.Tests))
+		for ti, tst := range res.Tests {
+			rep, err := march.Run(tst, sc.Build())
+			if err != nil {
+				return res, fmt.Errorf("exp: coverage %s/%s: %w", sc.Name, tst.Name, err)
+			}
+			row[ti] = rep.Detected()
+			if sc.Expected[tst.Name] && !rep.Detected() {
+				res.Violations = append(res.Violations,
+					fmt.Sprintf("%s should detect %s", tst.Name, sc.Name))
+			}
+		}
+		res.Detected = append(res.Detected, row)
+	}
+	return res, nil
+}
+
+// CoverageReport renders the detection matrix.
+func CoverageReport(r CoverageResult) *report.Table {
+	headers := []string{"Fault"}
+	for _, tst := range r.Tests {
+		headers = append(headers, tst.Name)
+	}
+	t := report.NewTable("EXP-CV — fault detection matrix (✓ detected, · escaped)", headers...)
+	for si, sc := range r.Scenarios {
+		row := []string{sc.Name}
+		for ti := range r.Tests {
+			mark := "·"
+			if r.Detected[si][ti] {
+				mark = "✓"
+			}
+			row = append(row, mark)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"math"
+
+	"sramtest/internal/cell"
+	"sramtest/internal/process"
+	"sramtest/internal/report"
+)
+
+// DwellPoint relates an undervoltage margin to the time a marginal cell
+// needs to actually lose its datum.
+type DwellPoint struct {
+	Vreg     float64 // array rail (V)
+	Margin   float64 // DRV − Vreg (V); positive = below the retention limit
+	FlipTime float64 // s; +Inf when the state never flips
+}
+
+// DwellTime reproduces the §V DS-dwell study (EXP-DT): how long a
+// variation-affected cell takes to flip as a function of how far the rail
+// sits below its DRV. The paper uses this to justify the ≥1 ms DS time of
+// the test flow ("internal nodes of less stable core-cells discharge
+// slowly due to leakage currents"). margins are DRV−Vreg offsets in volts
+// (nil = a default ladder); tMax bounds the integration.
+func DwellTime(v process.Variation, cond process.Condition, margins []float64, tMax float64) []DwellPoint {
+	if margins == nil {
+		margins = []float64{-0.02, 0.005, 0.01, 0.02, 0.04, 0.08, 0.15, 0.25}
+	}
+	if tMax <= 0 {
+		tMax = 50e-3
+	}
+	cl := cell.New(v, cond)
+	drv := cl.DRV1()
+	out := make([]DwellPoint, 0, len(margins))
+	for _, m := range margins {
+		vreg := drv - m
+		if vreg <= 0 {
+			continue
+		}
+		p := DwellPoint{Vreg: vreg, Margin: m}
+		if m <= 0 {
+			p.FlipTime = math.Inf(1) // above the DRV: stable forever
+		} else {
+			ft := cl.FlipTime(vreg, tMax)
+			if ft == cell.RetainedForever {
+				p.FlipTime = math.Inf(1)
+			} else {
+				p.FlipTime = ft
+			}
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// DwellReport renders the study.
+func DwellReport(points []DwellPoint, dwell float64) *report.Table {
+	t := report.NewTable("EXP-DT — flip time vs undervoltage margin (DS dwell justification)",
+		"Vreg", "DRV−Vreg", "flip time", "detected with 1ms dwell?")
+	for _, p := range points {
+		ft := "never"
+		det := "no (stable)"
+		if !math.IsInf(p.FlipTime, 1) {
+			ft = report.SI(p.FlipTime, "s")
+			if p.FlipTime <= dwell {
+				det = "yes"
+			} else {
+				det = "no (dwell too short)"
+			}
+		}
+		t.AddRow(report.SI(p.Vreg, "V"), report.SI(p.Margin, "V"), ft, det)
+	}
+	return t
+}

@@ -1,0 +1,103 @@
+package exp
+
+import (
+	"sramtest/internal/cell"
+	"sramtest/internal/num"
+	"sramtest/internal/process"
+	"sramtest/internal/report"
+)
+
+// Fig4Series is the DRV sweep of one cell transistor.
+type Fig4Series struct {
+	Transistor process.CellTransistor
+	Sigmas     []float64 // Vth variation in sigma multiples
+	DRV        []float64 // worst-case DRV over the given conditions (V)
+}
+
+// Fig4Result holds both panels of the paper's Fig. 4.
+type Fig4Result struct {
+	DRV1 []Fig4Series // Fig. 4(a): impact on DRV_DS1
+	DRV0 []Fig4Series // Fig. 4(b): impact on DRV_DS0
+}
+
+// Fig4 reproduces Fig. 4 (EXP-F4): for each of the six cell transistors,
+// sweep its Vth variation alone from −6σ to +6σ and record the worst-case
+// DRV_DS1 and DRV_DS0 over the given PVT conditions (nil = full grid).
+// sigmas nil defaults to 13 points across ±6σ.
+func Fig4(sigmas []float64, conds []process.Condition) Fig4Result {
+	if sigmas == nil {
+		sigmas = num.Linspace(-6, 6, 13)
+	}
+	if conds == nil {
+		conds = cell.DRVConditions()
+	}
+	var res Fig4Result
+	for tr := process.CellTransistor(0); tr < process.NumCellTransistors; tr++ {
+		s1 := Fig4Series{Transistor: tr, Sigmas: sigmas}
+		s0 := Fig4Series{Transistor: tr, Sigmas: sigmas}
+		for _, sg := range sigmas {
+			var v process.Variation
+			v[tr] = sg
+			r := cell.WorstDRV(v, conds)
+			s1.DRV = append(s1.DRV, r.DRV1)
+			s0.DRV = append(s0.DRV, r.DRV0)
+		}
+		res.DRV1 = append(res.DRV1, s1)
+		res.DRV0 = append(res.DRV0, s0)
+	}
+	return res
+}
+
+// Fig4Plots renders the two panels as terminal plots.
+func Fig4Plots(r Fig4Result) (a, b *report.Plot) {
+	a = &report.Plot{Title: "Fig. 4(a) — DRV_DS1 vs per-transistor Vth variation", XLabel: "sigma", YLabel: "DRV_DS1 (V)"}
+	for _, s := range r.DRV1 {
+		a.Add(s.Transistor.String(), s.Sigmas, s.DRV)
+	}
+	b = &report.Plot{Title: "Fig. 4(b) — DRV_DS0 vs per-transistor Vth variation", XLabel: "sigma", YLabel: "DRV_DS0 (V)"}
+	for _, s := range r.DRV0 {
+		b.Add(s.Transistor.String(), s.Sigmas, s.DRV)
+	}
+	return a, b
+}
+
+// Fig4Observations checks the paper's two §III.B observations against the
+// result and returns violation descriptions (empty = all hold):
+//  1. negative variation on the '1'-driving inverter transistors
+//     (MPcc1/MNcc1) raises DRV_DS1 more than the same variation on the
+//     other inverter;
+//  2. pass-transistor variations matter less than inverter ones but are
+//     not negligible.
+func Fig4Observations(r Fig4Result) []string {
+	series := func(set []Fig4Series, tr process.CellTransistor) Fig4Series {
+		for _, s := range set {
+			if s.Transistor == tr {
+				return s
+			}
+		}
+		panic("exp: missing Fig4 series")
+	}
+	at := func(s Fig4Series, sigma float64) float64 {
+		for i, sg := range s.Sigmas {
+			if sg == sigma {
+				return s.DRV[i]
+			}
+		}
+		panic("exp: missing sigma point")
+	}
+	var bad []string
+	mp1 := series(r.DRV1, process.MPcc1)
+	mp2 := series(r.DRV1, process.MPcc2)
+	mn3 := series(r.DRV1, process.MNcc3)
+	if !(at(mp1, -6) > at(mp2, -6)) {
+		bad = append(bad, "observation 1: -6σ on MPcc1 should raise DRV_DS1 above -6σ on MPcc2")
+	}
+	base := at(mp1, 0)
+	if !(at(mn3, -6) > base+0.01) {
+		bad = append(bad, "observation 2a: pass-transistor variation should not be negligible")
+	}
+	if !(at(mp1, -6) > at(mn3, -6)) {
+		bad = append(bad, "observation 2b: inverter variation should dominate pass-transistor variation")
+	}
+	return bad
+}

@@ -1,0 +1,74 @@
+package exp
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"sramtest/internal/cell"
+	"sramtest/internal/process"
+	"sramtest/internal/report"
+)
+
+// MonteCarloResult summarizes a sampled DRV distribution (EXP-MC): the
+// statistical backdrop of Section III — within-die variation makes the
+// array's retention voltage the maximum over millions of cells, which is
+// why the paper constructs the deterministic 6σ worst case instead of
+// sampling.
+type MonteCarloResult struct {
+	Cond    process.Condition
+	Samples int
+	DRV     []float64 // sorted per-cell max(DRV0, DRV1)
+}
+
+// MonteCarlo samples n random cells (independent normal ΔVth per
+// transistor, truncated at ±6σ) at one condition and returns their
+// retention-voltage distribution.
+func MonteCarlo(cond process.Condition, n int, seed int64) MonteCarloResult {
+	rng := rand.New(rand.NewSource(seed))
+	res := MonteCarloResult{Cond: cond, Samples: n}
+	for i := 0; i < n; i++ {
+		v := process.RandomVariation(rng)
+		c := cell.New(v, cond)
+		res.DRV = append(res.DRV, math.Max(c.DRV0(), c.DRV1()))
+	}
+	sort.Float64s(res.DRV)
+	return res
+}
+
+// Quantile returns the q-quantile (0..1) of the sampled distribution.
+func (r MonteCarloResult) Quantile(q float64) float64 {
+	if len(r.DRV) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(r.DRV)-1))
+	return r.DRV[idx]
+}
+
+// Max returns the worst sampled cell.
+func (r MonteCarloResult) Max() float64 {
+	if len(r.DRV) == 0 {
+		return 0
+	}
+	return r.DRV[len(r.DRV)-1]
+}
+
+// MonteCarloReport renders the distribution summary against the
+// deterministic worst case.
+func MonteCarloReport(r MonteCarloResult, worstCase float64) *report.Table {
+	t := report.NewTable("EXP-MC — sampled per-cell DRV_DS distribution", "Statistic", "DRV_DS")
+	t.AddRow("condition", r.Cond.String())
+	t.AddRow("samples", report.SI(float64(r.Samples), ""))
+	t.AddRow("median", report.SI(r.Quantile(0.5), "V"))
+	t.AddRow("90th percentile", report.SI(r.Quantile(0.9), "V"))
+	t.AddRow("99th percentile", report.SI(r.Quantile(0.99), "V"))
+	t.AddRow("sampled max", report.SI(r.Max(), "V"))
+	t.AddRow("deterministic 6σ worst case", report.SI(worstCase, "V"))
+	return t
+}
+
+// NewWorstDRVForTest exposes the deterministic worst-case DRV at one
+// condition for the test suite and reports.
+func NewWorstDRVForTest(cond process.Condition) float64 {
+	return cell.New(process.WorstCase1(), cond).DRV1()
+}

@@ -1,0 +1,75 @@
+// Package exp contains one driver per reproduced experiment: Table I
+// (case-study DRVs), Fig. 4 (per-transistor DRV sweeps), Table II (defect
+// characterization), Table III (optimized test flow), the §IV.B static
+// power observation, the §V test-length/test-time claims, the March
+// coverage campaign, and the DS-dwell study. Each driver returns
+// structured results plus a rendering into report tables/plots; the cmd
+// tools, benchmarks and EXPERIMENTS.md all run through these entry
+// points. The experiment IDs (EXP-*) are indexed in DESIGN.md §4.
+package exp
+
+import (
+	"fmt"
+
+	"sramtest/internal/cell"
+	"sramtest/internal/process"
+	"sramtest/internal/report"
+)
+
+// Table1Row is one row of the paper's Table I.
+type Table1Row struct {
+	CS    process.CaseStudy
+	DRV0  float64
+	DRV1  float64
+	DRV   float64 // max(DRV0, DRV1)
+	Cond0 process.Condition
+	Cond1 process.Condition
+}
+
+// Table1 reproduces Table I (EXP-T1): the worst-case PVT retention
+// voltages of the ten case studies. conds defaults to the full
+// corner × temperature grid when nil.
+func Table1(conds []process.Condition) []Table1Row {
+	if conds == nil {
+		conds = cell.DRVConditions()
+	}
+	css := process.Table1CaseStudies()
+	rows := make([]Table1Row, len(css))
+	for i, cs := range css {
+		r := cell.WorstDRV(cs.Variation, conds)
+		rows[i] = Table1Row{CS: cs, DRV0: r.DRV0, DRV1: r.DRV1, DRV: r.DRV, Cond0: r.Cond0, Cond1: r.Cond1}
+	}
+	return rows
+}
+
+// Table1Paper returns the paper's reported DRV_DS values (mV) keyed by
+// case-study name, for the paper-vs-measured comparison in EXPERIMENTS.md.
+func Table1Paper() map[string]float64 {
+	return map[string]float64{
+		"CS1-1": 730, "CS1-0": 730,
+		"CS2-1": 686, "CS2-0": 686,
+		"CS3-1": 570, "CS3-0": 570,
+		"CS4-1": 110, "CS4-0": 110,
+		"CS5-1": 686, "CS5-0": 686,
+	}
+}
+
+// Table1Report renders the rows in the paper's layout with a
+// paper-reported column for comparison.
+func Table1Report(rows []Table1Row) *report.Table {
+	t := report.NewTable("Table I — case-study DRV_DS (worst case over PVT)",
+		"Case study", "#cells", "Variation", "DRV_DS0", "DRV_DS1", "DRV_DS", "paper DRV_DS")
+	paper := Table1Paper()
+	for _, r := range rows {
+		t.AddRow(
+			r.CS.Name,
+			fmt.Sprintf("%d", r.CS.Cells),
+			r.CS.Variation.String(),
+			report.SI(r.DRV0, "V"),
+			report.SI(r.DRV1, "V"),
+			report.SI(r.DRV, "V"),
+			report.SI(paper[r.CS.Name]/1e3, "V"),
+		)
+	}
+	return t
+}

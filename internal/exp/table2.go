@@ -1,0 +1,77 @@
+package exp
+
+import (
+	"fmt"
+
+	"sramtest/internal/charac"
+	"sramtest/internal/regulator"
+	"sramtest/internal/report"
+)
+
+// Table2 reproduces Table II (EXP-T2): the minimal DRF-causing resistance
+// of every DRF-capable defect per case study, minimized over PVT.
+func Table2(opt charac.Options) ([]charac.Result, error) {
+	return charac.Table2(opt)
+}
+
+// Table2Paper returns the paper's reported minimal resistances (Ω) keyed
+// by "DfN/CSx", for the comparison column in EXPERIMENTS.md.
+func Table2Paper() map[string]float64 {
+	inf := 600e6 // stands for "> 500M"
+	return map[string]float64{
+		"Df1/CS1": 9.76e3, "Df1/CS2": 97.65e3, "Df1/CS3": 390.62e3, "Df1/CS4": 10.25e6, "Df1/CS5": 91.79e3,
+		"Df2/CS1": 9.76e3, "Df2/CS2": 97.65e3, "Df2/CS3": 390.62e3, "Df2/CS4": 10.25e6, "Df2/CS5": 91.79e3,
+		"Df3/CS1": 19.53e3, "Df3/CS2": 195.31e3, "Df3/CS3": 488.28e3, "Df3/CS4": 33.20e6, "Df3/CS5": 191.40e3,
+		"Df4/CS1": 19.53e3, "Df4/CS2": 195.31e3, "Df4/CS3": 488.28e3, "Df4/CS4": 33.20e6, "Df4/CS5": 190.31e3,
+		"Df5/CS1": 2.36e6, "Df5/CS2": 3.26e6, "Df5/CS3": 3.41e6, "Df5/CS4": 97.65e6, "Df5/CS5": 2.48e6,
+		"Df7/CS1": 976.56e3, "Df7/CS2": 3.90e6, "Df7/CS3": 33.20e6, "Df7/CS4": inf, "Df7/CS5": 2.21e6,
+		"Df8/CS1": 29.78e6, "Df8/CS2": 257.81e6, "Df8/CS3": inf, "Df8/CS4": inf, "Df8/CS5": 153.51e6,
+		"Df9/CS1": 976.56e3, "Df9/CS2": 7.81e6, "Df9/CS3": 50.78e6, "Df9/CS4": inf, "Df9/CS5": 4.64e6,
+		"Df10/CS1": 2.92e3, "Df10/CS2": 78.12e3, "Df10/CS3": 253.90e3, "Df10/CS4": 6.83e6, "Df10/CS5": 61.52e3,
+		"Df11/CS1": 3.90e3, "Df11/CS2": 59.57e6, "Df11/CS3": inf, "Df11/CS4": inf, "Df11/CS5": 39.23e6,
+		"Df12/CS1": 45.99e3, "Df12/CS2": 58.59e3, "Df12/CS3": 839.84e3, "Df12/CS4": inf, "Df12/CS5": 49.01e3,
+		"Df16/CS1": 976.56, "Df16/CS2": 19.53e3, "Df16/CS3": 19.53e3, "Df16/CS4": inf, "Df16/CS5": 2.92e3,
+		"Df19/CS1": 195.31, "Df19/CS2": 19.53e3, "Df19/CS3": 19.53e3, "Df19/CS4": inf, "Df19/CS5": 1.02e3,
+		"Df23/CS1": 121.09e3, "Df23/CS2": 859.37e3, "Df23/CS3": 3.20e6, "Df23/CS4": 62.01e6, "Df23/CS5": 850.28e3,
+		"Df26/CS1": 3.41e3, "Df26/CS2": 97.65e3, "Df26/CS3": 1.21e6, "Df26/CS4": 65.91e6, "Df26/CS5": 86.36e3,
+		"Df29/CS1": 488.28, "Df29/CS2": 19.53e3, "Df29/CS3": 19.53e3, "Df29/CS4": inf, "Df29/CS5": 1.17e3,
+		"Df32/CS1": 4.88e3, "Df32/CS2": 21.68e3, "Df32/CS3": 26.90e3, "Df32/CS4": inf, "Df32/CS5": 15.43e3,
+	}
+}
+
+// table2Key maps a result onto the Table2Paper key space ("Df16/CS1").
+func table2Key(r charac.Result) string {
+	// CS names are "CS1-1" etc.; the paper's column headers are per pair.
+	return fmt.Sprintf("%s/%s", r.Defect, r.CS.Name[:3])
+}
+
+// Table2Report renders the results defect-major with the paper's values
+// alongside.
+func Table2Report(results []charac.Result) *report.Table {
+	t := report.NewTable("Table II — minimal DRF_DS-causing defect resistance (min over PVT)",
+		"Defect", "CS", "Min. Res.", "PVT", "paper Min. Res.", "Description")
+	paper := Table2Paper()
+	for _, r := range results {
+		min := "> 500M"
+		cond := "-"
+		if !r.Open() {
+			min = report.SI(r.MinRes, "Ω")
+			cond = r.Cond.String()
+		}
+		pv, ok := paper[table2Key(r)]
+		ps := "-"
+		if ok {
+			if pv >= 500e6 {
+				ps = "> 500M"
+			} else {
+				ps = report.SI(pv, "Ω")
+			}
+		}
+		desc := regulator.Lookup(r.Defect).Desc
+		if len(desc) > 60 {
+			desc = desc[:57] + "..."
+		}
+		t.AddRow(r.Defect.String(), r.CS.Name, min, cond, ps, desc)
+	}
+	return t
+}

@@ -1,0 +1,80 @@
+package fault
+
+import (
+	"fmt"
+
+	"sramtest/internal/sram"
+)
+
+// DecoderFaultKind enumerates van de Goor's four address-decoder fault
+// classes (the fault family MATS+ is designed to detect).
+type DecoderFaultKind int
+
+// Address-decoder fault classes.
+const (
+	// AFNoAccess: address A selects no cell (reads float high, writes
+	// are lost).
+	AFNoAccess DecoderFaultKind = iota
+	// AFWrongAccess: address A selects cell B instead of A.
+	AFWrongAccess
+	// AFMultiAccess: address A selects both A and B.
+	AFMultiAccess
+	// AFShared: addresses A and B both select cell A (B never reaches
+	// its own cell) — the dual of AFWrongAccess.
+	AFShared
+)
+
+// String implements fmt.Stringer.
+func (k DecoderFaultKind) String() string {
+	return [...]string{"AF-no-access", "AF-wrong-access", "AF-multi-access", "AF-shared"}[k]
+}
+
+// DecoderFault is one address-decoder fault instance between logical
+// addresses A and B.
+type DecoderFault struct {
+	Kind DecoderFaultKind
+	A, B int
+}
+
+// String describes the instance.
+func (f DecoderFault) String() string {
+	return fmt.Sprintf("%s A=%#x B=%#x", f.Kind, f.A, f.B)
+}
+
+// Mapper returns the MapAddress hook implementing the fault.
+func (f DecoderFault) Mapper() func(addr int) []int {
+	return func(addr int) []int {
+		switch f.Kind {
+		case AFNoAccess:
+			if addr == f.A {
+				return nil
+			}
+		case AFWrongAccess:
+			if addr == f.A {
+				return []int{f.B}
+			}
+		case AFMultiAccess:
+			if addr == f.A {
+				return []int{f.A, f.B}
+			}
+		case AFShared:
+			if addr == f.B {
+				return []int{f.A}
+			}
+		}
+		return []int{addr}
+	}
+}
+
+// AttachDecoderFault installs the decoder fault alongside any cell faults
+// already managed by the injector (the injector owns the hooks; the
+// decoder mapping composes with them).
+func (in *Injector) AttachDecoderFault(s *sram.SRAM, f DecoderFault) {
+	s.SetHooks(sram.Hooks{
+		StoreBit:        in.storeBit,
+		AfterWrite:      in.afterWrite,
+		ReadBit:         in.readBit,
+		PowerTransition: in.powerTransition,
+		MapAddress:      f.Mapper(),
+	})
+}

@@ -1,0 +1,207 @@
+// Package fault implements the functional memory fault models used to
+// evaluate March tests: the classic static/dynamic cell and coupling
+// faults of the memory-test literature (stuck-at, transition, read
+// disturb, incorrect read, write disturb, inversion/idempotent/state
+// coupling), the peripheral power-gating fault targeted by March LZ, and
+// the paper's deep-sleep data retention fault DRF_DS (which is injected
+// through the SRAM's retention model rather than an operation hook).
+package fault
+
+import (
+	"fmt"
+
+	"sramtest/internal/sram"
+)
+
+// Kind enumerates the functional fault models.
+type Kind int
+
+// Fault model kinds.
+const (
+	// SAF0/SAF1: the cell is stuck at 0/1 (reads and writes cannot
+	// change it).
+	SAF0 Kind = iota
+	SAF1
+	// TFUp: the 0→1 transition write fails (cell stays 0).
+	TFUp
+	// TFDown: the 1→0 transition write fails.
+	TFDown
+	// RDF: read disturb — a read flips the cell and returns the flipped
+	// value.
+	RDF
+	// IRF: incorrect read — the read returns the complement, the cell
+	// keeps its value.
+	IRF
+	// WDF: write disturb — a non-transition write (writing the stored
+	// value) flips the cell.
+	WDF
+	// CFin: inversion coupling — a transition write on the aggressor
+	// (direction given by Val: true = 0→1) inverts the victim.
+	CFin
+	// CFid: idempotent coupling — an aggressor up-transition forces the
+	// victim to Val.
+	CFid
+	// CFst: state coupling — while the aggressor stores AggVal, the
+	// victim is forced to Val.
+	CFst
+	// PGF: peripheral power-gating fault (refs [12][13]) — entering a
+	// gated mode (LS or DS) corrupts the victim to Val because a
+	// mis-controlled power switch glitches its word line.
+	PGF
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	names := [...]string{"SAF0", "SAF1", "TFUp", "TFDown", "RDF", "IRF", "WDF", "CFin", "CFid", "CFst", "PGF"}
+	if int(k) < len(names) {
+		return names[k]
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Cell addresses one bit of the memory.
+type Cell struct {
+	Addr, Bit int
+}
+
+// Fault is one injected fault instance.
+type Fault struct {
+	Kind      Kind
+	Victim    Cell
+	Aggressor Cell // coupling faults only
+	Val       bool // forced value / direction parameter
+	AggVal    bool // CFst: aggressor state that activates the coupling
+}
+
+// String describes the instance.
+func (f Fault) String() string {
+	switch f.Kind {
+	case CFin, CFid, CFst:
+		return fmt.Sprintf("%s a=(%d,%d) v=(%d,%d)", f.Kind, f.Aggressor.Addr, f.Aggressor.Bit, f.Victim.Addr, f.Victim.Bit)
+	default:
+		return fmt.Sprintf("%s (%d,%d)", f.Kind, f.Victim.Addr, f.Victim.Bit)
+	}
+}
+
+// Injector composes any number of fault instances into sram.Hooks.
+type Injector struct {
+	faults []Fault
+}
+
+// NewInjector builds an injector over the given faults.
+func NewInjector(faults ...Fault) *Injector {
+	return &Injector{faults: faults}
+}
+
+// Add appends another fault instance.
+func (in *Injector) Add(f Fault) { in.faults = append(in.faults, f) }
+
+// Faults returns the injected instances.
+func (in *Injector) Faults() []Fault { return in.faults }
+
+// Attach installs the combined hooks on the SRAM. It must be called after
+// any other SetHooks call (it replaces the hook set).
+func (in *Injector) Attach(s *sram.SRAM) {
+	s.SetHooks(sram.Hooks{
+		StoreBit:        in.storeBit,
+		AfterWrite:      in.afterWrite,
+		ReadBit:         in.readBit,
+		PowerTransition: in.powerTransition,
+	})
+}
+
+// storeBit applies victim-local write faults.
+func (in *Injector) storeBit(_ *sram.SRAM, addr, bit int, old, new bool) bool {
+	v := new
+	here := Cell{addr, bit}
+	for _, f := range in.faults {
+		if f.Victim != here {
+			continue
+		}
+		switch f.Kind {
+		case SAF0:
+			v = false
+		case SAF1:
+			v = true
+		case TFUp:
+			if !old && v {
+				v = old
+			}
+		case TFDown:
+			if old && !v {
+				v = old
+			}
+		case WDF:
+			if old == v {
+				v = !old
+			}
+		}
+	}
+	return v
+}
+
+// afterWrite applies aggressor-driven coupling effects once the word has
+// settled, so same-word victims are affected too (the aggressor's
+// transition glitch flips the victim after the write completes).
+func (in *Injector) afterWrite(s *sram.SRAM, addr int, old, stored uint64) {
+	for _, f := range in.faults {
+		if f.Aggressor.Addr != addr {
+			continue
+		}
+		ob := old>>uint(f.Aggressor.Bit)&1 == 1
+		nb := stored>>uint(f.Aggressor.Bit)&1 == 1
+		switch f.Kind {
+		case CFin:
+			// Transition in the configured direction inverts the victim.
+			if ob != nb && nb == f.Val {
+				s.RawSetBit(f.Victim.Addr, f.Victim.Bit, !s.RawBit(f.Victim.Addr, f.Victim.Bit))
+			}
+		case CFid:
+			if !ob && nb { // up transition
+				s.RawSetBit(f.Victim.Addr, f.Victim.Bit, f.Val)
+			}
+		case CFst:
+			if nb == f.AggVal {
+				s.RawSetBit(f.Victim.Addr, f.Victim.Bit, f.Val)
+			}
+		}
+	}
+}
+
+func (in *Injector) readBit(s *sram.SRAM, addr, bit int, stored bool) bool {
+	v := stored
+	here := Cell{addr, bit}
+	for _, f := range in.faults {
+		if f.Victim != here {
+			continue
+		}
+		switch f.Kind {
+		case SAF0:
+			v = false
+		case SAF1:
+			v = true
+		case IRF:
+			v = !stored
+		case RDF:
+			s.RawSetBit(addr, bit, !stored)
+			v = !stored
+		case CFst:
+			if s.RawBit(f.Aggressor.Addr, f.Aggressor.Bit) == f.AggVal {
+				s.RawSetBit(addr, bit, f.Val)
+				v = f.Val
+			}
+		}
+	}
+	return v
+}
+
+func (in *Injector) powerTransition(s *sram.SRAM, ev sram.PowerEvent) {
+	if ev != sram.EnterLS && ev != sram.EnterDS {
+		return
+	}
+	for _, f := range in.faults {
+		if f.Kind == PGF {
+			s.RawSetBit(f.Victim.Addr, f.Victim.Bit, f.Val)
+		}
+	}
+}

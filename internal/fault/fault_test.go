@@ -1,0 +1,186 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"sramtest/internal/sram"
+)
+
+func freshWithFaults(faults ...Fault) *sram.SRAM {
+	s := sram.New()
+	NewInjector(faults...).Attach(s)
+	return s
+}
+
+func bitOf(t *testing.T, s *sram.SRAM, addr, bit int) bool {
+	t.Helper()
+	v, err := s.Read(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v>>uint(bit)&1 == 1
+}
+
+func TestSAF0(t *testing.T) {
+	s := freshWithFaults(Fault{Kind: SAF0, Victim: Cell{5, 3}})
+	_ = s.Write(5, ^uint64(0))
+	if bitOf(t, s, 5, 3) {
+		t.Error("SAF0 cell read 1")
+	}
+	if !bitOf(t, s, 5, 4) {
+		t.Error("neighbour bit corrupted")
+	}
+}
+
+func TestSAF1(t *testing.T) {
+	s := freshWithFaults(Fault{Kind: SAF1, Victim: Cell{5, 3}})
+	_ = s.Write(5, 0)
+	if !bitOf(t, s, 5, 3) {
+		t.Error("SAF1 cell read 0")
+	}
+}
+
+func TestSAF1VisibleWithoutWrite(t *testing.T) {
+	// A stuck-at-1 cell reads 1 even if never written (read-path forcing).
+	s := freshWithFaults(Fault{Kind: SAF1, Victim: Cell{5, 3}})
+	if !bitOf(t, s, 5, 3) {
+		t.Error("SAF1 invisible before first write")
+	}
+}
+
+func TestTransitionFaults(t *testing.T) {
+	s := freshWithFaults(Fault{Kind: TFUp, Victim: Cell{1, 0}})
+	_ = s.Write(1, 1) // 0 -> 1 fails
+	if bitOf(t, s, 1, 0) {
+		t.Error("TFUp allowed the up transition")
+	}
+	s2 := freshWithFaults(Fault{Kind: TFDown, Victim: Cell{1, 0}})
+	_ = s2.Write(1, 1) // up transition works
+	if !bitOf(t, s2, 1, 0) {
+		t.Fatal("TFDown blocked the up transition")
+	}
+	_ = s2.Write(1, 0) // 1 -> 0 fails: the cell must still hold 1
+	if !bitOf(t, s2, 1, 0) {
+		t.Error("TFDown allowed the down transition")
+	}
+}
+
+func TestRDFFlipsAndReturnsFlipped(t *testing.T) {
+	s := freshWithFaults(Fault{Kind: RDF, Victim: Cell{2, 7}})
+	_ = s.Write(2, 1<<7)
+	if bitOf(t, s, 2, 7) {
+		t.Error("RDF read should return the flipped (0) value")
+	}
+	if s.RawBit(2, 7) {
+		t.Error("RDF should leave the cell flipped")
+	}
+}
+
+func TestIRFKeepsCellIntact(t *testing.T) {
+	s := freshWithFaults(Fault{Kind: IRF, Victim: Cell{2, 7}})
+	_ = s.Write(2, 1<<7)
+	if bitOf(t, s, 2, 7) {
+		t.Error("IRF read should return the complement")
+	}
+	if !s.RawBit(2, 7) {
+		t.Error("IRF must not corrupt the stored value")
+	}
+}
+
+func TestWDF(t *testing.T) {
+	s := freshWithFaults(Fault{Kind: WDF, Victim: Cell{3, 1}})
+	_ = s.Write(3, 1<<1) // transition write: fine
+	if !s.RawBit(3, 1) {
+		t.Fatal("transition write corrupted by WDF")
+	}
+	_ = s.Write(3, 1<<1) // non-transition write: disturbs
+	if s.RawBit(3, 1) {
+		t.Error("WDF should flip on a non-transition write")
+	}
+}
+
+func TestCFin(t *testing.T) {
+	agg, vic := Cell{10, 0}, Cell{20, 0}
+	s := freshWithFaults(Fault{Kind: CFin, Aggressor: agg, Victim: vic, Val: true})
+	_ = s.Write(20, 1) // victim holds 1
+	_ = s.Write(10, 1) // aggressor 0->1: inverts victim
+	if s.RawBit(20, 0) {
+		t.Error("CFin up-transition should invert the victim")
+	}
+	_ = s.Write(10, 0) // down transition: no effect (Val=true means up)
+	if s.RawBit(20, 0) {
+		t.Error("down transition should not trigger an up-CFin")
+	}
+}
+
+func TestCFid(t *testing.T) {
+	agg, vic := Cell{10, 0}, Cell{20, 0}
+	s := freshWithFaults(Fault{Kind: CFid, Aggressor: agg, Victim: vic, Val: false})
+	_ = s.Write(20, 1)
+	_ = s.Write(10, 1) // up transition forces victim to 0
+	if s.RawBit(20, 0) {
+		t.Error("CFid should force the victim to 0")
+	}
+}
+
+func TestCFst(t *testing.T) {
+	agg, vic := Cell{10, 0}, Cell{20, 0}
+	s := freshWithFaults(Fault{Kind: CFst, Aggressor: agg, Victim: vic, AggVal: true, Val: false})
+	_ = s.Write(10, 1) // aggressor now holds the activating state
+	_ = s.Write(20, 1)
+	// Reading the victim while the aggressor holds '1' forces 0.
+	if bitOf(t, s, 20, 0) {
+		t.Error("CFst should force the victim while the aggressor holds 1")
+	}
+}
+
+func TestPGFTriggersOnSleepEntries(t *testing.T) {
+	s := freshWithFaults(Fault{Kind: PGF, Victim: Cell{30, 8}, Val: false})
+	_ = s.Write(30, 1<<8)
+	_ = s.EnterLS(1e-6)
+	_ = s.WakeUp()
+	if bitOf(t, s, 30, 8) {
+		t.Error("PGF should corrupt on LS entry")
+	}
+	_ = s.Write(30, 1<<8)
+	_ = s.EnterDS(1e-6)
+	_ = s.WakeUp()
+	if bitOf(t, s, 30, 8) {
+		t.Error("PGF should corrupt on DS entry")
+	}
+}
+
+func TestMultipleFaultsCompose(t *testing.T) {
+	s := freshWithFaults(
+		Fault{Kind: SAF0, Victim: Cell{1, 0}},
+		Fault{Kind: SAF1, Victim: Cell{1, 1}},
+	)
+	_ = s.Write(1, 0b01)
+	v, _ := s.Read(1)
+	if v&0b11 != 0b10 {
+		t.Errorf("composed faults give %b, want 10", v&0b11)
+	}
+}
+
+func TestInjectorAddAndFaults(t *testing.T) {
+	in := NewInjector()
+	in.Add(Fault{Kind: SAF0, Victim: Cell{0, 0}})
+	if len(in.Faults()) != 1 {
+		t.Error("Add did not register")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if SAF0.String() != "SAF0" || PGF.String() != "PGF" {
+		t.Error("kind strings wrong")
+	}
+	f := Fault{Kind: CFin, Aggressor: Cell{1, 2}, Victim: Cell{3, 4}}
+	if !strings.Contains(f.String(), "a=(1,2)") {
+		t.Errorf("fault string %q", f)
+	}
+	g := Fault{Kind: SAF0, Victim: Cell{3, 4}}
+	if !strings.Contains(g.String(), "(3,4)") {
+		t.Errorf("fault string %q", g)
+	}
+}

@@ -1,0 +1,108 @@
+package march
+
+// DefaultDwell is the deep-sleep residence time the paper recommends for
+// DRF_DS sensitization (Table III "DS time" column).
+const DefaultDwell = 1e-3 // s
+
+// MATSPlus returns MATS+ = {⇕(w0); ⇑(r0,w1); ⇓(r1,w0)}, the classic 5N
+// test covering stuck-at and address-decoder faults (van de Goor).
+func MATSPlus() Test {
+	return Test{
+		Name: "MATS+",
+		Elems: []Element{
+			el(Any, W0),
+			el(Up, R0, W1),
+			el(Down, R1, W0),
+		},
+	}
+}
+
+// MarchCMinus returns March C- =
+// {⇕(w0); ⇑(r0,w1); ⇑(r1,w0); ⇓(r0,w1); ⇓(r1,w0); ⇕(r0)}, the 10N
+// reference test for unlinked static cell and coupling faults.
+func MarchCMinus() Test {
+	return Test{
+		Name: "March C-",
+		Elems: []Element{
+			el(Any, W0),
+			el(Up, R0, W1),
+			el(Up, R1, W0),
+			el(Down, R0, W1),
+			el(Down, R1, W0),
+			el(Any, R0),
+		},
+	}
+}
+
+// MarchSS returns March SS (Hamdioui et al., paper ref [11]) =
+// {⇕(w0); ⇑(r0,r0,w0,r0,w1); ⇑(r1,r1,w1,r1,w0);
+//
+//	⇓(r0,r0,w0,r0,w1); ⇓(r1,r1,w1,r1,w0); ⇕(r0)}, the 22N test for all
+//
+// static simple RAM faults including read/write disturbs.
+func MarchSS() Test {
+	return Test{
+		Name: "March SS",
+		Elems: []Element{
+			el(Any, W0),
+			el(Up, R0, R0, W0, R0, W1),
+			el(Up, R1, R1, W1, R1, W0),
+			el(Down, R0, R0, W0, R0, W1),
+			el(Down, R1, R1, W1, R1, W0),
+			el(Any, R0),
+		},
+	}
+}
+
+// MarchLZ returns March LZ (paper ref [13]) =
+// {⇕(w1); LSM; WUP; ⇑(r1,w0,r0); LSM; WUP; ⇑(r0)} — the predecessor of
+// March m-LZ, targeting faulty behaviours induced by malfunctions of the
+// *peripheral-circuitry* power gating: the sleep entries keep the array
+// at VDD (light sleep), so it cannot sensitize regulator-induced DRF_DS.
+func MarchLZ() Test {
+	return Test{
+		Name:  "March LZ",
+		Dwell: DefaultDwell,
+		Elems: []Element{
+			el(Any, W1),
+			mode(LSM),
+			mode(WUP),
+			el(Up, R1, W0, R0),
+			mode(LSM),
+			mode(WUP),
+			el(Up, R0),
+		},
+	}
+}
+
+// MarchMLZ returns the paper's March m-LZ (Section V) =
+// {⇕(w1); DSM; WUP; ⇑(r1,w0,r0); DSM; WUP; ⇑(r0)}, length 5N+4:
+//
+//	ME1 ⇕(w1)       initialize the array with '1'
+//	ME2 DSM         switch ACT→DS (sensitize DRF_DS on stored '1')
+//	ME3 WUP         wake-up phase
+//	ME4 ⇑(r1,w0,r0) detect lost '1's; w0/r0 sensitize/detect the
+//	                peripheral power-gating faults of March LZ
+//	ME5 DSM         second DS entry (sensitize DRF_DS on stored '0')
+//	ME6 WUP         wake-up phase
+//	ME7 ⇑(r0)       detect lost '0's
+func MarchMLZ() Test {
+	return Test{
+		Name:  "March m-LZ",
+		Dwell: DefaultDwell,
+		Elems: []Element{
+			el(Any, W1),
+			mode(DSM),
+			mode(WUP),
+			el(Up, R1, W0, R0),
+			mode(DSM),
+			mode(WUP),
+			el(Up, R0),
+		},
+	}
+}
+
+// Library returns the full algorithm library, baselines first.
+func Library() []Test {
+	return []Test{MATSPlus(), MarchCMinus(), MarchSS(), MarchLZ(), MarchMLZ()}
+}

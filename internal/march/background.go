@@ -1,0 +1,159 @@
+package march
+
+import "fmt"
+
+// BackgroundFunc maps a word address to its "data background": the word
+// value that an r0/w0 operation means at that address. r1/w1 use the
+// bitwise complement. A nil background is the solid all-zero pattern.
+//
+// Data backgrounds matter physically: with bit-interleaved column muxing,
+// a solid word background leaves every physically adjacent cell pair at
+// equal values, so inter-word coupling faults need checkerboard or stripe
+// backgrounds to be sensitized (classic BIST practice; the paper's March
+// m-LZ is defined on solid backgrounds, matching its DRF_DS target).
+type BackgroundFunc func(addr int) uint64
+
+// WordBackground returns the k-th standard word data background for
+// B-bit words: k=0 is solid, k=1..log2(B) alternate in blocks of 2^(k-1)
+// bits (0xAAAA…, 0xCCCC…, 0xF0F0…, …). Word-oriented March tests need all
+// log2(B)+1 backgrounds to expose intra-word coupling faults, because a
+// single write updates every bit of a word simultaneously and a solid
+// pattern keeps coupled bits forever equal (van de Goor).
+func WordBackground(k, bits int) uint64 {
+	if k == 0 {
+		return 0
+	}
+	block := 1 << uint(k-1)
+	var w uint64
+	for b := 0; b < bits; b++ {
+		if (b/block)&1 == 1 {
+			w |= 1 << uint(b)
+		}
+	}
+	return w
+}
+
+// StandardWordBackgrounds returns the log2(bits)+1 background functions
+// for word-oriented testing.
+func StandardWordBackgrounds(bits int) []BackgroundFunc {
+	n := 1
+	for b := bits; b > 1; b >>= 1 {
+		n++
+	}
+	out := make([]BackgroundFunc, n)
+	for k := 0; k < n; k++ {
+		w := WordBackground(k, bits)
+		out[k] = func(int) uint64 { return w }
+	}
+	return out
+}
+
+// RunAllBackgrounds executes the test once per background and merges the
+// reports (a fault is detected if any background run flags it).
+func RunAllBackgrounds(t Test, fresh func() Memory, bgs []BackgroundFunc) (Report, error) {
+	var merged Report
+	merged.Test = t
+	for _, bg := range bgs {
+		rep, err := RunWith(t, fresh(), RunOptions{Background: bg})
+		if err != nil {
+			return merged, err
+		}
+		merged.Ops += rep.Ops
+		merged.TestTime += rep.TestTime
+		merged.TotalMiscompares += rep.TotalMiscompares
+		for _, f := range rep.Failures {
+			if len(merged.Failures) < maxRecordedFailures {
+				merged.Failures = append(merged.Failures, f)
+			}
+		}
+	}
+	return merged, nil
+}
+
+// RunOptions extends Run with background and address-mapping choices.
+type RunOptions struct {
+	// Background selects the data background (nil = solid zeros).
+	Background BackgroundFunc
+	// AddrMap permutes the address sequence: element step i visits
+	// AddrMap(i). It must be a bijection on [0, Size). nil = identity
+	// (fast-column order for the studied layout).
+	AddrMap func(i int) int
+}
+
+// RunWith executes the test with explicit options; Run is the solid
+// zero-background identity-order special case.
+func RunWith(t Test, m Memory, opts RunOptions) (Report, error) {
+	if err := t.Validate(); err != nil {
+		return Report{}, err
+	}
+	bg := opts.Background
+	if bg == nil {
+		bg = func(int) uint64 { return 0 }
+	}
+	amap := opts.AddrMap
+	if amap == nil {
+		amap = func(i int) int { return i }
+	}
+	rep := Report{Test: t}
+	n := m.Size()
+	for ei, e := range t.Elems {
+		if e.IsMode() {
+			var err error
+			switch e.Ops[0] {
+			case DSM:
+				err = m.EnterDS(t.Dwell)
+			case LSM:
+				err = m.EnterLS(t.Dwell)
+			case WUP:
+				err = m.WakeUp()
+			}
+			if err != nil {
+				return rep, fmt.Errorf("march: %s element %d (%s): %w", t.Name, ei, e, err)
+			}
+			continue
+		}
+		first, last, step := 0, n-1, 1
+		if e.Order == Down {
+			first, last, step = n-1, 0, -1
+		}
+		for i := first; ; i += step {
+			addr := amap(i)
+			base := bg(addr)
+			for oi, op := range e.Ops {
+				rep.Ops++
+				switch op {
+				case W0, W1:
+					v := base
+					if op == W1 {
+						v = ^base
+					}
+					if err := m.Write(addr, v); err != nil {
+						return rep, fmt.Errorf("march: %s ME%d: %w", t.Name, ei+1, err)
+					}
+				case R0, R1:
+					want := base
+					if op == R1 {
+						want = ^base
+					}
+					got, err := m.Read(addr)
+					if err != nil {
+						return rep, fmt.Errorf("march: %s ME%d: %w", t.Name, ei+1, err)
+					}
+					if got != want {
+						rep.TotalMiscompares++
+						if len(rep.Failures) < maxRecordedFailures {
+							rep.Failures = append(rep.Failures, Failure{
+								Element: ei, OpIndex: oi, Addr: addr, Expected: want, Got: got,
+							})
+						}
+					}
+				}
+			}
+			if i == last {
+				break
+			}
+		}
+	}
+	rep.TestTime = t.TestTime(n, cycleTimeOf(m))
+	return rep, nil
+}

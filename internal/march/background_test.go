@@ -1,0 +1,220 @@
+package march
+
+import (
+	"testing"
+
+	cellpkg "sramtest/internal/cell"
+	"sramtest/internal/fault"
+	"sramtest/internal/process"
+	"sramtest/internal/sram"
+)
+
+// fakeMem is a minimal March memory that records the visit order.
+type fakeMem struct {
+	data   []uint64
+	visits []int
+	asleep bool
+}
+
+func newTestMemory() *fakeMem { return &fakeMem{data: make([]uint64, 64)} }
+
+func (f *fakeMem) Size() int { return len(f.data) }
+func (f *fakeMem) Read(a int) (uint64, error) {
+	f.visits = append(f.visits, a)
+	return f.data[a], nil
+}
+func (f *fakeMem) Write(a int, v uint64) error {
+	f.visits = append(f.visits, a)
+	f.data[a] = v
+	return nil
+}
+func (f *fakeMem) EnterDS(float64) error { f.asleep = true; return nil }
+func (f *fakeMem) EnterLS(float64) error { f.asleep = true; return nil }
+func (f *fakeMem) WakeUp() error         { f.asleep = false; return nil }
+
+func TestRunWithBackground(t *testing.T) {
+	m := newTestMemory()
+	bg := func(addr int) uint64 {
+		if addr%2 == 1 {
+			return ^uint64(0)
+		}
+		return 0
+	}
+	tst, _ := ParseTest("bg", "⇕(w0); ⇑(r0,w1); ⇓(r1)")
+	rep, err := RunWith(tst, m, RunOptions{Background: bg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Detected() {
+		t.Fatalf("clean background run failed: %v", rep.Failures)
+	}
+	// After the final w1, every word holds the complement background.
+	for a, v := range m.data {
+		if v != ^bg(a) {
+			t.Fatalf("addr %d holds %x, want %x", a, v, ^bg(a))
+		}
+	}
+}
+
+func TestRunWithAddrMap(t *testing.T) {
+	m := newTestMemory()
+	rev := func(i int) int { return m.Size() - 1 - i }
+	tst, _ := ParseTest("rev", "⇑(w0)")
+	if _, err := RunWith(tst, m, RunOptions{AddrMap: rev}); err != nil {
+		t.Fatal(err)
+	}
+	if m.visits[0] != m.Size()-1 || m.visits[len(m.visits)-1] != 0 {
+		t.Errorf("mapped order wrong: first=%d last=%d", m.visits[0], m.visits[len(m.visits)-1])
+	}
+}
+
+func TestCheckerboardPaintsPhysicalPattern(t *testing.T) {
+	s := sram.New()
+	tst, _ := ParseTest("init", "⇕(w0)")
+	if _, err := RunWith(tst, s, RunOptions{Background: sram.CheckerboardBackground}); err != nil {
+		t.Fatal(err)
+	}
+	// Spot-check: every cell holds (row+col)&1.
+	for _, probe := range []struct{ addr, bit int }{{0, 0}, {1, 0}, {8, 0}, {100, 17}, {4095, 63}} {
+		loc := sram.LocateCell(probe.addr, probe.bit)
+		want := (loc.Row+loc.Col)&1 == 1
+		if got := s.RawBit(probe.addr, probe.bit); got != want {
+			t.Errorf("cell (%d,%d) at row %d col %d holds %v, want %v",
+				probe.addr, probe.bit, loc.Row, loc.Col, got, want)
+		}
+	}
+}
+
+func TestBackgroundsAreAdjacentAware(t *testing.T) {
+	// Under checkerboard, physically adjacent cells differ; under solid
+	// they are equal. (The reason multi-background BIST exists.)
+	for _, probe := range []struct{ addr, bit int }{{0, 0}, {55, 12}} {
+		loc := sram.LocateCell(probe.addr, probe.bit)
+		if loc.Col+1 >= sram.Cols {
+			continue
+		}
+		naddr, nbit := sram.CellAt(sram.CellLocation{Row: loc.Row, Col: loc.Col + 1})
+		cb := sram.CheckerboardBackground
+		a := cb(probe.addr)>>uint(probe.bit)&1 == 1
+		b := cb(naddr)>>uint(nbit)&1 == 1
+		if a == b {
+			t.Errorf("checkerboard: neighbours (%d,%d)/(%d,%d) equal", probe.addr, probe.bit, naddr, nbit)
+		}
+	}
+}
+
+func TestRowAndColStripes(t *testing.T) {
+	// Row stripes: whole words are solid (a word lives in one row).
+	if v := sram.RowStripeBackground(0); v != 0 {
+		t.Errorf("row 0 stripe = %x", v)
+	}
+	if v := sram.RowStripeBackground(8); v != ^uint64(0) {
+		t.Errorf("row 1 stripe = %x", v)
+	}
+	// Column stripes: within a word, adjacent addresses complement.
+	a, b := sram.ColStripeBackground(0), sram.ColStripeBackground(1)
+	if a == b {
+		t.Error("column stripes should differ between adjacent addresses")
+	}
+}
+
+func TestFastRowOrderIsPermutation(t *testing.T) {
+	seen := make([]bool, sram.Words)
+	for i := 0; i < sram.Words; i++ {
+		a := sram.FastRowOrder(i)
+		if a < 0 || a >= sram.Words || seen[a] {
+			t.Fatalf("FastRowOrder not a bijection at %d -> %d", i, a)
+		}
+		seen[a] = true
+	}
+	// Consecutive steps move down the rows within one column group.
+	r0 := sram.LocateCell(sram.FastRowOrder(0), 0).Row
+	r1 := sram.LocateCell(sram.FastRowOrder(1), 0).Row
+	if r1 != r0+1 {
+		t.Errorf("fast-row order should advance the word line: %d -> %d", r0, r1)
+	}
+}
+
+func TestIntraWordCouplingNeedsWordBackgrounds(t *testing.T) {
+	// A coupling between two bits of the SAME word: every word write
+	// updates both bits simultaneously, so under a solid background the
+	// aggressor's up-transition forces the victim to the value it was
+	// being written anyway — the fault is masked. The 0xAAAA… word
+	// background writes the two bits with different values and exposes
+	// it. This is why word-oriented BIST needs log2(B)+1 backgrounds.
+	mkFault := func() fault.Fault {
+		return fault.Fault{
+			Kind:      fault.CFid,
+			Aggressor: fault.Cell{Addr: 100, Bit: 4}, // even bit: background 0
+			Victim:    fault.Cell{Addr: 100, Bit: 5}, // odd bit under 0xAA…: 1
+			Val:       true,                          // forced high on aggressor 0->1
+		}
+	}
+	run := func(bg BackgroundFunc) bool {
+		s := sram.New()
+		fault.NewInjector(mkFault()).Attach(s)
+		rep, err := RunWith(MarchCMinus(), s, RunOptions{Background: bg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Detected()
+	}
+	if run(nil) {
+		t.Error("solid background should mask the intra-word coupling")
+	}
+	aa := WordBackground(1, 64)
+	if !run(func(int) uint64 { return aa }) {
+		t.Error("0xAAAA… background should expose the intra-word coupling")
+	}
+}
+
+func TestWordBackgrounds(t *testing.T) {
+	if got := WordBackground(0, 64); got != 0 {
+		t.Errorf("bg0 = %x", got)
+	}
+	if got := WordBackground(1, 64); got != 0xAAAAAAAAAAAAAAAA {
+		t.Errorf("bg1 = %x", got)
+	}
+	if got := WordBackground(2, 64); got != 0xCCCCCCCCCCCCCCCC {
+		t.Errorf("bg2 = %x", got)
+	}
+	if got := WordBackground(6, 64); got != 0xFFFFFFFF00000000 {
+		t.Errorf("bg6 = %x", got)
+	}
+	bgs := StandardWordBackgrounds(64)
+	if len(bgs) != 7 {
+		t.Errorf("64-bit words need 7 backgrounds, got %d", len(bgs))
+	}
+}
+
+func TestRunAllBackgrounds(t *testing.T) {
+	// The merged run must catch the intra-word coupling that the solid
+	// background alone misses.
+	fresh := func() Memory {
+		s := sram.New()
+		fault.NewInjector(fault.Fault{
+			Kind:      fault.CFid,
+			Aggressor: fault.Cell{Addr: 7, Bit: 0},
+			Victim:    fault.Cell{Addr: 7, Bit: 1},
+			Val:       true,
+		}).Attach(s)
+		return s
+	}
+	rep, err := RunAllBackgrounds(MarchCMinus(), fresh, StandardWordBackgrounds(64))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Detected() {
+		t.Error("multi-background run should detect the intra-word coupling")
+	}
+	if rep.Ops != 7*10*sram.Words {
+		t.Errorf("merged ops %d, want 7 runs × 10N", rep.Ops)
+	}
+}
+
+// cellDRV evaluates the static DRV of a variation at a condition (test
+// helper shared by the dwell-gating test).
+func cellDRV(t *testing.T, v process.Variation, cond process.Condition) float64 {
+	t.Helper()
+	return cellpkg.New(v, cond).DRV1()
+}

@@ -1,0 +1,177 @@
+// Package march implements March memory tests in the notation of van de
+// Goor (paper ref [10]), extended with the power-mode operations of the
+// paper's Section V: DSM (switch from ACT to deep-sleep mode), LSM
+// (switch to light-sleep, used by the earlier March LZ), and WUP (the
+// wake-up phase back to ACT). It provides the test structures, a library
+// of standard algorithms plus the paper's March m-LZ, an executor over a
+// Memory device, and test-length/test-time accounting.
+package march
+
+import (
+	"fmt"
+	"strings"
+)
+
+// OpKind is a single March operation.
+type OpKind int
+
+// March operations: cell operations (applied per address inside an
+// element) and mode operations (standalone elements).
+const (
+	R0  OpKind = iota // read, expect 0
+	R1                // read, expect 1
+	W0                // write 0
+	W1                // write 1
+	DSM               // ACT -> deep-sleep (regulator on), dwell, stay in DS
+	LSM               // ACT -> light-sleep (peripherals gated, array at VDD)
+	WUP               // wake-up phase back to ACT
+)
+
+// String implements fmt.Stringer using the paper's notation.
+func (k OpKind) String() string {
+	return [...]string{"r0", "r1", "w0", "w1", "DSM", "LSM", "WUP"}[k]
+}
+
+// IsModeOp reports whether the op is a power-mode transition.
+func (k OpKind) IsModeOp() bool { return k == DSM || k == LSM || k == WUP }
+
+// Order is the addressing order of a March element.
+type Order int
+
+// Address orders: ⇑ ascending, ⇓ descending, ⇕ either (executed ascending).
+const (
+	Up Order = iota
+	Down
+	Any
+)
+
+// String implements fmt.Stringer with the conventional arrows.
+func (o Order) String() string {
+	return [...]string{"⇑", "⇓", "⇕"}[o]
+}
+
+// Element is one March element: an address order with a sequence of cell
+// operations, or a single standalone mode operation.
+type Element struct {
+	Order Order
+	Ops   []OpKind
+}
+
+// IsMode reports whether the element is a standalone mode operation.
+func (e Element) IsMode() bool {
+	return len(e.Ops) == 1 && e.Ops[0].IsModeOp()
+}
+
+// String renders "⇑(r1,w0,r0)" or "DSM".
+func (e Element) String() string {
+	if e.IsMode() {
+		return e.Ops[0].String()
+	}
+	parts := make([]string, len(e.Ops))
+	for i, op := range e.Ops {
+		parts[i] = op.String()
+	}
+	return fmt.Sprintf("%s(%s)", e.Order, strings.Join(parts, ","))
+}
+
+// Test is a complete March test.
+type Test struct {
+	Name  string
+	Elems []Element
+	// Dwell is the residence time of each DSM/LSM operation (the paper's
+	// "DS time" column in Table III; ≥1 ms recommended).
+	Dwell float64
+}
+
+// String renders the whole test in the paper's style, e.g.
+// "{⇕(w1); DSM; WUP; ⇑(r1,w0,r0); DSM; WUP; ⇑(r0)}".
+func (t Test) String() string {
+	parts := make([]string, len(t.Elems))
+	for i, e := range t.Elems {
+		parts[i] = e.String()
+	}
+	return "{" + strings.Join(parts, "; ") + "}"
+}
+
+// Validate checks the structural rules: mode ops appear only as
+// standalone elements, cell elements are non-empty, and every DSM/LSM is
+// eventually followed by a WUP before the next cell element.
+func (t Test) Validate() error {
+	if len(t.Elems) == 0 {
+		return fmt.Errorf("march: %s has no elements", t.Name)
+	}
+	awake := true
+	for i, e := range t.Elems {
+		if len(e.Ops) == 0 {
+			return fmt.Errorf("march: %s element %d is empty", t.Name, i)
+		}
+		if e.IsMode() {
+			switch e.Ops[0] {
+			case DSM, LSM:
+				if !awake {
+					return fmt.Errorf("march: %s element %d enters sleep while already asleep", t.Name, i)
+				}
+				awake = false
+			case WUP:
+				awake = true
+			}
+			continue
+		}
+		for _, op := range e.Ops {
+			if op.IsModeOp() {
+				return fmt.Errorf("march: %s element %d mixes mode op %s with cell ops", t.Name, i, op)
+			}
+		}
+		if !awake {
+			return fmt.Errorf("march: %s element %d performs cell ops while asleep", t.Name, i)
+		}
+	}
+	if !awake {
+		return fmt.Errorf("march: %s ends asleep (missing WUP)", t.Name)
+	}
+	return nil
+}
+
+// Length returns the test complexity as (perCell, constant): the test
+// executes perCell·N + constant operations on a memory of N words.
+// March m-LZ returns (5, 4), i.e. the paper's 5N+4.
+func (t Test) Length() (perCell, constant int) {
+	for _, e := range t.Elems {
+		if e.IsMode() {
+			constant++
+		} else {
+			perCell += len(e.Ops)
+		}
+	}
+	return perCell, constant
+}
+
+// LengthFor evaluates the complexity for a memory of n words.
+func (t Test) LengthFor(n int) int {
+	p, c := t.Length()
+	return p*n + c
+}
+
+// TestTime returns the wall-clock test time on a memory of n words with
+// the given access cycle time: cell operations take one cycle each, every
+// sleep entry costs its dwell, and each WUP costs one cycle.
+func (t Test) TestTime(n int, cycle float64) float64 {
+	total := 0.0
+	for _, e := range t.Elems {
+		if e.IsMode() {
+			switch e.Ops[0] {
+			case DSM, LSM:
+				total += t.Dwell
+			case WUP:
+				total += cycle
+			}
+			continue
+		}
+		total += float64(len(e.Ops)) * float64(n) * cycle
+	}
+	return total
+}
+
+// helpers to build elements tersely in the algorithm library.
+func el(o Order, ops ...OpKind) Element { return Element{Order: o, Ops: ops} }
+func mode(op OpKind) Element            { return Element{Order: Any, Ops: []OpKind{op}} }

@@ -1,0 +1,97 @@
+package march
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ParseTest parses the van-de-Goor notation produced by Test.String, so
+// users can define their own algorithms on the command line or in config
+// files:
+//
+//	{⇕(w1); DSM; WUP; ⇑(r1,w0,r0); DSM; WUP; ⇑(r0)}
+//
+// ASCII aliases are accepted for the order arrows: "ud" or "m" for ⇕,
+// "up" or "u" for ⇑, "dn"/"down"/"d" for ⇓. The surrounding braces are
+// optional. The dwell of DSM/LSM operations defaults to DefaultDwell.
+func ParseTest(name, src string) (Test, error) {
+	t := Test{Name: name, Dwell: DefaultDwell}
+	src = strings.TrimSpace(src)
+	src = strings.TrimPrefix(src, "{")
+	src = strings.TrimSuffix(src, "}")
+	for _, raw := range strings.Split(src, ";") {
+		tok := strings.TrimSpace(raw)
+		if tok == "" {
+			continue
+		}
+		e, err := parseElement(tok)
+		if err != nil {
+			return Test{}, fmt.Errorf("march: %q: %w", tok, err)
+		}
+		t.Elems = append(t.Elems, e)
+	}
+	if len(t.Elems) == 0 {
+		return Test{}, fmt.Errorf("march: empty test %q", src)
+	}
+	if err := t.Validate(); err != nil {
+		return Test{}, err
+	}
+	return t, nil
+}
+
+func parseElement(tok string) (Element, error) {
+	switch strings.ToUpper(tok) {
+	case "DSM":
+		return mode(DSM), nil
+	case "LSM":
+		return mode(LSM), nil
+	case "WUP":
+		return mode(WUP), nil
+	}
+	open := strings.IndexByte(tok, '(')
+	if open < 0 || !strings.HasSuffix(tok, ")") {
+		return Element{}, fmt.Errorf("expected order(ops...) or a mode op")
+	}
+	order, err := parseOrder(strings.TrimSpace(tok[:open]))
+	if err != nil {
+		return Element{}, err
+	}
+	var ops []OpKind
+	for _, o := range strings.Split(tok[open+1:len(tok)-1], ",") {
+		op, err := parseOp(strings.TrimSpace(o))
+		if err != nil {
+			return Element{}, err
+		}
+		ops = append(ops, op)
+	}
+	if len(ops) == 0 {
+		return Element{}, fmt.Errorf("element has no operations")
+	}
+	return Element{Order: order, Ops: ops}, nil
+}
+
+func parseOrder(s string) (Order, error) {
+	switch s {
+	case "⇑", "up", "u":
+		return Up, nil
+	case "⇓", "dn", "down", "d":
+		return Down, nil
+	case "⇕", "ud", "m", "":
+		return Any, nil
+	}
+	return Any, fmt.Errorf("unknown address order %q", s)
+}
+
+func parseOp(s string) (OpKind, error) {
+	switch strings.ToLower(s) {
+	case "r0":
+		return R0, nil
+	case "r1":
+		return R1, nil
+	case "w0":
+		return W0, nil
+	case "w1":
+		return W1, nil
+	}
+	return R0, fmt.Errorf("unknown operation %q", s)
+}

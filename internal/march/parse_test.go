@@ -1,0 +1,89 @@
+package march
+
+import (
+	"testing"
+)
+
+func TestParseRoundTripLibrary(t *testing.T) {
+	// Every library algorithm must survive String -> ParseTest.
+	for _, tst := range Library() {
+		got, err := ParseTest(tst.Name, tst.String())
+		if err != nil {
+			t.Errorf("%s: %v", tst.Name, err)
+			continue
+		}
+		if got.String() != tst.String() {
+			t.Errorf("%s round trip:\n in  %s\n out %s", tst.Name, tst.String(), got.String())
+		}
+		p1, c1 := tst.Length()
+		p2, c2 := got.Length()
+		if p1 != p2 || c1 != c2 {
+			t.Errorf("%s length changed: %dN+%d vs %dN+%d", tst.Name, p1, c1, p2, c2)
+		}
+	}
+}
+
+func TestParseASCIIAliases(t *testing.T) {
+	got, err := ParseTest("custom", "m(w1); DSM; WUP; up(r1,w0,r0); DSM; WUP; u(r0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != MarchMLZ().String() {
+		t.Errorf("ASCII parse:\n got  %s\n want %s", got.String(), MarchMLZ().String())
+	}
+	down, err := ParseTest("d", "ud(w0); dn(r0,w1); d(r1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if down.Elems[1].Order != Down || down.Elems[2].Order != Down {
+		t.Error("down aliases not honored")
+	}
+}
+
+func TestParseBracesOptional(t *testing.T) {
+	a, err := ParseTest("a", "{⇕(w0); ⇑(r0)}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ParseTest("b", "⇕(w0); ⇑(r0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("braces should not change the parse")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",             // empty
+		"⇑(r0,w9)",     // unknown op
+		"sideways(r0)", // unknown order
+		"⇑()",          // empty ops
+		"⇑ r0",         // missing parens
+		"DSM; ⇑(r0)",   // ops while asleep (Validate)
+		"⇑(r0); DSM",   // ends asleep (Validate)
+	}
+	for _, src := range bad {
+		if _, err := ParseTest("bad", src); err == nil {
+			t.Errorf("ParseTest(%q) should fail", src)
+		}
+	}
+}
+
+func TestParsedTestRuns(t *testing.T) {
+	tst, err := ParseTest("mini", "⇕(w1); ⇑(r1,w0); ⇓(r0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(tst, newTestMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Detected() {
+		t.Error("clean run flagged failures")
+	}
+	if p, _ := tst.Length(); p != 4 {
+		t.Errorf("length %dN", p)
+	}
+}

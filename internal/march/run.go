@@ -1,0 +1,85 @@
+package march
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Memory is the device a March test runs against. sram.SRAM implements it.
+type Memory interface {
+	Size() int
+	Read(addr int) (uint64, error)
+	Write(addr int, v uint64) error
+	EnterDS(dwell float64) error
+	EnterLS(dwell float64) error
+	WakeUp() error
+}
+
+// Background data values: March w0/w1 write the all-zero / all-one
+// pattern across the 64-bit word so every cell sees the intended value.
+const (
+	Data0 uint64 = 0
+	Data1 uint64 = ^uint64(0)
+)
+
+// Failure records one miscompare observed during a run.
+type Failure struct {
+	Element  int    // index into Test.Elems
+	OpIndex  int    // index into the element's ops
+	Addr     int    // failing word address
+	Expected uint64 // expected background
+	Got      uint64 // observed word
+}
+
+// Bits returns the failing bit positions of the miscompare.
+func (f Failure) Bits() []int {
+	var out []int
+	diff := f.Expected ^ f.Got
+	for diff != 0 {
+		b := bits.TrailingZeros64(diff)
+		out = append(out, b)
+		diff &^= 1 << uint(b)
+	}
+	return out
+}
+
+// String renders "ME4 op1 @0x12: expected ffffffffffffffff got fffffffffffffffe".
+func (f Failure) String() string {
+	return fmt.Sprintf("ME%d op%d @0x%x: expected %016x got %016x", f.Element+1, f.OpIndex, f.Addr, f.Expected, f.Got)
+}
+
+// Report summarizes a March run.
+type Report struct {
+	Test     Test
+	Failures []Failure
+	Ops      int     // cell operations executed
+	TestTime float64 // accounted wall-clock test time (s)
+	// MaxFailures caps recording; the run continues counting.
+	TotalMiscompares int
+}
+
+// Detected reports whether the run flagged at least one fault.
+func (r Report) Detected() bool { return r.TotalMiscompares > 0 }
+
+// maxRecordedFailures bounds the memory used by heavily failing runs.
+const maxRecordedFailures = 64
+
+// Run executes the test against the memory with the solid zero background
+// and identity address order. The memory must be in ACT mode. Execution
+// continues past miscompares (a production BIST would log and continue,
+// and the coverage experiments need the full failure map). See RunWith
+// for data backgrounds and address mapping.
+func Run(t Test, m Memory) (Report, error) {
+	return RunWith(t, m, RunOptions{})
+}
+
+// cycleTimer lets devices report their access cycle time for test-time
+// accounting; devices without one use the default 10 ns.
+type cycleTimer interface{ Cycle() float64 }
+
+func cycleTimeOf(m Memory) float64 {
+	if ct, ok := m.(cycleTimer); ok {
+		return ct.Cycle()
+	}
+	return 10e-9
+}

@@ -1,0 +1,85 @@
+package num
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// CMatrix is a dense row-major complex matrix, used by the AC (small
+// signal) analysis where the MNA system becomes G + jωC.
+type CMatrix struct {
+	Rows, Cols int
+	Data       []complex128
+}
+
+// NewCMatrix returns a zeroed rows×cols complex matrix.
+func NewCMatrix(rows, cols int) *CMatrix {
+	return &CMatrix{Rows: rows, Cols: cols, Data: make([]complex128, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *CMatrix) At(i, j int) complex128 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *CMatrix) Set(i, j int, v complex128) { m.Data[i*m.Cols+j] = v }
+
+// Add accumulates v into element (i, j).
+func (m *CMatrix) Add(i, j int, v complex128) { m.Data[i*m.Cols+j] += v }
+
+// SolveComplex solves a·x = b in place of a copy (a and b unmodified)
+// with partially pivoted Gaussian elimination.
+func SolveComplex(a *CMatrix, b []complex128) ([]complex128, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("num: SolveComplex needs square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	if len(b) != n {
+		return nil, fmt.Errorf("num: SolveComplex dimension mismatch %d vs %d", len(b), n)
+	}
+	lu := make([]complex128, n*n)
+	copy(lu, a.Data)
+	x := make([]complex128, n)
+	copy(x, b)
+
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	for k := 0; k < n; k++ {
+		p, pmax := k, cmplx.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := cmplx.Abs(lu[i*n+k]); v > pmax {
+				p, pmax = i, v
+			}
+		}
+		if pmax == 0 {
+			return nil, fmt.Errorf("%w (complex pivot %d)", ErrSingular, k)
+		}
+		if p != k {
+			for j := 0; j < n; j++ {
+				lu[k*n+j], lu[p*n+j] = lu[p*n+j], lu[k*n+j]
+			}
+			x[k], x[p] = x[p], x[k]
+		}
+		piv := lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu[i*n+k] / piv
+			if m == 0 {
+				continue
+			}
+			lu[i*n+k] = m
+			for j := k + 1; j < n; j++ {
+				lu[i*n+j] -= m * lu[k*n+j]
+			}
+			x[i] -= m * x[k]
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= lu[i*n+j] * x[j]
+		}
+		x[i] = s / lu[i*n+i]
+	}
+	return x, nil
+}

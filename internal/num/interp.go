@@ -1,0 +1,127 @@
+package num
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Curve is a sampled function y(x) with strictly increasing x, supporting
+// linear interpolation and inversion. It backs the voltage-transfer-curve
+// manipulation in the SNM analysis.
+type Curve struct {
+	X, Y []float64
+}
+
+// NewCurve builds a curve from parallel x/y slices. x must be strictly
+// increasing.
+func NewCurve(x, y []float64) (*Curve, error) {
+	if len(x) != len(y) {
+		return nil, fmt.Errorf("num: curve length mismatch %d vs %d", len(x), len(y))
+	}
+	if len(x) < 2 {
+		return nil, fmt.Errorf("num: curve needs at least 2 points, got %d", len(x))
+	}
+	for i := 1; i < len(x); i++ {
+		if x[i] <= x[i-1] {
+			return nil, fmt.Errorf("num: curve x not strictly increasing at index %d (%g <= %g)", i, x[i], x[i-1])
+		}
+	}
+	return &Curve{X: append([]float64(nil), x...), Y: append([]float64(nil), y...)}, nil
+}
+
+// At evaluates the curve at x by linear interpolation, clamping to the end
+// values outside the sampled domain.
+func (c *Curve) At(x float64) float64 {
+	n := len(c.X)
+	if x <= c.X[0] {
+		return c.Y[0]
+	}
+	if x >= c.X[n-1] {
+		return c.Y[n-1]
+	}
+	i := sort.SearchFloat64s(c.X, x)
+	// c.X[i-1] < x <= c.X[i]
+	x0, x1 := c.X[i-1], c.X[i]
+	y0, y1 := c.Y[i-1], c.Y[i]
+	t := (x - x0) / (x1 - x0)
+	return y0 + t*(y1-y0)
+}
+
+// Min returns the minimum y value and its x location.
+func (c *Curve) Min() (x, y float64) {
+	x, y = c.X[0], c.Y[0]
+	for i, v := range c.Y {
+		if v < y {
+			x, y = c.X[i], v
+		}
+	}
+	return x, y
+}
+
+// Max returns the maximum y value and its x location.
+func (c *Curve) Max() (x, y float64) {
+	x, y = c.X[0], c.Y[0]
+	for i, v := range c.Y {
+		if v > y {
+			x, y = c.X[i], v
+		}
+	}
+	return x, y
+}
+
+// Linspace returns n evenly spaced points covering [a, b] inclusive.
+func Linspace(a, b float64, n int) []float64 {
+	if n < 2 {
+		return []float64{a}
+	}
+	out := make([]float64, n)
+	step := (b - a) / float64(n-1)
+	for i := range out {
+		out[i] = a + float64(i)*step
+	}
+	out[n-1] = b
+	return out
+}
+
+// Logspace returns n logarithmically spaced points covering [a, b]
+// inclusive; a and b must be positive.
+func Logspace(a, b float64, n int) []float64 {
+	if a <= 0 || b <= 0 {
+		panic(fmt.Sprintf("num: Logspace requires positive bounds, got [%g,%g]", a, b))
+	}
+	la, lb := math.Log(a), math.Log(b)
+	pts := Linspace(la, lb, n)
+	for i, v := range pts {
+		pts[i] = math.Exp(v)
+	}
+	// Pin the exact endpoints to avoid round-off drift.
+	pts[0] = a
+	pts[len(pts)-1] = b
+	return pts
+}
+
+// MaxAbsDiff returns the largest |a[i]-b[i]|.
+func MaxAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("num: MaxAbsDiff length mismatch %d vs %d", len(a), len(b)))
+	}
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,125 @@
+package num
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewCurveValidation(t *testing.T) {
+	if _, err := NewCurve([]float64{0, 1}, []float64{0}); err == nil {
+		t.Error("expected length-mismatch error")
+	}
+	if _, err := NewCurve([]float64{0}, []float64{0}); err == nil {
+		t.Error("expected too-short error")
+	}
+	if _, err := NewCurve([]float64{0, 0}, []float64{1, 2}); err == nil {
+		t.Error("expected non-increasing error")
+	}
+}
+
+func TestCurveAt(t *testing.T) {
+	c, err := NewCurve([]float64{0, 1, 2}, []float64{0, 10, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct{ x, want float64 }{
+		{-1, 0}, {0, 0}, {0.5, 5}, {1, 10}, {1.5, 5}, {2, 0}, {3, 0},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("At(%g)=%g, want %g", tc.x, got, tc.want)
+		}
+	}
+}
+
+func TestCurveMinMax(t *testing.T) {
+	c, _ := NewCurve([]float64{0, 1, 2, 3}, []float64{5, -1, 7, 2})
+	if x, y := c.Min(); x != 1 || y != -1 {
+		t.Errorf("Min = (%g,%g)", x, y)
+	}
+	if x, y := c.Max(); x != 2 || y != 7 {
+		t.Errorf("Max = (%g,%g)", x, y)
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	pts := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	if MaxAbsDiff(pts, want) > 1e-15 {
+		t.Errorf("Linspace = %v", pts)
+	}
+	if got := Linspace(3, 9, 1); len(got) != 1 || got[0] != 3 {
+		t.Errorf("Linspace n=1 = %v", got)
+	}
+}
+
+func TestLogspace(t *testing.T) {
+	pts := Logspace(1, 1e6, 7)
+	if pts[0] != 1 || pts[6] != 1e6 {
+		t.Errorf("Logspace endpoints %g %g", pts[0], pts[6])
+	}
+	for i := 1; i < len(pts); i++ {
+		ratio := pts[i] / pts[i-1]
+		if math.Abs(ratio-10) > 1e-9 {
+			t.Errorf("Logspace ratio %g at %d", ratio, i)
+		}
+	}
+}
+
+func TestLogspacePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic for non-positive bound")
+		}
+	}()
+	Logspace(0, 1, 3)
+}
+
+func TestClamp(t *testing.T) {
+	if Clamp(5, 0, 1) != 1 || Clamp(-5, 0, 1) != 0 || Clamp(0.5, 0, 1) != 0.5 {
+		t.Error("Clamp misbehaves")
+	}
+}
+
+// Property: curve interpolation is exact on sample points and bounded by
+// neighbouring sample values between them.
+func TestCurveInterpolationProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		if len(raw) > 16 {
+			raw = raw[:16]
+		}
+		x := make([]float64, len(raw))
+		y := make([]float64, len(raw))
+		for i := range raw {
+			x[i] = float64(i)
+			y[i] = math.Mod(raw[i], 100)
+			if math.IsNaN(y[i]) || math.IsInf(y[i], 0) {
+				y[i] = 0
+			}
+		}
+		c, err := NewCurve(x, y)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(c.At(x[i])-y[i]) > 1e-9 {
+				return false
+			}
+		}
+		for i := 1; i < len(x); i++ {
+			mid := c.At(x[i] - 0.5)
+			lo, hi := math.Min(y[i-1], y[i]), math.Max(y[i-1], y[i])
+			if mid < lo-1e-9 || mid > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

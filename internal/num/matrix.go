@@ -1,0 +1,179 @@
+// Package num provides the small dense linear-algebra and scalar
+// root-finding kernels used by the circuit solver and the cell/regulator
+// analyses. It is deliberately minimal: the circuit matrices in this
+// project are dense and tiny (tens of nodes), so a straightforward
+// partially-pivoted LU is both the simplest and the fastest option.
+package num
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Matrix is a dense row-major matrix of float64.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix returns a zeroed rows×cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("num: invalid matrix size %dx%d", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Add accumulates v into element (i, j).
+func (m *Matrix) Add(i, j int, v float64) { m.Data[i*m.Cols+j] += v }
+
+// Zero clears all elements in place.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// MulVec computes y = m·x. The result slice is freshly allocated.
+func (m *Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic(fmt.Sprintf("num: MulVec dimension mismatch %d vs %d", len(x), m.Cols))
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		s := 0.0
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	var b strings.Builder
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			fmt.Fprintf(&b, "% 12.5g", m.At(i, j))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// ErrSingular is returned when LU factorization encounters a pivot that is
+// numerically zero, i.e. the system matrix is singular (an unconnected or
+// over-constrained circuit node typically causes this).
+var ErrSingular = errors.New("num: singular matrix")
+
+// LU holds an in-place LU factorization with partial pivoting of a square
+// matrix, suitable for repeated solves against different right-hand sides.
+type LU struct {
+	n    int
+	lu   []float64 // combined L (unit lower) and U factors, row-major
+	perm []int     // row permutation: factored row i came from original row perm[i]
+}
+
+// FactorLU computes the partially-pivoted LU factorization of the square
+// matrix a. The input matrix is not modified.
+func FactorLU(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("num: FactorLU requires square matrix, got %dx%d", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	f := &LU{n: n, lu: make([]float64, n*n), perm: make([]int, n)}
+	copy(f.lu, a.Data)
+	for i := range f.perm {
+		f.perm[i] = i
+	}
+	lu := f.lu
+	for k := 0; k < n; k++ {
+		// Partial pivot: find the largest |value| in column k at or below row k.
+		p, pmax := k, math.Abs(lu[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(lu[i*n+k]); v > pmax {
+				p, pmax = i, v
+			}
+		}
+		if pmax == 0 || math.IsNaN(pmax) {
+			return nil, fmt.Errorf("%w (pivot %d)", ErrSingular, k)
+		}
+		if p != k {
+			rowK := lu[k*n : k*n+n]
+			rowP := lu[p*n : p*n+n]
+			for j := range rowK {
+				rowK[j], rowP[j] = rowP[j], rowK[j]
+			}
+			f.perm[k], f.perm[p] = f.perm[p], f.perm[k]
+		}
+		piv := lu[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := lu[i*n+k] / piv
+			lu[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			rowI := lu[i*n+k+1 : i*n+n]
+			rowK := lu[k*n+k+1 : k*n+n]
+			for j := range rowI {
+				rowI[j] -= m * rowK[j]
+			}
+		}
+	}
+	return f, nil
+}
+
+// Solve computes x such that A·x = b for the factored matrix. b is not
+// modified; x is freshly allocated.
+func (f *LU) Solve(b []float64) []float64 {
+	if len(b) != f.n {
+		panic(fmt.Sprintf("num: LU.Solve dimension mismatch %d vs %d", len(b), f.n))
+	}
+	n := f.n
+	x := make([]float64, n)
+	// Apply permutation and forward-substitute through unit-lower L.
+	for i := 0; i < n; i++ {
+		s := b[f.perm[i]]
+		row := f.lu[i*n : i*n+i]
+		for j, v := range row {
+			s -= v * x[j]
+		}
+		x[i] = s
+	}
+	// Back-substitute through U.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		row := f.lu[i*n+i+1 : i*n+n]
+		for j, v := range row {
+			s -= v * x[i+1+j]
+		}
+		x[i] = s / f.lu[i*n+i]
+	}
+	return x
+}
+
+// SolveLinear factors a and solves a·x = b in one call.
+func SolveLinear(a *Matrix, b []float64) ([]float64, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}

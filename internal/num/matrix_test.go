@@ -1,0 +1,162 @@
+package num
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix(2, 3)
+	m.Set(0, 0, 1)
+	m.Set(1, 2, -4)
+	m.Add(1, 2, 1)
+	if got := m.At(0, 0); got != 1 {
+		t.Errorf("At(0,0)=%g, want 1", got)
+	}
+	if got := m.At(1, 2); got != -3 {
+		t.Errorf("At(1,2)=%g, want -3", got)
+	}
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Error("Clone shares storage with original")
+	}
+	m.Zero()
+	for i, v := range m.Data {
+		if v != 0 {
+			t.Fatalf("Zero left Data[%d]=%g", i, v)
+		}
+	}
+}
+
+func TestMulVec(t *testing.T) {
+	m := NewMatrix(2, 2)
+	m.Set(0, 0, 1)
+	m.Set(0, 1, 2)
+	m.Set(1, 0, 3)
+	m.Set(1, 1, 4)
+	y := m.MulVec([]float64{5, 6})
+	if y[0] != 17 || y[1] != 39 {
+		t.Errorf("MulVec = %v, want [17 39]", y)
+	}
+}
+
+func TestLUKnownSystem(t *testing.T) {
+	// 3x3 system with known solution x = [1, -2, 3].
+	a := NewMatrix(3, 3)
+	vals := [][]float64{{2, 1, 1}, {4, -6, 0}, {-2, 7, 2}}
+	for i := range vals {
+		for j := range vals[i] {
+			a.Set(i, j, vals[i][j])
+		}
+	}
+	want := []float64{1, -2, 3}
+	b := a.MulVec(want)
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatalf("SolveLinear: %v", err)
+	}
+	if d := MaxAbsDiff(x, want); d > 1e-12 {
+		t.Errorf("solution error %g: got %v", d, x)
+	}
+}
+
+func TestLUNeedsPivoting(t *testing.T) {
+	// Zero on the diagonal forces a row swap.
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 0)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 0)
+	x, err := SolveLinear(a, []float64{2, 3})
+	if err != nil {
+		t.Fatalf("SolveLinear: %v", err)
+	}
+	if x[0] != 3 || x[1] != 2 {
+		t.Errorf("got %v, want [3 2]", x)
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(1, 0, 2)
+	a.Set(1, 1, 4)
+	if _, err := FactorLU(a); err == nil {
+		t.Error("expected singular-matrix error, got nil")
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	if _, err := FactorLU(NewMatrix(2, 3)); err == nil {
+		t.Error("expected error for non-square matrix")
+	}
+}
+
+// Property: for random diagonally dominant matrices, LU solve reproduces a
+// known solution vector to high accuracy.
+func TestLURandomProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(12)
+		a := NewMatrix(n, n)
+		for i := 0; i < n; i++ {
+			sum := 0.0
+			for j := 0; j < n; j++ {
+				if i == j {
+					continue
+				}
+				v := r.Float64()*2 - 1
+				a.Set(i, j, v)
+				sum += math.Abs(v)
+			}
+			// Strictly diagonally dominant -> well conditioned enough.
+			a.Set(i, i, sum+1+r.Float64())
+		}
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = r.Float64()*10 - 5
+		}
+		b := a.MulVec(want)
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		return MaxAbsDiff(x, want) < 1e-9
+	}
+	cfg := &quick.Config{MaxCount: 100, Rand: rng}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLUReuseFactorization(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 4)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 1)
+	a.Set(1, 1, 3)
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range [][]float64{{1, 0}, {0, 1}, {2, -5}} {
+		b := a.MulVec(want)
+		x := f.Solve(b)
+		if d := MaxAbsDiff(x, want); d > 1e-12 {
+			t.Errorf("reuse solve for %v: error %g", want, d)
+		}
+	}
+}
+
+func TestMatrixString(t *testing.T) {
+	m := NewMatrix(1, 2)
+	m.Set(0, 1, 2.5)
+	if s := m.String(); s == "" {
+		t.Error("String returned empty")
+	}
+}

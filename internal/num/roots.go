@@ -1,0 +1,167 @@
+package num
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrNoBracket is returned by the root finders when the supplied interval
+// does not bracket a sign change.
+var ErrNoBracket = errors.New("num: interval does not bracket a root")
+
+// ErrNoConverge is returned when an iterative method exhausts its iteration
+// budget without meeting its tolerance.
+var ErrNoConverge = errors.New("num: iteration did not converge")
+
+// Bisect finds a root of f in [a, b] (f(a) and f(b) must have opposite
+// signs) to within absolute x tolerance tol. It is unconditionally
+// convergent, which makes it the workhorse for VTC extraction where f can
+// be extremely stiff.
+func Bisect(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, a, fa, b, fb)
+	}
+	for i := 0; i < 200; i++ {
+		m := 0.5 * (a + b)
+		if b-a <= tol || m == a || m == b {
+			return m, nil
+		}
+		fm := f(m)
+		if fm == 0 {
+			return m, nil
+		}
+		if math.Signbit(fm) == math.Signbit(fa) {
+			a, fa = m, fm
+		} else {
+			b = m
+		}
+	}
+	return 0.5 * (a + b), nil
+}
+
+// Brent finds a root of f in a bracketing interval [a, b] using Brent's
+// method (inverse quadratic interpolation with bisection fallback). It
+// converges superlinearly on smooth functions and never leaves the bracket.
+func Brent(f func(float64) float64, a, b, tol float64) (float64, error) {
+	fa, fb := f(a), f(b)
+	if fa == 0 {
+		return a, nil
+	}
+	if fb == 0 {
+		return b, nil
+	}
+	if math.Signbit(fa) == math.Signbit(fb) {
+		return 0, fmt.Errorf("%w: f(%g)=%g, f(%g)=%g", ErrNoBracket, a, fa, b, fb)
+	}
+	if math.Abs(fa) < math.Abs(fb) {
+		a, b, fa, fb = b, a, fb, fa
+	}
+	c, fc := a, fa
+	mflag := true
+	var d float64
+	for i := 0; i < 200; i++ {
+		if fb == 0 || math.Abs(b-a) <= tol {
+			return b, nil
+		}
+		var s float64
+		if fa != fc && fb != fc {
+			// Inverse quadratic interpolation.
+			s = a*fb*fc/((fa-fb)*(fa-fc)) +
+				b*fa*fc/((fb-fa)*(fb-fc)) +
+				c*fa*fb/((fc-fa)*(fc-fb))
+		} else {
+			// Secant step.
+			s = b - fb*(b-a)/(fb-fa)
+		}
+		lo, hi := (3*a+b)/4, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		cond := s < lo || s > hi ||
+			(mflag && math.Abs(s-b) >= math.Abs(b-c)/2) ||
+			(!mflag && math.Abs(s-b) >= math.Abs(c-d)/2) ||
+			(mflag && math.Abs(b-c) < tol) ||
+			(!mflag && math.Abs(c-d) < tol)
+		if cond {
+			s = 0.5 * (a + b)
+			mflag = true
+		} else {
+			mflag = false
+		}
+		fs := f(s)
+		d, c, fc = c, b, fb
+		if math.Signbit(fa) != math.Signbit(fs) {
+			b, fb = s, fs
+		} else {
+			a, fa = s, fs
+		}
+		if math.Abs(fa) < math.Abs(fb) {
+			a, b, fa, fb = b, a, fb, fa
+		}
+	}
+	return b, ErrNoConverge
+}
+
+// BracketDown searches downward from hi toward lo for an interval
+// [x, x+step] where f changes sign, halving the step on every pass.
+// It is used to bracket DRV crossings where the crossing position is
+// unknown a priori. Returns the bracketing interval.
+func BracketDown(f func(float64) float64, lo, hi float64, n int) (a, b float64, err error) {
+	if n < 2 {
+		n = 2
+	}
+	step := (hi - lo) / float64(n)
+	x1 := hi
+	f1 := f(x1)
+	for x := hi - step; x >= lo-step/2; x -= step {
+		if x < lo {
+			x = lo
+		}
+		f0 := f(x)
+		if f0 == 0 {
+			return x, x, nil
+		}
+		if math.Signbit(f0) != math.Signbit(f1) {
+			return x, x1, nil
+		}
+		x1, f1 = x, f0
+		if x == lo {
+			break
+		}
+	}
+	return 0, 0, fmt.Errorf("%w in [%g,%g]", ErrNoBracket, lo, hi)
+}
+
+// GoldenMax locates the maximizer of a unimodal function f on [a, b] to
+// within x tolerance tol using golden-section search.
+func GoldenMax(f func(float64) float64, a, b, tol float64) (x, fx float64) {
+	const invPhi = 0.6180339887498949 // (sqrt(5)-1)/2
+	x1 := b - invPhi*(b-a)
+	x2 := a + invPhi*(b-a)
+	f1, f2 := f(x1), f(x2)
+	for b-a > tol {
+		if f1 < f2 {
+			a = x1
+			x1, f1 = x2, f2
+			x2 = a + invPhi*(b-a)
+			f2 = f(x2)
+		} else {
+			b = x2
+			x2, f2 = x1, f1
+			x1 = b - invPhi*(b-a)
+			f1 = f(x1)
+		}
+	}
+	if f1 > f2 {
+		return x1, f1
+	}
+	return x2, f2
+}

@@ -1,0 +1,120 @@
+package num
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBisectSimple(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2 }
+	x, err := Bisect(f, 0, 2, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x-math.Sqrt2) > 1e-10 {
+		t.Errorf("Bisect sqrt(2): got %.15g", x)
+	}
+}
+
+func TestBisectEndpointRoot(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	if x, err := Bisect(f, 0, 1, 1e-12); err != nil || x != 0 {
+		t.Errorf("endpoint root: x=%g err=%v", x, err)
+	}
+	if x, err := Bisect(f, -1, 0, 1e-12); err != nil || x != 0 {
+		t.Errorf("endpoint root at b: x=%g err=%v", x, err)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	if _, err := Bisect(f, -1, 1, 1e-9); err == nil {
+		t.Error("expected ErrNoBracket")
+	}
+}
+
+func TestBrentSimple(t *testing.T) {
+	f := func(x float64) float64 { return math.Cos(x) - x }
+	x, err := Brent(f, 0, 1, 1e-14)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f(x)) > 1e-10 {
+		t.Errorf("Brent residual %g at x=%g", f(x), x)
+	}
+}
+
+func TestBrentStiff(t *testing.T) {
+	// Exponentially stiff function similar to subthreshold currents.
+	f := func(x float64) float64 { return math.Exp(40*x) - 1e6 }
+	x, err := Brent(f, 0, 1, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Log(1e6) / 40
+	if math.Abs(x-want) > 1e-9 {
+		t.Errorf("Brent stiff: got %g want %g", x, want)
+	}
+}
+
+func TestBrentNoBracket(t *testing.T) {
+	if _, err := Brent(func(x float64) float64 { return 1 }, 0, 1, 1e-9); err == nil {
+		t.Error("expected ErrNoBracket")
+	}
+}
+
+// Property: Brent and Bisect agree on random cubic polynomials with a
+// guaranteed bracketed root.
+func TestRootFindersAgree(t *testing.T) {
+	f := func(a, b, c float64) bool {
+		// Constrain quick's arbitrary float64s to a sane range; huge or
+		// non-finite values are not meaningful root-finding inputs.
+		norm := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 50)
+		}
+		a, b, c = norm(a), norm(b), norm(c)
+		p := func(x float64) float64 { return (x - a) * (x*x + b*b + math.Abs(c) + 0.1) }
+		lo, hi := a-1-math.Abs(b), a+1+math.Abs(c)
+		x1, err1 := Bisect(p, lo, hi, 1e-12)
+		x2, err2 := Brent(p, lo, hi, 1e-12)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(x1-a) < 1e-8 && math.Abs(x2-a) < 1e-8
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBracketDown(t *testing.T) {
+	f := func(x float64) float64 { return x - 0.42 }
+	a, b, err := BracketDown(f, 0, 1, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(a <= 0.42 && 0.42 <= b) {
+		t.Errorf("bracket [%g,%g] does not contain 0.42", a, b)
+	}
+}
+
+func TestBracketDownNone(t *testing.T) {
+	if _, _, err := BracketDown(func(x float64) float64 { return 1 }, 0, 1, 10); err == nil {
+		t.Error("expected error when no sign change exists")
+	}
+}
+
+func TestGoldenMax(t *testing.T) {
+	f := func(x float64) float64 { return -(x - 0.3) * (x - 0.3) }
+	x, fx := GoldenMax(f, 0, 1, 1e-10)
+	if math.Abs(x-0.3) > 1e-7 {
+		t.Errorf("GoldenMax location %g, want 0.3", x)
+	}
+	if fx > 0 || fx < -1e-12 {
+		t.Errorf("GoldenMax value %g, want ~0", fx)
+	}
+}

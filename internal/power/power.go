@@ -1,0 +1,196 @@
+// Package power models the static power consumption of the low-power SRAM:
+// core-cell array leakage as a function of supply voltage, temperature and
+// corner, peripheral-circuitry leakage, and the per-mode static power
+// comparison behind the paper's Section IV.B observation that even a
+// defective regulator driving Vreg = VDD still saves over 30 % of static
+// power in deep-sleep because the peripheral circuitry is gated off.
+package power
+
+import (
+	"fmt"
+
+	"sramtest/internal/cell"
+	"sramtest/internal/device"
+	"sramtest/internal/process"
+	"sramtest/internal/spice"
+)
+
+// NumCells is the size of the studied core-cell array: 4K words × 64 bits
+// organized as 512 bit lines × 512 word lines (paper §II).
+const NumCells = 512 * 512
+
+// PeriphWidthRatio expresses the peripheral circuitry (I/O, control,
+// address decoder) as an equivalent leakage-current ratio relative to the
+// array's. The periphery of a word-oriented 4K×64 macro is a large
+// fraction of the die AND uses standard-Vth devices that leak far more
+// per micron than the HVT array cells, so its current rivals the
+// array's; 1.1 is the calibration choice that puts the worst-case
+// "defective DS vs idle ACT" saving just above the paper's 30 %
+// observation (see EXPERIMENTS.md).
+const PeriphWidthRatio = 1.1
+
+// Model evaluates leakage for one PVT condition. It owns corner-adjusted
+// device instances and is safe for concurrent use after construction.
+type Model struct {
+	Cond process.Condition
+	pd   *device.MOS // pull-down NMOS
+	pu   *device.MOS // pull-up PMOS
+	pg   *device.MOS // pass-gate NMOS
+	bias *device.MOS // mirror of the regulator's MNreg1 bias device
+}
+
+// NewModel builds the leakage model for a condition using the default cell
+// geometry.
+func NewModel(cond process.Condition) *Model {
+	g := cell.DefaultGeometry()
+	shift := process.CornerShift(cond.Corner)
+	mk := func(name string, p device.MOSParams) *device.MOS {
+		m := device.NewMOS(name, p)
+		m.ApplyCorner(shift)
+		return m
+	}
+	// The bias mirror matches MNreg1 in the regulator netlist (1µ/500n,
+	// long-channel CLM/DIBL scaling).
+	biasParams := device.NewNMOSParams(1e-6, 500e-9)
+	biasParams.Lambda *= 40e-9 / biasParams.L
+	biasParams.DIBL *= 40e-9 / biasParams.L
+	return &Model{
+		Cond: cond,
+		pd:   mk("pd", device.NewHVTNMOSParams(g.WPullDown, g.L)),
+		pu:   mk("pu", device.NewHVTPMOSParams(g.WPullUp, g.L)),
+		pg:   mk("pg", device.NewHVTNMOSParams(g.WPass, g.L)),
+		bias: mk("bias", biasParams),
+	}
+}
+
+// CellLeakage returns the supply current of one idle 6T cell holding data
+// with its array rail at v. Three off paths conduct from the rail or the
+// high node: the off pull-down of the '1' side, the off pull-up of the '0'
+// side, and the off pass gate discharging the '1' node toward the
+// grounded bit line (DS conditions).
+func (m *Model) CellLeakage(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	t := m.Cond.TempC
+	iPD := m.pd.Leakage(v, t)
+	iPU := m.pu.Leakage(v, t)
+	iPG := m.pg.Leakage(v, t)
+	return iPD + iPU + iPG
+}
+
+// ArrayLeakage returns the total core-cell array supply current at rail
+// voltage v.
+func (m *Model) ArrayLeakage(v float64) float64 {
+	return float64(NumCells) * m.CellLeakage(v)
+}
+
+// PeripheralLeakage returns the static supply current of the peripheral
+// circuitry (I/O, control block, address decoder) when powered at v.
+// In DS and PO modes the peripheral power switches are open and this
+// current is cut to (almost) zero.
+func (m *Model) PeripheralLeakage(v float64) float64 {
+	return PeriphWidthRatio * m.ArrayLeakage(v)
+}
+
+// LoadFunc returns the array seen as a nonlinear load element for the
+// regulator simulation: current drawn from the V_DD_CC rail as a function
+// of rail voltage, with a finite-difference derivative (the model is
+// smooth). The extra current of variation-affected flipping cells is
+// handled separately by the characterization layer (DESIGN.md §5.4).
+func (m *Model) LoadFunc() spice.LoadFunc {
+	return func(v float64) (float64, float64) {
+		if v < 0 {
+			// Keep the load passive below ground: mirror as a conductance.
+			g := m.ArrayLeakage(1e-3) / 1e-3
+			return g * v, g
+		}
+		const h = 1e-3
+		i := m.ArrayLeakage(v)
+		g := (m.ArrayLeakage(v+h) - m.ArrayLeakage(maxF(v-h, 0))) / (2 * h)
+		if v < h {
+			g = m.ArrayLeakage(h) / h
+		}
+		return i, g
+	}
+}
+
+func maxF(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Mode is an SRAM power mode for static power accounting.
+type Mode int
+
+// The three power modes of the studied SRAM (paper §II.A).
+const (
+	ACT Mode = iota // active: everything at VDD
+	DS              // deep-sleep: array at Vreg, peripherals off
+	PO              // power-off: everything discharged
+)
+
+// String implements fmt.Stringer.
+func (md Mode) String() string {
+	switch md {
+	case ACT:
+		return "ACT"
+	case DS:
+		return "DS"
+	case PO:
+		return "PO"
+	}
+	return fmt.Sprintf("Mode(%d)", int(md))
+}
+
+// regulatorFixedCurrent is the corner-independent part of the regulator's
+// quiescent current: the reference divider (VDD/4 MΩ) plus the output
+// bleed — a few hundred nA.
+const regulatorFixedCurrent = 0.5e-6 // A
+
+// RegulatorQuiescent returns the regulator's own supply current while
+// active: the error-amplifier tail (sized for DS-entry slew rate, and
+// corner/temperature dependent exactly like the MNreg1 bias device in the
+// regulator netlist) plus the divider and bleed. The paper's Vbias52
+// level is "chosen such that the specified maximum budget for voltage
+// regulator power consumption is never exceeded"; this model tracks what
+// the netlist actually draws. It is small against array leakage at high
+// temperature — the regime where static power matters — but honestly
+// dominates at cold, slow corners where the whole macro leaks only
+// nanoamps; see EXPERIMENTS.md EXP-P1 for that scoping note.
+func (m *Model) RegulatorQuiescent() float64 {
+	vbias := 0.52 * m.Cond.VDD
+	tail := m.bias.Eval(vbias, 0, 0.3, 0, m.Cond.TempC).Id
+	if tail < 0 {
+		tail = 0
+	}
+	return tail + regulatorFixedCurrent
+}
+
+// StaticPower returns the static power drawn from the main rail in the
+// given mode. vreg is the array rail voltage in DS mode (ignored in the
+// other modes).
+func (m *Model) StaticPower(mode Mode, vreg float64) float64 {
+	vdd := m.Cond.VDD
+	switch mode {
+	case ACT:
+		return vdd * (m.ArrayLeakage(vdd) + m.PeripheralLeakage(vdd))
+	case DS:
+		// The output-stage PMOS passes the array current from the main
+		// rail; the divider/amplifier quiescent current adds on top.
+		return vdd * (m.ArrayLeakage(vreg) + m.RegulatorQuiescent())
+	case PO:
+		return 0
+	}
+	panic(fmt.Sprintf("power: unknown mode %d", int(mode)))
+}
+
+// DSSavings returns the fractional static power saving of DS mode at the
+// given vreg versus an idle ACT mode: (P_ACT − P_DS)/P_ACT.
+func (m *Model) DSSavings(vreg float64) float64 {
+	act := m.StaticPower(ACT, 0)
+	ds := m.StaticPower(DS, vreg)
+	return (act - ds) / act
+}

@@ -1,0 +1,132 @@
+// Package process models the PVT (process, voltage, temperature) space and
+// the within-die threshold-voltage variation used throughout the paper's
+// experiments: five global process corners, three supply voltages, three
+// temperatures, and per-transistor local ΔVth expressed in multiples of the
+// mismatch sigma.
+//
+// Sign convention (paper, Section III.B): local variation is applied to the
+// *signed* threshold voltage. For an NMOS (Vth > 0) a positive variation
+// raises Vth and weakens the device; for a PMOS (Vth < 0) a negative
+// variation makes Vth more negative and weakens the device. This is exactly
+// the convention used in Table I of the paper.
+package process
+
+import "fmt"
+
+// Corner is a global process corner.
+type Corner int
+
+// The five corners simulated in the paper: slow, typical, fast,
+// fast-NMOS/slow-PMOS and slow-NMOS/fast-PMOS.
+const (
+	TT Corner = iota // typical NMOS / typical PMOS
+	SS               // slow NMOS / slow PMOS
+	FF               // fast NMOS / fast PMOS
+	FS               // fast NMOS / slow PMOS (the paper's "fs")
+	SF               // slow NMOS / fast PMOS (the paper's "sf")
+)
+
+// Corners lists all five global corners in the paper's order of mention.
+func Corners() []Corner { return []Corner{SS, TT, FF, FS, SF} }
+
+// String implements fmt.Stringer using the paper's abbreviations.
+func (c Corner) String() string {
+	switch c {
+	case TT:
+		return "typical"
+	case SS:
+		return "slow"
+	case FF:
+		return "fast"
+	case FS:
+		return "fs"
+	case SF:
+		return "sf"
+	}
+	return fmt.Sprintf("Corner(%d)", int(c))
+}
+
+// Shift describes how a corner moves global device parameters relative to
+// typical: an additive Vth shift (applied toward "slower", i.e. +|shift|
+// for NMOS Vth, -|shift| for PMOS signed Vth when the device is slow) and a
+// multiplicative transconductance (beta) scale.
+type Shift struct {
+	DVthN float64 // added to NMOS Vth (V); positive = slower
+	DVthP float64 // added to PMOS signed Vth (V); negative = slower
+	BetaN float64 // NMOS beta multiplier
+	BetaP float64 // PMOS beta multiplier
+}
+
+// cornerVth and cornerBeta are the global corner excursions. The values
+// are representative of a 40 nm low-power process (roughly a 3-sigma
+// global shift); absolute accuracy is not required, only the slow/fast
+// asymmetry that decides which corner is worst for each experiment.
+const (
+	cornerVth  = 0.045 // V
+	cornerBeta = 0.15  // fractional beta excursion
+)
+
+// CornerShift returns the global parameter shift of corner c.
+func CornerShift(c Corner) Shift {
+	s := Shift{BetaN: 1, BetaP: 1}
+	switch c {
+	case SS:
+		s.DVthN, s.DVthP = +cornerVth, -cornerVth
+		s.BetaN, s.BetaP = 1-cornerBeta, 1-cornerBeta
+	case FF:
+		s.DVthN, s.DVthP = -cornerVth, +cornerVth
+		s.BetaN, s.BetaP = 1+cornerBeta, 1+cornerBeta
+	case FS:
+		s.DVthN, s.DVthP = -cornerVth, -cornerVth
+		s.BetaN, s.BetaP = 1+cornerBeta, 1-cornerBeta
+	case SF:
+		s.DVthN, s.DVthP = +cornerVth, +cornerVth
+		s.BetaN, s.BetaP = 1-cornerBeta, 1+cornerBeta
+	}
+	return s
+}
+
+// Condition is one point of the PVT grid.
+type Condition struct {
+	Corner Corner
+	VDD    float64 // main supply rail (V)
+	TempC  float64 // ambient temperature (°C)
+}
+
+// String renders the condition in the paper's style, e.g. "fs, 1.0V, 125°C".
+func (c Condition) String() string {
+	return fmt.Sprintf("%s, %.1fV, %g°C", c.Corner, c.VDD, c.TempC)
+}
+
+// Nominal is the typical-corner, nominal-supply, room-temperature condition
+// of the studied SRAM (1.1 V nominal VDD per Section IV.A).
+func Nominal() Condition { return Condition{Corner: TT, VDD: 1.1, TempC: 25} }
+
+// Supplies returns the three supply voltages simulated in the paper.
+func Supplies() []float64 { return []float64{1.0, 1.1, 1.2} }
+
+// Temperatures returns the three temperatures simulated in the paper (°C).
+func Temperatures() []float64 { return []float64{-30, 25, 125} }
+
+// Grid enumerates the full PVT grid of the paper:
+// 5 corners × 3 supplies × 3 temperatures = 45 conditions.
+func Grid() []Condition {
+	var out []Condition
+	for _, c := range Corners() {
+		for _, v := range Supplies() {
+			for _, t := range Temperatures() {
+				out = append(out, Condition{Corner: c, VDD: v, TempC: t})
+			}
+		}
+	}
+	return out
+}
+
+// KelvinOf converts a Celsius temperature to Kelvin.
+func KelvinOf(tempC float64) float64 { return tempC + 273.15 }
+
+// Vt returns the thermal voltage kT/q at the given temperature (V).
+func Vt(tempC float64) float64 {
+	const kOverQ = 8.617333262e-5 // V/K
+	return kOverQ * KelvinOf(tempC)
+}

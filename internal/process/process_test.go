@@ -1,0 +1,178 @@
+package process
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGridSize(t *testing.T) {
+	g := Grid()
+	if len(g) != 45 {
+		t.Fatalf("Grid has %d conditions, want 45 (5 corners × 3 VDD × 3 T)", len(g))
+	}
+	seen := map[string]bool{}
+	for _, c := range g {
+		if seen[c.String()] {
+			t.Errorf("duplicate condition %s", c)
+		}
+		seen[c.String()] = true
+	}
+}
+
+func TestCornerStrings(t *testing.T) {
+	want := map[Corner]string{TT: "typical", SS: "slow", FF: "fast", FS: "fs", SF: "sf"}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), s)
+		}
+	}
+	if !strings.Contains(Corner(99).String(), "99") {
+		t.Error("unknown corner should include its number")
+	}
+}
+
+func TestCornerShiftDirections(t *testing.T) {
+	// SS must weaken both device types; FF must strengthen both.
+	ss, ff, tt := CornerShift(SS), CornerShift(FF), CornerShift(TT)
+	if !(ss.DVthN > 0 && ss.DVthP < 0 && ss.BetaN < 1 && ss.BetaP < 1) {
+		t.Errorf("SS shift wrong: %+v", ss)
+	}
+	if !(ff.DVthN < 0 && ff.DVthP > 0 && ff.BetaN > 1 && ff.BetaP > 1) {
+		t.Errorf("FF shift wrong: %+v", ff)
+	}
+	if tt.DVthN != 0 || tt.DVthP != 0 || tt.BetaN != 1 || tt.BetaP != 1 {
+		t.Errorf("TT must be neutral: %+v", tt)
+	}
+	// FS: fast NMOS (lower Vth), slow PMOS (more negative Vth).
+	fs := CornerShift(FS)
+	if !(fs.DVthN < 0 && fs.DVthP < 0 && fs.BetaN > 1 && fs.BetaP < 1) {
+		t.Errorf("FS shift wrong: %+v", fs)
+	}
+	sf := CornerShift(SF)
+	if !(sf.DVthN > 0 && sf.DVthP > 0 && sf.BetaN < 1 && sf.BetaP > 1) {
+		t.Errorf("SF shift wrong: %+v", sf)
+	}
+}
+
+func TestThermalVoltage(t *testing.T) {
+	if v := Vt(25); math.Abs(v-0.02569) > 1e-4 {
+		t.Errorf("Vt(25°C) = %g, want ≈25.7 mV", v)
+	}
+	if Vt(125) <= Vt(25) || Vt(25) <= Vt(-30) {
+		t.Error("thermal voltage must increase with temperature")
+	}
+}
+
+func TestConditionString(t *testing.T) {
+	c := Condition{Corner: FS, VDD: 1.0, TempC: 125}
+	if got := c.String(); got != "fs, 1.0V, 125°C" {
+		t.Errorf("Condition.String() = %q", got)
+	}
+}
+
+func TestNominal(t *testing.T) {
+	n := Nominal()
+	if n.VDD != 1.1 || n.Corner != TT || n.TempC != 25 {
+		t.Errorf("Nominal() = %+v", n)
+	}
+}
+
+func TestVariationMirrorInvolution(t *testing.T) {
+	f := func(a, b, c, d, e, g float64) bool {
+		v := Variation{clampSigma(a), clampSigma(b), clampSigma(c), clampSigma(d), clampSigma(e), clampSigma(g)}
+		return v.Mirror().Mirror() == v
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func clampSigma(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 6)
+}
+
+func TestVariationMirrorSwapsHalves(t *testing.T) {
+	v := Variation{MPcc1: 1, MNcc1: 2, MPcc2: 3, MNcc2: 4, MNcc3: 5, MNcc4: 6}
+	m := v.Mirror()
+	if m[MPcc1] != 3 || m[MNcc1] != 4 || m[MPcc2] != 1 || m[MNcc2] != 2 || m[MNcc3] != 6 || m[MNcc4] != 5 {
+		t.Errorf("Mirror = %+v", m)
+	}
+}
+
+func TestVariationBasics(t *testing.T) {
+	var z Variation
+	if !z.IsZero() {
+		t.Error("zero variation should report IsZero")
+	}
+	if z.String() != "symmetric" {
+		t.Errorf("zero String = %q", z.String())
+	}
+	v := Variation{MPcc1: -3}
+	if v.IsZero() {
+		t.Error("non-zero variation reported IsZero")
+	}
+	if got := v.DeltaVth(MPcc1); math.Abs(got-(-3*SigmaVth)) > 1e-12 {
+		t.Errorf("DeltaVth = %g", got)
+	}
+	if !strings.Contains(v.String(), "MPcc1:-3σ") {
+		t.Errorf("String = %q", v.String())
+	}
+}
+
+func TestTransistorNames(t *testing.T) {
+	names := []string{"MPcc1", "MNcc1", "MPcc2", "MNcc2", "MNcc3", "MNcc4"}
+	for i, want := range names {
+		if got := CellTransistor(i).String(); got != want {
+			t.Errorf("transistor %d name %q, want %q", i, got, want)
+		}
+	}
+	if !MPcc1.IsPMOS() || !MPcc2.IsPMOS() || MNcc1.IsPMOS() || MNcc3.IsPMOS() {
+		t.Error("IsPMOS misclassifies")
+	}
+}
+
+func TestTable1CaseStudies(t *testing.T) {
+	css := Table1CaseStudies()
+	if len(css) != 10 {
+		t.Fatalf("Table1CaseStudies has %d rows, want 10", len(css))
+	}
+	// Paired rows must be mirrors of each other.
+	for i := 0; i < len(css); i += 2 {
+		one, zero := css[i], css[i+1]
+		if one.Variation.Mirror() != zero.Variation {
+			t.Errorf("%s and %s are not mirrors", one.Name, zero.Name)
+		}
+	}
+	// CS5 affects 64 cells, all others 1.
+	for _, cs := range css {
+		wantCells := 1
+		if strings.HasPrefix(cs.Name, "CS5") {
+			wantCells = 64
+		}
+		if cs.Cells != wantCells {
+			t.Errorf("%s Cells = %d, want %d", cs.Name, cs.Cells, wantCells)
+		}
+	}
+	// CS1-1 must match the theoretical worst case for '1'.
+	if css[0].Variation != WorstCase1() {
+		t.Error("CS1-1 must equal WorstCase1()")
+	}
+}
+
+func TestRandomVariationBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 1000; i++ {
+		v := RandomVariation(rng)
+		for _, s := range v {
+			if s < -6 || s > 6 {
+				t.Fatalf("variation %g out of ±6σ", s)
+			}
+		}
+	}
+}

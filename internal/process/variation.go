@@ -1,0 +1,160 @@
+package process
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// SigmaVth is the 1-sigma local (within-die) threshold-voltage mismatch of
+// a minimum-size core-cell transistor in the modeled 40 nm low-power
+// process. The value is a calibration constant chosen so that the DRV
+// ladder of the paper's Table I is approximated: the theoretical 6σ worst
+// case (CS1) lands at ≈730 mV, matching the paper's worst-case DRV_DS and
+// therefore preserving the 10 mV margin below the regulator's tightest
+// fault-free Vreg of 740 mV. See EXPERIMENTS.md for the calibration record.
+const SigmaVth = 0.041 // V
+
+// CellTransistor identifies one of the six transistors of a 6T core-cell
+// using the paper's names (Fig. 3): inverter 1 drives node S (true node),
+// inverter 2 drives node SN (complement node), MNcc3/MNcc4 are the pass
+// transistors on the S and SN side respectively.
+type CellTransistor int
+
+// The six core-cell transistors.
+const (
+	MPcc1 CellTransistor = iota // PMOS pull-up of inverter 1 (node S)
+	MNcc1                       // NMOS pull-down of inverter 1 (node S)
+	MPcc2                       // PMOS pull-up of inverter 2 (node SN)
+	MNcc2                       // NMOS pull-down of inverter 2 (node SN)
+	MNcc3                       // pass transistor on node S
+	MNcc4                       // pass transistor on node SN
+	NumCellTransistors
+)
+
+// String implements fmt.Stringer with the paper's transistor names.
+func (t CellTransistor) String() string {
+	switch t {
+	case MPcc1:
+		return "MPcc1"
+	case MNcc1:
+		return "MNcc1"
+	case MPcc2:
+		return "MPcc2"
+	case MNcc2:
+		return "MNcc2"
+	case MNcc3:
+		return "MNcc3"
+	case MNcc4:
+		return "MNcc4"
+	}
+	return fmt.Sprintf("CellTransistor(%d)", int(t))
+}
+
+// IsPMOS reports whether the transistor is a PMOS device.
+func (t CellTransistor) IsPMOS() bool { return t == MPcc1 || t == MPcc2 }
+
+// Variation holds the per-transistor local ΔVth of one core-cell, in
+// multiples of SigmaVth, using the paper's signed-Vth convention.
+type Variation [NumCellTransistors]float64
+
+// DeltaVth returns the absolute signed Vth shift (V) of transistor t.
+func (v Variation) DeltaVth(t CellTransistor) float64 { return v[t] * SigmaVth }
+
+// IsZero reports whether the cell is symmetric (no local variation).
+func (v Variation) IsZero() bool {
+	for _, s := range v {
+		if s != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Mirror swaps the variations of the two cell halves (inverter 1 ↔
+// inverter 2, pass 3 ↔ pass 4). Mirroring a cell exchanges the roles of
+// stored '0' and stored '1', so DRV_DS0(mirror(v)) = DRV_DS1(v); this
+// symmetry is exploited both by the test suite and by Table I's paired
+// CSx-1 / CSx-0 scenarios.
+func (v Variation) Mirror() Variation {
+	return Variation{
+		MPcc1: v[MPcc2], MNcc1: v[MNcc2],
+		MPcc2: v[MPcc1], MNcc2: v[MNcc1],
+		MNcc3: v[MNcc4], MNcc4: v[MNcc3],
+	}
+}
+
+// String renders the variation as sigma multiples, e.g.
+// "MPcc1:-3σ MNcc1:-3σ".
+func (v Variation) String() string {
+	if v.IsZero() {
+		return "symmetric"
+	}
+	s := ""
+	for t := CellTransistor(0); t < NumCellTransistors; t++ {
+		if v[t] == 0 {
+			continue
+		}
+		if s != "" {
+			s += " "
+		}
+		s += fmt.Sprintf("%s:%+.3gσ", t, v[t])
+	}
+	return s
+}
+
+// CaseStudy is one of the paper's Table I variation scenarios. Cells is
+// the number of affected core-cells in the 256 K array (1 for CS1..CS4, 64
+// for CS5); the stored value under attack is implied by the DRV side the
+// scenario degrades (CSx-1 degrades retention of '1').
+type CaseStudy struct {
+	Name      string
+	Cells     int
+	Variation Variation
+}
+
+// Table1CaseStudies returns the ten scenarios of the paper's Table I in
+// row order: CS1-1, CS1-0, ..., CS5-1, CS5-0.
+func Table1CaseStudies() []CaseStudy {
+	cs1 := Variation{MPcc1: -6, MNcc1: -6, MPcc2: +6, MNcc2: +6, MNcc3: -6, MNcc4: +6}
+	cs2 := Variation{MPcc1: -3, MNcc1: -3}
+	cs3 := Variation{MPcc2: +3, MNcc2: +3}
+	cs4 := Variation{MPcc2: +0.1, MNcc2: +0.1}
+	return []CaseStudy{
+		{Name: "CS1-1", Cells: 1, Variation: cs1},
+		{Name: "CS1-0", Cells: 1, Variation: cs1.Mirror()},
+		{Name: "CS2-1", Cells: 1, Variation: cs2},
+		{Name: "CS2-0", Cells: 1, Variation: cs2.Mirror()},
+		{Name: "CS3-1", Cells: 1, Variation: cs3},
+		{Name: "CS3-0", Cells: 1, Variation: cs3.Mirror()},
+		{Name: "CS4-1", Cells: 1, Variation: cs4},
+		{Name: "CS4-0", Cells: 1, Variation: cs4.Mirror()},
+		{Name: "CS5-1", Cells: 64, Variation: cs2},
+		{Name: "CS5-0", Cells: 64, Variation: cs2.Mirror()},
+	}
+}
+
+// WorstCase1 returns the paper's theoretical worst-case variation for
+// retention of logic '1' (Section III.B, observation 1): all six
+// transistors at 6σ with the signs that maximize DRV_DS1.
+func WorstCase1() Variation {
+	return Variation{MPcc1: -6, MNcc1: -6, MPcc2: +6, MNcc2: +6, MNcc3: -6, MNcc4: +6}
+}
+
+// RandomVariation draws an independent normal ΔVth (in sigma multiples,
+// truncated to ±6σ) for each transistor of a cell. It is used by the
+// Monte-Carlo examples and tests, not by the paper's deterministic
+// case studies.
+func RandomVariation(rng *rand.Rand) Variation {
+	var v Variation
+	for i := range v {
+		s := rng.NormFloat64()
+		if s > 6 {
+			s = 6
+		}
+		if s < -6 {
+			s = -6
+		}
+		v[i] = s
+	}
+	return v
+}

@@ -1,0 +1,178 @@
+// Package psw models the power-switch (PS) network of the low-power SRAM:
+// "the PSs of both core-cell array and peripheral circuitry are
+// implemented through a network of PMOS transistors structured in N
+// segments" (paper §II, detailed in its refs [12][13]). Segments are
+// daisy-chained: each segment's enable is buffered into the next, which
+// staggers wake-up to bound the rush current. The model supports the
+// control-chain defects that the earlier March LZ work targets — a broken
+// enable chain or a stuck segment silently un-powers a slice of the array
+// whenever the memory enters a gated mode — and derives the resulting
+// cell-level corruption for the behavioral SRAM.
+package psw
+
+import (
+	"fmt"
+
+	"sramtest/internal/sram"
+)
+
+// DefaultSegments is the segment count of the studied network.
+const DefaultSegments = 16
+
+// SegmentDelay is the enable-propagation delay of one daisy-chain stage.
+const SegmentDelay = 5e-9 // s
+
+// Network is one power-switch network instance covering the core-cell
+// array: segment k powers the row slice [k·Rows/N, (k+1)·Rows/N).
+type Network struct {
+	Segments int
+	// BrokenAfter cuts the daisy chain after this segment index
+	// (segments > BrokenAfter never receive an enable). -1 = intact.
+	BrokenAfter int
+	// StuckOff marks segments whose switch cannot close (their rows are
+	// never powered, a hard fail caught by any test).
+	StuckOff map[int]bool
+	// StuckOn marks segments whose switch cannot open: their rows stay
+	// powered in gated modes (a pure leakage/power defect, invisible to
+	// retention tests — the dual of the paper's category-1 defects).
+	StuckOn map[int]bool
+}
+
+// New returns an intact network with the default segmentation.
+func New() *Network {
+	return &Network{
+		Segments:    DefaultSegments,
+		BrokenAfter: -1,
+		StuckOff:    map[int]bool{},
+		StuckOn:     map[int]bool{},
+	}
+}
+
+// Validate checks segment indices.
+func (n *Network) Validate() error {
+	if n.Segments <= 0 || sram.Rows%n.Segments != 0 {
+		return fmt.Errorf("psw: segment count %d must divide %d rows", n.Segments, sram.Rows)
+	}
+	if n.BrokenAfter >= n.Segments {
+		return fmt.Errorf("psw: BrokenAfter %d out of range", n.BrokenAfter)
+	}
+	for _, m := range []map[int]bool{n.StuckOff, n.StuckOn} {
+		for k := range m {
+			if k < 0 || k >= n.Segments {
+				return fmt.Errorf("psw: segment index %d out of range", k)
+			}
+		}
+	}
+	return nil
+}
+
+// RowsPerSegment returns the row-slice height.
+func (n *Network) RowsPerSegment() int { return sram.Rows / n.Segments }
+
+// SegmentOfRow maps a word-line index to its powering segment.
+func (n *Network) SegmentOfRow(row int) int { return row / n.RowsPerSegment() }
+
+// Powered reports whether segment seg delivers power when the global
+// enable is asserted (ACT mode) — the chain must reach it, it must not be
+// stuck off.
+func (n *Network) Powered(seg int, globalEnable bool) bool {
+	if n.StuckOff[seg] {
+		return false
+	}
+	if !globalEnable {
+		return n.StuckOn[seg]
+	}
+	if n.BrokenAfter >= 0 && seg > n.BrokenAfter {
+		return false
+	}
+	return true
+}
+
+// WakeDelay returns the time after the global enable until segment seg is
+// powered (the daisy-chain propagation), or +1 forever for unreachable
+// segments (reported as a negative value -1).
+func (n *Network) WakeDelay(seg int) float64 {
+	if !n.Powered(seg, true) {
+		return -1
+	}
+	return float64(seg+1) * SegmentDelay
+}
+
+// DeadRows lists word lines that lose power in ACT mode (stuck-off or
+// beyond a chain break): a hard functional failure.
+func (n *Network) DeadRows() []int {
+	var out []int
+	for row := 0; row < sram.Rows; row++ {
+		if !n.Powered(n.SegmentOfRow(row), true) {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// LeakyRows lists word lines that stay powered in gated modes (stuck-on
+// segments): pure static power waste.
+func (n *Network) LeakyRows() []int {
+	var out []int
+	for row := 0; row < sram.Rows; row++ {
+		if n.Powered(n.SegmentOfRow(row), false) {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// Attach installs the network's failure behaviour on the SRAM: rows of
+// unpowered segments lose their contents whenever the memory enters a
+// gated mode (LS or DS), which is exactly the corruption class March LZ
+// (and March m-LZ's w0/r0 pair) detects. Attach must not be combined
+// with another SetHooks user; compose through fault.Injector when both
+// are needed.
+func (n *Network) Attach(s *sram.SRAM) error {
+	if err := n.Validate(); err != nil {
+		return err
+	}
+	s.SetHooks(sram.Hooks{
+		PowerTransition: func(s *sram.SRAM, ev sram.PowerEvent) {
+			if ev != sram.EnterLS && ev != sram.EnterDS {
+				return
+			}
+			n.corruptGated(s)
+		},
+	})
+	return nil
+}
+
+// corruptGated wipes the cells of every row whose segment cannot hold
+// power through a gated period. In LS mode the array switches to the
+// (shared) retention rail; a segment with a broken control chain floats
+// its slice, which discharges.
+func (n *Network) corruptGated(s *sram.SRAM) {
+	for seg := 0; seg < n.Segments; seg++ {
+		if n.Powered(seg, true) {
+			continue // control chain reaches it: retention rail holds
+		}
+		lo := seg * n.RowsPerSegment()
+		hi := lo + n.RowsPerSegment()
+		for row := lo; row < hi; row++ {
+			for w := 0; w < sram.WordsPerRow; w++ {
+				addr := row*sram.WordsPerRow + w
+				for b := 0; b < sram.Bits; b++ {
+					s.RawSetBit(addr, b, false)
+				}
+			}
+		}
+	}
+}
+
+// StaticPowerPenalty returns the fraction of the array still burning
+// full-rail leakage in gated modes due to stuck-on segments.
+func (n *Network) StaticPowerPenalty() float64 {
+	leaky := 0
+	for seg := 0; seg < n.Segments; seg++ {
+		if n.Powered(seg, false) {
+			leaky++
+		}
+	}
+	return float64(leaky) / float64(n.Segments)
+}

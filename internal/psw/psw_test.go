@@ -1,0 +1,161 @@
+package psw
+
+import (
+	"testing"
+
+	"sramtest/internal/march"
+	"sramtest/internal/sram"
+)
+
+func TestIntactNetwork(t *testing.T) {
+	n := New()
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(n.DeadRows()) != 0 {
+		t.Error("intact network has dead rows")
+	}
+	if len(n.LeakyRows()) != 0 {
+		t.Error("intact network has leaky rows")
+	}
+	if n.StaticPowerPenalty() != 0 {
+		t.Error("intact network has a power penalty")
+	}
+	for seg := 0; seg < n.Segments; seg++ {
+		if !n.Powered(seg, true) {
+			t.Errorf("segment %d unpowered", seg)
+		}
+		if n.Powered(seg, false) {
+			t.Errorf("segment %d powered while gated", seg)
+		}
+	}
+}
+
+func TestValidation(t *testing.T) {
+	n := New()
+	n.Segments = 7 // does not divide 512
+	if err := n.Validate(); err == nil {
+		t.Error("non-dividing segment count should fail")
+	}
+	n = New()
+	n.BrokenAfter = 99
+	if err := n.Validate(); err == nil {
+		t.Error("out-of-range break should fail")
+	}
+	n = New()
+	n.StuckOff[-1] = true
+	if err := n.Validate(); err == nil {
+		t.Error("out-of-range stuck segment should fail")
+	}
+}
+
+func TestBrokenChainKillsDownstream(t *testing.T) {
+	n := New()
+	n.BrokenAfter = 3 // segments 4..15 never enabled
+	dead := n.DeadRows()
+	want := (n.Segments - 4) * n.RowsPerSegment()
+	if len(dead) != want {
+		t.Fatalf("%d dead rows, want %d", len(dead), want)
+	}
+	if !n.Powered(2, true) || !n.Powered(3, true) {
+		t.Error("segments up to and including the break must stay powered")
+	}
+	if n.Powered(4, true) {
+		t.Error("segments after the break must be dead")
+	}
+}
+
+func TestWakeDelayStaggers(t *testing.T) {
+	n := New()
+	d0, d5 := n.WakeDelay(0), n.WakeDelay(5)
+	if !(d0 > 0 && d5 > d0) {
+		t.Errorf("wake delays %g, %g should stagger", d0, d5)
+	}
+	n.StuckOff[5] = true
+	if n.WakeDelay(5) >= 0 {
+		t.Error("stuck-off segment should report unreachable")
+	}
+}
+
+func TestStuckOnPenalty(t *testing.T) {
+	n := New()
+	n.StuckOn[0] = true
+	n.StuckOn[1] = true
+	if got := n.StaticPowerPenalty(); got != 2.0/16.0 {
+		t.Errorf("penalty %g", got)
+	}
+	if got := len(n.LeakyRows()); got != 2*n.RowsPerSegment() {
+		t.Errorf("%d leaky rows", got)
+	}
+	// Stuck-on segments cause no data corruption.
+	s := sram.New()
+	if err := n.Attach(s); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := march.Run(march.MarchLZ(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Detected() {
+		t.Error("stuck-on segments must not corrupt data")
+	}
+}
+
+func TestMarchLZDetectsBrokenChain(t *testing.T) {
+	n := New()
+	n.BrokenAfter = 7
+	s := sram.New()
+	if err := n.Attach(s); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := march.Run(march.MarchLZ(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Detected() {
+		t.Fatal("March LZ must detect the broken power-switch chain")
+	}
+	// The first failing address must sit in the first dead row.
+	firstDead := 8 * n.RowsPerSegment() * sram.WordsPerRow
+	if rep.Failures[0].Addr != firstDead {
+		t.Errorf("first failure at %d, want %d", rep.Failures[0].Addr, firstDead)
+	}
+	// March m-LZ detects it too (its DSM gates the periphery as well).
+	s2 := sram.New()
+	_ = n.Attach(s2)
+	rep2, err := march.Run(march.MarchMLZ(), s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep2.Detected() {
+		t.Error("March m-LZ must also detect the broken chain")
+	}
+}
+
+func TestMarchCMinusMissesBrokenChain(t *testing.T) {
+	// The defect only manifests through a gated period; tests that never
+	// sleep cannot see it.
+	n := New()
+	n.BrokenAfter = 7
+	s := sram.New()
+	if err := n.Attach(s); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := march.Run(march.MarchCMinus(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Detected() {
+		t.Error("March C- should miss the power-gating defect")
+	}
+}
+
+func TestSegmentOfRow(t *testing.T) {
+	n := New()
+	if n.SegmentOfRow(0) != 0 || n.SegmentOfRow(sram.Rows-1) != n.Segments-1 {
+		t.Error("row-to-segment mapping wrong")
+	}
+	if n.RowsPerSegment()*n.Segments != sram.Rows {
+		t.Error("segmentation must tile the rows")
+	}
+}

@@ -1,0 +1,85 @@
+package regulator
+
+import (
+	"fmt"
+	"math"
+
+	"sramtest/internal/num"
+	"sramtest/internal/spice"
+)
+
+// LoopGain measures the regulator's open-loop transfer in the DS
+// configuration at the given frequencies: the Vreg→MNreg3 sense wire is
+// opened, the feedback gate is rebiased at its operating value from a
+// probe source, and the AC response of Vreg to a unit probe excitation is
+// the forward gain around the loop. Returned as magnitude (dB) and phase
+// (degrees) of the negative-feedback loop transmission L = −Vreg/Vprobe,
+// so a healthy loop starts near 0° and phase margin is 180°+∠L at the
+// unity crossing.
+func (r *Regulator) LoopGain(freqs []float64) (magDB, phaseDeg []float64, err error) {
+	// Closed-loop operating point fixes the bias.
+	r.SetRegOn(true)
+	opClosed, err := spice.OP(r.Ckt, nil, spice.DefaultOptions())
+	if err != nil {
+		return nil, nil, fmt.Errorf("regulator: loop-gain closed OP: %w", err)
+	}
+	gBias := opClosed.VName("gmn3")
+
+	// Open the sense wire, drive the gate from the probe at its bias.
+	savedR := r.defects[Df14].R
+	r.defects[Df14].R = 1e12
+	r.swLoop.On = true
+	r.loopProbe.V = gBias
+	defer func() {
+		r.defects[Df14].R = savedR
+		r.swLoop.On = false
+		r.loopProbe.V = 0
+	}()
+
+	opOpen, err := spice.OP(r.Ckt, opClosed, spice.DefaultOptions())
+	if err != nil {
+		return nil, nil, fmt.Errorf("regulator: loop-gain open OP: %w", err)
+	}
+	ac, err := spice.NewAC(r.Ckt, opOpen, spice.DefaultOptions())
+	if err != nil {
+		return nil, nil, err
+	}
+	vregID, _ := r.Ckt.FindNode("vreg")
+	magDB = make([]float64, len(freqs))
+	phaseDeg = make([]float64, len(freqs))
+	for i, f := range freqs {
+		sol, err := ac.Solve(r.loopProbe, f)
+		if err != nil {
+			return nil, nil, err
+		}
+		l := -sol.V(vregID) // negative-feedback loop transmission
+		magDB[i] = 20 * math.Log10(math.Hypot(real(l), imag(l)))
+		phaseDeg[i] = math.Atan2(imag(l), real(l)) * 180 / math.Pi
+	}
+	return magDB, phaseDeg, nil
+}
+
+// PhaseMargin finds the unity-gain crossing of the loop transmission and
+// returns the phase margin (180° + ∠L) there, plus the crossover
+// frequency. An error is returned if the loop never reaches unity gain
+// within the scanned band (1 Hz – 10 GHz).
+func (r *Regulator) PhaseMargin() (pmDeg, unityHz float64, err error) {
+	freqs := num.Logspace(1, 1e10, 141)
+	mag, ph, err := r.LoopGain(freqs)
+	if err != nil {
+		return 0, 0, err
+	}
+	if mag[0] < 0 {
+		return 0, 0, fmt.Errorf("regulator: DC loop gain %.1f dB < 0 dB", mag[0])
+	}
+	for i := 1; i < len(freqs); i++ {
+		if mag[i] <= 0 {
+			// Interpolate the crossing on log frequency.
+			t := mag[i-1] / (mag[i-1] - mag[i])
+			lf := math.Log10(freqs[i-1]) + t*(math.Log10(freqs[i])-math.Log10(freqs[i-1]))
+			phase := ph[i-1] + t*(ph[i]-ph[i-1])
+			return 180 + phase, math.Pow(10, lf), nil
+		}
+	}
+	return 0, 0, fmt.Errorf("regulator: loop gain never crosses unity (ends at %.1f dB)", mag[len(mag)-1])
+}

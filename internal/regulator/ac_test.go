@@ -1,0 +1,108 @@
+package regulator
+
+import (
+	"testing"
+
+	"sramtest/internal/num"
+	"sramtest/internal/power"
+	"sramtest/internal/process"
+)
+
+func TestLoopGainShape(t *testing.T) {
+	r := buildAt(fsHot(1.0))
+	freqs := num.Logspace(1, 1e9, 17)
+	mag, ph, err := r.LoopGain(freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Healthy negative-feedback loop: solid DC gain, phase near 0 at DC.
+	if mag[0] < 30 {
+		t.Errorf("DC loop gain %.1f dB, want > 30 dB", mag[0])
+	}
+	if ph[0] < -20 || ph[0] > 20 {
+		t.Errorf("DC loop phase %.0f°, want ≈0° (negative feedback)", ph[0])
+	}
+	// Gain must roll off monotonically-ish and end below unity.
+	if mag[len(mag)-1] > 0 {
+		t.Errorf("loop gain still %.1f dB at 1 GHz", mag[len(mag)-1])
+	}
+}
+
+func TestPhaseMarginAcrossConditions(t *testing.T) {
+	// The compensated design (Miller + nulling resistor) must be stable
+	// with a healthy margin at heavy load, light load and cold.
+	for _, cond := range []process.Condition{
+		{Corner: process.FS, VDD: 1.0, TempC: 125},
+		{Corner: process.TT, VDD: 1.1, TempC: 25},
+		{Corner: process.SF, VDD: 1.2, TempC: -30},
+	} {
+		r := buildAt(cond)
+		pm, fc, err := r.PhaseMargin()
+		if err != nil {
+			t.Fatalf("%s: %v", cond, err)
+		}
+		if pm < 35 {
+			t.Errorf("%s: phase margin %.1f°, want ≥ 35°", cond, pm)
+		}
+		if fc < 1e4 || fc > 1e9 {
+			t.Errorf("%s: crossover %.3g Hz implausible", cond, fc)
+		}
+	}
+}
+
+func TestCompensationAblation(t *testing.T) {
+	// Removing the Miller network collapses the phase margin — the
+	// design-choice check behind Params.MillerCap/MillerRes.
+	cond := fsHot(1.0)
+	pmModel := power.NewModel(cond)
+	par := DefaultParams()
+	par.MillerCap = 1e-18 // effectively absent
+	r := Build(cond, pmModel.LoadFunc(), par)
+	r.SetVref(SelectFor(cond.VDD))
+	pmUncomp, _, err := r.PhaseMargin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rGood := buildAt(cond)
+	pmComp, _, err := rGood.PhaseMargin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pmComp < pmUncomp+15 {
+		t.Errorf("compensation should add phase margin: %1.f° vs %.1f°", pmComp, pmUncomp)
+	}
+}
+
+func TestLoopMeasurementIsNonInvasive(t *testing.T) {
+	// LoopGain must restore the circuit: the DS operating point before
+	// and after the measurement must match.
+	r := buildAt(fsHot(1.0))
+	before, _, err := r.SolveDS(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.LoopGain([]float64{1e3}); err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := r.SolveDS(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := after - before; diff > 1e-4 || diff < -1e-4 {
+		t.Errorf("loop measurement perturbed the OP by %gV", diff)
+	}
+}
+
+func TestDSEntrySequencingProtectsWorstCase(t *testing.T) {
+	// The two-phase DS entry must keep the fault-free rail above the
+	// worst-case DRV at the tightest flow condition (the property that
+	// motivated the sequencer model; see ArmTime).
+	r := buildAt(fsHot(1.0))
+	wf, err := r.DSEntry(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, min := wf.Min("vddcc"); min < 0.727 {
+		t.Errorf("fault-free DS entry dips to %.1f mV, below the 726 mV worst-case DRV", min*1e3)
+	}
+}

@@ -1,0 +1,349 @@
+package regulator
+
+import (
+	"math"
+	"testing"
+
+	"sramtest/internal/power"
+	"sramtest/internal/process"
+	"sramtest/internal/spice"
+)
+
+// buildAt returns a loaded regulator at the given condition, configured
+// with the flow's Vref selection for that supply.
+func buildAt(cond process.Condition) *Regulator {
+	pm := power.NewModel(cond)
+	r := Build(cond, pm.LoadFunc(), DefaultParams())
+	r.SetVref(SelectFor(cond.VDD))
+	return r
+}
+
+func fsHot(vdd float64) process.Condition {
+	return process.Condition{Corner: process.FS, VDD: vdd, TempC: 125}
+}
+
+func TestVrefLevelBasics(t *testing.T) {
+	if len(Levels()) != 4 {
+		t.Fatal("four reference levels expected")
+	}
+	fracs := map[VrefLevel]float64{L78: 0.78, L74: 0.74, L70: 0.70, L64: 0.64}
+	for l, f := range fracs {
+		if l.Fraction() != f {
+			t.Errorf("%v fraction %g", l, l.Fraction())
+		}
+	}
+	if SelectFor(1.0) != L74 || SelectFor(1.1) != L70 || SelectFor(1.2) != L64 {
+		t.Error("SelectFor must reproduce the paper's §IV.A configuration")
+	}
+	// The three flow targets all sit just above the 730mV worst-case DRV.
+	for _, vdd := range process.Supplies() {
+		e := ExpectedVreg(vdd, SelectFor(vdd))
+		if e < 0.73 || e > 0.78 {
+			t.Errorf("flow target at VDD=%g is %gmV, want 730-780mV", vdd, e*1e3)
+		}
+	}
+}
+
+func TestFaultFreeRegulation(t *testing.T) {
+	// The regulator must hold V_DD_CC within 10 mV of Fraction·VDD over
+	// the full flow grid, and always above the worst-case DRV (726 mV).
+	for _, vdd := range process.Supplies() {
+		for _, temp := range process.Temperatures() {
+			cond := process.Condition{Corner: process.FS, VDD: vdd, TempC: temp}
+			r := buildAt(cond)
+			v, err := r.FaultFreeVreg()
+			if err != nil {
+				t.Fatalf("%s: %v", cond, err)
+			}
+			want := ExpectedVreg(vdd, SelectFor(vdd))
+			if math.Abs(v-want) > 0.010 {
+				t.Errorf("%s: vddcc=%.1fmV, want %.1f±10mV", cond, v*1e3, want*1e3)
+			}
+			if v < 0.727 {
+				t.Errorf("%s: fault-free vddcc %.1fmV below worst-case DRV", cond, v*1e3)
+			}
+		}
+	}
+}
+
+func TestACTAndPOModes(t *testing.T) {
+	r := buildAt(fsHot(1.1))
+	v, _, err := r.SolveACT()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1.1) > 0.005 {
+		t.Errorf("ACT vddcc=%g, want ≈1.1 (power switch closed)", v)
+	}
+	r.SetPO()
+	sol, err := spice.OP(r.Ckt, nil, spice.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if po := sol.VName("vddcc"); po > 0.01 {
+		t.Errorf("PO vddcc=%g, want ≈0 (core-cells cannot retain)", po)
+	}
+}
+
+func TestDividerTaps(t *testing.T) {
+	r := buildAt(fsHot(1.0))
+	r.SetRegOn(true)
+	sol, err := spice.OP(r.Ckt, nil, spice.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, frac := range map[string]float64{
+		"vref78": 0.78, "vref74": 0.74, "vref70": 0.70, "vref64": 0.64, "vbias52": 0.52,
+	} {
+		got := sol.VName(name)
+		if math.Abs(got-frac*1.0) > 0.005 {
+			t.Errorf("tap %s = %gmV, want %gmV", name, got*1e3, frac*1000)
+		}
+	}
+}
+
+func TestDefectTableStructure(t *testing.T) {
+	if len(All()) != 32 {
+		t.Fatalf("All() = %d defects, want 32", len(All()))
+	}
+	if got := len(DRFCandidates()); got != 17 {
+		t.Errorf("DRF candidates %d, want 17 (Table II rows)", got)
+	}
+	if got := len(NegligibleSites()); got != 6 {
+		t.Errorf("negligible sites %d, want 6", got)
+	}
+	if got := len(PowerSites()); got != 9 {
+		t.Errorf("power sites %d, want 9", got)
+	}
+	// The paper's explicit negligible list.
+	want := map[Defect]bool{Df14: true, Df17: true, Df18: true, Df21: true, Df24: true, Df25: true}
+	for _, d := range NegligibleSites() {
+		if !want[d] {
+			t.Errorf("%s should not be negligible", d)
+		}
+	}
+	// Green (dual) defects are exactly Df2..Df5.
+	for d := Df1; d <= Df32; d++ {
+		isGreen := d >= Df2 && d <= Df5
+		if (Lookup(d).Expected == Both) != isGreen {
+			t.Errorf("%s dual-category flag wrong", d)
+		}
+	}
+	// Transient-sensitized defects are Df8 and Df11.
+	for d := Df1; d <= Df32; d++ {
+		if Lookup(d).Transient != (d == Df8 || d == Df11) {
+			t.Errorf("%s transient flag wrong", d)
+		}
+	}
+}
+
+func TestLookupPanicsOnInvalid(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Lookup(0) should panic")
+		}
+	}()
+	Lookup(0)
+}
+
+func TestClassifyAllMatchesPaper(t *testing.T) {
+	// The headline structural result of §IV.B: every defect lands in the
+	// paper's category when simulated.
+	r := buildAt(fsHot(1.0))
+	for _, d := range All() {
+		got, err := r.Classify(d)
+		if err != nil {
+			t.Fatalf("%s: %v", d, err)
+		}
+		if want := Lookup(d).Expected; got != want {
+			t.Errorf("%s classified %s, paper says %s", d, got, want)
+		}
+	}
+}
+
+func TestVregMonotoneInDefectResistance(t *testing.T) {
+	// For an output-stage open, V_DD_CC must fall monotonically with the
+	// defect resistance (the property the Table II search relies on).
+	r := buildAt(fsHot(1.0))
+	prev := math.Inf(1)
+	var warm *spice.Solution
+	for _, res := range []float64{1, 1e3, 10e3, 100e3, 1e6, 10e6, 100e6} {
+		r.InjectDefect(Df16, res)
+		v, sol, err := r.SolveDS(warm)
+		if err != nil {
+			t.Fatalf("R=%g: %v", res, err)
+		}
+		warm = sol
+		if v > prev+1e-6 {
+			t.Errorf("vddcc rose with Df16 resistance at R=%g: %g > %g", res, v, prev)
+		}
+		prev = v
+	}
+	r.ClearDefects()
+}
+
+func TestOutputStageDefectKillsVreg(t *testing.T) {
+	r := buildAt(fsHot(1.0))
+	r.InjectDefect(Df19, OpenResistance)
+	v, _, err := r.SolveDS(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v > 0.1 {
+		t.Errorf("fully open output stage leaves vddcc=%g, want collapsed", v)
+	}
+	r.ClearDefects()
+	v2, _, err := r.SolveDS(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v2 < 0.7 {
+		t.Errorf("ClearDefects did not restore regulation: vddcc=%g", v2)
+	}
+}
+
+func TestExtraLoadDegradesVreg(t *testing.T) {
+	// The CS5 mechanism: extra current from flipping cells pulls V_DD_CC
+	// down further (most visible with a defect already weakening the
+	// output path).
+	r := buildAt(fsHot(1.0))
+	r.InjectDefect(Df16, 5e3)
+	base, _, err := r.SolveDS(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetExtraLoad(50e-6)
+	loaded, _, err := r.SolveDS(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded >= base {
+		t.Errorf("extra load should lower vddcc: %g >= %g", loaded, base)
+	}
+	r.SetExtraLoad(0)
+	r.ClearDefects()
+}
+
+func TestInjectClampsToWireResistance(t *testing.T) {
+	r := buildAt(fsHot(1.0))
+	r.InjectDefect(Df1, 0)
+	if got := r.DefectResistor(Df1).R; got != r.Par.WireRes {
+		t.Errorf("injection below wire resistance should clamp: %g", got)
+	}
+}
+
+func TestDSEntrySettles(t *testing.T) {
+	// Fault-free DS entry must settle V_DD_CC at the DC value within the
+	// 1 ms dwell.
+	r := buildAt(fsHot(1.0))
+	dc, err := r.FaultFreeVreg()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wf, err := r.DSEntry(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := wf.Final("vddcc"); math.Abs(got-dc) > 0.01 {
+		t.Errorf("transient settles at %gmV, DC says %gmV", got*1e3, dc*1e3)
+	}
+	if start := wf.Signal("vddcc")[0]; math.Abs(start-1.0) > 0.01 {
+		t.Errorf("DS entry must start from ACT rail: %g", start)
+	}
+}
+
+func TestDf8DelaysActivation(t *testing.T) {
+	// Table II: Df8 delays MNreg1 activation; V_DD_CC droops low during
+	// the dwell even though the DC endpoint would be fine.
+	r := buildAt(fsHot(1.0))
+	r.InjectDefect(Df8, OpenResistance)
+	wf, err := r.DSEntry(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.ClearDefects()
+	_, min := wf.Min("vddcc")
+	if min > 0.6 {
+		t.Errorf("Df8 open should droop vddcc during dwell, min=%gmV", min*1e3)
+	}
+	// Its DC signature must be invisible (gate line carries no current).
+	r.InjectDefect(Df8, OpenResistance)
+	v, _, err := r.SolveDS(nil)
+	r.ClearDefects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, _ := r.FaultFreeVreg()
+	if math.Abs(v-clean) > 0.005 {
+		t.Errorf("Df8 DC signature should be invisible: %g vs %g", v, clean)
+	}
+}
+
+func TestDf11Undershoot(t *testing.T) {
+	// Table II: Df11 makes the MNreg2 gate recharge slowly toward Vref,
+	// transiently raising the MPreg1 gate and degrading V_DD_CC.
+	r := buildAt(fsHot(1.0))
+	r.ClearDefects()
+	cleanWf, err := r.DSEntry(1e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.InjectDefect(Df11, 100e6)
+	wf, err := r.DSEntry(1e-3)
+	r.ClearDefects()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, cleanMin := cleanWf.Min("vddcc")
+	_, faultyMin := wf.Min("vddcc")
+	if faultyMin > cleanMin-0.02 {
+		t.Errorf("Df11 should deepen the DS-entry dip: %gmV vs clean %gmV", faultyMin*1e3, cleanMin*1e3)
+	}
+	// The gate line itself must start well below Vref (it partially
+	// charges through the open during the 200ns arming window).
+	g := wf.Signal("gmn2")
+	if g[0] > 0.4 {
+		t.Errorf("MNreg2 gate should start well below Vref, got %g", g[0])
+	}
+}
+
+func TestSetVrefChangesTarget(t *testing.T) {
+	r := buildAt(fsHot(1.1))
+	r.SetVref(L78)
+	v78, _, err := r.SolveDS(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.SetVref(L64)
+	v64, _, err := r.SolveDS(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v78 <= v64 {
+		t.Errorf("higher reference level must give higher vddcc: %g vs %g", v78, v64)
+	}
+	if r.Level() != L64 {
+		t.Error("Level() does not track SetVref")
+	}
+}
+
+func TestCategoryStrings(t *testing.T) {
+	for c, s := range map[Category]string{Negligible: "negligible", Power: "power", DRF: "DRF", Both: "power+DRF"} {
+		if c.String() != s {
+			t.Errorf("%d string %q, want %q", int(c), c.String(), s)
+		}
+	}
+	if Df7.String() != "Df7" {
+		t.Error("defect string wrong")
+	}
+	if Defect(0).Valid() || !Df32.Valid() || Defect(33).Valid() {
+		t.Error("Valid() wrong")
+	}
+}
+
+func TestCircuitWellFormed(t *testing.T) {
+	r := buildAt(fsHot(1.1))
+	if err := r.Ckt.Check(); err != nil {
+		t.Errorf("regulator netlist: %v", err)
+	}
+}

@@ -1,0 +1,115 @@
+package report
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// Series is one named line of a plot.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Plot is a terminal line chart used to render Fig. 4-style sweeps.
+type Plot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Width  int // plot area columns (default 64)
+	Height int // plot area rows (default 16)
+	Series []Series
+}
+
+// Add appends a series.
+func (p *Plot) Add(name string, x, y []float64) {
+	p.Series = append(p.Series, Series{Name: name, X: x, Y: y})
+}
+
+// seriesMarks are assigned to series in order.
+var seriesMarks = []byte{'*', 'o', '+', 'x', '#', '@', '%', '&'}
+
+// Write renders the plot.
+func (p *Plot) Write(w io.Writer) error {
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 64
+	}
+	if height <= 0 {
+		height = 16
+	}
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		for i := range s.X {
+			xmin, xmax = math.Min(xmin, s.X[i]), math.Max(xmax, s.X[i])
+			ymin, ymax = math.Min(ymin, s.Y[i]), math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmin, 1) {
+		return fmt.Errorf("report: plot %q has no data", p.Title)
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax == ymin {
+		ymax = ymin + 1
+	}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range p.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i := range s.X {
+			cx := int(math.Round((s.X[i] - xmin) / (xmax - xmin) * float64(width-1)))
+			cy := int(math.Round((s.Y[i] - ymin) / (ymax - ymin) * float64(height-1)))
+			row := height - 1 - cy
+			if row >= 0 && row < height && cx >= 0 && cx < width {
+				grid[row][cx] = mark
+			}
+		}
+	}
+	if p.Title != "" {
+		if _, err := fmt.Fprintln(w, p.Title); err != nil {
+			return err
+		}
+	}
+	for i, row := range grid {
+		label := "        "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%7.3g ", ymax)
+		case height - 1:
+			label = fmt.Sprintf("%7.3g ", ymin)
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s\n", label, string(row)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "        +%s\n", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "        %-10.3g%*.3g  (%s)\n", xmin, width-10, xmax, p.XLabel); err != nil {
+		return err
+	}
+	legend := make([]string, len(p.Series))
+	for i, s := range p.Series {
+		legend[i] = fmt.Sprintf("%c=%s", seriesMarks[i%len(seriesMarks)], s.Name)
+	}
+	if len(legend) > 0 {
+		if _, err := fmt.Fprintf(w, "        %s; y: %s\n", strings.Join(legend, " "), p.YLabel); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the plot to a string.
+func (p *Plot) String() string {
+	var b strings.Builder
+	_ = p.Write(&b)
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+
+	"sramtest/internal/num"
+)
+
+// ACAnalysis is a linearized small-signal model of a circuit around a DC
+// operating point: the conductance matrix G (the Newton Jacobian at the
+// OP, which IS the small-signal linearization) and the capacitance matrix
+// C, so that (G + jωC)·x = b at each frequency.
+type ACAnalysis struct {
+	c    *Circuit
+	n    int
+	g    *num.Matrix
+	cap  *num.Matrix
+	gmin float64
+}
+
+// NewAC builds the small-signal model at the given operating point.
+func NewAC(c *Circuit, op *Solution, opt Options) (*ACAnalysis, error) {
+	n := numUnknowns(c)
+	if op == nil || len(op.X) != n {
+		return nil, fmt.Errorf("spice: AC needs a matching operating point (%d unknowns)", n)
+	}
+	ctx := &Context{
+		Mode:     ModeDC,
+		Temp:     c.Temp,
+		SrcScale: 1,
+		Gmin:     opt.Gmin,
+		X:        append([]float64(nil), op.X...),
+		jac:      num.NewMatrix(n, n),
+		res:      make([]float64, n),
+	}
+	assemble(c, ctx)
+	a := &ACAnalysis{c: c, n: n, g: ctx.jac.Clone(), cap: num.NewMatrix(n, n), gmin: opt.Gmin}
+
+	// Capacitance stamps (open in the DC assembly).
+	for _, e := range c.Elements() {
+		cp, ok := e.(*Capacitor)
+		if !ok {
+			continue
+		}
+		stamp := func(r, cidx NodeID, v float64) {
+			if r == Ground || cidx == Ground {
+				return
+			}
+			a.cap.Add(int(r)-1, int(cidx)-1, v)
+		}
+		stamp(cp.A, cp.A, cp.C)
+		stamp(cp.A, cp.B, -cp.C)
+		stamp(cp.B, cp.A, -cp.C)
+		stamp(cp.B, cp.B, cp.C)
+	}
+	return a, nil
+}
+
+// Solve computes the complex node response at frequency f (Hz) for a unit
+// AC excitation on the given voltage source (all other independent
+// sources are AC-grounded, which the linearized system does implicitly).
+func (a *ACAnalysis) Solve(src *VSource, f float64) (*ACSolution, error) {
+	omega := 2 * math.Pi * f
+	m := num.NewCMatrix(a.n, a.n)
+	for i := 0; i < a.n; i++ {
+		for j := 0; j < a.n; j++ {
+			m.Set(i, j, complex(a.g.At(i, j), omega*a.cap.At(i, j)))
+		}
+	}
+	b := make([]complex128, a.n)
+	b[src.branch] = 1 // the source's branch equation: V(pos)−V(neg) = 1∠0
+	x, err := num.SolveComplex(m, b)
+	if err != nil {
+		return nil, fmt.Errorf("spice: AC solve at %g Hz: %w", f, err)
+	}
+	return &ACSolution{c: a.c, X: x}, nil
+}
+
+// ACSolution is a complex phasor solution.
+type ACSolution struct {
+	c *Circuit
+	X []complex128
+}
+
+// V returns the phasor voltage of node n.
+func (s *ACSolution) V(n NodeID) complex128 {
+	if n == Ground {
+		return 0
+	}
+	return s.X[int(n)-1]
+}
+
+// VName returns the phasor voltage of the named node.
+func (s *ACSolution) VName(name string) complex128 {
+	id, ok := s.c.FindNode(name)
+	if !ok {
+		panic(fmt.Sprintf("spice: no node named %q", name))
+	}
+	return s.V(id)
+}
+
+// Bode sweeps the transfer function V(out)/excitation over the given
+// frequencies and returns magnitude (dB) and phase (degrees).
+func (a *ACAnalysis) Bode(src *VSource, out NodeID, freqs []float64) (magDB, phaseDeg []float64, err error) {
+	magDB = make([]float64, len(freqs))
+	phaseDeg = make([]float64, len(freqs))
+	for i, f := range freqs {
+		sol, err := a.Solve(src, f)
+		if err != nil {
+			return nil, nil, err
+		}
+		h := sol.V(out)
+		magDB[i] = 20 * math.Log10(cmplxAbs(h))
+		phaseDeg[i] = cmplxPhase(h) * 180 / math.Pi
+	}
+	return magDB, phaseDeg, nil
+}
+
+func cmplxAbs(v complex128) float64 {
+	return math.Hypot(real(v), imag(v))
+}
+
+func cmplxPhase(v complex128) float64 {
+	return math.Atan2(imag(v), real(v))
+}

@@ -1,0 +1,160 @@
+package spice
+
+import (
+	"math"
+	"testing"
+
+	"sramtest/internal/device"
+	"sramtest/internal/num"
+)
+
+func TestACLowPassPole(t *testing.T) {
+	// V1 -- R(1k) -- out -- C(1µ) -- gnd: first-order pole at
+	// fc = 1/(2πRC) ≈ 159.15 Hz.
+	c := New()
+	vs, out := c.Node("s"), c.Node("out")
+	src := &VSource{Name: "V1", Pos: vs, Neg: Ground, V: 1}
+	c.Add(src)
+	c.Add(&Resistor{Name: "R1", A: vs, B: out, R: 1e3})
+	c.Add(&Capacitor{Name: "C1", A: out, B: Ground, C: 1e-6})
+	op, err := OP(c, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, err := NewAC(c, op, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc := 1 / (2 * math.Pi * 1e3 * 1e-6)
+	mag, ph, err := ac.Bode(src, out, []float64{fc / 100, fc, fc * 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(mag[0]) > 0.01 {
+		t.Errorf("passband gain %g dB, want 0", mag[0])
+	}
+	if math.Abs(mag[1]+3.0103) > 0.05 {
+		t.Errorf("gain at fc = %g dB, want -3.01", mag[1])
+	}
+	if math.Abs(ph[1]+45) > 0.5 {
+		t.Errorf("phase at fc = %g°, want -45°", ph[1])
+	}
+	// Two decades past the pole: -40 dB, phase → -90°.
+	if math.Abs(mag[2]+40) > 0.1 {
+		t.Errorf("stopband gain %g dB, want -40", mag[2])
+	}
+	if math.Abs(ph[2]+90) > 2 {
+		t.Errorf("stopband phase %g°, want ≈-90°", ph[2])
+	}
+}
+
+func TestACDividerIsFrequencyFlat(t *testing.T) {
+	c := New()
+	vs, out := c.Node("s"), c.Node("out")
+	src := &VSource{Name: "V1", Pos: vs, Neg: Ground, V: 1}
+	c.Add(src)
+	c.Add(&Resistor{Name: "R1", A: vs, B: out, R: 10e3})
+	c.Add(&Resistor{Name: "R2", A: out, B: Ground, R: 10e3})
+	op, _ := OP(c, nil, DefaultOptions())
+	ac, err := NewAC(c, op, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []float64{1, 1e3, 1e9} {
+		sol, err := ac.Solve(src, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h := sol.VName("out")
+		if math.Abs(real(h)-0.5) > 1e-7 || math.Abs(imag(h)) > 1e-7 {
+			t.Errorf("divider at %g Hz: %v, want 0.5", f, h)
+		}
+	}
+}
+
+func TestACAmplifierGainFollowsOP(t *testing.T) {
+	// Common-source NMOS with resistor load: low-frequency AC gain must
+	// match the DC transfer slope (the Jacobian linearization property).
+	build := func() (*Circuit, *VSource, NodeID) {
+		c := New()
+		vdd, in, out := c.Node("vdd"), c.Node("in"), c.Node("out")
+		c.Add(&VSource{Name: "VDD", Pos: vdd, Neg: Ground, V: 1.1})
+		vin := &VSource{Name: "VIN", Pos: in, Neg: Ground, V: 0.45}
+		c.Add(vin)
+		c.Add(&Resistor{Name: "RL", A: vdd, B: out, R: 200e3})
+		c.Add(&Mosfet{Name: "M1", D: out, G: in, S: Ground, B: Ground,
+			Dev: device.NewMOS("M1", device.NewNMOSParams(400e-9, 40e-9))})
+		return c, vin, out
+	}
+	c, vin, out := build()
+	op, err := OP(c, nil, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ac, err := NewAC(c, op, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol, err := ac.Solve(vin, 1) // 1 Hz ≈ DC
+	if err != nil {
+		t.Fatal(err)
+	}
+	acGain := real(sol.V(out))
+
+	// Finite-difference DC gain.
+	const h = 1e-5
+	vin.V += h
+	hi, err := OP(c, op, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	vin.V -= 2 * h
+	lo, err := OP(c, op, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dcGain := (hi.V(out) - lo.V(out)) / (2 * h)
+	if math.Abs(acGain-dcGain) > 0.02*math.Abs(dcGain) {
+		t.Errorf("AC gain %g vs DC slope %g", acGain, dcGain)
+	}
+	if acGain > -2 {
+		t.Errorf("amplifier gain %g, expected strong inversion gain < -2", acGain)
+	}
+}
+
+func TestACValidation(t *testing.T) {
+	c := New()
+	n := c.Node("n")
+	c.Add(&Resistor{Name: "R", A: n, B: Ground, R: 1})
+	if _, err := NewAC(c, nil, DefaultOptions()); err == nil {
+		t.Error("AC without OP should fail")
+	}
+}
+
+func TestSolveComplexAgainstReal(t *testing.T) {
+	// A purely real complex system must agree with the real LU.
+	a := num.NewMatrix(3, 3)
+	ac := num.NewCMatrix(3, 3)
+	vals := [][]float64{{4, 1, 0}, {1, 5, 2}, {0, 2, 6}}
+	for i := range vals {
+		for j, v := range vals[i] {
+			a.Set(i, j, v)
+			ac.Set(i, j, complex(v, 0))
+		}
+	}
+	b := []float64{1, 2, 3}
+	bc := []complex128{1, 2, 3}
+	xr, err := num.SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xc, err := num.SolveComplex(ac, bc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range xr {
+		if math.Abs(real(xc[i])-xr[i]) > 1e-12 || math.Abs(imag(xc[i])) > 1e-12 {
+			t.Errorf("complex solve diverges at %d: %v vs %g", i, xc[i], xr[i])
+		}
+	}
+}

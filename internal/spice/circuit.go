@@ -1,0 +1,147 @@
+// Package spice is a compact analog circuit simulator: a netlist container
+// plus the analyses the paper's experiments need — DC operating point
+// (damped Newton-Raphson with gmin and source stepping), DC sweeps, and
+// backward-Euler transient analysis. It substitutes for the commercial
+// SPICE + Intel models used by the paper (DESIGN.md §2).
+//
+// The circuits simulated here are tiny (a 6T cell, a ~15-node voltage
+// regulator), so the implementation favours robustness and clarity over
+// sparse-matrix performance: matrices are dense and factored with
+// partially-pivoted LU.
+package spice
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeID identifies a circuit node. Ground is always node 0.
+type NodeID int
+
+// Ground is the reference node of every circuit.
+const Ground NodeID = 0
+
+// Element is anything that can stamp itself into the MNA system.
+type Element interface {
+	// ElementName returns the instance name (unique within a circuit).
+	ElementName() string
+	// Terminals returns the nodes the element connects to.
+	Terminals() []NodeID
+	// Stamp adds the element's linearized contribution to the Newton
+	// system held by ctx (Jacobian and KCL/branch residuals), evaluated
+	// at the present solution estimate.
+	Stamp(ctx *Context)
+}
+
+// BranchElement is an Element that introduces an extra MNA unknown (a
+// branch current), e.g. an ideal voltage source.
+type BranchElement interface {
+	Element
+	// SetBranch tells the element which MNA row/column is its branch
+	// current. Called by the analysis before the first stamp.
+	SetBranch(index int)
+	// NumBranches returns how many branch unknowns the element needs.
+	NumBranches() int
+}
+
+// Circuit is a flat netlist: a node registry plus a list of elements.
+type Circuit struct {
+	nodeNames []string          // index -> name; [0] == "0"
+	nodeIndex map[string]NodeID // name -> index
+	elements  []Element
+	byName    map[string]Element
+	Temp      float64 // simulation temperature (°C)
+}
+
+// New returns an empty circuit at 25 °C with only the ground node.
+func New() *Circuit {
+	c := &Circuit{
+		nodeNames: []string{"0"},
+		nodeIndex: map[string]NodeID{"0": Ground, "gnd": Ground, "GND": Ground},
+		byName:    map[string]Element{},
+		Temp:      25,
+	}
+	return c
+}
+
+// Node returns the NodeID for name, creating the node on first use.
+// The names "0", "gnd" and "GND" all refer to ground.
+func (c *Circuit) Node(name string) NodeID {
+	if id, ok := c.nodeIndex[name]; ok {
+		return id
+	}
+	id := NodeID(len(c.nodeNames))
+	c.nodeNames = append(c.nodeNames, name)
+	c.nodeIndex[name] = id
+	return id
+}
+
+// NodeName returns the name of node id.
+func (c *Circuit) NodeName(id NodeID) string {
+	if int(id) < len(c.nodeNames) {
+		return c.nodeNames[id]
+	}
+	return fmt.Sprintf("node%d", int(id))
+}
+
+// FindNode returns the node with the given name, if it exists.
+func (c *Circuit) FindNode(name string) (NodeID, bool) {
+	id, ok := c.nodeIndex[name]
+	return id, ok
+}
+
+// NumNodes returns the number of nodes including ground.
+func (c *Circuit) NumNodes() int { return len(c.nodeNames) }
+
+// Add registers an element. It panics on duplicate instance names, which
+// are always construction bugs.
+func (c *Circuit) Add(e Element) {
+	name := e.ElementName()
+	if _, dup := c.byName[name]; dup {
+		panic(fmt.Sprintf("spice: duplicate element name %q", name))
+	}
+	c.byName[name] = e
+	c.elements = append(c.elements, e)
+}
+
+// Element returns the element with the given instance name.
+func (c *Circuit) Element(name string) (Element, bool) {
+	e, ok := c.byName[name]
+	return e, ok
+}
+
+// Elements returns the elements in insertion order. The returned slice is
+// shared; callers must not modify it.
+func (c *Circuit) Elements() []Element { return c.elements }
+
+// NodeNames returns all node names except ground, sorted.
+func (c *Circuit) NodeNames() []string {
+	out := make([]string, 0, len(c.nodeNames)-1)
+	for _, n := range c.nodeNames[1:] {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Check validates basic well-formedness: every non-ground node must be
+// reachable by at least one element terminal (no orphan nodes) and every
+// element terminal must be a known node.
+func (c *Circuit) Check() error {
+	touched := make([]bool, len(c.nodeNames))
+	touched[Ground] = true
+	for _, e := range c.elements {
+		for _, n := range e.Terminals() {
+			if int(n) < 0 || int(n) >= len(c.nodeNames) {
+				return fmt.Errorf("spice: element %s references unknown node %d", e.ElementName(), n)
+			}
+			touched[n] = true
+		}
+	}
+	for i, ok := range touched {
+		if !ok {
+			return fmt.Errorf("spice: node %q is not connected to any element", c.nodeNames[i])
+		}
+	}
+	return nil
+}

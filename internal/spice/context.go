@@ -1,0 +1,109 @@
+package spice
+
+import "sramtest/internal/num"
+
+// AnalysisMode selects how reactive elements stamp themselves.
+type AnalysisMode int
+
+// Analysis modes.
+const (
+	ModeDC   AnalysisMode = iota // capacitors open
+	ModeTran                     // capacitors use a backward-Euler companion
+)
+
+// Context is the per-iteration Newton assembly state handed to
+// Element.Stamp. The solver drives: it zeroes the system, asks every
+// element to stamp, then solves J·Δx = −F.
+//
+// Unknown layout: x[0..numNodes-2] are the voltages of nodes 1..numNodes-1
+// (ground is eliminated), followed by one entry per branch current.
+type Context struct {
+	Mode AnalysisMode
+	Temp float64 // °C
+
+	// Transient state (ModeTran only).
+	Dt    float64   // current time step (s)
+	Prev  []float64 // previous accepted solution (same layout as X)
+	Time  float64   // time at the END of the step being solved (s)
+	First bool      // true while solving the first transient step
+
+	// SrcScale scales all independent sources; used for source stepping.
+	SrcScale float64
+	// Gmin is the node-to-ground leakage conductance added to every
+	// non-ground node to keep the Jacobian non-singular.
+	Gmin float64
+
+	X []float64 // present solution estimate
+
+	jac *num.Matrix
+	res []float64 // residual F(x): KCL sums (currents leaving node) + branch eqs
+}
+
+// V returns the present voltage estimate of node n.
+func (c *Context) V(n NodeID) float64 {
+	if n == Ground {
+		return 0
+	}
+	return c.X[int(n)-1]
+}
+
+// PrevV returns the node voltage from the previously accepted transient
+// step (0 for ground).
+func (c *Context) PrevV(n NodeID) float64 {
+	if n == Ground {
+		return 0
+	}
+	return c.Prev[int(n)-1]
+}
+
+// Branch returns the present estimate of branch current i (the extra
+// unknowns after the node voltages).
+func (c *Context) Branch(i int) float64 { return c.X[i] }
+
+// rowOf maps a node to its residual/Jacobian row, or -1 for ground.
+func rowOf(n NodeID) int { return int(n) - 1 }
+
+// AddCurrent records current i flowing OUT of node n (KCL residual).
+func (c *Context) AddCurrent(n NodeID, i float64) {
+	if n == Ground {
+		return
+	}
+	c.res[rowOf(n)] += i
+}
+
+// AddConductance records ∂(current leaving node n)/∂(voltage of node m).
+func (c *Context) AddConductance(n, m NodeID, g float64) {
+	if n == Ground || m == Ground {
+		return
+	}
+	c.jac.Add(rowOf(n), rowOf(m), g)
+}
+
+// AddBranchResidual adds to the residual of branch equation row (an
+// absolute unknown index, as given to SetBranch).
+func (c *Context) AddBranchResidual(row int, v float64) {
+	c.res[row] += v
+}
+
+// AddJacobian adds to the Jacobian at absolute unknown indices
+// (row, col) — used by branch equations.
+func (c *Context) AddJacobian(row, col int, v float64) {
+	c.jac.Add(row, col, v)
+}
+
+// NodeUnknown returns the absolute unknown index of node n, or -1 for
+// ground. Branch elements use it to couple their branch equation to node
+// voltages.
+func NodeUnknown(n NodeID) int { return int(n) - 1 }
+
+// StampConductance2 stamps a two-terminal conductance g between nodes a
+// and b: both the Jacobian entries and the residual current g·(va−vb).
+func (c *Context) StampConductance2(a, b NodeID, g float64) {
+	v := c.V(a) - c.V(b)
+	c.AddCurrent(a, g*v)
+	c.AddCurrent(b, -g*v)
+	c.AddConductance(a, a, g)
+	c.AddConductance(a, b, -g)
+	c.AddConductance(b, a, -g)
+	c.AddConductance(b, b, g)
+}

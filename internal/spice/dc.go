@@ -1,0 +1,237 @@
+package spice
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"sramtest/internal/num"
+)
+
+// Options tunes the Newton-Raphson engine. The zero value is not valid;
+// use DefaultOptions.
+type Options struct {
+	MaxIter int     // Newton iterations per attempt
+	VTol    float64 // voltage-update convergence tolerance (V)
+	ITol    float64 // KCL residual convergence tolerance (A)
+	Gmin    float64 // final node-to-ground conductance (S)
+	MaxStep float64 // voltage-update damping limit per iteration (V)
+	NoHomo  bool    // disable gmin/source-stepping homotopy fallbacks
+}
+
+// DefaultOptions returns the solver settings used by all experiments.
+// ITol resolves pA-scale leakage currents; MaxStep keeps the exponential
+// MOSFET models inside their representable range during early iterations.
+func DefaultOptions() Options {
+	return Options{
+		MaxIter: 300,
+		VTol:    1e-9,
+		ITol:    1e-12,
+		Gmin:    1e-12,
+		MaxStep: 0.3,
+	}
+}
+
+// ErrNoConvergence is returned when all homotopy strategies fail.
+var ErrNoConvergence = errors.New("spice: operating point did not converge")
+
+// Solution is a solved set of node voltages and branch currents.
+type Solution struct {
+	c *Circuit
+	X []float64 // node voltages (nodes 1..N-1) then branch currents
+}
+
+// V returns the voltage of node n.
+func (s *Solution) V(n NodeID) float64 {
+	if n == Ground {
+		return 0
+	}
+	return s.X[int(n)-1]
+}
+
+// VName returns the voltage of the named node; it panics if the node does
+// not exist (a test/driver bug, never a data condition).
+func (s *Solution) VName(name string) float64 {
+	id, ok := s.c.FindNode(name)
+	if !ok {
+		panic(fmt.Sprintf("spice: no node named %q", name))
+	}
+	return s.V(id)
+}
+
+// SourceCurrent returns the branch current of a voltage source (positive
+// current flows from the + terminal through the source to the − terminal,
+// so a battery delivering power has a negative value).
+func (s *Solution) SourceCurrent(v *VSource) float64 {
+	return s.X[v.branch]
+}
+
+// Clone returns an independent copy (used for warm starts).
+func (s *Solution) Clone() *Solution {
+	return &Solution{c: s.c, X: append([]float64(nil), s.X...)}
+}
+
+// numUnknowns assigns branch indices and returns the total unknown count.
+func numUnknowns(c *Circuit) int {
+	n := c.NumNodes() - 1
+	for _, e := range c.Elements() {
+		if be, ok := e.(BranchElement); ok {
+			be.SetBranch(n)
+			n += be.NumBranches()
+		}
+	}
+	return n
+}
+
+// assemble builds the Jacobian and residual at ctx.X into ctx.jac/ctx.res.
+func assemble(c *Circuit, ctx *Context) {
+	ctx.jac.Zero()
+	for i := range ctx.res {
+		ctx.res[i] = 0
+	}
+	for _, e := range c.Elements() {
+		e.Stamp(ctx)
+	}
+	// Gmin from every node to ground stabilizes floating gates.
+	nNodes := c.NumNodes() - 1
+	for i := 0; i < nNodes; i++ {
+		ctx.jac.Add(i, i, ctx.Gmin)
+		ctx.res[i] += ctx.Gmin * ctx.X[i]
+	}
+}
+
+// newton runs damped Newton-Raphson from the initial estimate in ctx.X.
+func newton(c *Circuit, ctx *Context, opt Options) error {
+	n := len(ctx.X)
+	nNodes := c.NumNodes() - 1
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		assemble(c, ctx)
+		f, err := num.FactorLU(ctx.jac)
+		if err != nil {
+			return fmt.Errorf("spice: singular Jacobian at iteration %d: %w", iter, err)
+		}
+		neg := make([]float64, n)
+		for i, v := range ctx.res {
+			neg[i] = -v
+		}
+		dx := f.Solve(neg)
+
+		// Damp: limit the largest node-voltage step.
+		maxDV := 0.0
+		for i := 0; i < nNodes; i++ {
+			if a := math.Abs(dx[i]); a > maxDV {
+				maxDV = a
+			}
+		}
+		scale := 1.0
+		if maxDV > opt.MaxStep {
+			scale = opt.MaxStep / maxDV
+		}
+		for i := range dx {
+			ctx.X[i] += scale * dx[i]
+		}
+
+		// Convergence: small voltage update AND small KCL residual.
+		if maxDV*scale < opt.VTol {
+			maxRes := 0.0
+			for i := 0; i < nNodes; i++ {
+				if a := math.Abs(ctx.res[i]); a > maxRes {
+					maxRes = a
+				}
+			}
+			if maxRes < opt.ITol {
+				return nil
+			}
+		}
+		if math.IsNaN(maxDV) {
+			return fmt.Errorf("spice: NaN in Newton update at iteration %d", iter)
+		}
+	}
+	return ErrNoConvergence
+}
+
+// OP computes the DC operating point. initial may be nil (cold start) or a
+// previous Solution for warm starting; it is not modified.
+//
+// Strategy: plain Newton from the initial estimate; on failure, gmin
+// stepping (relaxed leakage homotopy); on failure, source stepping
+// (supply ramp homotopy). This mirrors standard SPICE practice.
+func OP(c *Circuit, initial *Solution, opt Options) (*Solution, error) {
+	n := numUnknowns(c)
+	ctx := &Context{
+		Mode:     ModeDC,
+		Temp:     c.Temp,
+		SrcScale: 1,
+		Gmin:     opt.Gmin,
+		X:        make([]float64, n),
+		jac:      num.NewMatrix(n, n),
+		res:      make([]float64, n),
+	}
+	if initial != nil && len(initial.X) == n {
+		copy(ctx.X, initial.X)
+	}
+
+	if err := newton(c, ctx, opt); err == nil {
+		return &Solution{c: c, X: ctx.X}, nil
+	}
+	if opt.NoHomo {
+		return nil, ErrNoConvergence
+	}
+
+	// Gmin stepping: solve with heavy artificial leakage, then tighten.
+	for i := range ctx.X {
+		ctx.X[i] = 0
+	}
+	if initial != nil && len(initial.X) == n {
+		copy(ctx.X, initial.X)
+	}
+	ok := true
+	for g := 1e-2; ; g /= 10 {
+		if g < opt.Gmin {
+			g = opt.Gmin
+		}
+		ctx.Gmin = g
+		if err := newton(c, ctx, opt); err != nil {
+			ok = false
+			break
+		}
+		if g == opt.Gmin {
+			break
+		}
+	}
+	if ok {
+		return &Solution{c: c, X: ctx.X}, nil
+	}
+
+	// Source stepping: ramp all independent sources from 0 to 100 %.
+	for i := range ctx.X {
+		ctx.X[i] = 0
+	}
+	ctx.Gmin = opt.Gmin
+	for _, a := range []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0} {
+		ctx.SrcScale = a
+		if err := newton(c, ctx, opt); err != nil {
+			return nil, fmt.Errorf("%w (source stepping failed at %.0f%%)", ErrNoConvergence, a*100)
+		}
+	}
+	return &Solution{c: c, X: ctx.X}, nil
+}
+
+// Sweep runs a DC sweep: for each value v, set(v) mutates the circuit
+// (e.g. changes a source voltage or a defect resistance) and the operating
+// point is re-solved with a warm start from the previous point. The probe
+// function maps each solution to the recorded output.
+func Sweep(c *Circuit, values []float64, set func(float64), probe func(*Solution) float64, opt Options) ([]float64, error) {
+	out := make([]float64, len(values))
+	var prev *Solution
+	for i, v := range values {
+		set(v)
+		sol, err := OP(c, prev, opt)
+		if err != nil {
+			return nil, fmt.Errorf("spice: sweep point %d (value %g): %w", i, v, err)
+		}
+		out[i] = probe(sol)
+		prev = sol
+	}
+	return out, nil
+}

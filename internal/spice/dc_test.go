@@ -1,0 +1,272 @@
+package spice
+
+import (
+	"math"
+	"testing"
+
+	"sramtest/internal/device"
+)
+
+func opMust(t *testing.T, c *Circuit) *Solution {
+	t.Helper()
+	sol, err := OP(c, nil, DefaultOptions())
+	if err != nil {
+		t.Fatalf("OP: %v", err)
+	}
+	return sol
+}
+
+func TestVoltageDivider(t *testing.T) {
+	c := New()
+	vdd := c.Node("vdd")
+	mid := c.Node("mid")
+	c.Add(&VSource{Name: "V1", Pos: vdd, Neg: Ground, V: 1.2})
+	c.Add(&Resistor{Name: "R1", A: vdd, B: mid, R: 10e3})
+	c.Add(&Resistor{Name: "R2", A: mid, B: Ground, R: 30e3})
+	sol := opMust(t, c)
+	if got := sol.VName("mid"); math.Abs(got-0.9) > 1e-6 {
+		t.Errorf("divider mid = %g, want 0.9", got)
+	}
+	// Source current: 1.2V across 40k, flowing out of the + terminal
+	// means branch current is negative by SPICE convention.
+	v1, _ := c.Element("V1")
+	if i := sol.SourceCurrent(v1.(*VSource)); math.Abs(i+30e-6) > 1e-9 {
+		t.Errorf("source current %g, want -30µA", i)
+	}
+}
+
+func TestCurrentSourceIntoResistor(t *testing.T) {
+	c := New()
+	n := c.Node("n")
+	// 1 mA pulled from ground through the source into node n.
+	c.Add(&ISource{Name: "I1", Pos: Ground, Neg: n, I: 1e-3})
+	c.Add(&Resistor{Name: "R1", A: n, B: Ground, R: 1e3})
+	sol := opMust(t, c)
+	if got := sol.VName("n"); math.Abs(got-1.0) > 1e-6 {
+		t.Errorf("V(n) = %g, want 1.0", got)
+	}
+}
+
+func TestSwitchStates(t *testing.T) {
+	c := New()
+	vdd := c.Node("vdd")
+	out := c.Node("out")
+	c.Add(&VSource{Name: "V1", Pos: vdd, Neg: Ground, V: 1.0})
+	sw := NewSwitch("S1", vdd, out)
+	c.Add(sw)
+	c.Add(&Resistor{Name: "R1", A: out, B: Ground, R: 1e6})
+
+	sw.On = true
+	sol := opMust(t, c)
+	if got := sol.VName("out"); math.Abs(got-1.0) > 1e-4 {
+		t.Errorf("closed switch: V(out) = %g, want ≈1.0", got)
+	}
+	sw.On = false
+	sol = opMust(t, c)
+	if got := sol.VName("out"); got > 1e-3 {
+		t.Errorf("open switch: V(out) = %g, want ≈0", got)
+	}
+}
+
+func TestNMOSInverterTransfer(t *testing.T) {
+	// Resistor-loaded NMOS inverter: output must swing from high (input
+	// low) to low (input high) monotonically.
+	c := New()
+	vdd, in, out := c.Node("vdd"), c.Node("in"), c.Node("out")
+	c.Add(&VSource{Name: "VDD", Pos: vdd, Neg: Ground, V: 1.1})
+	vin := &VSource{Name: "VIN", Pos: in, Neg: Ground, V: 0}
+	c.Add(vin)
+	c.Add(&Resistor{Name: "RL", A: vdd, B: out, R: 100e3})
+	c.Add(&Mosfet{Name: "M1", D: out, G: in, S: Ground, B: Ground,
+		Dev: device.NewMOS("M1", device.NewNMOSParams(400e-9, 40e-9))})
+
+	prev := math.Inf(1)
+	for _, v := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1.0, 1.1} {
+		vin.V = v
+		sol := opMust(t, c)
+		vo := sol.VName("out")
+		if vo > prev+1e-9 {
+			t.Fatalf("inverter VTC not monotone at vin=%g: %g > %g", v, vo, prev)
+		}
+		prev = vo
+	}
+	vin.V = 0
+	if vo := opMust(t, c).VName("out"); vo < 1.0 {
+		t.Errorf("inverter output at vin=0 is %g, want near VDD", vo)
+	}
+	vin.V = 1.1
+	if vo := opMust(t, c).VName("out"); vo > 0.2 {
+		t.Errorf("inverter output at vin=1.1 is %g, want near 0", vo)
+	}
+}
+
+func TestCMOSInverterRailToRail(t *testing.T) {
+	c := New()
+	vdd, in, out := c.Node("vdd"), c.Node("in"), c.Node("out")
+	c.Add(&VSource{Name: "VDD", Pos: vdd, Neg: Ground, V: 1.1})
+	vin := &VSource{Name: "VIN", Pos: in, Neg: Ground, V: 0}
+	c.Add(vin)
+	c.Add(&Mosfet{Name: "MP", D: out, G: in, S: vdd, B: vdd,
+		Dev: device.NewMOS("MP", device.NewPMOSParams(400e-9, 40e-9))})
+	c.Add(&Mosfet{Name: "MN", D: out, G: in, S: Ground, B: Ground,
+		Dev: device.NewMOS("MN", device.NewNMOSParams(200e-9, 40e-9))})
+
+	vin.V = 0
+	if vo := opMust(t, c).VName("out"); math.Abs(vo-1.1) > 0.01 {
+		t.Errorf("CMOS inverter out at vin=0: %g, want ≈1.1", vo)
+	}
+	vin.V = 1.1
+	if vo := opMust(t, c).VName("out"); vo > 0.01 {
+		t.Errorf("CMOS inverter out at vin=1.1: %g, want ≈0", vo)
+	}
+}
+
+func TestDiodeConnectedCurrentMirror(t *testing.T) {
+	// A PMOS current mirror: the mirrored branch current should track the
+	// reference branch within channel-length-modulation error.
+	c := New()
+	vdd := c.Node("vdd")
+	ref := c.Node("ref")
+	out := c.Node("out")
+	c.Add(&VSource{Name: "VDD", Pos: vdd, Neg: Ground, V: 1.1})
+	c.Add(&Mosfet{Name: "MP1", D: ref, G: ref, S: vdd, B: vdd,
+		Dev: device.NewMOS("MP1", device.NewPMOSParams(1e-6, 100e-9))})
+	c.Add(&Mosfet{Name: "MP2", D: out, G: ref, S: vdd, B: vdd,
+		Dev: device.NewMOS("MP2", device.NewPMOSParams(1e-6, 100e-9))})
+	c.Add(&ISource{Name: "IREF", Pos: ref, Neg: Ground, I: 10e-6})
+	c.Add(&Resistor{Name: "RL", A: out, B: Ground, R: 20e3})
+	sol := opMust(t, c)
+	iOut := sol.VName("out") / 20e3
+	// CLM and DIBL skew the mirror when the two drains sit at different
+	// voltages; a 2:1 band still proves the mirroring topology works.
+	if iOut < 5e-6 || iOut > 20e-6 {
+		t.Errorf("mirrored current %g, want ≈10µA (5-20µA band)", iOut)
+	}
+}
+
+func TestLoadElement(t *testing.T) {
+	// Nonlinear load: i = k·v² (with well-defined derivative) from a
+	// 1 V source through 1 kΩ. Solves v + k·v²·R = 1.
+	c := New()
+	vs := c.Node("s")
+	n := c.Node("n")
+	c.Add(&VSource{Name: "V1", Pos: vs, Neg: Ground, V: 1})
+	c.Add(&Resistor{Name: "R1", A: vs, B: n, R: 1e3})
+	k := 1e-3
+	c.Add(&Load{Name: "L1", A: n, B: Ground, F: func(v float64) (float64, float64) {
+		return k * v * v, 2 * k * v
+	}})
+	sol := opMust(t, c)
+	v := sol.VName("n")
+	if resid := v + k*v*v*1e3 - 1; math.Abs(resid) > 1e-6 {
+		t.Errorf("nonlinear load residual %g at v=%g", resid, v)
+	}
+}
+
+func TestSweepWarmStart(t *testing.T) {
+	c := New()
+	vdd, in, out := c.Node("vdd"), c.Node("in"), c.Node("out")
+	c.Add(&VSource{Name: "VDD", Pos: vdd, Neg: Ground, V: 1.1})
+	vin := &VSource{Name: "VIN", Pos: in, Neg: Ground, V: 0}
+	c.Add(vin)
+	c.Add(&Mosfet{Name: "MP", D: out, G: in, S: vdd, B: vdd,
+		Dev: device.NewMOS("MP", device.NewPMOSParams(400e-9, 40e-9))})
+	c.Add(&Mosfet{Name: "MN", D: out, G: in, S: Ground, B: Ground,
+		Dev: device.NewMOS("MN", device.NewNMOSParams(200e-9, 40e-9))})
+
+	vals := []float64{0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0, 1.1}
+	outID := out
+	curve, err := Sweep(c, vals,
+		func(v float64) { vin.V = v },
+		func(s *Solution) float64 { return s.V(outID) },
+		DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i] > curve[i-1]+1e-9 {
+			t.Fatalf("swept VTC not monotone at %d: %v", i, curve)
+		}
+	}
+}
+
+func TestCheckDetectsOrphanNode(t *testing.T) {
+	c := New()
+	c.Node("floating")
+	if err := c.Check(); err == nil {
+		t.Error("Check should flag unconnected node")
+	}
+	c2 := New()
+	n := c2.Node("n")
+	c2.Add(&Resistor{Name: "R1", A: n, B: Ground, R: 1})
+	if err := c2.Check(); err != nil {
+		t.Errorf("Check on valid circuit: %v", err)
+	}
+}
+
+func TestDuplicateElementPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on duplicate element name")
+		}
+	}()
+	c := New()
+	n := c.Node("n")
+	c.Add(&Resistor{Name: "R1", A: n, B: Ground, R: 1})
+	c.Add(&Resistor{Name: "R1", A: n, B: Ground, R: 2})
+}
+
+func TestGroundAliases(t *testing.T) {
+	c := New()
+	if c.Node("gnd") != Ground || c.Node("GND") != Ground || c.Node("0") != Ground {
+		t.Error("ground aliases must map to node 0")
+	}
+}
+
+func TestSolutionHelpers(t *testing.T) {
+	c := New()
+	n := c.Node("n")
+	c.Add(&ISource{Name: "I1", Pos: Ground, Neg: n, I: 1e-3})
+	c.Add(&Resistor{Name: "R1", A: n, B: Ground, R: 1e3})
+	sol := opMust(t, c)
+	if sol.V(Ground) != 0 {
+		t.Error("ground voltage must be 0")
+	}
+	clone := sol.Clone()
+	clone.X[0] = 42
+	if sol.X[0] == 42 {
+		t.Error("Clone shares storage")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("VName on unknown node should panic")
+		}
+	}()
+	sol.VName("nope")
+}
+
+func TestOPColdStartHardCircuit(t *testing.T) {
+	// Cross-coupled inverters (a latch) are the classic hard case for NR
+	// cold starts; homotopy must still find *a* stable solution.
+	c := New()
+	vdd := c.Node("vdd")
+	a, b := c.Node("a"), c.Node("b")
+	c.Add(&VSource{Name: "VDD", Pos: vdd, Neg: Ground, V: 1.1})
+	mk := func(name string, in, out NodeID) {
+		c.Add(&Mosfet{Name: name + "p", D: out, G: in, S: vdd, B: vdd,
+			Dev: device.NewMOS(name+"p", device.NewPMOSParams(200e-9, 40e-9))})
+		c.Add(&Mosfet{Name: name + "n", D: out, G: in, S: Ground, B: Ground,
+			Dev: device.NewMOS(name+"n", device.NewNMOSParams(200e-9, 40e-9))})
+	}
+	mk("inv1", a, b)
+	mk("inv2", b, a)
+	sol := opMust(t, c)
+	va, vb := sol.VName("a"), sol.VName("b")
+	// Any of the three equilibria is acceptable; voltages must be finite
+	// and inside the rails.
+	for _, v := range []float64{va, vb} {
+		if math.IsNaN(v) || v < -0.01 || v > 1.11 {
+			t.Errorf("latch node voltage %g outside rails", v)
+		}
+	}
+}

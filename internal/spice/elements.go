@@ -1,0 +1,192 @@
+package spice
+
+import (
+	"fmt"
+	"math"
+)
+
+// Resistor is a linear two-terminal resistor. Setting R to very large
+// values (e.g. >500 MΩ, the paper's "actual open line") effectively opens
+// the branch; R must be positive.
+type Resistor struct {
+	Name string
+	A, B NodeID
+	R    float64 // ohms
+}
+
+// ElementName implements Element.
+func (r *Resistor) ElementName() string { return r.Name }
+
+// Terminals implements Element.
+func (r *Resistor) Terminals() []NodeID { return []NodeID{r.A, r.B} }
+
+// Stamp implements Element.
+func (r *Resistor) Stamp(ctx *Context) {
+	if r.R <= 0 {
+		panic(fmt.Sprintf("spice: resistor %s has non-positive resistance %g", r.Name, r.R))
+	}
+	ctx.StampConductance2(r.A, r.B, 1/r.R)
+}
+
+// Capacitor is a linear two-terminal capacitor. In DC analyses it is an
+// open circuit; in transient analyses it uses a backward-Euler companion
+// model (g = C/dt in parallel with a history current).
+type Capacitor struct {
+	Name string
+	A, B NodeID
+	C    float64 // farads
+}
+
+// ElementName implements Element.
+func (c *Capacitor) ElementName() string { return c.Name }
+
+// Terminals implements Element.
+func (c *Capacitor) Terminals() []NodeID { return []NodeID{c.A, c.B} }
+
+// Stamp implements Element.
+func (c *Capacitor) Stamp(ctx *Context) {
+	if ctx.Mode != ModeTran {
+		return // open in DC
+	}
+	g := c.C / ctx.Dt
+	v := ctx.V(c.A) - ctx.V(c.B)
+	vPrev := ctx.PrevV(c.A) - ctx.PrevV(c.B)
+	i := g * (v - vPrev) // backward-Euler capacitor current
+	ctx.AddCurrent(c.A, i)
+	ctx.AddCurrent(c.B, -i)
+	ctx.AddConductance(c.A, c.A, g)
+	ctx.AddConductance(c.A, c.B, -g)
+	ctx.AddConductance(c.B, c.A, -g)
+	ctx.AddConductance(c.B, c.B, g)
+}
+
+// VSource is an ideal independent voltage source forcing
+// V(Pos) − V(Neg) = V. It contributes one branch-current unknown.
+// Sources participate in source stepping via Context.SrcScale.
+type VSource struct {
+	Name     string
+	Pos, Neg NodeID
+	V        float64
+	branch   int
+}
+
+// ElementName implements Element.
+func (v *VSource) ElementName() string { return v.Name }
+
+// Terminals implements Element.
+func (v *VSource) Terminals() []NodeID { return []NodeID{v.Pos, v.Neg} }
+
+// NumBranches implements BranchElement.
+func (v *VSource) NumBranches() int { return 1 }
+
+// SetBranch implements BranchElement.
+func (v *VSource) SetBranch(i int) { v.branch = i }
+
+// Stamp implements Element.
+func (v *VSource) Stamp(ctx *Context) {
+	i := ctx.Branch(v.branch)
+	// Branch current flows from Pos through the source to Neg:
+	// it leaves the circuit at Pos and re-enters at Neg.
+	ctx.AddCurrent(v.Pos, i)
+	ctx.AddCurrent(v.Neg, -i)
+	if p := NodeUnknown(v.Pos); p >= 0 {
+		ctx.AddJacobian(p, v.branch, 1)
+		ctx.AddJacobian(v.branch, p, 1)
+	}
+	if n := NodeUnknown(v.Neg); n >= 0 {
+		ctx.AddJacobian(n, v.branch, -1)
+		ctx.AddJacobian(v.branch, n, -1)
+	}
+	// Branch equation residual: V(Pos) − V(Neg) − V·scale = 0.
+	ctx.AddBranchResidual(v.branch, ctx.V(v.Pos)-ctx.V(v.Neg)-v.V*ctx.SrcScale)
+}
+
+// ISource is an ideal independent current source: current I flows from Pos
+// through the source to Neg (SPICE convention), i.e. it pulls I out of the
+// Pos node and injects it into the Neg node.
+type ISource struct {
+	Name     string
+	Pos, Neg NodeID
+	I        float64
+}
+
+// ElementName implements Element.
+func (s *ISource) ElementName() string { return s.Name }
+
+// Terminals implements Element.
+func (s *ISource) Terminals() []NodeID { return []NodeID{s.Pos, s.Neg} }
+
+// Stamp implements Element.
+func (s *ISource) Stamp(ctx *Context) {
+	i := s.I * ctx.SrcScale
+	ctx.AddCurrent(s.Pos, i)
+	ctx.AddCurrent(s.Neg, -i)
+}
+
+// Switch is a behavioral voltage-independent switch stamped as Ron or Roff
+// depending on its state. It models the power-switch segments and the
+// Vref/Vbias selector pass gates, whose switching is controlled by the
+// power-mode logic rather than solved electrically.
+type Switch struct {
+	Name string
+	A, B NodeID
+	On   bool
+	Ron  float64 // ohms when closed
+	Roff float64 // ohms when open
+}
+
+// NewSwitch returns a switch with default on/off resistances (1 Ω / 10 GΩ).
+func NewSwitch(name string, a, b NodeID) *Switch {
+	return &Switch{Name: name, A: a, B: b, Ron: 1, Roff: 1e10}
+}
+
+// ElementName implements Element.
+func (s *Switch) ElementName() string { return s.Name }
+
+// Terminals implements Element.
+func (s *Switch) Terminals() []NodeID { return []NodeID{s.A, s.B} }
+
+// Stamp implements Element.
+func (s *Switch) Stamp(ctx *Context) {
+	r := s.Roff
+	if s.On {
+		r = s.Ron
+	}
+	ctx.StampConductance2(s.A, s.B, 1/r)
+}
+
+// LoadFunc evaluates a nonlinear two-terminal load: given the branch
+// voltage v = V(A) − V(B) it returns the current flowing A→B and its
+// derivative dI/dv. The function must be smooth and monotone for Newton
+// convergence.
+type LoadFunc func(v float64) (i, g float64)
+
+// Load is a behavioral nonlinear conductance used to model the core-cell
+// array seen from the V_DD_CC rail: leakage plus the extra current drawn
+// by cells whose internal nodes approach instability (DESIGN.md §5.4).
+type Load struct {
+	Name string
+	A, B NodeID
+	F    LoadFunc
+}
+
+// ElementName implements Element.
+func (l *Load) ElementName() string { return l.Name }
+
+// Terminals implements Element.
+func (l *Load) Terminals() []NodeID { return []NodeID{l.A, l.B} }
+
+// Stamp implements Element.
+func (l *Load) Stamp(ctx *Context) {
+	v := ctx.V(l.A) - ctx.V(l.B)
+	i, g := l.F(v)
+	if math.IsNaN(i) || math.IsNaN(g) {
+		panic(fmt.Sprintf("spice: load %s returned NaN at v=%g", l.Name, v))
+	}
+	ctx.AddCurrent(l.A, i)
+	ctx.AddCurrent(l.B, -i)
+	ctx.AddConductance(l.A, l.A, g)
+	ctx.AddConductance(l.A, l.B, -g)
+	ctx.AddConductance(l.B, l.A, -g)
+	ctx.AddConductance(l.B, l.B, g)
+}

@@ -1,0 +1,38 @@
+package spice
+
+import "sramtest/internal/device"
+
+// Mosfet is the circuit element wrapping a device.MOS model instance.
+// Terminal order follows SPICE convention: drain, gate, source, bulk.
+type Mosfet struct {
+	Name       string
+	D, G, S, B NodeID
+	Dev        *device.MOS
+}
+
+// ElementName implements Element.
+func (m *Mosfet) ElementName() string { return m.Name }
+
+// Terminals implements Element.
+func (m *Mosfet) Terminals() []NodeID { return []NodeID{m.D, m.G, m.S, m.B} }
+
+// Stamp implements Element: the drain current Id enters the drain terminal
+// and leaves at the source, so KCL sees +Id leaving the drain node and −Id
+// leaving the source node. The Jacobian rows couple both nodes to all four
+// controlling terminal voltages.
+func (m *Mosfet) Stamp(ctx *Context) {
+	op := m.Dev.Eval(ctx.V(m.G), ctx.V(m.S), ctx.V(m.D), ctx.V(m.B), ctx.Temp)
+
+	ctx.AddCurrent(m.D, op.Id)
+	ctx.AddCurrent(m.S, -op.Id)
+
+	ctx.AddConductance(m.D, m.G, op.Gm)
+	ctx.AddConductance(m.D, m.D, op.Gds)
+	ctx.AddConductance(m.D, m.S, op.Gms)
+	ctx.AddConductance(m.D, m.B, op.Gmb)
+
+	ctx.AddConductance(m.S, m.G, -op.Gm)
+	ctx.AddConductance(m.S, m.D, -op.Gds)
+	ctx.AddConductance(m.S, m.S, -op.Gms)
+	ctx.AddConductance(m.S, m.B, -op.Gmb)
+}

@@ -1,0 +1,304 @@
+package spice
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"sramtest/internal/device"
+)
+
+// ParseValue parses a SPICE-style number with an optional engineering
+// suffix: f p n u m k meg g t (case-insensitive). "10k" = 1e4,
+// "2.5meg" = 2.5e6.
+func ParseValue(s string) (float64, error) {
+	s = strings.ToLower(strings.TrimSpace(s))
+	if s == "" {
+		return 0, fmt.Errorf("spice: empty value")
+	}
+	mult := 1.0
+	switch {
+	case strings.HasSuffix(s, "meg"):
+		mult, s = 1e6, s[:len(s)-3]
+	case strings.HasSuffix(s, "f"):
+		mult, s = 1e-15, s[:len(s)-1]
+	case strings.HasSuffix(s, "p"):
+		mult, s = 1e-12, s[:len(s)-1]
+	case strings.HasSuffix(s, "n"):
+		mult, s = 1e-9, s[:len(s)-1]
+	case strings.HasSuffix(s, "u"):
+		mult, s = 1e-6, s[:len(s)-1]
+	case strings.HasSuffix(s, "m"):
+		mult, s = 1e-3, s[:len(s)-1]
+	case strings.HasSuffix(s, "k"):
+		mult, s = 1e3, s[:len(s)-1]
+	case strings.HasSuffix(s, "g"):
+		mult, s = 1e9, s[:len(s)-1]
+	case strings.HasSuffix(s, "t"):
+		mult, s = 1e12, s[:len(s)-1]
+	}
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return 0, fmt.Errorf("spice: bad numeric value %q", s)
+	}
+	return v * mult, nil
+}
+
+// FormatValue renders a number with an engineering suffix, choosing the
+// representation that round-trips through ParseValue.
+func FormatValue(v float64) string {
+	if v == 0 {
+		return "0"
+	}
+	a := math.Abs(v)
+	type unit struct {
+		scale float64
+		sfx   string
+	}
+	units := []unit{
+		{1e12, "t"}, {1e9, "g"}, {1e6, "meg"}, {1e3, "k"},
+		{1, ""}, {1e-3, "m"}, {1e-6, "u"}, {1e-9, "n"}, {1e-12, "p"}, {1e-15, "f"},
+	}
+	for _, u := range units {
+		if a >= u.scale {
+			return trimFloat(v/u.scale) + u.sfx
+		}
+	}
+	return trimFloat(v/1e-15) + "f"
+}
+
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 10, 64)
+}
+
+// Parse reads a SPICE-like netlist and returns the circuit. Supported
+// cards (instance names must be unique; node "0"/"gnd" is ground):
+//
+//   - comment
+//     Rname a b value
+//     Cname a b value
+//     Vname pos neg value
+//     Iname pos neg value
+//     Sname a b on|off [ron=..] [roff=..]
+//     Mname d g s b nmos|pmos w=.. l=.. [dvth=..] [beta=..]
+//     .temp value
+//     .end
+//
+// The format exists so users can characterize their own regulator designs
+// with cmd/defectchar ("the adopted methodology can be applied to any
+// similar low-power SRAM design", paper §I).
+func Parse(r io.Reader) (*Circuit, error) {
+	c := New()
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "*") || strings.HasPrefix(line, "//") {
+			continue
+		}
+		fields := strings.Fields(line)
+		card := strings.ToUpper(fields[0])
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("spice: line %d: %s", lineNo, fmt.Sprintf(format, args...))
+		}
+		switch {
+		case card == ".END":
+			return c, nil
+		case card == ".TEMP":
+			if len(fields) != 2 {
+				return nil, fail(".temp needs one value")
+			}
+			v, err := ParseValue(fields[1])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			c.Temp = v
+		case card[0] == 'R':
+			if len(fields) != 4 {
+				return nil, fail("resistor needs: Rname a b value")
+			}
+			v, err := ParseValue(fields[3])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			c.Add(&Resistor{Name: fields[0], A: c.Node(fields[1]), B: c.Node(fields[2]), R: v})
+		case card[0] == 'C':
+			if len(fields) != 4 {
+				return nil, fail("capacitor needs: Cname a b value")
+			}
+			v, err := ParseValue(fields[3])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			c.Add(&Capacitor{Name: fields[0], A: c.Node(fields[1]), B: c.Node(fields[2]), C: v})
+		case card[0] == 'V':
+			if len(fields) != 4 {
+				return nil, fail("voltage source needs: Vname pos neg value")
+			}
+			v, err := ParseValue(fields[3])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			c.Add(&VSource{Name: fields[0], Pos: c.Node(fields[1]), Neg: c.Node(fields[2]), V: v})
+		case card[0] == 'I':
+			if len(fields) != 4 {
+				return nil, fail("current source needs: Iname pos neg value")
+			}
+			v, err := ParseValue(fields[3])
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			c.Add(&ISource{Name: fields[0], Pos: c.Node(fields[1]), Neg: c.Node(fields[2]), I: v})
+		case card[0] == 'S':
+			if len(fields) < 4 {
+				return nil, fail("switch needs: Sname a b on|off [ron=..] [roff=..]")
+			}
+			sw := NewSwitch(fields[0], c.Node(fields[1]), c.Node(fields[2]))
+			switch strings.ToLower(fields[3]) {
+			case "on":
+				sw.On = true
+			case "off":
+				sw.On = false
+			default:
+				return nil, fail("switch state must be on or off, got %q", fields[3])
+			}
+			for _, kv := range fields[4:] {
+				key, val, err := splitKV(kv)
+				if err != nil {
+					return nil, fail("%v", err)
+				}
+				switch key {
+				case "ron":
+					sw.Ron = val
+				case "roff":
+					sw.Roff = val
+				default:
+					return nil, fail("unknown switch parameter %q", key)
+				}
+			}
+			c.Add(sw)
+		case card[0] == 'M':
+			if len(fields) < 6 {
+				return nil, fail("mosfet needs: Mname d g s b nmos|pmos w=.. l=..")
+			}
+			var params device.MOSParams
+			w, l := 200e-9, 40e-9
+			dvth, beta := 0.0, 1.0
+			model := strings.ToLower(fields[5])
+			for _, kv := range fields[6:] {
+				key, val, err := splitKV(kv)
+				if err != nil {
+					return nil, fail("%v", err)
+				}
+				switch key {
+				case "w":
+					w = val
+				case "l":
+					l = val
+				case "dvth":
+					dvth = val
+				case "beta":
+					beta = val
+				default:
+					return nil, fail("unknown mosfet parameter %q", key)
+				}
+			}
+			switch model {
+			case "nmos":
+				params = device.NewNMOSParams(w, l)
+			case "pmos":
+				params = device.NewPMOSParams(w, l)
+			default:
+				return nil, fail("unknown mosfet model %q", model)
+			}
+			dev := device.NewMOS(fields[0], params)
+			dev.DVth = dvth
+			dev.BetaScale = beta
+			c.Add(&Mosfet{
+				Name: fields[0],
+				D:    c.Node(fields[1]), G: c.Node(fields[2]),
+				S: c.Node(fields[3]), B: c.Node(fields[4]),
+				Dev: dev,
+			})
+		default:
+			return nil, fail("unknown card %q", fields[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// Print writes the circuit back out in the Parse format. Elements are
+// emitted in insertion order, so Parse(Print(c)) reproduces the netlist.
+func Print(w io.Writer, c *Circuit) error {
+	if c.Temp != 25 {
+		if _, err := fmt.Fprintf(w, ".temp %g\n", c.Temp); err != nil {
+			return err
+		}
+	}
+	for _, e := range c.Elements() {
+		var line string
+		switch el := e.(type) {
+		case *Resistor:
+			line = fmt.Sprintf("%s %s %s %s", el.Name, c.NodeName(el.A), c.NodeName(el.B), FormatValue(el.R))
+		case *Capacitor:
+			line = fmt.Sprintf("%s %s %s %s", el.Name, c.NodeName(el.A), c.NodeName(el.B), FormatValue(el.C))
+		case *VSource:
+			line = fmt.Sprintf("%s %s %s %s", el.Name, c.NodeName(el.Pos), c.NodeName(el.Neg), FormatValue(el.V))
+		case *ISource:
+			line = fmt.Sprintf("%s %s %s %s", el.Name, c.NodeName(el.Pos), c.NodeName(el.Neg), FormatValue(el.I))
+		case *Switch:
+			state := "off"
+			if el.On {
+				state = "on"
+			}
+			line = fmt.Sprintf("%s %s %s %s ron=%s roff=%s", el.Name, c.NodeName(el.A), c.NodeName(el.B), state, FormatValue(el.Ron), FormatValue(el.Roff))
+		case *Mosfet:
+			line = fmt.Sprintf("%s %s %s %s %s %s w=%s l=%s", el.Name,
+				c.NodeName(el.D), c.NodeName(el.G), c.NodeName(el.S), c.NodeName(el.B),
+				el.Dev.Params.Type, FormatValue(el.Dev.Params.W), FormatValue(el.Dev.Params.L))
+			if el.Dev.DVth != 0 {
+				line += fmt.Sprintf(" dvth=%s", FormatValue(el.Dev.DVth))
+			}
+			if el.Dev.BetaScale != 1 {
+				line += fmt.Sprintf(" beta=%g", el.Dev.BetaScale)
+			}
+		default:
+			return fmt.Errorf("spice: cannot print element %T (%s)", e, e.ElementName())
+		}
+		if _, err := fmt.Fprintln(w, line); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w, ".end")
+	return err
+}
+
+func splitKV(s string) (string, float64, error) {
+	i := strings.IndexByte(s, '=')
+	if i < 0 {
+		return "", 0, fmt.Errorf("expected key=value, got %q", s)
+	}
+	v, err := ParseValue(s[i+1:])
+	if err != nil {
+		return "", 0, err
+	}
+	return strings.ToLower(s[:i]), v, nil
+}
+
+// SortedElementNames returns all instance names, sorted (test helper).
+func (c *Circuit) SortedElementNames() []string {
+	names := make([]string, 0, len(c.elements))
+	for _, e := range c.elements {
+		names = append(names, e.ElementName())
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,170 @@
+package spice
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseValue(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+	}{
+		{"10k", 1e4}, {"2.5meg", 2.5e6}, {"1g", 1e9}, {"3t", 3e12},
+		{"100n", 1e-7}, {"1f", 1e-15}, {"5p", 5e-12}, {"2u", 2e-6},
+		{"7m", 7e-3}, {"42", 42}, {"-1.5k", -1500}, {"1e3", 1000},
+	}
+	for _, tc := range cases {
+		got, err := ParseValue(tc.in)
+		if err != nil {
+			t.Errorf("ParseValue(%q): %v", tc.in, err)
+			continue
+		}
+		if math.Abs(got-tc.want) > 1e-9*math.Abs(tc.want) {
+			t.Errorf("ParseValue(%q) = %g, want %g", tc.in, got, tc.want)
+		}
+	}
+	for _, bad := range []string{"", "abc", "1x2", "k"} {
+		if _, err := ParseValue(bad); err == nil {
+			t.Errorf("ParseValue(%q) should fail", bad)
+		}
+	}
+}
+
+// Property: FormatValue round-trips through ParseValue.
+func TestFormatValueRoundTrip(t *testing.T) {
+	f := func(v float64) bool {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return true
+		}
+		// Keep within the suffix table's range.
+		v = math.Mod(v, 1e14)
+		got, err := ParseValue(FormatValue(v))
+		if err != nil {
+			return false
+		}
+		if v == 0 {
+			return got == 0
+		}
+		return math.Abs(got-v) <= 1e-9*math.Abs(v)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+const demoNetlist = `
+* resistor-loaded inverter with extras
+.temp 125
+VDD vdd 0 1.1
+VIN in 0 0.5
+RL vdd out 100k
+M1 out in 0 0 nmos w=400n l=40n dvth=10m beta=0.9
+CL out 0 2f
+S1 vdd aux on ron=2 roff=1g
+RX aux 0 1meg
+IB vdd out 1u
+.end
+`
+
+func TestParseNetlist(t *testing.T) {
+	c, err := Parse(strings.NewReader(demoNetlist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Temp != 125 {
+		t.Errorf("temp = %g, want 125", c.Temp)
+	}
+	if got := len(c.Elements()); got != 8 {
+		t.Fatalf("parsed %d elements, want 8", got)
+	}
+	e, ok := c.Element("M1")
+	if !ok {
+		t.Fatal("M1 missing")
+	}
+	m := e.(*Mosfet)
+	if m.Dev.DVth != 10e-3 || m.Dev.BetaScale != 0.9 {
+		t.Errorf("M1 params dvth=%g beta=%g", m.Dev.DVth, m.Dev.BetaScale)
+	}
+	if math.Abs(m.Dev.Params.W-400e-9) > 1e-15 {
+		t.Errorf("M1 W = %g", m.Dev.Params.W)
+	}
+	// Parsed circuit must actually solve.
+	if _, err := OP(c, nil, DefaultOptions()); err != nil {
+		t.Errorf("parsed circuit OP: %v", err)
+	}
+}
+
+func TestParsePrintRoundTrip(t *testing.T) {
+	c1, err := Parse(strings.NewReader(demoNetlist))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Print(&buf, c1); err != nil {
+		t.Fatal(err)
+	}
+	c2, err := Parse(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, buf.String())
+	}
+	if got, want := c2.SortedElementNames(), c1.SortedElementNames(); len(got) != len(want) {
+		t.Fatalf("element count changed: %v vs %v", got, want)
+	}
+	if c2.Temp != c1.Temp {
+		t.Errorf("temp changed: %g vs %g", c2.Temp, c1.Temp)
+	}
+	// Same operating point from both.
+	s1, err1 := OP(c1, nil, DefaultOptions())
+	s2, err2 := OP(c2, nil, DefaultOptions())
+	if err1 != nil || err2 != nil {
+		t.Fatalf("OP errors: %v, %v", err1, err2)
+	}
+	if math.Abs(s1.VName("out")-s2.VName("out")) > 1e-9 {
+		t.Errorf("round-trip changed OP: %g vs %g", s1.VName("out"), s2.VName("out"))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"R1 a b",                   // missing value
+		"R1 a b 1x",                // bad value
+		"Q1 a b c",                 // unknown card
+		"M1 d g s b foo w=1u l=1u", // unknown model
+		"M1 d g s b nmos q=1",      // unknown param
+		"S1 a b maybe",             // bad switch state
+		"S1 a b on x=1",            // unknown switch param
+		".temp",                    // missing value
+		"V1 a 0 zz",                // bad source value
+	}
+	for _, line := range bad {
+		if _, err := Parse(strings.NewReader(line + "\n")); err == nil {
+			t.Errorf("Parse(%q) should fail", line)
+		}
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	src := "* a comment\n// another\n\nR1 a 0 1k\n"
+	c, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Elements()) != 1 {
+		t.Errorf("got %d elements", len(c.Elements()))
+	}
+}
+
+func TestParseEndStops(t *testing.T) {
+	src := "R1 a 0 1k\n.end\nR2 b 0 2k\n"
+	c, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Element("R2"); ok {
+		t.Error("cards after .end must be ignored")
+	}
+}

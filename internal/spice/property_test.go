@@ -1,0 +1,163 @@
+package spice
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"sramtest/internal/device"
+)
+
+// randomResistiveNetwork builds a random connected ladder/mesh of
+// resistors over n nodes plus two current sources, returning the circuit
+// and handles to the sources.
+func randomResistiveNetwork(rng *rand.Rand, n int) (*Circuit, *ISource, *ISource) {
+	c := New()
+	nodes := make([]NodeID, n)
+	for i := range nodes {
+		nodes[i] = c.Node(fmt.Sprintf("n%d", i))
+	}
+	// Spanning chain guarantees connectivity to ground.
+	prev := Ground
+	for i, nd := range nodes {
+		c.Add(&Resistor{Name: fmt.Sprintf("Rc%d", i), A: prev, B: nd, R: 100 + rng.Float64()*10e3})
+		prev = nd
+	}
+	// Random extra edges.
+	for i := 0; i < n; i++ {
+		a := nodes[rng.Intn(n)]
+		b := Ground
+		if rng.Intn(2) == 0 {
+			b = nodes[rng.Intn(n)]
+		}
+		if a == b {
+			continue
+		}
+		c.Add(&Resistor{Name: fmt.Sprintf("Rx%d", i), A: a, B: b, R: 100 + rng.Float64()*10e3})
+	}
+	i1 := &ISource{Name: "I1", Pos: Ground, Neg: nodes[rng.Intn(n)], I: 0}
+	i2 := &ISource{Name: "I2", Pos: Ground, Neg: nodes[rng.Intn(n)], I: 0}
+	c.Add(i1)
+	c.Add(i2)
+	return c, i1, i2
+}
+
+// TestSuperposition: for linear networks, the response to two sources is
+// the sum of the responses to each source alone — a strong whole-solver
+// correctness property (stamping, factorization and solve all in play).
+func TestSuperposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(10)
+		c, i1, i2 := randomResistiveNetwork(rng, n)
+		probe := NodeID(1 + rng.Intn(n))
+
+		solve := func(a, b float64) float64 {
+			i1.I, i2.I = a, b
+			sol, err := OP(c, nil, DefaultOptions())
+			if err != nil {
+				t.Fatalf("trial %d: %v", trial, err)
+			}
+			return sol.V(probe)
+		}
+		va := solve(1e-3, 0)
+		vb := solve(0, 2e-3)
+		vab := solve(1e-3, 2e-3)
+		if math.Abs(vab-(va+vb)) > 1e-6*(math.Abs(va)+math.Abs(vb)+1e-9) {
+			t.Fatalf("trial %d: superposition violated: %g + %g != %g", trial, va, vb, vab)
+		}
+	}
+}
+
+// TestReciprocity: in a passive resistive network, the transfer resistance
+// from a current injection at node A to the voltage at node B equals the
+// reverse (the MNA matrix of a reciprocal network is symmetric).
+func TestReciprocity(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 25; trial++ {
+		n := 3 + rng.Intn(8)
+		c, i1, i2 := randomResistiveNetwork(rng, n)
+		a := NodeID(1 + rng.Intn(n))
+		b := NodeID(1 + rng.Intn(n))
+		i1.Pos, i1.Neg = Ground, a
+		i2.Pos, i2.Neg = Ground, b
+
+		i1.I, i2.I = 1e-3, 0
+		solA, err := OP(c, nil, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		vba := solA.V(b)
+		i1.I, i2.I = 0, 1e-3
+		solB, err := OP(c, nil, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		vab := solB.V(a)
+		if math.Abs(vab-vba) > 1e-9+1e-6*math.Abs(vab) {
+			t.Fatalf("trial %d: reciprocity violated: %g vs %g", trial, vab, vba)
+		}
+	}
+}
+
+// TestRandomNetlistRoundTrip: print/parse/print is a fixpoint on randomly
+// generated netlists covering every printable element kind.
+func TestRandomNetlistRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 30; trial++ {
+		c := New()
+		n := 2 + rng.Intn(6)
+		nodeName := func() string { return fmt.Sprintf("n%d", rng.Intn(n)) }
+		for i := 0; i < 3+rng.Intn(8); i++ {
+			a, b := c.Node(nodeName()), c.Node(nodeName())
+			switch rng.Intn(6) {
+			case 0:
+				c.Add(&Resistor{Name: fmt.Sprintf("R%d", i), A: a, B: b, R: math.Round(rng.Float64()*1e6) + 1})
+			case 1:
+				c.Add(&Capacitor{Name: fmt.Sprintf("C%d", i), A: a, B: b, C: 1e-15 * math.Round(1+rng.Float64()*100)})
+			case 2:
+				c.Add(&VSource{Name: fmt.Sprintf("V%d", i), Pos: a, Neg: Ground, V: math.Round(rng.Float64()*120) / 100})
+			case 3:
+				c.Add(&ISource{Name: fmt.Sprintf("I%d", i), Pos: a, Neg: b, I: 1e-6 * math.Round(1+rng.Float64()*100)})
+			case 4:
+				sw := NewSwitch(fmt.Sprintf("S%d", i), a, b)
+				sw.On = rng.Intn(2) == 0
+				c.Add(sw)
+			case 5:
+				m := &Mosfet{Name: fmt.Sprintf("M%d", i),
+					D: a, G: c.Node(nodeName()), S: b, B: Ground}
+				if rng.Intn(2) == 0 {
+					m.Dev = newTestNMOS(m.Name)
+				} else {
+					m.Dev = newTestPMOS(m.Name)
+				}
+				c.Add(m)
+			}
+		}
+		var b1 bytes.Buffer
+		if err := Print(&b1, c); err != nil {
+			t.Fatal(err)
+		}
+		c2, err := Parse(bytes.NewReader(b1.Bytes()))
+		if err != nil {
+			t.Fatalf("trial %d reparse: %v\n%s", trial, err, b1.String())
+		}
+		var b2 bytes.Buffer
+		if err := Print(&b2, c2); err != nil {
+			t.Fatal(err)
+		}
+		if b1.String() != b2.String() {
+			t.Fatalf("trial %d: print/parse not a fixpoint:\n--- first\n%s--- second\n%s", trial, b1.String(), b2.String())
+		}
+	}
+}
+
+func newTestNMOS(name string) *device.MOS {
+	return device.NewMOS(name, device.NewNMOSParams(200e-9, 40e-9))
+}
+
+func newTestPMOS(name string) *device.MOS {
+	return device.NewMOS(name, device.NewPMOSParams(200e-9, 40e-9))
+}

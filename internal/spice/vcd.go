@@ -1,0 +1,109 @@
+package spice
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// WriteVCD emits the waveform as a Value Change Dump with `real`
+// variables, viewable in GTKWave and friends. The timescale is chosen
+// from the waveform's smallest step so timestamps stay integral.
+func (w *Waveform) WriteVCD(out io.Writer, module string) error {
+	if len(w.Time) == 0 || len(w.Names) == 0 {
+		return fmt.Errorf("spice: empty waveform")
+	}
+	// Pick a timescale: the largest power of ten not exceeding the
+	// smallest positive time step, floored at 1 fs.
+	smallest := math.Inf(1)
+	for i := 1; i < len(w.Time); i++ {
+		if dt := w.Time[i] - w.Time[i-1]; dt > 0 && dt < smallest {
+			smallest = dt
+		}
+	}
+	if math.IsInf(smallest, 1) {
+		smallest = 1e-9
+	}
+	exp := int(math.Floor(math.Log10(smallest)))
+	if exp < -15 {
+		exp = -15
+	}
+	if exp > 0 {
+		exp = 0
+	}
+	unit, scale := vcdUnit(exp)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "$timescale 1%s $end\n", unit)
+	fmt.Fprintf(&b, "$scope module %s $end\n", module)
+	ids := make([]string, len(w.Names))
+	for i, name := range w.Names {
+		ids[i] = vcdID(i)
+		fmt.Fprintf(&b, "$var real 64 %s %s $end\n", ids[i], sanitizeVCDName(name))
+	}
+	b.WriteString("$upscope $end\n$enddefinitions $end\n")
+
+	last := make([]float64, len(w.Names))
+	for i := range last {
+		last[i] = math.NaN()
+	}
+	for ti, t := range w.Time {
+		stamp := int64(math.Round(t / scale))
+		emitted := false
+		for k := range w.Names {
+			v := w.Signals[k][ti]
+			if v == last[k] {
+				continue
+			}
+			if !emitted {
+				fmt.Fprintf(&b, "#%d\n", stamp)
+				emitted = true
+			}
+			fmt.Fprintf(&b, "r%.9g %s\n", v, ids[k])
+			last[k] = v
+		}
+	}
+	_, err := io.WriteString(out, b.String())
+	return err
+}
+
+// vcdUnit maps a base-10 exponent to the nearest VCD timescale unit at or
+// below it.
+func vcdUnit(exp int) (unit string, scale float64) {
+	switch {
+	case exp >= 0:
+		return "s", 1
+	case exp >= -3:
+		return "ms", 1e-3
+	case exp >= -6:
+		return "us", 1e-6
+	case exp >= -9:
+		return "ns", 1e-9
+	case exp >= -12:
+		return "ps", 1e-12
+	default:
+		return "fs", 1e-15
+	}
+}
+
+// vcdID generates compact identifier codes (!, ", #, ... then pairs).
+func vcdID(i int) string {
+	const first, last = 33, 126
+	n := last - first + 1
+	if i < n {
+		return string(rune(first + i))
+	}
+	return string(rune(first+i/n-1)) + string(rune(first+i%n))
+}
+
+// sanitizeVCDName replaces characters VCD identifiers dislike.
+func sanitizeVCDName(name string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case ' ', '\t':
+			return '_'
+		}
+		return r
+	}, name)
+}

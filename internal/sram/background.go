@@ -1,0 +1,57 @@
+package sram
+
+// Physical data backgrounds for March testing, expressed as word values
+// per address so that the *cell array* sees the intended geometric
+// pattern through the bit-interleaved column mux (see LocateCell).
+//
+// With an 8:1 interleave a solid word pattern is also a solid cell
+// pattern, but a "checkerboard word" (0xAAAA...) is NOT a physical
+// checkerboard — these helpers compute the correct word values.
+
+// SolidBackground returns the all-zero background (March default).
+func SolidBackground(addr int) uint64 { return 0 }
+
+// CheckerboardBackground returns word values that paint a physical
+// checkerboard on the cell array: cell at (row, col) holds (row+col)&1.
+func CheckerboardBackground(addr int) uint64 {
+	var w uint64
+	for b := 0; b < Bits; b++ {
+		loc := LocateCell(addr, b)
+		if (loc.Row+loc.Col)&1 == 1 {
+			w |= 1 << uint(b)
+		}
+	}
+	return w
+}
+
+// RowStripeBackground paints alternating word lines: cell value = row&1.
+func RowStripeBackground(addr int) uint64 {
+	loc := LocateCell(addr, 0)
+	if loc.Row&1 == 1 {
+		return ^uint64(0)
+	}
+	return 0
+}
+
+// ColStripeBackground paints alternating bit lines: cell value = col&1.
+func ColStripeBackground(addr int) uint64 {
+	var w uint64
+	for b := 0; b < Bits; b++ {
+		if LocateCell(addr, b).Col&1 == 1 {
+			w |= 1 << uint(b)
+		}
+	}
+	return w
+}
+
+// FastRowOrder returns an address permutation that walks the array one
+// physical column at a time (consecutive steps move to the next word
+// line). The default address order is fast-column (consecutive addresses
+// share a word line under the 8:1 mux); fast-row order sensitizes
+// coupling between vertically adjacent cells.
+func FastRowOrder(i int) int {
+	// i = wordInRow*Rows + row  ->  addr = row*WordsPerRow + wordInRow
+	row := i % Rows
+	w := i / Rows
+	return row*WordsPerRow + w
+}

@@ -1,0 +1,48 @@
+package sram
+
+import "fmt"
+
+// Physical location of one cell in the 512×512 array.
+type CellLocation struct {
+	Row int // word line index, 0..511
+	Col int // bit line (pair) index, 0..511
+}
+
+// LocateCell maps a logical (word address, bit) pair to its physical row
+// and column. Words within a row are interleaved by the 8:1 column mux:
+// bit b of word w sits at column b*WordsPerRow + (w mod WordsPerRow) —
+// standard bit-interleaving, which spreads one word's bits across the row.
+func LocateCell(addr, bit int) CellLocation {
+	if addr < 0 || addr >= Words || bit < 0 || bit >= Bits {
+		panic(fmt.Sprintf("sram: LocateCell(%d,%d) out of range", addr, bit))
+	}
+	return CellLocation{
+		Row: addr / WordsPerRow,
+		Col: bit*WordsPerRow + addr%WordsPerRow,
+	}
+}
+
+// CellAt is the inverse of LocateCell.
+func CellAt(loc CellLocation) (addr, bit int) {
+	if loc.Row < 0 || loc.Row >= Rows || loc.Col < 0 || loc.Col >= Cols {
+		panic(fmt.Sprintf("sram: CellAt(%+v) out of range", loc))
+	}
+	return loc.Row*WordsPerRow + loc.Col%WordsPerRow, loc.Col / WordsPerRow
+}
+
+// SpreadCells returns n cell positions placed one per 8 bit-lines across
+// distinct rows — the paper's CS5 layout ("64 core-cells, 1 core-cell
+// each 8 BLs").
+func SpreadCells(n int) []CellLocation {
+	if n < 0 || n > Cols/WordsPerRow {
+		panic(fmt.Sprintf("sram: SpreadCells(%d) out of range (max %d)", n, Cols/WordsPerRow))
+	}
+	out := make([]CellLocation, n)
+	for i := 0; i < n; i++ {
+		out[i] = CellLocation{
+			Row: (i * 37) % Rows, // co-prime stride scatters the rows
+			Col: i * WordsPerRow, // one per 8 bit lines
+		}
+	}
+	return out
+}

@@ -1,0 +1,140 @@
+package sram
+
+import (
+	"fmt"
+
+	"sramtest/internal/process"
+)
+
+// SetPins drives the power-mode control inputs of the paper's PM control
+// logic (§II.A): PWRON=0 selects power-off regardless of SLEEP; PWRON=1
+// with SLEEP=1 selects deep-sleep; PWRON=1 with SLEEP=0 selects active.
+// Mode changes route through the same transition paths as the explicit
+// methods, with a zero-length dwell for entries into sleep states.
+func (s *SRAM) SetPins(sleep, pwron bool) error {
+	switch {
+	case !pwron:
+		return s.PowerOff()
+	case sleep:
+		return s.EnterDS(0)
+	default:
+		return s.WakeUp()
+	}
+}
+
+// EnterDS switches ACT→DS and dwells for the given time: the power
+// switches of core-cell array and peripheral circuitry open, the voltage
+// regulator turns on, and the array retains (or not) at Vreg according to
+// the attached RetentionModel.
+func (s *SRAM) EnterDS(dwell float64) error {
+	if s.mode != ACT {
+		return fmt.Errorf("sram: DS entry from %s (must be ACT)", s.mode)
+	}
+	s.mode = DS
+	s.stats.DSEntries++
+	s.stats.SimTime += dwell
+	s.applyRetention(dwell)
+	s.fire(EnterDS)
+	return nil
+}
+
+// EnterLS switches ACT→LS (light sleep): only the peripheral circuitry is
+// gated, the array stays at VDD and always retains. This is the power
+// mode whose control-logic failures March LZ targets (refs [12][13]).
+func (s *SRAM) EnterLS(dwell float64) error {
+	if s.mode != ACT {
+		return fmt.Errorf("sram: LS entry from %s (must be ACT)", s.mode)
+	}
+	s.mode = LS
+	s.stats.LSEntries++
+	s.stats.SimTime += dwell
+	s.fire(EnterLS)
+	return nil
+}
+
+// PowerOff switches to PO: the regulator is off and both internal rails
+// discharge, so all contents are lost (paper §II.A).
+func (s *SRAM) PowerOff() error {
+	if s.mode == PO {
+		return nil
+	}
+	prev := s.mode
+	s.mode = PO
+	s.valid = false
+	for i := range s.data {
+		s.data[i] = 0
+	}
+	_ = prev
+	s.fire(EnterPO)
+	return nil
+}
+
+// WakeUp returns the SRAM to ACT mode from any sleep or off state (the
+// paper's WUP phase). After PO, contents remain invalid until every word
+// is rewritten; Restore validity is handled lazily by MarkInitialized.
+func (s *SRAM) WakeUp() error {
+	prev := s.mode
+	s.mode = ACT
+	s.stats.SimTime += CycleTime
+	switch prev {
+	case DS:
+		s.stats.WakeUps++
+		s.fire(WakeFromDS)
+	case LS:
+		s.stats.WakeUps++
+		s.fire(WakeFromLS)
+	case PO:
+		s.fire(WakeFromPO)
+	}
+	return nil
+}
+
+// MarkInitialized declares the contents valid again (used after a full
+// rewrite following power-off).
+func (s *SRAM) MarkInitialized() { s.valid = true }
+
+// RegisterVariation marks one cell as affected by the given core-cell
+// variation; the retention model consults it during DS dwells. All
+// unregistered cells use the symmetric (zero-variation) query.
+func (s *SRAM) RegisterVariation(addr, bit int, v process.Variation) {
+	k := cellIndex{addr, bit}
+	s.affect[k] = struct{}{}
+	s.vars[k] = variationEntry{v: v}
+}
+
+// ClearVariations removes all registered cell variations.
+func (s *SRAM) ClearVariations() {
+	s.affect = map[cellIndex]struct{}{}
+	s.vars = map[cellIndex]variationEntry{}
+}
+
+type variationEntry struct {
+	v process.Variation
+}
+
+// applyRetention flips every cell that does not survive the dwell.
+func (s *SRAM) applyRetention(dwell float64) {
+	// Symmetric cells: one decision per stored value covers the whole
+	// array minus the registered cells.
+	sym0 := s.ret.Survives(process.Variation{}, false, dwell)
+	sym1 := s.ret.Survives(process.Variation{}, true, dwell)
+	if !sym0 || !sym1 {
+		for addr := 0; addr < Words; addr++ {
+			for b := 0; b < Bits; b++ {
+				if _, special := s.affect[cellIndex{addr, b}]; special {
+					continue
+				}
+				bit := s.RawBit(addr, b)
+				if (bit && !sym1) || (!bit && !sym0) {
+					s.RawSetBit(addr, b, !bit)
+				}
+			}
+		}
+	}
+	for k, e := range s.vars {
+		bit := s.RawBit(k.addr, k.bit)
+		if !s.ret.Survives(e.v, bit, dwell) {
+			s.RawSetBit(k.addr, k.bit, !bit)
+		}
+	}
+}

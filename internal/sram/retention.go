@@ -1,0 +1,207 @@
+package sram
+
+import (
+	"fmt"
+	"math"
+
+	"sramtest/internal/cell"
+	"sramtest/internal/power"
+	"sramtest/internal/process"
+	"sramtest/internal/regulator"
+	"sramtest/internal/spice"
+)
+
+// RetentionModel decides whether a core-cell with a given local variation
+// retains a stored bit over a deep-sleep dwell. It is the seam between
+// the behavioral SRAM and the electrical layer.
+type RetentionModel interface {
+	// Survives reports whether a cell with variation v holding the given
+	// bit still holds it after a DS dwell of the given duration.
+	Survives(v process.Variation, bit bool, dwell float64) bool
+	// RailVoltage returns the settled V_DD_CC during deep sleep (V).
+	RailVoltage() float64
+}
+
+// PerfectRetention always retains (ideal regulator); the zero SRAM uses it.
+type PerfectRetention struct{}
+
+// Survives implements RetentionModel.
+func (PerfectRetention) Survives(process.Variation, bool, float64) bool { return true }
+
+// RailVoltage implements RetentionModel.
+func (PerfectRetention) RailVoltage() float64 { return 0.77 }
+
+// ElectricalRetention evaluates retention through the full electrical
+// chain: the (possibly defective) voltage regulator supplies V_DD_CC, and
+// the cell layer decides stability/flip-time at that rail (DESIGN.md
+// §5.4). Decisions are cached per (variation, bit, dwell).
+type ElectricalRetention struct {
+	Cond      process.Condition
+	reg       *regulator.Regulator
+	defect    regulator.Defect
+	defectRes float64
+	transient bool
+
+	vreg  float64
+	waves map[float64]*spice.Waveform // per-dwell DS-entry waveforms
+	cache map[retKey]bool
+}
+
+type retKey struct {
+	v     process.Variation
+	bit   bool
+	dwell float64
+}
+
+// NewElectricalRetention builds the model for one PVT condition with one
+// injected regulator defect (use resistance 0 for a fault-free regulator).
+// The reference level follows the paper's per-VDD selection.
+func NewElectricalRetention(cond process.Condition, d regulator.Defect, res float64) (*ElectricalRetention, error) {
+	pm := power.NewModel(cond)
+	reg := regulator.Build(cond, pm.LoadFunc(), regulator.DefaultParams())
+	reg.SetVref(regulator.SelectFor(cond.VDD))
+	e := &ElectricalRetention{
+		Cond:      cond,
+		reg:       reg,
+		defect:    d,
+		defectRes: res,
+		waves:     map[float64]*spice.Waveform{},
+		cache:     map[retKey]bool{},
+	}
+	if res > 0 {
+		reg.InjectDefect(d, res)
+		e.transient = regulator.Lookup(d).Transient
+	}
+	v, _, err := reg.SolveDS(nil)
+	if err != nil {
+		return nil, fmt.Errorf("sram: electrical retention setup: %w", err)
+	}
+	e.vreg = v
+	return e, nil
+}
+
+// RailVoltage implements RetentionModel.
+func (e *ElectricalRetention) RailVoltage() float64 { return e.vreg }
+
+// Survives implements RetentionModel.
+func (e *ElectricalRetention) Survives(v process.Variation, bit bool, dwell float64) bool {
+	k := retKey{v: v, bit: bit, dwell: dwell}
+	if got, ok := e.cache[k]; ok {
+		return got
+	}
+	// A stored '0' in cell v behaves like a stored '1' in the mirrored
+	// cell (see process.Variation.Mirror), so only the '1' path is
+	// evaluated.
+	vv := v
+	if !bit {
+		vv = v.Mirror()
+	}
+	cl := cell.New(vv, e.Cond)
+	var ok bool
+	if e.transient && dwell > 0 {
+		wf := e.waveFor(dwell)
+		if wf != nil {
+			if _, min := wf.Min("vddcc"); min >= cl.DRV1() {
+				ok = true
+			} else {
+				ok = !cl.FlipUnder(wf.Time, wf.Signal("vddcc"))
+			}
+		} else {
+			ok = cl.RetainsFor(e.vreg, dwell)
+		}
+	} else {
+		if dwell <= 0 {
+			ok = e.vreg >= cl.DRV1()
+		} else {
+			ok = cl.RetainsFor(e.vreg, dwell)
+		}
+	}
+	e.cache[k] = ok
+	return ok
+}
+
+func (e *ElectricalRetention) waveFor(dwell float64) *spice.Waveform {
+	if wf, okc := e.waves[dwell]; okc {
+		return wf
+	}
+	wf, err := e.reg.DSEntry(dwell)
+	if err != nil {
+		wf = nil
+	}
+	e.waves[dwell] = wf
+	return wf
+}
+
+// FixedRailRetention holds the DS rail at a fixed voltage and applies the
+// full dynamic criterion: a cell survives iff it is statically stable at
+// the rail OR its flip takes longer than the dwell. It sits between
+// ThresholdRetention (static only) and ElectricalRetention (full
+// regulator): the tool for dwell-sweep studies where the rail is known
+// but the flip dynamics matter (EXP-DT at the March level).
+type FixedRailRetention struct {
+	Cond  process.Condition
+	Vreg  float64
+	cache map[retKey]bool
+}
+
+// NewFixedRailRetention builds the dynamic fixed-rail model.
+func NewFixedRailRetention(cond process.Condition, vreg float64) *FixedRailRetention {
+	return &FixedRailRetention{Cond: cond, Vreg: vreg, cache: map[retKey]bool{}}
+}
+
+// RailVoltage implements RetentionModel.
+func (f *FixedRailRetention) RailVoltage() float64 { return f.Vreg }
+
+// Survives implements RetentionModel.
+func (f *FixedRailRetention) Survives(v process.Variation, bit bool, dwell float64) bool {
+	if dwell <= 0 {
+		return true
+	}
+	k := retKey{v: v, bit: bit, dwell: dwell}
+	if got, ok := f.cache[k]; ok {
+		return got
+	}
+	vv := v
+	if !bit {
+		vv = v.Mirror()
+	}
+	ok := cell.New(vv, f.Cond).RetainsFor(f.Vreg, dwell)
+	f.cache[k] = ok
+	return ok
+}
+
+// ThresholdRetention is a lightweight analytic model for fault-injection
+// campaigns that do not need the circuit solver: the rail is a fixed
+// voltage and a cell survives iff the rail is at or above its static DRV
+// (an infinite-dwell approximation). DRVs are evaluated once per distinct
+// variation and cached.
+type ThresholdRetention struct {
+	Cond  process.Condition
+	Vreg  float64
+	cache map[process.Variation]float64
+}
+
+// NewThresholdRetention builds the analytic model.
+func NewThresholdRetention(cond process.Condition, vreg float64) *ThresholdRetention {
+	return &ThresholdRetention{Cond: cond, Vreg: vreg, cache: map[process.Variation]float64{}}
+}
+
+// RailVoltage implements RetentionModel.
+func (t *ThresholdRetention) RailVoltage() float64 { return t.Vreg }
+
+// Survives implements RetentionModel.
+func (t *ThresholdRetention) Survives(v process.Variation, bit bool, dwell float64) bool {
+	if dwell <= 0 {
+		return true
+	}
+	vv := v
+	if !bit {
+		vv = v.Mirror()
+	}
+	drv, ok := t.cache[vv]
+	if !ok {
+		drv = cell.New(vv, t.Cond).DRV1()
+		t.cache[vv] = drv
+	}
+	return t.Vreg >= drv-1e-12 || math.IsNaN(drv)
+}

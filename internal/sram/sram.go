@@ -1,0 +1,263 @@
+// Package sram is a behavioral model of the studied low-power SRAM
+// (paper Fig. 1): a single-port, word-oriented 4K×64 memory with power
+// gating and an embedded voltage regulator. It models the power-mode FSM
+// driven by the SLEEP/PWRON primary inputs (ACT, deep-sleep, power-off,
+// plus the light-sleep mode of the authors' earlier work that March LZ
+// targets), read/write datapaths, fault-injection hooks, and — through a
+// RetentionModel — the electrical chain that decides which cells survive
+// a deep-sleep dwell.
+package sram
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Organization of the studied memory block (paper §II): 4K words of 64
+// bits as a 512×512 core-cell array with an 8:1 column mux.
+const (
+	Words       = 4096
+	Bits        = 64
+	Rows        = 512
+	Cols        = 512
+	WordsPerRow = Cols / Bits // 8:1 column multiplexing
+)
+
+// CycleTime is the nominal access cycle used for test-time accounting.
+const CycleTime = 10e-9 // s
+
+// Mode is the SRAM power mode.
+type Mode int
+
+// Power modes. LS (light sleep) gates only the peripheral circuitry and
+// keeps the array at VDD; it is the mode whose failure modes March LZ
+// targets (paper refs [12][13]). DS additionally drops the array to Vreg.
+const (
+	ACT Mode = iota
+	LS
+	DS
+	PO
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ACT:
+		return "ACT"
+	case LS:
+		return "LS"
+	case DS:
+		return "DS"
+	case PO:
+		return "PO"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// Errors returned by illegal operations.
+var (
+	ErrNotActive  = errors.New("sram: operation requires ACT mode (peripheral circuitry is powered off)")
+	ErrBadAddress = errors.New("sram: address out of range")
+	ErrPoweredOff = errors.New("sram: contents invalid after power-off")
+)
+
+// PowerEvent identifies a power-mode transition for fault hooks.
+type PowerEvent int
+
+// Power events delivered to hooks, in occurrence order.
+const (
+	EnterLS PowerEvent = iota
+	EnterDS
+	WakeFromLS
+	WakeFromDS
+	EnterPO
+	WakeFromPO
+)
+
+// String implements fmt.Stringer.
+func (e PowerEvent) String() string {
+	return [...]string{"EnterLS", "EnterDS", "WakeFromLS", "WakeFromDS", "EnterPO", "WakeFromPO"}[e]
+}
+
+// Hooks intercept operations for fault injection. Any field may be nil.
+// Hook implementations may use the Raw* accessors to model coupling
+// between cells; they must not call Read/Write (which would recurse).
+type Hooks struct {
+	// StoreBit intercepts the value stored in one cell by a write
+	// (victim-local faults: stuck-at, transition, write disturb).
+	StoreBit func(s *SRAM, addr, bit int, old, new bool) bool
+	// AfterWrite runs once the whole word is committed, with the
+	// pre-write and stored values. Coupling faults act here so their
+	// effect on same-word victims lands after the write settles (the
+	// aggressor's transition glitch flips the victim post-write).
+	AfterWrite func(s *SRAM, addr int, old, stored uint64)
+	// ReadBit intercepts the value read from one cell (may also corrupt
+	// the stored value through RawSetBit to model destructive reads).
+	ReadBit func(s *SRAM, addr, bit int, stored bool) bool
+	// PowerTransition is called on each power event after the built-in
+	// retention processing.
+	PowerTransition func(s *SRAM, ev PowerEvent)
+	// MapAddress models address-decoder faults: it returns the physical
+	// word locations actually selected for a logical address (nil =
+	// identity). An empty slice models a no-access fault (reads float to
+	// the precharged all-ones state, writes are lost); multiple entries
+	// model multi-select (reads wire-AND the cells, writes hit every
+	// selected word).
+	MapAddress func(addr int) []int
+}
+
+// Stats counts operations and simulated time.
+type Stats struct {
+	Reads, Writes int
+	DSEntries     int
+	LSEntries     int
+	WakeUps       int
+	SimTime       float64 // s, including DS/LS dwells
+}
+
+// SRAM is one memory instance.
+type SRAM struct {
+	mode   Mode
+	data   []uint64
+	valid  bool // false after PO until fully rewritten (reads are undefined)
+	hooks  Hooks
+	ret    RetentionModel
+	affect map[cellIndex]struct{} // cells with registered variations
+	vars   map[cellIndex]variationEntry
+	stats  Stats
+}
+
+type cellIndex struct{ addr, bit int }
+
+// New returns an SRAM in ACT mode with all-zero contents and perfect
+// retention (no electrical model attached).
+func New() *SRAM {
+	return &SRAM{
+		mode:   ACT,
+		data:   make([]uint64, Words),
+		valid:  true,
+		ret:    PerfectRetention{},
+		affect: map[cellIndex]struct{}{},
+		vars:   map[cellIndex]variationEntry{},
+	}
+}
+
+// SetHooks installs fault-injection hooks.
+func (s *SRAM) SetHooks(h Hooks) { s.hooks = h }
+
+// SetRetention attaches the electrical retention model used during DS.
+func (s *SRAM) SetRetention(r RetentionModel) {
+	if r == nil {
+		r = PerfectRetention{}
+	}
+	s.ret = r
+}
+
+// Mode returns the present power mode.
+func (s *SRAM) Mode() Mode { return s.mode }
+
+// Stats returns a copy of the operation counters.
+func (s *SRAM) Stats() Stats { return s.stats }
+
+// Size returns the number of addressable words.
+func (s *SRAM) Size() int { return Words }
+
+// Read performs a word read. Only legal in ACT mode.
+func (s *SRAM) Read(addr int) (uint64, error) {
+	if s.mode != ACT {
+		return 0, fmt.Errorf("%w (mode %s)", ErrNotActive, s.mode)
+	}
+	if addr < 0 || addr >= Words {
+		return 0, fmt.Errorf("%w: %d", ErrBadAddress, addr)
+	}
+	if !s.valid {
+		return 0, ErrPoweredOff
+	}
+	s.stats.Reads++
+	s.stats.SimTime += CycleTime
+	v := s.data[addr]
+	if s.hooks.MapAddress != nil {
+		sel := s.hooks.MapAddress(addr)
+		switch len(sel) {
+		case 0:
+			// No word line fires: the precharged bit lines read as ones.
+			return ^uint64(0), nil
+		default:
+			// Multi-select wire-ANDs the selected cells on the bit lines.
+			v = ^uint64(0)
+			for _, a := range sel {
+				v &= s.data[a]
+			}
+		}
+	}
+	if s.hooks.ReadBit != nil {
+		var out uint64
+		for b := 0; b < Bits; b++ {
+			bit := v>>uint(b)&1 == 1
+			if s.hooks.ReadBit(s, addr, b, bit) {
+				out |= 1 << uint(b)
+			}
+		}
+		v = out
+	}
+	return v, nil
+}
+
+// Write performs a word write. Only legal in ACT mode.
+func (s *SRAM) Write(addr int, v uint64) error {
+	if s.mode != ACT {
+		return fmt.Errorf("%w (mode %s)", ErrNotActive, s.mode)
+	}
+	if addr < 0 || addr >= Words {
+		return fmt.Errorf("%w: %d", ErrBadAddress, addr)
+	}
+	s.stats.Writes++
+	s.stats.SimTime += CycleTime
+	targets := []int{addr}
+	if s.hooks.MapAddress != nil {
+		targets = s.hooks.MapAddress(addr)
+	}
+	for _, target := range targets {
+		old := s.data[target]
+		stored := v
+		if s.hooks.StoreBit != nil {
+			stored = 0
+			for b := 0; b < Bits; b++ {
+				ob := old>>uint(b)&1 == 1
+				nb := v>>uint(b)&1 == 1
+				if s.hooks.StoreBit(s, target, b, ob, nb) {
+					stored |= 1 << uint(b)
+				}
+			}
+		}
+		s.data[target] = stored
+		if s.hooks.AfterWrite != nil {
+			s.hooks.AfterWrite(s, target, old, stored)
+		}
+	}
+	return nil
+}
+
+// RawBit reads a stored bit without side effects (for hooks and tests).
+func (s *SRAM) RawBit(addr, bit int) bool {
+	return s.data[addr]>>uint(bit)&1 == 1
+}
+
+// RawSetBit overwrites a stored bit without side effects.
+func (s *SRAM) RawSetBit(addr, bit int, v bool) {
+	if v {
+		s.data[addr] |= 1 << uint(bit)
+	} else {
+		s.data[addr] &^= 1 << uint(bit)
+	}
+}
+
+// RawWord reads a stored word without side effects.
+func (s *SRAM) RawWord(addr int) uint64 { return s.data[addr] }
+
+// fire delivers a power event to the hook, if any.
+func (s *SRAM) fire(ev PowerEvent) {
+	if s.hooks.PowerTransition != nil {
+		s.hooks.PowerTransition(s, ev)
+	}
+}

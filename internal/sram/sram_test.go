@@ -1,0 +1,321 @@
+package sram
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"sramtest/internal/process"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	s := New()
+	if err := s.Write(42, 0xDEADBEEFCAFEF00D); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Read(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0xDEADBEEFCAFEF00D {
+		t.Errorf("read %x", v)
+	}
+}
+
+func TestAddressValidation(t *testing.T) {
+	s := New()
+	if err := s.Write(-1, 0); !errors.Is(err, ErrBadAddress) {
+		t.Errorf("write(-1): %v", err)
+	}
+	if _, err := s.Read(Words); !errors.Is(err, ErrBadAddress) {
+		t.Errorf("read(Words): %v", err)
+	}
+}
+
+func TestOpsIllegalOutsideACT(t *testing.T) {
+	s := New()
+	if err := s.EnterDS(1e-3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(0); !errors.Is(err, ErrNotActive) {
+		t.Errorf("read in DS: %v", err)
+	}
+	if err := s.Write(0, 1); !errors.Is(err, ErrNotActive) {
+		t.Errorf("write in DS: %v", err)
+	}
+	if err := s.WakeUp(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(0); err != nil {
+		t.Errorf("read after wake-up: %v", err)
+	}
+}
+
+func TestModeFSM(t *testing.T) {
+	s := New()
+	if s.Mode() != ACT {
+		t.Fatal("initial mode must be ACT")
+	}
+	// ACT -> DS -> ACT
+	if err := s.EnterDS(0); err != nil || s.Mode() != DS {
+		t.Fatalf("DS entry: %v mode=%s", err, s.Mode())
+	}
+	// DS -> DS illegal (must wake first).
+	if err := s.EnterDS(0); err == nil {
+		t.Error("DS entry from DS should fail")
+	}
+	if err := s.WakeUp(); err != nil || s.Mode() != ACT {
+		t.Fatalf("wake: %v", err)
+	}
+	// ACT -> LS -> ACT
+	if err := s.EnterLS(0); err != nil || s.Mode() != LS {
+		t.Fatalf("LS entry: %v", err)
+	}
+	_ = s.WakeUp()
+	// ACT -> PO
+	if err := s.PowerOff(); err != nil || s.Mode() != PO {
+		t.Fatalf("power off: %v", err)
+	}
+}
+
+func TestSetPins(t *testing.T) {
+	s := New()
+	// PWRON=1, SLEEP=1 => DS
+	if err := s.SetPins(true, true); err != nil || s.Mode() != DS {
+		t.Fatalf("pins DS: %v %s", err, s.Mode())
+	}
+	// SLEEP=0 => back to ACT
+	if err := s.SetPins(false, true); err != nil || s.Mode() != ACT {
+		t.Fatalf("pins ACT: %v %s", err, s.Mode())
+	}
+	// PWRON=0 => PO regardless of SLEEP
+	if err := s.SetPins(true, false); err != nil || s.Mode() != PO {
+		t.Fatalf("pins PO: %v %s", err, s.Mode())
+	}
+}
+
+func TestPowerOffLosesData(t *testing.T) {
+	s := New()
+	_ = s.Write(7, ^uint64(0))
+	_ = s.PowerOff()
+	_ = s.WakeUp()
+	if _, err := s.Read(7); !errors.Is(err, ErrPoweredOff) {
+		t.Errorf("read after PO: %v", err)
+	}
+	s.MarkInitialized()
+	v, err := s.Read(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 0 {
+		t.Errorf("post-PO contents %x, want cleared", v)
+	}
+}
+
+func TestPerfectRetention(t *testing.T) {
+	s := New()
+	_ = s.Write(9, 0xAAAA5555AAAA5555)
+	_ = s.EnterDS(1e-3)
+	_ = s.WakeUp()
+	v, _ := s.Read(9)
+	if v != 0xAAAA5555AAAA5555 {
+		t.Errorf("perfect retention lost data: %x", v)
+	}
+}
+
+func TestThresholdRetentionFlipsWeakCell(t *testing.T) {
+	cond := process.Condition{Corner: process.FS, VDD: 1.0, TempC: 125}
+	// Rail at 500mV: symmetric cells (DRV ~68mV) survive; a CS1-style
+	// worst-case cell (DRV ~726mV) loses its '1'.
+	ret := NewThresholdRetention(cond, 0.5)
+	s := New()
+	s.SetRetention(ret)
+	s.RegisterVariation(100, 3, process.WorstCase1())
+	_ = s.Write(100, ^uint64(0)) // all ones
+	_ = s.Write(200, ^uint64(0))
+	_ = s.EnterDS(1e-3)
+	_ = s.WakeUp()
+	v100, _ := s.Read(100)
+	v200, _ := s.Read(200)
+	if v100>>3&1 != 0 {
+		t.Error("worst-case cell should lose its '1' at 500mV")
+	}
+	if v100|1<<3 != ^uint64(0) {
+		t.Errorf("only bit 3 should flip: %x", v100)
+	}
+	if v200 != ^uint64(0) {
+		t.Errorf("symmetric word corrupted: %x", v200)
+	}
+}
+
+func TestThresholdRetentionStoredZeroUsesMirror(t *testing.T) {
+	cond := process.Condition{Corner: process.FS, VDD: 1.0, TempC: 125}
+	ret := NewThresholdRetention(cond, 0.5)
+	// WorstCase1 degrades the stored-'1' side; its mirror degrades '0'.
+	if !ret.Survives(process.WorstCase1(), false, 1e-3) {
+		t.Error("worst-case-for-1 cell should keep a stored '0'")
+	}
+	if ret.Survives(process.WorstCase1().Mirror(), false, 1e-3) {
+		t.Error("mirrored worst case should lose a stored '0'")
+	}
+}
+
+func TestThresholdRetentionZeroDwell(t *testing.T) {
+	cond := process.Nominal()
+	ret := NewThresholdRetention(cond, 0.01)
+	if !ret.Survives(process.WorstCase1(), true, 0) {
+		t.Error("zero dwell cannot lose data")
+	}
+}
+
+func TestWholeArrayWipeBelowSymmetricDRV(t *testing.T) {
+	cond := process.Condition{Corner: process.FS, VDD: 1.0, TempC: 125}
+	ret := NewThresholdRetention(cond, 0.01) // below even the symmetric DRV
+	s := New()
+	s.SetRetention(ret)
+	_ = s.Write(5, ^uint64(0))
+	_ = s.EnterDS(1e-3)
+	_ = s.WakeUp()
+	v, _ := s.Read(5)
+	if v != 0 {
+		t.Errorf("all ones should flip at 10mV rail: %x", v)
+	}
+}
+
+func TestHooksInterceptOps(t *testing.T) {
+	s := New()
+	s.SetHooks(Hooks{
+		StoreBit: func(_ *SRAM, addr, bit int, old, new bool) bool {
+			if addr == 1 && bit == 0 {
+				return false // stuck-at-0
+			}
+			return new
+		},
+		ReadBit: func(_ *SRAM, addr, bit int, stored bool) bool {
+			if addr == 2 && bit == 1 {
+				return true // read forced high
+			}
+			return stored
+		},
+	})
+	_ = s.Write(1, 0xFF)
+	v, _ := s.Read(1)
+	if v&1 != 0 {
+		t.Error("StoreBit hook ignored")
+	}
+	_ = s.Write(2, 0)
+	v, _ = s.Read(2)
+	if v>>1&1 != 1 {
+		t.Error("ReadBit hook ignored")
+	}
+}
+
+func TestPowerEventHook(t *testing.T) {
+	s := New()
+	var evs []PowerEvent
+	s.SetHooks(Hooks{PowerTransition: func(_ *SRAM, ev PowerEvent) { evs = append(evs, ev) }})
+	_ = s.EnterDS(0)
+	_ = s.WakeUp()
+	_ = s.EnterLS(0)
+	_ = s.WakeUp()
+	want := []PowerEvent{EnterDS, WakeFromDS, EnterLS, WakeFromLS}
+	if len(evs) != len(want) {
+		t.Fatalf("events %v", evs)
+	}
+	for i := range want {
+		if evs[i] != want[i] {
+			t.Errorf("event %d = %s, want %s", i, evs[i], want[i])
+		}
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := New()
+	_ = s.Write(0, 1)
+	_, _ = s.Read(0)
+	_ = s.EnterDS(1e-3)
+	_ = s.WakeUp()
+	st := s.Stats()
+	if st.Reads != 1 || st.Writes != 1 || st.DSEntries != 1 || st.WakeUps != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	if st.SimTime < 1e-3 {
+		t.Errorf("sim time %g should include the dwell", st.SimTime)
+	}
+}
+
+func TestLocateCellRoundTrip(t *testing.T) {
+	f := func(rawAddr, rawBit uint16) bool {
+		addr := int(rawAddr) % Words
+		bit := int(rawBit) % Bits
+		loc := LocateCell(addr, bit)
+		if loc.Row < 0 || loc.Row >= Rows || loc.Col < 0 || loc.Col >= Cols {
+			return false
+		}
+		a2, b2 := CellAt(loc)
+		return a2 == addr && b2 == bit
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocateCellInterleaving(t *testing.T) {
+	// Words sharing a row must interleave across adjacent columns.
+	l0 := LocateCell(0, 0)
+	l1 := LocateCell(1, 0)
+	if l0.Row != l1.Row {
+		t.Error("words 0 and 1 should share a row under 8:1 muxing")
+	}
+	if l1.Col != l0.Col+1 {
+		t.Errorf("column interleaving wrong: %d vs %d", l1.Col, l0.Col)
+	}
+	if LocateCell(8, 0).Row != 1 {
+		t.Error("word 8 should start row 1")
+	}
+}
+
+func TestSpreadCells(t *testing.T) {
+	cells := SpreadCells(64)
+	if len(cells) != 64 {
+		t.Fatalf("got %d cells", len(cells))
+	}
+	seenCol := map[int]bool{}
+	for _, c := range cells {
+		if c.Col%WordsPerRow != 0 {
+			t.Errorf("cell at col %d violates the 1-per-8-BL layout", c.Col)
+		}
+		if seenCol[c.Col] {
+			t.Errorf("duplicate column %d", c.Col)
+		}
+		seenCol[c.Col] = true
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	for m, s := range map[Mode]string{ACT: "ACT", LS: "LS", DS: "DS", PO: "PO"} {
+		if m.String() != s {
+			t.Errorf("%d = %q", int(m), m.String())
+		}
+	}
+}
+
+func TestElectricalRetentionFaultFree(t *testing.T) {
+	// Smoke test of the full electrical chain: a fault-free regulator at
+	// the worst-case condition retains both the symmetric and the
+	// worst-case cell for the 1ms dwell.
+	cond := process.Condition{Corner: process.FS, VDD: 1.0, TempC: 125}
+	ret, err := NewElectricalRetention(cond, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := ret.RailVoltage(); v < 0.72 || v > 0.76 {
+		t.Fatalf("fault-free rail %gmV, want ≈740mV", v*1e3)
+	}
+	if !ret.Survives(process.Variation{}, true, 1e-3) {
+		t.Error("symmetric cell must survive fault-free DS")
+	}
+	if !ret.Survives(process.WorstCase1(), true, 1e-3) {
+		t.Error("worst-case cell must survive fault-free DS (the design margin)")
+	}
+}

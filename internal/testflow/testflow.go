@@ -1,0 +1,319 @@
+// Package testflow implements the paper's Section V test-flow
+// optimization: out of the 12 possible (VDD, Vref) test conditions, find
+// the small set of March m-LZ iterations that still maximizes the
+// detection of every DRF-capable regulator defect — the content of
+// Table III and the source of the headline 75 % test-time reduction.
+package testflow
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"sramtest/internal/charac"
+	"sramtest/internal/march"
+	"sramtest/internal/process"
+	"sramtest/internal/regulator"
+)
+
+// TestCondition is one candidate iteration setting: the supply voltage
+// applied during test and the reference level programmed via VrefSel.
+type TestCondition struct {
+	VDD   float64
+	Level regulator.VrefLevel
+}
+
+// TargetVreg is the nominal regulated voltage of the condition.
+func (c TestCondition) TargetVreg() float64 { return regulator.ExpectedVreg(c.VDD, c.Level) }
+
+// String renders "1.1V/0.70*VDD".
+func (c TestCondition) String() string {
+	return fmt.Sprintf("%.1fV/%s", c.VDD, c.Level)
+}
+
+// AllTestConditions enumerates the 12 combinations of supply (1.0, 1.1,
+// 1.2 V) and reference level (0.78, 0.74, 0.70, 0.64 · VDD).
+func AllTestConditions() []TestCondition {
+	var out []TestCondition
+	for _, vdd := range process.Supplies() {
+		for _, l := range regulator.Levels() {
+			out = append(out, TestCondition{VDD: vdd, Level: l})
+		}
+	}
+	return out
+}
+
+// Sensitivity is the measured detectability of every defect at one test
+// condition: the minimal DRF-causing resistance (+Inf = undetectable
+// there) and the measured fault-free rail.
+type Sensitivity struct {
+	Cond      TestCondition
+	FaultFree float64
+	MinRes    map[regulator.Defect]float64
+}
+
+// MeasureOptions configures the sensitivity measurement.
+type MeasureOptions struct {
+	// Corner/TempC fix the PVT point of the production test; the paper
+	// recommends high temperature (§V), and fs/125 °C dominates Table II.
+	Corner process.Corner
+	TempC  float64
+	// CS is the sensitizing variation scenario (default: the worst case,
+	// CS1-1, whose DRV defines the flow's Vreg floor).
+	CS process.CaseStudy
+	// Defects to characterize (default: the 17 Table II defects).
+	Defects []regulator.Defect
+	// ResTol is the resistance search precision.
+	ResTol float64
+	// Dwell is the DS time per iteration.
+	Dwell float64
+}
+
+// DefaultMeasureOptions mirrors the paper's setup.
+func DefaultMeasureOptions() MeasureOptions {
+	return MeasureOptions{
+		Corner:  process.FS,
+		TempC:   125,
+		CS:      process.Table1CaseStudies()[0], // CS1-1
+		Defects: regulator.DRFCandidates(),
+		ResTol:  1.05,
+		Dwell:   1e-3,
+	}
+}
+
+// Measure characterizes every defect at every candidate test condition.
+func Measure(opt MeasureOptions) ([]Sensitivity, error) {
+	var out []Sensitivity
+	for _, tc := range AllTestConditions() {
+		level := tc.Level
+		copt := charac.Options{
+			Dwell:  opt.Dwell,
+			ResTol: opt.ResTol,
+			Level:  &level,
+		}
+		cond := process.Condition{Corner: opt.Corner, VDD: tc.VDD, TempC: opt.TempC}
+		ff, err := charac.FaultFreeVreg(cond, copt)
+		if err != nil {
+			return nil, fmt.Errorf("testflow: fault-free solve at %s: %w", tc, err)
+		}
+		s := Sensitivity{Cond: tc, FaultFree: ff, MinRes: map[regulator.Defect]float64{}}
+		for _, d := range opt.Defects {
+			// Conditions whose fault-free rail already sits below the
+			// sensitizing cell's DRV would fail good devices; they are
+			// recorded with +Inf sensitivity and skipped by Optimize.
+			r, err := charac.MinResistanceAt(d, opt.CS, cond, copt)
+			if err != nil {
+				s.MinRes[d] = math.Inf(1)
+				continue
+			}
+			s.MinRes[d] = r.MinRes
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// Iteration is one row of the optimized flow (Table III).
+type Iteration struct {
+	Cond         TestCondition
+	MeasuredVreg float64
+	Dwell        float64
+	// Maximizes lists the defects whose detection this condition
+	// maximizes (the underlined defects in Table III).
+	Maximizes []regulator.Defect
+	// Covers lists every defect detectable at this condition at all.
+	Covers []regulator.Defect
+}
+
+// Flow is an optimized test flow.
+type Flow struct {
+	Iterations []Iteration
+	// Uncoverable lists defects undetectable at every eligible condition.
+	Uncoverable []regulator.Defect
+	// Candidates is the number of candidate conditions (12).
+	Candidates int
+}
+
+// OptimizeOptions tunes the covering criterion.
+type OptimizeOptions struct {
+	// WorstDRV is the flow's Vreg floor: conditions whose fault-free
+	// rail sits at or below it would fail good devices and are excluded.
+	WorstDRV float64
+	// Slack defines "maximizing": a condition maximizes a defect's
+	// detection if its minimal resistance is within Slack× of the best
+	// over all eligible conditions. Slack 1.0 (+search tolerance)
+	// reproduces the paper's strict per-defect maximization and its
+	// 3-iteration flow; larger slack merges iterations (see the
+	// ablation benchmark).
+	Slack float64
+	// Dwell recorded in the iterations (the "DS time" column).
+	Dwell float64
+	// RequireAllVDD forces at least one iteration per supply voltage, as
+	// the paper's Table III does (production flows screen
+	// voltage-dependent defects at every rated supply). Without it the
+	// greedy cover finds that (1.2V, 0.64·VDD) maximizes both Df3 and
+	// Df4, shrinking the flow to 2 iterations — an optimization beyond
+	// the paper, exposed as an ablation.
+	RequireAllVDD bool
+}
+
+// DefaultOptimizeOptions uses the paper's criterion.
+func DefaultOptimizeOptions(worstDRV float64) OptimizeOptions {
+	return OptimizeOptions{WorstDRV: worstDRV, Slack: 1.12, Dwell: 1e-3, RequireAllVDD: true}
+}
+
+// Optimize runs the greedy set cover over the measured sensitivities.
+func Optimize(sens []Sensitivity, opt OptimizeOptions) Flow {
+	flow := Flow{Candidates: len(sens)}
+
+	// Eligible conditions: fault-free rail above the DRV floor.
+	var elig []Sensitivity
+	for _, s := range sens {
+		if s.FaultFree > opt.WorstDRV {
+			elig = append(elig, s)
+		}
+	}
+
+	// Collect the defect universe and each defect's best sensitivity.
+	best := map[regulator.Defect]float64{}
+	for _, s := range elig {
+		for d, r := range s.MinRes {
+			if b, ok := best[d]; !ok || r < b {
+				best[d] = r
+			}
+		}
+	}
+	// Maximizing sets.
+	maximizes := map[TestCondition]map[regulator.Defect]bool{}
+	for _, s := range elig {
+		m := map[regulator.Defect]bool{}
+		for d, r := range s.MinRes {
+			if !math.IsInf(best[d], 1) && r <= best[d]*opt.Slack {
+				m[d] = true
+			}
+		}
+		maximizes[s.Cond] = m
+	}
+	var uncovered []regulator.Defect
+	for d, b := range best {
+		if math.IsInf(b, 1) {
+			flow.Uncoverable = append(flow.Uncoverable, d)
+		} else {
+			uncovered = append(uncovered, d)
+		}
+	}
+	sort.Slice(flow.Uncoverable, func(i, j int) bool { return flow.Uncoverable[i] < flow.Uncoverable[j] })
+	sort.Slice(uncovered, func(i, j int) bool { return uncovered[i] < uncovered[j] })
+
+	covered := map[regulator.Defect]bool{}
+	for len(covered) < len(uncovered) {
+		// Greedy: the condition maximizing the most still-uncovered
+		// defects; ties broken by the smallest fault-free margin (the
+		// paper's "as close as possible to the worst-case DRV").
+		var pick *Sensitivity
+		bestGain := -1
+		for i := range elig {
+			s := &elig[i]
+			gain := 0
+			for _, d := range uncovered {
+				if !covered[d] && maximizes[s.Cond][d] {
+					gain++
+				}
+			}
+			if gain > bestGain ||
+				(gain == bestGain && pick != nil && s.FaultFree < pick.FaultFree) {
+				pick, bestGain = s, gain
+			}
+		}
+		if pick == nil || bestGain == 0 {
+			break // remaining defects unreachable (shouldn't happen)
+		}
+		it := Iteration{
+			Cond:         pick.Cond,
+			MeasuredVreg: pick.FaultFree,
+			Dwell:        opt.Dwell,
+		}
+		for _, d := range uncovered {
+			if maximizes[pick.Cond][d] {
+				if !covered[d] {
+					it.Maximizes = append(it.Maximizes, d)
+				}
+				covered[d] = true
+			}
+		}
+		for d, r := range pick.MinRes {
+			if !math.IsInf(r, 1) {
+				it.Covers = append(it.Covers, d)
+			}
+		}
+		sort.Slice(it.Covers, func(i, j int) bool { return it.Covers[i] < it.Covers[j] })
+		sort.Slice(it.Maximizes, func(i, j int) bool { return it.Maximizes[i] < it.Maximizes[j] })
+		flow.Iterations = append(flow.Iterations, it)
+	}
+	// Supply-coverage constraint: add the tightest-margin eligible
+	// condition for every supply voltage not yet represented.
+	if opt.RequireAllVDD {
+		have := map[float64]bool{}
+		for _, it := range flow.Iterations {
+			have[it.Cond.VDD] = true
+		}
+		for _, vdd := range process.Supplies() {
+			if have[vdd] {
+				continue
+			}
+			var pick *Sensitivity
+			for i := range elig {
+				s := &elig[i]
+				if s.Cond.VDD != vdd {
+					continue
+				}
+				if pick == nil || s.FaultFree < pick.FaultFree {
+					pick = s
+				}
+			}
+			if pick == nil {
+				continue // no eligible condition at this supply
+			}
+			it := Iteration{Cond: pick.Cond, MeasuredVreg: pick.FaultFree, Dwell: opt.Dwell}
+			for d, r := range pick.MinRes {
+				if !math.IsInf(r, 1) {
+					it.Covers = append(it.Covers, d)
+				}
+				if maximizes[pick.Cond][d] {
+					it.Maximizes = append(it.Maximizes, d)
+				}
+			}
+			sort.Slice(it.Covers, func(i, j int) bool { return it.Covers[i] < it.Covers[j] })
+			sort.Slice(it.Maximizes, func(i, j int) bool { return it.Maximizes[i] < it.Maximizes[j] })
+			flow.Iterations = append(flow.Iterations, it)
+		}
+	}
+
+	// Present iterations in ascending VDD like Table III.
+	sort.Slice(flow.Iterations, func(i, j int) bool {
+		return flow.Iterations[i].Cond.VDD < flow.Iterations[j].Cond.VDD
+	})
+	return flow
+}
+
+// TestTime returns the wall-clock time of running the given March test
+// once per iteration on an n-word memory.
+func (f Flow) TestTime(t march.Test, n int, cycle float64) float64 {
+	per := t.TestTime(n, cycle)
+	return per * float64(len(f.Iterations))
+}
+
+// ExhaustiveTestTime returns the time of the naive flow that runs the
+// test at every candidate condition.
+func (f Flow) ExhaustiveTestTime(t march.Test, n int, cycle float64) float64 {
+	return t.TestTime(n, cycle) * float64(f.Candidates)
+}
+
+// TimeReduction is the fractional saving versus the exhaustive flow
+// (paper: 1 − 3/12 = 75 %).
+func (f Flow) TimeReduction() float64 {
+	if f.Candidates == 0 {
+		return 0
+	}
+	return 1 - float64(len(f.Iterations))/float64(f.Candidates)
+}

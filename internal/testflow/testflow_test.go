@@ -1,0 +1,183 @@
+package testflow
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"sramtest/internal/march"
+	"sramtest/internal/regulator"
+)
+
+func TestAllTestConditions(t *testing.T) {
+	conds := AllTestConditions()
+	if len(conds) != 12 {
+		t.Fatalf("got %d conditions, want 12 (3 VDD × 4 Vref)", len(conds))
+	}
+	seen := map[string]bool{}
+	for _, c := range conds {
+		if seen[c.String()] {
+			t.Errorf("duplicate condition %s", c)
+		}
+		seen[c.String()] = true
+	}
+}
+
+func TestTargetVreg(t *testing.T) {
+	c := TestCondition{VDD: 1.0, Level: regulator.L74}
+	if math.Abs(c.TargetVreg()-0.74) > 1e-12 {
+		t.Errorf("target %g", c.TargetVreg())
+	}
+	if !strings.Contains(c.String(), "1.0V") {
+		t.Errorf("String %q", c)
+	}
+}
+
+// synthSens builds a synthetic sensitivity set mimicking the measured
+// structure: three eligible conditions, level-dependent divider defects.
+func synthSens() []Sensitivity {
+	inf := math.Inf(1)
+	mk := func(vdd float64, l regulator.VrefLevel, ff float64, d1, d3, d4, d16 float64) Sensitivity {
+		return Sensitivity{
+			Cond:      TestCondition{VDD: vdd, Level: l},
+			FaultFree: ff,
+			MinRes: map[regulator.Defect]float64{
+				regulator.Df1: d1, regulator.Df3: d3, regulator.Df4: d4, regulator.Df16: d16,
+			},
+		}
+	}
+	return []Sensitivity{
+		mk(1.0, regulator.L74, 0.738, 40e3, inf, inf, 1.1e3),
+		mk(1.0, regulator.L70, 0.699, inf, inf, inf, inf), // ineligible
+		mk(1.1, regulator.L70, 0.769, 125e3, 125e3, inf, 2.2e3),
+		mk(1.1, regulator.L74, 0.813, 253e3, inf, inf, 2.4e3),
+		mk(1.2, regulator.L64, 0.768, 125e3, 125e3, 125e3, 3.0e3),
+		mk(1.2, regulator.L70, 0.840, 320e3, 320e3, inf, 3.3e3),
+	}
+}
+
+func TestOptimizeReproducesPaperFlow(t *testing.T) {
+	opt := DefaultOptimizeOptions(0.726)
+	flow := Optimize(synthSens(), opt)
+	if len(flow.Iterations) != 3 {
+		t.Fatalf("got %d iterations, want the paper's 3: %+v", len(flow.Iterations), flow.Iterations)
+	}
+	wantLevels := []regulator.VrefLevel{regulator.L74, regulator.L70, regulator.L64}
+	wantVDD := []float64{1.0, 1.1, 1.2}
+	for i, it := range flow.Iterations {
+		if it.Cond.VDD != wantVDD[i] || it.Cond.Level != wantLevels[i] {
+			t.Errorf("iteration %d = %s, want %.1fV/%v", i+1, it.Cond, wantVDD[i], wantLevels[i])
+		}
+	}
+	flow.Candidates = 12 // synthetic set only enumerates 6 of the 12
+	if r := flow.TimeReduction(); math.Abs(r-0.75) > 1e-12 {
+		t.Errorf("time reduction %.0f%%, want 75%%", r*100)
+	}
+}
+
+func TestOptimizeWithoutVDDConstraint(t *testing.T) {
+	opt := DefaultOptimizeOptions(0.726)
+	opt.RequireAllVDD = false
+	flow := Optimize(synthSens(), opt)
+	// (1.2V,0.64) maximizes Df3 and Df4 together, so 2 iterations suffice.
+	if len(flow.Iterations) != 2 {
+		t.Fatalf("unconstrained flow has %d iterations, want 2", len(flow.Iterations))
+	}
+	flow.Candidates = 12 // synthetic set only enumerates 6 of the 12
+	if r := flow.TimeReduction(); r <= 0.75 {
+		t.Errorf("unconstrained reduction %.0f%%, want > 75%%", r*100)
+	}
+}
+
+func TestOptimizeExcludesIneligible(t *testing.T) {
+	flow := Optimize(synthSens(), DefaultOptimizeOptions(0.726))
+	for _, it := range flow.Iterations {
+		if it.MeasuredVreg <= 0.726 {
+			t.Errorf("iteration %s uses rail %gmV below the DRV floor", it.Cond, it.MeasuredVreg*1e3)
+		}
+	}
+}
+
+func TestOptimizeCoversAllCoverableDefects(t *testing.T) {
+	flow := Optimize(synthSens(), DefaultOptimizeOptions(0.726))
+	covered := map[regulator.Defect]bool{}
+	for _, it := range flow.Iterations {
+		for _, d := range it.Maximizes {
+			covered[d] = true
+		}
+	}
+	for _, d := range []regulator.Defect{regulator.Df1, regulator.Df3, regulator.Df4, regulator.Df16} {
+		if !covered[d] {
+			t.Errorf("%s not maximized by any iteration", d)
+		}
+	}
+	if len(flow.Uncoverable) != 0 {
+		t.Errorf("unexpected uncoverable defects %v", flow.Uncoverable)
+	}
+}
+
+func TestOptimizeReportsUncoverable(t *testing.T) {
+	inf := math.Inf(1)
+	sens := []Sensitivity{{
+		Cond:      TestCondition{VDD: 1.0, Level: regulator.L74},
+		FaultFree: 0.738,
+		MinRes:    map[regulator.Defect]float64{regulator.Df7: inf},
+	}}
+	flow := Optimize(sens, DefaultOptimizeOptions(0.726))
+	if len(flow.Uncoverable) != 1 || flow.Uncoverable[0] != regulator.Df7 {
+		t.Errorf("uncoverable = %v", flow.Uncoverable)
+	}
+}
+
+func TestFlowTestTime(t *testing.T) {
+	flow := Optimize(synthSens(), DefaultOptimizeOptions(0.726))
+	flow.Candidates = 12
+	tst := march.MarchMLZ()
+	per := tst.TestTime(4096, 10e-9)
+	if got := flow.TestTime(tst, 4096, 10e-9); math.Abs(got-3*per) > 1e-12 {
+		t.Errorf("flow time %g, want %g", got, 3*per)
+	}
+	if got := flow.ExhaustiveTestTime(tst, 4096, 10e-9); math.Abs(got-12*per) > 1e-12 {
+		t.Errorf("exhaustive time %g, want %g", got, 12*per)
+	}
+}
+
+func TestTimeReductionEmpty(t *testing.T) {
+	var f Flow
+	if f.TimeReduction() != 0 {
+		t.Error("empty flow reduction should be 0")
+	}
+}
+
+func TestMeasureSmoke(t *testing.T) {
+	// One-defect measurement across all 12 conditions: the three
+	// below-floor conditions must come back undetectable, the rest
+	// finite, and the optimizer must emit the 3-iteration paper flow.
+	opt := DefaultMeasureOptions()
+	opt.Defects = []regulator.Defect{regulator.Df16}
+	sens, err := Measure(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sens) != 12 {
+		t.Fatalf("got %d sensitivities", len(sens))
+	}
+	inelig := 0
+	for _, s := range sens {
+		if s.FaultFree <= 0.726 {
+			inelig++
+			if !math.IsInf(s.MinRes[regulator.Df16], 1) {
+				t.Errorf("%s: ineligible condition reported finite sensitivity", s.Cond)
+			}
+		} else if math.IsInf(s.MinRes[regulator.Df16], 1) {
+			t.Errorf("%s: Df16 should be detectable at an eligible condition", s.Cond)
+		}
+	}
+	if inelig != 3 {
+		t.Errorf("%d ineligible conditions, want 3 (1.0V/0.70, 1.0V/0.64, 1.1V/0.64)", inelig)
+	}
+	flow := Optimize(sens, DefaultOptimizeOptions(0.726))
+	if len(flow.Iterations) != 3 {
+		t.Errorf("measured flow has %d iterations, want 3", len(flow.Iterations))
+	}
+}

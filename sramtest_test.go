@@ -1,0 +1,98 @@
+package sramtest
+
+import (
+	"math"
+	"testing"
+)
+
+// The facade tests are integration smoke tests: each public entry point
+// must compose correctly end-to-end. The detailed behaviour is covered by
+// the internal package suites.
+
+func TestFacadeGridAndCaseStudies(t *testing.T) {
+	if len(PVTGrid()) != 45 {
+		t.Error("PVTGrid should have 45 conditions")
+	}
+	if len(Table1CaseStudies()) != 10 {
+		t.Error("ten Table I case studies expected")
+	}
+	if Nominal().VDD != 1.1 {
+		t.Error("nominal supply is 1.1V")
+	}
+}
+
+func TestFacadeCellAnalysis(t *testing.T) {
+	cond := Condition{Corner: FS, VDD: 1.1, TempC: 125}
+	c := NewCell(WorstCaseVariation(), cond)
+	drv := c.DRV1()
+	if drv < 0.6 || drv > 0.8 {
+		t.Errorf("worst-case DRV1 at fs/125 = %gmV, want ≈726mV", drv*1e3)
+	}
+	if testing.Short() {
+		return
+	}
+	r := WorstDRV(WorstCaseVariation())
+	if math.Abs(r.DRV-0.726) > 0.02 {
+		t.Errorf("worst-case DRV %gmV, want ≈726mV (paper: 730mV)", r.DRV*1e3)
+	}
+}
+
+func TestFacadeDefects(t *testing.T) {
+	if len(AllDefects()) != 32 || len(DRFDefects()) != 17 {
+		t.Error("defect counts wrong")
+	}
+	info := DefectOf(DRFDefects()[0])
+	if info.Desc == "" || info.Branch == "" {
+		t.Error("defect info incomplete")
+	}
+}
+
+func TestFacadeMarchOnFaultySRAM(t *testing.T) {
+	cond := Condition{Corner: FS, VDD: 1.0, TempC: 125}
+	s := NewSRAM()
+	s.SetRetention(NewThresholdRetention(cond, 0.5))
+	s.RegisterVariation(7, 3, WorstCaseVariation())
+	rep, err := RunMarch(MarchMLZ(), s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Detected() {
+		t.Error("March m-LZ must detect the retention fault")
+	}
+	s2 := NewSRAM()
+	s2.SetRetention(NewThresholdRetention(cond, 0.5))
+	s2.RegisterVariation(7, 3, WorstCaseVariation())
+	rep2, err := RunMarch(MarchLZ(), s2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep2.Detected() {
+		t.Error("March LZ (light sleep) must miss the deep-sleep retention fault")
+	}
+	if len(MarchLibrary()) != 5 {
+		t.Error("library should have 5 algorithms")
+	}
+}
+
+func TestFacadeCharacterization(t *testing.T) {
+	opt := DefaultCharacOptions()
+	opt.Conditions = []Condition{{Corner: FS, VDD: 1.0, TempC: 125}}
+	res, err := CharacterizeDefect(DRFDefects()[0], Table1CaseStudies()[0], opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Open() {
+		t.Error("Df1 should cause DRFs for CS1")
+	}
+}
+
+func TestFacadeElectricalRetention(t *testing.T) {
+	cond := Condition{Corner: FS, VDD: 1.0, TempC: 125}
+	ret, err := NewElectricalRetention(cond, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := ret.RailVoltage(); v < 0.7 || v > 0.8 {
+		t.Errorf("fault-free rail %g", v)
+	}
+}
