@@ -1,0 +1,34 @@
+# Local mirror of the CI pipeline (.github/workflows/ci.yml).
+#
+#   make verify   build + vet + gofmt + test — the tier-1 gate
+#   make race     race-enabled test run
+#   make bench    one iteration of every benchmark (smoke)
+
+GO ?= go
+
+.PHONY: verify build vet fmt test race bench
+
+verify: build vet fmt test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "files need gofmt:"; \
+		echo "$$out"; \
+		exit 1; \
+	fi
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...

@@ -86,6 +86,7 @@ func BenchmarkTable2(b *testing.B) {
 	opt.Conditions = []process.Condition{hot(1.0)}
 	css := process.Table1CaseStudies()
 	for i := 0; i < b.N; i++ {
+		charac.ResetCache() // measure cold searches, not memo hits
 		prev := 0.0
 		for _, idx := range []int{0, 2, 4, 6} {
 			res, err := charac.CharacterizeDefect(regulator.Df16, css[idx], opt)
@@ -103,12 +104,58 @@ func BenchmarkTable2(b *testing.B) {
 	}
 }
 
+// BenchmarkTable2Parallel measures the sweep engine on a Table II slice
+// (two defects × five case studies × the reduced benchmark conditions)
+// at several worker counts. The workers=1 sub-benchmark is the
+// sequential baseline; on a 4-core runner workers=4 should finish the
+// same byte-identical table at least 2× faster.
+func BenchmarkTable2Parallel(b *testing.B) {
+	defects := []regulator.Defect{regulator.Df16, regulator.Df26}
+	css := charac.Table2CaseStudies()
+	opt := charac.DefaultOptions()
+	opt.Conditions = benchConds()
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			o := opt
+			o.Workers = w
+			for i := 0; i < b.N; i++ {
+				charac.ResetCache() // measure cold searches, not memo hits
+				res, err := charac.CharacterizeAll(defects, css, o)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res) != len(defects)*len(css) {
+					b.Fatalf("got %d results", len(res))
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkMonteCarloParallel measures the sharded Monte-Carlo sampler
+// at several worker counts; the sampled distribution is identical in
+// each sub-benchmark.
+func BenchmarkMonteCarloParallel(b *testing.B) {
+	cond := hot(1.1)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res := exp.MonteCarloWorkers(cond, 128, 2013, w)
+				if len(res.DRV) != 128 {
+					b.Fatalf("got %d samples", len(res.DRV))
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTable3 measures the (VDD, Vref) sensitivity of one defect per
 // divider group and re-derives the optimized flow: 3 iterations, 75%.
 func BenchmarkTable3(b *testing.B) {
 	mopt := testflow.DefaultMeasureOptions()
 	mopt.Defects = []regulator.Defect{regulator.Df16, regulator.Df3, regulator.Df4}
 	for i := 0; i < b.N; i++ {
+		charac.ResetCache() // measure cold searches, not memo hits
 		res, err := exp.Table3(mopt)
 		if err != nil {
 			b.Fatal(err)
@@ -345,6 +392,7 @@ func BenchmarkAblationHomotopy(b *testing.B) {
 func BenchmarkAblationGridReduction(b *testing.B) {
 	cs := process.Table1CaseStudies()[0]
 	run := func(conds []process.Condition) float64 {
+		charac.ResetCache() // the reduced grid is a subset of the full one
 		opt := charac.DefaultOptions()
 		opt.Conditions = conds
 		res, err := charac.CharacterizeDefect(regulator.Df32, cs, opt)

@@ -23,6 +23,7 @@ import (
 	"sramtest/internal/process"
 	"sramtest/internal/regulator"
 	"sramtest/internal/report"
+	"sramtest/internal/sweep"
 )
 
 func main() {
@@ -33,8 +34,10 @@ func main() {
 		classify  = flag.Bool("classify", false, "classify all 32 defects instead of characterizing")
 		stability = flag.Bool("stability", false, "report the regulator's loop stability across PVT")
 		csv       = flag.Bool("csv", false, "emit CSV")
+		workers   = flag.Int("workers", 0, "parallel sweep workers (0 = $SRAMTEST_WORKERS or GOMAXPROCS)")
 	)
 	flag.Parse()
+	sweep.SetDefaultWorkers(*workers)
 
 	opt := charac.DefaultOptions()
 	if !*full {
@@ -59,8 +62,7 @@ func main() {
 		}
 		defects = []regulator.Defect{d}
 	}
-	all := process.Table1CaseStudies()
-	csList := []process.CaseStudy{all[0], all[2], all[4], all[6], all[8]}
+	csList := charac.Table2CaseStudies()
 	if *cs != 0 {
 		if *cs < 1 || *cs > 5 {
 			fmt.Fprintf(os.Stderr, "defectchar: invalid case study %d\n", *cs)

@@ -23,6 +23,7 @@ import (
 	"sramtest/internal/process"
 	"sramtest/internal/regulator"
 	"sramtest/internal/report"
+	"sramtest/internal/sweep"
 	"sramtest/internal/testflow"
 )
 
@@ -32,8 +33,10 @@ func main() {
 		noVDD       = flag.Bool("no-vdd-constraint", false, "allow flows that skip supply voltages")
 		timeOnly    = flag.Bool("time", false, "print only the test-time accounting for the paper's 3-iteration flow")
 		csv         = flag.Bool("csv", false, "emit CSV")
+		workers     = flag.Int("workers", 0, "parallel sweep workers (0 = $SRAMTEST_WORKERS or GOMAXPROCS)")
 	)
 	flag.Parse()
+	sweep.SetDefaultWorkers(*workers)
 
 	if *timeOnly {
 		flow := testflow.Flow{Iterations: make([]testflow.Iteration, 3), Candidates: 12}

@@ -2,10 +2,9 @@ package cell
 
 import (
 	"math"
-	"runtime"
-	"sync"
 
 	"sramtest/internal/process"
+	"sramtest/internal/sweep"
 )
 
 // DRV search bounds. The supply is never scanned below MinSupply (the cell
@@ -77,35 +76,24 @@ func DRVConditions() []process.Condition {
 }
 
 // WorstDRV evaluates the variation scenario over all given PVT conditions
-// in parallel and returns the maxima, i.e. the paper's "maximum DRV_DS
-// measured when varying PVT conditions" (Table I).
+// on the sweep engine and returns the maxima, i.e. the paper's "maximum
+// DRV_DS measured when varying PVT conditions" (Table I). The reduction
+// runs in condition order, so the reported worst conditions are
+// deterministic for any worker count.
 func WorstDRV(v process.Variation, conds []process.Condition) DRVResult {
-	type point struct {
-		d0, d1 float64
-		cond   process.Condition
-	}
-	pts := make([]point, len(conds))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i, cond := range conds {
-		wg.Add(1)
-		go func(i int, cond process.Condition) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			cl := New(v, cond)
-			pts[i] = point{d0: cl.DRV0(), d1: cl.DRV1(), cond: cond}
-		}(i, cond)
-	}
-	wg.Wait()
+	type point struct{ d0, d1 float64 }
+	pts, _ := sweep.Map(len(conds), func(i int) (point, error) {
+		cl := New(v, conds[i])
+		return point{d0: cl.DRV0(), d1: cl.DRV1()}, nil
+	})
 
 	res := DRVResult{DRV0: -1, DRV1: -1}
-	for _, p := range pts {
+	for i, p := range pts {
 		if p.d0 > res.DRV0 {
-			res.DRV0, res.Cond0 = p.d0, p.cond
+			res.DRV0, res.Cond0 = p.d0, conds[i]
 		}
 		if p.d1 > res.DRV1 {
-			res.DRV1, res.Cond1 = p.d1, p.cond
+			res.DRV1, res.Cond1 = p.d1, conds[i]
 		}
 	}
 	res.DRV = math.Max(res.DRV0, res.DRV1)

@@ -21,6 +21,7 @@ import (
 	"sramtest/internal/process"
 	"sramtest/internal/regulator"
 	"sramtest/internal/spice"
+	"sramtest/internal/sweep"
 )
 
 // Options tunes a characterization run.
@@ -36,6 +37,10 @@ type Options struct {
 	// paper's per-VDD choice (regulator.SelectFor). The test-flow
 	// optimizer uses this to probe all 12 (VDD, Vref) combinations.
 	Level *regulator.VrefLevel
+	// Workers bounds the sweep-engine concurrency of the run; 0 uses
+	// the process default (sweep.DefaultWorkers). It never affects the
+	// results, only the wall-clock time.
+	Workers int
 }
 
 // DefaultOptions mirrors the paper's experimental setup.
@@ -211,10 +216,10 @@ func (e *condEnv) lost(info regulator.Info, ce *cellEnv, warm **spice.Solution) 
 }
 
 // MinResistanceAt finds the minimal resistance of defect d that causes a
-// DRF for case study cs at one PVT condition.
+// DRF for case study cs at one PVT condition. The point is memoized, so
+// repeated probes (the flow optimizer, mixed CLI runs) are free.
 func MinResistanceAt(d regulator.Defect, cs process.CaseStudy, cond process.Condition, opt Options) (CondResult, error) {
-	e := newCondEnv(cond, opt)
-	r, err := minResistance(e, d, cs, opt)
+	r, err := minResistanceCached(cond, func() *condEnv { return newCondEnv(cond, opt) }, d, cs, opt)
 	return CondResult{Cond: cond, MinRes: r}, err
 }
 
@@ -261,48 +266,149 @@ func minResistance(e *condEnv, d regulator.Defect, cs process.CaseStudy, opt Opt
 	return hi, nil
 }
 
+// pointKey identifies one characterization point for the memo cache:
+// the (defect, case study, condition) triple plus the option fields that
+// influence the search result. Worker counts and grid composition are
+// deliberately excluded — they cannot change a point's value.
+type pointKey struct {
+	defect regulator.Defect
+	cs     process.CaseStudy
+	cond   process.Condition
+	dwell  float64
+	resTol float64
+	level  regulator.VrefLevel // -1 = per-VDD default (regulator.SelectFor)
+}
+
+func keyOf(d regulator.Defect, cs process.CaseStudy, cond process.Condition, opt Options) pointKey {
+	level := regulator.VrefLevel(-1)
+	if opt.Level != nil {
+		level = *opt.Level
+	}
+	return pointKey{defect: d, cs: cs, cond: cond, dwell: opt.Dwell, resTol: opt.ResTol, level: level}
+}
+
+// pointCache memoizes characterization points across calls, so repeated
+// probes — e.g. the test-flow optimizer re-probing all 12 (VDD, Vref)
+// combinations, or a CLI run mixing per-defect and table sweeps — never
+// recompute a (defect, case study, condition) search.
+var pointCache sweep.Cache[pointKey, float64]
+
+// minResistanceCached is minResistance behind the memo cache. env is
+// called only on a cache miss, so hits skip the netlist build entirely;
+// concurrent requests for the same point share one computation
+// (singleflight).
+func minResistanceCached(cond process.Condition, env func() *condEnv, d regulator.Defect, cs process.CaseStudy, opt Options) (float64, error) {
+	return pointCache.Do(keyOf(d, cs, cond, opt), func() (float64, error) {
+		return minResistance(env(), d, cs, opt)
+	})
+}
+
+// ResetCache drops every memoized characterization point. Benchmarks use
+// it to measure cold sweeps; production flows never need it.
+func ResetCache() { pointCache.Reset() }
+
+// CacheLen reports the number of memoized characterization points.
+func CacheLen() int { return pointCache.Len() }
+
 // CharacterizeDefect runs the PVT sweep for one (defect, case study) pair
-// and returns the Table II cell.
+// and returns the Table II cell. Conditions are searched in parallel on
+// the sweep engine; the result is identical for any worker count.
 func CharacterizeDefect(d regulator.Defect, cs process.CaseStudy, opt Options) (Result, error) {
 	res := Result{Defect: d, CS: cs, MinRes: math.Inf(1)}
-	for _, cond := range opt.Conditions {
-		e := newCondEnv(cond, opt)
-		r, err := minResistance(e, d, cs, opt)
+	details, err := sweep.Map(len(opt.Conditions), func(i int) (CondResult, error) {
+		cond := opt.Conditions[i]
+		r, err := minResistanceCached(cond, func() *condEnv { return newCondEnv(cond, opt) }, d, cs, opt)
 		if err != nil {
-			return res, fmt.Errorf("charac: %s/%s at %s: %w", d, cs.Name, cond, err)
+			return CondResult{}, fmt.Errorf("charac: %s/%s at %s: %w", d, cs.Name, cond, err)
 		}
-		res.Details = append(res.Details, CondResult{Cond: cond, MinRes: r})
-		if r < res.MinRes {
-			res.MinRes, res.Cond = r, cond
+		return CondResult{Cond: cond, MinRes: r}, nil
+	}, sweep.Workers(opt.Workers))
+	if err != nil {
+		return res, err
+	}
+	res.Details = details
+	for _, cr := range details {
+		if cr.MinRes < res.MinRes {
+			res.MinRes, res.Cond = cr.MinRes, cr.Cond
 		}
 	}
 	return res, nil
 }
 
-// Table2 reproduces the paper's Table II: the 17 DRF-capable defects ×
-// the five case-study pairs (CSx-1 representatives; the CSx-0 twins are
-// mirror-symmetric and give identical resistances). Results are returned
-// defect-major in Table II's row order.
-func Table2(opt Options) ([]Result, error) {
-	// Environment cache: per condition, shared across defects and CSs so
-	// cell DRVs and regulator netlists are built once.
-	envs := make([]*condEnv, len(opt.Conditions))
-	for i, cond := range opt.Conditions {
-		envs[i] = newCondEnv(cond, opt)
+// MinResistancesAt finds the minimal DRF-causing resistance of each
+// listed defect for case study cs at one PVT condition, sharing a single
+// per-condition environment (regulator netlist, cell DRVs) across the
+// defects. Per-defect outcomes are reported positionally in errs, so a
+// caller like the test-flow measurement can treat individual failures as
+// "undetectable here" without losing the rest of the condition.
+func MinResistancesAt(ds []regulator.Defect, cs process.CaseStudy, cond process.Condition, opt Options) (res []CondResult, errs []error) {
+	var e *condEnv
+	env := func() *condEnv {
+		if e == nil {
+			e = newCondEnv(cond, opt)
+		}
+		return e
 	}
-	csList := table2CaseStudies()
-	var out []Result
-	for _, d := range regulator.DRFCandidates() {
-		for _, cs := range csList {
-			res := Result{Defect: d, CS: cs, MinRes: math.Inf(1)}
-			for _, e := range envs {
-				r, err := minResistance(e, d, cs, opt)
-				if err != nil {
-					return nil, fmt.Errorf("charac: %s/%s at %s: %w", d, cs.Name, e.cond, err)
+	res = make([]CondResult, len(ds))
+	errs = make([]error, len(ds))
+	for i, d := range ds {
+		r, err := minResistanceCached(cond, env, d, cs, opt)
+		res[i] = CondResult{Cond: cond, MinRes: r}
+		errs[i] = err
+	}
+	return res, errs
+}
+
+// CharacterizeAll characterizes every (defect, case study) pair over the
+// options' PVT grid on the sweep engine and returns the results
+// defect-major (the paper's Table II row order). The task unit is one
+// (condition, defect, case study) point, enumerated condition-major so
+// that each worker's environment cache (regulator netlist + cell DRVs,
+// rebuilt only on condition change) gets maximal reuse. The assembled
+// tables are bit-identical to the sequential path for any worker count.
+func CharacterizeAll(defects []regulator.Defect, css []process.CaseStudy, opt Options) ([]Result, error) {
+	nPairs := len(defects) * len(css)
+	nConds := len(opt.Conditions)
+
+	// Worker state: the last environment built, keyed by its condition.
+	// Condition-major task order makes this a near-perfect cache.
+	type workerEnv struct {
+		envs map[process.Condition]*condEnv
+	}
+	mins, err := sweep.MapWorker(nConds*nPairs,
+		func() *workerEnv { return &workerEnv{envs: map[process.Condition]*condEnv{}} },
+		func(w *workerEnv, t int) (float64, error) {
+			cond := opt.Conditions[t/nPairs]
+			pair := t % nPairs
+			d := defects[pair/len(css)]
+			cs := css[pair%len(css)]
+			env := func() *condEnv {
+				e, ok := w.envs[cond]
+				if !ok {
+					e = newCondEnv(cond, opt)
+					w.envs[cond] = e
 				}
-				res.Details = append(res.Details, CondResult{Cond: e.cond, MinRes: r})
+				return e
+			}
+			r, err := minResistanceCached(cond, env, d, cs, opt)
+			if err != nil {
+				return 0, fmt.Errorf("charac: %s/%s at %s: %w", d, cs.Name, cond, err)
+			}
+			return r, nil
+		}, sweep.Workers(opt.Workers))
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]Result, 0, nPairs)
+	for di, d := range defects {
+		for ci, cs := range css {
+			res := Result{Defect: d, CS: cs, MinRes: math.Inf(1)}
+			for k, cond := range opt.Conditions {
+				r := mins[k*nPairs+di*len(css)+ci]
+				res.Details = append(res.Details, CondResult{Cond: cond, MinRes: r})
 				if r < res.MinRes {
-					res.MinRes, res.Cond = r, e.cond
+					res.MinRes, res.Cond = r, cond
 				}
 			}
 			out = append(out, res)
@@ -311,9 +417,17 @@ func Table2(opt Options) ([]Result, error) {
 	return out, nil
 }
 
-// table2CaseStudies returns the five CSx-1 representatives in Table II
+// Table2 reproduces the paper's Table II: the 17 DRF-capable defects ×
+// the five case-study pairs (CSx-1 representatives; the CSx-0 twins are
+// mirror-symmetric and give identical resistances). Results are returned
+// defect-major in Table II's row order.
+func Table2(opt Options) ([]Result, error) {
+	return CharacterizeAll(regulator.DRFCandidates(), Table2CaseStudies(), opt)
+}
+
+// Table2CaseStudies returns the five CSx-1 representatives in Table II
 // column order.
-func table2CaseStudies() []process.CaseStudy {
+func Table2CaseStudies() []process.CaseStudy {
 	all := process.Table1CaseStudies()
 	return []process.CaseStudy{all[0], all[2], all[4], all[6], all[8]}
 }

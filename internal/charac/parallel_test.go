@@ -1,0 +1,182 @@
+package charac
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"sramtest/internal/process"
+	"sramtest/internal/regulator"
+)
+
+// parallelTestOptions is a small but non-trivial slice of Table II: two
+// conditions × two defects × two case studies, enough to exercise every
+// engine path (env reuse, cache, assembly) while staying test-sized.
+func parallelTestOptions() (Options, []regulator.Defect, []process.CaseStudy) {
+	opt := DefaultOptions()
+	// The determinism and cache tests compare the engine against itself,
+	// so a coarse bisection keeps them fast without weakening them.
+	opt.ResTol = 1.5
+	opt.Conditions = []process.Condition{
+		{Corner: process.FS, VDD: 1.0, TempC: 125},
+		{Corner: process.FS, VDD: 1.0, TempC: -30},
+	}
+	defects := []regulator.Defect{regulator.Df16, regulator.Df1}
+	css := []process.CaseStudy{cs(0), cs(4)}
+	return opt, defects, css
+}
+
+// characterizeSequential is the pre-engine reference implementation of
+// CharacterizeAll: plain nested loops, one shared environment per
+// condition, no cache, no goroutines. The golden-compare tests pin the
+// engine's output to it bit for bit.
+func characterizeSequential(t *testing.T, defects []regulator.Defect, css []process.CaseStudy, opt Options) []Result {
+	t.Helper()
+	envs := make([]*condEnv, len(opt.Conditions))
+	for i, cond := range opt.Conditions {
+		envs[i] = newCondEnv(cond, opt)
+	}
+	var out []Result
+	for _, d := range defects {
+		for _, c := range css {
+			res := Result{Defect: d, CS: c, MinRes: math.Inf(1)}
+			for _, e := range envs {
+				r, err := minResistance(e, d, c, opt)
+				if err != nil {
+					t.Fatalf("sequential reference: %s/%s at %s: %v", d, c.Name, e.cond, err)
+				}
+				res.Details = append(res.Details, CondResult{Cond: e.cond, MinRes: r})
+				if r < res.MinRes {
+					res.MinRes, res.Cond = r, e.cond
+				}
+			}
+			out = append(out, res)
+		}
+	}
+	return out
+}
+
+// TestCharacterizeAllGoldenSequential pins the parallel engine's tables
+// to the sequential reference path, bit for bit.
+func TestCharacterizeAllGoldenSequential(t *testing.T) {
+	opt, defects, css := parallelTestOptions()
+	want := characterizeSequential(t, defects, css, opt)
+
+	ResetCache()
+	got, err := CharacterizeAll(defects, css, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("engine output deviates from the sequential path:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestCharacterizeAllWorkerInvariance runs the same sweep with 8 workers
+// and with 1 and demands exact equality — the determinism guarantee that
+// lets -workers be a pure speed knob. Run under -race this also
+// exercises the engine's sharing discipline.
+func TestCharacterizeAllWorkerInvariance(t *testing.T) {
+	opt, defects, css := parallelTestOptions()
+
+	opt.Workers = 1
+	ResetCache()
+	one, err := CharacterizeAll(defects, css, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt.Workers = 8
+	ResetCache()
+	eight, err := CharacterizeAll(defects, css, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if !reflect.DeepEqual(one, eight) {
+		t.Errorf("workers=8 result deviates from workers=1:\ngot  %+v\nwant %+v", eight, one)
+	}
+}
+
+// TestCharacterizeDefectWorkerInvariance covers the per-pair entry point
+// the CLI uses.
+func TestCharacterizeDefectWorkerInvariance(t *testing.T) {
+	opt, _, _ := parallelTestOptions()
+
+	opt.Workers = 1
+	ResetCache()
+	one, err := CharacterizeDefect(regulator.Df16, cs(0), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 4
+	ResetCache()
+	four, err := CharacterizeDefect(regulator.Df16, cs(0), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(one, four) {
+		t.Errorf("workers=4 result deviates from workers=1:\ngot  %+v\nwant %+v", four, one)
+	}
+}
+
+// TestPointCacheReuse verifies that the memo cache short-circuits
+// repeated probes: a second identical sweep must not grow the cache, and
+// a probe with different options must not collide with cached points.
+func TestPointCacheReuse(t *testing.T) {
+	opt, defects, css := parallelTestOptions()
+	ResetCache()
+	first, err := CharacterizeAll(defects, css, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := CacheLen()
+	if want := len(opt.Conditions) * len(defects) * len(css); n != want {
+		t.Fatalf("cache holds %d points after the sweep, want %d", n, want)
+	}
+	second, err := CharacterizeAll(defects, css, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if CacheLen() != n {
+		t.Errorf("repeated sweep grew the cache to %d points", CacheLen())
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Error("cached sweep deviates from the computed one")
+	}
+
+	// A different reference level is a different point.
+	level := regulator.L78
+	opt.Level = &level
+	if _, err := MinResistanceAt(defects[0], css[0], opt.Conditions[0], opt); err != nil {
+		t.Fatal(err)
+	}
+	if CacheLen() != n+1 {
+		t.Errorf("options-hash collision: cache has %d points, want %d", CacheLen(), n+1)
+	}
+}
+
+// TestMinResistancesAtSharedEnv checks the batch entry point against the
+// one-defect-at-a-time path.
+func TestMinResistancesAtSharedEnv(t *testing.T) {
+	opt, defects, _ := parallelTestOptions()
+	cond := opt.Conditions[0]
+
+	ResetCache()
+	batch, errs := MinResistancesAt(defects, cs(0), cond, opt)
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("defect %s: %v", defects[i], err)
+		}
+	}
+	for i, d := range defects {
+		ResetCache()
+		single, err := MinResistanceAt(d, cs(0), cond, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i] != single {
+			t.Errorf("%s: batch %+v != single %+v", d, batch[i], single)
+		}
+	}
+}

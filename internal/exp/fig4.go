@@ -5,6 +5,7 @@ import (
 	"sramtest/internal/num"
 	"sramtest/internal/process"
 	"sramtest/internal/report"
+	"sramtest/internal/sweep"
 )
 
 // Fig4Series is the DRV sweep of one cell transistor.
@@ -23,7 +24,9 @@ type Fig4Result struct {
 // Fig4 reproduces Fig. 4 (EXP-F4): for each of the six cell transistors,
 // sweep its Vth variation alone from −6σ to +6σ and record the worst-case
 // DRV_DS1 and DRV_DS0 over the given PVT conditions (nil = full grid).
-// sigmas nil defaults to 13 points across ±6σ.
+// sigmas nil defaults to 13 points across ±6σ. The 6 × len(sigmas) sweep
+// points run in parallel on the sweep engine; the assembled series are
+// identical for any worker count.
 func Fig4(sigmas []float64, conds []process.Condition) Fig4Result {
 	if sigmas == nil {
 		sigmas = num.Linspace(-6, 6, 13)
@@ -31,16 +34,22 @@ func Fig4(sigmas []float64, conds []process.Condition) Fig4Result {
 	if conds == nil {
 		conds = cell.DRVConditions()
 	}
+	type point struct{ d1, d0 float64 }
+	nT := int(process.NumCellTransistors)
+	pts, _ := sweep.Map(nT*len(sigmas), func(t int) (point, error) {
+		var v process.Variation
+		v[process.CellTransistor(t/len(sigmas))] = sigmas[t%len(sigmas)]
+		r := cell.WorstDRV(v, conds)
+		return point{d1: r.DRV1, d0: r.DRV0}, nil
+	})
 	var res Fig4Result
 	for tr := process.CellTransistor(0); tr < process.NumCellTransistors; tr++ {
 		s1 := Fig4Series{Transistor: tr, Sigmas: sigmas}
 		s0 := Fig4Series{Transistor: tr, Sigmas: sigmas}
-		for _, sg := range sigmas {
-			var v process.Variation
-			v[tr] = sg
-			r := cell.WorstDRV(v, conds)
-			s1.DRV = append(s1.DRV, r.DRV1)
-			s0.DRV = append(s0.DRV, r.DRV0)
+		for i := range sigmas {
+			p := pts[int(tr)*len(sigmas)+i]
+			s1.DRV = append(s1.DRV, p.d1)
+			s0.DRV = append(s0.DRV, p.d0)
 		}
 		res.DRV1 = append(res.DRV1, s1)
 		res.DRV0 = append(res.DRV0, s0)

@@ -8,6 +8,7 @@ import (
 	"sramtest/internal/cell"
 	"sramtest/internal/process"
 	"sramtest/internal/report"
+	"sramtest/internal/sweep"
 )
 
 // MonteCarloResult summarizes a sampled DRV distribution (EXP-MC): the
@@ -21,27 +22,72 @@ type MonteCarloResult struct {
 	DRV     []float64 // sorted per-cell max(DRV0, DRV1)
 }
 
+// mcChunk is the number of samples drawn from one derived RNG stream.
+// Sharding is by chunk index — not by worker — so the sampled multiset
+// is a pure function of (n, seed) and identical for any worker count.
+const mcChunk = 16
+
 // MonteCarlo samples n random cells (independent normal ΔVth per
 // transistor, truncated at ±6σ) at one condition and returns their
-// retention-voltage distribution.
+// retention-voltage distribution. Chunks of samples are evaluated in
+// parallel on the sweep engine, each chunk with its own rand.Source
+// derived from the seed.
 func MonteCarlo(cond process.Condition, n int, seed int64) MonteCarloResult {
-	rng := rand.New(rand.NewSource(seed))
+	return MonteCarloWorkers(cond, n, seed, 0)
+}
+
+// MonteCarloWorkers is MonteCarlo with an explicit worker bound
+// (0 = process default). The result does not depend on workers.
+func MonteCarloWorkers(cond process.Condition, n int, seed int64, workers int) MonteCarloResult {
 	res := MonteCarloResult{Cond: cond, Samples: n}
-	for i := 0; i < n; i++ {
-		v := process.RandomVariation(rng)
-		c := cell.New(v, cond)
-		res.DRV = append(res.DRV, math.Max(c.DRV0(), c.DRV1()))
+	if n <= 0 {
+		return res
+	}
+	chunks := (n + mcChunk - 1) / mcChunk
+	drv, _ := sweep.Map(chunks, func(c int) ([]float64, error) {
+		rng := rand.New(rand.NewSource(chunkSeed(seed, c)))
+		lo, hi := c*mcChunk, (c+1)*mcChunk
+		if hi > n {
+			hi = n
+		}
+		out := make([]float64, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			v := process.RandomVariation(rng)
+			cl := cell.New(v, cond)
+			out = append(out, math.Max(cl.DRV0(), cl.DRV1()))
+		}
+		return out, nil
+	}, sweep.Workers(workers))
+	for _, chunk := range drv {
+		res.DRV = append(res.DRV, chunk...)
 	}
 	sort.Float64s(res.DRV)
 	return res
 }
 
-// Quantile returns the q-quantile (0..1) of the sampled distribution.
+// chunkSeed derives an independent per-chunk seed from the master seed
+// with a splitmix64 finalizer, decorrelating the chunk streams.
+func chunkSeed(seed int64, chunk int) int64 {
+	z := uint64(seed) + uint64(chunk+1)*0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Quantile returns the q-quantile (0..1) of the sampled distribution,
+// rounding to the nearest order statistic (half away from zero) so small
+// samples do not bias high quantiles low.
 func (r MonteCarloResult) Quantile(q float64) float64 {
 	if len(r.DRV) == 0 {
 		return 0
 	}
-	idx := int(q * float64(len(r.DRV)-1))
+	idx := int(math.Round(q * float64(len(r.DRV)-1)))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx > len(r.DRV)-1 {
+		idx = len(r.DRV) - 1
+	}
 	return r.DRV[idx]
 }
 

@@ -14,6 +14,7 @@ import (
 	"sramtest/internal/cell"
 	"sramtest/internal/process"
 	"sramtest/internal/report"
+	"sramtest/internal/sweep"
 )
 
 // Table1Row is one row of the paper's Table I.
@@ -27,17 +28,40 @@ type Table1Row struct {
 }
 
 // Table1 reproduces Table I (EXP-T1): the worst-case PVT retention
-// voltages of the ten case studies. conds defaults to the full
+// voltages of the ten case studies, evaluated per (case study,
+// condition) on the sweep engine. conds defaults to the full
 // corner × temperature grid when nil.
 func Table1(conds []process.Condition) []Table1Row {
 	if conds == nil {
 		conds = cell.DRVConditions()
 	}
 	css := process.Table1CaseStudies()
+	// One task per (case study, condition) point; rows are reduced from
+	// the ordered results, so the table is identical for any worker count.
+	pts, _ := sweep.Map(len(css)*len(conds), func(t int) (cell.DRVResult, error) {
+		cs := css[t/len(conds)]
+		cond := conds[t%len(conds)]
+		cl := cell.New(cs.Variation, cond)
+		return cell.DRVResult{DRV0: cl.DRV0(), DRV1: cl.DRV1(), Cond0: cond, Cond1: cond}, nil
+	})
 	rows := make([]Table1Row, len(css))
 	for i, cs := range css {
-		r := cell.WorstDRV(cs.Variation, conds)
-		rows[i] = Table1Row{CS: cs, DRV0: r.DRV0, DRV1: r.DRV1, DRV: r.DRV, Cond0: r.Cond0, Cond1: r.Cond1}
+		row := Table1Row{CS: cs, DRV0: -1, DRV1: -1}
+		for j := range conds {
+			p := pts[i*len(conds)+j]
+			if p.DRV0 > row.DRV0 {
+				row.DRV0, row.Cond0 = p.DRV0, p.Cond0
+			}
+			if p.DRV1 > row.DRV1 {
+				row.DRV1, row.Cond1 = p.DRV1, p.Cond1
+			}
+		}
+		if row.DRV1 > row.DRV0 {
+			row.DRV = row.DRV1
+		} else {
+			row.DRV = row.DRV0
+		}
+		rows[i] = row
 	}
 	return rows
 }

@@ -1,0 +1,59 @@
+package sweep
+
+import "sync"
+
+// Cache is a concurrency-safe memoization table with singleflight
+// semantics: for each key the compute function runs exactly once, even
+// when many workers ask for the key simultaneously — later callers
+// block on the first computation and share its result. Errors (and
+// recovered panics) are cached like values: the repo's characterization
+// points are deterministic, so recomputing a failed point would only
+// fail again.
+//
+// The zero value is ready to use. Entries live until Reset; the cache
+// is in-memory and intended for intra-process reuse (e.g. the test-flow
+// optimizer re-probing characterization points).
+type Cache[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]*cacheEntry[V]
+}
+
+type cacheEntry[V any] struct {
+	once sync.Once
+	val  V
+	err  error
+}
+
+// Do returns the cached value for key, computing it with compute on the
+// first request. compute panics are converted to *PanicError.
+func (c *Cache[K, V]) Do(key K, compute func() (V, error)) (V, error) {
+	c.mu.Lock()
+	if c.m == nil {
+		c.m = make(map[K]*cacheEntry[V])
+	}
+	e, ok := c.m[key]
+	if !ok {
+		e = &cacheEntry[V]{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+
+	e.once.Do(func() {
+		e.val, e.err = protect(struct{}{}, -1, func(struct{}, int) (V, error) { return compute() })
+	})
+	return e.val, e.err
+}
+
+// Len reports the number of cached entries (including in-flight ones).
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Reset drops every cached entry.
+func (c *Cache[K, V]) Reset() {
+	c.mu.Lock()
+	c.m = nil
+	c.mu.Unlock()
+}

@@ -1,0 +1,174 @@
+// Package sweep is the parallel sweep engine behind the repo's
+// characterization workloads: a bounded worker pool with deterministic
+// result ordering, per-task panic recovery, optional per-worker state
+// (so expensive environments — regulator netlists, cell models — are
+// built once per worker instead of once per task), and a memoization
+// cache for repeated probes (cache.go).
+//
+// Determinism contract: Map/MapWorker return results indexed by task,
+// so the output is byte-identical for any worker count; when several
+// tasks fail, the error of the lowest-numbered task is returned. Tasks
+// are never aborted early on failure (only by the caller's context), so
+// the reported error does not depend on scheduling.
+//
+// The default worker count is GOMAXPROCS, overridable per process with
+// SetDefaultWorkers (the cmd tools' -workers flag), per environment with
+// SRAMTEST_WORKERS, and per call with the Workers option.
+package sweep
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"strconv"
+	"sync"
+	"sync/atomic"
+)
+
+// EnvWorkers is the environment variable that overrides the default
+// worker count of every sweep in the process.
+const EnvWorkers = "SRAMTEST_WORKERS"
+
+// defaultOverride holds the process-wide SetDefaultWorkers value
+// (0 = unset).
+var defaultOverride atomic.Int64
+
+// SetDefaultWorkers fixes the process-wide default worker count; n <= 0
+// restores the built-in default (SRAMTEST_WORKERS, then GOMAXPROCS).
+func SetDefaultWorkers(n int) {
+	if n < 0 {
+		n = 0
+	}
+	defaultOverride.Store(int64(n))
+}
+
+// DefaultWorkers resolves the worker count used when a call does not
+// pass Workers: SetDefaultWorkers wins, then SRAMTEST_WORKERS, then
+// GOMAXPROCS.
+func DefaultWorkers() int {
+	if n := defaultOverride.Load(); n > 0 {
+		return int(n)
+	}
+	if s := os.Getenv(EnvWorkers); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+type config struct {
+	workers int
+	ctx     context.Context
+}
+
+// Option configures one sweep call.
+type Option func(*config)
+
+// Workers bounds the concurrency of the call; n <= 0 means
+// DefaultWorkers.
+func Workers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithContext aborts tasks not yet started when ctx is canceled;
+// already-running tasks complete.
+func WithContext(ctx context.Context) Option {
+	return func(c *config) {
+		if ctx != nil {
+			c.ctx = ctx
+		}
+	}
+}
+
+// PanicError is a recovered task panic, converted into an ordinary
+// error so one bad grid point cannot take down a whole sweep.
+type PanicError struct {
+	Task  int    // index of the panicking task
+	Value any    // the recover() value
+	Stack []byte // stack trace of the panicking goroutine
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("sweep: task %d panicked: %v\n%s", e.Task, e.Value, e.Stack)
+}
+
+// Map runs fn(i) for every i in [0, n) over a bounded worker pool and
+// returns the results in task order. See MapWorker for the error and
+// determinism semantics.
+func Map[T any](n int, fn func(i int) (T, error), opts ...Option) ([]T, error) {
+	return MapWorker(n,
+		func() struct{} { return struct{}{} },
+		func(_ struct{}, i int) (T, error) { return fn(i) },
+		opts...)
+}
+
+// ForEach is Map without per-task results.
+func ForEach(n int, fn func(i int) error, opts ...Option) error {
+	_, err := Map(n, func(i int) (struct{}, error) { return struct{}{}, fn(i) }, opts...)
+	return err
+}
+
+// MapWorker is Map with per-worker state: newState runs once on each
+// worker goroutine and its value is handed to every task that worker
+// claims. Results are returned in task order regardless of scheduling.
+// All tasks run even when some fail; the error returned is that of the
+// lowest-numbered failing task (a panic surfaces as *PanicError), with
+// the partial results alongside it.
+func MapWorker[S, T any](n int, newState func() S, fn func(state S, i int) (T, error), opts ...Option) ([]T, error) {
+	cfg := config{ctx: context.Background()}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	workers := cfg.workers
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	if n == 0 {
+		return results, nil
+	}
+	errs := make([]error, n)
+
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			state := newState()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := cfg.ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				results[i], errs[i] = protect(state, i, fn)
+			}
+		}()
+	}
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return results, err
+		}
+	}
+	return results, nil
+}
+
+// protect runs one task with panic recovery.
+func protect[S, T any](state S, i int, fn func(S, int) (T, error)) (res T, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Task: i, Value: r, Stack: debug.Stack()}
+		}
+	}()
+	return fn(state, i)
+}

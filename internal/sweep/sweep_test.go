@@ -1,0 +1,221 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestMapOrderedResults(t *testing.T) {
+	for _, workers := range []int{1, 3, 16} {
+		out, err := Map(100, func(i int) (int, error) { return i * i, nil }, Workers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, max atomic.Int64
+	var mu sync.Mutex
+	_, err := Map(64, func(i int) (struct{}, error) {
+		n := cur.Add(1)
+		mu.Lock()
+		if n > max.Load() {
+			max.Store(n)
+		}
+		mu.Unlock()
+		runtime.Gosched()
+		cur.Add(-1)
+		return struct{}{}, nil
+	}, Workers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := max.Load(); m > workers {
+		t.Errorf("observed %d concurrent tasks, bound is %d", m, workers)
+	}
+}
+
+func TestMapLowestErrorWins(t *testing.T) {
+	wantErr := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		out, err := Map(20, func(i int) (int, error) {
+			if i == 7 || i == 13 {
+				return 0, fmt.Errorf("task %d: %w", i, wantErr)
+			}
+			return i, nil
+		}, Workers(workers))
+		if err == nil || !strings.Contains(err.Error(), "task 7") {
+			t.Fatalf("workers=%d: err = %v, want the lowest-index failure", workers, err)
+		}
+		if !errors.Is(err, wantErr) {
+			t.Errorf("error chain broken: %v", err)
+		}
+		// Partial results of the non-failing tasks are still delivered.
+		if out[19] != 19 {
+			t.Errorf("workers=%d: partial results dropped", workers)
+		}
+	}
+}
+
+func TestMapPanicRecovery(t *testing.T) {
+	_, err := Map(10, func(i int) (int, error) {
+		if i == 4 {
+			panic("grid point exploded")
+		}
+		return i, nil
+	}, Workers(4))
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	if pe.Task != 4 || pe.Value != "grid point exploded" || len(pe.Stack) == 0 {
+		t.Errorf("PanicError = task %d value %v stack %d bytes", pe.Task, pe.Value, len(pe.Stack))
+	}
+}
+
+func TestMapContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Map(10, func(i int) (int, error) { return i, nil }, WithContext(ctx), Workers(2))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestMapWorkerState(t *testing.T) {
+	var states atomic.Int64
+	const workers = 4
+	out, err := MapWorker(32,
+		func() *int { states.Add(1); v := 0; return &v },
+		func(s *int, i int) (int, error) { *s++; return *s, nil },
+		Workers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := states.Load(); n > workers {
+		t.Errorf("%d states created for %d workers", n, workers)
+	}
+	// Every worker counts its own tasks; the totals must add up to n.
+	perWorkerMax := map[int]bool{}
+	total := 0
+	for _, v := range out {
+		if !perWorkerMax[v] {
+			perWorkerMax[v] = true
+			total++ // each distinct counter value appears at least once
+		}
+	}
+	if total == 0 {
+		t.Error("no tasks ran")
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var n atomic.Int64
+	if err := ForEach(25, func(i int) error { n.Add(1); return nil }, Workers(5)); err != nil {
+		t.Fatal(err)
+	}
+	if n.Load() != 25 {
+		t.Errorf("ran %d tasks, want 25", n.Load())
+	}
+}
+
+func TestMapZeroTasks(t *testing.T) {
+	out, err := Map(0, func(i int) (int, error) { return 0, errors.New("never") })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestDefaultWorkersResolution(t *testing.T) {
+	defer SetDefaultWorkers(0)
+
+	SetDefaultWorkers(0)
+	t.Setenv(EnvWorkers, "")
+	if got := DefaultWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("DefaultWorkers() = %d, want GOMAXPROCS %d", got, runtime.GOMAXPROCS(0))
+	}
+
+	t.Setenv(EnvWorkers, "7")
+	if got := DefaultWorkers(); got != 7 {
+		t.Errorf("env override: DefaultWorkers() = %d, want 7", got)
+	}
+	t.Setenv(EnvWorkers, "not-a-number")
+	if got := DefaultWorkers(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("bad env ignored: DefaultWorkers() = %d", got)
+	}
+
+	SetDefaultWorkers(3)
+	t.Setenv(EnvWorkers, "7")
+	if got := DefaultWorkers(); got != 3 {
+		t.Errorf("SetDefaultWorkers must win over the env: got %d", got)
+	}
+}
+
+func TestCacheSingleflight(t *testing.T) {
+	var c Cache[string, int]
+	var computes atomic.Int64
+	_, err := Map(50, func(i int) (int, error) {
+		return c.Do("key", func() (int, error) {
+			computes.Add(1)
+			return 42, nil
+		})
+	}, Workers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := computes.Load(); n != 1 {
+		t.Errorf("compute ran %d times, want exactly once", n)
+	}
+	if c.Len() != 1 {
+		t.Errorf("cache holds %d entries, want 1", c.Len())
+	}
+	v, err := c.Do("key", func() (int, error) { t.Error("recompute on hit"); return 0, nil })
+	if v != 42 || err != nil {
+		t.Errorf("hit returned %d, %v", v, err)
+	}
+}
+
+func TestCacheCachesErrors(t *testing.T) {
+	var c Cache[int, int]
+	wantErr := errors.New("bad point")
+	var computes int
+	for k := 0; k < 3; k++ {
+		_, err := c.Do(1, func() (int, error) { computes++; return 0, wantErr })
+		if !errors.Is(err, wantErr) {
+			t.Fatalf("err = %v", err)
+		}
+	}
+	if computes != 1 {
+		t.Errorf("failing compute ran %d times, want 1", computes)
+	}
+}
+
+func TestCachePanicAndReset(t *testing.T) {
+	var c Cache[int, int]
+	_, err := c.Do(9, func() (int, error) { panic("compute blew up") })
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError", err)
+	}
+	c.Reset()
+	if c.Len() != 0 {
+		t.Errorf("Len after Reset = %d", c.Len())
+	}
+	v, err := c.Do(9, func() (int, error) { return 5, nil })
+	if v != 5 || err != nil {
+		t.Errorf("post-reset compute: %d, %v", v, err)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"sramtest/internal/march"
 	"sramtest/internal/process"
 	"sramtest/internal/regulator"
+	"sramtest/internal/sweep"
 )
 
 // TestCondition is one candidate iteration setting: the supply voltage
@@ -67,6 +68,9 @@ type MeasureOptions struct {
 	ResTol float64
 	// Dwell is the DS time per iteration.
 	Dwell float64
+	// Workers bounds the sweep-engine concurrency of the measurement;
+	// 0 uses the process default. The result never depends on it.
+	Workers int
 }
 
 // DefaultMeasureOptions mirrors the paper's setup.
@@ -82,9 +86,14 @@ func DefaultMeasureOptions() MeasureOptions {
 }
 
 // Measure characterizes every defect at every candidate test condition.
+// The 12 conditions run in parallel on the sweep engine, each with one
+// shared per-condition environment; the characterization points are
+// memoized, so re-measuring (or re-probing a subset) is free within a
+// process. The result is identical for any worker count.
 func Measure(opt MeasureOptions) ([]Sensitivity, error) {
-	var out []Sensitivity
-	for _, tc := range AllTestConditions() {
+	tcs := AllTestConditions()
+	return sweep.Map(len(tcs), func(i int) (Sensitivity, error) {
+		tc := tcs[i]
 		level := tc.Level
 		copt := charac.Options{
 			Dwell:  opt.Dwell,
@@ -94,23 +103,23 @@ func Measure(opt MeasureOptions) ([]Sensitivity, error) {
 		cond := process.Condition{Corner: opt.Corner, VDD: tc.VDD, TempC: opt.TempC}
 		ff, err := charac.FaultFreeVreg(cond, copt)
 		if err != nil {
-			return nil, fmt.Errorf("testflow: fault-free solve at %s: %w", tc, err)
+			return Sensitivity{}, fmt.Errorf("testflow: fault-free solve at %s: %w", tc, err)
 		}
 		s := Sensitivity{Cond: tc, FaultFree: ff, MinRes: map[regulator.Defect]float64{}}
-		for _, d := range opt.Defects {
-			// Conditions whose fault-free rail already sits below the
-			// sensitizing cell's DRV would fail good devices; they are
-			// recorded with +Inf sensitivity and skipped by Optimize.
-			r, err := charac.MinResistanceAt(d, opt.CS, cond, copt)
-			if err != nil {
+		// Conditions whose fault-free rail already sits below the
+		// sensitizing cell's DRV would fail good devices; defects whose
+		// search fails there are recorded with +Inf sensitivity and
+		// skipped by Optimize.
+		rs, errs := charac.MinResistancesAt(opt.Defects, opt.CS, cond, copt)
+		for j, d := range opt.Defects {
+			if errs[j] != nil {
 				s.MinRes[d] = math.Inf(1)
 				continue
 			}
-			s.MinRes[d] = r.MinRes
+			s.MinRes[d] = rs[j].MinRes
 		}
-		out = append(out, s)
-	}
-	return out, nil
+		return s, nil
+	}, sweep.Workers(opt.Workers))
 }
 
 // Iteration is one row of the optimized flow (Table III).
