@@ -1,12 +1,13 @@
 # Local mirror of the CI pipeline (.github/workflows/ci.yml).
 #
-#   make verify   build + vet + gofmt + test — the tier-1 gate
-#   make race     race-enabled test run
-#   make bench    one iteration of every benchmark (smoke)
+#   make verify       build + vet + gofmt + test — the tier-1 gate
+#   make race         race-enabled test run
+#   make bench        one iteration of every benchmark (smoke)
+#   make serve-smoke  end-to-end sramd daemon smoke test
 
 GO ?= go
 
-.PHONY: verify build vet fmt test race bench
+.PHONY: verify build vet fmt test race bench serve-smoke
 
 verify: build vet fmt test
 
@@ -32,3 +33,6 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+serve-smoke:
+	sh scripts/serve-smoke.sh

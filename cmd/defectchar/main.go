@@ -18,12 +18,12 @@ import (
 	"os"
 
 	"sramtest/internal/charac"
+	"sramtest/internal/cli"
 	"sramtest/internal/exp"
 	"sramtest/internal/power"
 	"sramtest/internal/process"
 	"sramtest/internal/regulator"
 	"sramtest/internal/report"
-	"sramtest/internal/sweep"
 )
 
 func main() {
@@ -34,10 +34,10 @@ func main() {
 		classify  = flag.Bool("classify", false, "classify all 32 defects instead of characterizing")
 		stability = flag.Bool("stability", false, "report the regulator's loop stability across PVT")
 		csv       = flag.Bool("csv", false, "emit CSV")
-		workers   = flag.Int("workers", 0, "parallel sweep workers (0 = $SRAMTEST_WORKERS or GOMAXPROCS)")
 	)
+	applyWorkers := cli.Workers(flag.CommandLine)
 	flag.Parse()
-	sweep.SetDefaultWorkers(*workers)
+	applyWorkers()
 
 	opt := charac.DefaultOptions()
 	if !*full {

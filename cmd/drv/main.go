@@ -17,26 +17,26 @@ import (
 	"os"
 
 	"sramtest/internal/cell"
+	"sramtest/internal/cli"
 	"sramtest/internal/exp"
 	"sramtest/internal/num"
 	"sramtest/internal/process"
 	"sramtest/internal/report"
-	"sramtest/internal/sweep"
 )
 
 func main() {
 	var (
-		table1  = flag.Bool("table1", false, "reproduce Table I")
-		fig4    = flag.Bool("fig4", false, "reproduce Fig. 4")
-		dwell   = flag.Bool("dwell", false, "run the DS-dwell flip-time study")
-		mc      = flag.Int("mc", 0, "Monte-Carlo: sample N random cells' DRV distribution")
-		points  = flag.Int("points", 13, "sigma points for -fig4")
-		quick   = flag.Bool("quick", false, "use only the dominant PVT conditions")
-		csv     = flag.Bool("csv", false, "emit CSV")
-		workers = flag.Int("workers", 0, "parallel sweep workers (0 = $SRAMTEST_WORKERS or GOMAXPROCS)")
+		table1 = flag.Bool("table1", false, "reproduce Table I")
+		fig4   = flag.Bool("fig4", false, "reproduce Fig. 4")
+		dwell  = flag.Bool("dwell", false, "run the DS-dwell flip-time study")
+		mc     = flag.Int("mc", 0, "Monte-Carlo: sample N random cells' DRV distribution")
+		points = flag.Int("points", 13, "sigma points for -fig4")
+		quick  = flag.Bool("quick", false, "use only the dominant PVT conditions")
+		csv    = flag.Bool("csv", false, "emit CSV")
 	)
+	applyWorkers := cli.Workers(flag.CommandLine)
 	flag.Parse()
-	sweep.SetDefaultWorkers(*workers)
+	applyWorkers()
 	if !*table1 && !*fig4 && !*dwell && *mc == 0 {
 		*table1 = true
 	}

@@ -19,11 +19,10 @@ import (
 	"strings"
 
 	"sramtest/internal/cell"
+	"sramtest/internal/cli"
 	"sramtest/internal/exp"
 	"sramtest/internal/process"
 	"sramtest/internal/regulator"
-	"sramtest/internal/report"
-	"sramtest/internal/sweep"
 	"sramtest/internal/testflow"
 )
 
@@ -33,10 +32,10 @@ func main() {
 		noVDD       = flag.Bool("no-vdd-constraint", false, "allow flows that skip supply voltages")
 		timeOnly    = flag.Bool("time", false, "print only the test-time accounting for the paper's 3-iteration flow")
 		csv         = flag.Bool("csv", false, "emit CSV")
-		workers     = flag.Int("workers", 0, "parallel sweep workers (0 = $SRAMTEST_WORKERS or GOMAXPROCS)")
 	)
+	applyWorkers := cli.Workers(flag.CommandLine)
 	flag.Parse()
-	sweep.SetDefaultWorkers(*workers)
+	applyWorkers()
 
 	if *timeOnly {
 		flow := testflow.Flow{Iterations: make([]testflow.Iteration, 3), Candidates: 12}
@@ -89,41 +88,16 @@ func main() {
 	}
 
 	// Sensitivity matrix (one row per condition).
-	st := report.NewTable("Measured sensitivities (min DRF resistance per condition)",
-		append([]string{"Condition", "fault-free Vreg"}, defectNames(mopt.Defects)...)...)
-	for _, s := range sens {
-		row := []string{s.Cond.String(), report.SI(s.FaultFree, "V")}
-		for _, d := range mopt.Defects {
-			r := s.MinRes[d]
-			cell := "-"
-			if r == r && !isInf(r) { // not NaN, not Inf
-				cell = report.SI(r, "Ω")
-			}
-			row = append(row, cell)
-		}
-		st.AddRow(row...)
-	}
 	if !*csv {
-		_ = st.Write(os.Stdout)
+		_ = exp.SensitivityReport(sens, mopt.Defects).Write(os.Stdout)
 		fmt.Println()
 	}
 	printTime(exp.TestTime(flow))
 }
 
-func defectNames(ds []regulator.Defect) []string {
-	out := make([]string, len(ds))
-	for i, d := range ds {
-		out[i] = d.String()
-	}
-	return out
-}
-
-func isInf(v float64) bool { return v > 1e300 }
-
 func printTime(r exp.TestTimeResult) {
-	fmt.Printf("March m-LZ length: %dN+%d (paper: 5N+4)\n", r.PerCell, r.Constant)
-	fmt.Printf("single run on 4K words: %s\n", report.SI(r.SingleRun, "s"))
-	fmt.Printf("optimized flow:  %s\n", report.SI(r.Optimized, "s"))
-	fmt.Printf("exhaustive flow: %s\n", report.SI(r.Exhaustive, "s"))
-	fmt.Printf("test-time reduction: %.0f%% (paper: 75%%)\n", r.Reduction*100)
+	if err := exp.WriteTestTime(os.Stdout, r); err != nil {
+		fmt.Fprintln(os.Stderr, "flow:", err)
+		os.Exit(1)
+	}
 }

@@ -1,0 +1,107 @@
+// Command sramd serves the repo's characterization workloads as a
+// daemon: submit Table II characterizations (charac), Monte-Carlo DRV
+// studies (exp) and test-flow optimizations (testflow) as asynchronous
+// jobs over a JSON HTTP API, poll their sweep progress, and fetch
+// results that are byte-identical to the defectchar/drv/flow CLIs.
+// Identical re-submissions are cache hits in a content-addressed result
+// store that can persist across restarts.
+//
+// Usage:
+//
+//	sramd                                  # listen on :8347, in-memory store
+//	sramd -addr :9000 -jobs 4 -queue 64    # bigger pool and queue
+//	sramd -store-dir /var/lib/sramd        # persist results across restarts
+//	sramd -job-timeout 10m -workers 8      # cap job wall-clock, bound sweeps
+//
+// See the README's "Running the service" section for a curl walkthrough.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sramtest/internal/cli"
+	"sramtest/internal/jobs"
+	"sramtest/internal/server"
+	"sramtest/internal/store"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8347", "listen address")
+		jobWorkers = flag.Int("jobs", 1, "concurrent job executors (each job parallelizes internally on the sweep engine)")
+		queue      = flag.Int("queue", 16, "bounded job queue depth")
+		jobTimeout = flag.Duration("job-timeout", 30*time.Minute, "per-job wall-clock limit (0 = unlimited)")
+		retries    = flag.Int("retries", 2, "extra attempts after transient job failures (0 = none)")
+		storeDir   = flag.String("store-dir", "", "persist results to this directory (empty = memory only)")
+		storeCap   = flag.Int("store-cap", 256, "max cached results before LRU eviction")
+		drainWait  = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for running jobs")
+	)
+	applyWorkers := cli.Workers(flag.CommandLine)
+	flag.Parse()
+	applyWorkers()
+
+	st, err := store.Open(*storeDir, *storeCap)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sramd:", err)
+		os.Exit(1)
+	}
+	mr := *retries
+	if mr <= 0 {
+		mr = -1 // jobs.Config treats negative as "no retries" (0 means default)
+	}
+	mgr := jobs.NewManager(jobs.Config{
+		Workers:    *jobWorkers,
+		QueueDepth: *queue,
+		JobTimeout: *jobTimeout,
+		MaxRetries: mr,
+		Store:      st,
+	})
+	api := server.New(mgr, st)
+	api.PublishExpvar()
+
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           api,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "sramd: listening on %s (store: %s, cap %d)\n", *addr, storeDesc(*storeDir), *storeCap)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "sramd:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	// Graceful shutdown: stop accepting connections, then drain running
+	// jobs within the budget (they are canceled when it runs out).
+	fmt.Fprintln(os.Stderr, "sramd: shutting down, draining jobs...")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainWait)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "sramd: shutdown:", err)
+	}
+	mgr.Drain(shutdownCtx)
+	fmt.Fprintln(os.Stderr, "sramd: bye")
+}
+
+func storeDesc(dir string) string {
+	if dir == "" {
+		return "memory"
+	}
+	return dir
+}

@@ -13,6 +13,7 @@
 package charac
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -41,6 +42,20 @@ type Options struct {
 	// the process default (sweep.DefaultWorkers). It never affects the
 	// results, only the wall-clock time.
 	Workers int
+	// Ctx, when non-nil, cancels the run: conditions not yet searched
+	// when Ctx is done are skipped promptly and the sweep returns
+	// Ctx.Err(). A sweep.Progress carried by the context
+	// (sweep.ContextWithProgress) is tallied by the engine. Like
+	// Workers, Ctx never affects the values of results that complete.
+	Ctx context.Context
+}
+
+// ctx returns the options' context, defaulting to context.Background.
+func (o Options) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
 }
 
 // DefaultOptions mirrors the paper's experimental setup.
@@ -315,7 +330,7 @@ func CacheLen() int { return pointCache.Len() }
 // the sweep engine; the result is identical for any worker count.
 func CharacterizeDefect(d regulator.Defect, cs process.CaseStudy, opt Options) (Result, error) {
 	res := Result{Defect: d, CS: cs, MinRes: math.Inf(1)}
-	details, err := sweep.Map(len(opt.Conditions), func(i int) (CondResult, error) {
+	details, err := sweep.MapCtx(opt.ctx(), len(opt.Conditions), func(i int) (CondResult, error) {
 		cond := opt.Conditions[i]
 		r, err := minResistanceCached(cond, func() *condEnv { return newCondEnv(cond, opt) }, d, cs, opt)
 		if err != nil {
@@ -351,7 +366,12 @@ func MinResistancesAt(ds []regulator.Defect, cs process.CaseStudy, cond process.
 	}
 	res = make([]CondResult, len(ds))
 	errs = make([]error, len(ds))
+	ctx := opt.ctx()
 	for i, d := range ds {
+		if err := ctx.Err(); err != nil {
+			errs[i] = err
+			continue
+		}
 		r, err := minResistanceCached(cond, env, d, cs, opt)
 		res[i] = CondResult{Cond: cond, MinRes: r}
 		errs[i] = err
@@ -375,7 +395,7 @@ func CharacterizeAll(defects []regulator.Defect, css []process.CaseStudy, opt Op
 	type workerEnv struct {
 		envs map[process.Condition]*condEnv
 	}
-	mins, err := sweep.MapWorker(nConds*nPairs,
+	mins, err := sweep.MapWorkerCtx(opt.ctx(), nConds*nPairs,
 		func() *workerEnv { return &workerEnv{envs: map[process.Condition]*condEnv{}} },
 		func(w *workerEnv, t int) (float64, error) {
 			cond := opt.Conditions[t/nPairs]

@@ -1,0 +1,20 @@
+// Package cli holds the small flag helpers shared by the cmd tools, so
+// every binary exposes the same knobs with the same semantics instead of
+// each re-implementing them.
+package cli
+
+import (
+	"flag"
+
+	"sramtest/internal/sweep"
+)
+
+// Workers registers the standard -workers flag on fs and returns an
+// apply function to call after fs.Parse: it installs the parsed value as
+// the process-wide sweep default (sweep.SetDefaultWorkers), preserving
+// the usual fallback chain — flag, then $SRAMTEST_WORKERS, then
+// GOMAXPROCS. Worker count never affects results, only wall-clock time.
+func Workers(fs *flag.FlagSet) (apply func()) {
+	n := fs.Int("workers", 0, "parallel sweep workers (0 = $SRAMTEST_WORKERS or GOMAXPROCS)")
+	return func() { sweep.SetDefaultWorkers(*n) }
+}

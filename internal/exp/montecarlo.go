@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -39,12 +40,22 @@ func MonteCarlo(cond process.Condition, n int, seed int64) MonteCarloResult {
 // MonteCarloWorkers is MonteCarlo with an explicit worker bound
 // (0 = process default). The result does not depend on workers.
 func MonteCarloWorkers(cond process.Condition, n int, seed int64, workers int) MonteCarloResult {
+	res, _ := MonteCarloCtx(context.Background(), cond, n, seed, workers)
+	return res
+}
+
+// MonteCarloCtx is MonteCarloWorkers under a context: chunks not yet
+// sampled when ctx is done are skipped and the ctx error is returned
+// (the partial distribution is not meaningful and is dropped). The
+// sampled multiset of a completed run is a pure function of (n, seed),
+// for any worker count.
+func MonteCarloCtx(ctx context.Context, cond process.Condition, n int, seed int64, workers int) (MonteCarloResult, error) {
 	res := MonteCarloResult{Cond: cond, Samples: n}
 	if n <= 0 {
-		return res
+		return res, nil
 	}
 	chunks := (n + mcChunk - 1) / mcChunk
-	drv, _ := sweep.Map(chunks, func(c int) ([]float64, error) {
+	drv, err := sweep.MapCtx(ctx, chunks, func(c int) ([]float64, error) {
 		rng := rand.New(rand.NewSource(chunkSeed(seed, c)))
 		lo, hi := c*mcChunk, (c+1)*mcChunk
 		if hi > n {
@@ -58,11 +69,14 @@ func MonteCarloWorkers(cond process.Condition, n int, seed int64, workers int) M
 		}
 		return out, nil
 	}, sweep.Workers(workers))
+	if err != nil {
+		return MonteCarloResult{Cond: cond, Samples: n}, err
+	}
 	for _, chunk := range drv {
 		res.DRV = append(res.DRV, chunk...)
 	}
 	sort.Float64s(res.DRV)
-	return res
+	return res, nil
 }
 
 // chunkSeed derives an independent per-chunk seed from the master seed

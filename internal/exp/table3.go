@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"io"
 	"strings"
 
 	"sramtest/internal/cell"
@@ -59,6 +60,36 @@ func Table3Report(r Table3Result) *report.Table {
 	return t
 }
 
+// SensitivityReport renders the measured sensitivity matrix — one row
+// per test condition, one column per defect with its minimal
+// DRF-causing resistance ("-" = undetectable there). Shared by cmd/flow
+// and the sramd testflow job so both emit identical bytes.
+func SensitivityReport(sens []testflow.Sensitivity, defects []regulator.Defect) *report.Table {
+	headers := append([]string{"Condition", "fault-free Vreg"}, defectNames(defects)...)
+	t := report.NewTable("Measured sensitivities (min DRF resistance per condition)", headers...)
+	for _, s := range sens {
+		row := []string{s.Cond.String(), report.SI(s.FaultFree, "V")}
+		for _, d := range defects {
+			r := s.MinRes[d]
+			cell := "-"
+			if r == r && r <= 1e300 { // not NaN, not +Inf
+				cell = report.SI(r, "Ω")
+			}
+			row = append(row, cell)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+func defectNames(ds []regulator.Defect) []string {
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.String()
+	}
+	return out
+}
+
 // TestTimeResult carries the EXP-C1 numbers: the March m-LZ complexity
 // claim (5N+4) and the optimized-vs-exhaustive flow times.
 type TestTimeResult struct {
@@ -82,6 +113,23 @@ func TestTime(flow testflow.Flow) TestTimeResult {
 		Exhaustive: flow.ExhaustiveTestTime(t, sram.Words, sram.CycleTime),
 		Reduction:  flow.TimeReduction(),
 	}
+}
+
+// WriteTestTime writes the §V test-time accounting in the cmd/flow
+// layout (also used verbatim by the sramd testflow job).
+func WriteTestTime(w io.Writer, r TestTimeResult) error {
+	_, err := fmt.Fprintf(w,
+		"March m-LZ length: %dN+%d (paper: 5N+4)\n"+
+			"single run on 4K words: %s\n"+
+			"optimized flow:  %s\n"+
+			"exhaustive flow: %s\n"+
+			"test-time reduction: %.0f%% (paper: 75%%)\n",
+		r.PerCell, r.Constant,
+		report.SI(r.SingleRun, "s"),
+		report.SI(r.Optimized, "s"),
+		report.SI(r.Exhaustive, "s"),
+		r.Reduction*100)
+	return err
 }
 
 // Table3Paper returns the paper's Table III for comparison: per iteration

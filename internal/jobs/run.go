@@ -1,0 +1,145 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+
+	"sramtest/internal/cell"
+	"sramtest/internal/charac"
+	"sramtest/internal/exp"
+	"sramtest/internal/process"
+	"sramtest/internal/regulator"
+	"sramtest/internal/testflow"
+)
+
+// Run executes a job spec and returns exactly the bytes the matching CLI
+// writes to stdout (stderr progress chatter excluded):
+//
+//	charac   ≡ defectchar [-full] [-defect N] [-cs N] [-csv]
+//	exp      ≡ drv -mc N [-csv]
+//	testflow ≡ flow [-defects ...] [-no-vdd-constraint] [-csv]
+//
+// This byte-identity holds at any worker count — it is the sweep
+// engine's determinism contract, and the reason results can be cached by
+// spec alone. ctx cancels the underlying sweeps promptly; a
+// sweep.Progress carried by ctx (sweep.ContextWithProgress) is tallied
+// while the job runs.
+func Run(ctx context.Context, spec Spec) ([]byte, error) {
+	spec, err := spec.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	switch spec.Kind {
+	case KindCharac:
+		return runCharac(ctx, spec)
+	case KindExp:
+		return runExp(ctx, spec)
+	case KindTestFlow:
+		return runTestFlow(ctx, spec)
+	}
+	return nil, fmt.Errorf("%w: unknown kind %q", ErrBadSpec, spec.Kind)
+}
+
+func runCharac(ctx context.Context, spec Spec) ([]byte, error) {
+	opt := charac.DefaultOptions()
+	if !spec.Charac.Full {
+		opt.Conditions = charac.ReducedGrid()
+	}
+	opt.Ctx = ctx
+
+	defects := toDefects(spec.Charac.Defects)
+	all := charac.Table2CaseStudies()
+	css := make([]process.CaseStudy, 0, len(spec.Charac.CaseStudies))
+	for _, n := range spec.Charac.CaseStudies {
+		css = append(css, all[n-1])
+	}
+
+	results, err := charac.CharacterizeAll(defects, css, opt)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	t := exp.Table2Report(results)
+	if spec.CSV {
+		err = t.WriteCSV(&buf)
+	} else {
+		err = t.Write(&buf)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// mcCondition is cmd/drv's fixed Monte-Carlo condition.
+var mcCondition = process.Condition{Corner: process.FS, VDD: 1.1, TempC: 125}
+
+func runExp(ctx context.Context, spec Spec) ([]byte, error) {
+	res, err := exp.MonteCarloCtx(ctx, mcCondition, spec.Exp.Samples, spec.Exp.Seed, 0)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	t := exp.MonteCarloReport(res, exp.NewWorstDRVForTest(mcCondition))
+	if spec.CSV {
+		err = t.WriteCSV(&buf)
+	} else {
+		err = t.Write(&buf)
+	}
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(&buf) // drv's emit() prints a blank line after the table
+	return buf.Bytes(), nil
+}
+
+func runTestFlow(ctx context.Context, spec Spec) ([]byte, error) {
+	mopt := testflow.DefaultMeasureOptions()
+	mopt.Defects = toDefects(spec.TestFlow.Defects)
+	mopt.Ctx = ctx
+
+	sens, err := testflow.Measure(mopt)
+	if err != nil {
+		return nil, err
+	}
+	cond := process.Condition{Corner: mopt.Corner, VDD: 1.1, TempC: mopt.TempC}
+	worst := cell.New(mopt.CS.Variation, cond).DRV1()
+	oopt := testflow.DefaultOptimizeOptions(worst)
+	oopt.RequireAllVDD = !spec.TestFlow.NoVDDConstraint
+	flow := testflow.Optimize(sens, oopt)
+
+	var buf bytes.Buffer
+	res := exp.Table3Result{WorstDRV: worst, Sensitivities: sens, Flow: flow}
+	t := exp.Table3Report(res)
+	if spec.CSV {
+		err = t.WriteCSV(&buf)
+	} else {
+		err = t.Write(&buf)
+	}
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(&buf)
+	if len(flow.Uncoverable) > 0 {
+		fmt.Fprintf(&buf, "defects undetectable at every eligible condition: %v\n", flow.Uncoverable)
+	}
+	if !spec.CSV {
+		if err := exp.SensitivityReport(sens, mopt.Defects).Write(&buf); err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(&buf)
+	}
+	if err := exp.WriteTestTime(&buf, exp.TestTime(flow)); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+func toDefects(ns []int) []regulator.Defect {
+	out := make([]regulator.Defect, len(ns))
+	for i, n := range ns {
+		out[i] = regulator.Defect(n)
+	}
+	return out
+}

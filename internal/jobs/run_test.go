@@ -1,0 +1,129 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"sramtest/internal/charac"
+	"sramtest/internal/exp"
+	"sramtest/internal/regulator"
+	"sramtest/internal/sweep"
+)
+
+// cliCharacBytes reproduces cmd/defectchar's stdout path literally: the
+// per-(defect, case study) CharacterizeDefect loop feeding
+// exp.Table2Report. The job runner goes through CharacterizeAll instead;
+// the daemon's contract is that both emit identical bytes.
+func cliCharacBytes(t *testing.T, defects []regulator.Defect, cs []int, csv bool) []byte {
+	t.Helper()
+	opt := charac.DefaultOptions()
+	opt.Conditions = charac.ReducedGrid()
+	all := charac.Table2CaseStudies()
+	var results []charac.Result
+	for _, d := range defects {
+		for _, n := range cs {
+			res, err := charac.CharacterizeDefect(d, all[n-1], opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			results = append(results, res)
+		}
+	}
+	var buf bytes.Buffer
+	tab := exp.Table2Report(results)
+	var err error
+	if csv {
+		err = tab.WriteCSV(&buf)
+	} else {
+		err = tab.Write(&buf)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func TestCharacJobMatchesCLIBytes(t *testing.T) {
+	spec := Spec{Kind: KindCharac, Charac: &CharacSpec{Defects: []int{16, 19}, CaseStudies: []int{1}}}
+	got, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := cliCharacBytes(t, []regulator.Defect{16, 19}, []int{1}, false)
+	if !bytes.Equal(got, want) {
+		t.Errorf("job bytes differ from the CLI path:\n--- job ---\n%s\n--- cli ---\n%s", got, want)
+	}
+	if len(got) == 0 || !bytes.Contains(got, []byte("Table II")) {
+		t.Errorf("implausible result:\n%s", got)
+	}
+
+	// CSV rendering matches too.
+	spec.CSV = true
+	gotCSV, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotCSV, cliCharacBytes(t, []regulator.Defect{16, 19}, []int{1}, true)) {
+		t.Error("CSV job bytes differ from the CLI path")
+	}
+}
+
+// TestRunWorkerInvariance is the serving-layer worker-invariance gate:
+// every job kind must produce identical bytes at any worker count, with
+// the memo cache cold each time.
+func TestRunWorkerInvariance(t *testing.T) {
+	defer sweep.SetDefaultWorkers(0)
+	specs := map[string]Spec{
+		"charac":   {Kind: KindCharac, Charac: &CharacSpec{Defects: []int{16}, CaseStudies: []int{1}}},
+		"exp":      {Kind: KindExp, Exp: &ExpSpec{Samples: 96, Seed: 99}},
+		"testflow": {Kind: KindTestFlow, TestFlow: &TestFlowSpec{Defects: []int{16}}},
+	}
+	for name, spec := range specs {
+		t.Run(name, func(t *testing.T) {
+			var ref []byte
+			for _, workers := range []int{1, 3} {
+				charac.ResetCache()
+				sweep.SetDefaultWorkers(workers)
+				got, err := Run(context.Background(), spec)
+				if err != nil {
+					t.Fatalf("workers=%d: %v", workers, err)
+				}
+				if ref == nil {
+					ref = got
+					continue
+				}
+				if !bytes.Equal(ref, got) {
+					t.Errorf("workers=%d: bytes differ from workers=1 run", workers)
+				}
+			}
+		})
+	}
+}
+
+func TestRunCanceledContextFailsFast(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	_, err := Run(ctx, Spec{Kind: KindCharac})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if d := time.Since(start); d > 2*time.Second {
+		t.Errorf("canceled job took %v to return", d)
+	}
+}
+
+func TestRunReportsSweepProgress(t *testing.T) {
+	var p sweep.Progress
+	ctx := sweep.ContextWithProgress(context.Background(), &p)
+	if _, err := Run(ctx, Spec{Kind: KindExp, Exp: &ExpSpec{Samples: 64}}); err != nil {
+		t.Fatal(err)
+	}
+	done, total := p.Snapshot()
+	if total == 0 || done != total {
+		t.Errorf("progress = %d/%d, want a completed nonzero tally", done, total)
+	}
+}

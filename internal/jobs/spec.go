@@ -1,0 +1,207 @@
+// Package jobs is the job layer of the sramd characterization service:
+// a typed job spec with a canonical serialization (the content address
+// of the result store), runners that execute the three sweep products
+// with bytes identical to the CLI tools, and an asynchronous manager
+// with a bounded queue, per-job cancellation and timeouts, bounded
+// retries, panic isolation, and polled sweep progress.
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+
+	"sramtest/internal/regulator"
+	"sramtest/internal/store"
+)
+
+// Kind selects which sweep product a job computes.
+type Kind string
+
+// The three job kinds, covering the repo's sweep products.
+const (
+	// KindCharac is the Table II defect characterization (cmd/defectchar).
+	KindCharac Kind = "charac"
+	// KindExp is the Monte-Carlo DRV distribution (cmd/drv -mc).
+	KindExp Kind = "exp"
+	// KindTestFlow is the optimized test flow (cmd/flow).
+	KindTestFlow Kind = "testflow"
+)
+
+// ErrBadSpec marks submission-time validation failures (HTTP 400).
+var ErrBadSpec = errors.New("invalid job spec")
+
+// Spec describes one characterization job. Exactly the sub-spec matching
+// Kind must be set (a nil sub-spec of the selected kind is allowed and
+// means "all defaults"). The JSON field order of this struct and its
+// sub-specs IS the canonical serialization used as the result-store
+// cache key — reordering or renaming fields invalidates every cached
+// result, which is why spec_test.go pins the bytes with a golden file.
+type Spec struct {
+	Kind Kind `json:"kind"`
+	// CSV selects the CLIs' -csv rendering for the tables.
+	CSV      bool          `json:"csv,omitempty"`
+	Charac   *CharacSpec   `json:"charac,omitempty"`
+	Exp      *ExpSpec      `json:"exp,omitempty"`
+	TestFlow *TestFlowSpec `json:"testflow,omitempty"`
+}
+
+// CharacSpec parameterizes a Table II characterization, mirroring
+// cmd/defectchar's flags.
+type CharacSpec struct {
+	// Full sweeps the 45-condition PVT grid (-full); default reduced.
+	Full bool `json:"full,omitempty"`
+	// Defects to characterize (1..32); empty = the 17 Table II defects.
+	Defects []int `json:"defects,omitempty"`
+	// CaseStudies restricts the Table II columns (1..5); empty = all.
+	CaseStudies []int `json:"caseStudies,omitempty"`
+}
+
+// ExpSpec parameterizes a Monte-Carlo DRV job, mirroring cmd/drv -mc.
+type ExpSpec struct {
+	// Samples is the number of random cells (-mc N); must be >= 1.
+	Samples int `json:"samples"`
+	// Seed of the sharded RNG; 0 selects the CLI's fixed seed 2013.
+	Seed int64 `json:"seed"`
+}
+
+// TestFlowSpec parameterizes a flow optimization, mirroring cmd/flow.
+type TestFlowSpec struct {
+	// Defects to measure (1..32); empty = the 17 Table II defects.
+	Defects []int `json:"defects,omitempty"`
+	// NoVDDConstraint drops the one-iteration-per-supply rule
+	// (-no-vdd-constraint).
+	NoVDDConstraint bool `json:"noVDDConstraint,omitempty"`
+}
+
+// defaultSeed is cmd/drv's hard-coded Monte-Carlo seed.
+const defaultSeed = 2013
+
+// Normalize validates s and returns its canonical form: defaults are
+// made explicit (defect lists expanded, seed filled in) and lists are
+// sorted and deduplicated, so every spelling of the same job serializes
+// to the same bytes and lands on the same store key.
+func (s Spec) Normalize() (Spec, error) {
+	out := Spec{Kind: s.Kind, CSV: s.CSV}
+	switch s.Kind {
+	case KindCharac:
+		if s.Exp != nil || s.TestFlow != nil {
+			return Spec{}, fmt.Errorf("%w: kind %q with mismatched sub-spec", ErrBadSpec, s.Kind)
+		}
+		c := CharacSpec{}
+		if s.Charac != nil {
+			c = *s.Charac
+		}
+		var err error
+		if c.Defects, err = normalizeDefects(c.Defects); err != nil {
+			return Spec{}, err
+		}
+		if c.CaseStudies, err = normalizeCaseStudies(c.CaseStudies); err != nil {
+			return Spec{}, err
+		}
+		out.Charac = &c
+	case KindExp:
+		if s.Charac != nil || s.TestFlow != nil {
+			return Spec{}, fmt.Errorf("%w: kind %q with mismatched sub-spec", ErrBadSpec, s.Kind)
+		}
+		if s.Exp == nil {
+			return Spec{}, fmt.Errorf("%w: kind %q requires an exp sub-spec with samples", ErrBadSpec, s.Kind)
+		}
+		e := *s.Exp
+		if e.Samples < 1 {
+			return Spec{}, fmt.Errorf("%w: exp.samples = %d, want >= 1", ErrBadSpec, e.Samples)
+		}
+		if e.Samples > 1<<20 {
+			return Spec{}, fmt.Errorf("%w: exp.samples = %d exceeds the 1Mi cap", ErrBadSpec, e.Samples)
+		}
+		if e.Seed == 0 {
+			e.Seed = defaultSeed
+		}
+		out.Exp = &e
+	case KindTestFlow:
+		if s.Charac != nil || s.Exp != nil {
+			return Spec{}, fmt.Errorf("%w: kind %q with mismatched sub-spec", ErrBadSpec, s.Kind)
+		}
+		f := TestFlowSpec{}
+		if s.TestFlow != nil {
+			f = *s.TestFlow
+		}
+		var err error
+		if f.Defects, err = normalizeDefects(f.Defects); err != nil {
+			return Spec{}, err
+		}
+		out.TestFlow = &f
+	default:
+		return Spec{}, fmt.Errorf("%w: unknown kind %q", ErrBadSpec, s.Kind)
+	}
+	return out, nil
+}
+
+// normalizeDefects validates, sorts and dedupes a defect list; empty
+// expands to the 17 Table II defects so the default and its explicit
+// spelling share one cache key.
+func normalizeDefects(ds []int) ([]int, error) {
+	if len(ds) == 0 {
+		cands := regulator.DRFCandidates()
+		out := make([]int, len(cands))
+		for i, d := range cands {
+			out[i] = int(d)
+		}
+		return out, nil
+	}
+	seen := map[int]bool{}
+	out := make([]int, 0, len(ds))
+	for _, n := range ds {
+		if !regulator.Defect(n).Valid() {
+			return nil, fmt.Errorf("%w: invalid defect %d", ErrBadSpec, n)
+		}
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// normalizeCaseStudies validates, sorts and dedupes case-study indices;
+// empty expands to all five Table II columns.
+func normalizeCaseStudies(cs []int) ([]int, error) {
+	if len(cs) == 0 {
+		return []int{1, 2, 3, 4, 5}, nil
+	}
+	seen := map[int]bool{}
+	out := make([]int, 0, len(cs))
+	for _, n := range cs {
+		if n < 1 || n > 5 {
+			return nil, fmt.Errorf("%w: invalid case study %d (want 1..5)", ErrBadSpec, n)
+		}
+		if !seen[n] {
+			seen[n] = true
+			out = append(out, n)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Canonical returns the canonical serialization of the spec: the JSON of
+// its normalized form. It is the store's content address, so its bytes
+// must stay stable across releases (golden-tested in testdata/jobs.json).
+func (s Spec) Canonical() ([]byte, error) {
+	n, err := s.Normalize()
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(n)
+}
+
+// Key returns the result-store key of the spec.
+func (s Spec) Key() (string, error) {
+	c, err := s.Canonical()
+	if err != nil {
+		return "", err
+	}
+	return store.Key(c), nil
+}

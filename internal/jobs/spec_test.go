@@ -1,0 +1,115 @@
+package jobs
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"testing"
+)
+
+// TestCanonicalGolden pins the canonical job-spec serialization to
+// testdata/jobs.json. The canonical bytes are the result store's cache
+// key: if this test fails, the serialization drifted and every cached
+// result would be silently invalidated — change the golden file only
+// with a deliberate cache-versioning decision.
+func TestCanonicalGolden(t *testing.T) {
+	data, err := os.ReadFile("testdata/jobs.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cases []struct {
+		Name      string          `json:"name"`
+		Input     json.RawMessage `json:"input"`
+		Canonical string          `json:"canonical"`
+		Key       string          `json:"key"`
+	}
+	if err := json.Unmarshal(data, &cases); err != nil {
+		t.Fatal(err)
+	}
+	if len(cases) == 0 {
+		t.Fatal("golden file holds no cases")
+	}
+	for _, c := range cases {
+		t.Run(c.Name, func(t *testing.T) {
+			var s Spec
+			if err := json.Unmarshal(c.Input, &s); err != nil {
+				t.Fatal(err)
+			}
+			canon, err := s.Canonical()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(canon) != c.Canonical {
+				t.Errorf("canonical drifted:\n got %s\nwant %s", canon, c.Canonical)
+			}
+			key, err := s.Key()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if key != c.Key {
+				t.Errorf("key drifted: got %s want %s", key, c.Key)
+			}
+		})
+	}
+}
+
+func TestCanonicalIsIdempotent(t *testing.T) {
+	s := Spec{Kind: KindCharac, Charac: &CharacSpec{Defects: []int{19, 16}}}
+	n, err := s.Normalize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, err := s.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, err := n.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(c1) != string(c2) {
+		t.Errorf("Canonical(Normalize(s)) != Canonical(s):\n%s\n%s", c2, c1)
+	}
+}
+
+func TestNormalizeRejectsBadSpecs(t *testing.T) {
+	bad := []Spec{
+		{Kind: "bogus"},
+		{},
+		{Kind: KindCharac, Exp: &ExpSpec{Samples: 1}},
+		{Kind: KindExp},
+		{Kind: KindExp, Exp: &ExpSpec{Samples: 0}},
+		{Kind: KindExp, Exp: &ExpSpec{Samples: 1 << 21}},
+		{Kind: KindExp, Exp: &ExpSpec{Samples: 1}, Charac: &CharacSpec{}},
+		{Kind: KindCharac, Charac: &CharacSpec{Defects: []int{33}}},
+		{Kind: KindCharac, Charac: &CharacSpec{Defects: []int{0}}},
+		{Kind: KindCharac, Charac: &CharacSpec{CaseStudies: []int{6}}},
+		{Kind: KindTestFlow, TestFlow: &TestFlowSpec{Defects: []int{-1}}},
+		{Kind: KindTestFlow, Charac: &CharacSpec{}},
+	}
+	for i, s := range bad {
+		if _, err := s.Normalize(); !errors.Is(err, ErrBadSpec) {
+			t.Errorf("case %d: err = %v, want ErrBadSpec", i, err)
+		}
+	}
+}
+
+func TestEquivalentSpecsShareKeys(t *testing.T) {
+	a := Spec{Kind: KindExp, Exp: &ExpSpec{Samples: 64}}
+	b := Spec{Kind: KindExp, Exp: &ExpSpec{Samples: 64, Seed: 2013}}
+	ka, err := a.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := b.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Error("default seed and explicit 2013 must share a cache key")
+	}
+	c := Spec{Kind: KindExp, Exp: &ExpSpec{Samples: 64, Seed: 7}}
+	if kc, _ := c.Key(); kc == ka {
+		t.Error("different seeds must not share a cache key")
+	}
+}

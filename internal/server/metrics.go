@@ -1,0 +1,88 @@
+package server
+
+import (
+	"fmt"
+	"io"
+
+	"sramtest/internal/jobs"
+	"sramtest/internal/store"
+)
+
+// writeMetrics renders the Prometheus text exposition of the daemon:
+// job-state counters, cache hit ratio, sweep task throughput, and the
+// job-latency histogram.
+func writeMetrics(w io.Writer, mgr *jobs.Manager, st *store.Store) {
+	s := mgr.Stats()
+
+	fmt.Fprintln(w, "# HELP sramd_jobs Current job records by state.")
+	fmt.Fprintln(w, "# TYPE sramd_jobs gauge")
+	fmt.Fprintf(w, "sramd_jobs{state=\"queued\"} %d\n", s.Queued)
+	fmt.Fprintf(w, "sramd_jobs{state=\"running\"} %d\n", s.Running)
+	fmt.Fprintf(w, "sramd_jobs{state=\"done\"} %d\n", s.Done)
+	fmt.Fprintf(w, "sramd_jobs{state=\"failed\"} %d\n", s.Failed)
+	fmt.Fprintf(w, "sramd_jobs{state=\"canceled\"} %d\n", s.Canceled)
+
+	fmt.Fprintln(w, "# HELP sramd_cache_hits_total Submissions answered from the result store.")
+	fmt.Fprintln(w, "# TYPE sramd_cache_hits_total counter")
+	fmt.Fprintf(w, "sramd_cache_hits_total %d\n", s.CacheHits)
+	fmt.Fprintln(w, "# HELP sramd_cache_misses_total Submissions that had to compute.")
+	fmt.Fprintln(w, "# TYPE sramd_cache_misses_total counter")
+	fmt.Fprintf(w, "sramd_cache_misses_total %d\n", s.CacheMisses)
+	fmt.Fprintln(w, "# HELP sramd_cache_hit_ratio Hits over lookups since start.")
+	fmt.Fprintln(w, "# TYPE sramd_cache_hit_ratio gauge")
+	ratio := 0.0
+	if lookups := s.CacheHits + s.CacheMisses; lookups > 0 {
+		ratio = float64(s.CacheHits) / float64(lookups)
+	}
+	fmt.Fprintf(w, "sramd_cache_hit_ratio %g\n", ratio)
+
+	if st != nil {
+		_, _, evictions := st.Stats()
+		fmt.Fprintln(w, "# HELP sramd_store_entries Entries currently stored.")
+		fmt.Fprintln(w, "# TYPE sramd_store_entries gauge")
+		fmt.Fprintf(w, "sramd_store_entries %d\n", st.Len())
+		fmt.Fprintln(w, "# HELP sramd_store_evictions_total LRU evictions since start.")
+		fmt.Fprintln(w, "# TYPE sramd_store_evictions_total counter")
+		fmt.Fprintf(w, "sramd_store_evictions_total %d\n", evictions)
+	}
+
+	fmt.Fprintln(w, "# HELP sramd_sweep_tasks_done_total Sweep-engine tasks completed across all jobs.")
+	fmt.Fprintln(w, "# TYPE sramd_sweep_tasks_done_total counter")
+	fmt.Fprintf(w, "sramd_sweep_tasks_done_total %d\n", s.TasksDone)
+	fmt.Fprintln(w, "# HELP sramd_sweep_tasks_total Sweep-engine tasks scheduled across all jobs.")
+	fmt.Fprintln(w, "# TYPE sramd_sweep_tasks_total counter")
+	fmt.Fprintf(w, "sramd_sweep_tasks_total %d\n", s.TasksTotal)
+
+	fmt.Fprintln(w, "# HELP sramd_job_duration_seconds Job execution latency.")
+	fmt.Fprintln(w, "# TYPE sramd_job_duration_seconds histogram")
+	cum := int64(0)
+	for i, le := range s.DurationBuckets {
+		cum += s.DurationCounts[i]
+		fmt.Fprintf(w, "sramd_job_duration_seconds_bucket{le=\"%g\"} %d\n", le, cum)
+	}
+	cum += s.DurationCounts[len(s.DurationBuckets)]
+	fmt.Fprintf(w, "sramd_job_duration_seconds_bucket{le=\"+Inf\"} %d\n", cum)
+	fmt.Fprintf(w, "sramd_job_duration_seconds_sum %g\n", s.DurationSum)
+	fmt.Fprintf(w, "sramd_job_duration_seconds_count %d\n", s.DurationCount)
+}
+
+// snapshot is the expvar view: the same numbers as /metrics, as a map.
+func snapshot(mgr *jobs.Manager, st *store.Store) map[string]any {
+	s := mgr.Stats()
+	out := map[string]any{
+		"jobs_queued":      s.Queued,
+		"jobs_running":     s.Running,
+		"jobs_done":        s.Done,
+		"jobs_failed":      s.Failed,
+		"jobs_canceled":    s.Canceled,
+		"cache_hits":       s.CacheHits,
+		"cache_misses":     s.CacheMisses,
+		"sweep_tasks_done": s.TasksDone,
+		"job_seconds_sum":  s.DurationSum,
+		"jobs_measured":    s.DurationCount,
+	}
+	if st != nil {
+		out["store_entries"] = st.Len()
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+// Package server exposes the jobs subsystem as a JSON HTTP API — the
+// serving layer of cmd/sramd:
+//
+//	POST   /v1/jobs             submit a job spec (202; 200 on cache hit)
+//	GET    /v1/jobs             list job records
+//	GET    /v1/jobs/{id}        poll status and progress
+//	GET    /v1/jobs/{id}/result fetch the result bytes (CLI-identical)
+//	DELETE /v1/jobs/{id}        cancel an active job / forget a finished one
+//	GET    /healthz             liveness probe
+//	GET    /metrics             Prometheus-text counters and histograms
+//
+// Results are exactly the bytes the CLI tools print, so `curl .../result`
+// is interchangeable with running defectchar/drv/flow locally.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"expvar"
+	"net/http"
+	"sync"
+
+	"sramtest/internal/jobs"
+	"sramtest/internal/store"
+)
+
+// maxSpecBytes bounds a submitted spec; real specs are tiny.
+const maxSpecBytes = 1 << 20
+
+// Server routes the sramd HTTP API onto a job manager and its store.
+type Server struct {
+	mgr *jobs.Manager
+	st  *store.Store // may be nil (no caching)
+	mux *http.ServeMux
+}
+
+// New builds the API handler around mgr; st (the manager's store, may be
+// nil) is only consulted for metrics.
+func New(mgr *jobs.Manager, st *store.Store) *Server {
+	s := &Server{mgr: mgr, st: st, mux: http.NewServeMux()}
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDelete)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// errorBody is the JSON shape of every non-2xx response.
+type errorBody struct {
+	Error string `json:"error"`
+	State string `json:"state,omitempty"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, errorBody{Error: msg})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec jobs.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "malformed spec: "+err.Error())
+		return
+	}
+	st, err := s.mgr.Submit(spec)
+	switch {
+	case errors.Is(err, jobs.ErrBadSpec):
+		writeError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, jobs.ErrQueueFull):
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case errors.Is(err, jobs.ErrShuttingDown):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	case err != nil:
+		writeError(w, http.StatusInternalServerError, err.Error())
+	case st.Cached:
+		writeJSON(w, http.StatusOK, st) // cache hit: already done
+	default:
+		writeJSON(w, http.StatusAccepted, st)
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.mgr.List())
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.mgr.Get(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	res, st, err := s.mgr.Result(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	switch st.State {
+	case jobs.StateDone:
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = w.Write(res)
+	case jobs.StateFailed:
+		writeJSON(w, http.StatusInternalServerError, errorBody{Error: st.Error, State: string(st.State)})
+	case jobs.StateCanceled:
+		writeJSON(w, http.StatusGone, errorBody{Error: "job canceled", State: string(st.State)})
+	default: // queued or running: not ready yet
+		writeJSON(w, http.StatusConflict, errorBody{Error: "job not finished", State: string(st.State)})
+	}
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	st, err := s.mgr.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	writeMetrics(w, s.mgr, s.st)
+}
+
+// publishOnce guards the process-global expvar name.
+var publishOnce sync.Once
+
+// PublishExpvar exposes the manager/store snapshot under the expvar name
+// "sramd" (for the stdlib /debug/vars endpoint). Safe to call once per
+// process; later calls are no-ops.
+func (s *Server) PublishExpvar() {
+	publishOnce.Do(func() {
+		expvar.Publish("sramd", expvar.Func(func() any {
+			return snapshot(s.mgr, s.st)
+		}))
+	})
+}

@@ -1,0 +1,187 @@
+// Package store is the content-addressed result store of the sramd
+// service: results are keyed by the SHA-256 of the canonical job spec
+// (internal/jobs), so a byte-identical re-submission of a job is a cache
+// hit and never recomputes the sweep. The determinism contract of the
+// sweep engine makes this sound — a spec fully determines its result.
+//
+// The store is bounded by an LRU policy and can optionally persist every
+// entry to a directory as one JSON file per key, surviving restarts.
+package store
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Key addresses content: the hex SHA-256 of the canonical job spec.
+func Key(canonicalSpec []byte) string {
+	sum := sha256.Sum256(canonicalSpec)
+	return hex.EncodeToString(sum[:])
+}
+
+// Entry is one stored result. Result holds the exact bytes the job
+// produced (the CLI-identical report); Spec keeps the canonical spec for
+// introspection of persisted files.
+type Entry struct {
+	Key     string          `json:"key"`
+	Spec    json.RawMessage `json:"spec,omitempty"`
+	Result  []byte          `json:"result"`
+	Created time.Time       `json:"created"`
+}
+
+// Store is a concurrency-safe LRU result store with optional disk
+// persistence. The zero value is not usable; call Open.
+type Store struct {
+	mu      sync.Mutex
+	cap     int
+	dir     string
+	order   *list.List // front = most recently used; values are *Entry
+	entries map[string]*list.Element
+
+	hits, misses, evictions int64
+}
+
+// Open creates a store holding at most capacity entries (<= 0 means 256).
+// A non-empty dir enables persistence: existing entries are loaded from
+// it (oldest first, so the LRU order is sensible across restarts) and
+// every Put/eviction is mirrored to disk.
+func Open(dir string, capacity int) (*Store, error) {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	s := &Store{
+		cap:     capacity,
+		dir:     dir,
+		order:   list.New(),
+		entries: map[string]*list.Element{},
+	}
+	if dir == "" {
+		return s, nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	names, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	var loaded []*Entry
+	for _, name := range names {
+		data, err := os.ReadFile(name)
+		if err != nil {
+			continue // a torn write must not poison startup
+		}
+		var e Entry
+		if json.Unmarshal(data, &e) != nil || e.Key == "" {
+			continue
+		}
+		if filepath.Base(name) != e.Key+".json" {
+			continue // foreign or renamed file
+		}
+		loaded = append(loaded, &e)
+	}
+	sort.Slice(loaded, func(i, j int) bool { return loaded[i].Created.Before(loaded[j].Created) })
+	for _, e := range loaded {
+		s.insert(e) // oldest inserted first ends up least recently used
+	}
+	return s, nil
+}
+
+// Get returns the stored result for key and marks it most recently used.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	s.order.MoveToFront(el)
+	return el.Value.(*Entry).Result, true
+}
+
+// Put stores a result under key, evicting the least recently used entry
+// when over capacity. When persistence is on, the entry is written to
+// <dir>/<key>.json before the in-memory insert; a failed write is
+// reported but the in-memory entry still lands (the store degrades to
+// memory-only rather than losing the result).
+func (s *Store) Put(key string, spec json.RawMessage, result []byte) error {
+	e := &Entry{Key: key, Spec: spec, Result: result, Created: time.Now().UTC()}
+	var werr error
+	if s.dir != "" {
+		if !validKey(key) {
+			return fmt.Errorf("store: invalid key %q", key)
+		}
+		data, err := json.Marshal(e)
+		if err != nil {
+			return fmt.Errorf("store: %w", err)
+		}
+		tmp := filepath.Join(s.dir, key+".json.tmp")
+		dst := filepath.Join(s.dir, key+".json")
+		if werr = os.WriteFile(tmp, data, 0o644); werr == nil {
+			werr = os.Rename(tmp, dst)
+		}
+		if werr != nil {
+			werr = fmt.Errorf("store: persist %s: %w", key, werr)
+		}
+	}
+	s.mu.Lock()
+	s.insert(e)
+	s.mu.Unlock()
+	return werr
+}
+
+// insert adds or refreshes an entry and applies the LRU bound.
+// Callers hold s.mu (Open's single-goroutine setup is exempt).
+func (s *Store) insert(e *Entry) {
+	if el, ok := s.entries[e.Key]; ok {
+		el.Value = e
+		s.order.MoveToFront(el)
+		return
+	}
+	s.entries[e.Key] = s.order.PushFront(e)
+	for s.order.Len() > s.cap {
+		el := s.order.Back()
+		old := el.Value.(*Entry)
+		s.order.Remove(el)
+		delete(s.entries, old.Key)
+		s.evictions++
+		if s.dir != "" && validKey(old.Key) {
+			os.Remove(filepath.Join(s.dir, old.Key+".json"))
+		}
+	}
+}
+
+// Len reports the number of stored entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len()
+}
+
+// Stats reports lifetime hit/miss/eviction counters.
+func (s *Store) Stats() (hits, misses, evictions int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.hits, s.misses, s.evictions
+}
+
+// validKey guards the file name: keys are hex digests, never paths.
+func validKey(key string) bool {
+	if key == "" || len(key) > 128 {
+		return false
+	}
+	return strings.IndexFunc(key, func(r rune) bool {
+		return !(r >= '0' && r <= '9' || r >= 'a' && r <= 'f')
+	}) == -1
+}

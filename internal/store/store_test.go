@@ -1,0 +1,169 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+func TestKeyIsStableHex(t *testing.T) {
+	k := Key([]byte(`{"kind":"charac"}`))
+	if len(k) != 64 || !validKey(k) {
+		t.Fatalf("Key = %q, want 64 hex chars", k)
+	}
+	if k != Key([]byte(`{"kind":"charac"}`)) {
+		t.Error("Key is not deterministic")
+	}
+	if k == Key([]byte(`{"kind":"exp"}`)) {
+		t.Error("distinct specs must not collide on the obvious case")
+	}
+}
+
+func TestGetHitMissAndStats(t *testing.T) {
+	s, err := Open("", 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("aa"); ok {
+		t.Fatal("hit on empty store")
+	}
+	if err := s.Put("aa", []byte(`{}`), []byte("result-aa")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("aa")
+	if !ok || !bytes.Equal(got, []byte("result-aa")) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	hits, misses, _ := s.Stats()
+	if hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	s, err := Open("", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Put(fmt.Sprintf("%02d", i), nil, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch 00 so 01 becomes least recently used.
+	if _, ok := s.Get("00"); !ok {
+		t.Fatal("missing 00")
+	}
+	if err := s.Put("03", nil, []byte{3}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("01"); ok {
+		t.Error("01 should have been evicted as LRU")
+	}
+	for _, k := range []string{"00", "02", "03"} {
+		if _, ok := s.Get(k); !ok {
+			t.Errorf("%s evicted, want kept", k)
+		}
+	}
+	if s.Len() != 3 {
+		t.Errorf("Len = %d, want 3", s.Len())
+	}
+	if _, _, ev := s.Stats(); ev != 1 {
+		t.Errorf("evictions = %d, want 1", ev)
+	}
+}
+
+func TestPersistenceRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	key := Key([]byte("spec-1"))
+	s, err := Open(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	result := []byte("Table II\n| Df16 | 1.446k |\n")
+	if err := s.Put(key, []byte(`{"kind":"charac"}`), result); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, key+".json")); err != nil {
+		t.Fatalf("entry file not written: %v", err)
+	}
+
+	// A fresh store over the same directory serves the same bytes.
+	s2, err := Open(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s2.Get(key)
+	if !ok || !bytes.Equal(got, result) {
+		t.Fatalf("round-trip Get = %q, %v; want original bytes", got, ok)
+	}
+}
+
+func TestPersistedEvictionRemovesFile(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k1, k2 := Key([]byte("one")), Key([]byte("two"))
+	if err := s.Put(k1, nil, []byte("r1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put(k2, nil, []byte("r2")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, k1+".json")); !os.IsNotExist(err) {
+		t.Errorf("evicted entry file still on disk: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, k2+".json")); err != nil {
+		t.Errorf("surviving entry file missing: %v", err)
+	}
+}
+
+func TestReloadPreservesLRUOrderByCreation(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	old, newer := Key([]byte("old")), Key([]byte("newer"))
+	if err := s.Put(old, nil, []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(5 * time.Millisecond) // distinct Created stamps
+	if err := s.Put(newer, nil, []byte("newer")); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, err := Open(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Capacity 2, both fit; adding a third must evict the oldest.
+	if err := s2.Put(Key([]byte("third")), nil, []byte("third")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s2.Get(old); ok {
+		t.Error("oldest persisted entry should be evicted first after reload")
+	}
+	if _, ok := s2.Get(newer); !ok {
+		t.Error("newer persisted entry should survive")
+	}
+}
+
+func TestCorruptFileSkippedOnOpen(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, "zzzz.json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir, 4)
+	if err != nil {
+		t.Fatalf("Open must tolerate corrupt files: %v", err)
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d, want 0", s.Len())
+	}
+}

@@ -11,6 +11,14 @@
 // are never aborted early on failure (only by the caller's context), so
 // the reported error does not depend on scheduling.
 //
+// Cancellation and progress: the context-first variants (MapCtx,
+// ForEachCtx, MapWorkerCtx) stop scheduling not-yet-started tasks as
+// soon as the context is canceled or times out; already-running tasks
+// complete, preserving the determinism contract for every task that did
+// run. A *Progress carried by the context (ContextWithProgress) is
+// tallied by the engine itself — long-running callers poll it for
+// tasks-done / tasks-total without touching the task functions.
+//
 // The default worker count is GOMAXPROCS, overridable per process with
 // SetDefaultWorkers (the cmd tools' -workers flag), per environment with
 // SRAMTEST_WORKERS, and per call with the Workers option.
@@ -81,6 +89,37 @@ func WithContext(ctx context.Context) Option {
 	}
 }
 
+// Progress is a concurrency-safe tally of sweep task completion, meant
+// to be polled while sweeps run (the jobs subsystem reports it as
+// "tasks done / total"). Attach one to a context with
+// ContextWithProgress; every engine call under that context adds its
+// task count to the total at entry and bumps done after each task it
+// actually executes. On cancellation, done stays below total — the gap
+// is exactly the tasks that were never scheduled.
+type Progress struct {
+	done  atomic.Int64
+	total atomic.Int64
+}
+
+// Snapshot returns the tasks completed and the tasks announced so far.
+func (p *Progress) Snapshot() (done, total int64) {
+	return p.done.Load(), p.total.Load()
+}
+
+type progressKey struct{}
+
+// ContextWithProgress returns a context carrying p; sweeps run under it
+// report their task completion into p.
+func ContextWithProgress(ctx context.Context, p *Progress) context.Context {
+	return context.WithValue(ctx, progressKey{}, p)
+}
+
+// progressFrom extracts the context's progress tally, if any.
+func progressFrom(ctx context.Context) *Progress {
+	p, _ := ctx.Value(progressKey{}).(*Progress)
+	return p
+}
+
 // PanicError is a recovered task panic, converted into an ordinary
 // error so one bad grid point cannot take down a whole sweep.
 type PanicError struct {
@@ -94,10 +133,16 @@ func (e *PanicError) Error() string {
 }
 
 // Map runs fn(i) for every i in [0, n) over a bounded worker pool and
-// returns the results in task order. See MapWorker for the error and
+// returns the results in task order. See MapWorkerCtx for the error and
 // determinism semantics.
 func Map[T any](n int, fn func(i int) (T, error), opts ...Option) ([]T, error) {
-	return MapWorker(n,
+	return MapCtx(context.Background(), n, fn, opts...)
+}
+
+// MapCtx is Map under a context: tasks not yet started when ctx is
+// canceled (or its deadline passes) are skipped with ctx.Err().
+func MapCtx[T any](ctx context.Context, n int, fn func(i int) (T, error), opts ...Option) ([]T, error) {
+	return MapWorkerCtx(ctx, n,
 		func() struct{} { return struct{}{} },
 		func(_ struct{}, i int) (T, error) { return fn(i) },
 		opts...)
@@ -105,18 +150,30 @@ func Map[T any](n int, fn func(i int) (T, error), opts ...Option) ([]T, error) {
 
 // ForEach is Map without per-task results.
 func ForEach(n int, fn func(i int) error, opts ...Option) error {
-	_, err := Map(n, func(i int) (struct{}, error) { return struct{}{}, fn(i) }, opts...)
+	return ForEachCtx(context.Background(), n, fn, opts...)
+}
+
+// ForEachCtx is ForEach under a context.
+func ForEachCtx(ctx context.Context, n int, fn func(i int) error, opts ...Option) error {
+	_, err := MapCtx(ctx, n, func(i int) (struct{}, error) { return struct{}{}, fn(i) }, opts...)
 	return err
 }
 
-// MapWorker is Map with per-worker state: newState runs once on each
+// MapWorker is MapWorkerCtx under context.Background().
+func MapWorker[S, T any](n int, newState func() S, fn func(state S, i int) (T, error), opts ...Option) ([]T, error) {
+	return MapWorkerCtx(context.Background(), n, newState, fn, opts...)
+}
+
+// MapWorkerCtx is Map with per-worker state: newState runs once on each
 // worker goroutine and its value is handed to every task that worker
 // claims. Results are returned in task order regardless of scheduling.
 // All tasks run even when some fail; the error returned is that of the
 // lowest-numbered failing task (a panic surfaces as *PanicError), with
-// the partial results alongside it.
-func MapWorker[S, T any](n int, newState func() S, fn func(state S, i int) (T, error), opts ...Option) ([]T, error) {
-	cfg := config{ctx: context.Background()}
+// the partial results alongside it. When ctx is canceled, tasks not yet
+// started are skipped with ctx.Err() (a WithContext option, if also
+// given, overrides ctx).
+func MapWorkerCtx[S, T any](ctx context.Context, n int, newState func() S, fn func(state S, i int) (T, error), opts ...Option) ([]T, error) {
+	cfg := config{ctx: ctx}
 	for _, o := range opts {
 		o(&cfg)
 	}
@@ -132,6 +189,10 @@ func MapWorker[S, T any](n int, newState func() S, fn func(state S, i int) (T, e
 		return results, nil
 	}
 	errs := make([]error, n)
+	progress := progressFrom(cfg.ctx)
+	if progress != nil {
+		progress.total.Add(int64(n))
+	}
 
 	var next atomic.Int64
 	var wg sync.WaitGroup
@@ -150,6 +211,9 @@ func MapWorker[S, T any](n int, newState func() S, fn func(state S, i int) (T, e
 					continue
 				}
 				results[i], errs[i] = protect(state, i, fn)
+				if progress != nil {
+					progress.done.Add(1)
+				}
 			}
 		}()
 	}

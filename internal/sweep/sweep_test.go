@@ -95,6 +95,82 @@ func TestMapContextCancel(t *testing.T) {
 	}
 }
 
+func TestMapCtxCancelMidSweep(t *testing.T) {
+	// Cancel after the third task: tasks already started finish, tasks
+	// not yet scheduled are skipped with ctx.Err(), and the results of
+	// the tasks that did run are still delivered.
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	out, err := MapCtx(ctx, 100, func(i int) (int, error) {
+		if ran.Add(1) == 3 {
+			cancel()
+		}
+		return i, nil
+	}, Workers(1))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := ran.Load(); n != 3 {
+		t.Errorf("ran %d tasks after cancel, want exactly 3 (workers=1)", n)
+	}
+	for i := 0; i < 3; i++ {
+		if out[i] != i {
+			t.Errorf("out[%d] = %d, completed results must survive cancel", i, out[i])
+		}
+	}
+}
+
+func TestForEachCtxDeadline(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already expired: nothing should run
+	var ran atomic.Int64
+	err := ForEachCtx(ctx, 50, func(i int) error { ran.Add(1); return nil }, Workers(4))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran.Load() != 0 {
+		t.Errorf("%d tasks ran under a dead context", ran.Load())
+	}
+}
+
+func TestProgressTally(t *testing.T) {
+	var p Progress
+	ctx := ContextWithProgress(context.Background(), &p)
+	if _, err := MapCtx(ctx, 40, func(i int) (int, error) { return i, nil }, Workers(4)); err != nil {
+		t.Fatal(err)
+	}
+	if done, total := p.Snapshot(); done != 40 || total != 40 {
+		t.Errorf("Snapshot = %d/%d, want 40/40", done, total)
+	}
+	// A second sweep under the same context accumulates.
+	if err := ForEachCtx(ctx, 10, func(i int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if done, total := p.Snapshot(); done != 50 || total != 50 {
+		t.Errorf("after second sweep: %d/%d, want 50/50", done, total)
+	}
+}
+
+func TestProgressStopsShortOnCancel(t *testing.T) {
+	var p Progress
+	ctx, cancel := context.WithCancel(context.Background())
+	ctx = ContextWithProgress(ctx, &p)
+	var ran atomic.Int64
+	_, _ = MapCtx(ctx, 100, func(i int) (int, error) {
+		if ran.Add(1) == 5 {
+			cancel()
+		}
+		return i, nil
+	}, Workers(1))
+	done, total := p.Snapshot()
+	if total != 100 {
+		t.Errorf("total = %d, want 100", total)
+	}
+	if done != 5 {
+		t.Errorf("done = %d, want 5 — skipped tasks must not count as done", done)
+	}
+}
+
 func TestMapWorkerState(t *testing.T) {
 	var states atomic.Int64
 	const workers = 4

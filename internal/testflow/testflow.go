@@ -6,6 +6,7 @@
 package testflow
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -71,6 +72,10 @@ type MeasureOptions struct {
 	// Workers bounds the sweep-engine concurrency of the measurement;
 	// 0 uses the process default. The result never depends on it.
 	Workers int
+	// Ctx, when non-nil, cancels the measurement: conditions not yet
+	// measured when Ctx is done are skipped and Measure returns
+	// Ctx.Err(). It never affects completed results.
+	Ctx context.Context
 }
 
 // DefaultMeasureOptions mirrors the paper's setup.
@@ -91,14 +96,19 @@ func DefaultMeasureOptions() MeasureOptions {
 // memoized, so re-measuring (or re-probing a subset) is free within a
 // process. The result is identical for any worker count.
 func Measure(opt MeasureOptions) ([]Sensitivity, error) {
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	tcs := AllTestConditions()
-	return sweep.Map(len(tcs), func(i int) (Sensitivity, error) {
+	return sweep.MapCtx(ctx, len(tcs), func(i int) (Sensitivity, error) {
 		tc := tcs[i]
 		level := tc.Level
 		copt := charac.Options{
 			Dwell:  opt.Dwell,
 			ResTol: opt.ResTol,
 			Level:  &level,
+			Ctx:    opt.Ctx,
 		}
 		cond := process.Condition{Corner: opt.Corner, VDD: tc.VDD, TempC: opt.TempC}
 		ff, err := charac.FaultFreeVreg(cond, copt)
@@ -113,6 +123,10 @@ func Measure(opt MeasureOptions) ([]Sensitivity, error) {
 		rs, errs := charac.MinResistancesAt(opt.Defects, opt.CS, cond, copt)
 		for j, d := range opt.Defects {
 			if errs[j] != nil {
+				// Cancellation must not masquerade as "undetectable".
+				if cerr := ctx.Err(); cerr != nil {
+					return Sensitivity{}, cerr
+				}
 				s.MinRes[d] = math.Inf(1)
 				continue
 			}

@@ -1,0 +1,91 @@
+#!/bin/sh
+# serve-smoke.sh — end-to-end smoke test of the sramd daemon, as run by
+# CI and `make serve-smoke`: build the daemon, start it, submit a tiny
+# Table II job, poll it to completion, check the result, /healthz and
+# /metrics, and shut the daemon down cleanly.
+#
+# Requires only a POSIX shell, curl and go. Exits non-zero on any
+# failure and prints the daemon log.
+set -eu
+
+ADDR="${SRAMD_ADDR:-127.0.0.1:8347}"
+BASE="http://$ADDR"
+TMP="$(mktemp -d)"
+LOG="$TMP/sramd.log"
+PID=""
+
+fail() {
+	echo "serve-smoke: FAIL: $*" >&2
+	echo "--- daemon log ---" >&2
+	cat "$LOG" >&2 || true
+	exit 1
+}
+
+cleanup() {
+	if [ -n "$PID" ] && kill -0 "$PID" 2>/dev/null; then
+		kill -TERM "$PID" 2>/dev/null || true
+		wait "$PID" 2>/dev/null || true
+	fi
+	rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "serve-smoke: building sramd"
+go build -o "$TMP/sramd" ./cmd/sramd
+
+echo "serve-smoke: starting sramd on $ADDR"
+"$TMP/sramd" -addr "$ADDR" -store-dir "$TMP/store" >"$LOG" 2>&1 &
+PID=$!
+
+# Wait for /healthz to come up.
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -lt 50 ] || fail "daemon never became healthy"
+	kill -0 "$PID" 2>/dev/null || fail "daemon exited early"
+	sleep 0.2
+done
+[ "$(curl -fsS "$BASE/healthz")" = "ok" ] || fail "unexpected /healthz body"
+
+echo "serve-smoke: submitting a tiny Table II job"
+SUBMIT=$(curl -fsS -X POST "$BASE/v1/jobs" \
+	-d '{"kind":"charac","charac":{"defects":[16],"caseStudies":[1]}}')
+ID=$(printf '%s' "$SUBMIT" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$ID" ] || fail "no job id in submit response: $SUBMIT"
+echo "serve-smoke: job $ID accepted"
+
+# Poll to a terminal state (the tiny job takes a few seconds).
+i=0
+while :; do
+	STATUS=$(curl -fsS "$BASE/v1/jobs/$ID")
+	STATE=$(printf '%s' "$STATUS" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+	case "$STATE" in
+	done) break ;;
+	failed | canceled) fail "job ended in state $STATE: $STATUS" ;;
+	esac
+	i=$((i + 1))
+	[ "$i" -lt 300 ] || fail "job did not finish in time: $STATUS"
+	sleep 0.5
+done
+echo "serve-smoke: job done ($STATUS)"
+
+RESULT=$(curl -fsS "$BASE/v1/jobs/$ID/result")
+printf '%s' "$RESULT" | grep -q "Table II" || fail "result is not a Table II report: $RESULT"
+
+# An identical re-submission must be a cache hit (HTTP 200, cached:true).
+CODE=$(curl -s -o "$TMP/resubmit.json" -w '%{http_code}' -X POST "$BASE/v1/jobs" \
+	-d '{"kind":"charac","charac":{"defects":[16],"caseStudies":[1]}}')
+[ "$CODE" = "200" ] || fail "re-submission returned HTTP $CODE, want 200 (cache hit)"
+grep -q '"cached":true' "$TMP/resubmit.json" || fail "re-submission not cached: $(cat "$TMP/resubmit.json")"
+
+METRICS=$(curl -fsS "$BASE/metrics")
+printf '%s\n' "$METRICS" | grep -q '^sramd_jobs{state="done"} ' || fail "no done-jobs gauge in /metrics"
+printf '%s\n' "$METRICS" | grep -q '^sramd_cache_hits_total 1$' || fail "cache hit not visible in /metrics"
+printf '%s\n' "$METRICS" | grep -q '^sramd_job_duration_seconds_count ' || fail "no latency histogram in /metrics"
+
+echo "serve-smoke: shutting down"
+kill -TERM "$PID"
+wait "$PID" || fail "daemon exited non-zero on SIGTERM"
+PID=""
+
+echo "serve-smoke: PASS"
