@@ -4,10 +4,11 @@
 #   make race         race-enabled test run
 #   make bench        one iteration of every benchmark (smoke)
 #   make serve-smoke  end-to-end sramd daemon smoke test
+#   make diag-smoke   end-to-end diagnose CLI smoke test
 
 GO ?= go
 
-.PHONY: verify build vet fmt test race bench serve-smoke
+.PHONY: verify build vet fmt test race bench serve-smoke diag-smoke
 
 verify: build vet fmt test
 
@@ -36,3 +37,6 @@ bench:
 
 serve-smoke:
 	sh scripts/serve-smoke.sh
+
+diag-smoke:
+	sh scripts/diag-smoke.sh

@@ -11,6 +11,8 @@ package sramtest
 //	BenchmarkCoverage      — EXP-CV: March fault-detection matrix
 //	BenchmarkTestTime      — EXP-C1: 5N+4 length and 75% time reduction
 //	BenchmarkDwellTime     — EXP-DT: §V DS-dwell justification
+//	BenchmarkDictionaryBuild / BenchmarkDiagnose
+//	                       — EXP-DG: fault-dictionary diagnosis
 //
 // plus micro-benchmarks of the substrates and ablation benchmarks of the
 // key design choices. Heavy experiments run on reduced grids; the cmd/
@@ -24,6 +26,7 @@ import (
 	"sramtest/internal/bist"
 	"sramtest/internal/cell"
 	"sramtest/internal/charac"
+	"sramtest/internal/diag"
 	"sramtest/internal/exp"
 	"sramtest/internal/march"
 	"sramtest/internal/power"
@@ -226,6 +229,61 @@ func BenchmarkDwellTime(b *testing.B) {
 		pts := exp.DwellTime(v, hot(1.0), nil, 20e-3)
 		if len(pts) == 0 {
 			b.Fatal("no dwell points")
+		}
+	}
+}
+
+// BenchmarkDictionaryBuild times a cold base-only dictionary build on a
+// reduced candidate grid (two defects × one decade × the CS1 pair, three
+// flow conditions).
+func BenchmarkDictionaryBuild(b *testing.B) {
+	opt := diag.DefaultOptions()
+	opt.Defects = []regulator.Defect{regulator.Df12, regulator.Df16}
+	opt.CaseStudies = process.Table1CaseStudies()[:2]
+	opt.Decades = []float64{1e5}
+	opt.BaseOnly = true
+	for i := 0; i < b.N; i++ {
+		diag.ResetCache() // measure cold builds, not memo hits
+		d, err := diag.Build(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(d.Entries)+d.Undetected != 4 {
+			b.Fatalf("got %d entries + %d undetected, want 4 candidates", len(d.Entries), d.Undetected)
+		}
+	}
+}
+
+// BenchmarkDiagnose times one full adaptive diagnosis — observe the
+// three-condition flow on a failing device, match, refine — against the
+// Df1/Df2 ambiguity the flow cannot separate (their minimal resistances
+// coincide at all three flow conditions).
+func BenchmarkDiagnose(b *testing.B) {
+	opt := diag.DefaultOptions()
+	opt.Defects = []regulator.Defect{regulator.Df1, regulator.Df2}
+	opt.CaseStudies = process.Table1CaseStudies()[:2]
+	opt.Decades = []float64{1e6}
+	d, err := diag.Build(opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cand := diag.Candidate{Defect: regulator.Df1, Res: 1e6, CS: process.Table1CaseStudies()[0]}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		diag.ResetCache() // measure cold observations, not memo hits
+		sig, err := diag.BuildSignature(opt, cand)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rr, err := d.Refine(sig, diag.SimObserver{Opt: opt, Cand: cand})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !rr.Resolved || rr.Final[0].Defect != regulator.Df1 {
+			b.Fatalf("diagnosis missed: %+v", rr.Final)
+		}
+		if i == 0 {
+			b.Logf("flow ambiguity %d resolved in %d refine step(s)", len(rr.Initial.Ambiguity), len(rr.Steps))
 		}
 	}
 }

@@ -190,6 +190,48 @@ func TestFailCaptureBounded(t *testing.T) {
 	if res.Total <= FailCapacity {
 		t.Errorf("total %d should exceed capacity on a wipe", res.Total)
 	}
+	if log := res.FailLog(); !log.Overflowed() {
+		t.Error("bounded capture of a wipe must report overflow")
+	}
+}
+
+func TestFailCaptureUnbounded(t *testing.T) {
+	cond := process.Condition{Corner: process.FS, VDD: 1.0, TempC: 125}
+	s := sram.New()
+	s.SetRetention(sram.NewThresholdRetention(cond, 0.01)) // whole-array wipe
+	c := New(compileMust(t, march.MarchMLZ()), s)
+	c.SetFailCapacity(-1)
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := res.FailLog()
+	if log.Overflowed() {
+		t.Errorf("unbounded capture dropped records: %d of %d", len(log.Entries), log.Total)
+	}
+	if len(log.Entries) != res.Total || res.Total <= FailCapacity {
+		t.Errorf("recorded %d of %d miscompares", len(log.Entries), res.Total)
+	}
+	if log.Capacity >= 0 {
+		t.Errorf("capacity %d, want unbounded (<0)", log.Capacity)
+	}
+	// Controller-side export matches the result.
+	if cl := c.FailLog(); len(cl.Entries) != len(log.Entries) || cl.Total != log.Total {
+		t.Errorf("controller log %d/%d, result log %d/%d",
+			len(cl.Entries), cl.Total, len(log.Entries), log.Total)
+	}
+}
+
+func TestSetFailCapacityDefaults(t *testing.T) {
+	c := New(compileMust(t, march.MATSPlus()), sram.New())
+	c.SetFailCapacity(7)
+	if c.FailLog().Capacity != 7 {
+		t.Errorf("capacity %d, want 7", c.FailLog().Capacity)
+	}
+	c.SetFailCapacity(0)
+	if c.FailLog().Capacity != FailCapacity {
+		t.Errorf("capacity %d, want default %d", c.FailLog().Capacity, FailCapacity)
+	}
 }
 
 func TestStepGranularity(t *testing.T) {

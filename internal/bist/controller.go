@@ -23,16 +23,38 @@ func (s State) String() string {
 	return [...]string{"idle", "running", "sleeping", "done", "errored"}[s]
 }
 
-// FailCapacity is the depth of the on-chip fail-capture memory; further
-// miscompares only increment the counter (real BIST engines do the same).
+// FailCapacity is the default depth of the on-chip fail-capture memory;
+// further miscompares only increment the counter (real BIST engines do
+// the same). SetFailCapacity resizes it per controller.
 const FailCapacity = 64
+
+// FailLog is the structured export of the fail-capture memory: the
+// recorded miscompares (address, element index, expected/read word) plus
+// the total count, so callers can tell a complete capture from an
+// overflowed one. It is the diagnosis-signature source of internal/diag;
+// the march software executor's Report.Failures carries the same records,
+// and the two are provably equivalent (see the diag test suite).
+type FailLog struct {
+	// Entries are the captured miscompares in occurrence order.
+	Entries []march.Failure
+	// Total counts every miscompare, recorded or not.
+	Total int
+	// Capacity is the capture depth the log was recorded with
+	// (<0 = unbounded).
+	Capacity int
+}
+
+// Overflowed reports whether miscompares beyond the capture depth were
+// dropped (only counted).
+func (l FailLog) Overflowed() bool { return l.Total > len(l.Entries) }
 
 // Controller is the BIST engine: a program sequencer, address counter,
 // background register, dwell counter, comparator and fail log.
 type Controller struct {
-	prog *Program
-	mem  march.Memory
-	bg   uint64 // data background register
+	prog    *Program
+	mem     march.Memory
+	bg      uint64 // data background register
+	failCap int    // fail-capture depth (<0 = unbounded)
 
 	state   State
 	pc      int // start instruction of the current element
@@ -50,12 +72,34 @@ type Controller struct {
 
 // New builds a controller over a compiled program and a memory.
 func New(p *Program, m march.Memory) *Controller {
-	c := &Controller{prog: p, mem: m, state: Idle}
+	c := &Controller{prog: p, mem: m, state: Idle, failCap: FailCapacity}
 	return c
 }
 
 // SetBackground loads the data background register (default: solid 0).
 func (c *Controller) SetBackground(w uint64) { c.bg = w }
+
+// SetFailCapacity resizes the fail-capture memory: n > 0 sets the depth,
+// n == 0 restores the default FailCapacity, n < 0 removes the bound
+// (every miscompare is recorded — the full-signature capture mode that
+// diagnosis needs, mirroring march.RunOptions.CaptureAll).
+func (c *Controller) SetFailCapacity(n int) {
+	switch {
+	case n == 0:
+		c.failCap = FailCapacity
+	default:
+		c.failCap = n
+	}
+}
+
+// FailLog exports the fail-capture memory observed so far.
+func (c *Controller) FailLog() FailLog {
+	return FailLog{
+		Entries:  append([]march.Failure(nil), c.failures...),
+		Total:    c.total,
+		Capacity: c.failCap,
+	}
+}
 
 // State returns the FSM state.
 func (c *Controller) State() State { return c.state }
@@ -69,10 +113,16 @@ type Result struct {
 	Cycles   int64
 	Failures []march.Failure
 	Total    int // total miscompares (≥ len(Failures))
+	Capacity int // fail-capture depth of the run (<0 = unbounded)
 }
 
 // Pass reports a clean run.
 func (r Result) Pass() bool { return r.Total == 0 }
+
+// FailLog exports the run's fail-capture memory in structured form.
+func (r Result) FailLog() FailLog {
+	return FailLog{Entries: r.Failures, Total: r.Total, Capacity: r.Capacity}
+}
 
 // Step advances the engine by one clock cycle. It returns true when the
 // program has completed (or errored; check Err).
@@ -129,6 +179,7 @@ func (c *Controller) Run() (Result, error) {
 		Cycles:   c.cycles,
 		Failures: c.failures,
 		Total:    c.total,
+		Capacity: c.failCap,
 	}, nil
 }
 
@@ -178,7 +229,7 @@ func (c *Controller) advanceAddr(desc bool) bool {
 
 func (c *Controller) fail(op int, want, got uint64) {
 	c.total++
-	if len(c.failures) < FailCapacity {
+	if c.failCap < 0 || len(c.failures) < c.failCap {
 		c.failures = append(c.failures, march.Failure{
 			Element: c.elemOrd, OpIndex: op, Addr: c.addr, Expected: want, Got: got,
 		})

@@ -1,0 +1,70 @@
+package diag
+
+import (
+	"testing"
+
+	"sramtest/internal/bist"
+	"sramtest/internal/march"
+	"sramtest/internal/process"
+	"sramtest/internal/regulator"
+	"sramtest/internal/sram"
+	"sramtest/internal/testflow"
+)
+
+// TestBISTSignatureEquivalence proves the two executors produce the same
+// diagnosis signature: March m-LZ run by the software executor
+// (march.RunWith, CaptureAll) and by the cycle-accurate BIST controller
+// (unbounded fail capture) on identical defective devices compress to
+// identical CondSignatures. Diagnosis signatures can therefore come from
+// either source.
+func TestBISTSignatureEquivalence(t *testing.T) {
+	tc := testflow.TestCondition{VDD: 1.0, Level: regulator.L74}
+	cond := process.Condition{Corner: process.FS, VDD: tc.VDD, TempC: 125}
+	cs := process.Table1CaseStudies()[0] // CS1-1
+
+	tst := march.MarchMLZ()
+	prog, err := bist.Compile(tst, sram.CycleTime)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The controller dwells an integer number of cycles; give the
+	// software run the same quantized dwell so retention sees identical
+	// times.
+	tst.Dwell = float64(prog.DwellCycles) * sram.CycleTime
+
+	device := func() *sram.SRAM {
+		ret, err := sram.NewElectricalRetentionAt(cond, tc.Level, regulator.Df12, 1e5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := sram.New()
+		s.SetRetention(ret)
+		PlaceCells(s, cs)
+		return s
+	}
+
+	rep, err := march.RunWith(tst, device(), march.RunOptions{CaptureAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	swSig := SignatureFromFailures(tc, rep.Failures, rep.TotalMiscompares)
+	if swSig.Pass {
+		t.Fatal("Df12 at 100 kΩ must fail the software run (sensitivity 3.7 kΩ)")
+	}
+
+	c := bist.New(prog, device())
+	c.SetFailCapacity(-1)
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := res.FailLog()
+	if log.Overflowed() {
+		t.Fatal("unbounded BIST capture overflowed")
+	}
+	bistSig := SignatureFromFailures(tc, log.Entries, log.Total)
+
+	if swSig != bistSig {
+		t.Errorf("signatures diverge:\n  software: %+v\n  bist:     %+v", swSig, bistSig)
+	}
+}

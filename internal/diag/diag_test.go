@@ -1,0 +1,272 @@
+package diag
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"sramtest/internal/process"
+	"sramtest/internal/regulator"
+	"sramtest/internal/testflow"
+)
+
+// reducedOptions is a cheap DC-defect grid for mechanics tests.
+func reducedOptions() Options {
+	opt := DefaultOptions()
+	opt.Defects = []regulator.Defect{regulator.Df12, regulator.Df16}
+	opt.Decades = []float64{1e5}
+	opt.CaseStudies = process.Table1CaseStudies()[:2] // CS1-1, CS1-0
+	return opt
+}
+
+func TestDefaultFlowConditions(t *testing.T) {
+	flow := DefaultFlowConditions()
+	if len(flow) != 3 {
+		t.Fatalf("flow has %d conditions, want 3", len(flow))
+	}
+	extra := ExtraConditions(flow)
+	if len(extra) != 9 {
+		t.Fatalf("extra pool has %d conditions, want 9", len(extra))
+	}
+	seen := map[testflow.TestCondition]bool{}
+	for _, tc := range append(append([]testflow.TestCondition{}, flow...), extra...) {
+		if seen[tc] {
+			t.Errorf("condition %s duplicated", tc)
+		}
+		seen[tc] = true
+	}
+	if len(seen) != len(testflow.AllTestConditions()) {
+		t.Errorf("flow+extra cover %d conditions, want all 12", len(seen))
+	}
+}
+
+func TestDictionaryWorkerInvariance(t *testing.T) {
+	opt := reducedOptions()
+
+	opt.Workers = 1
+	ResetCache()
+	d1, err := Build(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := d1.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt.Workers = 8
+	ResetCache() // force real recomputation, not memo hits
+	d8, err := Build(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b8, err := d8.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b8) {
+		t.Fatal("dictionary bytes differ between -workers 1 and -workers 8")
+	}
+}
+
+func TestDictionaryEncodeDecode(t *testing.T) {
+	opt := reducedOptions()
+	opt.BaseOnly = true
+	d, err := Build(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := d.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(d, got) {
+		t.Error("decode(encode(dict)) != dict")
+	}
+	if _, err := Decode(bytes.Replace(b, []byte(`"version": 1`), []byte(`"version": 99`), 1)); err == nil {
+		t.Error("future version must be rejected")
+	}
+	if _, err := Decode([]byte("not json")); err == nil {
+		t.Error("garbage must be rejected")
+	}
+}
+
+// TestRoundTripRank1 is the headline property: for every DRF-capable
+// defect under each of the five Table I scenarios (stored-'1' side), the
+// signature of the defect matches its own dictionary entry exactly, at
+// rank 1 — any tie stays inside the reported ambiguity set.
+func TestRoundTripRank1(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full defect × case-study grid")
+	}
+	opt := DefaultOptions()
+	opt.Decades = []float64{1e8} // saturating: every defect detectable
+	all := process.Table1CaseStudies()
+	opt.CaseStudies = []process.CaseStudy{all[0], all[2], all[4], all[6], all[8]}
+	opt.BaseOnly = true
+	d, err := Build(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEntries := len(opt.Defects) * len(opt.CaseStudies)
+	if len(d.Entries)+d.Undetected != wantEntries {
+		t.Fatalf("%d entries + %d undetected, want %d candidates", len(d.Entries), d.Undetected, wantEntries)
+	}
+	// Milder scenarios (CS4-1's +0.1σ in particular) legitimately never
+	// fail — their DRV sits below any defective rail — but under the
+	// worst case CS1-1, whose DRV the flow was optimized against, every
+	// DRF-capable defect at 100 MΩ must land in the dictionary.
+	cs1 := map[regulator.Defect]bool{}
+	for _, e := range d.Entries {
+		if e.CS == "CS1-1" {
+			cs1[e.Defect] = true
+		}
+	}
+	for _, df := range opt.Defects {
+		if !cs1[df] {
+			t.Errorf("%s at 100 MΩ undetected under CS1-1", df)
+		}
+	}
+	t.Logf("%d of %d candidates detectable (%d undetected escapes)", len(d.Entries), wantEntries, d.Undetected)
+	for _, e := range d.Entries {
+		sig, err := BuildSignature(opt, e.Candidate())
+		if err != nil {
+			t.Fatalf("%s/%s: %v", e.Defect, e.CS, err)
+		}
+		dg := d.Match(sig)
+		if !dg.Exact {
+			t.Errorf("%s/%s: no exact dictionary hit (best %g)", e.Defect, e.CS, dg.Ranked[0].Distance)
+			continue
+		}
+		found := false
+		for _, m := range dg.Ambiguity {
+			if m.Defect == e.Defect && m.Res == e.Res && m.CS == e.CS {
+				found = true
+			}
+			if m.Distance != 0 {
+				t.Errorf("%s/%s: ambiguity member %s/%s at non-zero distance %g", e.Defect, e.CS, m.Defect, m.CS, m.Distance)
+			}
+		}
+		if !found {
+			t.Errorf("%s/%s: true candidate missing from its own ambiguity set", e.Defect, e.CS)
+		}
+	}
+}
+
+// TestRefineResolvesDf1Df2 pins the scenario of the measured sensitivity
+// matrix: Df1 and Df2 share minimal resistances at all three flow
+// conditions (98.9 kΩ / 273 kΩ / 263 kΩ), so at 1 MΩ the optimized flow
+// cannot tell them apart — but (1.0 V, 0.78·VDD) can (320 kΩ vs 27.7 MΩ).
+func TestRefineResolvesDf1Df2(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Defects = []regulator.Defect{regulator.Df1, regulator.Df2}
+	opt.Decades = []float64{1e6}
+	opt.CaseStudies = process.Table1CaseStudies()[:1]
+	d, err := Build(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Entries) != 2 {
+		t.Fatalf("%d entries, want 2", len(d.Entries))
+	}
+	for _, e := range d.Entries {
+		cand := e.Candidate()
+		sig, err := BuildSignature(opt, cand)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dg := d.Match(sig)
+		if len(dg.Ambiguity) != 2 {
+			t.Fatalf("%s: flow-only ambiguity %d, want 2 (Df1 vs Df2)", e.Defect, len(dg.Ambiguity))
+		}
+		rr, err := d.Refine(sig, SimObserver{Opt: opt, Cand: cand})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rr.Resolved || len(rr.Final) != 1 || rr.Final[0].Defect != e.Defect {
+			t.Errorf("%s: refine final %v, want unique %s", e.Defect, rr.Final, e.Defect)
+		}
+		for _, s := range rr.Steps {
+			if s.After >= s.Before {
+				t.Errorf("%s: step at %s did not shrink (%d -> %d)", e.Defect, s.Cond, s.Before, s.After)
+			}
+		}
+	}
+}
+
+func TestRefineBaseOnlyRejected(t *testing.T) {
+	opt := reducedOptions()
+	opt.BaseOnly = true
+	d, err := Build(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Refine(Signature{}, SimObserver{Opt: opt}); err == nil {
+		t.Error("base-only dictionary must refuse to refine")
+	}
+}
+
+// fakeObserver replays scripted signatures.
+type fakeObserver map[testflow.TestCondition]CondSignature
+
+func (f fakeObserver) Observe(tc testflow.TestCondition) (CondSignature, error) {
+	return f[tc], nil
+}
+
+// TestRefineSynthetic drives the splitter on a hand-built dictionary:
+// three entries, one extra condition separating entry 0 from 1 and 2,
+// none separating 1 from 2. Refinement must shrink strictly where a
+// split exists and stop honestly where none does.
+func TestRefineSynthetic(t *testing.T) {
+	flowCond := testflow.TestCondition{VDD: 1.0, Level: regulator.L74}
+	exCond := testflow.TestCondition{VDD: 1.2, Level: regulator.L78}
+	fail := func(tc testflow.TestCondition) CondSignature {
+		return CondSignature{Cond: tc, Element: 3, Elements: 1 << 3, Miscompares: 1,
+			Syn: Syndrome{Fails: 1, Rows: 1, Cols: 1, RowCounts: [synBuckets]int{1}, ColCounts: [synBuckets]int{1}}}
+	}
+	pass := func(tc testflow.TestCondition) CondSignature {
+		return CondSignature{Cond: tc, Pass: true, Element: -1, Op: -1}
+	}
+	entry := func(df regulator.Defect, ex CondSignature) Entry {
+		return Entry{Defect: df, Res: 1e6, CS: "CS1-1", Cells: 1,
+			Sig:   Signature{Test: "March m-LZ", Conds: []CondSignature{fail(flowCond)}},
+			Extra: []CondSignature{ex}}
+	}
+	d := &Dictionary{
+		Version: Version,
+		Flow:    []testflow.TestCondition{flowCond},
+		Extra:   []testflow.TestCondition{exCond},
+		Entries: []Entry{
+			entry(regulator.Df1, fail(exCond)),
+			entry(regulator.Df2, pass(exCond)),
+			entry(regulator.Df3, pass(exCond)),
+		},
+	}
+	obs := Signature{Test: "March m-LZ", Conds: []CondSignature{fail(flowCond)}}
+
+	// Device behaves like entry 0: the split isolates it.
+	rr, err := d.Refine(obs, fakeObserver{exCond: fail(exCond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rr.Initial.Ambiguity) != 3 || !rr.Resolved || len(rr.Final) != 1 || rr.Final[0].Defect != regulator.Df1 {
+		t.Errorf("split toward Df1: resolved=%v final=%v", rr.Resolved, rr.Final)
+	}
+
+	// Device behaves like entries 1/2: the split shrinks 3 -> 2, then no
+	// condition separates the rest — reported unresolved, set intact.
+	rr, err = d.Refine(obs, fakeObserver{exCond: pass(exCond)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rr.Resolved || len(rr.Final) != 2 {
+		t.Errorf("unsplittable tail: resolved=%v final=%v", rr.Resolved, rr.Final)
+	}
+	if len(rr.Steps) != 1 || rr.Steps[0].Before != 3 || rr.Steps[0].After != 2 {
+		t.Errorf("steps %v, want one 3 -> 2 split", rr.Steps)
+	}
+}

@@ -1,0 +1,206 @@
+package diag
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"sramtest/internal/process"
+	"sramtest/internal/regulator"
+	"sramtest/internal/sweep"
+	"sramtest/internal/testflow"
+)
+
+// Version is the dictionary artifact format version; Decode rejects
+// anything else. Bump it when Entry/Signature fields change shape.
+const Version = 1
+
+// Entry is one dictionary row: a candidate and its signatures.
+type Entry struct {
+	Defect regulator.Defect `json:"defect"`
+	Res    float64          `json:"res"`
+	CS     string           `json:"cs"`
+	Cells  int              `json:"cells"`
+	// Sig holds the signatures at the flow conditions — what the
+	// production test observes.
+	Sig Signature `json:"sig"`
+	// Extra holds the signatures at the refiner's extra conditions
+	// (absent in base-only dictionaries).
+	Extra []CondSignature `json:"extra,omitempty"`
+}
+
+// Candidate reconstructs the entry's hypothesis (the case-study name is
+// resolved against Table I).
+func (e Entry) Candidate() Candidate {
+	return Candidate{Defect: e.Defect, Res: e.Res, CS: caseStudyByName(e.CS)}
+}
+
+// caseStudyByName resolves a Table I scenario; unknown names return a
+// bare single-cell scenario so stale dictionaries degrade, not crash.
+func caseStudyByName(name string) process.CaseStudy {
+	for _, cs := range process.Table1CaseStudies() {
+		if cs.Name == name {
+			return cs
+		}
+	}
+	return process.CaseStudy{Name: name, Cells: 1}
+}
+
+// at indexes the entry's signatures by condition.
+func (e Entry) at() map[testflow.TestCondition]CondSignature {
+	m := make(map[testflow.TestCondition]CondSignature, len(e.Sig.Conds)+len(e.Extra))
+	for _, c := range e.Sig.Conds {
+		m[c.Cond] = c
+	}
+	for _, c := range e.Extra {
+		m[c.Cond] = c
+	}
+	return m
+}
+
+// Dictionary is the versioned fault-dictionary artifact. Entries are
+// ordered defect-major, then by resistance decade, then by case study —
+// the enumeration order of Build — so the serialized bytes are
+// deterministic.
+type Dictionary struct {
+	Version int     `json:"version"`
+	Test    string  `json:"test"`
+	Corner  string  `json:"corner"`
+	TempC   float64 `json:"temp_c"`
+	Dwell   float64 `json:"dwell"`
+	// Flow and Extra record the conditions the entries were built at.
+	Flow  []testflow.TestCondition `json:"flow"`
+	Extra []testflow.TestCondition `json:"extra,omitempty"`
+	// Decades is the resistance grid.
+	Decades []float64 `json:"decades"`
+	// Undetected counts candidates dropped because they pass every flow
+	// condition — test escapes, indistinguishable from a good device.
+	Undetected int     `json:"undetected"`
+	Entries    []Entry `json:"entries"`
+}
+
+// Build simulates every candidate at every condition and assembles the
+// dictionary. Work fans out over the sweep engine one (candidate,
+// condition) task at a time; results are assembled in enumeration order,
+// so the dictionary is identical for any Workers setting.
+func Build(opt Options) (*Dictionary, error) {
+	opt = opt.withDefaults()
+	var cands []Candidate
+	for _, d := range opt.Defects {
+		for _, r := range opt.Decades {
+			for _, cs := range opt.CaseStudies {
+				cands = append(cands, Candidate{Defect: d, Res: r, CS: cs})
+			}
+		}
+	}
+	conds := append(append([]testflow.TestCondition{}, opt.Flow...), opt.Extra...)
+	nc := len(conds)
+	sigs, err := sweep.MapCtx(opt.Ctx, len(cands)*nc, func(i int) (CondSignature, error) {
+		return simulate(opt, cands[i/nc], conds[i%nc])
+	}, sweep.Workers(opt.Workers))
+	if err != nil {
+		return nil, err
+	}
+
+	d := &Dictionary{
+		Version: Version,
+		Test:    opt.test().Name,
+		Corner:  opt.Corner.String(),
+		TempC:   opt.TempC,
+		Dwell:   opt.Dwell,
+		Flow:    opt.Flow,
+		Extra:   opt.Extra,
+		Decades: opt.Decades,
+	}
+	for ci, cand := range cands {
+		e := Entry{
+			Defect: cand.Defect,
+			Res:    cand.Res,
+			CS:     cand.CS.Name,
+			Cells:  cand.CS.Cells,
+			Sig:    Signature{Test: d.Test, Dwell: d.Dwell},
+		}
+		detected := false
+		for j := range opt.Flow {
+			cs := sigs[ci*nc+j]
+			e.Sig.Conds = append(e.Sig.Conds, cs)
+			detected = detected || !cs.Pass
+		}
+		if !detected {
+			d.Undetected++
+			continue
+		}
+		for j := range opt.Extra {
+			e.Extra = append(e.Extra, sigs[ci*nc+len(opt.Flow)+j])
+		}
+		d.Entries = append(d.Entries, e)
+	}
+	return d, nil
+}
+
+// Encode serializes the dictionary deterministically (indented JSON with
+// a trailing newline, the repo's artifact convention).
+func (d *Dictionary) Encode() ([]byte, error) {
+	b, err := json.MarshalIndent(d, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("diag: encode dictionary: %w", err)
+	}
+	return append(b, '\n'), nil
+}
+
+// Decode parses and validates a serialized dictionary.
+func Decode(data []byte) (*Dictionary, error) {
+	var d Dictionary
+	if err := json.Unmarshal(data, &d); err != nil {
+		return nil, fmt.Errorf("diag: decode dictionary: %w", err)
+	}
+	if d.Version != Version {
+		return nil, fmt.Errorf("diag: dictionary version %d, want %d", d.Version, Version)
+	}
+	if len(d.Flow) == 0 {
+		return nil, fmt.Errorf("diag: dictionary has no flow conditions")
+	}
+	return &d, nil
+}
+
+// Save writes the dictionary to path, creating parent directories.
+func (d *Dictionary) Save(path string) error {
+	b, err := d.Encode()
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("diag: save dictionary: %w", err)
+		}
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// Load reads a dictionary from path.
+func Load(path string) (*Dictionary, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("diag: load dictionary: %w", err)
+	}
+	return Decode(b)
+}
+
+// Options reconstructs build options consistent with the dictionary, so
+// observations for matching/refinement run at the same PVT and dwell.
+func (d *Dictionary) Options() Options {
+	opt := Options{
+		TempC:   d.TempC,
+		Dwell:   d.Dwell,
+		Decades: d.Decades,
+		Flow:    d.Flow,
+		Extra:   d.Extra,
+	}
+	for _, c := range process.Corners() {
+		if c.String() == d.Corner {
+			opt.Corner = c
+		}
+	}
+	return opt.withDefaults()
+}

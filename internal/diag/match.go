@@ -1,0 +1,98 @@
+package diag
+
+import (
+	"sort"
+
+	"sramtest/internal/regulator"
+)
+
+// MaxRanked bounds the ranked list a Diagnosis carries; the ambiguity
+// set is never truncated.
+const MaxRanked = 10
+
+// ambiguityTol is the distance slack within which candidates count as
+// tied with the best match. Distances are sums of exact weights, so this
+// only absorbs float rounding.
+const ambiguityTol = 1e-9
+
+// Match is one ranked dictionary hit.
+type Match struct {
+	// Index is the entry's position in Dictionary.Entries.
+	Index    int              `json:"index"`
+	Defect   regulator.Defect `json:"defect"`
+	Res      float64          `json:"res"`
+	CS       string           `json:"cs"`
+	Distance float64          `json:"distance"`
+}
+
+// Diagnosis is the matcher's verdict on one observed signature.
+type Diagnosis struct {
+	// Exact reports a perfect dictionary hit (distance 0).
+	Exact bool `json:"exact"`
+	// Ranked lists the closest entries, ascending distance, at most
+	// MaxRanked. Ties order deterministically by (defect, res, cs).
+	Ranked []Match `json:"ranked"`
+	// Ambiguity lists every entry tied with the best distance — the
+	// honest answer when the flow cannot separate candidates. It always
+	// contains at least the top-ranked match.
+	Ambiguity []Match `json:"ambiguity"`
+}
+
+// Defects returns the distinct defects of the ambiguity set, in ranked
+// order.
+func (dg Diagnosis) Defects() []regulator.Defect {
+	seen := map[regulator.Defect]bool{}
+	var out []regulator.Defect
+	for _, m := range dg.Ambiguity {
+		if !seen[m.Defect] {
+			seen[m.Defect] = true
+			out = append(out, m.Defect)
+		}
+	}
+	return out
+}
+
+// Match ranks the dictionary against an observed signature: exact hits
+// first, then Hamming-nearest under the weighted per-field distance.
+// Entries tied with the best distance form the ambiguity set.
+func (d *Dictionary) Match(sig Signature) Diagnosis {
+	ms := make([]Match, 0, len(d.Entries))
+	for i, e := range d.Entries {
+		ms = append(ms, Match{
+			Index:    i,
+			Defect:   e.Defect,
+			Res:      e.Res,
+			CS:       e.CS,
+			Distance: sig.DistanceTo(e.at()),
+		})
+	}
+	sort.Slice(ms, func(i, j int) bool {
+		a, b := ms[i], ms[j]
+		if a.Distance != b.Distance {
+			return a.Distance < b.Distance
+		}
+		if a.Defect != b.Defect {
+			return a.Defect < b.Defect
+		}
+		if a.Res != b.Res {
+			return a.Res < b.Res
+		}
+		return a.CS < b.CS
+	})
+	var dg Diagnosis
+	if len(ms) == 0 {
+		return dg
+	}
+	best := ms[0].Distance
+	dg.Exact = best == 0
+	for _, m := range ms {
+		if m.Distance <= best+ambiguityTol {
+			dg.Ambiguity = append(dg.Ambiguity, m)
+		}
+	}
+	if len(ms) > MaxRanked {
+		ms = ms[:MaxRanked]
+	}
+	dg.Ranked = ms
+	return dg
+}

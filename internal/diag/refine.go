@@ -1,0 +1,190 @@
+package diag
+
+import (
+	"fmt"
+	"sort"
+
+	"sramtest/internal/testflow"
+)
+
+// Observer supplies the failure signature of the device under diagnosis
+// at one extra test condition — in production, re-running March m-LZ on
+// the tester at that (VDD, Vref) setting; in simulation, SimObserver.
+type Observer interface {
+	Observe(tc testflow.TestCondition) (CondSignature, error)
+}
+
+// SimObserver observes a simulated device carrying a known candidate
+// defect, closing the loop for dictionary validation and the demo CLI.
+type SimObserver struct {
+	Opt  Options
+	Cand Candidate
+}
+
+// Observe implements Observer.
+func (o SimObserver) Observe(tc testflow.TestCondition) (CondSignature, error) {
+	return simulate(o.Opt.withDefaults(), o.Cand, tc)
+}
+
+// RefineStep records one adaptive iteration: the chosen condition and the
+// ambiguity-set size before and after observing it.
+type RefineStep struct {
+	Cond   testflow.TestCondition `json:"cond"`
+	Before int                    `json:"before"`
+	After  int                    `json:"after"`
+}
+
+// RefineResult is the outcome of adaptive diagnosis.
+type RefineResult struct {
+	// Initial is the flow-only diagnosis the refinement started from.
+	Initial Diagnosis `json:"initial"`
+	// Steps lists the extra conditions observed, in order.
+	Steps []RefineStep `json:"steps"`
+	// Final is the surviving ambiguity set with distances over all
+	// observed conditions, deterministically ordered.
+	Final []Match `json:"final"`
+	// Resolved reports whether refinement narrowed the set to one
+	// candidate.
+	Resolved bool `json:"resolved"`
+}
+
+// Refine runs adaptive diagnosis: starting from the flow-only ambiguity
+// set, it greedily picks the extra condition whose dictionary signatures
+// split the surviving candidates into the most balanced partition (the
+// smallest worst-case group), observes it on the device, keeps the
+// matching group, and repeats until one candidate survives or no
+// remaining condition separates the rest. Every step strictly shrinks
+// the set — a condition that leaves all survivors in one group is never
+// chosen.
+func (d *Dictionary) Refine(sig Signature, obs Observer) (RefineResult, error) {
+	if len(d.Extra) == 0 {
+		return RefineResult{}, fmt.Errorf("diag: dictionary is base-only (no extra-condition signatures); rebuild without BaseOnly to refine")
+	}
+	res := RefineResult{Initial: d.Match(sig)}
+	surviving := make([]int, len(res.Initial.Ambiguity))
+	for i, m := range res.Initial.Ambiguity {
+		surviving[i] = m.Index
+	}
+	seen := map[testflow.TestCondition]bool{}
+	for _, c := range sig.Conds {
+		seen[c.Cond] = true
+	}
+
+	for len(surviving) > 1 {
+		cond, ok := d.bestSplit(surviving, seen)
+		if !ok {
+			break // the remaining candidates are indistinguishable
+		}
+		seen[cond] = true
+		observed, err := obs.Observe(cond)
+		if err != nil {
+			return res, fmt.Errorf("diag: refine at %s: %w", cond, err)
+		}
+		next := filterByCond(d, surviving, cond, observed)
+		res.Steps = append(res.Steps, RefineStep{
+			Cond: cond, Before: len(surviving), After: len(next),
+		})
+		sig.Conds = append(sig.Conds, observed)
+		if len(next) == 0 || len(next) == len(surviving) {
+			// Off-dictionary observation: nothing (or everything) matched.
+			// Keep the pre-step set and stop rather than loop.
+			break
+		}
+		surviving = next
+	}
+
+	res.Resolved = len(surviving) == 1
+	for _, i := range surviving {
+		e := d.Entries[i]
+		res.Final = append(res.Final, Match{
+			Index: i, Defect: e.Defect, Res: e.Res, CS: e.CS,
+			Distance: sig.DistanceTo(e.at()),
+		})
+	}
+	sort.Slice(res.Final, func(i, j int) bool {
+		a, b := res.Final[i], res.Final[j]
+		if a.Defect != b.Defect {
+			return a.Defect < b.Defect
+		}
+		if a.Res != b.Res {
+			return a.Res < b.Res
+		}
+		return a.CS < b.CS
+	})
+	return res, nil
+}
+
+// bestSplit picks the unobserved extra condition whose signatures
+// partition the surviving entries with the smallest worst-case group.
+// Ties break toward the earlier condition in Extra order. ok is false
+// when no condition produces more than one group.
+func (d *Dictionary) bestSplit(surviving []int, seen map[testflow.TestCondition]bool) (testflow.TestCondition, bool) {
+	var best testflow.TestCondition
+	bestWorst := len(surviving) + 1
+	found := false
+	for _, tc := range d.Extra {
+		if seen[tc] {
+			continue
+		}
+		groups := map[CondSignature]int{}
+		for _, i := range surviving {
+			if cs, ok := extraAt(d.Entries[i], tc); ok {
+				groups[cs]++
+			}
+		}
+		if len(groups) < 2 {
+			continue
+		}
+		worst := 0
+		for _, n := range groups {
+			if n > worst {
+				worst = n
+			}
+		}
+		if worst < bestWorst {
+			best, bestWorst, found = tc, worst, true
+		}
+	}
+	return best, found
+}
+
+// filterByCond keeps the surviving entries whose dictionary signature at
+// cond equals the observation; when nothing matches exactly, it falls
+// back to the entries nearest by condDistance.
+func filterByCond(d *Dictionary, surviving []int, cond testflow.TestCondition, observed CondSignature) []int {
+	var exact []int
+	for _, i := range surviving {
+		if cs, ok := extraAt(d.Entries[i], cond); ok && cs == observed {
+			exact = append(exact, i)
+		}
+	}
+	if len(exact) > 0 {
+		return exact
+	}
+	bestDist := -1.0
+	var nearest []int
+	for _, i := range surviving {
+		cs, ok := extraAt(d.Entries[i], cond)
+		if !ok {
+			continue
+		}
+		dist := condDistance(observed, cs)
+		switch {
+		case bestDist < 0 || dist < bestDist:
+			bestDist, nearest = dist, []int{i}
+		case dist == bestDist:
+			nearest = append(nearest, i)
+		}
+	}
+	return nearest
+}
+
+// extraAt finds the entry's signature at an extra condition.
+func extraAt(e Entry, tc testflow.TestCondition) (CondSignature, bool) {
+	for _, c := range e.Extra {
+		if c.Cond == tc {
+			return c, true
+		}
+	}
+	return CondSignature{}, false
+}

@@ -1,0 +1,216 @@
+package diag
+
+import (
+	"math"
+	"math/bits"
+
+	"sramtest/internal/march"
+	"sramtest/internal/sram"
+	"sramtest/internal/testflow"
+)
+
+// synBuckets is the bucket count of the row/column syndrome histograms.
+// The 512 rows fold into 8 buckets of 64; the 8 column groups of the 8:1
+// column mux map one-to-one.
+const synBuckets = 8
+
+// Bitmap is a bit-packed set of failing word addresses, the raw spatial
+// failure map a tester's fail-capture memory accumulates. It is an
+// intermediate: dictionary entries store only its Syndrome summary.
+type Bitmap [sram.Words / 64]uint64
+
+// Set marks addr as failing.
+func (b *Bitmap) Set(addr int) { b[addr>>6] |= 1 << uint(addr&63) }
+
+// Count returns the number of failing addresses.
+func (b *Bitmap) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Syndrome summarizes a Bitmap into counts that survive JSON compression:
+// totals of failing addresses/rows/column groups plus coarse per-row and
+// per-column histograms. Regulator defects hit every affected cell the
+// same way, so the spatial shape separates single-cell case studies from
+// the 64-cell CS5 cluster and full-array wipes.
+type Syndrome struct {
+	// Fails counts distinct failing word addresses.
+	Fails int `json:"fails"`
+	// Rows/Cols count distinct failing physical rows / column groups.
+	Rows int `json:"rows"`
+	Cols int `json:"cols"`
+	// RowCounts buckets failing addresses by row (512 rows in 8 buckets
+	// of 64); ColCounts by column group (addr mod 8, the 8:1 mux).
+	RowCounts [synBuckets]int `json:"row_counts"`
+	ColCounts [synBuckets]int `json:"col_counts"`
+}
+
+// SyndromeOf summarizes a failing-address bitmap.
+func SyndromeOf(b *Bitmap) Syndrome {
+	var s Syndrome
+	rows := map[int]bool{}
+	cols := map[int]bool{}
+	for w, word := range b {
+		for word != 0 {
+			bit := bits.TrailingZeros64(word)
+			word &^= 1 << uint(bit)
+			addr := w<<6 | bit
+			row := addr / sram.WordsPerRow
+			col := addr % sram.WordsPerRow
+			s.Fails++
+			rows[row] = true
+			cols[col] = true
+			s.RowCounts[row/(sram.Rows/synBuckets)]++
+			s.ColCounts[col]++
+		}
+	}
+	s.Rows, s.Cols = len(rows), len(cols)
+	return s
+}
+
+// CondSignature is the compressed failure signature of one March m-LZ run
+// at one test condition. It is comparable (usable as a map key), which
+// the refiner exploits to partition ambiguity sets.
+type CondSignature struct {
+	Cond testflow.TestCondition `json:"cond"`
+	Pass bool                   `json:"pass"`
+	// Element/Op locate the first failing March operation (element index
+	// into the 7-element m-LZ, op index within it); -1/-1 on a pass.
+	Element int `json:"element"`
+	Op      int `json:"op"`
+	// Elements is the bitmask of failing element indices (March m-LZ
+	// fails in ME4 and/or ME7, i.e. bits 3 and 6).
+	Elements uint32 `json:"elements"`
+	// Miscompares counts every failing read operation.
+	Miscompares int `json:"miscompares"`
+	// Syn summarizes the failing-address bitmap.
+	Syn Syndrome `json:"syndrome"`
+}
+
+// SignatureFromFailures compresses a failure record list — a software
+// executor's march.Report.Failures or a BIST controller's FailLog.Entries
+// — into the dictionary signature. total is the full miscompare count
+// (TotalMiscompares / FailLog.Total); the records must be complete
+// (CaptureAll / unbounded fail capture), or the syndrome under-counts.
+func SignatureFromFailures(cond testflow.TestCondition, failures []march.Failure, total int) CondSignature {
+	sig := CondSignature{Cond: cond, Pass: total == 0, Element: -1, Op: -1, Miscompares: total}
+	if total == 0 {
+		return sig
+	}
+	var bm Bitmap
+	for i, f := range failures {
+		if i == 0 {
+			sig.Element, sig.Op = f.Element, f.OpIndex
+		}
+		sig.Elements |= 1 << uint(f.Element)
+		bm.Set(f.Addr)
+	}
+	sig.Syn = SyndromeOf(&bm)
+	return sig
+}
+
+// Signature is the observation the matcher consumes: one CondSignature
+// per flow condition (plus any refinement conditions appended later).
+type Signature struct {
+	// Test names the March algorithm the signature was captured under.
+	Test string `json:"test"`
+	// Dwell is the DS residence time per DSM element (s).
+	Dwell float64 `json:"dwell"`
+	// Conds holds one signature per observed condition.
+	Conds []CondSignature `json:"conds"`
+}
+
+// Pass reports whether every observed condition passed.
+func (s Signature) Pass() bool {
+	for _, c := range s.Conds {
+		if !c.Pass {
+			return false
+		}
+	}
+	return true
+}
+
+// Distance weights of the per-field signature comparison. Pass/fail
+// disagreement dominates (it is the dictionary's detection-matrix
+// content); locator fields rank next; the magnitude/shape terms are
+// normalized to ≤1 each and break remaining ties.
+const (
+	wPass       = 100.0
+	wElement    = 8.0
+	wMask       = 4.0
+	wOp         = 3.0
+	wMiscompare = 2.0
+	wSyndrome   = 1.0
+)
+
+// condDistance scores how far two same-condition signatures are apart.
+// It is zero exactly when the signatures are identical.
+func condDistance(a, b CondSignature) float64 {
+	if a.Pass != b.Pass {
+		return wPass
+	}
+	if a.Pass {
+		return 0
+	}
+	d := 0.0
+	if a.Element != b.Element {
+		d += wElement
+	}
+	d += wMask * float64(bits.OnesCount32(a.Elements^b.Elements))
+	if a.Op != b.Op {
+		d += wOp
+	}
+	d += wMiscompare * relDiff(a.Miscompares, b.Miscompares)
+	d += wSyndrome * (relDiff(a.Syn.Fails, b.Syn.Fails) +
+		relDiff(a.Syn.Rows, b.Syn.Rows) +
+		relDiff(a.Syn.Cols, b.Syn.Cols) +
+		histDiff(a.Syn.RowCounts, b.Syn.RowCounts) +
+		histDiff(a.Syn.ColCounts, b.Syn.ColCounts))
+	return d
+}
+
+// relDiff is |a-b| / max(a,b) in [0,1]; 0 when both are 0.
+func relDiff(a, b int) float64 {
+	if a == b {
+		return 0
+	}
+	return math.Abs(float64(a-b)) / math.Max(float64(a), float64(b))
+}
+
+// histDiff is the L1 distance of two histograms normalized by the larger
+// mass, in [0,2].
+func histDiff(a, b [synBuckets]int) float64 {
+	l1, ma, mb := 0, 0, 0
+	for i := range a {
+		d := a[i] - b[i]
+		if d < 0 {
+			d = -d
+		}
+		l1 += d
+		ma += a[i]
+		mb += b[i]
+	}
+	if l1 == 0 {
+		return 0
+	}
+	return float64(l1) / math.Max(float64(ma), float64(mb))
+}
+
+// DistanceTo scores s against a dictionary entry's signatures, indexed by
+// condition. Conditions the entry lacks count as a full pass/fail
+// disagreement (they cannot be compared).
+func (s Signature) DistanceTo(entry map[testflow.TestCondition]CondSignature) float64 {
+	d := 0.0
+	for _, c := range s.Conds {
+		e, ok := entry[c.Cond]
+		if !ok {
+			d += wPass
+			continue
+		}
+		d += condDistance(c, e)
+	}
+	return d
+}

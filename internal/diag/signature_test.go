@@ -1,0 +1,98 @@
+package diag
+
+import (
+	"testing"
+
+	"sramtest/internal/march"
+	"sramtest/internal/process"
+	"sramtest/internal/regulator"
+	"sramtest/internal/sram"
+	"sramtest/internal/testflow"
+)
+
+func TestSignatureFromFailures(t *testing.T) {
+	tc := testflow.TestCondition{VDD: 1.0, Level: regulator.L74}
+
+	pass := SignatureFromFailures(tc, nil, 0)
+	if !pass.Pass || pass.Element != -1 || pass.Op != -1 || pass.Elements != 0 {
+		t.Errorf("clean run signature: %+v", pass)
+	}
+
+	// Two failing ops on the same word plus one on another row/column.
+	fails := []march.Failure{
+		{Element: 3, OpIndex: 0, Addr: 0, Expected: ^uint64(0), Got: 0},
+		{Element: 6, OpIndex: 0, Addr: 0, Expected: 0, Got: 8},
+		{Element: 3, OpIndex: 0, Addr: sram.Words - 1, Expected: ^uint64(0), Got: 0},
+	}
+	sig := SignatureFromFailures(tc, fails, len(fails))
+	if sig.Pass || sig.Element != 3 || sig.Op != 0 {
+		t.Errorf("first-failure locator: %+v", sig)
+	}
+	if sig.Elements != 1<<3|1<<6 {
+		t.Errorf("element mask %b, want ME4|ME7", sig.Elements)
+	}
+	if sig.Miscompares != 3 {
+		t.Errorf("miscompares %d", sig.Miscompares)
+	}
+	// Two distinct addresses: word 0 (row 0, col 0) and the last word
+	// (row 511, col 7).
+	syn := sig.Syn
+	if syn.Fails != 2 || syn.Rows != 2 || syn.Cols != 2 {
+		t.Errorf("syndrome totals: %+v", syn)
+	}
+	if syn.RowCounts[0] != 1 || syn.RowCounts[synBuckets-1] != 1 {
+		t.Errorf("row histogram: %v", syn.RowCounts)
+	}
+	if syn.ColCounts[0] != 1 || syn.ColCounts[synBuckets-1] != 1 {
+		t.Errorf("col histogram: %v", syn.ColCounts)
+	}
+}
+
+func TestCondDistance(t *testing.T) {
+	tc := testflow.TestCondition{VDD: 1.1, Level: regulator.L70}
+	a := SignatureFromFailures(tc, []march.Failure{{Element: 3, Addr: 7}}, 1)
+	if d := condDistance(a, a); d != 0 {
+		t.Errorf("self distance %g", d)
+	}
+	pass := SignatureFromFailures(tc, nil, 0)
+	if d := condDistance(a, pass); d != wPass {
+		t.Errorf("pass/fail disagreement %g, want %g", d, wPass)
+	}
+	// A different failing element is farther than a different miscompare
+	// count.
+	b := SignatureFromFailures(tc, []march.Failure{{Element: 6, OpIndex: 0, Addr: 7}}, 1)
+	c := SignatureFromFailures(tc, []march.Failure{{Element: 3, Addr: 7}, {Element: 3, Addr: 7}}, 2)
+	if db, dc := condDistance(a, b), condDistance(a, c); db <= dc {
+		t.Errorf("element mismatch (%g) should outweigh count mismatch (%g)", db, dc)
+	}
+}
+
+func TestBitmapCount(t *testing.T) {
+	var b Bitmap
+	for _, addr := range []int{0, 1, 63, 64, sram.Words - 1} {
+		b.Set(addr)
+	}
+	if b.Count() != 5 {
+		t.Errorf("count %d, want 5", b.Count())
+	}
+}
+
+func TestPlaceCellsDistinct(t *testing.T) {
+	// The canonical CS5 embedding must hit 64 distinct words and 64
+	// distinct bit positions.
+	var cs5 process.CaseStudy
+	for _, cs := range process.Table1CaseStudies() {
+		if cs.Name == "CS5-1" {
+			cs5 = cs
+		}
+	}
+	words := map[int]bool{}
+	bits := map[int]bool{}
+	for i := 0; i < cs5.Cells; i++ {
+		words[(i*131)%sram.Words] = true
+		bits[(i*7+3)%sram.Bits] = true
+	}
+	if len(words) != 64 || len(bits) != 64 {
+		t.Errorf("embedding: %d words, %d bits, want 64/64", len(words), len(bits))
+	}
+}

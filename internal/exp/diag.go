@@ -1,0 +1,84 @@
+package exp
+
+import (
+	"encoding/json"
+	"strconv"
+
+	"sramtest/internal/diag"
+	"sramtest/internal/report"
+)
+
+// DiagStats summarizes how well a fault dictionary separates its
+// candidates: the partition of entries into signature-equivalence
+// classes, first under the production flow's conditions alone, then with
+// the refiner's extra conditions included. Entries in a singleton class
+// are uniquely diagnosable; a multi-entry class is an ambiguity set the
+// matcher must report whole.
+type DiagStats struct {
+	// Entries/Undetected mirror the dictionary: candidates with at least
+	// one failing flow condition, and flow-invisible escapes.
+	Entries    int
+	Undetected int
+	// Flow* describe the partition by flow-only signatures — what the
+	// three-condition production test can tell apart on its own.
+	FlowClasses  int
+	FlowUnique   int
+	FlowMaxClass int
+	// Full* repeat the partition with the extra refinement conditions
+	// appended — the best adaptive diagnosis can possibly do.
+	FullClasses  int
+	FullUnique   int
+	FullMaxClass int
+}
+
+// DiagStatsOf computes the ambiguity statistics of a dictionary.
+func DiagStatsOf(d *diag.Dictionary) DiagStats {
+	s := DiagStats{Entries: len(d.Entries), Undetected: d.Undetected}
+	flow := map[string]int{}
+	full := map[string]int{}
+	for _, e := range d.Entries {
+		fk := sigClassKey(e.Sig.Conds)
+		flow[fk]++
+		full[fk+"+"+sigClassKey(e.Extra)]++
+	}
+	s.FlowClasses, s.FlowUnique, s.FlowMaxClass = classStats(flow)
+	s.FullClasses, s.FullUnique, s.FullMaxClass = classStats(full)
+	return s
+}
+
+// sigClassKey serializes a signature list into an equality key; identical
+// signatures — and only those — share a key.
+func sigClassKey(conds []diag.CondSignature) string {
+	b, _ := json.Marshal(conds)
+	return string(b)
+}
+
+// classStats reduces a class-size histogram to (classes, singletons
+// weight one each, largest class).
+func classStats(classes map[string]int) (n, unique, max int) {
+	for _, c := range classes {
+		n++
+		if c == 1 {
+			unique++
+		}
+		if c > max {
+			max = c
+		}
+	}
+	return n, unique, max
+}
+
+// DiagReport renders the EXP-DG ambiguity table.
+func DiagReport(s DiagStats) *report.Table {
+	t := report.NewTable("EXP-DG: fault-dictionary ambiguity", "metric", "value")
+	add := func(k string, v int) { t.AddRow(k, strconv.Itoa(v)) }
+	add("dictionary entries", s.Entries)
+	add("undetected escapes", s.Undetected)
+	add("flow signature classes", s.FlowClasses)
+	add("unique under flow alone", s.FlowUnique)
+	add("largest flow ambiguity set", s.FlowMaxClass)
+	add("classes with extra conditions", s.FullClasses)
+	add("unique after full refinement", s.FullUnique)
+	add("largest refined ambiguity set", s.FullMaxClass)
+	return t
+}

@@ -7,6 +7,7 @@ import (
 
 	"sramtest/internal/cell"
 	"sramtest/internal/charac"
+	"sramtest/internal/diag"
 	"sramtest/internal/exp"
 	"sramtest/internal/process"
 	"sramtest/internal/regulator"
@@ -19,6 +20,8 @@ import (
 //	charac   ≡ defectchar [-full] [-defect N] [-cs N] [-csv]
 //	exp      ≡ drv -mc N [-csv]
 //	testflow ≡ flow [-defects ...] [-no-vdd-constraint] [-csv]
+//	diag     ≡ diagnose build [-defects ...] [-cs ...] [-decades ...]
+//	           [-base-only] -o -
 //
 // This byte-identity holds at any worker count — it is the sweep
 // engine's determinism contract, and the reason results can be cached by
@@ -37,8 +40,31 @@ func Run(ctx context.Context, spec Spec) ([]byte, error) {
 		return runExp(ctx, spec)
 	case KindTestFlow:
 		return runTestFlow(ctx, spec)
+	case KindDiag:
+		return runDiag(ctx, spec)
 	}
 	return nil, fmt.Errorf("%w: unknown kind %q", ErrBadSpec, spec.Kind)
+}
+
+// runDiag builds the fault dictionary; the job bytes are the versioned
+// JSON artifact, identical to `diagnose build -o -`.
+func runDiag(ctx context.Context, spec Spec) ([]byte, error) {
+	opt := diag.DefaultOptions()
+	opt.Defects = toDefects(spec.Diag.Defects)
+	all := process.Table1CaseStudies()
+	css := make([]process.CaseStudy, 0, 2*len(spec.Diag.CaseStudies))
+	for _, n := range spec.Diag.CaseStudies {
+		css = append(css, all[2*(n-1)], all[2*(n-1)+1])
+	}
+	opt.CaseStudies = css
+	opt.Decades = spec.Diag.Decades
+	opt.BaseOnly = spec.Diag.BaseOnly
+	opt.Ctx = ctx
+	d, err := diag.Build(opt)
+	if err != nil {
+		return nil, err
+	}
+	return d.Encode()
 }
 
 func runCharac(ctx context.Context, spec Spec) ([]byte, error) {

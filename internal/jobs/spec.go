@@ -1,7 +1,7 @@
 // Package jobs is the job layer of the sramd characterization service:
 // a typed job spec with a canonical serialization (the content address
-// of the result store), runners that execute the three sweep products
-// with bytes identical to the CLI tools, and an asynchronous manager
+// of the result store), runners that execute the sweep products with
+// bytes identical to the CLI tools, and an asynchronous manager
 // with a bounded queue, per-job cancellation and timeouts, bounded
 // retries, panic isolation, and polled sweep progress.
 package jobs
@@ -10,8 +10,10 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 
+	"sramtest/internal/diag"
 	"sramtest/internal/regulator"
 	"sramtest/internal/store"
 )
@@ -19,7 +21,7 @@ import (
 // Kind selects which sweep product a job computes.
 type Kind string
 
-// The three job kinds, covering the repo's sweep products.
+// The four job kinds, covering the repo's sweep products.
 const (
 	// KindCharac is the Table II defect characterization (cmd/defectchar).
 	KindCharac Kind = "charac"
@@ -27,6 +29,8 @@ const (
 	KindExp Kind = "exp"
 	// KindTestFlow is the optimized test flow (cmd/flow).
 	KindTestFlow Kind = "testflow"
+	// KindDiag is the fault-dictionary build (cmd/diagnose build).
+	KindDiag Kind = "diag"
 )
 
 // ErrBadSpec marks submission-time validation failures (HTTP 400).
@@ -40,11 +44,13 @@ var ErrBadSpec = errors.New("invalid job spec")
 // result, which is why spec_test.go pins the bytes with a golden file.
 type Spec struct {
 	Kind Kind `json:"kind"`
-	// CSV selects the CLIs' -csv rendering for the tables.
+	// CSV selects the CLIs' -csv rendering for the tables. Table-less
+	// kinds (diag, whose product is a JSON artifact) reject it.
 	CSV      bool          `json:"csv,omitempty"`
 	Charac   *CharacSpec   `json:"charac,omitempty"`
 	Exp      *ExpSpec      `json:"exp,omitempty"`
 	TestFlow *TestFlowSpec `json:"testflow,omitempty"`
+	Diag     *DiagSpec     `json:"diag,omitempty"`
 }
 
 // CharacSpec parameterizes a Table II characterization, mirroring
@@ -75,6 +81,23 @@ type TestFlowSpec struct {
 	NoVDDConstraint bool `json:"noVDDConstraint,omitempty"`
 }
 
+// DiagSpec parameterizes a fault-dictionary build, mirroring cmd/diagnose
+// build. The job's bytes are the dictionary artifact itself (diag.Encode).
+type DiagSpec struct {
+	// Defects are the candidate injection sites (1..32); empty = the 17
+	// DRF-capable Table II defects.
+	Defects []int `json:"defects,omitempty"`
+	// CaseStudies restricts the Table I scenarios by index (1..5, each
+	// covering both stored-value sides CSx-1/CSx-0); empty = all five.
+	CaseStudies []int `json:"caseStudies,omitempty"`
+	// Decades are the candidate open resistances in Ω (> 0); empty = the
+	// default decade grid 1 kΩ..100 MΩ.
+	Decades []float64 `json:"decades,omitempty"`
+	// BaseOnly skips the extra-condition signatures the adaptive refiner
+	// needs, quartering the build cost.
+	BaseOnly bool `json:"baseOnly,omitempty"`
+}
+
 // defaultSeed is cmd/drv's hard-coded Monte-Carlo seed.
 const defaultSeed = 2013
 
@@ -86,7 +109,7 @@ func (s Spec) Normalize() (Spec, error) {
 	out := Spec{Kind: s.Kind, CSV: s.CSV}
 	switch s.Kind {
 	case KindCharac:
-		if s.Exp != nil || s.TestFlow != nil {
+		if s.Exp != nil || s.TestFlow != nil || s.Diag != nil {
 			return Spec{}, fmt.Errorf("%w: kind %q with mismatched sub-spec", ErrBadSpec, s.Kind)
 		}
 		c := CharacSpec{}
@@ -102,7 +125,7 @@ func (s Spec) Normalize() (Spec, error) {
 		}
 		out.Charac = &c
 	case KindExp:
-		if s.Charac != nil || s.TestFlow != nil {
+		if s.Charac != nil || s.TestFlow != nil || s.Diag != nil {
 			return Spec{}, fmt.Errorf("%w: kind %q with mismatched sub-spec", ErrBadSpec, s.Kind)
 		}
 		if s.Exp == nil {
@@ -120,7 +143,7 @@ func (s Spec) Normalize() (Spec, error) {
 		}
 		out.Exp = &e
 	case KindTestFlow:
-		if s.Charac != nil || s.Exp != nil {
+		if s.Charac != nil || s.Exp != nil || s.Diag != nil {
 			return Spec{}, fmt.Errorf("%w: kind %q with mismatched sub-spec", ErrBadSpec, s.Kind)
 		}
 		f := TestFlowSpec{}
@@ -132,6 +155,28 @@ func (s Spec) Normalize() (Spec, error) {
 			return Spec{}, err
 		}
 		out.TestFlow = &f
+	case KindDiag:
+		if s.Charac != nil || s.Exp != nil || s.TestFlow != nil {
+			return Spec{}, fmt.Errorf("%w: kind %q with mismatched sub-spec", ErrBadSpec, s.Kind)
+		}
+		if s.CSV {
+			return Spec{}, fmt.Errorf("%w: kind %q emits a JSON artifact, csv does not apply", ErrBadSpec, s.Kind)
+		}
+		dg := DiagSpec{}
+		if s.Diag != nil {
+			dg = *s.Diag
+		}
+		var err error
+		if dg.Defects, err = normalizeDefects(dg.Defects); err != nil {
+			return Spec{}, err
+		}
+		if dg.CaseStudies, err = normalizeCaseStudies(dg.CaseStudies); err != nil {
+			return Spec{}, err
+		}
+		if dg.Decades, err = normalizeDecades(dg.Decades); err != nil {
+			return Spec{}, err
+		}
+		out.Diag = &dg
 	default:
 		return Spec{}, fmt.Errorf("%w: unknown kind %q", ErrBadSpec, s.Kind)
 	}
@@ -165,6 +210,28 @@ func normalizeDefects(ds []int) ([]int, error) {
 	return out, nil
 }
 
+// normalizeDecades validates, sorts and dedupes a resistance grid; empty
+// expands to diag's default decade grid so the default and its explicit
+// spelling share one cache key.
+func normalizeDecades(rs []float64) ([]float64, error) {
+	if len(rs) == 0 {
+		return diag.DefaultDecades(), nil
+	}
+	seen := map[float64]bool{}
+	out := make([]float64, 0, len(rs))
+	for _, r := range rs {
+		if r <= 0 || math.IsInf(r, 0) || math.IsNaN(r) {
+			return nil, fmt.Errorf("%w: invalid resistance %g (want finite > 0)", ErrBadSpec, r)
+		}
+		if !seen[r] {
+			seen[r] = true
+			out = append(out, r)
+		}
+	}
+	sort.Float64s(out)
+	return out, nil
+}
+
 // normalizeCaseStudies validates, sorts and dedupes case-study indices;
 // empty expands to all five Table II columns.
 func normalizeCaseStudies(cs []int) ([]int, error) {
@@ -189,6 +256,13 @@ func normalizeCaseStudies(cs []int) ([]int, error) {
 // Canonical returns the canonical serialization of the spec: the JSON of
 // its normalized form. It is the store's content address, so its bytes
 // must stay stable across releases (golden-tested in testdata/jobs.json).
+// When adding a kind or field, add input cases to the golden file and
+// regenerate the pinned bytes with
+//
+//	go test ./internal/jobs -run TestCanonicalGolden -update
+//
+// instead of hand-editing canonical strings or hashes; review the diff to
+// confirm no pre-existing case changed.
 func (s Spec) Canonical() ([]byte, error) {
 	n, err := s.Normalize()
 	if err != nil {

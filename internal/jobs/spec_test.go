@@ -3,31 +3,70 @@ package jobs
 import (
 	"encoding/json"
 	"errors"
+	"flag"
 	"os"
 	"testing"
 )
+
+// update regenerates the pinned canonical bytes and keys of
+// testdata/jobs.json from the current Normalize implementation:
+//
+//	go test ./internal/jobs -run TestCanonicalGolden -update
+//
+// New cases are added by appending {name, input} objects to the golden
+// file and running -update; never hand-edit canonical strings or hashes.
+// Review the resulting diff: a changed pre-existing case means every
+// cached result of that spec is silently invalidated.
+var update = flag.Bool("update", false, "rewrite testdata/jobs.json canonical bytes and keys")
+
+type goldenCase struct {
+	Name      string          `json:"name"`
+	Input     json.RawMessage `json:"input"`
+	Canonical string          `json:"canonical"`
+	Key       string          `json:"key"`
+}
 
 // TestCanonicalGolden pins the canonical job-spec serialization to
 // testdata/jobs.json. The canonical bytes are the result store's cache
 // key: if this test fails, the serialization drifted and every cached
 // result would be silently invalidated — change the golden file only
-// with a deliberate cache-versioning decision.
+// with a deliberate cache-versioning decision (see the -update flag).
 func TestCanonicalGolden(t *testing.T) {
 	data, err := os.ReadFile("testdata/jobs.json")
 	if err != nil {
 		t.Fatal(err)
 	}
-	var cases []struct {
-		Name      string          `json:"name"`
-		Input     json.RawMessage `json:"input"`
-		Canonical string          `json:"canonical"`
-		Key       string          `json:"key"`
-	}
+	var cases []goldenCase
 	if err := json.Unmarshal(data, &cases); err != nil {
 		t.Fatal(err)
 	}
 	if len(cases) == 0 {
 		t.Fatal("golden file holds no cases")
+	}
+	if *update {
+		for i := range cases {
+			var s Spec
+			if err := json.Unmarshal(cases[i].Input, &s); err != nil {
+				t.Fatalf("%s: %v", cases[i].Name, err)
+			}
+			canon, err := s.Canonical()
+			if err != nil {
+				t.Fatalf("%s: %v", cases[i].Name, err)
+			}
+			cases[i].Canonical = string(canon)
+			if cases[i].Key, err = s.Key(); err != nil {
+				t.Fatalf("%s: %v", cases[i].Name, err)
+			}
+		}
+		out, err := json.MarshalIndent(cases, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile("testdata/jobs.json", append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote testdata/jobs.json with %d cases", len(cases))
+		return
 	}
 	for _, c := range cases {
 		t.Run(c.Name, func(t *testing.T) {
@@ -86,6 +125,13 @@ func TestNormalizeRejectsBadSpecs(t *testing.T) {
 		{Kind: KindCharac, Charac: &CharacSpec{CaseStudies: []int{6}}},
 		{Kind: KindTestFlow, TestFlow: &TestFlowSpec{Defects: []int{-1}}},
 		{Kind: KindTestFlow, Charac: &CharacSpec{}},
+		{Kind: KindTestFlow, TestFlow: &TestFlowSpec{}, Diag: &DiagSpec{}},
+		{Kind: KindDiag, Diag: &DiagSpec{Defects: []int{33}}},
+		{Kind: KindDiag, Diag: &DiagSpec{CaseStudies: []int{6}}},
+		{Kind: KindDiag, Diag: &DiagSpec{Decades: []float64{-1e3}}},
+		{Kind: KindDiag, Diag: &DiagSpec{Decades: []float64{0}}},
+		{Kind: KindDiag, Exp: &ExpSpec{Samples: 1}},
+		{Kind: KindDiag, CSV: true},
 	}
 	for i, s := range bad {
 		if _, err := s.Normalize(); !errors.Is(err, ErrBadSpec) {
@@ -111,5 +157,30 @@ func TestEquivalentSpecsShareKeys(t *testing.T) {
 	c := Spec{Kind: KindExp, Exp: &ExpSpec{Samples: 64, Seed: 7}}
 	if kc, _ := c.Key(); kc == ka {
 		t.Error("different seeds must not share a cache key")
+	}
+}
+
+func TestDiagSpecsShareKeys(t *testing.T) {
+	// The bare default and its explicit spelling (unsorted, with a
+	// duplicate decade) must land on one cache key.
+	a := Spec{Kind: KindDiag}
+	b := Spec{Kind: KindDiag, Diag: &DiagSpec{
+		Decades:     []float64{1e8, 1e3, 1e4, 1e5, 1e6, 1e7, 1e3},
+		CaseStudies: []int{5, 4, 3, 2, 1, 1},
+	}}
+	ka, err := a.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := b.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Error("default diag spec and explicit spelling must share a cache key")
+	}
+	c := Spec{Kind: KindDiag, Diag: &DiagSpec{BaseOnly: true}}
+	if kc, _ := c.Key(); kc == ka {
+		t.Error("base-only dictionaries must not share the full build's key")
 	}
 }

@@ -78,6 +78,11 @@ type RunOptions struct {
 	// AddrMap(i). It must be a bijection on [0, Size). nil = identity
 	// (fast-column order for the studied layout).
 	AddrMap func(i int) int
+	// CaptureAll lifts the maxRecordedFailures cap so every failing
+	// operation is recorded, not just the first 64 — the full failure
+	// map that diagnosis signatures are built from (internal/diag).
+	// Pass/fail semantics (Detected, TotalMiscompares) are unchanged.
+	CaptureAll bool
 }
 
 // RunWith executes the test with explicit options; Run is the solid
@@ -95,6 +100,10 @@ func RunWith(t Test, m Memory, opts RunOptions) (Report, error) {
 		amap = func(i int) int { return i }
 	}
 	rep := Report{Test: t}
+	failCap := maxRecordedFailures
+	if opts.CaptureAll {
+		failCap = -1 // unbounded
+	}
 	n := m.Size()
 	for ei, e := range t.Elems {
 		if e.IsMode() {
@@ -141,7 +150,7 @@ func RunWith(t Test, m Memory, opts RunOptions) (Report, error) {
 					}
 					if got != want {
 						rep.TotalMiscompares++
-						if len(rep.Failures) < maxRecordedFailures {
+						if failCap < 0 || len(rep.Failures) < failCap {
 							rep.Failures = append(rep.Failures, Failure{
 								Element: ei, OpIndex: oi, Addr: addr, Expected: want, Got: got,
 							})

@@ -258,6 +258,35 @@ func TestFailureRecordingCapped(t *testing.T) {
 	}
 }
 
+func TestCaptureAllRecordsEveryFailure(t *testing.T) {
+	// The same whole-array wipe with CaptureAll set must record every
+	// miscompare, with the default pass/fail accounting unchanged.
+	cond := process.Condition{Corner: process.FS, VDD: 1.0, TempC: 125}
+	fresh := func() *sram.SRAM {
+		s := sram.New()
+		s.SetRetention(sram.NewThresholdRetention(cond, 0.01))
+		return s
+	}
+	full, err := RunWith(MarchMLZ(), fresh(), RunOptions{CaptureAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(full.Failures) != full.TotalMiscompares {
+		t.Errorf("CaptureAll recorded %d of %d miscompares", len(full.Failures), full.TotalMiscompares)
+	}
+	if len(full.Failures) <= 64 {
+		t.Errorf("expected a whole-array failure map, got %d records", len(full.Failures))
+	}
+	capped, err := Run(MarchMLZ(), fresh())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if capped.TotalMiscompares != full.TotalMiscompares || capped.Detected() != full.Detected() {
+		t.Errorf("CaptureAll changed pass/fail accounting: %d vs %d miscompares",
+			full.TotalMiscompares, capped.TotalMiscompares)
+	}
+}
+
 func TestDownOrderActuallyDescends(t *testing.T) {
 	// An aggressor at a HIGHER address coupling into a LOWER victim is
 	// caught by the descending element of March C-; verify order plumbing

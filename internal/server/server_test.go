@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"sramtest/internal/diag"
 	"sramtest/internal/jobs"
 	"sramtest/internal/store"
 )
@@ -258,5 +259,59 @@ func TestEndToEndCharacJob(t *testing.T) {
 	w, _ = doJSON(t, srv, "GET", "/metrics", "")
 	if body := w.Body.String(); !strings.Contains(body, "sramd_cache_hits_total 1") {
 		t.Errorf("cache hit not visible in metrics:\n%s", body)
+	}
+}
+
+// TestEndToEndDiagJob runs a real (reduced) fault-dictionary build
+// through the HTTP API: the job bytes must be the versioned dictionary
+// artifact, identical to what diag.Build encodes (and therefore to
+// `diagnose build -o -`), and an equivalent re-submission must be served
+// from the store.
+func TestEndToEndDiagJob(t *testing.T) {
+	srv, _, _ := newTestServer(t, nil)
+
+	const spec = `{"kind":"diag","diag":{"defects":[16,12],"caseStudies":[1],"decades":[100000],"baseOnly":true}}`
+	w, first := doJSON(t, srv, "POST", "/v1/jobs", spec)
+	if w.Code != http.StatusAccepted || first.Kind != jobs.KindDiag {
+		t.Fatalf("submit: HTTP %d kind=%s: %s", w.Code, first.Kind, w.Body)
+	}
+	done := pollDone(t, srv, first.ID)
+	if done.State != jobs.StateDone {
+		t.Fatalf("job failed: %s", done.Error)
+	}
+	w, _ = doJSON(t, srv, "GET", "/v1/jobs/"+first.ID+"/result", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("result: HTTP %d:\n%s", w.Code, w.Body)
+	}
+	result := append([]byte(nil), w.Body.Bytes()...)
+
+	// The artifact decodes and covers the requested grid.
+	d, err := diag.Decode(result)
+	if err != nil {
+		t.Fatalf("job bytes are not a dictionary: %v", err)
+	}
+	if len(d.Entries) == 0 || len(d.Extra) != 0 {
+		t.Errorf("dictionary: %d entries, %d extra conds (want >0, 0)", len(d.Entries), len(d.Extra))
+	}
+
+	// Byte-identity with the direct runner (the CLI's code path).
+	direct, err := jobs.Run(context.Background(), jobs.Spec{Kind: jobs.KindDiag, Diag: &jobs.DiagSpec{
+		Defects: []int{12, 16}, CaseStudies: []int{1}, Decades: []float64{1e5}, BaseOnly: true,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(result, direct) {
+		t.Error("served dictionary differs from the direct runner's bytes")
+	}
+
+	// Equivalent spelling (duplicate defect, unsorted) is a cache hit.
+	w, second := doJSON(t, srv, "POST", "/v1/jobs", `{"kind":"diag","diag":{"defects":[16,12,16],"caseStudies":[1],"decades":[100000],"baseOnly":true}}`)
+	if w.Code != http.StatusOK || !second.Cached || second.State != jobs.StateDone {
+		t.Fatalf("resubmit: HTTP %d cached=%v state=%s", w.Code, second.Cached, second.State)
+	}
+	w, _ = doJSON(t, srv, "GET", "/v1/jobs/"+second.ID+"/result", "")
+	if !bytes.Equal(w.Body.Bytes(), result) {
+		t.Error("cached dictionary bytes differ from the computed ones")
 	}
 }

@@ -57,9 +57,17 @@ type retKey struct {
 // injected regulator defect (use resistance 0 for a fault-free regulator).
 // The reference level follows the paper's per-VDD selection.
 func NewElectricalRetention(cond process.Condition, d regulator.Defect, res float64) (*ElectricalRetention, error) {
+	return NewElectricalRetentionAt(cond, regulator.SelectFor(cond.VDD), d, res)
+}
+
+// NewElectricalRetentionAt is NewElectricalRetention with an explicit
+// reference level, for callers probing the non-default (VDD, Vref) test
+// conditions of the flow optimizer — the diagnosis dictionary simulates
+// March m-LZ at all 12 combinations.
+func NewElectricalRetentionAt(cond process.Condition, level regulator.VrefLevel, d regulator.Defect, res float64) (*ElectricalRetention, error) {
 	pm := power.NewModel(cond)
 	reg := regulator.Build(cond, pm.LoadFunc(), regulator.DefaultParams())
-	reg.SetVref(regulator.SelectFor(cond.VDD))
+	reg.SetVref(level)
 	e := &ElectricalRetention{
 		Cond:      cond,
 		reg:       reg,

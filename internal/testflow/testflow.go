@@ -20,9 +20,11 @@ import (
 
 // TestCondition is one candidate iteration setting: the supply voltage
 // applied during test and the reference level programmed via VrefSel.
+// The JSON field names are part of the diag dictionary artifact format
+// (internal/diag) and must stay stable.
 type TestCondition struct {
-	VDD   float64
-	Level regulator.VrefLevel
+	VDD   float64             `json:"vdd"`
+	Level regulator.VrefLevel `json:"level"`
 }
 
 // TargetVreg is the nominal regulated voltage of the condition.

@@ -1,0 +1,46 @@
+#!/bin/sh
+# diag-smoke.sh — end-to-end smoke test of the diagnose CLI, as run by
+# CI and `make diag-smoke`: build a tiny fault dictionary, print its
+# ambiguity statistics, match a simulated failing device, and run the
+# adaptive refinement on the Df1/Df2 pair the three-condition flow
+# cannot separate.
+#
+# Requires only a POSIX shell and go. Exits non-zero on any failure.
+set -eu
+
+TMP="$(mktemp -d)"
+DICT="$TMP/dict.json"
+
+fail() {
+	echo "diag-smoke: FAIL: $*" >&2
+	exit 1
+}
+
+cleanup() {
+	rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "diag-smoke: building diagnose"
+go build -o "$TMP/diagnose" ./cmd/diagnose
+
+echo "diag-smoke: building a tiny dictionary (Df1, Df2 at 1 MOhm, CS1)"
+"$TMP/diagnose" build -defects 1,2 -cs 1 -decades 1e6 -o "$DICT"
+[ -s "$DICT" ] || fail "dictionary artifact missing"
+grep -q '"version": 1' "$DICT" || fail "artifact lacks a version stamp"
+
+echo "diag-smoke: stats"
+STATS=$("$TMP/diagnose" stats -dict "$DICT")
+printf '%s\n' "$STATS" | grep -q 'dictionary entries' || fail "no stats table: $STATS"
+
+echo "diag-smoke: match (expect a two-candidate Df1/Df2 ambiguity)"
+MATCH=$("$TMP/diagnose" match -dict "$DICT" -defect 1 -res 1e6)
+printf '%s\n' "$MATCH" | grep -q 'exact dictionary hit' || fail "no exact hit: $MATCH"
+printf '%s\n' "$MATCH" | grep -q 'ambiguity set holds 2' || fail "expected Df1/Df2 ambiguity: $MATCH"
+
+echo "diag-smoke: adaptive (expect the refiner to resolve Df1)"
+ADAPT=$("$TMP/diagnose" adaptive -dict "$DICT" -defect 1 -res 1e6)
+printf '%s\n' "$ADAPT" | grep -q 'refine step 1' || fail "refiner took no step: $ADAPT"
+printf '%s\n' "$ADAPT" | grep -q 'resolved: Df1' || fail "refiner missed Df1: $ADAPT"
+
+echo "diag-smoke: PASS"

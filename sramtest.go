@@ -32,6 +32,7 @@ import (
 	"sramtest/internal/bist"
 	"sramtest/internal/cell"
 	"sramtest/internal/charac"
+	"sramtest/internal/diag"
 	"sramtest/internal/march"
 	"sramtest/internal/power"
 	"sramtest/internal/process"
@@ -269,4 +270,42 @@ func OptimizeFlow(opt FlowMeasureOptions, worstDRV float64) (Flow, error) {
 		return Flow{}, err
 	}
 	return testflow.Optimize(sens, testflow.DefaultOptimizeOptions(worstDRV)), nil
+}
+
+// Fault-dictionary defect diagnosis: from the failure signature the
+// optimized flow observes on a failing device back to the causing
+// regulator defect.
+type (
+	// FaultDictionary maps candidate (defect, resistance, case study)
+	// hypotheses to their March m-LZ failure signatures; its Match and
+	// Refine methods perform the diagnosis.
+	FaultDictionary = diag.Dictionary
+	// DiagCandidate is one diagnosable hypothesis.
+	DiagCandidate = diag.Candidate
+	// DiagOptions configures dictionary construction and observation.
+	DiagOptions = diag.Options
+	// DiagSignature is an observed multi-condition failure signature.
+	DiagSignature = diag.Signature
+	// DiagObserver supplies device signatures at extra test conditions
+	// during adaptive refinement.
+	DiagObserver = diag.Observer
+)
+
+// DefaultDiagOptions mirrors the paper's production-test setup (fs
+// corner, 125 °C, 1 ms dwell, the optimized three-condition flow).
+func DefaultDiagOptions() DiagOptions { return diag.DefaultOptions() }
+
+// BuildFaultDictionary simulates every candidate at every flow (and
+// refinement) condition; the result is identical at any worker count.
+func BuildFaultDictionary(opt DiagOptions) (*FaultDictionary, error) { return diag.Build(opt) }
+
+// LoadFaultDictionary reads a dictionary artifact written by
+// (*FaultDictionary).Save or `diagnose build`.
+func LoadFaultDictionary(path string) (*FaultDictionary, error) { return diag.Load(path) }
+
+// ObserveDiagSignature simulates the optimized flow on a device carrying
+// the candidate defect — the signature a failing part presents to
+// (*FaultDictionary).Match.
+func ObserveDiagSignature(opt DiagOptions, cand DiagCandidate) (DiagSignature, error) {
+	return diag.BuildSignature(opt, cand)
 }

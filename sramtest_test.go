@@ -86,6 +86,33 @@ func TestFacadeCharacterization(t *testing.T) {
 	}
 }
 
+func TestFacadeDiagnosis(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dictionary build is seconds of simulation")
+	}
+	opt := DefaultDiagOptions()
+	opt.Defects = DRFDefects()[:1] // Df1
+	opt.CaseStudies = Table1CaseStudies()[:2]
+	opt.Decades = []float64{1e5}
+	opt.BaseOnly = true
+	d, err := BuildFaultDictionary(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Entries) == 0 {
+		t.Fatal("dictionary is empty")
+	}
+	cand := d.Entries[0].Candidate()
+	sig, err := ObserveDiagSignature(opt, cand)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg := d.Match(sig)
+	if !dg.Exact || dg.Ranked[0].Defect != cand.Defect {
+		t.Errorf("round trip missed: %+v", dg.Ranked)
+	}
+}
+
 func TestFacadeElectricalRetention(t *testing.T) {
 	cond := Condition{Corner: FS, VDD: 1.0, TempC: 125}
 	ret, err := NewElectricalRetention(cond, 0, 0)
