@@ -3,12 +3,13 @@
 #   make verify       build + vet + gofmt + test — the tier-1 gate
 #   make race         race-enabled test run
 #   make bench        one iteration of every benchmark (smoke)
+#   make bench-report solver benchmarks vs baseline -> BENCH_4.json
 #   make serve-smoke  end-to-end sramd daemon smoke test
 #   make diag-smoke   end-to-end diagnose CLI smoke test
 
 GO ?= go
 
-.PHONY: verify build vet fmt test race bench serve-smoke diag-smoke
+.PHONY: verify build vet fmt test race bench bench-report serve-smoke diag-smoke
 
 verify: build vet fmt test
 
@@ -34,6 +35,9 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+bench-report:
+	sh scripts/bench-report.sh
 
 serve-smoke:
 	sh scripts/serve-smoke.sh

@@ -88,6 +88,7 @@ func BenchmarkTable2(b *testing.B) {
 	opt := charac.DefaultOptions()
 	opt.Conditions = []process.Condition{hot(1.0)}
 	css := process.Table1CaseStudies()
+	before := spice.Stats()
 	for i := 0; i < b.N; i++ {
 		charac.ResetCache() // measure cold searches, not memo hits
 		prev := 0.0
@@ -105,6 +106,18 @@ func BenchmarkTable2(b *testing.B) {
 			}
 		}
 	}
+	reportSolverStats(b, spice.Stats().Sub(before))
+}
+
+// reportSolverStats attaches the solver's Newton-efficiency counters to a
+// benchmark: iterations per solve (the number warm starting drives down)
+// and total solves per op.
+func reportSolverStats(b *testing.B, d spice.SolverStats) {
+	if d.Solves == 0 {
+		return
+	}
+	b.ReportMetric(d.ItersPerSolve(), "newton-iters/solve")
+	b.ReportMetric(float64(d.Solves)/float64(b.N), "solves/op")
 }
 
 // BenchmarkTable2Parallel measures the sweep engine on a Table II slice
@@ -242,6 +255,7 @@ func BenchmarkDictionaryBuild(b *testing.B) {
 	opt.CaseStudies = process.Table1CaseStudies()[:2]
 	opt.Decades = []float64{1e5}
 	opt.BaseOnly = true
+	before := spice.Stats()
 	for i := 0; i < b.N; i++ {
 		diag.ResetCache() // measure cold builds, not memo hits
 		d, err := diag.Build(opt)
@@ -252,6 +266,7 @@ func BenchmarkDictionaryBuild(b *testing.B) {
 			b.Fatalf("got %d entries + %d undetected, want 4 candidates", len(d.Entries), d.Undetected)
 		}
 	}
+	reportSolverStats(b, spice.Stats().Sub(before))
 }
 
 // BenchmarkDiagnose times one full adaptive diagnosis — observe the
@@ -317,11 +332,13 @@ func BenchmarkRegulatorOPWarm(b *testing.B) {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
+	before := spice.Stats()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := r.SolveDS(warm); err != nil {
 			b.Fatal(err)
 		}
 	}
+	reportSolverStats(b, spice.Stats().Sub(before))
 }
 
 // BenchmarkSNM times one butterfly SNM extraction.

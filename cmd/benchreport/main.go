@@ -1,0 +1,222 @@
+// Command benchreport turns `go test -bench` output into a
+// machine-readable JSON report, optionally comparing it against a
+// checked-in baseline run (benchmarks/baseline.txt).
+//
+// Usage:
+//
+//	go test -bench=. -benchmem ... | benchreport -o BENCH_4.json
+//	benchreport -in new.txt -baseline benchmarks/baseline.txt -o BENCH_4.json
+//	benchreport ... -check BenchmarkTable2,BenchmarkDictionaryBuild -min-alloc-ratio 2
+//
+// Repeated runs of the same benchmark (-count=N) are averaged. When a
+// baseline is given, each benchmark that appears in both runs gets a
+// delta block with the time and allocation ratios (baseline/new, so >1
+// means the new run is better). -check names benchmarks whose
+// allocation ratio must meet -min-alloc-ratio, turning the report into a
+// CI gate: allocs/op is machine-independent, so unlike wall-clock ratios
+// it is safe to enforce across runner generations.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Bench is the aggregated result of one benchmark across repetitions.
+type Bench struct {
+	Runs        int                `json:"runs"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	BytesPerOp  float64            `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64            `json:"allocs_per_op,omitempty"`
+	Metrics     map[string]float64 `json:"metrics,omitempty"` // custom b.ReportMetric units
+}
+
+// Delta compares a benchmark against its baseline. Ratios are
+// baseline/new: 2.0 means twice as fast (or half the allocations).
+type Delta struct {
+	Baseline   Bench   `json:"baseline"`
+	TimeRatio  float64 `json:"time_ratio"`
+	AllocRatio float64 `json:"alloc_ratio,omitempty"`
+}
+
+// Report is the BENCH_4.json schema.
+type Report struct {
+	Benchmarks map[string]Bench  `json:"benchmarks"`
+	Deltas     map[string]Delta  `json:"deltas,omitempty"`
+	Env        map[string]string `json:"env,omitempty"` // goos/goarch/cpu headers
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// parse reads `go test -bench` output, averaging repeated runs.
+func parse(r io.Reader) (map[string]Bench, map[string]string, error) {
+	sums := map[string]*Bench{}
+	env := map[string]string{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if k, v, ok := strings.Cut(line, ": "); ok && (k == "goos" || k == "goarch" || k == "cpu" || k == "pkg") {
+			env[k] = v
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1]
+		b := sums[name]
+		if b == nil {
+			b = &Bench{Metrics: map[string]float64{}}
+			sums[name] = b
+		}
+		b.Runs++
+		// The tail is "<value> <unit>" pairs.
+		fields := strings.Fields(m[3])
+		for i := 0; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return nil, nil, fmt.Errorf("bad value %q in %q", fields[i], line)
+			}
+			switch unit := fields[i+1]; unit {
+			case "ns/op":
+				b.NsPerOp += v
+			case "B/op":
+				b.BytesPerOp += v
+			case "allocs/op":
+				b.AllocsPerOp += v
+			default:
+				b.Metrics[unit] += v
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, err
+	}
+	out := map[string]Bench{}
+	for name, b := range sums {
+		n := float64(b.Runs)
+		b.NsPerOp /= n
+		b.BytesPerOp /= n
+		b.AllocsPerOp /= n
+		for k := range b.Metrics {
+			b.Metrics[k] /= n
+		}
+		if len(b.Metrics) == 0 {
+			b.Metrics = nil
+		}
+		out[name] = *b
+	}
+	return out, env, nil
+}
+
+func parseFile(path string) (map[string]Bench, map[string]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return parse(f)
+}
+
+func main() {
+	var (
+		in       = flag.String("in", "", "bench output file (default: stdin)")
+		baseline = flag.String("baseline", "", "baseline bench output to compare against")
+		out      = flag.String("o", "", "write the JSON report here (default: stdout)")
+		check    = flag.String("check", "", "comma-separated benchmarks whose alloc_ratio must meet -min-alloc-ratio")
+		minRatio = flag.Float64("min-alloc-ratio", 2, "required baseline/new allocs-per-op ratio for -check benchmarks")
+	)
+	flag.Parse()
+
+	src := io.Reader(os.Stdin)
+	var err error
+	rep := Report{}
+	if *in != "" {
+		rep.Benchmarks, rep.Env, err = parseFile(*in)
+	} else {
+		rep.Benchmarks, rep.Env, err = parse(src)
+	}
+	if err != nil {
+		fatal("parse: %v", err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		fatal("no benchmark lines found in input")
+	}
+
+	if *baseline != "" {
+		base, _, err := parseFile(*baseline)
+		if err != nil {
+			fatal("baseline: %v", err)
+		}
+		rep.Deltas = map[string]Delta{}
+		for name, b := range rep.Benchmarks {
+			prev, ok := base[name]
+			if !ok {
+				continue
+			}
+			d := Delta{Baseline: prev}
+			if b.NsPerOp > 0 {
+				d.TimeRatio = prev.NsPerOp / b.NsPerOp
+			}
+			if b.AllocsPerOp > 0 {
+				d.AllocRatio = prev.AllocsPerOp / b.AllocsPerOp
+			}
+			rep.Deltas[name] = d
+		}
+	}
+
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fatal("encode: %v", err)
+	}
+	buf = append(buf, '\n')
+	if *out != "" {
+		err = os.WriteFile(*out, buf, 0o644)
+	} else {
+		_, err = os.Stdout.Write(buf)
+	}
+	if err != nil {
+		fatal("write: %v", err)
+	}
+
+	if *check != "" {
+		if rep.Deltas == nil {
+			fatal("-check requires -baseline")
+		}
+		failed := false
+		for _, name := range strings.Split(*check, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			d, ok := rep.Deltas[name]
+			if !ok {
+				fmt.Fprintf(os.Stderr, "benchreport: %s missing from run or baseline\n", name)
+				failed = true
+				continue
+			}
+			if d.AllocRatio < *minRatio {
+				fmt.Fprintf(os.Stderr, "benchreport: %s alloc_ratio %.2f < required %.2f\n", name, d.AllocRatio, *minRatio)
+				failed = true
+			} else {
+				fmt.Fprintf(os.Stderr, "benchreport: %s alloc_ratio %.2fx, time_ratio %.2fx\n", name, d.AllocRatio, d.TimeRatio)
+			}
+		}
+		if failed {
+			os.Exit(1)
+		}
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "benchreport: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -36,8 +36,10 @@ func main() {
 		csv       = flag.Bool("csv", false, "emit CSV")
 	)
 	applyWorkers := cli.Workers(flag.CommandLine)
+	startProfile := cli.Profile(flag.CommandLine)
 	flag.Parse()
 	applyWorkers()
+	defer startProfile()()
 
 	opt := charac.DefaultOptions()
 	if !*full {

@@ -35,8 +35,10 @@ func main() {
 		csv    = flag.Bool("csv", false, "emit CSV")
 	)
 	applyWorkers := cli.Workers(flag.CommandLine)
+	startProfile := cli.Profile(flag.CommandLine)
 	flag.Parse()
 	applyWorkers()
+	defer startProfile()()
 	if !*table1 && !*fig4 && !*dwell && *mc == 0 {
 		*table1 = true
 	}

@@ -34,8 +34,10 @@ func main() {
 		csv         = flag.Bool("csv", false, "emit CSV")
 	)
 	applyWorkers := cli.Workers(flag.CommandLine)
+	startProfile := cli.Profile(flag.CommandLine)
 	flag.Parse()
 	applyWorkers()
+	defer startProfile()()
 
 	if *timeOnly {
 		flow := testflow.Flow{Iterations: make([]testflow.Iteration, 3), Candidates: 12}

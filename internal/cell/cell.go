@@ -48,6 +48,15 @@ type Cell struct {
 	Var  process.Variation
 	Geom Geometry
 	devs [process.NumCellTransistors]*device.MOS
+
+	// snm holds the sampling scratch reused by the SNM analyses (see
+	// snmCurves): a DRV bisection evaluates SNM at dozens of supplies, and
+	// recycling the buffers keeps that loop allocation-free. Like the
+	// solver workspaces, a Cell is single-goroutine.
+	snm struct {
+		grid, y1, y2 []float64
+		c1, c2       num.Curve
+	}
 }
 
 // New builds a cell with the given local variation at the given PVT
@@ -158,4 +167,29 @@ func (c *Cell) sampleVTC(vcc float64, inv func(vin, vcc float64) float64) *num.C
 		panic(fmt.Sprintf("cell: VTC sampling: %v", err))
 	}
 	return cv
+}
+
+// snmCurves samples both inverter VTCs on a shared supply grid into the
+// cell's scratch buffers. The returned curves and grid alias the scratch
+// and are only valid until the next snmCurves call — which is why the
+// public VTC1/VTC2 return independent copies instead.
+func (c *Cell) snmCurves(vcc float64) (g1, g2 *num.Curve, grid []float64) {
+	if vcc <= 0 {
+		panic(fmt.Sprintf("cell: VTC sampling: non-increasing grid (vcc=%g)", vcc))
+	}
+	if len(c.snm.grid) != VTCPoints {
+		c.snm.grid = make([]float64, VTCPoints)
+		c.snm.y1 = make([]float64, VTCPoints)
+		c.snm.y2 = make([]float64, VTCPoints)
+	}
+	grid = num.LinspaceInto(c.snm.grid, 0, vcc)
+	for i, x := range grid {
+		c.snm.y1[i] = c.InverterS(x, vcc)
+	}
+	for i, x := range grid {
+		c.snm.y2[i] = c.InverterSN(x, vcc)
+	}
+	c.snm.c1 = num.Curve{X: grid, Y: c.snm.y1}
+	c.snm.c2 = num.Curve{X: grid, Y: c.snm.y2}
+	return &c.snm.c1, &c.snm.c2, grid
 }

@@ -15,9 +15,8 @@ import (
 // the lower-right lobe has opposite corners (u, g2(u)) on the first curve
 // and (u+s, g2(u)−s) on the second; SNM1 is the maximum s over the lobe.
 func (c *Cell) SNM1(vcc float64) float64 {
-	g1 := c.VTC1(vcc) // S as function of SN
-	g2 := c.VTC2(vcc) // SN as function of S
-	return maxSquare(g1, g2, vcc)
+	g1, g2, grid := c.snmCurves(vcc) // g1: S(SN), g2: SN(S)
+	return maxSquare(g1, g2, grid, vcc)
 }
 
 // SNM0 returns the deep-sleep static noise margin of the stored-'0' state
@@ -28,9 +27,8 @@ func (c *Cell) SNM1(vcc float64) float64 {
 func (c *Cell) SNM0(vcc float64) float64 {
 	// Swap the roles of the axes: in the (V_SN, V_S) plane the stored-'0'
 	// lobe becomes the lower-right lobe, with curve roles exchanged.
-	g2 := c.VTC2(vcc) // SN as function of S -> plays "g1" (u' = g2(v'))
-	g1 := c.VTC1(vcc) // S as function of SN -> plays "g2" (v' = g1(u'))
-	return maxSquare(g2, g1, vcc)
+	g1, g2, grid := c.snmCurves(vcc) // g2 plays "g1" (u' = g2(v')), g1 plays "g2"
+	return maxSquare(g2, g1, grid, vcc)
 }
 
 // SNM returns both margins at vcc.
@@ -40,16 +38,19 @@ func (c *Cell) SNM(vcc float64) (snm0, snm1 float64) {
 
 // maxSquare computes the largest square inscribed in the lower-right lobe
 // between curve u = gU(v) and curve v = gV(u). Both curves are sampled on
-// [0, vcc]. For each sample u with v1 = gV(u), it grows the square side s
-// until the opposite corner (u+s, v1−s) reaches the gU curve.
-func maxSquare(gU, gV *num.Curve, vcc float64) float64 {
+// the shared grid covering [0, vcc]. For each sample u with v1 = gV(u), it
+// grows the square side s until the opposite corner (u+s, v1−s) reaches
+// the gU curve. The single closure is hoisted out of the loop (capturing
+// the loop state by reference) so the scan allocates nothing.
+func maxSquare(gU, gV *num.Curve, grid []float64, vcc float64) float64 {
 	best := 0.0
-	for _, u := range num.Linspace(0, vcc, VTCPoints) {
-		v1 := gV.At(u)
-		h := func(s float64) float64 {
-			v2 := num.Clamp(v1-s, 0, vcc)
-			return u + s - gU.At(v2)
-		}
+	var u, v1 float64
+	h := func(s float64) float64 {
+		v2 := num.Clamp(v1-s, 0, vcc)
+		return u + s - gU.At(v2)
+	}
+	for _, u = range grid {
+		v1 = gV.At(u)
 		if h(0) >= 0 {
 			continue // outside the lobe: curves already crossed here
 		}

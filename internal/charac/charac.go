@@ -48,6 +48,11 @@ type Options struct {
 	// (sweep.ContextWithProgress) is tallied by the engine. Like
 	// Workers, Ctx never affects the values of results that complete.
 	Ctx context.Context
+	// ColdStart disables warm-start continuation in the underlying solver
+	// (every operating point is solved from zero). It exists for the
+	// warm-start equivalence tests and for debugging suspicious
+	// convergence; production runs leave it false.
+	ColdStart bool
 }
 
 // ctx returns the options' context, defaulting to context.Background.
@@ -119,6 +124,7 @@ type condEnv struct {
 	reg   *regulator.Regulator
 	cells map[string]*cellEnv // per case-study cell model + DRV
 	dwell float64
+	sopt  spice.Options // solver settings (carries the ColdStart ablation)
 }
 
 type cellEnv struct {
@@ -135,7 +141,9 @@ func newCondEnv(cond process.Condition, opt Options) *condEnv {
 		level = *opt.Level
 	}
 	reg.SetVref(level)
-	return &condEnv{cond: cond, reg: reg, cells: map[string]*cellEnv{}, dwell: opt.Dwell}
+	sopt := spice.DefaultOptions()
+	sopt.ColdStart = opt.ColdStart
+	return &condEnv{cond: cond, reg: reg, cells: map[string]*cellEnv{}, dwell: opt.Dwell, sopt: sopt}
 }
 
 // FaultFreeVreg returns the fault-free DS rail for a condition under the
@@ -172,7 +180,7 @@ func (e *condEnv) solveDS(ce *cellEnv, warm *spice.Solution) (float64, *spice.So
 	var err error
 	for i := 0; i < 8; i++ {
 		e.reg.SetExtraLoad(extra)
-		v, sol, err = e.reg.SolveDS(warm)
+		v, sol, err = e.reg.SolveDSWith(warm, e.sopt)
 		if err != nil {
 			e.reg.SetExtraLoad(0)
 			return 0, nil, err
@@ -201,12 +209,16 @@ func (e *condEnv) lostDC(ce *cellEnv, v float64) bool {
 }
 
 // lostTransient decides the transient-defect criterion from the DS-entry
-// waveform of V_DD_CC.
-func (e *condEnv) lostTransient(ce *cellEnv) (bool, error) {
-	wf, err := e.reg.DSEntry(e.dwell)
+// waveform of V_DD_CC. The warm pointer carries the previous probe's ACT
+// operating point across the bisection (for a transient defect every
+// probe in a search starts from the same ACT configuration, so the chain
+// never mixes analysis modes).
+func (e *condEnv) lostTransient(ce *cellEnv, warm **spice.Solution) (bool, error) {
+	wf, act, err := e.reg.DSEntryWith(e.dwell, *warm, e.sopt)
 	if err != nil {
 		return false, err
 	}
+	*warm = act
 	// Fast path: a supply that never crosses below the static DRV cannot
 	// flip the cell — skip the trajectory integration.
 	if _, min := wf.Min("vddcc"); min >= ce.drv1 {
@@ -218,7 +230,7 @@ func (e *condEnv) lostTransient(ce *cellEnv) (bool, error) {
 // lost evaluates the full DRF criterion for the presently injected defect.
 func (e *condEnv) lost(info regulator.Info, ce *cellEnv, warm **spice.Solution) (bool, error) {
 	if info.Transient {
-		return e.lostTransient(ce)
+		return e.lostTransient(ce, warm)
 	}
 	v, sol, err := e.solveDS(ce, *warm)
 	if err != nil {
@@ -292,6 +304,7 @@ type pointKey struct {
 	dwell  float64
 	resTol float64
 	level  regulator.VrefLevel // -1 = per-VDD default (regulator.SelectFor)
+	cold   bool                // ColdStart ablation runs are cached separately
 }
 
 func keyOf(d regulator.Defect, cs process.CaseStudy, cond process.Condition, opt Options) pointKey {
@@ -299,7 +312,7 @@ func keyOf(d regulator.Defect, cs process.CaseStudy, cond process.Condition, opt
 	if opt.Level != nil {
 		level = *opt.Level
 	}
-	return pointKey{defect: d, cs: cs, cond: cond, dwell: opt.Dwell, resTol: opt.ResTol, level: level}
+	return pointKey{defect: d, cs: cs, cond: cond, dwell: opt.Dwell, resTol: opt.ResTol, level: level, cold: opt.ColdStart}
 }
 
 // pointCache memoizes characterization points across calls, so repeated

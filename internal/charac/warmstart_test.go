@@ -1,0 +1,60 @@
+package charac
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestWarmStartEquivalence is the correctness contract of the warm-start
+// optimization: carrying the previous operating point into the next
+// Newton solve is a speed knob, never a results knob. The same Table II
+// slice computed with warm starts (the default) and with the ColdStart
+// ablation must be identical, at several worker counts — warm chains
+// differ per worker topology, so this also proves chain order is
+// irrelevant to the converged answers.
+func TestWarmStartEquivalence(t *testing.T) {
+	opt, defects, css := parallelTestOptions()
+
+	for _, workers := range []int{1, 4} {
+		opt.Workers = workers
+
+		opt.ColdStart = true
+		ResetCache()
+		cold, err := CharacterizeAll(defects, css, opt)
+		if err != nil {
+			t.Fatalf("workers=%d cold: %v", workers, err)
+		}
+
+		opt.ColdStart = false
+		ResetCache()
+		warm, err := CharacterizeAll(defects, css, opt)
+		if err != nil {
+			t.Fatalf("workers=%d warm: %v", workers, err)
+		}
+
+		if !reflect.DeepEqual(warm, cold) {
+			t.Errorf("workers=%d: warm-started results deviate from cold-started:\nwarm %+v\ncold %+v",
+				workers, warm, cold)
+		}
+	}
+}
+
+// TestWarmStartCacheSeparation pins the memo-key hygiene: a cold-start
+// probe and a warm-start probe of the same point are distinct cache
+// entries, so the ablation can never serve memoized warm results.
+func TestWarmStartCacheSeparation(t *testing.T) {
+	opt, defects, css := parallelTestOptions()
+
+	ResetCache()
+	if _, err := MinResistanceAt(defects[0], css[0], opt.Conditions[0], opt); err != nil {
+		t.Fatal(err)
+	}
+	n := CacheLen()
+	opt.ColdStart = true
+	if _, err := MinResistanceAt(defects[0], css[0], opt.Conditions[0], opt); err != nil {
+		t.Fatal(err)
+	}
+	if CacheLen() != n+1 {
+		t.Errorf("ColdStart probe did not get its own cache entry: %d points, want %d", CacheLen(), n+1)
+	}
+}

@@ -5,6 +5,10 @@ package cli
 
 import (
 	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"sramtest/internal/sweep"
 )
@@ -17,4 +21,47 @@ import (
 func Workers(fs *flag.FlagSet) (apply func()) {
 	n := fs.Int("workers", 0, "parallel sweep workers (0 = $SRAMTEST_WORKERS or GOMAXPROCS)")
 	return func() { sweep.SetDefaultWorkers(*n) }
+}
+
+// Profile registers the standard -cpuprofile/-memprofile flags on fs and
+// returns a start function to call after fs.Parse. start begins CPU
+// profiling (when requested) and returns a stop function the caller must
+// defer: stop ends the CPU profile and writes the heap profile. Errors
+// are reported on stderr rather than aborting the run — a failed profile
+// must never cost a finished sweep.
+func Profile(fs *flag.FlagSet) (start func() (stop func())) {
+	cpu := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	mem := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	return func() func() {
+		var cpuFile *os.File
+		if *cpu != "" {
+			f, err := os.Create(*cpu)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			} else if err := pprof.StartCPUProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+				f.Close()
+			} else {
+				cpuFile = f
+			}
+		}
+		return func() {
+			if cpuFile != nil {
+				pprof.StopCPUProfile()
+				cpuFile.Close()
+			}
+			if *mem != "" {
+				f, err := os.Create(*mem)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+					return
+				}
+				defer f.Close()
+				runtime.GC() // materialize the final live set
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+				}
+			}
+		}
+	}
 }

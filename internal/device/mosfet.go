@@ -125,6 +125,17 @@ type MOS struct {
 	Params    MOSParams
 	DVth      float64 // local + corner shift on the signed Vth (V)
 	BetaScale float64 // corner transconductance multiplier (1 = typical)
+
+	// beta memo: Eval runs millions of times per sweep at one fixed
+	// simulation temperature, and the math.Pow in the mobility term
+	// dominated its profile. The cached value is the exact computation
+	// result, re-derived whenever the temperature or corner scale moves,
+	// so results are bit-identical to the uncached model. Like the
+	// solver workspace, the memo assumes the instance is evaluated from
+	// one goroutine at a time.
+	betaTempC float64
+	betaScale float64
+	betaVal   float64
 }
 
 // NewMOS builds a MOSFET instance with neutral corner/variation.
@@ -160,8 +171,13 @@ func (m *MOS) VthMag(tempC float64) float64 {
 // beta returns the effective transconductance factor β = KP·(W/L) at
 // temperature tempC including mobility degradation and corner scaling.
 func (m *MOS) beta(tempC float64) float64 {
-	t := process.KelvinOf(tempC) / process.KelvinOf(TRef)
-	return m.Params.KP * (m.Params.W / m.Params.L) * m.BetaScale * math.Pow(t, -m.Params.MobTempExp)
+	if m.betaVal == 0 || m.betaTempC != tempC || m.betaScale != m.BetaScale {
+		t := process.KelvinOf(tempC) / process.KelvinOf(TRef)
+		m.betaVal = m.Params.KP * (m.Params.W / m.Params.L) * m.BetaScale * math.Pow(t, -m.Params.MobTempExp)
+		m.betaTempC = tempC
+		m.betaScale = m.BetaScale
+	}
+	return m.betaVal
 }
 
 // OpPoint is the evaluated operating point of a MOSFET: the drain current

@@ -74,6 +74,10 @@ type Options struct {
 	Workers int
 	// Ctx, when non-nil, cancels construction.
 	Ctx context.Context
+	// ColdStart disables warm-start continuation in the electrical
+	// solves behind every simulation (ablation/debug knob for the
+	// dictionary equivalence tests; production builds leave it false).
+	ColdStart bool
 }
 
 // DefaultFlowConditions returns the paper's optimized three-condition

@@ -8,6 +8,7 @@ import (
 
 	"sramtest/internal/process"
 	"sramtest/internal/regulator"
+	"sramtest/internal/spice"
 	"sramtest/internal/sweep"
 	"sramtest/internal/testflow"
 )
@@ -96,11 +97,29 @@ func Build(opt Options) (*Dictionary, error) {
 	}
 	conds := append(append([]testflow.TestCondition{}, opt.Flow...), opt.Extra...)
 	nc := len(conds)
-	sigs, err := sweep.MapCtx(opt.Ctx, len(cands)*nc, func(i int) (CondSignature, error) {
-		return simulate(opt, cands[i/nc], conds[i%nc])
+	// One task per candidate, looping its conditions sequentially: the
+	// settled deep-sleep point of one condition warm-starts the next (the
+	// chain is deterministic within a candidate, so worker invariance is
+	// preserved; cross-candidate chains would race on the scheduler).
+	perCand, err := sweep.MapCtx(opt.Ctx, len(cands), func(i int) ([]CondSignature, error) {
+		cand := cands[i]
+		out := make([]CondSignature, nc)
+		var warm *spice.Solution
+		for j, tc := range conds {
+			cs, err := simulate(opt, cand, tc, &warm)
+			if err != nil {
+				return nil, err
+			}
+			out[j] = cs
+		}
+		return out, nil
 	}, sweep.Workers(opt.Workers))
 	if err != nil {
 		return nil, err
+	}
+	sigs := make([]CondSignature, 0, len(cands)*nc)
+	for _, row := range perCand {
+		sigs = append(sigs, row...)
 	}
 
 	d := &Dictionary{

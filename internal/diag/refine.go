@@ -23,7 +23,7 @@ type SimObserver struct {
 
 // Observe implements Observer.
 func (o SimObserver) Observe(tc testflow.TestCondition) (CondSignature, error) {
-	return simulate(o.Opt.withDefaults(), o.Cand, tc)
+	return simulate(o.Opt.withDefaults(), o.Cand, tc, nil)
 }
 
 // RefineStep records one adaptive iteration: the chosen condition and the

@@ -2,10 +2,13 @@ package diag
 
 import (
 	"fmt"
+	"sync"
 
 	"sramtest/internal/march"
+	"sramtest/internal/power"
 	"sramtest/internal/process"
 	"sramtest/internal/regulator"
+	"sramtest/internal/spice"
 	"sramtest/internal/sram"
 	"sramtest/internal/sweep"
 	"sramtest/internal/testflow"
@@ -23,6 +26,7 @@ type simKey struct {
 	res    float64
 	cells  int
 	v      process.Variation
+	cold   bool // ColdStart ablation runs are cached separately
 }
 
 // simCache memoizes whole condition simulations across the process: the
@@ -36,25 +40,75 @@ var simCache sweep.Cache[simKey, CondSignature]
 // and benchmarks use it to measure real recomputation, not memo hits.
 func ResetCache() { simCache.Reset() }
 
+// regPool recycles regulator netlists per condition. Building the
+// ~60-element netlist dominates the allocation profile of a dictionary
+// build, and a simulation owns its retention model only for the duration
+// of one March run, so the instances can be handed from candidate to
+// candidate. Reuse is exact: NewElectricalRetentionReusing resets every
+// piece of state an earlier simulation may have touched.
+var regPool = struct {
+	sync.Mutex
+	free map[process.Condition][]*regulator.Regulator
+}{free: map[process.Condition][]*regulator.Regulator{}}
+
+func getRegulator(cond process.Condition) *regulator.Regulator {
+	regPool.Lock()
+	if list := regPool.free[cond]; len(list) > 0 {
+		r := list[len(list)-1]
+		regPool.free[cond] = list[:len(list)-1]
+		regPool.Unlock()
+		return r
+	}
+	regPool.Unlock()
+	return regulator.Build(cond, power.NewModel(cond).LoadFunc(), regulator.DefaultParams())
+}
+
+func putRegulator(cond process.Condition, r *regulator.Regulator) {
+	regPool.Lock()
+	regPool.free[cond] = append(regPool.free[cond], r)
+	regPool.Unlock()
+}
+
 // simulate runs March m-LZ once on a device carrying the candidate defect
-// at the given test condition and compresses the outcome.
-func simulate(opt Options, cand Candidate, tc testflow.TestCondition) (CondSignature, error) {
+// at the given test condition and compresses the outcome. warm, when
+// non-nil, carries the deep-sleep operating point across a candidate's
+// condition chain: *warm seeds the regulator solve and is replaced by the
+// settled point of this simulation (cache hits leave it untouched). The
+// regulator netlists of all conditions share one layout, so the seed is
+// always shape-compatible; the solver falls back to homotopy from scratch
+// when the seed misleads Newton.
+func simulate(opt Options, cand Candidate, tc testflow.TestCondition, warm **spice.Solution) (CondSignature, error) {
 	key := simKey{
 		corner: opt.Corner, tempC: opt.TempC, dwell: opt.Dwell,
 		vdd: tc.VDD, level: tc.Level,
 		defect: cand.Defect, res: cand.Res,
 		cells: cand.CS.Cells, v: cand.CS.Variation,
+		cold: opt.ColdStart,
 	}
 	return simCache.Do(key, func() (CondSignature, error) {
 		cond := process.Condition{Corner: opt.Corner, VDD: tc.VDD, TempC: opt.TempC}
-		ret, err := sram.NewElectricalRetentionAt(cond, tc.Level, cand.Defect, cand.Res)
+		sopt := spice.DefaultOptions()
+		sopt.ColdStart = opt.ColdStart
+		var seed *spice.Solution
+		if warm != nil {
+			seed = *warm
+		}
+		reg := getRegulator(cond)
+		ret, err := sram.NewElectricalRetentionReusing(reg, cond, tc.Level, cand.Defect, cand.Res, seed, sopt)
 		if err != nil {
+			putRegulator(cond, reg)
 			return CondSignature{}, fmt.Errorf("diag: %s R=%.3g at %s: %w", cand.Defect, cand.Res, tc, err)
+		}
+		if warm != nil {
+			*warm = ret.DSSolution()
 		}
 		s := sram.New()
 		s.SetRetention(ret)
 		PlaceCells(s, cand.CS)
 		rep, err := march.RunWith(opt.test(), s, march.RunOptions{CaptureAll: true})
+		// The retention model is fully consumed (every Survives decision
+		// made) once the March run returns; the regulator can move on.
+		putRegulator(cond, reg)
 		if err != nil {
 			return CondSignature{}, fmt.Errorf("diag: march at %s: %w", tc, err)
 		}
@@ -83,7 +137,7 @@ func ObserveSignature(opt Options, cand Candidate, conds []testflow.TestConditio
 	opt = opt.withDefaults()
 	sig := Signature{Test: opt.test().Name, Dwell: opt.Dwell}
 	css, err := sweep.MapCtx(opt.Ctx, len(conds), func(i int) (CondSignature, error) {
-		return simulate(opt, cand, conds[i])
+		return simulate(opt, cand, conds[i], nil)
 	}, sweep.Workers(opt.Workers))
 	if err != nil {
 		return Signature{}, err

@@ -1,0 +1,47 @@
+package diag
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestDictionaryWarmStartEquivalence proves the per-candidate warm-start
+// chain in Build is invisible in the output: the encoded dictionary built
+// with warm starts (the default) is byte-identical to one built with the
+// ColdStart ablation, at several worker counts. Combined with
+// TestDictionaryWorkerInvariance this pins the whole determinism story:
+// neither parallelism nor solver seeding may move a signature bit.
+func TestDictionaryWarmStartEquivalence(t *testing.T) {
+	opt := reducedOptions()
+	opt.BaseOnly = true
+
+	for _, workers := range []int{1, 8} {
+		opt.Workers = workers
+
+		opt.ColdStart = true
+		ResetCache()
+		dc, err := Build(opt)
+		if err != nil {
+			t.Fatalf("workers=%d cold: %v", workers, err)
+		}
+		bc, err := dc.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		opt.ColdStart = false
+		ResetCache()
+		dw, err := Build(opt)
+		if err != nil {
+			t.Fatalf("workers=%d warm: %v", workers, err)
+		}
+		bw, err := dw.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		if !bytes.Equal(bw, bc) {
+			t.Fatalf("workers=%d: warm-started dictionary bytes differ from cold-started", workers)
+		}
+	}
+}

@@ -75,13 +75,22 @@ func Linspace(a, b float64, n int) []float64 {
 	if n < 2 {
 		return []float64{a}
 	}
-	out := make([]float64, n)
-	step := (b - a) / float64(n-1)
-	for i := range out {
-		out[i] = a + float64(i)*step
+	return LinspaceInto(make([]float64, n), a, b)
+}
+
+// LinspaceInto fills dst with evenly spaced points covering [a, b]
+// inclusive and returns it, allocating nothing; len(dst) must be ≥ 2.
+func LinspaceInto(dst []float64, a, b float64) []float64 {
+	n := len(dst)
+	if n < 2 {
+		panic(fmt.Sprintf("num: LinspaceInto needs ≥ 2 points, got %d", n))
 	}
-	out[n-1] = b
-	return out
+	step := (b - a) / float64(n-1)
+	for i := range dst {
+		dst[i] = a + float64(i)*step
+	}
+	dst[n-1] = b
+	return dst
 }
 
 // Logspace returns n logarithmically spaced points covering [a, b]

@@ -49,21 +49,30 @@ func (m *Matrix) Clone() *Matrix {
 	return c
 }
 
-// MulVec computes y = m·x. The result slice is freshly allocated.
+// MulVec computes y = m·x. The result slice is freshly allocated; hot
+// paths should use MulVecTo with a reusable destination instead.
 func (m *Matrix) MulVec(x []float64) []float64 {
+	return m.MulVecTo(make([]float64, m.Rows), x)
+}
+
+// MulVecTo computes dst = m·x in place and returns dst. dst must have
+// length m.Rows and must not alias x; no allocation is performed.
+func (m *Matrix) MulVecTo(dst, x []float64) []float64 {
 	if len(x) != m.Cols {
 		panic(fmt.Sprintf("num: MulVec dimension mismatch %d vs %d", len(x), m.Cols))
 	}
-	y := make([]float64, m.Rows)
+	if len(dst) != m.Rows {
+		panic(fmt.Sprintf("num: MulVecTo destination length %d, want %d", len(dst), m.Rows))
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
 		s := 0.0
 		for j, v := range row {
 			s += v * x[j]
 		}
-		y[i] = s
+		dst[i] = s
 	}
-	return y
+	return dst
 }
 
 // String renders the matrix for debugging.
@@ -92,13 +101,34 @@ type LU struct {
 }
 
 // FactorLU computes the partially-pivoted LU factorization of the square
-// matrix a. The input matrix is not modified.
+// matrix a. The input matrix is not modified. It allocates a fresh LU;
+// hot paths should own an LU value and call FactorInto to reuse its
+// buffers across factorizations.
 func FactorLU(a *Matrix) (*LU, error) {
+	f := &LU{}
+	if err := f.FactorInto(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// FactorInto recomputes the factorization of a into f's own workspace,
+// growing the internal buffers only when the dimension changes. After the
+// first call on a given size it performs no heap allocations, which makes
+// an LU value embedded in a solver context reusable across every Newton
+// iteration. The input matrix is not modified.
+func (f *LU) FactorInto(a *Matrix) error {
 	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("num: FactorLU requires square matrix, got %dx%d", a.Rows, a.Cols)
+		return fmt.Errorf("num: FactorLU requires square matrix, got %dx%d", a.Rows, a.Cols)
 	}
 	n := a.Rows
-	f := &LU{n: n, lu: make([]float64, n*n), perm: make([]int, n)}
+	if cap(f.lu) < n*n {
+		f.lu = make([]float64, n*n)
+		f.perm = make([]int, n)
+	}
+	f.n = n
+	f.lu = f.lu[:n*n]
+	f.perm = f.perm[:n]
 	copy(f.lu, a.Data)
 	for i := range f.perm {
 		f.perm[i] = i
@@ -113,7 +143,7 @@ func FactorLU(a *Matrix) (*LU, error) {
 			}
 		}
 		if pmax == 0 || math.IsNaN(pmax) {
-			return nil, fmt.Errorf("%w (pivot %d)", ErrSingular, k)
+			return fmt.Errorf("%w (pivot %d)", ErrSingular, k)
 		}
 		if p != k {
 			rowK := lu[k*n : k*n+n]
@@ -137,20 +167,44 @@ func FactorLU(a *Matrix) (*LU, error) {
 			}
 		}
 	}
-	return f, nil
+	return nil
 }
 
 // Solve computes x such that A·x = b for the factored matrix. b is not
-// modified; x is freshly allocated.
+// modified; x is freshly allocated. Hot paths should use SolveTo (or
+// SolveNegTo) with a caller-owned destination.
 func (f *LU) Solve(b []float64) []float64 {
+	return f.SolveTo(make([]float64, f.n), b)
+}
+
+// SolveTo computes dst such that A·dst = b for the factored matrix and
+// returns dst. b is not modified; dst must have length n and must not
+// alias b (the permuted forward pass reads b after dst entries are
+// written). No allocation is performed.
+func (f *LU) SolveTo(dst, b []float64) []float64 {
+	return f.solveScaled(dst, b, 1)
+}
+
+// SolveNegTo computes dst such that A·dst = −b, i.e. the damped-Newton
+// update J·Δx = −F without materializing the negated residual. The same
+// destination rules as SolveTo apply.
+func (f *LU) SolveNegTo(dst, b []float64) []float64 {
+	return f.solveScaled(dst, b, -1)
+}
+
+func (f *LU) solveScaled(dst, b []float64, sign float64) []float64 {
 	if len(b) != f.n {
 		panic(fmt.Sprintf("num: LU.Solve dimension mismatch %d vs %d", len(b), f.n))
 	}
+	if len(dst) != f.n {
+		panic(fmt.Sprintf("num: LU.SolveTo destination length %d, want %d", len(dst), f.n))
+	}
 	n := f.n
-	x := make([]float64, n)
-	// Apply permutation and forward-substitute through unit-lower L.
+	x := dst
+	// Apply permutation (and the right-hand-side sign) and
+	// forward-substitute through unit-lower L.
 	for i := 0; i < n; i++ {
-		s := b[f.perm[i]]
+		s := sign * b[f.perm[i]]
 		row := f.lu[i*n : i*n+i]
 		for j, v := range row {
 			s -= v * x[j]

@@ -41,6 +41,31 @@ func TestMulVec(t *testing.T) {
 	if y[0] != 17 || y[1] != 39 {
 		t.Errorf("MulVec = %v, want [17 39]", y)
 	}
+	// The in-place form writes into the caller's buffer and returns it.
+	dst := make([]float64, 2)
+	if got := m.MulVecTo(dst, []float64{5, 6}); &got[0] != &dst[0] || dst[0] != 17 || dst[1] != 39 {
+		t.Errorf("MulVecTo = %v (dst %v), want [17 39] in dst", got, dst)
+	}
+}
+
+func TestMulVecToPanics(t *testing.T) {
+	m := NewMatrix(2, 2)
+	for _, tc := range []struct {
+		name   string
+		dst, x []float64
+	}{
+		{"short dst", make([]float64, 1), make([]float64, 2)},
+		{"short x", make([]float64, 2), make([]float64, 1)},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: MulVecTo did not panic", tc.name)
+				}
+			}()
+			m.MulVecTo(tc.dst, tc.x)
+		}()
+	}
 }
 
 func TestLUKnownSystem(t *testing.T) {
@@ -53,7 +78,7 @@ func TestLUKnownSystem(t *testing.T) {
 		}
 	}
 	want := []float64{1, -2, 3}
-	b := a.MulVec(want)
+	b := a.MulVecTo(make([]float64, 3), want)
 	x, err := SolveLinear(a, b)
 	if err != nil {
 		t.Fatalf("SolveLinear: %v", err)
@@ -121,7 +146,7 @@ func TestLURandomProperty(t *testing.T) {
 		for i := range want {
 			want[i] = r.Float64()*10 - 5
 		}
-		b := a.MulVec(want)
+		b := a.MulVecTo(make([]float64, n), want)
 		x, err := SolveLinear(a, b)
 		if err != nil {
 			return false
@@ -144,11 +169,104 @@ func TestLUReuseFactorization(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	b := make([]float64, 2)
 	for _, want := range [][]float64{{1, 0}, {0, 1}, {2, -5}} {
-		b := a.MulVec(want)
+		a.MulVecTo(b, want)
 		x := f.Solve(b)
 		if d := MaxAbsDiff(x, want); d > 1e-12 {
 			t.Errorf("reuse solve for %v: error %g", want, d)
+		}
+	}
+}
+
+// TestSolveToAndNeg pins the in-place solve forms against the allocating
+// one: SolveTo must reproduce Solve exactly and SolveNegTo must solve
+// A·x = −b without the caller materializing −b.
+func TestSolveToAndNeg(t *testing.T) {
+	a := NewMatrix(3, 3)
+	vals := [][]float64{{2, 1, 1}, {4, -6, 0}, {-2, 7, 2}}
+	for i := range vals {
+		for j := range vals[i] {
+			a.Set(i, j, vals[i][j])
+		}
+	}
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := []float64{3, -8, 10}
+	want := f.Solve(b)
+
+	dst := make([]float64, 3)
+	if got := f.SolveTo(dst, b); &got[0] != &dst[0] {
+		t.Error("SolveTo did not return its destination")
+	}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Errorf("SolveTo[%d] = %g, want %g (bit-exact)", i, dst[i], want[i])
+		}
+	}
+
+	neg := make([]float64, 3)
+	f.SolveNegTo(neg, b)
+	negb := []float64{-b[0], -b[1], -b[2]}
+	wantNeg := f.Solve(negb)
+	for i := range wantNeg {
+		if neg[i] != wantNeg[i] {
+			t.Errorf("SolveNegTo[%d] = %g, want %g (bit-exact vs negate-then-solve)", i, neg[i], wantNeg[i])
+		}
+	}
+}
+
+// TestFactorIntoReusesBuffers is the allocation contract of the solver
+// hot loop: after the first factorization at a given size, re-factoring
+// (and the in-place solves) must not touch the heap, and the workspace
+// slices must be the same memory.
+func TestFactorIntoReusesBuffers(t *testing.T) {
+	a := NewMatrix(4, 4)
+	fill := func(seed float64) {
+		for i := 0; i < 4; i++ {
+			for j := 0; j < 4; j++ {
+				a.Set(i, j, seed*float64(i+1)+float64(j))
+			}
+			a.Add(i, i, 10) // keep it comfortably non-singular
+		}
+	}
+	fill(1)
+	var f LU
+	if err := f.FactorInto(a); err != nil {
+		t.Fatal(err)
+	}
+	p0 := &f.lu[0]
+	b := []float64{1, 2, 3, 4}
+	dst := make([]float64, 4)
+	allocs := testing.AllocsPerRun(100, func() {
+		fill(2)
+		if err := f.FactorInto(a); err != nil {
+			t.Fatal(err)
+		}
+		f.SolveTo(dst, b)
+		f.SolveNegTo(dst, b)
+	})
+	if allocs != 0 {
+		t.Errorf("FactorInto+SolveTo steady state allocates %.1f allocs/op, want 0", allocs)
+	}
+	if &f.lu[0] != p0 {
+		t.Error("FactorInto replaced its workspace despite an unchanged size")
+	}
+
+	// A larger matrix must still work (buffers grow).
+	big := NewMatrix(6, 6)
+	for i := 0; i < 6; i++ {
+		big.Set(i, i, float64(i+2))
+	}
+	if err := f.FactorInto(big); err != nil {
+		t.Fatal(err)
+	}
+	x := f.Solve([]float64{2, 3, 4, 5, 6, 7})
+	for i := range x {
+		if math.Abs(x[i]-float64(2+i)/float64(i+2)) > 1e-12 {
+			t.Errorf("after regrow, x[%d] = %g", i, x[i])
 		}
 	}
 }

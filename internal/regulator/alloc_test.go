@@ -1,0 +1,67 @@
+package regulator
+
+import (
+	"testing"
+
+	"sramtest/internal/power"
+	"sramtest/internal/process"
+	"sramtest/internal/spice"
+)
+
+// TestRegulatorOPZeroAllocSteadyState guards the hot path of every sweep:
+// re-solving the full regulator operating point with a warm start and a
+// recycled Solution must be allocation-free. SolveDS itself returns a
+// fresh Solution by design (callers keep them), so the guard drives
+// spice.OPInto on the regulator circuit directly.
+func TestRegulatorOPZeroAllocSteadyState(t *testing.T) {
+	cond := process.Condition{Corner: process.FS, VDD: 1.0, TempC: 125}
+	r := Build(cond, power.NewModel(cond).LoadFunc(), DefaultParams())
+	r.SetVref(SelectFor(cond.VDD))
+	r.SetRegOn(true)
+	opt := spice.DefaultOptions()
+	var sol spice.Solution
+	if err := spice.OPInto(r.Ckt, nil, opt, &sol); err != nil {
+		t.Fatalf("warm-up OP: %v", err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := spice.OPInto(r.Ckt, &sol, opt, &sol); err != nil {
+			t.Fatalf("OPInto: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("regulator OPInto steady state allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestRegulatorTranZeroAllocSteadyState is the transient counterpart: a
+// short DS-mode transient on the regulator with recycled Waveform and
+// Solution buffers must not allocate after the first run.
+func TestRegulatorTranZeroAllocSteadyState(t *testing.T) {
+	cond := process.Condition{Corner: process.FS, VDD: 1.0, TempC: 125}
+	r := Build(cond, power.NewModel(cond).LoadFunc(), DefaultParams())
+	r.SetVref(SelectFor(cond.VDD))
+	r.SetRegOn(true)
+	opt := spice.DefaultOptions()
+	var op spice.Solution
+	if err := spice.OPInto(r.Ckt, nil, opt, &op); err != nil {
+		t.Fatalf("OP: %v", err)
+	}
+	vddcc, ok := r.Ckt.FindNode("vddcc")
+	if !ok {
+		t.Fatal("no vddcc node")
+	}
+	spec := spice.TranSpec{TStop: 200e-9, DtMax: 20e-9, Record: []spice.NodeID{vddcc}}
+	var wf spice.Waveform
+	var final spice.Solution
+	if err := spice.TranInto(r.Ckt, &op, spec, opt, &wf, &final); err != nil {
+		t.Fatalf("warm-up Tran: %v", err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		if err := spice.TranInto(r.Ckt, &op, spec, opt, &wf, &final); err != nil {
+			t.Fatalf("TranInto: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("regulator TranInto steady state allocates %.1f allocs/op, want 0", allocs)
+	}
+}

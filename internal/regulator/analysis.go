@@ -12,8 +12,15 @@ import (
 // full solution. warm may be nil or a previous DS solution for fast
 // re-solves during resistance sweeps.
 func (r *Regulator) SolveDS(warm *spice.Solution) (float64, *spice.Solution, error) {
+	return r.SolveDSWith(warm, spice.DefaultOptions())
+}
+
+// SolveDSWith is SolveDS with explicit solver options, letting sweep
+// layers thread their own settings (notably ColdStart for the warm-start
+// equivalence ablation) through the regulator.
+func (r *Regulator) SolveDSWith(warm *spice.Solution, opt spice.Options) (float64, *spice.Solution, error) {
 	r.SetRegOn(true)
-	sol, err := spice.OP(r.Ckt, warm, spice.DefaultOptions())
+	sol, err := spice.OP(r.Ckt, warm, opt)
 	if err != nil {
 		return 0, nil, fmt.Errorf("regulator: DS operating point: %w", err)
 	}
@@ -48,10 +55,19 @@ const ArmTime = 200e-9 // s
 // transient-sensitive gate lines. This is the sensitization sequence of
 // the paper's DSM operation.
 func (r *Regulator) DSEntry(dwell float64) (*spice.Waveform, error) {
+	wf, _, err := r.DSEntryWith(dwell, nil, spice.DefaultOptions())
+	return wf, err
+}
+
+// DSEntryWith is DSEntry with explicit solver options and an optional warm
+// start for the pre-DS ACT operating point. It additionally returns that
+// ACT point, so back-to-back entries on reconfigured circuits (the DRV
+// bisection, the transient classify pair) can warm-chain it.
+func (r *Regulator) DSEntryWith(dwell float64, warm *spice.Solution, opt spice.Options) (*spice.Waveform, *spice.Solution, error) {
 	r.SetRegOn(false)
-	init, err := spice.OP(r.Ckt, nil, spice.DefaultOptions())
+	init, err := spice.OP(r.Ckt, warm, opt)
 	if err != nil {
-		return nil, fmt.Errorf("regulator: pre-DS ACT point: %w", err)
+		return nil, nil, fmt.Errorf("regulator: pre-DS ACT point: %w", err)
 	}
 	rec := make([]spice.NodeID, 0, 4)
 	for _, name := range []string{"vddcc", "vreg", "gmn1", "gmn2"} {
@@ -67,21 +83,21 @@ func (r *Regulator) DSEntry(dwell float64) (*spice.Waveform, error) {
 	r.swPS.On = true
 	_, armed, err := spice.Tran(r.Ckt, init, spice.TranSpec{
 		TStop: ArmTime, DtMax: ArmTime / 100, Record: rec,
-	}, spice.DefaultOptions())
+	}, opt)
 	if err != nil {
 		r.swPS.On = false
-		return nil, fmt.Errorf("regulator: arming transient: %w", err)
+		return nil, nil, fmt.Errorf("regulator: arming transient: %w", err)
 	}
 
 	// Phase 2: hand the rail over to the regulator for the dwell.
 	r.swPS.On = false
 	wf, _, err := spice.Tran(r.Ckt, armed, spice.TranSpec{
 		TStop: dwell, DtMax: dwell / 200, Record: rec,
-	}, spice.DefaultOptions())
+	}, opt)
 	if err != nil {
-		return nil, fmt.Errorf("regulator: DS-entry transient: %w", err)
+		return nil, nil, fmt.Errorf("regulator: DS-entry transient: %w", err)
 	}
-	return wf, nil
+	return wf, init, nil
 }
 
 // FaultFreeVreg returns the DC deep-sleep V_DD_CC with no defect injected,
@@ -122,17 +138,23 @@ func (r *Regulator) Classify(d Defect) (Category, error) {
 	// exposes the paper's dual-behaviour "green" category.
 	probes := []float64{r.Par.DividerTotal, OpenResistance}
 
+	// Warm-chain the ladder: each level's fault-free point seeds the next
+	// level's (the reference only moves one tap), and each faulty probe
+	// starts from the fault-free point of its own level. OP falls back to
+	// homotopy from scratch if a seed ever misleads Newton.
 	lower, higher := false, false
+	var baseSol *spice.Solution
 	for _, l := range Levels() {
 		r.SetVref(l)
 		r.ClearDefects()
-		base, _, err := r.SolveDS(nil)
+		base, sol, err := r.SolveDS(baseSol)
 		if err != nil {
 			return Negligible, err
 		}
+		baseSol = sol
 		for _, res := range probes {
 			r.InjectDefect(d, res)
-			faulty, _, err := r.SolveDS(nil)
+			faulty, _, err := r.SolveDS(baseSol)
 			if err != nil {
 				return Negligible, err
 			}
@@ -181,7 +203,7 @@ func (r *Regulator) poComparison(d Defect) (base, faulty float64, err error) {
 	}
 	base = sol.VName("vddcc")
 	r.InjectDefect(d, OpenResistance)
-	sol, err = spice.OP(r.Ckt, nil, spice.DefaultOptions())
+	sol, err = spice.OP(r.Ckt, sol, spice.DefaultOptions())
 	r.ClearDefects()
 	if err != nil {
 		return 0, 0, fmt.Errorf("regulator: faulty PO operating point: %w", err)
@@ -194,12 +216,12 @@ func (r *Regulator) poComparison(d Defect) (base, faulty float64, err error) {
 func (r *Regulator) classifyTransient(d Defect) (Category, error) {
 	const dwell = 1e-3
 	r.ClearDefects()
-	clean, err := r.DSEntry(dwell)
+	clean, act, err := r.DSEntryWith(dwell, nil, spice.DefaultOptions())
 	if err != nil {
 		return Negligible, err
 	}
 	r.InjectDefect(d, OpenResistance)
-	faulty, err := r.DSEntry(dwell)
+	faulty, _, err := r.DSEntryWith(dwell, act, spice.DefaultOptions())
 	if err != nil {
 		return Negligible, err
 	}

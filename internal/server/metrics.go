@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"sramtest/internal/jobs"
+	"sramtest/internal/spice"
 	"sramtest/internal/store"
 )
 
@@ -53,6 +54,25 @@ func writeMetrics(w io.Writer, mgr *jobs.Manager, st *store.Store) {
 	fmt.Fprintln(w, "# TYPE sramd_sweep_tasks_total counter")
 	fmt.Fprintf(w, "sramd_sweep_tasks_total %d\n", s.TasksTotal)
 
+	sp := spice.Stats()
+	fmt.Fprintln(w, "# HELP sramd_spice_solves_total Top-level operating-point/transient solves.")
+	fmt.Fprintln(w, "# TYPE sramd_spice_solves_total counter")
+	fmt.Fprintf(w, "sramd_spice_solves_total %d\n", sp.Solves)
+	fmt.Fprintln(w, "# HELP sramd_spice_newton_iters_total Newton iterations across all solves.")
+	fmt.Fprintln(w, "# TYPE sramd_spice_newton_iters_total counter")
+	fmt.Fprintf(w, "sramd_spice_newton_iters_total %d\n", sp.NewtonIters)
+	fmt.Fprintln(w, "# HELP sramd_spice_warm_starts_total Solves seeded from a previous solution.")
+	fmt.Fprintln(w, "# TYPE sramd_spice_warm_starts_total counter")
+	fmt.Fprintf(w, "sramd_spice_warm_starts_total %d\n", sp.WarmStarts)
+	fmt.Fprintln(w, "# HELP sramd_spice_fallbacks_total Homotopy/cold-restart fallbacks by kind.")
+	fmt.Fprintln(w, "# TYPE sramd_spice_fallbacks_total counter")
+	fmt.Fprintf(w, "sramd_spice_fallbacks_total{kind=\"cold_restart\"} %d\n", sp.ColdRestarts)
+	fmt.Fprintf(w, "sramd_spice_fallbacks_total{kind=\"gmin\"} %d\n", sp.GminFallbacks)
+	fmt.Fprintf(w, "sramd_spice_fallbacks_total{kind=\"source\"} %d\n", sp.SourceFallbacks)
+	fmt.Fprintln(w, "# HELP sramd_spice_newton_iters_per_solve Mean Newton iterations per solve since start.")
+	fmt.Fprintln(w, "# TYPE sramd_spice_newton_iters_per_solve gauge")
+	fmt.Fprintf(w, "sramd_spice_newton_iters_per_solve %g\n", sp.ItersPerSolve())
+
 	fmt.Fprintln(w, "# HELP sramd_job_duration_seconds Job execution latency.")
 	fmt.Fprintln(w, "# TYPE sramd_job_duration_seconds histogram")
 	cum := int64(0)
@@ -69,17 +89,25 @@ func writeMetrics(w io.Writer, mgr *jobs.Manager, st *store.Store) {
 // snapshot is the expvar view: the same numbers as /metrics, as a map.
 func snapshot(mgr *jobs.Manager, st *store.Store) map[string]any {
 	s := mgr.Stats()
+	sp := spice.Stats()
 	out := map[string]any{
-		"jobs_queued":      s.Queued,
-		"jobs_running":     s.Running,
-		"jobs_done":        s.Done,
-		"jobs_failed":      s.Failed,
-		"jobs_canceled":    s.Canceled,
-		"cache_hits":       s.CacheHits,
-		"cache_misses":     s.CacheMisses,
-		"sweep_tasks_done": s.TasksDone,
-		"job_seconds_sum":  s.DurationSum,
-		"jobs_measured":    s.DurationCount,
+		"jobs_queued":            s.Queued,
+		"jobs_running":           s.Running,
+		"jobs_done":              s.Done,
+		"jobs_failed":            s.Failed,
+		"jobs_canceled":          s.Canceled,
+		"cache_hits":             s.CacheHits,
+		"cache_misses":           s.CacheMisses,
+		"sweep_tasks_done":       s.TasksDone,
+		"job_seconds_sum":        s.DurationSum,
+		"jobs_measured":          s.DurationCount,
+		"spice_solves":           sp.Solves,
+		"spice_newton_iters":     sp.NewtonIters,
+		"spice_warm_starts":      sp.WarmStarts,
+		"spice_cold_restarts":    sp.ColdRestarts,
+		"spice_gmin_fallbacks":   sp.GminFallbacks,
+		"spice_source_fallbacks": sp.SourceFallbacks,
+		"spice_iters_per_solve":  sp.ItersPerSolve(),
 	}
 	if st != nil {
 		out["store_entries"] = st.Len()

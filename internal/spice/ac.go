@@ -17,6 +17,10 @@ type ACAnalysis struct {
 	g    *num.Matrix
 	cap  *num.Matrix
 	gmin float64
+
+	// Per-frequency solve scratch, reused across Solve/Bode calls.
+	m   *num.CMatrix
+	rhs []complex128
 }
 
 // NewAC builds the small-signal model at the given operating point.
@@ -25,15 +29,8 @@ func NewAC(c *Circuit, op *Solution, opt Options) (*ACAnalysis, error) {
 	if op == nil || len(op.X) != n {
 		return nil, fmt.Errorf("spice: AC needs a matching operating point (%d unknowns)", n)
 	}
-	ctx := &Context{
-		Mode:     ModeDC,
-		Temp:     c.Temp,
-		SrcScale: 1,
-		Gmin:     opt.Gmin,
-		X:        append([]float64(nil), op.X...),
-		jac:      num.NewMatrix(n, n),
-		res:      make([]float64, n),
-	}
+	ctx := c.solverContext(ModeDC, opt.Gmin, n)
+	copy(ctx.X, op.X)
 	assemble(c, ctx)
 	a := &ACAnalysis{c: c, n: n, g: ctx.jac.Clone(), cap: num.NewMatrix(n, n), gmin: opt.Gmin}
 
@@ -62,13 +59,20 @@ func NewAC(c *Circuit, op *Solution, opt Options) (*ACAnalysis, error) {
 // sources are AC-grounded, which the linearized system does implicitly).
 func (a *ACAnalysis) Solve(src *VSource, f float64) (*ACSolution, error) {
 	omega := 2 * math.Pi * f
-	m := num.NewCMatrix(a.n, a.n)
+	if a.m == nil {
+		a.m = num.NewCMatrix(a.n, a.n)
+		a.rhs = make([]complex128, a.n)
+	}
+	m := a.m
 	for i := 0; i < a.n; i++ {
 		for j := 0; j < a.n; j++ {
 			m.Set(i, j, complex(a.g.At(i, j), omega*a.cap.At(i, j)))
 		}
 	}
-	b := make([]complex128, a.n)
+	b := a.rhs
+	for i := range b {
+		b[i] = 0
+	}
 	b[src.branch] = 1 // the source's branch equation: V(pos)−V(neg) = 1∠0
 	x, err := num.SolveComplex(m, b)
 	if err != nil {

@@ -1,0 +1,146 @@
+package spice
+
+import (
+	"testing"
+
+	"sramtest/internal/device"
+)
+
+// build6T constructs a 6T SRAM cell at the spice level: two cross-coupled
+// CMOS inverters plus two pass NMOS devices with word line and bit lines
+// grounded (the deep-sleep configuration). It exercises every hot element
+// kind (VSource, Mosfet, Resistor, Capacitor).
+func build6T() (*Circuit, *VSource) {
+	c := New()
+	vdd := c.Node("vdd")
+	s := c.Node("s")
+	sn := c.Node("sn")
+	supply := &VSource{Name: "VDD", Pos: vdd, Neg: Ground, V: 0.77}
+	c.Add(supply)
+	add := func(name string, d, g, src NodeID, pmos bool, w float64) {
+		var p device.MOSParams
+		b := Ground
+		if pmos {
+			p = device.NewPMOSParams(w, 40e-9)
+			b = vdd
+		} else {
+			p = device.NewNMOSParams(w, 40e-9)
+		}
+		c.Add(&Mosfet{Name: name, D: d, G: g, S: src, B: b, Dev: device.NewMOS(name, p)})
+	}
+	add("MP1", s, sn, vdd, true, 100e-9)
+	add("MN1", s, sn, Ground, false, 200e-9)
+	add("MP2", sn, s, vdd, true, 100e-9)
+	add("MN2", sn, s, Ground, false, 200e-9)
+	// Pass gates: WL and BL at 0 V in deep sleep.
+	add("MPG1", s, Ground, Ground, false, 140e-9)
+	add("MPG2", sn, Ground, Ground, false, 140e-9)
+	// Storage-node capacitances give the transient something to integrate.
+	c.Add(&Capacitor{Name: "CS", A: s, B: Ground, C: 0.2e-15})
+	c.Add(&Capacitor{Name: "CSN", A: sn, B: Ground, C: 0.2e-15})
+	return c, supply
+}
+
+// seed6T biases the cell into the stored-'1' state (S high) so the
+// operating point is the interesting bistable one, not the metastable
+// midpoint.
+func seed6T(c *Circuit) *Solution {
+	n := numUnknowns(c)
+	x := make([]float64, n)
+	x[int(c.nodeIndex["s"])-1] = 0.77
+	return &Solution{c: c, X: x}
+}
+
+// TestOPIntoZeroAllocSteadyState is the allocation regression guard for
+// the DC path: once the circuit's workspace and the destination Solution
+// exist, repeated warm-started operating points must not touch the heap.
+func TestOPIntoZeroAllocSteadyState(t *testing.T) {
+	c, supply := build6T()
+	opt := DefaultOptions()
+	var sol Solution
+	if err := OPInto(c, seed6T(c), opt, &sol); err != nil {
+		t.Fatalf("warm-up OP: %v", err)
+	}
+	allocs := testing.AllocsPerRun(50, func() {
+		// Nudge the supply so every run is a real (but easy) re-solve.
+		supply.V = 0.77
+		if err := OPInto(c, &sol, opt, &sol); err != nil {
+			t.Fatalf("OPInto: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("OPInto steady state allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestTranIntoZeroAllocSteadyState is the transient twin: with the
+// waveform and final-state buffers recycled, a repeated transient run
+// performs no steady-state heap allocations.
+func TestTranIntoZeroAllocSteadyState(t *testing.T) {
+	c, _ := build6T()
+	opt := DefaultOptions()
+	var op Solution
+	if err := OPInto(c, seed6T(c), opt, &op); err != nil {
+		t.Fatalf("OP: %v", err)
+	}
+	spec := TranSpec{TStop: 1e-9, DtMax: 1e-10, Record: []NodeID{c.nodeIndex["s"], c.nodeIndex["sn"]}}
+	var wf Waveform
+	var final Solution
+	if err := TranInto(c, &op, spec, opt, &wf, &final); err != nil {
+		t.Fatalf("warm-up Tran: %v", err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := TranInto(c, &op, spec, opt, &wf, &final); err != nil {
+			t.Fatalf("TranInto: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("TranInto steady state allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestOPMatchesOPInto pins the wrapper contract: OP must return exactly
+// what OPInto writes into a recycled Solution.
+func TestOPMatchesOPInto(t *testing.T) {
+	c, _ := build6T()
+	opt := DefaultOptions()
+	seed := seed6T(c)
+	sol, err := OP(c, seed, opt)
+	if err != nil {
+		t.Fatalf("OP: %v", err)
+	}
+	var into Solution
+	if err := OPInto(c, seed, opt, &into); err != nil {
+		t.Fatalf("OPInto: %v", err)
+	}
+	if len(sol.X) != len(into.X) {
+		t.Fatalf("length mismatch %d vs %d", len(sol.X), len(into.X))
+	}
+	for i := range sol.X {
+		if sol.X[i] != into.X[i] {
+			t.Errorf("X[%d]: OP %g != OPInto %g", i, sol.X[i], into.X[i])
+		}
+	}
+}
+
+// TestOPIntoResultIndependent verifies OPInto copies the result out of
+// the workspace: a later solve on the same circuit must not mutate a
+// previously returned Solution.
+func TestOPIntoResultIndependent(t *testing.T) {
+	c, supply := build6T()
+	opt := DefaultOptions()
+	first, err := OP(c, seed6T(c), opt)
+	if err != nil {
+		t.Fatalf("OP: %v", err)
+	}
+	snapshot := append([]float64(nil), first.X...)
+	supply.V = 0.5
+	if _, err := OP(c, first, opt); err != nil {
+		t.Fatalf("second OP: %v", err)
+	}
+	for i := range snapshot {
+		if first.X[i] != snapshot[i] {
+			t.Fatalf("X[%d] of earlier solution changed from %g to %g after a later solve", i, snapshot[i], first.X[i])
+		}
+	}
+}

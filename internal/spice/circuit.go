@@ -51,6 +51,24 @@ type Circuit struct {
 	elements  []Element
 	byName    map[string]Element
 	Temp      float64 // simulation temperature (°C)
+
+	// ws is the circuit's reusable solver workspace, created lazily by
+	// the first analysis and recycled by every subsequent OP/Tran/AC call
+	// so steady-state solves allocate nothing. It ties the solver state to
+	// the netlist it belongs to, which is also the concurrency contract: a
+	// circuit may only be solved from one goroutine at a time (the sweep
+	// layers already build one circuit per worker).
+	ws *Context
+}
+
+// solverContext returns the circuit's recycled solver workspace, re-armed
+// for an analysis with n unknowns.
+func (c *Circuit) solverContext(mode AnalysisMode, gmin float64, n int) *Context {
+	if c.ws == nil {
+		c.ws = newContext(n)
+	}
+	c.ws.reset(mode, c.Temp, gmin, n)
+	return c.ws
 }
 
 // New returns an empty circuit at 25 °C with only the ground node.

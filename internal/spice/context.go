@@ -37,6 +37,44 @@ type Context struct {
 
 	jac *num.Matrix
 	res []float64 // residual F(x): KCL sums (currents leaving node) + branch eqs
+
+	// Reusable solver workspace (see Circuit.solverContext): the LU
+	// factorization buffers and the Newton-update scratch vector live for
+	// the lifetime of the context, so steady-state iterations perform no
+	// heap allocations. A Context and its workspace are single-goroutine;
+	// parallel sweeps get one circuit (and thus one workspace) per worker.
+	lu num.LU
+	dx []float64 // Newton update Δx scratch
+}
+
+// newContext allocates a fully-sized solver context for n unknowns.
+func newContext(n int) *Context {
+	return &Context{
+		SrcScale: 1,
+		X:        make([]float64, n),
+		Prev:     make([]float64, n),
+		jac:      num.NewMatrix(n, n),
+		res:      make([]float64, n),
+		dx:       make([]float64, n),
+	}
+}
+
+// reset re-arms a (possibly recycled) context for a new analysis at the
+// given size, zeroing the estimate and restoring the scalar defaults.
+func (c *Context) reset(mode AnalysisMode, temp, gmin float64, n int) {
+	if len(c.X) != n {
+		*c = *newContext(n)
+	}
+	c.Mode = mode
+	c.Temp = temp
+	c.SrcScale = 1
+	c.Gmin = gmin
+	c.Dt = 0
+	c.Time = 0
+	c.First = false
+	for i := range c.X {
+		c.X[i] = 0
+	}
 }
 
 // V returns the present voltage estimate of node n.

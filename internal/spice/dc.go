@@ -4,8 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math"
-
-	"sramtest/internal/num"
 )
 
 // Options tunes the Newton-Raphson engine. The zero value is not valid;
@@ -17,6 +15,11 @@ type Options struct {
 	Gmin    float64 // final node-to-ground conductance (S)
 	MaxStep float64 // voltage-update damping limit per iteration (V)
 	NoHomo  bool    // disable gmin/source-stepping homotopy fallbacks
+	// ColdStart makes OP ignore any warm-start initial guess and solve
+	// from zero, forcing the pre-continuation behaviour. It exists as an
+	// ablation/debugging knob for the sweep layers' warm-start
+	// equivalence tests and never needs to be set in production flows.
+	ColdStart bool
 }
 
 // DefaultOptions returns the solver settings used by all experiments.
@@ -71,6 +74,17 @@ func (s *Solution) Clone() *Solution {
 	return &Solution{c: s.c, X: append([]float64(nil), s.X...)}
 }
 
+// set copies x into the solution, reusing its buffer when already large
+// enough, so a recycled Solution absorbs a result without allocating.
+func (s *Solution) set(c *Circuit, x []float64) {
+	s.c = c
+	if cap(s.X) < len(x) {
+		s.X = make([]float64, len(x))
+	}
+	s.X = s.X[:len(x)]
+	copy(s.X, x)
+}
+
 // numUnknowns assigns branch indices and returns the total unknown count.
 func numUnknowns(c *Circuit) int {
 	n := c.NumNodes() - 1
@@ -101,20 +115,18 @@ func assemble(c *Circuit, ctx *Context) {
 }
 
 // newton runs damped Newton-Raphson from the initial estimate in ctx.X.
+// The factorization and update vector live in the context's workspace, so
+// iterations perform no heap allocations.
 func newton(c *Circuit, ctx *Context, opt Options) error {
-	n := len(ctx.X)
 	nNodes := c.NumNodes() - 1
 	for iter := 0; iter < opt.MaxIter; iter++ {
+		statNewtonIters.Add(1)
 		assemble(c, ctx)
-		f, err := num.FactorLU(ctx.jac)
-		if err != nil {
+		if err := ctx.lu.FactorInto(ctx.jac); err != nil {
 			return fmt.Errorf("spice: singular Jacobian at iteration %d: %w", iter, err)
 		}
-		neg := make([]float64, n)
-		for i, v := range ctx.res {
-			neg[i] = -v
-		}
-		dx := f.Solve(neg)
+		// Solve J·Δx = −F without materializing the negated residual.
+		dx := ctx.lu.SolveNegTo(ctx.dx, ctx.res)
 
 		// Damp: limit the largest node-voltage step.
 		maxDV := 0.0
@@ -154,35 +166,48 @@ func newton(c *Circuit, ctx *Context, opt Options) error {
 // previous Solution for warm starting; it is not modified.
 //
 // Strategy: plain Newton from the initial estimate; on failure, gmin
-// stepping (relaxed leakage homotopy); on failure, source stepping
-// (supply ramp homotopy). This mirrors standard SPICE practice.
+// stepping (relaxed leakage homotopy); on failure, a cold plain-Newton
+// restart (a warm start near a basin boundary can be worse than none);
+// on failure, source stepping (supply ramp homotopy). This mirrors
+// standard SPICE practice.
 func OP(c *Circuit, initial *Solution, opt Options) (*Solution, error) {
-	n := numUnknowns(c)
-	ctx := &Context{
-		Mode:     ModeDC,
-		Temp:     c.Temp,
-		SrcScale: 1,
-		Gmin:     opt.Gmin,
-		X:        make([]float64, n),
-		jac:      num.NewMatrix(n, n),
-		res:      make([]float64, n),
+	sol := &Solution{}
+	if err := OPInto(c, initial, opt, sol); err != nil {
+		return nil, err
 	}
-	if initial != nil && len(initial.X) == n {
+	return sol, nil
+}
+
+// OPInto is OP with a caller-owned result: the converged solution is
+// copied into dst (whose X buffer is reused when already sized), so a
+// sweep that recycles one Solution per point performs zero steady-state
+// heap allocations. dst may be the same Solution previously passed as
+// initial's source — the initial estimate is consumed before dst is
+// written.
+func OPInto(c *Circuit, initial *Solution, opt Options, dst *Solution) error {
+	n := numUnknowns(c)
+	ctx := c.solverContext(ModeDC, opt.Gmin, n)
+	statSolves.Add(1)
+	warm := initial != nil && len(initial.X) == n && !opt.ColdStart
+	if warm {
+		statWarmStarts.Add(1)
 		copy(ctx.X, initial.X)
 	}
 
 	if err := newton(c, ctx, opt); err == nil {
-		return &Solution{c: c, X: ctx.X}, nil
+		dst.set(c, ctx.X)
+		return nil
 	}
 	if opt.NoHomo {
-		return nil, ErrNoConvergence
+		return ErrNoConvergence
 	}
 
 	// Gmin stepping: solve with heavy artificial leakage, then tighten.
+	statGminFallbacks.Add(1)
 	for i := range ctx.X {
 		ctx.X[i] = 0
 	}
-	if initial != nil && len(initial.X) == n {
+	if warm {
 		copy(ctx.X, initial.X)
 	}
 	ok := true
@@ -200,10 +225,27 @@ func OP(c *Circuit, initial *Solution, opt Options) (*Solution, error) {
 		}
 	}
 	if ok {
-		return &Solution{c: c, X: ctx.X}, nil
+		dst.set(c, ctx.X)
+		return nil
+	}
+
+	// Cold restart: a warm start near a basin boundary can defeat both
+	// plain Newton and the gmin ladder; retry once from zero before the
+	// expensive source ramp.
+	if warm {
+		statColdRestarts.Add(1)
+		for i := range ctx.X {
+			ctx.X[i] = 0
+		}
+		ctx.Gmin = opt.Gmin
+		if err := newton(c, ctx, opt); err == nil {
+			dst.set(c, ctx.X)
+			return nil
+		}
 	}
 
 	// Source stepping: ramp all independent sources from 0 to 100 %.
+	statSourceFallbacks.Add(1)
 	for i := range ctx.X {
 		ctx.X[i] = 0
 	}
@@ -211,10 +253,11 @@ func OP(c *Circuit, initial *Solution, opt Options) (*Solution, error) {
 	for _, a := range []float64{0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 0.95, 1.0} {
 		ctx.SrcScale = a
 		if err := newton(c, ctx, opt); err != nil {
-			return nil, fmt.Errorf("%w (source stepping failed at %.0f%%)", ErrNoConvergence, a*100)
+			return fmt.Errorf("%w (source stepping failed at %.0f%%)", ErrNoConvergence, a*100)
 		}
 	}
-	return &Solution{c: c, X: ctx.X}, nil
+	dst.set(c, ctx.X)
+	return nil
 }
 
 // Sweep runs a DC sweep: for each value v, set(v) mutates the circuit
@@ -223,15 +266,15 @@ func OP(c *Circuit, initial *Solution, opt Options) (*Solution, error) {
 // function maps each solution to the recorded output.
 func Sweep(c *Circuit, values []float64, set func(float64), probe func(*Solution) float64, opt Options) ([]float64, error) {
 	out := make([]float64, len(values))
+	var sol Solution
 	var prev *Solution
 	for i, v := range values {
 		set(v)
-		sol, err := OP(c, prev, opt)
-		if err != nil {
+		if err := OPInto(c, prev, opt, &sol); err != nil {
 			return nil, fmt.Errorf("spice: sweep point %d (value %g): %w", i, v, err)
 		}
-		out[i] = probe(sol)
-		prev = sol
+		out[i] = probe(&sol)
+		prev = &sol
 	}
 	return out, nil
 }

@@ -1,0 +1,81 @@
+package spice
+
+import "sync/atomic"
+
+// Package-level solver counters. They are cumulative since process start
+// (or the last ResetStats) and are updated with atomic adds so parallel
+// sweeps — one circuit per worker, many workers — can account globally
+// without contention on a lock. The counters observe behaviour only; no
+// solver decision reads them.
+var (
+	statSolves          atomic.Int64 // OP/Tran top-level solve calls
+	statNewtonIters     atomic.Int64 // Newton iterations across all attempts
+	statWarmStarts      atomic.Int64 // solves seeded from a previous Solution
+	statColdRestarts    atomic.Int64 // warm solves that fell back to a cold Newton
+	statGminFallbacks   atomic.Int64 // solves that entered gmin stepping
+	statSourceFallbacks atomic.Int64 // solves that entered source stepping
+	statTranSteps       atomic.Int64 // accepted transient time steps
+	statTranRejects     atomic.Int64 // rejected (halved) transient time steps
+)
+
+// SolverStats is a snapshot of the cumulative solver counters.
+type SolverStats struct {
+	Solves          int64 // top-level OP/Tran solve calls
+	NewtonIters     int64 // Newton iterations summed over all attempts
+	WarmStarts      int64 // solves seeded with a warm-start initial guess
+	ColdRestarts    int64 // warm solves retried from zero after homotopy failed
+	GminFallbacks   int64 // solves that needed gmin stepping
+	SourceFallbacks int64 // solves that needed source stepping
+	TranSteps       int64 // accepted transient steps
+	TranRejects     int64 // rejected transient steps (step halved)
+}
+
+// Stats returns a snapshot of the cumulative solver counters.
+func Stats() SolverStats {
+	return SolverStats{
+		Solves:          statSolves.Load(),
+		NewtonIters:     statNewtonIters.Load(),
+		WarmStarts:      statWarmStarts.Load(),
+		ColdRestarts:    statColdRestarts.Load(),
+		GminFallbacks:   statGminFallbacks.Load(),
+		SourceFallbacks: statSourceFallbacks.Load(),
+		TranSteps:       statTranSteps.Load(),
+		TranRejects:     statTranRejects.Load(),
+	}
+}
+
+// Sub returns the per-interval delta s − prev, for benchmarks and metrics
+// scrapes that bracket a region of work with two snapshots.
+func (s SolverStats) Sub(prev SolverStats) SolverStats {
+	return SolverStats{
+		Solves:          s.Solves - prev.Solves,
+		NewtonIters:     s.NewtonIters - prev.NewtonIters,
+		WarmStarts:      s.WarmStarts - prev.WarmStarts,
+		ColdRestarts:    s.ColdRestarts - prev.ColdRestarts,
+		GminFallbacks:   s.GminFallbacks - prev.GminFallbacks,
+		SourceFallbacks: s.SourceFallbacks - prev.SourceFallbacks,
+		TranSteps:       s.TranSteps - prev.TranSteps,
+		TranRejects:     s.TranRejects - prev.TranRejects,
+	}
+}
+
+// ItersPerSolve returns the mean Newton iterations per top-level solve, or
+// 0 when no solves have run.
+func (s SolverStats) ItersPerSolve() float64 {
+	if s.Solves == 0 {
+		return 0
+	}
+	return float64(s.NewtonIters) / float64(s.Solves)
+}
+
+// ResetStats zeroes all counters (test/benchmark hygiene).
+func ResetStats() {
+	statSolves.Store(0)
+	statNewtonIters.Store(0)
+	statWarmStarts.Store(0)
+	statColdRestarts.Store(0)
+	statGminFallbacks.Store(0)
+	statSourceFallbacks.Store(0)
+	statTranSteps.Store(0)
+	statTranRejects.Store(0)
+}

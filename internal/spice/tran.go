@@ -3,8 +3,6 @@ package spice
 import (
 	"fmt"
 	"math"
-
-	"sramtest/internal/num"
 )
 
 // TranSpec describes a transient analysis run.
@@ -76,6 +74,34 @@ func (w *Waveform) TimeBelow(name string, threshold float64) float64 {
 	return total
 }
 
+// reset re-arms a (possibly recycled) waveform for a new run recording the
+// given nodes, truncating rather than freeing the sample buffers so a
+// reused Waveform reaches zero steady-state allocations.
+func (w *Waveform) reset(c *Circuit, rec []NodeID) {
+	w.Time = w.Time[:0]
+	w.Names = w.Names[:0]
+	for len(w.Signals) < len(rec) {
+		w.Signals = append(w.Signals, nil)
+	}
+	w.Signals = w.Signals[:len(rec)]
+	for k, id := range rec {
+		w.Names = append(w.Names, c.NodeName(id))
+		w.Signals[k] = w.Signals[k][:0]
+	}
+}
+
+// record appends one sample of every recorded node at time t.
+func (w *Waveform) record(rec []NodeID, t float64, x []float64) {
+	w.Time = append(w.Time, t)
+	for k, id := range rec {
+		v := 0.0
+		if id != Ground {
+			v = x[int(id)-1]
+		}
+		w.Signals[k] = append(w.Signals[k], v)
+	}
+}
+
 // Tran runs a backward-Euler transient analysis starting from the given
 // initial operating point (which must have been solved on the same
 // circuit, typically with the pre-switching source/switch states already
@@ -91,45 +117,40 @@ func (w *Waveform) TimeBelow(name string, threshold float64) float64 {
 // initial condition of a follow-on transient, e.g. the two-phase DS-entry
 // sequencing of the regulator).
 func Tran(c *Circuit, initial *Solution, spec TranSpec, opt Options) (*Waveform, *Solution, error) {
+	wf := &Waveform{}
+	final := &Solution{}
+	if err := TranInto(c, initial, spec, opt, wf, final); err != nil {
+		return nil, nil, err
+	}
+	return wf, final, nil
+}
+
+// TranInto is Tran with caller-owned results: the waveform and final state
+// are written into wf and final, whose buffers are truncated and reused,
+// so a loop that recycles them (e.g. the regulator's repeated DS-entry
+// transients) performs zero steady-state heap allocations. final may be
+// the Solution that served as initial — the initial state is consumed
+// before final is written.
+func TranInto(c *Circuit, initial *Solution, spec TranSpec, opt Options, wf *Waveform, final *Solution) error {
 	if spec.TStop <= 0 || spec.DtMax <= 0 {
-		return nil, nil, fmt.Errorf("spice: invalid transient spec TStop=%g DtMax=%g", spec.TStop, spec.DtMax)
+		return fmt.Errorf("spice: invalid transient spec TStop=%g DtMax=%g", spec.TStop, spec.DtMax)
 	}
 	if spec.DtMin <= 0 {
 		spec.DtMin = spec.DtMax * 1e-9
 	}
 	n := numUnknowns(c)
 	if initial == nil || len(initial.X) != n {
-		return nil, nil, fmt.Errorf("spice: transient needs an initial operating point with %d unknowns", n)
+		return fmt.Errorf("spice: transient needs an initial operating point with %d unknowns", n)
 	}
 
-	ctx := &Context{
-		Mode:     ModeTran,
-		Temp:     c.Temp,
-		SrcScale: 1,
-		Gmin:     opt.Gmin,
-		X:        append([]float64(nil), initial.X...),
-		Prev:     append([]float64(nil), initial.X...),
-		jac:      num.NewMatrix(n, n),
-		res:      make([]float64, n),
-		First:    true,
-	}
+	ctx := c.solverContext(ModeTran, opt.Gmin, n)
+	statSolves.Add(1)
+	copy(ctx.X, initial.X)
+	copy(ctx.Prev, initial.X)
+	ctx.First = true
 
-	wf := &Waveform{}
-	for _, id := range spec.Record {
-		wf.Names = append(wf.Names, c.NodeName(id))
-		wf.Signals = append(wf.Signals, nil)
-	}
-	record := func(t float64, x []float64) {
-		wf.Time = append(wf.Time, t)
-		for k, id := range spec.Record {
-			v := 0.0
-			if id != Ground {
-				v = x[int(id)-1]
-			}
-			wf.Signals[k] = append(wf.Signals[k], v)
-		}
-	}
-	record(0, ctx.Prev)
+	wf.reset(c, spec.Record)
+	wf.record(spec.Record, 0, ctx.Prev)
 
 	t := 0.0
 	dt := spec.DtMax / 16 // conservative opening step
@@ -143,18 +164,21 @@ func Tran(c *Circuit, initial *Solution, spec TranSpec, opt Options) (*Waveform,
 		err := newton(c, ctx, opt)
 		if err != nil {
 			if dt/2 < spec.DtMin {
-				return nil, nil, fmt.Errorf("spice: transient stalled at t=%g (dt=%g): %w", t, dt, err)
+				return fmt.Errorf("spice: transient stalled at t=%g (dt=%g): %w", t, dt, err)
 			}
+			statTranRejects.Add(1)
 			dt /= 2
 			continue
 		}
+		statTranSteps.Add(1)
 		t += dt
 		copy(ctx.Prev, ctx.X)
 		ctx.First = false
-		record(t, ctx.Prev)
+		wf.record(spec.Record, t, ctx.Prev)
 		if dt < spec.DtMax {
 			dt = math.Min(dt*1.5, spec.DtMax)
 		}
 	}
-	return wf, &Solution{c: c, X: append([]float64(nil), ctx.Prev...)}, nil
+	final.set(c, ctx.Prev)
+	return nil
 }

@@ -97,14 +97,15 @@ func (s *SRAM) MarkInitialized() { s.valid = true }
 // variation; the retention model consults it during DS dwells. All
 // unregistered cells use the symmetric (zero-variation) query.
 func (s *SRAM) RegisterVariation(addr, bit int, v process.Variation) {
-	k := cellIndex{addr, bit}
-	s.affect[k] = struct{}{}
-	s.vars[k] = variationEntry{v: v}
+	s.affect[addr] |= 1 << uint(bit)
+	s.vars[cellIndex{addr, bit}] = variationEntry{v: v}
 }
 
 // ClearVariations removes all registered cell variations.
 func (s *SRAM) ClearVariations() {
-	s.affect = map[cellIndex]struct{}{}
+	for i := range s.affect {
+		s.affect[i] = 0
+	}
 	s.vars = map[cellIndex]variationEntry{}
 }
 
@@ -115,20 +116,22 @@ type variationEntry struct {
 // applyRetention flips every cell that does not survive the dwell.
 func (s *SRAM) applyRetention(dwell float64) {
 	// Symmetric cells: one decision per stored value covers the whole
-	// array minus the registered cells.
+	// array minus the registered cells, and with 64 cells per word the
+	// flips reduce to one XOR per word — a failing-1s word flips its set
+	// bits, a failing-0s word its clear bits, always excluding the
+	// registered cells handled individually below.
 	sym0 := s.ret.Survives(process.Variation{}, false, dwell)
 	sym1 := s.ret.Survives(process.Variation{}, true, dwell)
 	if !sym0 || !sym1 {
-		for addr := 0; addr < Words; addr++ {
-			for b := 0; b < Bits; b++ {
-				if _, special := s.affect[cellIndex{addr, b}]; special {
-					continue
-				}
-				bit := s.RawBit(addr, b)
-				if (bit && !sym1) || (!bit && !sym0) {
-					s.RawSetBit(addr, b, !bit)
-				}
+		for addr := range s.data {
+			var flip uint64
+			if !sym1 {
+				flip |= s.data[addr]
 			}
+			if !sym0 {
+				flip |= ^s.data[addr]
+			}
+			s.data[addr] ^= flip &^ s.affect[addr]
 		}
 	}
 	for k, e := range s.vars {

@@ -43,8 +43,10 @@ type ElectricalRetention struct {
 	transient bool
 
 	vreg  float64
+	dsSol *spice.Solution             // settled DS point (continuation seed)
 	waves map[float64]*spice.Waveform // per-dwell DS-entry waveforms
 	cache map[retKey]bool
+	cells map[process.Variation]*cell.Cell // cell models, keyed by mirrored variation
 }
 
 type retKey struct {
@@ -65,8 +67,31 @@ func NewElectricalRetention(cond process.Condition, d regulator.Defect, res floa
 // conditions of the flow optimizer — the diagnosis dictionary simulates
 // March m-LZ at all 12 combinations.
 func NewElectricalRetentionAt(cond process.Condition, level regulator.VrefLevel, d regulator.Defect, res float64) (*ElectricalRetention, error) {
+	return NewElectricalRetentionFrom(cond, level, d, res, nil, spice.DefaultOptions())
+}
+
+// NewElectricalRetentionFrom is NewElectricalRetentionAt with an optional
+// warm start for the deep-sleep operating point and explicit solver
+// options. warm may come from another ElectricalRetention's DSSolution():
+// the regulator netlist construction is deterministic, so solutions are
+// layout-compatible across instances, which lets a dictionary builder
+// chain a candidate's conditions. Passing opt with ColdStart set forces
+// the pre-continuation behaviour.
+func NewElectricalRetentionFrom(cond process.Condition, level regulator.VrefLevel, d regulator.Defect, res float64, warm *spice.Solution, opt spice.Options) (*ElectricalRetention, error) {
 	pm := power.NewModel(cond)
 	reg := regulator.Build(cond, pm.LoadFunc(), regulator.DefaultParams())
+	return NewElectricalRetentionReusing(reg, cond, level, d, res, warm, opt)
+}
+
+// NewElectricalRetentionReusing is NewElectricalRetentionFrom on a
+// caller-provided regulator that was built (with default parameters) for
+// the same condition. The regulator is reset — injections cleared, the
+// reference level selected — before the defect is injected, so a pooled
+// instance behaves exactly like a fresh Build. The model owns reg until
+// the caller is completely done with it (including every lazy Survives
+// call); only then may reg be handed to another model.
+func NewElectricalRetentionReusing(reg *regulator.Regulator, cond process.Condition, level regulator.VrefLevel, d regulator.Defect, res float64, warm *spice.Solution, opt spice.Options) (*ElectricalRetention, error) {
+	reg.ClearDefects()
 	reg.SetVref(level)
 	e := &ElectricalRetention{
 		Cond:      cond,
@@ -75,18 +100,25 @@ func NewElectricalRetentionAt(cond process.Condition, level regulator.VrefLevel,
 		defectRes: res,
 		waves:     map[float64]*spice.Waveform{},
 		cache:     map[retKey]bool{},
+		cells:     map[process.Variation]*cell.Cell{},
 	}
 	if res > 0 {
 		reg.InjectDefect(d, res)
 		e.transient = regulator.Lookup(d).Transient
 	}
-	v, _, err := reg.SolveDS(nil)
+	v, sol, err := reg.SolveDSWith(warm, opt)
 	if err != nil {
 		return nil, fmt.Errorf("sram: electrical retention setup: %w", err)
 	}
 	e.vreg = v
+	e.dsSol = sol
 	return e, nil
 }
+
+// DSSolution returns the model's settled deep-sleep operating point, for
+// warm-starting the next retention model in a continuation chain. The
+// returned Solution must be treated as read-only.
+func (e *ElectricalRetention) DSSolution() *spice.Solution { return e.dsSol }
 
 // RailVoltage implements RetentionModel.
 func (e *ElectricalRetention) RailVoltage() float64 { return e.vreg }
@@ -104,7 +136,7 @@ func (e *ElectricalRetention) Survives(v process.Variation, bit bool, dwell floa
 	if !bit {
 		vv = v.Mirror()
 	}
-	cl := cell.New(vv, e.Cond)
+	cl := e.cellFor(vv)
 	var ok bool
 	if e.transient && dwell > 0 {
 		wf := e.waveFor(dwell)
@@ -126,6 +158,19 @@ func (e *ElectricalRetention) Survives(v process.Variation, bit bool, dwell floa
 	}
 	e.cache[k] = ok
 	return ok
+}
+
+// cellFor returns the (stateless-by-contract, scratch-reusing) cell
+// model for a mirrored variation. Distinct retKeys frequently share a
+// variation — the two stored bits mirror onto the same pair, and every
+// dwell reuses it — so the 6-transistor model is built once each.
+func (e *ElectricalRetention) cellFor(v process.Variation) *cell.Cell {
+	if cl, ok := e.cells[v]; ok {
+		return cl
+	}
+	cl := cell.New(v, e.Cond)
+	e.cells[v] = cl
+	return cl
 }
 
 func (e *ElectricalRetention) waveFor(dwell float64) *spice.Waveform {

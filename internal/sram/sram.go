@@ -122,7 +122,7 @@ type SRAM struct {
 	valid  bool // false after PO until fully rewritten (reads are undefined)
 	hooks  Hooks
 	ret    RetentionModel
-	affect map[cellIndex]struct{} // cells with registered variations
+	affect []uint64 // per-word bitmask of cells with registered variations
 	vars   map[cellIndex]variationEntry
 	stats  Stats
 }
@@ -137,7 +137,7 @@ func New() *SRAM {
 		data:   make([]uint64, Words),
 		valid:  true,
 		ret:    PerfectRetention{},
-		affect: map[cellIndex]struct{}{},
+		affect: make([]uint64, Words),
 		vars:   map[cellIndex]variationEntry{},
 	}
 }

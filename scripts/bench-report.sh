@@ -1,0 +1,30 @@
+#!/bin/sh
+# bench-report.sh — run the solver-centric benchmark suite and emit a
+# machine-readable report (BENCH_4.json) comparing it against the
+# checked-in pre-optimization baseline (benchmarks/baseline.txt), as run
+# by CI and `make bench-report`.
+#
+# The allocation gate is enforced (allocs/op is machine-independent);
+# wall-clock ratios are reported but not gated, since the baseline was
+# recorded on different hardware than the CI runners.
+#
+# Requires only a POSIX shell and go. Exits non-zero on any failure.
+set -eu
+
+OUT="${1:-BENCH_4.json}"
+RAW="${OUT%.json}.bench.txt"
+BASELINE="benchmarks/baseline.txt"
+BENCHES='^(BenchmarkTable2|BenchmarkDictionaryBuild|BenchmarkRegulatorOP|BenchmarkRegulatorOPWarm|BenchmarkDSEntryTransient|BenchmarkDiagnose)$'
+
+echo "bench-report: running benchmark suite (this takes a few minutes)"
+go test -run '^$' -bench "$BENCHES" -benchmem -benchtime=1x -count=5 . | tee "$RAW"
+
+echo "bench-report: generating $OUT"
+go run ./cmd/benchreport \
+	-in "$RAW" \
+	-baseline "$BASELINE" \
+	-o "$OUT" \
+	-check BenchmarkTable2,BenchmarkDictionaryBuild \
+	-min-alloc-ratio 2
+
+echo "bench-report: PASS ($OUT)"
