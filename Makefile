@@ -3,13 +3,14 @@
 #   make verify       build + vet + gofmt + test — the tier-1 gate
 #   make race         race-enabled test run
 #   make bench        one iteration of every benchmark (smoke)
-#   make bench-report solver benchmarks vs baseline -> BENCH_4.json
+#   make bench-report solver benchmarks vs baseline -> BENCH_5.json
 #   make serve-smoke  end-to-end sramd daemon smoke test
 #   make diag-smoke   end-to-end diagnose CLI smoke test
+#   make engine-smoke engine matrix: spice vs tiered must emit identical bytes
 
 GO ?= go
 
-.PHONY: verify build vet fmt test race bench bench-report serve-smoke diag-smoke
+.PHONY: verify build vet fmt test race bench bench-report serve-smoke diag-smoke engine-smoke
 
 verify: build vet fmt test
 
@@ -44,3 +45,6 @@ serve-smoke:
 
 diag-smoke:
 	sh scripts/diag-smoke.sh
+
+engine-smoke:
+	sh scripts/engine-smoke.sh

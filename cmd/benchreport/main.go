@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	go test -bench=. -benchmem ... | benchreport -o BENCH_4.json
-//	benchreport -in new.txt -baseline benchmarks/baseline.txt -o BENCH_4.json
+//	go test -bench=. -benchmem ... | benchreport -o BENCH_5.json
+//	benchreport -in new.txt -baseline benchmarks/baseline.txt -o BENCH_5.json
 //	benchreport ... -check BenchmarkTable2,BenchmarkDictionaryBuild -min-alloc-ratio 2
 //
 // Repeated runs of the same benchmark (-count=N) are averaged. When a
@@ -46,7 +46,7 @@ type Delta struct {
 	AllocRatio float64 `json:"alloc_ratio,omitempty"`
 }
 
-// Report is the BENCH_4.json schema.
+// Report is the BENCH_5.json schema.
 type Report struct {
 	Benchmarks map[string]Bench  `json:"benchmarks"`
 	Deltas     map[string]Delta  `json:"deltas,omitempty"`

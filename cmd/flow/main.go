@@ -34,9 +34,14 @@ func main() {
 		csv         = flag.Bool("csv", false, "emit CSV")
 	)
 	applyWorkers := cli.Workers(flag.CommandLine)
+	applyEngine := cli.Engine(flag.CommandLine)
 	startProfile := cli.Profile(flag.CommandLine)
 	flag.Parse()
 	applyWorkers()
+	if err := applyEngine(); err != nil {
+		fmt.Fprintln(os.Stderr, "flow:", err)
+		os.Exit(2)
+	}
 	defer startProfile()()
 
 	if *timeOnly {

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"sramtest/internal/cli"
+	"sramtest/internal/engine"
 	"sramtest/internal/jobs"
 	"sramtest/internal/server"
 	"sramtest/internal/store"
@@ -43,10 +44,17 @@ func main() {
 		storeDir   = flag.String("store-dir", "", "persist results to this directory (empty = memory only)")
 		storeCap   = flag.Int("store-cap", 256, "max cached results before LRU eviction")
 		drainWait  = flag.Duration("drain", 30*time.Second, "graceful-shutdown budget for running jobs")
+		engineName = flag.String("engine", "", "default simulation engine for jobs that don't name one (default spice)")
 	)
 	applyWorkers := cli.Workers(flag.CommandLine)
 	flag.Parse()
 	applyWorkers()
+
+	// Fail at boot on a bad engine name rather than at the first submit.
+	if _, err := engine.Resolve(*engineName); err != nil {
+		fmt.Fprintln(os.Stderr, "sramd:", err)
+		os.Exit(2)
+	}
 
 	st, err := store.Open(*storeDir, *storeCap)
 	if err != nil {
@@ -58,11 +66,12 @@ func main() {
 		mr = -1 // jobs.Config treats negative as "no retries" (0 means default)
 	}
 	mgr := jobs.NewManager(jobs.Config{
-		Workers:    *jobWorkers,
-		QueueDepth: *queue,
-		JobTimeout: *jobTimeout,
-		MaxRetries: mr,
-		Store:      st,
+		Workers:       *jobWorkers,
+		QueueDepth:    *queue,
+		JobTimeout:    *jobTimeout,
+		MaxRetries:    mr,
+		DefaultEngine: *engineName,
+		Store:         st,
 	})
 	api := server.New(mgr, st)
 	api.PublishExpvar()

@@ -9,7 +9,10 @@
 // silicon does (DESIGN.md §5.4): the regulator (with the array's leakage
 // load and the extra crowbar current of flipping cells) sets V_DD_CC; the
 // variation-affected cell's DRV and flip dynamics decide whether a 1 ms
-// DS dwell loses the stored datum.
+// DS dwell loses the stored datum. Since the engine seam (§5.9) the
+// criterion is evaluated through an engine.Eval, so the same search runs
+// on the exact SPICE backend, the calibrated surrogate, or the tiered
+// screen-then-confirm composition.
 package charac
 
 import (
@@ -17,8 +20,8 @@ import (
 	"fmt"
 	"math"
 
-	"sramtest/internal/cell"
-	"sramtest/internal/power"
+	"sramtest/internal/engine"
+	_ "sramtest/internal/engine/spicebe" // default backend
 	"sramtest/internal/process"
 	"sramtest/internal/regulator"
 	"sramtest/internal/spice"
@@ -53,6 +56,11 @@ type Options struct {
 	// warm-start equivalence tests and for debugging suspicious
 	// convergence; production runs leave it false.
 	ColdStart bool
+	// Engine selects the simulation backend; nil uses the process
+	// default (engine.Default — the exact SPICE backend unless the
+	// -engine flag picked another). The backend's name is part of the
+	// point memo key, so runs with different engines never share points.
+	Engine engine.Engine
 }
 
 // ctx returns the options' context, defaulting to context.Background.
@@ -61,6 +69,25 @@ func (o Options) ctx() context.Context {
 		return o.Ctx
 	}
 	return context.Background()
+}
+
+// engine returns the options' backend, defaulting to the process default.
+func (o Options) engine() engine.Engine { return engine.Pick(o.Engine) }
+
+// level returns the reference level for a condition under the options'
+// override.
+func (o Options) level(cond process.Condition) regulator.VrefLevel {
+	if o.Level != nil {
+		return *o.Level
+	}
+	return regulator.SelectFor(cond.VDD)
+}
+
+// newEval prepares the backend's per-condition evaluation context.
+func newEval(cond process.Condition, opt Options) (engine.Eval, error) {
+	sopt := spice.DefaultOptions()
+	sopt.ColdStart = opt.ColdStart
+	return opt.engine().Eval(cond, opt.level(cond), sopt)
 }
 
 // DefaultOptions mirrors the paper's experimental setup.
@@ -117,161 +144,56 @@ func (r Result) String() string {
 	return fmt.Sprintf("%s/%s: %s (%s)", r.Defect, r.CS.Name, spice.FormatValue(r.MinRes), r.Cond)
 }
 
-// condEnv bundles the per-condition machinery shared by every defect
-// search at that condition.
-type condEnv struct {
-	cond  process.Condition
-	reg   *regulator.Regulator
-	cells map[string]*cellEnv // per case-study cell model + DRV
-	dwell float64
-	sopt  spice.Options // solver settings (carries the ColdStart ablation)
-}
-
-type cellEnv struct {
-	cs   process.CaseStudy
-	cell *cell.Cell
-	drv1 float64 // static DRV of the stored-'1' state at this condition
-}
-
-func newCondEnv(cond process.Condition, opt Options) *condEnv {
-	pm := power.NewModel(cond)
-	reg := regulator.Build(cond, pm.LoadFunc(), regulator.DefaultParams())
-	level := regulator.SelectFor(cond.VDD)
-	if opt.Level != nil {
-		level = *opt.Level
-	}
-	reg.SetVref(level)
-	sopt := spice.DefaultOptions()
-	sopt.ColdStart = opt.ColdStart
-	return &condEnv{cond: cond, reg: reg, cells: map[string]*cellEnv{}, dwell: opt.Dwell, sopt: sopt}
-}
-
 // FaultFreeVreg returns the fault-free DS rail for a condition under the
 // options' reference-level choice (used by the flow optimizer to check
-// which test conditions would overkill fault-free devices).
+// which test conditions would overkill fault-free devices). Externally
+// reported, so every backend answers it exactly.
 func FaultFreeVreg(cond process.Condition, opt Options) (float64, error) {
-	e := newCondEnv(cond, opt)
-	return e.reg.FaultFreeVreg()
-}
-
-func (e *condEnv) cellFor(cs process.CaseStudy) *cellEnv {
-	if ce, ok := e.cells[cs.Name]; ok {
-		return ce
-	}
-	cl := cell.New(cs.Variation, e.cond)
-	ce := &cellEnv{cs: cs, cell: cl, drv1: cl.DRV1()}
-	e.cells[cs.Name] = ce
-	return ce
-}
-
-// flipActivationWidth is the voltage window above a cell's DRV in which it
-// already draws partial crowbar current (its noise margin is thin and the
-// internal nodes wander toward midpoint).
-const flipActivationWidth = 0.015 // V
-
-// solveDS computes the DS-mode V_DD_CC with the affected cells' extra
-// crowbar current folded in by a damped fixed point (DESIGN.md §5.4 —
-// keeping the Newton load monotone while still modeling the regenerative
-// CS5 effect).
-func (e *condEnv) solveDS(ce *cellEnv, warm *spice.Solution) (float64, *spice.Solution, error) {
-	extra := 0.0
-	var v float64
-	var sol *spice.Solution
-	var err error
-	for i := 0; i < 8; i++ {
-		e.reg.SetExtraLoad(extra)
-		v, sol, err = e.reg.SolveDSWith(warm, e.sopt)
-		if err != nil {
-			e.reg.SetExtraLoad(0)
-			return 0, nil, err
-		}
-		warm = sol
-		act := 1.0 / (1.0 + math.Exp((v-ce.drv1)/flipActivationWidth*4))
-		next := float64(ce.cs.Cells) * ce.cell.CrowbarCurrent(v) * act
-		// Converged, or too small to move the µA-scale operating point.
-		if math.Abs(next-extra) < 1e-9 || (i == 0 && next < 0.5e-6) {
-			extra = next
-			break
-		}
-		extra = 0.5*extra + 0.5*next
-	}
-	e.reg.SetExtraLoad(0)
-	return v, sol, nil
-}
-
-// lostDC decides the DC-defect DRF criterion: with the rail at v, does the
-// affected cell lose its stored '1' within the dwell?
-func (e *condEnv) lostDC(ce *cellEnv, v float64) bool {
-	if v >= ce.drv1 {
-		return false
-	}
-	return ce.cell.FlipTime(v, e.dwell) <= e.dwell
-}
-
-// lostTransient decides the transient-defect criterion from the DS-entry
-// waveform of V_DD_CC. The warm pointer carries the previous probe's ACT
-// operating point across the bisection (for a transient defect every
-// probe in a search starts from the same ACT configuration, so the chain
-// never mixes analysis modes).
-func (e *condEnv) lostTransient(ce *cellEnv, warm **spice.Solution) (bool, error) {
-	wf, act, err := e.reg.DSEntryWith(e.dwell, *warm, e.sopt)
+	ev, err := newEval(cond, opt)
 	if err != nil {
-		return false, err
+		return 0, err
 	}
-	*warm = act
-	// Fast path: a supply that never crosses below the static DRV cannot
-	// flip the cell — skip the trajectory integration.
-	if _, min := wf.Min("vddcc"); min >= ce.drv1 {
-		return false, nil
-	}
-	return ce.cell.FlipUnder(wf.Time, wf.Signal("vddcc")), nil
-}
-
-// lost evaluates the full DRF criterion for the presently injected defect.
-func (e *condEnv) lost(info regulator.Info, ce *cellEnv, warm **spice.Solution) (bool, error) {
-	if info.Transient {
-		return e.lostTransient(ce, warm)
-	}
-	v, sol, err := e.solveDS(ce, *warm)
-	if err != nil {
-		// A non-converged extreme point is treated as data loss: the
-		// operating point only fails to exist when the rail collapses.
-		return true, nil
-	}
-	*warm = sol
-	return e.lostDC(ce, v), nil
+	defer ev.Release()
+	return ev.FaultFreeRail()
 }
 
 // MinResistanceAt finds the minimal resistance of defect d that causes a
 // DRF for case study cs at one PVT condition. The point is memoized, so
 // repeated probes (the flow optimizer, mixed CLI runs) are free.
 func MinResistanceAt(d regulator.Defect, cs process.CaseStudy, cond process.Condition, opt Options) (CondResult, error) {
-	r, err := minResistanceCached(cond, func() *condEnv { return newCondEnv(cond, opt) }, d, cs, opt)
+	var ev engine.Eval
+	env := func() (engine.Eval, error) {
+		if ev == nil {
+			var err error
+			if ev, err = newEval(cond, opt); err != nil {
+				return nil, err
+			}
+		}
+		return ev, nil
+	}
+	defer func() {
+		if ev != nil {
+			ev.Release()
+		}
+	}()
+	r, err := minResistanceCached(cond, env, d, cs, opt)
 	return CondResult{Cond: cond, MinRes: r}, err
 }
 
 // minResistance is the search core, by bisection on log-resistance
 // (the DRF predicate is monotone in the defect resistance — tested in the
 // regulator package). Returns +Inf when the full open line causes no DRF.
-func minResistance(e *condEnv, d regulator.Defect, cs process.CaseStudy, opt Options) (float64, error) {
-	info := regulator.Lookup(d)
-	ce := e.cellFor(cs)
-	defer e.reg.ClearDefects()
-
-	var warm *spice.Solution
-
+func minResistance(ev engine.Eval, cond process.Condition, d regulator.Defect, cs process.CaseStudy, opt Options) (float64, error) {
 	// Fault-free sanity: the healthy regulator must retain.
-	e.reg.ClearDefects()
-	if bad, err := e.lost(info, ce, &warm); err != nil {
+	if bad, err := ev.Lost(d, 0, cs, opt.Dwell); err != nil {
 		return 0, err
 	} else if bad {
-		return 0, fmt.Errorf("charac: fault-free DRF at %s for %s — calibration broken", e.cond, cs.Name)
+		return 0, fmt.Errorf("charac: fault-free DRF at %s for %s — calibration broken", cond, cs.Name)
 	}
 
-	lo := e.reg.Par.WireRes // retains here
+	lo := regulator.DefaultParams().WireRes // retains here
 	hi := regulator.OpenResistance
-	e.reg.InjectDefect(d, hi)
-	if bad, err := e.lost(info, ce, &warm); err != nil {
+	if bad, err := ev.Lost(d, hi, cs, opt.Dwell); err != nil {
 		return 0, err
 	} else if !bad {
 		return math.Inf(1), nil // "> 500M"
@@ -279,8 +201,7 @@ func minResistance(e *condEnv, d regulator.Defect, cs process.CaseStudy, opt Opt
 
 	for hi/lo > opt.ResTol {
 		mid := math.Sqrt(lo * hi)
-		e.reg.InjectDefect(d, mid)
-		bad, err := e.lost(info, ce, &warm)
+		bad, err := ev.Lost(d, mid, cs, opt.Dwell)
 		if err != nil {
 			return 0, err
 		}
@@ -296,7 +217,9 @@ func minResistance(e *condEnv, d regulator.Defect, cs process.CaseStudy, opt Opt
 // pointKey identifies one characterization point for the memo cache:
 // the (defect, case study, condition) triple plus the option fields that
 // influence the search result. Worker counts and grid composition are
-// deliberately excluded — they cannot change a point's value.
+// deliberately excluded — they cannot change a point's value. The engine
+// name IS included (satellite of the seam): an approximate backend's
+// points must never masquerade as exact ones.
 type pointKey struct {
 	defect regulator.Defect
 	cs     process.CaseStudy
@@ -305,6 +228,7 @@ type pointKey struct {
 	resTol float64
 	level  regulator.VrefLevel // -1 = per-VDD default (regulator.SelectFor)
 	cold   bool                // ColdStart ablation runs are cached separately
+	eng    string              // backend name, calibration-versioned
 }
 
 func keyOf(d regulator.Defect, cs process.CaseStudy, cond process.Condition, opt Options) pointKey {
@@ -312,7 +236,8 @@ func keyOf(d regulator.Defect, cs process.CaseStudy, cond process.Condition, opt
 	if opt.Level != nil {
 		level = *opt.Level
 	}
-	return pointKey{defect: d, cs: cs, cond: cond, dwell: opt.Dwell, resTol: opt.ResTol, level: level, cold: opt.ColdStart}
+	return pointKey{defect: d, cs: cs, cond: cond, dwell: opt.Dwell, resTol: opt.ResTol,
+		level: level, cold: opt.ColdStart, eng: opt.engine().Name()}
 }
 
 // pointCache memoizes characterization points across calls, so repeated
@@ -322,12 +247,16 @@ func keyOf(d regulator.Defect, cs process.CaseStudy, cond process.Condition, opt
 var pointCache sweep.Cache[pointKey, float64]
 
 // minResistanceCached is minResistance behind the memo cache. env is
-// called only on a cache miss, so hits skip the netlist build entirely;
-// concurrent requests for the same point share one computation
+// called only on a cache miss, so hits skip the evaluation-context build
+// entirely; concurrent requests for the same point share one computation
 // (singleflight).
-func minResistanceCached(cond process.Condition, env func() *condEnv, d regulator.Defect, cs process.CaseStudy, opt Options) (float64, error) {
+func minResistanceCached(cond process.Condition, env func() (engine.Eval, error), d regulator.Defect, cs process.CaseStudy, opt Options) (float64, error) {
 	return pointCache.Do(keyOf(d, cs, cond, opt), func() (float64, error) {
-		return minResistance(env(), d, cs, opt)
+		ev, err := env()
+		if err != nil {
+			return 0, err
+		}
+		return minResistance(ev, cond, d, cs, opt)
 	})
 }
 
@@ -345,11 +274,11 @@ func CharacterizeDefect(d regulator.Defect, cs process.CaseStudy, opt Options) (
 	res := Result{Defect: d, CS: cs, MinRes: math.Inf(1)}
 	details, err := sweep.MapCtx(opt.ctx(), len(opt.Conditions), func(i int) (CondResult, error) {
 		cond := opt.Conditions[i]
-		r, err := minResistanceCached(cond, func() *condEnv { return newCondEnv(cond, opt) }, d, cs, opt)
+		r, err := MinResistanceAt(d, cs, cond, opt)
 		if err != nil {
 			return CondResult{}, fmt.Errorf("charac: %s/%s at %s: %w", d, cs.Name, cond, err)
 		}
-		return CondResult{Cond: cond, MinRes: r}, nil
+		return r, nil
 	}, sweep.Workers(opt.Workers))
 	if err != nil {
 		return res, err
@@ -365,17 +294,20 @@ func CharacterizeDefect(d regulator.Defect, cs process.CaseStudy, opt Options) (
 
 // MinResistancesAt finds the minimal DRF-causing resistance of each
 // listed defect for case study cs at one PVT condition, sharing a single
-// per-condition environment (regulator netlist, cell DRVs) across the
-// defects. Per-defect outcomes are reported positionally in errs, so a
-// caller like the test-flow measurement can treat individual failures as
-// "undetectable here" without losing the rest of the condition.
+// per-condition evaluation context across the defects. Per-defect
+// outcomes are reported positionally in errs, so a caller like the
+// test-flow measurement can treat individual failures as "undetectable
+// here" without losing the rest of the condition.
 func MinResistancesAt(ds []regulator.Defect, cs process.CaseStudy, cond process.Condition, opt Options) (res []CondResult, errs []error) {
-	var e *condEnv
-	env := func() *condEnv {
-		if e == nil {
-			e = newCondEnv(cond, opt)
+	var ev engine.Eval
+	env := func() (engine.Eval, error) {
+		if ev == nil {
+			var err error
+			if ev, err = newEval(cond, opt); err != nil {
+				return nil, err
+			}
 		}
-		return e
+		return ev, nil
 	}
 	res = make([]CondResult, len(ds))
 	errs = make([]error, len(ds))
@@ -389,6 +321,9 @@ func MinResistancesAt(ds []regulator.Defect, cs process.CaseStudy, cond process.
 		res[i] = CondResult{Cond: cond, MinRes: r}
 		errs[i] = err
 	}
+	if ev != nil {
+		ev.Release()
+	}
 	return res, errs
 }
 
@@ -396,32 +331,37 @@ func MinResistancesAt(ds []regulator.Defect, cs process.CaseStudy, cond process.
 // options' PVT grid on the sweep engine and returns the results
 // defect-major (the paper's Table II row order). The task unit is one
 // (condition, defect, case study) point, enumerated condition-major so
-// that each worker's environment cache (regulator netlist + cell DRVs,
-// rebuilt only on condition change) gets maximal reuse. The assembled
-// tables are bit-identical to the sequential path for any worker count.
+// that each worker's evaluation-context cache (regulator netlist + cell
+// DRVs, rebuilt only on condition change) gets maximal reuse. The
+// assembled tables are bit-identical to the sequential path for any
+// worker count.
 func CharacterizeAll(defects []regulator.Defect, css []process.CaseStudy, opt Options) ([]Result, error) {
 	nPairs := len(defects) * len(css)
 	nConds := len(opt.Conditions)
 
-	// Worker state: the last environment built, keyed by its condition.
-	// Condition-major task order makes this a near-perfect cache.
+	// Worker state: the last evaluation contexts built, keyed by their
+	// condition. Condition-major task order makes this a near-perfect
+	// cache.
 	type workerEnv struct {
-		envs map[process.Condition]*condEnv
+		evals map[process.Condition]engine.Eval
 	}
 	mins, err := sweep.MapWorkerCtx(opt.ctx(), nConds*nPairs,
-		func() *workerEnv { return &workerEnv{envs: map[process.Condition]*condEnv{}} },
+		func() *workerEnv { return &workerEnv{evals: map[process.Condition]engine.Eval{}} },
 		func(w *workerEnv, t int) (float64, error) {
 			cond := opt.Conditions[t/nPairs]
 			pair := t % nPairs
 			d := defects[pair/len(css)]
 			cs := css[pair%len(css)]
-			env := func() *condEnv {
-				e, ok := w.envs[cond]
-				if !ok {
-					e = newCondEnv(cond, opt)
-					w.envs[cond] = e
+			env := func() (engine.Eval, error) {
+				if e, ok := w.evals[cond]; ok {
+					return e, nil
 				}
-				return e
+				e, err := newEval(cond, opt)
+				if err != nil {
+					return nil, err
+				}
+				w.evals[cond] = e
+				return e, nil
 			}
 			r, err := minResistanceCached(cond, env, d, cs, opt)
 			if err != nil {

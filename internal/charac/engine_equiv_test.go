@@ -1,0 +1,63 @@
+package charac
+
+import (
+	"reflect"
+	"testing"
+
+	"sramtest/internal/engine"
+	"sramtest/internal/engine/surrogate"
+	"sramtest/internal/engine/tiered"
+	"sramtest/internal/regulator"
+	"sramtest/internal/spice"
+)
+
+// TestTieredMatchesSpice is the engine-equivalence golden for the
+// characterization layer: the tiered backend's Table II slice must be
+// byte-identical to the exact backend's — screened decisions are only
+// taken when SPICE would provably agree — at several worker counts, and
+// it must actually screen (skip Newton solves), or the tier is pointless.
+// The workload includes a transient defect (Df8) to cover the
+// always-escalate route.
+func TestTieredMatchesSpice(t *testing.T) {
+	opt, defects, css := parallelTestOptions()
+	defects = append(defects, regulator.Df8)
+
+	ResetCache()
+	opt.Engine = nil // process default: exact SPICE
+	refBefore := spice.Stats()
+	want, err := CharacterizeAll(defects, css, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("spice: solves=%d", spice.Stats().Sub(refBefore).Solves)
+
+	for _, workers := range []int{1, 4} {
+		surrogate.ResetTables()
+		engine.ResetStats()
+		ResetCache()
+		topt := opt
+		topt.Engine = tiered.New()
+		topt.Workers = workers
+		before := spice.Stats()
+		got, err := CharacterizeAll(defects, css, topt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solves := spice.Stats().Sub(before)
+		es := engine.Stats()
+		t.Logf("workers=%d: tiered solves=%d screened=%d escalations=%d calSolves=%d inserts=%d",
+			workers, solves.Solves, es.Screened, es.Escalations, es.CalSolves, es.ExactInserts)
+
+		// Strip the engine-name-independent payload: results must be
+		// bit-identical, including per-condition details.
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("workers=%d: tiered table deviates from spice:\ngot  %+v\nwant %+v", workers, got, want)
+		}
+		if es.Screened == 0 {
+			t.Errorf("workers=%d: tiered backend never screened a decision", workers)
+		}
+		if es.Escalations == 0 {
+			t.Errorf("workers=%d: tiered backend never escalated — the screen is suspiciously confident", workers)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"reflect"
 	"testing"
 
+	"sramtest/internal/engine"
 	"sramtest/internal/process"
 	"sramtest/internal/regulator"
 )
@@ -26,28 +27,33 @@ func parallelTestOptions() (Options, []regulator.Defect, []process.CaseStudy) {
 	return opt, defects, css
 }
 
-// characterizeSequential is the pre-engine reference implementation of
-// CharacterizeAll: plain nested loops, one shared environment per
-// condition, no cache, no goroutines. The golden-compare tests pin the
-// engine's output to it bit for bit.
+// characterizeSequential is the pre-parallelism reference implementation
+// of CharacterizeAll: plain nested loops, one shared evaluation context
+// per condition, no cache, no goroutines. The golden-compare tests pin
+// the sweep engine's output to it bit for bit.
 func characterizeSequential(t *testing.T, defects []regulator.Defect, css []process.CaseStudy, opt Options) []Result {
 	t.Helper()
-	envs := make([]*condEnv, len(opt.Conditions))
+	evals := make([]engine.Eval, len(opt.Conditions))
 	for i, cond := range opt.Conditions {
-		envs[i] = newCondEnv(cond, opt)
+		ev, err := newEval(cond, opt)
+		if err != nil {
+			t.Fatalf("sequential reference: eval at %s: %v", cond, err)
+		}
+		evals[i] = ev
+		defer ev.Release()
 	}
 	var out []Result
 	for _, d := range defects {
 		for _, c := range css {
 			res := Result{Defect: d, CS: c, MinRes: math.Inf(1)}
-			for _, e := range envs {
-				r, err := minResistance(e, d, c, opt)
+			for i, cond := range opt.Conditions {
+				r, err := minResistance(evals[i], cond, d, c, opt)
 				if err != nil {
-					t.Fatalf("sequential reference: %s/%s at %s: %v", d, c.Name, e.cond, err)
+					t.Fatalf("sequential reference: %s/%s at %s: %v", d, c.Name, cond, err)
 				}
-				res.Details = append(res.Details, CondResult{Cond: e.cond, MinRes: r})
+				res.Details = append(res.Details, CondResult{Cond: cond, MinRes: r})
 				if r < res.MinRes {
-					res.MinRes, res.Cond = r, e.cond
+					res.MinRes, res.Cond = r, cond
 				}
 			}
 			out = append(out, res)

@@ -27,6 +27,7 @@ package diag
 import (
 	"context"
 
+	"sramtest/internal/engine"
 	"sramtest/internal/march"
 	"sramtest/internal/process"
 	"sramtest/internal/regulator"
@@ -78,6 +79,12 @@ type Options struct {
 	// solves behind every simulation (ablation/debug knob for the
 	// dictionary equivalence tests; production builds leave it false).
 	ColdStart bool
+	// Engine selects the simulation backend; nil uses the process
+	// default (engine.Default — exact SPICE unless the -engine flag
+	// picked another). The backend's name is part of the simulation
+	// memo key; the dictionary artifact itself records no engine, so a
+	// tiered-built dictionary is byte-identical to an exact one.
+	Engine engine.Engine
 }
 
 // DefaultFlowConditions returns the paper's optimized three-condition

@@ -1,0 +1,74 @@
+package diag
+
+import (
+	"bytes"
+	"testing"
+
+	"sramtest/internal/engine"
+	"sramtest/internal/engine/surrogate"
+	"sramtest/internal/engine/tiered"
+	"sramtest/internal/process"
+	"sramtest/internal/regulator"
+	"sramtest/internal/spice"
+)
+
+// TestDictionaryTieredMatchesSpice is the engine-equivalence golden for
+// the diagnosis layer: a dictionary built with the tiered backend must be
+// byte-identical (down to the encoded artifact) to one built with exact
+// SPICE, at several worker counts — the artifact records no engine, so a
+// cheaply-built dictionary is interchangeable with an exact one. The
+// tiered build must also demonstrably screen: the dictionary workload is
+// where the tier amortizes best, because every case study at the same
+// (condition, defect, resistance) shares one rail, so after the first
+// escalation inserts it the rest snap to an exact table node.
+func TestDictionaryTieredMatchesSpice(t *testing.T) {
+	opt := DefaultOptions()
+	opt.Defects = []regulator.Defect{regulator.Df12, regulator.Df16}
+	opt.CaseStudies = process.Table1CaseStudies()
+	opt.Decades = []float64{1e4, 1e6}
+	opt.BaseOnly = true
+
+	ResetCache()
+	before := spice.Stats()
+	ref, err := Build(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSolves := spice.Stats().Sub(before).Solves
+	want, err := ref.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("spice: solves=%d", refSolves)
+
+	for _, workers := range []int{1, 8} {
+		surrogate.ResetTables()
+		engine.ResetStats()
+		ResetCache()
+		topt := opt
+		topt.Engine = tiered.New()
+		topt.Workers = workers
+		before := spice.Stats()
+		d, err := Build(topt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solves := spice.Stats().Sub(before).Solves
+		es := engine.Stats()
+		t.Logf("workers=%d: tiered solves=%d screened=%d escalations=%d calSolves=%d inserts=%d",
+			workers, solves, es.Screened, es.Escalations, es.CalSolves, es.ExactInserts)
+		got, err := d.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: tiered dictionary deviates from the exact one", workers)
+		}
+		if es.Screened == 0 {
+			t.Errorf("workers=%d: tiered backend never screened a decision", workers)
+		}
+		if es.Escalations == 0 {
+			t.Errorf("workers=%d: tiered backend never escalated — the screen is suspiciously confident", workers)
+		}
+	}
+}

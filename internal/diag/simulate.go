@@ -2,10 +2,10 @@ package diag
 
 import (
 	"fmt"
-	"sync"
 
+	"sramtest/internal/engine"
+	_ "sramtest/internal/engine/spicebe" // default backend
 	"sramtest/internal/march"
-	"sramtest/internal/power"
 	"sramtest/internal/process"
 	"sramtest/internal/regulator"
 	"sramtest/internal/spice"
@@ -16,6 +16,8 @@ import (
 
 // simKey identifies one candidate-at-condition simulation. Every field
 // that shapes the outcome is part of the key, so the memo below is exact.
+// The engine name is included (the engine-seam satellite): an approximate
+// backend's signatures must never masquerade as exact ones.
 type simKey struct {
 	corner process.Corner
 	tempC  float64
@@ -26,7 +28,8 @@ type simKey struct {
 	res    float64
 	cells  int
 	v      process.Variation
-	cold   bool // ColdStart ablation runs are cached separately
+	cold   bool   // ColdStart ablation runs are cached separately
+	eng    string // backend name, calibration-versioned
 }
 
 // simCache memoizes whole condition simulations across the process: the
@@ -40,50 +43,29 @@ var simCache sweep.Cache[simKey, CondSignature]
 // and benchmarks use it to measure real recomputation, not memo hits.
 func ResetCache() { simCache.Reset() }
 
-// regPool recycles regulator netlists per condition. Building the
-// ~60-element netlist dominates the allocation profile of a dictionary
-// build, and a simulation owns its retention model only for the duration
-// of one March run, so the instances can be handed from candidate to
-// candidate. Reuse is exact: NewElectricalRetentionReusing resets every
-// piece of state an earlier simulation may have touched.
-var regPool = struct {
-	sync.Mutex
-	free map[process.Condition][]*regulator.Regulator
-}{free: map[process.Condition][]*regulator.Regulator{}}
-
-func getRegulator(cond process.Condition) *regulator.Regulator {
-	regPool.Lock()
-	if list := regPool.free[cond]; len(list) > 0 {
-		r := list[len(list)-1]
-		regPool.free[cond] = list[:len(list)-1]
-		regPool.Unlock()
-		return r
-	}
-	regPool.Unlock()
-	return regulator.Build(cond, power.NewModel(cond).LoadFunc(), regulator.DefaultParams())
-}
-
-func putRegulator(cond process.Condition, r *regulator.Regulator) {
-	regPool.Lock()
-	regPool.free[cond] = append(regPool.free[cond], r)
-	regPool.Unlock()
-}
-
 // simulate runs March m-LZ once on a device carrying the candidate defect
 // at the given test condition and compresses the outcome. warm, when
 // non-nil, carries the deep-sleep operating point across a candidate's
-// condition chain: *warm seeds the regulator solve and is replaced by the
-// settled point of this simulation (cache hits leave it untouched). The
-// regulator netlists of all conditions share one layout, so the seed is
-// always shape-compatible; the solver falls back to homotopy from scratch
-// when the seed misleads Newton.
+// condition chain: *warm seeds the backend's solve and is replaced by the
+// chain point the backend returns (cache hits, and screened evaluations
+// that never solve, leave it untouched). The regulator netlists of all
+// conditions share one layout, so the seed is always shape-compatible;
+// the solver falls back to homotopy from scratch when the seed misleads
+// Newton.
+//
+// The retention model is queried through the options' engine: the exact
+// backend builds the full electrical model up front (pre-seam behaviour,
+// relocated into engine/spicebe), while the tiered backend screens every
+// Survives decision against its calibrated rail band and materializes
+// the electrical model only when a decision is ambiguous.
 func simulate(opt Options, cand Candidate, tc testflow.TestCondition, warm **spice.Solution) (CondSignature, error) {
+	eng := engine.Pick(opt.Engine)
 	key := simKey{
 		corner: opt.Corner, tempC: opt.TempC, dwell: opt.Dwell,
 		vdd: tc.VDD, level: tc.Level,
 		defect: cand.Defect, res: cand.Res,
 		cells: cand.CS.Cells, v: cand.CS.Variation,
-		cold: opt.ColdStart,
+		cold: opt.ColdStart, eng: eng.Name(),
 	}
 	return simCache.Do(key, func() (CondSignature, error) {
 		cond := process.Condition{Corner: opt.Corner, VDD: tc.VDD, TempC: opt.TempC}
@@ -93,22 +75,26 @@ func simulate(opt Options, cand Candidate, tc testflow.TestCondition, warm **spi
 		if warm != nil {
 			seed = *warm
 		}
-		reg := getRegulator(cond)
-		ret, err := sram.NewElectricalRetentionReusing(reg, cond, tc.Level, cand.Defect, cand.Res, seed, sopt)
+		ev, err := eng.Eval(cond, tc.Level, sopt)
 		if err != nil {
-			putRegulator(cond, reg)
+			return CondSignature{}, fmt.Errorf("diag: %s R=%.3g at %s: %w", cand.Defect, cand.Res, tc, err)
+		}
+		ret, chain, err := ev.Retention(cand.Defect, cand.Res, seed)
+		if err != nil {
+			ev.Release()
 			return CondSignature{}, fmt.Errorf("diag: %s R=%.3g at %s: %w", cand.Defect, cand.Res, tc, err)
 		}
 		if warm != nil {
-			*warm = ret.DSSolution()
+			*warm = chain
 		}
 		s := sram.New()
 		s.SetRetention(ret)
 		PlaceCells(s, cand.CS)
 		rep, err := march.RunWith(opt.test(), s, march.RunOptions{CaptureAll: true})
 		// The retention model is fully consumed (every Survives decision
-		// made) once the March run returns; the regulator can move on.
-		putRegulator(cond, reg)
+		// made) once the March run returns; the backend's pooled resources
+		// can move on.
+		ev.Release()
 		if err != nil {
 			return CondSignature{}, fmt.Errorf("diag: march at %s: %w", tc, err)
 		}

@@ -1,0 +1,132 @@
+package engine
+
+import (
+	"math"
+
+	"sramtest/internal/cell"
+	"sramtest/internal/process"
+)
+
+// FlipActivationWidth is the voltage window above a cell's DRV in which
+// it already draws partial crowbar current (its noise margin is thin and
+// the internal nodes wander toward midpoint). Shared by the exact
+// backend's damped fixed point and the tiered screen's negligibility
+// bound, so both sides of the seam model the same physics.
+const FlipActivationWidth = 0.015 // V
+
+// CrowbarBreak is the extra-load threshold below which the DS fixed
+// point exits on its first iteration: a load this small cannot move the
+// µA-scale operating point (engine/spicebe mirrors the pre-seam charac
+// behaviour exactly).
+const CrowbarBreak = 0.5e-6 // A
+
+// crowbarScreenLimit is the tiered screen's version of CrowbarBreak: a
+// pass decision is only taken from the band when the worst-case
+// first-iteration load over the whole band stays below this,
+// guaranteeing the exact backend would have exited its fixed point with
+// the no-load rail the band bounds. The band itself already carries the
+// rail uncertainty (the load is bounded over the whole band), so any
+// value below CrowbarBreak is sound; the small gap absorbs the load
+// model's own floating-point wiggle.
+const crowbarScreenLimit = 0.49e-6 // A
+
+// CellCrit caches the cell-side quantities of the DRF criterion for one
+// (case study, condition): the 6T model and its static DRV. Both the
+// exact backend and the tiered screen evaluate the same object, so a
+// screened decision and an escalated one can never disagree on the
+// cell's thresholds.
+type CellCrit struct {
+	CS   process.CaseStudy
+	Cell *cell.Cell
+	DRV1 float64 // static DRV of the stored-'1' state at this condition
+}
+
+// NewCellCrit builds the criterion bundle, with the DRV taken from the
+// process-wide oracle memo.
+func NewCellCrit(cs process.CaseStudy, cond process.Condition) *CellCrit {
+	return &CellCrit{CS: cs, Cell: cell.New(cs.Variation, cond), DRV1: CachedDRV1(cs.Variation, cond)}
+}
+
+// LostDC decides the DC-defect DRF criterion at a settled rail v: below
+// the static DRV and flipping within the dwell.
+func (c *CellCrit) LostDC(v, dwell float64) bool {
+	if v >= c.DRV1 {
+		return false
+	}
+	return c.Cell.FlipTime(v, dwell) <= dwell
+}
+
+// Activation is the soft flip-activation factor at rail v (1 well below
+// the DRV, 0 well above).
+func (c *CellCrit) Activation(v float64) float64 {
+	return 1.0 / (1.0 + math.Exp((v-c.DRV1)/FlipActivationWidth*4))
+}
+
+// CrowbarNext is the first fixed-point estimate of the case study's
+// extra crowbar load at rail v: cells × per-cell crowbar × activation.
+func (c *CellCrit) CrowbarNext(v float64) float64 {
+	return float64(c.CS.Cells) * c.Cell.CrowbarCurrent(v) * c.Activation(v)
+}
+
+// DecideLostDC screens the DC DRF criterion against a rail band without
+// solving. It returns (lost, true) only when the exact backend would
+// provably agree for any true no-load rail inside the band:
+//
+//   - Fail is safe when the band's TOP already loses the datum: the
+//     criterion is monotone in the rail (a lower rail flips no slower),
+//     and the exact backend's crowbar load only pulls the rail further
+//     down from the no-load value the band bounds.
+//   - Pass is safe when the band's BOTTOM retains the datum (the full
+//     criterion, not just the static DRV: marginally below the DRV the
+//     flip outlasts the dwell, and the flip time is monotone in the
+//     rail) AND the worst-case first-iteration crowbar load over the
+//     band is below the fixed point's own exit threshold: the exact
+//     backend would break out with the no-load rail and report
+//     "retains".
+//
+// Anything else — the band straddles the threshold, or the crowbar load
+// could move the operating point — is left undecided for escalation.
+func (c *CellCrit) DecideLostDC(band Rail, dwell float64) (lost, decided bool) {
+	if c.LostDC(band.Hi, dwell) {
+		return true, true
+	}
+	if band.Lo > 0 && !c.LostDC(band.Lo, dwell) {
+		// Bound the first-iteration load over the band: the activation is
+		// monotone decreasing in the rail (worst at Lo); the per-cell
+		// crowbar current is smooth, so its band extremes bound it.
+		ib := math.Max(c.Cell.CrowbarCurrent(band.Lo), c.Cell.CrowbarCurrent(band.Hi))
+		next := float64(c.CS.Cells) * ib * c.Activation(band.Lo)
+		if next < crowbarScreenLimit {
+			return false, true
+		}
+	}
+	return false, false
+}
+
+// DecideSurvives screens the retention criterion (the behavioral SRAM's
+// Survives query, which has no crowbar feedback: the electrical
+// retention model solves the plain no-load operating point) against a
+// rail band. drv is the static DRV of the mirrored-as-needed cell. It
+// returns (survives, true) only when both band edges agree.
+func DecideSurvives(cl *cell.Cell, drv float64, band Rail, dwell float64) (survives, decided bool) {
+	if dwell <= 0 {
+		if band.Lo >= drv {
+			return true, true
+		}
+		if band.Hi < drv {
+			return false, true
+		}
+		return false, false
+	}
+	// RetainsFor is monotone in the rail: a higher rail never flips
+	// faster. Decide only when both edges land on the same side. A
+	// band floored at ground (near the open-line end) cannot certify
+	// retention, and the cell model has no VTC at vcc = 0.
+	if band.Lo > 0 && cl.RetainsFor(band.Lo, dwell) {
+		return true, true
+	}
+	if !cl.RetainsFor(band.Hi, dwell) {
+		return false, true
+	}
+	return false, false
+}

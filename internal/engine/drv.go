@@ -1,0 +1,58 @@
+package engine
+
+import (
+	"sramtest/internal/cell"
+	"sramtest/internal/process"
+	"sramtest/internal/sweep"
+)
+
+// drvKey identifies one static-DRV evaluation. process.Variation is a
+// fixed-size float array, so the whole key is comparable.
+type drvKey struct {
+	v    process.Variation
+	cond process.Condition
+	bit  bool // true = stored '1' (DRV_DS1), false = stored '0'
+}
+
+// drvCache memoizes the static-DRV bisection process-wide. Every backend
+// shares it — the DRV oracle is pure cell-level math, independent of the
+// circuit backend — so cross-engine equivalence runs never recompute a
+// threshold, and the characterization layers and Table I agree on every
+// value by construction. Table I needs ~10 case studies × 45 conditions;
+// the Monte-Carlo experiment (100k distinct variations) deliberately
+// bypasses the memo to keep its footprint flat.
+var drvCache sweep.Cache[drvKey, float64]
+
+// CachedDRV1 returns the static DRV of a stored '1' for variation v at
+// cond, memoized process-wide.
+func CachedDRV1(v process.Variation, cond process.Condition) float64 {
+	r, _ := drvCache.Do(drvKey{v: v, cond: cond, bit: true}, func() (float64, error) {
+		return cell.New(v, cond).DRV1(), nil
+	})
+	return r
+}
+
+// CachedDRV0 is the stored-'0' twin of CachedDRV1.
+func CachedDRV0(v process.Variation, cond process.Condition) float64 {
+	r, _ := drvCache.Do(drvKey{v: v, cond: cond, bit: false}, func() (float64, error) {
+		return cell.New(v, cond).DRV0(), nil
+	})
+	return r
+}
+
+// ResetDRVCache drops the memoized thresholds (test hygiene).
+func ResetDRVCache() { drvCache.Reset() }
+
+// DRVOracle provides the shared memoized DRV oracle; backends embed it
+// to satisfy the Engine interface's DRV1/DRV0 methods.
+type DRVOracle struct{}
+
+// DRV1 implements Engine.
+func (DRVOracle) DRV1(v process.Variation, cond process.Condition) float64 {
+	return CachedDRV1(v, cond)
+}
+
+// DRV0 implements Engine.
+func (DRVOracle) DRV0(v process.Variation, cond process.Condition) float64 {
+	return CachedDRV0(v, cond)
+}

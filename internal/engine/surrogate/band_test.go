@@ -1,0 +1,97 @@
+package surrogate
+
+import (
+	"testing"
+
+	"sramtest/internal/num"
+	"sramtest/internal/process"
+	"sramtest/internal/regulator"
+)
+
+// calTable calibrates one real table (5 SPICE solves) shared by the
+// band-invariant tests below.
+func calTable(t *testing.T) *Table {
+	t.Helper()
+	ResetTables()
+	cond := process.Condition{Corner: process.FS, VDD: 1.0, TempC: 125}
+	tbl, err := RefinableTables().Table(cond, regulator.SelectFor(cond.VDD), regulator.Df16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// TestBandInvariants checks the properties every decision screen relies
+// on: bands are ordered, non-negative (the true rail is physically
+// non-negative) and never narrower than the floor.
+func TestBandInvariants(t *testing.T) {
+	tbl := calTable(t)
+	par := DefaultParams()
+	for _, res := range num.Logspace(regulator.DefaultParams().WireRes, regulator.OpenResistance, 60) {
+		b := tbl.Band(res)
+		if b.Lo > b.Hi {
+			t.Fatalf("R=%g: inverted band [%g,%g]", res, b.Lo, b.Hi)
+		}
+		if b.Lo < 0 {
+			t.Fatalf("R=%g: negative lower bound %g", res, b.Lo)
+		}
+		if w := b.Width(); w < par.Floor-1e-12 {
+			t.Fatalf("R=%g: band width %g below the floor %g", res, w, par.Floor)
+		}
+	}
+}
+
+// TestBandSnapsToExactNodes checks that a query on a calibration node
+// returns that node's exact solve ± floor — the property that makes
+// escalations amortize: once a bisection point is escalated and
+// inserted, every later query there screens.
+func TestBandSnapsToExactNodes(t *testing.T) {
+	tbl := calTable(t)
+	par := DefaultParams()
+	for _, res := range CalRange(par.CalSamples) {
+		b := tbl.Band(res)
+		if w := b.Width(); w > 2*par.Floor+1e-12 {
+			t.Errorf("R=%g: band on a calibration node has width %g, want <= 2*floor", res, w)
+		}
+	}
+}
+
+// TestInsertRefinesBand checks that folding an escalated exact sample
+// back into the table narrows the band at that resistance to the floor.
+func TestInsertRefinesBand(t *testing.T) {
+	tbl := calTable(t)
+	par := DefaultParams()
+	grid := CalRange(par.CalSamples)
+	res := (grid[1] + grid[2]) / 3 // off every calibration node
+	before := tbl.Band(res)
+	rail := before.Mid() // any value inside the band works for the test
+	tbl.Insert(res, rail)
+	after := tbl.Band(res)
+	if w := after.Width(); w > 2*par.Floor+1e-12 {
+		t.Fatalf("band after insert has width %g, want <= 2*floor", w)
+	}
+	if after.Lo > rail || rail > after.Hi {
+		t.Fatalf("inserted rail %g outside refined band [%g,%g]", rail, after.Lo, after.Hi)
+	}
+	if before.Width() < after.Width() {
+		t.Fatalf("insert widened the band: %g -> %g", before.Width(), after.Width())
+	}
+}
+
+// TestCalRange pins the calibration grid: n log-spaced points spanning
+// the wire-short to full-open resistance range, strictly increasing.
+func TestCalRange(t *testing.T) {
+	grid := CalRange(5)
+	if len(grid) != 5 {
+		t.Fatalf("got %d points", len(grid))
+	}
+	if grid[0] != regulator.DefaultParams().WireRes || grid[4] != regulator.OpenResistance {
+		t.Fatalf("grid [%g..%g] does not span [%g..%g]",
+			grid[0], grid[4], regulator.DefaultParams().WireRes, regulator.OpenResistance)
+	}
+	for i := 1; i < len(grid); i++ {
+		if grid[i] <= grid[i-1] {
+			t.Fatalf("grid not increasing at %d: %v", i, grid)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package surrogate
+
+import (
+	"fmt"
+	"math"
+
+	"sramtest/internal/engine"
+	"sramtest/internal/engine/spicebe"
+	"sramtest/internal/process"
+	"sramtest/internal/regulator"
+	"sramtest/internal/spice"
+)
+
+// Calibrate samples the no-load deep-sleep rail of defect d at (cond,
+// level) over the n-point log-resistance ladder of CalRange, through the
+// exact SPICE backend. The ladder ascends so each solve warm-starts from
+// the previous, slightly-less-defective operating point — the same
+// continuation trick the sweeps use. Solver options are the defaults:
+// sampled rails are seed-independent (the warm-start equivalence
+// contract), so one table serves every ablation.
+//
+// Points whose operating point does not converge (a collapsed rail at an
+// extreme resistance) are skipped; at least two samples must survive.
+// Transient defects have no settled DS rail and cannot be calibrated.
+func Calibrate(cond process.Condition, level regulator.VrefLevel, d regulator.Defect, n int) (x, y []float64, err error) {
+	if regulator.Lookup(d).Transient {
+		return nil, nil, fmt.Errorf("surrogate: defect %v is transient-mode, no DS rail to calibrate", d)
+	}
+	ev := spicebe.New().NewEval(cond, level, spice.DefaultOptions())
+	defer ev.Release()
+	ladder := CalRange(n)
+	x = make([]float64, 0, len(ladder))
+	y = make([]float64, 0, len(ladder))
+	for _, r := range ladder {
+		v, rerr := ev.RailAt(d, r)
+		if rerr != nil {
+			continue
+		}
+		x = append(x, math.Log(r))
+		y = append(y, v)
+	}
+	engine.CountCalSolves(len(ladder))
+	if len(x) < 2 {
+		return nil, nil, fmt.Errorf("surrogate: calibration of defect %v at %v: %d/%d points converged", d, cond, len(x), len(ladder))
+	}
+	return x, y, nil
+}

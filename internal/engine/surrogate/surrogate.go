@@ -1,0 +1,201 @@
+package surrogate
+
+import (
+	"fmt"
+
+	"sramtest/internal/cell"
+	"sramtest/internal/engine"
+	"sramtest/internal/engine/spicebe"
+	"sramtest/internal/process"
+	"sramtest/internal/regulator"
+	"sramtest/internal/spice"
+	"sramtest/internal/sram"
+)
+
+func init() { engine.Register("surrogate", func() engine.Engine { return New() }) }
+
+// Engine is the standalone surrogate backend: every DC decision is
+// answered from the fixed-grid calibration tables — ambiguous bands
+// resolve at the band midpoint — so results are fast, deterministic and
+// approximate. Transient-mode defects (no settled rail to tabulate) and
+// the fault-free reference rail still go to SPICE. For SPICE-confirmed
+// answers at surrogate-like cost, use engine/tiered.
+type Engine struct{ engine.DRVOracle }
+
+// New returns the standalone surrogate backend.
+func New() *Engine { return &Engine{} }
+
+// Name implements engine.Engine, versioned with the calibration scheme.
+func (*Engine) Name() string { return fmt.Sprintf("surrogate.v%d", CalVersion) }
+
+// Eval implements engine.Engine.
+func (g *Engine) Eval(cond process.Condition, level regulator.VrefLevel, sopt spice.Options) (engine.Eval, error) {
+	return &Eval{cond: cond, level: level, sopt: sopt, store: FixedTables(), crits: map[string]*engine.CellCrit{}}, nil
+}
+
+// Eval is the surrogate's per-condition context. Not safe for concurrent
+// use; each sweep worker holds its own.
+type Eval struct {
+	cond  process.Condition
+	level regulator.VrefLevel
+	sopt  spice.Options
+	store *Store
+	crits map[string]*engine.CellCrit
+	inner *spicebe.Eval // lazy exact context for the SPICE-only queries
+}
+
+func (e *Eval) critFor(cs process.CaseStudy) *engine.CellCrit {
+	if c, ok := e.crits[cs.Name]; ok {
+		return c
+	}
+	c := engine.NewCellCrit(cs, e.cond)
+	e.crits[cs.Name] = c
+	return c
+}
+
+func (e *Eval) exact() *spicebe.Eval {
+	if e.inner == nil {
+		e.inner = spicebe.New().NewEval(e.cond, e.level, e.sopt)
+	}
+	return e.inner
+}
+
+// band looks up the rail band for defect d at res. Resistances at or
+// below the wire resistance (including the fault-free probe's res <= 0)
+// clamp to the ladder's fault-free end.
+func (e *Eval) band(d regulator.Defect, res float64) (engine.Rail, error) {
+	tbl, err := e.store.Table(e.cond, e.level, d)
+	if err != nil {
+		return engine.Rail{}, err
+	}
+	wire := regulator.DefaultParams().WireRes
+	if res < wire {
+		res = wire
+	}
+	return tbl.Band(res), nil
+}
+
+// Lost implements engine.Eval. DC defects are decided from the table
+// band — an ambiguous band resolves at its midpoint, which is where the
+// surrogate trades exactness for speed. Transient defects go to SPICE:
+// a waveform criterion cannot be tabulated against resistance alone.
+func (e *Eval) Lost(d regulator.Defect, res float64, cs process.CaseStudy, dwell float64) (bool, error) {
+	if regulator.Lookup(d).Transient {
+		engine.CountTransientDirect()
+		return e.exact().Lost(d, res, cs, dwell)
+	}
+	band, err := e.band(d, res)
+	if err != nil {
+		return false, err
+	}
+	c := e.critFor(cs)
+	engine.CountScreened()
+	if lost, decided := c.DecideLostDC(band, dwell); decided {
+		return lost, nil
+	}
+	return c.LostDC(band.Mid(), dwell), nil
+}
+
+// FaultFreeRail implements engine.Eval. The healthy rail is a single
+// solve per condition and is externally reported (the flow optimizer's
+// V_out column), so even the surrogate answers it exactly.
+func (e *Eval) FaultFreeRail() (float64, error) {
+	return e.exact().FaultFreeRail()
+}
+
+// Retention implements engine.Eval: a band-backed retention model for DC
+// defects, the full electrical model for transient ones. The warm chain
+// passes through unchanged when no solve happens.
+func (e *Eval) Retention(d regulator.Defect, res float64, warm *spice.Solution) (sram.RetentionModel, *spice.Solution, error) {
+	if res <= 0 {
+		// Fault-free device: one exact solve, zero-width band — the DC
+		// criterion then matches ElectricalRetention decision for decision.
+		v, err := e.exact().FaultFreeRail()
+		if err != nil {
+			return nil, nil, err
+		}
+		return newBandRetention(e.cond, engine.Rail{Lo: v, Hi: v}), warm, nil
+	}
+	if regulator.Lookup(d).Transient {
+		engine.CountTransientDirect()
+		return e.exact().Retention(d, res, warm)
+	}
+	band, err := e.band(d, res)
+	if err != nil {
+		return nil, nil, err
+	}
+	return newBandRetention(e.cond, band), warm, nil
+}
+
+// Release implements engine.Eval.
+func (e *Eval) Release() {
+	if e.inner != nil {
+		e.inner.Release()
+		e.inner = nil
+	}
+}
+
+// bandRetention is the surrogate's retention model: the DC criterion
+// evaluated against a rail band, ambiguity resolved at the midpoint.
+// Decisions are cached like ElectricalRetention's.
+type bandRetention struct {
+	cond  process.Condition
+	band  engine.Rail
+	cache map[retKey]bool
+	cells map[process.Variation]*cell.Cell
+}
+
+type retKey struct {
+	v     process.Variation
+	bit   bool
+	dwell float64
+}
+
+func newBandRetention(cond process.Condition, band engine.Rail) *bandRetention {
+	return &bandRetention{cond: cond, band: band, cache: map[retKey]bool{}, cells: map[process.Variation]*cell.Cell{}}
+}
+
+// NewBandRetention exposes the band-backed retention model; the tiered
+// backend uses a zero-width band for fault-free devices (one exact
+// solve, then pure cell-level math — decision-identical to the full
+// electrical model).
+func NewBandRetention(cond process.Condition, band engine.Rail) sram.RetentionModel {
+	return newBandRetention(cond, band)
+}
+
+// RailVoltage implements sram.RetentionModel (the band's point estimate).
+func (m *bandRetention) RailVoltage() float64 { return m.band.Mid() }
+
+// Survives implements sram.RetentionModel.
+func (m *bandRetention) Survives(v process.Variation, bit bool, dwell float64) bool {
+	k := retKey{v: v, bit: bit, dwell: dwell}
+	if got, ok := m.cache[k]; ok {
+		return got
+	}
+	vv := v
+	if !bit {
+		vv = v.Mirror()
+	}
+	cl := m.cellFor(vv)
+	drv := engine.CachedDRV1(vv, m.cond)
+	engine.CountScreened()
+	ok, decided := engine.DecideSurvives(cl, drv, m.band, dwell)
+	if !decided {
+		if dwell <= 0 {
+			ok = m.band.Mid() >= drv
+		} else {
+			ok = cl.RetainsFor(m.band.Mid(), dwell)
+		}
+	}
+	m.cache[k] = ok
+	return ok
+}
+
+func (m *bandRetention) cellFor(v process.Variation) *cell.Cell {
+	if cl, ok := m.cells[v]; ok {
+		return cl
+	}
+	cl := cell.New(v, m.cond)
+	m.cells[v] = cl
+	return cl
+}

@@ -1,0 +1,268 @@
+// Package surrogate is the calibrated fast backend of the engine seam:
+// per-(condition, reference level, defect) interpolation tables of the
+// deep-sleep rail versus log-resistance, sampled from the exact SPICE
+// backend once and answered from memory afterwards, with an explicit
+// per-query uncertainty band. Standalone it is an approximate screening
+// engine; composed by engine/tiered it decides the easy majority of
+// sweep points while SPICE confirms the rest.
+package surrogate
+
+import (
+	"math"
+	"sort"
+	"sync"
+
+	"sramtest/internal/engine"
+	"sramtest/internal/num"
+	"sramtest/internal/process"
+	"sramtest/internal/regulator"
+	"sramtest/internal/sweep"
+)
+
+// CalVersion is the calibration-scheme version, part of the surrogate
+// and tiered engine names (and therefore of every cache and store key
+// that holds their results). Bump it whenever the calibration grid or
+// the uncertainty model changes.
+const CalVersion = 1
+
+// Params tunes table calibration and the uncertainty model.
+type Params struct {
+	// CalSamples is the initial calibration ladder size: log-spaced
+	// resistance points from the wire resistance to the open-line bound.
+	CalSamples int
+	// Floor is the minimum uncertainty attached to any query (V). It
+	// absorbs solver-tolerance noise; decisions within Floor of a
+	// threshold always escalate in the tiered backend.
+	Floor float64
+	// Scale multiplies the local interpolation-error estimate — the
+	// engineering safety margin between "estimated" and "trusted".
+	Scale float64
+	// SmoothFrac is the minimum fraction of an interval's value span
+	// the model will claim as uncertainty, guarding against curvature
+	// aliasing (a knee hiding between two samples that happen to agree).
+	SmoothFrac float64
+	// TrustSpan is the widest interval (in ln Ω) whose curvature-based
+	// error estimate is trusted. Wider intervals — the original
+	// calibration spacing — use the rigorous monotone bound instead:
+	// at calibration scale the rail's knee is not resolved, and a
+	// divided-difference curvature estimate across an unresolved knee
+	// aliases to near zero. Escalated inserts shrink intervals below
+	// the span exactly where the sweeps probe, unlocking the tight
+	// estimate there.
+	TrustSpan float64
+}
+
+// DefaultParams is the calibrated default (see DESIGN.md §5.9 for the
+// derivation of each constant).
+func DefaultParams() Params {
+	return Params{CalSamples: 5, Floor: 5e-5, Scale: 2, SmoothFrac: 0.02, TrustSpan: 1.25}
+}
+
+// snapTol is the ln-resistance distance below which a query is treated
+// as hitting a sample exactly (≈1e-9 relative in resistance — far finer
+// than any probe spacing, far coarser than float rounding).
+const snapTol = 1e-9
+
+// Table is one calibrated rail curve: sorted ln-resistance sample points
+// with SPICE-exact rail values. Refinable tables additionally absorb the
+// exact rails of escalated probes, so the band tightens exactly where
+// the sweeps probe. Safe for concurrent use.
+type Table struct {
+	par       Params
+	refinable bool
+
+	mu   sync.Mutex
+	x, y []float64 // ln(res) → rail, x strictly increasing, all samples exact
+}
+
+// Band returns the rail band at resistance res (Ω). Queries outside the
+// calibrated span clamp to the nearest sample. For intervals narrower
+// than TrustSpan the band half-width is
+//
+//	u = Floor + min(Scale × max(curvature, smoothness), monotone cap)
+//
+// where curvature is the standard linear-interpolation error estimate
+// |f”|/2·(x−x₀)(x₁−x) from neighboring divided differences, smoothness
+// claims at least SmoothFrac of the interval's own value span, and the
+// cap |Δy|·max(t,1−t) is the rigorous bound for a rail monotone in the
+// defect resistance (the same monotonicity the resistance bisection
+// rests on). Intervals wider than TrustSpan — unresolved at calibration
+// scale — use the monotone cap alone. At an exact sample every estimate
+// vanishes and u = Floor.
+func (t *Table) Band(res float64) engine.Rail {
+	lx := math.Log(res)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := len(t.x)
+	if lx <= t.x[0] {
+		return clampRail(t.y[0], t.par.Floor)
+	}
+	if lx >= t.x[n-1] {
+		return clampRail(t.y[n-1], t.par.Floor)
+	}
+	i := sort.SearchFloat64s(t.x, lx) // t.x[i-1] < lx <= t.x[i]
+	// Snap to a sample within rounding distance: bisection midpoints in
+	// log-resistance land exactly on the log-spaced calibration nodes up
+	// to 1 ulp, and the monotone cap is at its worst right next to a
+	// node (a step could hide beyond it), so without the snap an exact
+	// hit would read as maximally uncertain.
+	if lx-t.x[i-1] < snapTol {
+		return clampRail(t.y[i-1], t.par.Floor)
+	}
+	if t.x[i]-lx < snapTol {
+		return clampRail(t.y[i], t.par.Floor)
+	}
+	x0, x1 := t.x[i-1], t.x[i]
+	y0, y1 := t.y[i-1], t.y[i]
+	h := x1 - x0
+	ft := (lx - x0) / h
+	v := y0 + ft*(y1-y0)
+	dy := math.Abs(y1 - y0)
+
+	cap := dy * math.Max(ft, 1-ft)
+	est := cap
+	if h <= t.par.TrustSpan {
+		curv := t.curvAt(i-1, i) * h * h * ft * (1 - ft)
+		smooth := t.par.SmoothFrac * dy * 4 * ft * (1 - ft)
+		est = math.Min(t.par.Scale*math.Max(curv, smooth), cap)
+	}
+	u := t.par.Floor + est
+	return clampRail(v, u)
+}
+
+// clampRail builds the band v±u clamped to non-negative voltages: the
+// true rail is physically non-negative, so raising the lower bound to 0
+// keeps it a valid bound (it matters near the open-line end, where the
+// collapsed rail sits within Floor of ground).
+func clampRail(v, u float64) engine.Rail {
+	return engine.Rail{Lo: math.Max(v-u, 0), Hi: v + u}
+}
+
+// curvAt estimates |f”|/2 on the interval [j, k] from the divided
+// second differences at its endpoints (interior points only). With no
+// interior endpoint the estimate is +Inf, deferring to the monotone cap.
+func (t *Table) curvAt(j, k int) float64 {
+	dd := math.Inf(1)
+	if d, ok := t.dd(j); ok {
+		dd = d
+	}
+	if d, ok := t.dd(k); ok {
+		dd = math.Max(dd, d)
+		if math.IsInf(dd, 1) {
+			dd = d
+		}
+	}
+	return dd
+}
+
+// dd returns the absolute second divided difference centered at sample
+// j, when j is interior.
+func (t *Table) dd(j int) (float64, bool) {
+	if j <= 0 || j >= len(t.x)-1 {
+		return 0, false
+	}
+	s1 := (t.y[j] - t.y[j-1]) / (t.x[j] - t.x[j-1])
+	s2 := (t.y[j+1] - t.y[j]) / (t.x[j+1] - t.x[j])
+	return math.Abs((s2 - s1) / (t.x[j+1] - t.x[j-1])), true
+}
+
+// Insert folds an exact (SPICE-solved) sample into a refinable table;
+// fixed-grid tables and duplicate abscissae ignore it. This is how the
+// tiered backend's escalations sharpen the band exactly where the
+// sweeps probe: sample spacing halves locally, and the curvature-based
+// error estimate shrinks quadratically with it.
+func (t *Table) Insert(res, rail float64) {
+	if !t.refinable {
+		return
+	}
+	lx := math.Log(res)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	i := sort.SearchFloat64s(t.x, lx)
+	if i < len(t.x) && math.Abs(t.x[i]-lx) < 1e-9 {
+		return
+	}
+	if i > 0 && math.Abs(t.x[i-1]-lx) < 1e-9 {
+		return
+	}
+	t.x = append(t.x, 0)
+	copy(t.x[i+1:], t.x[i:])
+	t.x[i] = lx
+	t.y = append(t.y, 0)
+	copy(t.y[i+1:], t.y[i:])
+	t.y[i] = rail
+	engine.CountExactInsert()
+}
+
+// Len reports the current sample count.
+func (t *Table) Len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.x)
+}
+
+// tableKey identifies one calibration table. Solver options are
+// deliberately excluded: sampled rails are seed-independent (the
+// warm-start equivalence contract), so ablation runs share tables.
+type tableKey struct {
+	cond   process.Condition
+	level  regulator.VrefLevel
+	defect regulator.Defect
+}
+
+// Store is a process-wide table registry with singleflight calibration.
+type Store struct {
+	par       Params
+	refinable bool
+	cache     sweep.Cache[tableKey, *Table]
+}
+
+// NewStore builds a table store.
+func NewStore(par Params, refinable bool) *Store {
+	if par.CalSamples < 2 {
+		par.CalSamples = DefaultParams().CalSamples
+	}
+	return &Store{par: par, refinable: refinable}
+}
+
+// Shared stores: the refinable one backs the tiered engine (escalations
+// feed back), the fixed-grid one backs the standalone surrogate engine
+// (whose answers must not depend on what other engines ran first).
+var (
+	sharedRefinable = NewStore(DefaultParams(), true)
+	sharedFixed     = NewStore(DefaultParams(), false)
+)
+
+// RefinableTables returns the shared refinable store (tiered backend).
+func RefinableTables() *Store { return sharedRefinable }
+
+// FixedTables returns the shared fixed-grid store (standalone backend).
+func FixedTables() *Store { return sharedFixed }
+
+// ResetTables drops every calibrated table in both shared stores
+// (benchmark hygiene: cold builds must pay calibration again).
+func ResetTables() {
+	sharedRefinable.cache.Reset()
+	sharedFixed.cache.Reset()
+}
+
+// Table returns the calibrated table for (cond, level, defect), building
+// it on first use via Calibrate. Concurrent requests share one
+// calibration (singleflight).
+func (s *Store) Table(cond process.Condition, level regulator.VrefLevel, d regulator.Defect) (*Table, error) {
+	return s.cache.Do(tableKey{cond: cond, level: level, defect: d}, func() (*Table, error) {
+		x, y, err := Calibrate(cond, level, d, s.par.CalSamples)
+		if err != nil {
+			return nil, err
+		}
+		engine.CountTable()
+		return &Table{par: s.par, refinable: s.refinable, x: x, y: y}, nil
+	})
+}
+
+// CalRange returns the calibration ladder for n samples: log-spaced
+// resistances from the wire resistance (the fault-free bound — injection
+// clamps below it) to the open-line bound.
+func CalRange(n int) []float64 {
+	return num.Logspace(regulator.DefaultParams().WireRes, regulator.OpenResistance, n)
+}

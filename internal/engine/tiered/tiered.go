@@ -1,0 +1,235 @@
+// Package tiered composes the surrogate and SPICE backends into the
+// screen-then-confirm engine of DESIGN.md §5.9: every DC decision is
+// first screened against the calibrated rail band, and only queries the
+// band cannot settle — it straddles a pass/fail threshold, or the
+// crowbar feedback could move the operating point — escalate to a full
+// Newton solve. Screened decisions are taken only when the exact backend
+// would provably agree (see engine.CellCrit.DecideLostDC and
+// engine.DecideSurvives), so tiered results are SPICE-confirmed: golden
+// outputs are byte-identical to the "spice" engine while most solves are
+// skipped. Escalated rails are folded back into the (refinable) tables,
+// tightening the band exactly where the sweeps probe.
+package tiered
+
+import (
+	"fmt"
+	"os"
+
+	"sramtest/internal/cell"
+	"sramtest/internal/engine"
+	"sramtest/internal/engine/spicebe"
+	"sramtest/internal/engine/surrogate"
+	"sramtest/internal/process"
+	"sramtest/internal/regulator"
+	"sramtest/internal/spice"
+	"sramtest/internal/sram"
+)
+
+func init() { engine.Register("tiered", func() engine.Engine { return New() }) }
+
+var debugEsc = os.Getenv("TIERED_DEBUG") != ""
+
+// Engine is the tiered backend. Stateless; the calibration tables are
+// process-wide and the per-condition state lives in the Evals.
+type Engine struct{ engine.DRVOracle }
+
+// New returns the tiered backend.
+func New() *Engine { return &Engine{} }
+
+// Name implements engine.Engine, versioned with the surrogate's
+// calibration scheme (a screen is only as good as its band).
+func (*Engine) Name() string { return fmt.Sprintf("tiered.v%d", surrogate.CalVersion) }
+
+// Eval implements engine.Engine.
+func (g *Engine) Eval(cond process.Condition, level regulator.VrefLevel, sopt spice.Options) (engine.Eval, error) {
+	return &Eval{
+		cond:  cond,
+		level: level,
+		inner: spicebe.New().NewEval(cond, level, sopt),
+		store: surrogate.RefinableTables(),
+	}, nil
+}
+
+// Eval is the tiered per-condition context: a surrogate table view plus
+// an exact context held ready for escalations (the regulator comes from
+// the shared pool, so holding it is cheap). Not safe for concurrent use.
+type Eval struct {
+	cond  process.Condition
+	level regulator.VrefLevel
+	inner *spicebe.Eval
+	store *surrogate.Store
+}
+
+// band returns defect d's table and the rail band at res, clamping the
+// fault-free probe (res <= 0) to the ladder's wire-resistance end.
+func (e *Eval) band(d regulator.Defect, res float64) (*surrogate.Table, engine.Rail, error) {
+	tbl, err := e.store.Table(e.cond, e.level, d)
+	if err != nil {
+		return nil, engine.Rail{}, err
+	}
+	wire := regulator.DefaultParams().WireRes
+	if res < wire {
+		res = wire
+	}
+	return tbl, tbl.Band(res), nil
+}
+
+// Lost implements engine.Eval. Transient defects go straight to SPICE
+// (a waveform criterion cannot be screened by a static band); DC defects
+// are screened, and an escalated probe's exact no-load rail refines the
+// table at zero extra solves.
+func (e *Eval) Lost(d regulator.Defect, res float64, cs process.CaseStudy, dwell float64) (bool, error) {
+	if regulator.Lookup(d).Transient {
+		engine.CountTransientDirect()
+		return e.inner.Lost(d, res, cs, dwell)
+	}
+	tbl, band, err := e.band(d, res)
+	if err != nil {
+		return false, err
+	}
+	c := e.inner.Crit(cs)
+	if lost, decided := c.DecideLostDC(band, dwell); decided {
+		engine.CountScreened()
+		return lost, nil
+	}
+	engine.CountEscalation()
+	if debugEsc {
+		c2 := e.inner.Crit(cs)
+		fmt.Printf("ESC d=%v cs=%s res=%.4g band=[%.5f,%.5f] w=%.2g drv=%.5f cells=%d cbLo=%.3g\n",
+			d, cs.Name, res, band.Lo, band.Hi, band.Width(), c2.DRV1, cs.Cells,
+			float64(cs.Cells)*c2.Cell.CrowbarCurrent(band.Lo)*c2.Activation(band.Lo))
+	}
+	lost, rail, railOK, err := e.inner.LostDetail(d, res, cs, dwell)
+	if err != nil {
+		return false, err
+	}
+	if railOK && res > 0 {
+		tbl.Insert(res, rail)
+	}
+	return lost, nil
+}
+
+// FaultFreeRail implements engine.Eval. Externally reported (the flow
+// optimizer's V_out column), so it is always SPICE-confirmed.
+func (e *Eval) FaultFreeRail() (float64, error) {
+	return e.inner.FaultFreeRail()
+}
+
+// Retention implements engine.Eval. DC defects get a screening model
+// that decides each Survives query from the band and materializes the
+// full electrical model on the first ambiguous one; transient defects
+// and fault-free devices behave as in the surrogate backend (exact).
+// The warm chain passes through unchanged when no solve happens.
+func (e *Eval) Retention(d regulator.Defect, res float64, warm *spice.Solution) (sram.RetentionModel, *spice.Solution, error) {
+	if res <= 0 {
+		v, err := e.inner.FaultFreeRail()
+		if err != nil {
+			return nil, nil, err
+		}
+		return surrogate.NewBandRetention(e.cond, engine.Rail{Lo: v, Hi: v}), warm, nil
+	}
+	if regulator.Lookup(d).Transient {
+		engine.CountTransientDirect()
+		return e.inner.Retention(d, res, warm)
+	}
+	tbl, band, err := e.band(d, res)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := &retModel{
+		ev:    e,
+		tbl:   tbl,
+		d:     d,
+		res:   res,
+		band:  band,
+		seed:  warm,
+		cache: map[retKey]bool{},
+		cells: map[process.Variation]*cell.Cell{},
+	}
+	return m, warm, nil
+}
+
+// Release implements engine.Eval. Retention models handed out by this
+// Eval must be fully consumed first (interface contract).
+func (e *Eval) Release() { e.inner.Release() }
+
+// retModel is the tiered retention model: Survives queries screen
+// against the rail band; the first undecidable query escalates to the
+// full electrical model, which then answers everything (and its exact
+// rail refines the table). Screened and escalated answers agree by the
+// monotonicity of the retention criterion in the rail.
+type retModel struct {
+	ev   *Eval
+	tbl  *surrogate.Table
+	d    regulator.Defect
+	res  float64
+	band engine.Rail
+	seed *spice.Solution
+
+	elec  sram.RetentionModel // non-nil once escalated
+	cache map[retKey]bool
+	cells map[process.Variation]*cell.Cell
+}
+
+type retKey struct {
+	v     process.Variation
+	bit   bool
+	dwell float64
+}
+
+// Survives implements sram.RetentionModel.
+func (m *retModel) Survives(v process.Variation, bit bool, dwell float64) bool {
+	if m.elec != nil {
+		return m.elec.Survives(v, bit, dwell)
+	}
+	k := retKey{v: v, bit: bit, dwell: dwell}
+	if got, ok := m.cache[k]; ok {
+		return got
+	}
+	vv := v
+	if !bit {
+		vv = v.Mirror()
+	}
+	cl := m.cellFor(vv)
+	drv := engine.CachedDRV1(vv, m.ev.cond)
+	if ok, decided := engine.DecideSurvives(cl, drv, m.band, dwell); decided {
+		engine.CountScreened()
+		m.cache[k] = ok
+		return ok
+	}
+	m.escalate()
+	return m.elec.Survives(v, bit, dwell)
+}
+
+// RailVoltage implements sram.RetentionModel. The exact rail is an
+// answer, not a screen, so it always escalates.
+func (m *retModel) RailVoltage() float64 {
+	if m.elec == nil {
+		m.escalate()
+	}
+	return m.elec.RailVoltage()
+}
+
+// escalate materializes the full electrical model on the Eval's pooled
+// regulator. A non-converged operating point surfaces as a panic — the
+// sweep layers run every point under sweep's panic protection, which
+// converts it into that point's error, mirroring where the exact
+// backend's construction error would have landed.
+func (m *retModel) escalate() {
+	engine.CountEscalation()
+	elec, _, err := m.ev.inner.Retention(m.d, m.res, m.seed)
+	if err != nil {
+		panic(fmt.Errorf("tiered: escalating retention of defect %v at %.3g Ω: %w", m.d, m.res, err))
+	}
+	m.elec = elec
+	m.tbl.Insert(m.res, elec.RailVoltage())
+}
+
+func (m *retModel) cellFor(v process.Variation) *cell.Cell {
+	if cl, ok := m.cells[v]; ok {
+		return cl
+	}
+	cl := cell.New(v, m.ev.cond)
+	m.cells[v] = cl
+	return cl
+}

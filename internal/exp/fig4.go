@@ -2,6 +2,7 @@ package exp
 
 import (
 	"sramtest/internal/cell"
+	"sramtest/internal/engine"
 	"sramtest/internal/num"
 	"sramtest/internal/process"
 	"sramtest/internal/report"
@@ -39,8 +40,19 @@ func Fig4(sigmas []float64, conds []process.Condition) Fig4Result {
 	pts, _ := sweep.Map(nT*len(sigmas), func(t int) (point, error) {
 		var v process.Variation
 		v[process.CellTransistor(t/len(sigmas))] = sigmas[t%len(sigmas)]
-		r := cell.WorstDRV(v, conds)
-		return point{d1: r.DRV1, d0: r.DRV0}, nil
+		// Worst case over the conditions, through the engine layer's DRV
+		// oracle — the σ=0 baseline is shared by all six transistors and
+		// computed once.
+		var p point
+		for _, cond := range conds {
+			if d := engine.CachedDRV1(v, cond); d > p.d1 {
+				p.d1 = d
+			}
+			if d := engine.CachedDRV0(v, cond); d > p.d0 {
+				p.d0 = d
+			}
+		}
+		return p, nil
 	})
 	var res Fig4Result
 	for tr := process.CellTransistor(0); tr < process.NumCellTransistors; tr++ {

@@ -12,6 +12,7 @@ import (
 	"fmt"
 
 	"sramtest/internal/cell"
+	"sramtest/internal/engine"
 	"sramtest/internal/process"
 	"sramtest/internal/report"
 	"sramtest/internal/sweep"
@@ -38,11 +39,16 @@ func Table1(conds []process.Condition) []Table1Row {
 	css := process.Table1CaseStudies()
 	// One task per (case study, condition) point; rows are reduced from
 	// the ordered results, so the table is identical for any worker count.
+	// The DRVs come from the engine layer's process-wide oracle memo, so
+	// they are shared with every screen and criterion that needs them.
 	pts, _ := sweep.Map(len(css)*len(conds), func(t int) (cell.DRVResult, error) {
 		cs := css[t/len(conds)]
 		cond := conds[t%len(conds)]
-		cl := cell.New(cs.Variation, cond)
-		return cell.DRVResult{DRV0: cl.DRV0(), DRV1: cl.DRV1(), Cond0: cond, Cond1: cond}, nil
+		return cell.DRVResult{
+			DRV0:  engine.CachedDRV0(cs.Variation, cond),
+			DRV1:  engine.CachedDRV1(cs.Variation, cond),
+			Cond0: cond, Cond1: cond,
+		}, nil
 	})
 	rows := make([]Table1Row, len(css))
 	for i, cs := range css {

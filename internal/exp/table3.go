@@ -5,7 +5,7 @@ import (
 	"io"
 	"strings"
 
-	"sramtest/internal/cell"
+	"sramtest/internal/engine"
 	"sramtest/internal/march"
 	"sramtest/internal/process"
 	"sramtest/internal/regulator"
@@ -31,9 +31,10 @@ func Table3(opt testflow.MeasureOptions) (Table3Result, error) {
 		return Table3Result{}, err
 	}
 	// The flow's Vreg floor is the worst-case DRV of the sensitizing
-	// case study at the measurement corner/temperature.
+	// case study at the measurement corner/temperature, from the engine
+	// layer's oracle memo (the tiered screen hits the same entry).
 	cond := process.Condition{Corner: opt.Corner, VDD: 1.1, TempC: opt.TempC}
-	worst := cell.New(opt.CS.Variation, cond).DRV1()
+	worst := engine.CachedDRV1(opt.CS.Variation, cond)
 	flow := testflow.Optimize(sens, testflow.DefaultOptimizeOptions(worst))
 	return Table3Result{WorstDRV: worst, Sensitivities: sens, Flow: flow}, nil
 }

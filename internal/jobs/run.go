@@ -5,9 +5,12 @@ import (
 	"context"
 	"fmt"
 
-	"sramtest/internal/cell"
 	"sramtest/internal/charac"
 	"sramtest/internal/diag"
+	"sramtest/internal/engine"
+	_ "sramtest/internal/engine/spicebe"   // default backend
+	_ "sramtest/internal/engine/surrogate" // spec engine "surrogate"
+	_ "sramtest/internal/engine/tiered"    // spec engine "tiered"
 	"sramtest/internal/exp"
 	"sramtest/internal/process"
 	"sramtest/internal/regulator"
@@ -33,23 +36,32 @@ func Run(ctx context.Context, spec Spec) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
+	// The spec names its backend explicitly ("" ≡ spice after
+	// normalization); the process default is deliberately not consulted,
+	// so a store key always maps to one engine regardless of daemon
+	// configuration.
+	eng, err := engine.Resolve(spec.Engine)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
 	switch spec.Kind {
 	case KindCharac:
-		return runCharac(ctx, spec)
+		return runCharac(ctx, spec, eng)
 	case KindExp:
 		return runExp(ctx, spec)
 	case KindTestFlow:
-		return runTestFlow(ctx, spec)
+		return runTestFlow(ctx, spec, eng)
 	case KindDiag:
-		return runDiag(ctx, spec)
+		return runDiag(ctx, spec, eng)
 	}
 	return nil, fmt.Errorf("%w: unknown kind %q", ErrBadSpec, spec.Kind)
 }
 
 // runDiag builds the fault dictionary; the job bytes are the versioned
 // JSON artifact, identical to `diagnose build -o -`.
-func runDiag(ctx context.Context, spec Spec) ([]byte, error) {
+func runDiag(ctx context.Context, spec Spec, eng engine.Engine) ([]byte, error) {
 	opt := diag.DefaultOptions()
+	opt.Engine = eng
 	opt.Defects = toDefects(spec.Diag.Defects)
 	all := process.Table1CaseStudies()
 	css := make([]process.CaseStudy, 0, 2*len(spec.Diag.CaseStudies))
@@ -67,8 +79,9 @@ func runDiag(ctx context.Context, spec Spec) ([]byte, error) {
 	return d.Encode()
 }
 
-func runCharac(ctx context.Context, spec Spec) ([]byte, error) {
+func runCharac(ctx context.Context, spec Spec, eng engine.Engine) ([]byte, error) {
 	opt := charac.DefaultOptions()
+	opt.Engine = eng
 	if !spec.Charac.Full {
 		opt.Conditions = charac.ReducedGrid()
 	}
@@ -120,8 +133,9 @@ func runExp(ctx context.Context, spec Spec) ([]byte, error) {
 	return buf.Bytes(), nil
 }
 
-func runTestFlow(ctx context.Context, spec Spec) ([]byte, error) {
+func runTestFlow(ctx context.Context, spec Spec, eng engine.Engine) ([]byte, error) {
 	mopt := testflow.DefaultMeasureOptions()
+	mopt.Engine = eng
 	mopt.Defects = toDefects(spec.TestFlow.Defects)
 	mopt.Ctx = ctx
 
@@ -130,7 +144,7 @@ func runTestFlow(ctx context.Context, spec Spec) ([]byte, error) {
 		return nil, err
 	}
 	cond := process.Condition{Corner: mopt.Corner, VDD: 1.1, TempC: mopt.TempC}
-	worst := cell.New(mopt.CS.Variation, cond).DRV1()
+	worst := eng.DRV1(mopt.CS.Variation, cond)
 	oopt := testflow.DefaultOptimizeOptions(worst)
 	oopt.RequireAllVDD = !spec.TestFlow.NoVDDConstraint
 	flow := testflow.Optimize(sens, oopt)

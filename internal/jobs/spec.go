@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"sramtest/internal/diag"
+	"sramtest/internal/engine"
 	"sramtest/internal/regulator"
 	"sramtest/internal/store"
 )
@@ -46,7 +47,17 @@ type Spec struct {
 	Kind Kind `json:"kind"`
 	// CSV selects the CLIs' -csv rendering for the tables. Table-less
 	// kinds (diag, whose product is a JSON artifact) reject it.
-	CSV      bool          `json:"csv,omitempty"`
+	CSV bool `json:"csv,omitempty"`
+	// Engine selects the simulation backend by registry name ("spice",
+	// "surrogate", "tiered", or a versioned spelling like "tiered.v1").
+	// Empty means the exact SPICE backend. Normalization canonicalizes to
+	// the backend's versioned Name() — except "spice", which folds to the
+	// empty spelling so pre-engine store keys stay valid. The engine is
+	// part of the content address: the standalone surrogate is
+	// approximate, so its results must never be served for an exact
+	// request (spice and tiered produce identical bytes but are keyed
+	// separately — cheap insurance over the equivalence contract).
+	Engine   string        `json:"engine,omitempty"`
 	Charac   *CharacSpec   `json:"charac,omitempty"`
 	Exp      *ExpSpec      `json:"exp,omitempty"`
 	TestFlow *TestFlowSpec `json:"testflow,omitempty"`
@@ -107,6 +118,13 @@ const defaultSeed = 2013
 // to the same bytes and lands on the same store key.
 func (s Spec) Normalize() (Spec, error) {
 	out := Spec{Kind: s.Kind, CSV: s.CSV}
+	eng, err := engine.Resolve(s.Engine)
+	if err != nil {
+		return Spec{}, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	if n := eng.Name(); n != "spice" {
+		out.Engine = n
+	}
 	switch s.Kind {
 	case KindCharac:
 		if s.Exp != nil || s.TestFlow != nil || s.Diag != nil {

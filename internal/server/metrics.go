@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"sramtest/internal/engine"
 	"sramtest/internal/jobs"
 	"sramtest/internal/spice"
 	"sramtest/internal/store"
@@ -73,6 +74,28 @@ func writeMetrics(w io.Writer, mgr *jobs.Manager, st *store.Store) {
 	fmt.Fprintln(w, "# TYPE sramd_spice_newton_iters_per_solve gauge")
 	fmt.Fprintf(w, "sramd_spice_newton_iters_per_solve %g\n", sp.ItersPerSolve())
 
+	// Tiered-engine counters: all zero while every job runs the exact
+	// backend; under -engine tiered the screened/escalated split is the
+	// live measure of how much SPICE work the surrogate is absorbing.
+	es := engine.Stats()
+	fmt.Fprintln(w, "# HELP sramd_engine_decisions_total Band-screened decisions by outcome.")
+	fmt.Fprintln(w, "# TYPE sramd_engine_decisions_total counter")
+	fmt.Fprintf(w, "sramd_engine_decisions_total{outcome=\"screened\"} %d\n", es.Screened)
+	fmt.Fprintf(w, "sramd_engine_decisions_total{outcome=\"escalated\"} %d\n", es.Escalations)
+	fmt.Fprintf(w, "sramd_engine_decisions_total{outcome=\"transient_direct\"} %d\n", es.TransientDirect)
+	fmt.Fprintln(w, "# HELP sramd_engine_screen_ratio Screened over screened+escalated since start.")
+	fmt.Fprintln(w, "# TYPE sramd_engine_screen_ratio gauge")
+	fmt.Fprintf(w, "sramd_engine_screen_ratio %g\n", es.ScreenRatio())
+	fmt.Fprintln(w, "# HELP sramd_engine_cal_solves_total SPICE solves spent calibrating surrogate tables.")
+	fmt.Fprintln(w, "# TYPE sramd_engine_cal_solves_total counter")
+	fmt.Fprintf(w, "sramd_engine_cal_solves_total %d\n", es.CalSolves)
+	fmt.Fprintln(w, "# HELP sramd_engine_tables_total Surrogate calibration tables built.")
+	fmt.Fprintln(w, "# TYPE sramd_engine_tables_total counter")
+	fmt.Fprintf(w, "sramd_engine_tables_total %d\n", es.Tables)
+	fmt.Fprintln(w, "# HELP sramd_engine_exact_inserts_total Escalated exact samples folded back into tables.")
+	fmt.Fprintln(w, "# TYPE sramd_engine_exact_inserts_total counter")
+	fmt.Fprintf(w, "sramd_engine_exact_inserts_total %d\n", es.ExactInserts)
+
 	fmt.Fprintln(w, "# HELP sramd_job_duration_seconds Job execution latency.")
 	fmt.Fprintln(w, "# TYPE sramd_job_duration_seconds histogram")
 	cum := int64(0)
@@ -90,24 +113,31 @@ func writeMetrics(w io.Writer, mgr *jobs.Manager, st *store.Store) {
 func snapshot(mgr *jobs.Manager, st *store.Store) map[string]any {
 	s := mgr.Stats()
 	sp := spice.Stats()
+	es := engine.Stats()
 	out := map[string]any{
-		"jobs_queued":            s.Queued,
-		"jobs_running":           s.Running,
-		"jobs_done":              s.Done,
-		"jobs_failed":            s.Failed,
-		"jobs_canceled":          s.Canceled,
-		"cache_hits":             s.CacheHits,
-		"cache_misses":           s.CacheMisses,
-		"sweep_tasks_done":       s.TasksDone,
-		"job_seconds_sum":        s.DurationSum,
-		"jobs_measured":          s.DurationCount,
-		"spice_solves":           sp.Solves,
-		"spice_newton_iters":     sp.NewtonIters,
-		"spice_warm_starts":      sp.WarmStarts,
-		"spice_cold_restarts":    sp.ColdRestarts,
-		"spice_gmin_fallbacks":   sp.GminFallbacks,
-		"spice_source_fallbacks": sp.SourceFallbacks,
-		"spice_iters_per_solve":  sp.ItersPerSolve(),
+		"engine_screened":         es.Screened,
+		"engine_escalations":      es.Escalations,
+		"engine_transient_direct": es.TransientDirect,
+		"engine_cal_solves":       es.CalSolves,
+		"engine_tables":           es.Tables,
+		"engine_exact_inserts":    es.ExactInserts,
+		"jobs_queued":             s.Queued,
+		"jobs_running":            s.Running,
+		"jobs_done":               s.Done,
+		"jobs_failed":             s.Failed,
+		"jobs_canceled":           s.Canceled,
+		"cache_hits":              s.CacheHits,
+		"cache_misses":            s.CacheMisses,
+		"sweep_tasks_done":        s.TasksDone,
+		"job_seconds_sum":         s.DurationSum,
+		"jobs_measured":           s.DurationCount,
+		"spice_solves":            sp.Solves,
+		"spice_newton_iters":      sp.NewtonIters,
+		"spice_warm_starts":       sp.WarmStarts,
+		"spice_cold_restarts":     sp.ColdRestarts,
+		"spice_gmin_fallbacks":    sp.GminFallbacks,
+		"spice_source_fallbacks":  sp.SourceFallbacks,
+		"spice_iters_per_solve":   sp.ItersPerSolve(),
 	}
 	if st != nil {
 		out["store_entries"] = st.Len()

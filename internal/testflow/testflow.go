@@ -12,6 +12,7 @@ import (
 	"sort"
 
 	"sramtest/internal/charac"
+	"sramtest/internal/engine"
 	"sramtest/internal/march"
 	"sramtest/internal/process"
 	"sramtest/internal/regulator"
@@ -78,6 +79,11 @@ type MeasureOptions struct {
 	// measured when Ctx is done are skipped and Measure returns
 	// Ctx.Err(). It never affects completed results.
 	Ctx context.Context
+	// Engine selects the simulation backend for the characterizations;
+	// nil uses the process default. The measured sensitivities (and the
+	// flow optimized from them) are engine-independent by the tiered
+	// backend's equivalence contract.
+	Engine engine.Engine
 }
 
 // DefaultMeasureOptions mirrors the paper's setup.
@@ -111,6 +117,7 @@ func Measure(opt MeasureOptions) ([]Sensitivity, error) {
 			ResTol: opt.ResTol,
 			Level:  &level,
 			Ctx:    opt.Ctx,
+			Engine: opt.Engine,
 		}
 		cond := process.Condition{Corner: opt.Corner, VDD: tc.VDD, TempC: opt.TempC}
 		ff, err := charac.FaultFreeVreg(cond, copt)

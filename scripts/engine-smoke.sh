@@ -1,0 +1,53 @@
+#!/bin/sh
+# engine-smoke.sh — engine-matrix smoke test, as run by CI and `make
+# engine-smoke`: run the same characterization and dictionary build
+# under -engine spice and -engine tiered and require byte-identical
+# artifacts (the tiered backend's equivalence contract), then sanity-run
+# the standalone surrogate (approximate by design, so it is only checked
+# for a clean exit and well-formed output, never diffed).
+#
+# Requires only a POSIX shell and go. Exits non-zero on any failure.
+set -eu
+
+TMP="$(mktemp -d)"
+
+fail() {
+	echo "engine-smoke: FAIL: $*" >&2
+	exit 1
+}
+
+cleanup() {
+	rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "engine-smoke: building defectchar and diagnose"
+go build -o "$TMP/defectchar" ./cmd/defectchar
+go build -o "$TMP/diagnose" ./cmd/diagnose
+
+echo "engine-smoke: Df16/CS1 characterization, spice vs tiered"
+"$TMP/defectchar" -defect 16 -cs 1 -csv -engine spice >"$TMP/charac-spice.csv" 2>/dev/null
+"$TMP/defectchar" -defect 16 -cs 1 -csv -engine tiered >"$TMP/charac-tiered.csv" 2>/dev/null
+diff -u "$TMP/charac-spice.csv" "$TMP/charac-tiered.csv" \
+	|| fail "tiered characterization diverged from spice"
+grep -q 'Df16' "$TMP/charac-spice.csv" || fail "characterization table empty"
+
+echo "engine-smoke: dictionary build, spice vs tiered"
+"$TMP/diagnose" build -defects 12,16 -cs 1 -decades 1e4,1e6 -base-only \
+	-engine spice -o "$TMP/dict-spice.json" 2>/dev/null
+"$TMP/diagnose" build -defects 12,16 -cs 1 -decades 1e4,1e6 -base-only \
+	-engine tiered -o "$TMP/dict-tiered.json" 2>/dev/null
+diff -u "$TMP/dict-spice.json" "$TMP/dict-tiered.json" \
+	|| fail "tiered dictionary diverged from spice"
+grep -q '"version": 1' "$TMP/dict-spice.json" || fail "artifact lacks a version stamp"
+
+echo "engine-smoke: surrogate sanity run (approximate, not diffed)"
+"$TMP/defectchar" -defect 16 -cs 1 -csv -engine surrogate >"$TMP/charac-surrogate.csv" 2>/dev/null
+grep -q 'Df16' "$TMP/charac-surrogate.csv" || fail "surrogate run produced no table"
+
+echo "engine-smoke: bad engine name is rejected"
+if "$TMP/defectchar" -defect 16 -cs 1 -engine nosuch >/dev/null 2>&1; then
+	fail "unknown engine accepted"
+fi
+
+echo "engine-smoke: PASS"
