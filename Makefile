@@ -7,10 +7,12 @@
 #   make serve-smoke  end-to-end sramd daemon smoke test
 #   make diag-smoke   end-to-end diagnose CLI smoke test
 #   make engine-smoke engine matrix: spice vs tiered must emit identical bytes
+#   make cluster-smoke  3-node cluster batch must be byte-identical to one node
+#   make loadgen-smoke  short load-generator run; fails on any dropped request
 
 GO ?= go
 
-.PHONY: verify build vet fmt test race bench bench-report serve-smoke diag-smoke engine-smoke
+.PHONY: verify build vet fmt test race bench bench-report serve-smoke diag-smoke engine-smoke cluster-smoke loadgen-smoke
 
 verify: build vet fmt test
 
@@ -48,3 +50,9 @@ diag-smoke:
 
 engine-smoke:
 	sh scripts/engine-smoke.sh
+
+cluster-smoke:
+	sh scripts/cluster-smoke.sh
+
+loadgen-smoke:
+	sh scripts/loadgen-smoke.sh

@@ -1,0 +1,95 @@
+// Command batchdiff compares two NDJSON batch outputs — typically a
+// single-node sramd run and a cluster run over the same spec lines —
+// and verifies the cluster contract: the same index set on both sides,
+// no duplicate or missing lines, every line done, and byte-identical
+// result bytes (and store keys) per index. Exit status is non-zero on
+// any violation; CI's cluster-smoke job gates on it.
+//
+// Usage:
+//
+//	batchdiff single.ndjson cluster.ndjson
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"sramtest/internal/cluster"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fmt.Fprintln(os.Stderr, "usage: batchdiff A.ndjson B.ndjson")
+		os.Exit(2)
+	}
+	a, err := load(os.Args[1])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "batchdiff:", err)
+		os.Exit(2)
+	}
+	b, err := load(os.Args[2])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "batchdiff:", err)
+		os.Exit(2)
+	}
+
+	bad := 0
+	report := func(format string, args ...any) {
+		bad++
+		fmt.Fprintf(os.Stderr, "batchdiff: "+format+"\n", args...)
+	}
+	for i, ra := range a {
+		rb, ok := b[i]
+		if !ok {
+			report("index %d only in %s", i, os.Args[1])
+			continue
+		}
+		if ra.State != cluster.BatchStateDone {
+			report("index %d not done in %s: %s (%s)", i, os.Args[1], ra.State, ra.Error)
+		}
+		if rb.State != cluster.BatchStateDone {
+			report("index %d not done in %s: %s (%s)", i, os.Args[2], rb.State, rb.Error)
+		}
+		if ra.Key != rb.Key {
+			report("index %d key mismatch: %s vs %s", i, ra.Key, rb.Key)
+		}
+		if !bytes.Equal(ra.Result, rb.Result) {
+			report("index %d result bytes differ (%d vs %d bytes)", i, len(ra.Result), len(rb.Result))
+		}
+	}
+	for i := range b {
+		if _, ok := a[i]; !ok {
+			report("index %d only in %s", i, os.Args[2])
+		}
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "batchdiff: FAIL: %d violations across %d/%d results\n", bad, len(a), len(b))
+		os.Exit(1)
+	}
+	fmt.Printf("batchdiff: OK: %d results byte-identical\n", len(a))
+}
+
+// load reads one NDJSON batch output into an index-keyed map, rejecting
+// duplicate indices (the no-duplicates half of the cluster contract).
+func load(path string) (map[int]cluster.BatchResult, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	out := map[int]cluster.BatchResult{}
+	dec := json.NewDecoder(f)
+	for dec.More() {
+		var br cluster.BatchResult
+		if err := dec.Decode(&br); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if _, dup := out[br.Index]; dup {
+			return nil, fmt.Errorf("%s: duplicate result for index %d", path, br.Index)
+		}
+		out[br.Index] = br
+	}
+	return out, nil
+}

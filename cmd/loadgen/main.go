@@ -1,0 +1,397 @@
+// Command loadgen drives an sramd node or cluster coordinator with a
+// synthetic characterization workload at a configurable request rate
+// and reports sustained throughput and latency percentiles. It is the
+// harness behind the cluster scaling numbers (EXPERIMENTS.md) and the
+// CI loadgen-smoke gate, which fails on any dropped or errored request.
+//
+// Spec sets:
+//
+//	mc     unique Monte-Carlo DRV jobs (distinct seeds; always computes)
+//	table2 the 85 single-(defect, case-study) Table II cells, cycled
+//	       (repeats are cache hits — a serving-heavy mix)
+//	mega   the Table II × Monte-Carlo mega-sweep: all 85 Table II cells
+//	       interleaved with fresh-seeded MC shards
+//
+// Modes:
+//
+//	jobs   one POST /v1/jobs per spec, polled to completion — per-job
+//	       latency is the submit-to-result wall clock
+//	batch  a single POST /v1/batch NDJSON request; the server paces
+//	       intake (the -rate flag does not apply), latency is
+//	       time-to-line since the batch started
+//
+// Exit status is non-zero when any request errored, which is the CI
+// gate. Against a fixture daemon (`sramd -sim-job 25ms`) the workload
+// measures the serving fabric without competing for the host's cores;
+// see the README's "Running a cluster" section.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sramtest/internal/cluster"
+	"sramtest/internal/jobs"
+	"sramtest/internal/regulator"
+)
+
+func main() {
+	var (
+		target    = flag.String("target", "http://127.0.0.1:8347", "sramd node or coordinator base URL")
+		mode      = flag.String("mode", "jobs", "driving mode: jobs|batch")
+		set       = flag.String("set", "mc", "spec set: mc|table2|mega")
+		n         = flag.Int("n", 200, "total requests (jobs mode) or batch lines")
+		duration  = flag.Duration("duration", 0, "stop submitting after this long (jobs mode; 0 = run all -n)")
+		rate      = flag.Float64("rate", 0, "target submissions per second (jobs mode; 0 = as fast as -inflight allows)")
+		inflight  = flag.Int("inflight", 16, "max requests in flight (jobs mode)")
+		mcSamples = flag.Int("mc-samples", 32, "samples per Monte-Carlo spec")
+		seed      = flag.Int64("seed", 1, "base seed for unique Monte-Carlo specs")
+		engineN   = flag.String("engine", "", "engine field stamped on every spec (default: the daemon's default)")
+		out       = flag.String("o", "", "write the JSON report to this file")
+		quiet     = flag.Bool("quiet", false, "suppress the human-readable summary")
+	)
+	flag.Parse()
+
+	specs, err := buildSpecs(*set, *n, *mcSamples, *seed, *engineN)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "loadgen:", err)
+		os.Exit(2)
+	}
+
+	var rep *report
+	switch *mode {
+	case "jobs":
+		rep = runJobs(*target, specs, *rate, *inflight, *duration)
+	case "batch":
+		rep = runBatch(*target, specs)
+	default:
+		fmt.Fprintf(os.Stderr, "loadgen: unknown mode %q (want jobs|batch)\n", *mode)
+		os.Exit(2)
+	}
+	rep.Set, rep.Mode = *set, *mode
+
+	if !*quiet {
+		rep.print(os.Stdout)
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*out, append(data, '\n'), 0o644)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen: report:", err)
+			os.Exit(1)
+		}
+	}
+	if rep.Errors > 0 {
+		fmt.Fprintf(os.Stderr, "loadgen: FAIL: %d of %d requests errored\n", rep.Errors, rep.Requested)
+		for _, e := range rep.ErrorSamples {
+			fmt.Fprintln(os.Stderr, "loadgen:   ", e)
+		}
+		os.Exit(1)
+	}
+}
+
+// buildSpecs generates the workload. Every spec is a valid jobs.Spec
+// the daemon would accept on /v1/jobs.
+func buildSpecs(set string, n, mcSamples int, seed int64, engine string) ([]jobs.Spec, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("-n must be >= 1")
+	}
+	if mcSamples < 1 {
+		return nil, fmt.Errorf("-mc-samples must be >= 1")
+	}
+	table2 := func(i int) jobs.Spec {
+		ds := regulator.DRFCandidates()
+		d := int(ds[i%len(ds)])
+		cs := (i/len(ds))%5 + 1
+		return jobs.Spec{Kind: jobs.KindCharac, Charac: &jobs.CharacSpec{Defects: []int{d}, CaseStudies: []int{cs}}}
+	}
+	mc := func(i int) jobs.Spec {
+		return jobs.Spec{Kind: jobs.KindExp, Exp: &jobs.ExpSpec{Samples: mcSamples, Seed: seed + int64(i)}}
+	}
+	out := make([]jobs.Spec, n)
+	switch set {
+	case "mc":
+		for i := range out {
+			out[i] = mc(i)
+		}
+	case "table2":
+		for i := range out {
+			out[i] = table2(i)
+		}
+	case "mega":
+		// The paper's full characterization fan-out: every Table II cell
+		// interleaved with fresh Monte-Carlo shards.
+		for i := range out {
+			if i%2 == 0 {
+				out[i] = table2(i / 2)
+			} else {
+				out[i] = mc(i / 2)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("unknown spec set %q (want mc|table2|mega)", set)
+	}
+	for i := range out {
+		out[i].Engine = engine
+	}
+	return out, nil
+}
+
+// report is the machine-readable harness output (-o).
+type report struct {
+	Target       string    `json:"target"`
+	Mode         string    `json:"mode"`
+	Set          string    `json:"set"`
+	Requested    int       `json:"requested"`
+	Completed    int       `json:"completed"`
+	Cached       int       `json:"cached"`
+	Errors       int       `json:"errors"`
+	DurationSec  float64   `json:"durationSec"`
+	Throughput   float64   `json:"throughputJobsPerSec"`
+	LatencyMsP50 float64   `json:"latencyMsP50"`
+	LatencyMsP90 float64   `json:"latencyMsP90"`
+	LatencyMsP99 float64   `json:"latencyMsP99"`
+	LatencyMsMax float64   `json:"latencyMsMax"`
+	ResultBytes  int64     `json:"resultBytes"`
+	ErrorSamples []string  `json:"errorSamples,omitempty"`
+	Started      time.Time `json:"started"`
+}
+
+func (r *report) print(w io.Writer) {
+	fmt.Fprintf(w, "loadgen: %s mode=%s set=%s\n", r.Target, r.Mode, r.Set)
+	fmt.Fprintf(w, "  requests   %d (%d completed, %d cached, %d errors)\n", r.Requested, r.Completed, r.Cached, r.Errors)
+	fmt.Fprintf(w, "  duration   %.2fs\n", r.DurationSec)
+	fmt.Fprintf(w, "  throughput %.1f jobs/s\n", r.Throughput)
+	fmt.Fprintf(w, "  latency    p50 %.1fms  p90 %.1fms  p99 %.1fms  max %.1fms\n",
+		r.LatencyMsP50, r.LatencyMsP90, r.LatencyMsP99, r.LatencyMsMax)
+	fmt.Fprintf(w, "  results    %d bytes\n", r.ResultBytes)
+}
+
+// finish folds the collected latencies into the report.
+func (r *report) finish(lats []float64, elapsed time.Duration) {
+	r.DurationSec = elapsed.Seconds()
+	if r.DurationSec > 0 {
+		r.Throughput = float64(r.Completed) / r.DurationSec
+	}
+	if len(lats) == 0 {
+		return
+	}
+	sort.Float64s(lats)
+	pick := func(q float64) float64 {
+		i := int(math.Ceil(q*float64(len(lats)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return lats[i]
+	}
+	r.LatencyMsP50 = pick(0.50)
+	r.LatencyMsP90 = pick(0.90)
+	r.LatencyMsP99 = pick(0.99)
+	r.LatencyMsMax = lats[len(lats)-1]
+}
+
+func (r *report) addError(msg string) {
+	r.Errors++
+	if len(r.ErrorSamples) < 5 {
+		r.ErrorSamples = append(r.ErrorSamples, msg)
+	}
+}
+
+// runJobs drives one POST /v1/jobs per spec with bounded in-flight
+// concurrency and an optional rate limit, polling each job to done.
+func runJobs(target string, specs []jobs.Spec, rate float64, inflight int, duration time.Duration) *report {
+	if inflight <= 0 {
+		inflight = 1
+	}
+	rep := &report{Target: target, Requested: len(specs), Started: time.Now().UTC()}
+	client := &http.Client{}
+	ctx := context.Background()
+
+	var mu sync.Mutex
+	var lats []float64
+
+	// The ticker paces submissions; a nil channel means "no limit".
+	var tick <-chan time.Time
+	if rate > 0 {
+		t := time.NewTicker(time.Duration(float64(time.Second) / rate))
+		defer t.Stop()
+		tick = t.C
+	}
+	deadline := time.Time{}
+	if duration > 0 {
+		deadline = time.Now().Add(duration)
+	}
+
+	start := time.Now()
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < inflight; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				t0 := time.Now()
+				cached, nbytes, err := runOneJob(ctx, client, target, specs[i])
+				lat := time.Since(t0).Seconds() * 1e3
+				mu.Lock()
+				if err != nil {
+					rep.addError(err.Error())
+				} else {
+					rep.Completed++
+					rep.ResultBytes += nbytes
+					if cached {
+						rep.Cached++
+					}
+					lats = append(lats, lat)
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	submitted := 0
+	for i := range specs {
+		if tick != nil {
+			<-tick
+		}
+		if !deadline.IsZero() && time.Now().After(deadline) {
+			break
+		}
+		idx <- i
+		submitted++
+	}
+	close(idx)
+	wg.Wait()
+	rep.Requested = submitted
+	rep.finish(lats, time.Since(start))
+	return rep
+}
+
+// runOneJob submits one spec and drives it to completion.
+func runOneJob(ctx context.Context, client *http.Client, target string, spec jobs.Spec) (cached bool, nbytes int64, err error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return false, 0, err
+	}
+	resp, err := client.Post(target+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return false, 0, err
+	}
+	data, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		return false, 0, rerr
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return false, 0, fmt.Errorf("submit: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data)))
+	}
+	var st jobs.Status
+	if err := json.Unmarshal(data, &st); err != nil {
+		return false, 0, fmt.Errorf("submit: bad status body: %w", err)
+	}
+	cached = st.Cached
+	for st.State != jobs.StateDone {
+		switch st.State {
+		case jobs.StateFailed, jobs.StateCanceled:
+			return cached, 0, fmt.Errorf("job %s: %s: %s", st.ID, st.State, st.Error)
+		}
+		select {
+		case <-ctx.Done():
+			return cached, 0, ctx.Err()
+		case <-time.After(20 * time.Millisecond):
+		}
+		resp, err := client.Get(target + "/v1/jobs/" + st.ID)
+		if err != nil {
+			return cached, 0, err
+		}
+		data, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil || resp.StatusCode != http.StatusOK {
+			return cached, 0, fmt.Errorf("poll %s: HTTP %d", st.ID, resp.StatusCode)
+		}
+		if err := json.Unmarshal(data, &st); err != nil {
+			return cached, 0, fmt.Errorf("poll %s: %w", st.ID, err)
+		}
+	}
+	resp2, err := client.Get(target + "/v1/jobs/" + st.ID + "/result")
+	if err != nil {
+		return cached, 0, err
+	}
+	res, rerr := io.ReadAll(resp2.Body)
+	resp2.Body.Close()
+	if rerr != nil || resp2.StatusCode != http.StatusOK {
+		return cached, 0, fmt.Errorf("result %s: HTTP %d", st.ID, resp2.StatusCode)
+	}
+	return cached, int64(len(res)), nil
+}
+
+// runBatch drives all specs through one streaming POST /v1/batch.
+func runBatch(target string, specs []jobs.Spec) *report {
+	rep := &report{Target: target, Requested: len(specs), Started: time.Now().UTC()}
+	var body bytes.Buffer
+	enc := json.NewEncoder(&body)
+	for _, s := range specs {
+		if err := enc.Encode(s); err != nil {
+			rep.addError(err.Error())
+			return rep
+		}
+	}
+	start := time.Now()
+	resp, err := http.Post(target+"/v1/batch", "application/x-ndjson", &body)
+	if err != nil {
+		rep.addError(err.Error())
+		return rep
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		rep.addError(fmt.Sprintf("batch: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data))))
+		return rep
+	}
+	var lats []float64
+	seen := map[int]bool{}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var br cluster.BatchResult
+		if err := dec.Decode(&br); err != nil {
+			if err != io.EOF {
+				rep.addError(fmt.Sprintf("batch stream: %v", err))
+			}
+			break
+		}
+		if seen[br.Index] {
+			rep.addError(fmt.Sprintf("duplicate result for index %d", br.Index))
+			continue
+		}
+		seen[br.Index] = true
+		if br.State != cluster.BatchStateDone {
+			rep.addError(fmt.Sprintf("index %d: %s", br.Index, br.Error))
+			continue
+		}
+		rep.Completed++
+		rep.ResultBytes += int64(len(br.Result))
+		if br.Cached {
+			rep.Cached++
+		}
+		lats = append(lats, time.Since(start).Seconds()*1e3)
+	}
+	for i := range specs {
+		if !seen[i] {
+			rep.addError(fmt.Sprintf("missing result for index %d", i))
+		}
+	}
+	rep.finish(lats, time.Since(start))
+	return rep
+}

@@ -1,0 +1,95 @@
+package cluster_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"sramtest/internal/cluster"
+	"sramtest/internal/jobs"
+	"sramtest/internal/store"
+)
+
+// TestNodeFailureMidBatch is the cluster's resilience contract: kill an
+// owner node while a batch is streaming and every line must still come
+// back exactly once, done, with the bytes the fixture oracle predicts —
+// the coordinator retries the dead node's jobs on the survivors.
+func TestNodeFailureMidBatch(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-node failover run")
+	}
+	nodes, bases := startNodes(t, 3, jobs.Config{Run: jobs.FixtureRunner(30 * time.Millisecond)})
+	st, err := store.Open("", 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coord, coordSrv := startCoordinator(t, bases, func(c *cluster.Config) {
+		c.MaxInflight = 8
+		c.RetryCooldown = time.Minute // the dead node must stay dead
+		c.Store = st
+	})
+
+	const n = 60
+	var body bytes.Buffer
+	specs := make([]jobs.Spec, n)
+	for i := range specs {
+		specs[i] = expSpec(4, int64(1000+i))
+		body.Write(specLine(t, specs[i]))
+		body.WriteByte('\n')
+	}
+
+	resp, err := http.Post(coordSrv.URL+"/v1/batch", "application/x-ndjson", &body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch: HTTP %d", resp.StatusCode)
+	}
+
+	// Read a few results to be sure the batch is well underway, then
+	// wait until the victim node has coordinator jobs in flight so its
+	// death is guaranteed to strand work.
+	dec := json.NewDecoder(resp.Body)
+	var results []cluster.BatchResult
+	for len(results) < 5 {
+		var br cluster.BatchResult
+		if err := dec.Decode(&br); err != nil {
+			t.Fatalf("stream ended after %d results: %v", len(results), err)
+		}
+		results = append(results, br)
+	}
+	victim := 1
+	deadline := time.Now().Add(10 * time.Second)
+	for topology(t, coordSrv.URL).Nodes[victim].Inflight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("victim node never had work in flight")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	nodes[victim].srv.Close()
+
+	for dec.More() {
+		var br cluster.BatchResult
+		if err := dec.Decode(&br); err != nil {
+			t.Fatalf("stream broke after %d results: %v", len(results), err)
+		}
+		results = append(results, br)
+	}
+
+	got := byIndex(t, results, n)
+	for i, s := range specs {
+		br := got[i]
+		if br.State != cluster.BatchStateDone {
+			t.Fatalf("index %d ended %s: %s", i, br.State, br.Error)
+		}
+		if want := fixtureBytes(t, s); !bytes.Equal(br.Result, want) {
+			t.Fatalf("index %d bytes diverge from the fixture oracle after failover", i)
+		}
+	}
+	if s := coord.Stats(); s.Failovers < 1 {
+		t.Fatalf("Failovers = %d, want >= 1 after killing a node mid-batch", s.Failovers)
+	}
+}

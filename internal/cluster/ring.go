@@ -1,0 +1,104 @@
+// Package cluster turns N independent sramd nodes into one sharded
+// characterization service. A Coordinator consistent-hashes canonical
+// job-spec SHAs onto owner nodes, forwards submissions over the nodes'
+// existing HTTP API, steals work from hot shards, fails over to
+// surviving nodes when an owner dies, and replicates finished results
+// through a content-addressed store — sound because the store keys
+// (SHA-256 of the canonical spec) fully determine the result bytes, so
+// any node's cached copy is as good as the owner's.
+//
+// The package also defines the NDJSON batch protocol (batch.go) spoken
+// by both the coordinator's fan-out POST /v1/batch and the node
+// server's local one, which is what lets a cluster run be diffed
+// byte-for-byte against a single-node run.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// defaultVNodes is the virtual-node count per physical node: enough for
+// a ~±10% shard-size spread at 3–16 nodes while keeping ring
+// construction trivial.
+const defaultVNodes = 64
+
+// Ring is an immutable consistent-hash ring over node indices. Keys are
+// the canonical job-spec store keys; each node owns the arcs ending at
+// its virtual points, so removing a node moves only that node's keys
+// (the survivors' points are unchanged).
+type Ring struct {
+	nodes  []string
+	points []ringPoint // sorted by hash
+}
+
+type ringPoint struct {
+	hash uint64
+	node int
+}
+
+// NewRing builds a ring over nodes with vnodes virtual points each
+// (<= 0 selects the default). Node identity is the node's base URL, so
+// a stable fleet keeps a stable shard map across coordinator restarts.
+func NewRing(nodes []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = defaultVNodes
+	}
+	r := &Ring{nodes: append([]string(nil), nodes...)}
+	r.points = make([]ringPoint, 0, len(nodes)*vnodes)
+	for i, n := range r.nodes {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{hash: pointHash(fmt.Sprintf("%s#%d", n, v)), node: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].hash != r.points[b].hash {
+			return r.points[a].hash < r.points[b].hash
+		}
+		return r.points[a].node < r.points[b].node
+	})
+	return r
+}
+
+// pointHash maps a label onto the ring: the first 8 bytes of its
+// SHA-256, matching the store's key hash family so the distribution is
+// uniform regardless of key structure.
+func pointHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Nodes returns the ring's node labels in construction order.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Owner returns the index of the node owning key.
+func (r *Ring) Owner(key string) int { return r.points[r.successor(key)].node }
+
+// successor finds the first ring point at or after key's hash.
+func (r *Ring) successor(key string) int {
+	h := pointHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// Sequence returns every node index exactly once, in ring order
+// starting at key's owner. It is the deterministic failover order: the
+// coordinator walks it until a node accepts the job.
+func (r *Ring) Sequence(key string) []int {
+	out := make([]int, 0, len(r.nodes))
+	seen := make([]bool, len(r.nodes))
+	start := r.successor(key)
+	for i := 0; i < len(r.points) && len(out) < len(r.nodes); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}

@@ -1,0 +1,86 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func testKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("%064x", i*2654435761) // hex-ish, deterministic
+	}
+	return keys
+}
+
+func TestRingDeterministic(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r1 := NewRing(nodes, 0)
+	r2 := NewRing(nodes, 0)
+	for _, k := range testKeys(500) {
+		if r1.Owner(k) != r2.Owner(k) {
+			t.Fatalf("owner of %s differs across identical rings", k)
+		}
+	}
+}
+
+func TestRingSequenceCoversAllNodesOnce(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1"}
+	r := NewRing(nodes, 16)
+	for _, k := range testKeys(200) {
+		seq := r.Sequence(k)
+		if len(seq) != len(nodes) {
+			t.Fatalf("sequence of %s has %d entries, want %d", k, len(seq), len(nodes))
+		}
+		if seq[0] != r.Owner(k) {
+			t.Fatalf("sequence of %s does not start at its owner", k)
+		}
+		seen := map[int]bool{}
+		for _, n := range seq {
+			if seen[n] {
+				t.Fatalf("sequence of %s repeats node %d", k, n)
+			}
+			seen[n] = true
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:1", "http://c:1"}
+	r := NewRing(nodes, 0)
+	counts := make([]int, len(nodes))
+	keys := testKeys(9000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / float64(len(keys))
+		if frac < 0.15 || frac > 0.55 {
+			t.Fatalf("node %d owns %.0f%% of keys; shards badly unbalanced: %v", i, 100*frac, counts)
+		}
+	}
+}
+
+// Consistent hashing's defining property: removing a node moves only
+// that node's keys — every key owned by a survivor keeps its owner.
+func TestRingRemovalMovesOnlyLostShard(t *testing.T) {
+	full := []string{"http://a:1", "http://b:1", "http://c:1"}
+	reduced := []string{"http://a:1", "http://b:1"}
+	rf := NewRing(full, 0)
+	rr := NewRing(reduced, 0)
+	moved := 0
+	for _, k := range testKeys(3000) {
+		before := full[rf.Owner(k)]
+		after := reduced[rr.Owner(k)]
+		if before == "http://c:1" {
+			moved++
+			continue // c's keys must move somewhere
+		}
+		if before != after {
+			t.Fatalf("key %s moved from %s to %s although its owner survived", k, before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys were owned by the removed node; test vacuous")
+	}
+}

@@ -1,0 +1,43 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"sramtest/internal/store"
+)
+
+// FixtureRunner returns a RunFunc that replaces the real sweep runners
+// with a deterministic load-testing fixture: it sleeps d (modelling a
+// node's compute time without consuming CPU) and returns bytes derived
+// only from the canonical spec, so the byte-identity contract — same
+// spec, same bytes, on any node at any concurrency — holds exactly as
+// it does for real jobs.
+//
+// The fixture exists for the throughput harness (cmd/loadgen against
+// `sramd -sim-job`): on a single machine, N co-hosted nodes contend for
+// the same cores, so real compute-bound jobs cannot show the fleet
+// scaling that N real machines would. A wall-clock-bound fixture
+// restores the one-node-one-machine model and measures the serving
+// fabric (routing, batching, streaming, backpressure) honestly.
+//
+// Fixture results must never be mixed into a real result store: the
+// bytes are keyed by the same canonical specs as real results.
+// cmd/sramd therefore refuses -sim-job with a persistent -store-dir.
+func FixtureRunner(d time.Duration) RunFunc {
+	return func(ctx context.Context, spec Spec) ([]byte, error) {
+		canon, err := spec.Canonical()
+		if err != nil {
+			return nil, err
+		}
+		if d > 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			case <-time.After(d):
+			}
+		}
+		return []byte(fmt.Sprintf("sim %s %s\n", store.Key(canon), canon)), nil
+	}
+}

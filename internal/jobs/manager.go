@@ -110,13 +110,17 @@ type job struct {
 	finished time.Time
 	progress *sweep.Progress
 	cancel   context.CancelFunc
-	canceled bool // Cancel was requested (distinguishes cancel from timeout)
+	canceled bool          // Cancel was requested (distinguishes cancel from timeout)
+	done     chan struct{} // closed when the job reaches a terminal state
 }
 
 // Status is the externally visible snapshot of a job.
 type Status struct {
-	ID       string    `json:"id"`
-	Kind     Kind      `json:"kind"`
+	ID   string `json:"id"`
+	Kind Kind   `json:"kind"`
+	// Key is the content address of the job's canonical spec — the same
+	// key the result store and the cluster coordinator shard by.
+	Key      string    `json:"key,omitempty"`
 	State    State     `json:"state"`
 	Cached   bool      `json:"cached,omitempty"`
 	Done     int64     `json:"tasksDone"`
@@ -227,6 +231,7 @@ func (m *Manager) Submit(spec Spec) (Status, error) {
 		state:    StateQueued,
 		created:  time.Now().UTC(),
 		progress: &sweep.Progress{},
+		done:     make(chan struct{}),
 	}
 
 	if m.cfg.Store != nil {
@@ -237,6 +242,7 @@ func (m *Manager) Submit(spec Spec) (Status, error) {
 			j.cached = true
 			j.result = res
 			j.started, j.finished = now, now
+			close(j.done) // born terminal
 			m.jobs[j.id] = j
 			m.order = append(m.order, j.id)
 			return j.status(), nil
@@ -288,6 +294,47 @@ func (m *Manager) Result(id string) (result []byte, st Status, err error) {
 	return j.result, j.status(), nil
 }
 
+// Wait blocks until the job reaches a terminal state (done, failed or
+// canceled) or ctx expires, and returns the final status. It is
+// event-driven — no polling — which is what the batch endpoints lean on
+// to stream results the moment they land.
+func (m *Manager) Wait(ctx context.Context, id string) (Status, error) {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return Status{}, ErrNotFound
+	}
+	done := j.done
+	m.mu.Unlock()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		return Status{}, ctx.Err()
+	}
+	// j stays valid even if the record was forgotten while waiting.
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return j.status(), nil
+}
+
+// Load reports the queue pressure: jobs waiting and jobs executing.
+// It backs the /v1/load endpoint the cluster coordinator and external
+// monitors read.
+func (m *Manager) Load() (queued, running int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, j := range m.jobs {
+		switch j.state {
+		case StateQueued:
+			queued++
+		case StateRunning:
+			running++
+		}
+	}
+	return queued, running
+}
+
 // Cancel stops a queued or running job (its state becomes canceled) and
 // forgets a finished one (the record is removed; cached store entries
 // survive). The returned status is the record's last observed state.
@@ -303,6 +350,7 @@ func (m *Manager) Cancel(id string) (Status, error) {
 		j.canceled = true
 		j.state = StateCanceled
 		j.finished = time.Now().UTC()
+		close(j.done)
 	case StateRunning:
 		j.canceled = true
 		if j.cancel != nil {
@@ -437,6 +485,7 @@ func (m *Manager) runJob(j *job) {
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	defer close(j.done)
 	j.finished = time.Now().UTC()
 	m.observeDuration(j.finished.Sub(j.started).Seconds())
 	switch {
@@ -487,6 +536,7 @@ func (j *job) status() Status {
 	return Status{
 		ID:       j.id,
 		Kind:     j.spec.Kind,
+		Key:      j.key,
 		State:    j.state,
 		Cached:   j.cached,
 		Done:     done,

@@ -1,0 +1,216 @@
+package jobs
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"sramtest/internal/store"
+)
+
+func TestWaitBlocksUntilDone(t *testing.T) {
+	release := make(chan struct{})
+	m := NewManager(Config{
+		Workers: 1,
+		Run: func(ctx context.Context, spec Spec) ([]byte, error) {
+			<-release
+			return []byte("ok"), nil
+		},
+	})
+	defer m.Drain(context.Background())
+
+	st, err := m.Submit(specN(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(chan Status, 1)
+	go func() {
+		ws, err := m.Wait(context.Background(), st.ID)
+		if err != nil {
+			t.Error(err)
+		}
+		got <- ws
+	}()
+	select {
+	case <-got:
+		t.Fatal("Wait returned before the job finished")
+	case <-time.After(20 * time.Millisecond):
+	}
+	close(release)
+	select {
+	case ws := <-got:
+		if ws.State != StateDone {
+			t.Fatalf("Wait returned state %s, want done", ws.State)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("Wait never returned after the job finished")
+	}
+}
+
+func TestWaitCacheHitReturnsImmediately(t *testing.T) {
+	st, err := store.Open("", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(Config{Workers: 1, Store: st, Run: func(ctx context.Context, spec Spec) ([]byte, error) {
+		return []byte("ok"), nil
+	}})
+	defer m.Drain(context.Background())
+
+	first, err := m.Submit(specN(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, first.ID, StateDone)
+	second, err := m.Submit(specN(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	ws, err := m.Wait(ctx, second.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.State != StateDone || !ws.Cached {
+		t.Fatalf("cached job Wait: state=%s cached=%v, want immediate cached done", ws.State, ws.Cached)
+	}
+}
+
+func TestWaitUnknownJob(t *testing.T) {
+	m := NewManager(Config{Workers: 1, Run: func(ctx context.Context, spec Spec) ([]byte, error) {
+		return nil, nil
+	}})
+	defer m.Drain(context.Background())
+	if _, err := m.Wait(context.Background(), "nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Wait(unknown) = %v, want ErrNotFound", err)
+	}
+}
+
+func TestWaitHonorsContext(t *testing.T) {
+	release := make(chan struct{})
+	m := NewManager(Config{Workers: 1, Run: func(ctx context.Context, spec Spec) ([]byte, error) {
+		<-release
+		return nil, nil
+	}})
+	defer func() { close(release); m.Drain(context.Background()) }()
+
+	st, err := m.Submit(specN(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+	defer cancel()
+	if _, err := m.Wait(ctx, st.ID); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("Wait with expired context = %v, want DeadlineExceeded", err)
+	}
+}
+
+func TestWaitCanceledJob(t *testing.T) {
+	release := make(chan struct{})
+	m := NewManager(Config{Workers: 1, Run: func(ctx context.Context, spec Spec) ([]byte, error) {
+		select {
+		case <-release:
+			return []byte("ok"), nil
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}})
+	defer func() { close(release); m.Drain(context.Background()) }()
+
+	// Occupy the worker, then cancel a queued job: Wait must return its
+	// terminal canceled state, not hang.
+	running, err := m.Submit(specN(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, running.ID, StateRunning)
+	queued, err := m.Submit(specN(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Cancel(queued.ID); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	ws, err := m.Wait(ctx, queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ws.State != StateCanceled {
+		t.Fatalf("Wait after cancel: state %s, want canceled", ws.State)
+	}
+}
+
+func TestManagerLoadCountsQueuedAndRunning(t *testing.T) {
+	release := make(chan struct{})
+	m := NewManager(Config{Workers: 1, QueueDepth: 4, Run: func(ctx context.Context, spec Spec) ([]byte, error) {
+		<-release
+		return []byte("ok"), nil
+	}})
+	defer func() { close(release); m.Drain(context.Background()) }()
+
+	st, err := m.Submit(specN(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, m, st.ID, StateRunning)
+	if _, err := m.Submit(specN(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(specN(2)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		queued, running := m.Load()
+		if queued == 2 && running == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("Load() = %d queued, %d running; want 2, 1", queued, running)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+func TestFixtureRunnerDeterministicAndSpecKeyed(t *testing.T) {
+	spec := Spec{Kind: KindExp, Exp: &ExpSpec{Samples: 8, Seed: 3}}
+	a, err := FixtureRunner(0)(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FixtureRunner(time.Millisecond)(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("fixture bytes depend on the sleep duration; they must derive only from the spec")
+	}
+	key, err := spec.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(a), key) {
+		t.Fatalf("fixture bytes %q do not embed the store key %s", a, key)
+	}
+	other, err := FixtureRunner(0)(context.Background(), Spec{Kind: KindExp, Exp: &ExpSpec{Samples: 8, Seed: 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, other) {
+		t.Fatal("distinct specs produced identical fixture bytes")
+	}
+}
+
+func TestFixtureRunnerHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := FixtureRunner(time.Hour)(ctx, specN(0)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled fixture run = %v, want context.Canceled", err)
+	}
+}

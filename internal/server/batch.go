@@ -1,0 +1,150 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"sync"
+	"time"
+
+	"sramtest/internal/cluster"
+	"sramtest/internal/jobs"
+)
+
+// defaultBatchInflight bounds a batch's concurrent jobs when the server
+// wasn't configured otherwise.
+const defaultBatchInflight = 16
+
+// handleBatch is the node-local half of the cluster batch protocol
+// (internal/cluster): NDJSON specs in, streamed results out as jobs
+// complete, through the same manager — and therefore the same queue
+// bound, cache, and runners — as single-job submissions. A full queue
+// parks the submitting worker instead of failing the line, so the
+// bounded in-flight window is the batch's backpressure.
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	lines, err := cluster.ReadBatchLines(http.MaxBytesReader(w, r.Body, cluster.MaxBatchBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(lines) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	bw := cluster.NewBatchWriter(w)
+
+	inflight := s.BatchInflight
+	if inflight <= 0 {
+		inflight = defaultBatchInflight
+	}
+	if inflight > len(lines) {
+		inflight = len(lines)
+	}
+	out := make(chan cluster.BatchResult, inflight)
+	var writerWg sync.WaitGroup
+	writerWg.Add(1)
+	go func() {
+		defer writerWg.Done()
+		for br := range out {
+			_ = bw.Write(br)
+		}
+	}()
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out <- s.runBatchLine(r.Context(), i, lines[i])
+			}
+		}()
+	}
+	for i := range lines {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	close(out)
+	writerWg.Wait()
+}
+
+// runBatchLine drives one spec through the manager: submit (waiting out
+// a full queue), wait for the terminal state, fetch the bytes. Every
+// failure mode becomes a failed result line; the stream always emits
+// exactly one line per input line.
+func (s *Server) runBatchLine(ctx context.Context, i int, line []byte) cluster.BatchResult {
+	spec, err := cluster.DecodeSpec(line)
+	if err != nil {
+		return cluster.BatchResult{Index: i, State: cluster.BatchStateFailed, Error: "malformed spec: " + err.Error()}
+	}
+	st, err := s.submitWait(ctx, spec)
+	if err != nil {
+		return cluster.BatchResult{Index: i, State: cluster.BatchStateFailed, Error: err.Error()}
+	}
+	if !st.Cached {
+		if st, err = s.mgr.Wait(ctx, st.ID); err != nil {
+			return cluster.BatchResult{Index: i, Key: st.Key, State: cluster.BatchStateFailed, Error: err.Error()}
+		}
+	}
+	switch st.State {
+	case jobs.StateDone:
+		res, _, err := s.mgr.Result(st.ID)
+		if err != nil {
+			return cluster.BatchResult{Index: i, Key: st.Key, State: cluster.BatchStateFailed, Error: err.Error()}
+		}
+		return cluster.BatchResult{Index: i, Key: st.Key, State: cluster.BatchStateDone, Cached: st.Cached, Result: res}
+	case jobs.StateCanceled:
+		return cluster.BatchResult{Index: i, Key: st.Key, State: cluster.BatchStateFailed, Error: "job canceled"}
+	default:
+		return cluster.BatchResult{Index: i, Key: st.Key, State: cluster.BatchStateFailed, Error: st.Error}
+	}
+}
+
+// submitWait submits spec, waiting for queue capacity instead of
+// surfacing ErrQueueFull — the batch's backpressure toward its bounded
+// in-flight window.
+func (s *Server) submitWait(ctx context.Context, spec jobs.Spec) (jobs.Status, error) {
+	for {
+		st, err := s.mgr.Submit(spec)
+		if !errors.Is(err, jobs.ErrQueueFull) {
+			return st, err
+		}
+		select {
+		case <-ctx.Done():
+			return jobs.Status{}, ctx.Err()
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// handleLoad reports queue pressure; cluster coordinators and external
+// monitors read it.
+func (s *Server) handleLoad(w http.ResponseWriter, r *http.Request) {
+	queued, running := s.mgr.Load()
+	writeJSON(w, http.StatusOK, map[string]int64{
+		"queued":  queued,
+		"running": running,
+		"depth":   queued + running,
+	})
+}
+
+// handleResultByKey serves a stored result directly by content address.
+// Keys are SHA-256 of the canonical spec, so any node holding the entry
+// is as authoritative as the one that computed it — this is the
+// replication-read path cluster coordinators use after a node failure.
+func (s *Server) handleResultByKey(w http.ResponseWriter, r *http.Request) {
+	if s.st == nil {
+		writeError(w, http.StatusNotFound, "no result store")
+		return
+	}
+	res, ok := s.st.Probe(r.PathValue("key"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "no result for key")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	_, _ = w.Write(res)
+}

@@ -1,0 +1,156 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sramtest/internal/cluster"
+	"sramtest/internal/jobs"
+)
+
+// decodeBatch reads an NDJSON batch response into index-keyed results,
+// enforcing the exactly-one-line-per-input contract.
+func decodeBatch(t *testing.T, w *httptest.ResponseRecorder, want int) map[int]cluster.BatchResult {
+	t.Helper()
+	if w.Code != http.StatusOK {
+		t.Fatalf("batch: HTTP %d: %s", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/x-ndjson") {
+		t.Fatalf("batch: Content-Type %q, want NDJSON", ct)
+	}
+	out := map[int]cluster.BatchResult{}
+	dec := json.NewDecoder(w.Body)
+	for dec.More() {
+		var br cluster.BatchResult
+		if err := dec.Decode(&br); err != nil {
+			t.Fatal(err)
+		}
+		if _, dup := out[br.Index]; dup {
+			t.Fatalf("duplicate result for index %d", br.Index)
+		}
+		out[br.Index] = br
+	}
+	if len(out) != want {
+		t.Fatalf("got %d results, want %d", len(out), want)
+	}
+	return out
+}
+
+func postBatch(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	r := httptest.NewRequest("POST", "/v1/batch", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	return w
+}
+
+func TestBatchStreamsOneResultPerLine(t *testing.T) {
+	srv, _, _ := newTestServer(t, jobs.FixtureRunner(0))
+	body := `{"kind":"exp","exp":{"samples":4,"seed":1}}
+{"kind":"exp","exp":{"samples":4,"seed":2}}
+not json at all
+{"kind":"bogus"}
+{"kind":"exp","exp":{"samples":4,"seed":3}}`
+
+	got := decodeBatch(t, postBatch(t, srv, body), 5)
+	for _, i := range []int{0, 1, 4} {
+		br := got[i]
+		if br.State != cluster.BatchStateDone {
+			t.Fatalf("index %d: state %s (%s)", i, br.State, br.Error)
+		}
+		seed := map[int]int64{0: 1, 1: 2, 4: 3}[i]
+		spec := jobs.Spec{Kind: jobs.KindExp, Exp: &jobs.ExpSpec{Samples: 4, Seed: seed}}
+		want, err := jobs.FixtureRunner(0)(context.Background(), spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(br.Result, want) {
+			t.Fatalf("index %d: result bytes diverge from the fixture", i)
+		}
+		key, _ := spec.Key()
+		if br.Key != key {
+			t.Fatalf("index %d: key %q, want %q", i, br.Key, key)
+		}
+	}
+	for _, i := range []int{2, 3} {
+		if br := got[i]; br.State != cluster.BatchStateFailed || br.Error == "" {
+			t.Fatalf("index %d: state %s, want a failed line with an error", i, br.State)
+		}
+	}
+}
+
+func TestBatchServesCacheOnResubmit(t *testing.T) {
+	srv, _, _ := newTestServer(t, jobs.FixtureRunner(0))
+	body := `{"kind":"exp","exp":{"samples":8,"seed":5}}`
+	first := decodeBatch(t, postBatch(t, srv, body), 1)[0]
+	second := decodeBatch(t, postBatch(t, srv, body), 1)[0]
+	if first.State != cluster.BatchStateDone || second.State != cluster.BatchStateDone {
+		t.Fatalf("states %s / %s", first.State, second.State)
+	}
+	if !second.Cached {
+		t.Fatal("resubmitted line not served from the store")
+	}
+	if !bytes.Equal(first.Result, second.Result) {
+		t.Fatal("cached bytes differ from the computed ones")
+	}
+}
+
+func TestBatchRejectsEmptyAndOversized(t *testing.T) {
+	srv, _, _ := newTestServer(t, jobs.FixtureRunner(0))
+	if w := postBatch(t, srv, ""); w.Code != http.StatusBadRequest {
+		t.Fatalf("empty batch: HTTP %d, want 400", w.Code)
+	}
+	long := strings.Repeat("x", cluster.MaxBatchLine+1)
+	if w := postBatch(t, srv, long); w.Code != http.StatusBadRequest {
+		t.Fatalf("oversized line: HTTP %d, want 400", w.Code)
+	}
+}
+
+func TestLoadReportsQueuePressure(t *testing.T) {
+	srv, _, _ := newTestServer(t, jobs.FixtureRunner(0))
+	r := httptest.NewRequest("GET", "/v1/load", nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		t.Fatalf("load: HTTP %d", w.Code)
+	}
+	var load map[string]int64
+	if err := json.Unmarshal(w.Body.Bytes(), &load); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"queued", "running", "depth"} {
+		if _, ok := load[k]; !ok {
+			t.Fatalf("load body missing %q: %s", k, w.Body)
+		}
+	}
+}
+
+func TestResultByKeyServesReplicaReads(t *testing.T) {
+	srv, _, _ := newTestServer(t, jobs.FixtureRunner(0))
+	got := decodeBatch(t, postBatch(t, srv, `{"kind":"exp","exp":{"samples":4,"seed":9}}`), 1)[0]
+	if got.State != cluster.BatchStateDone {
+		t.Fatalf("state %s (%s)", got.State, got.Error)
+	}
+
+	r := httptest.NewRequest("GET", "/v1/results/"+got.Key, nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, r)
+	if w.Code != http.StatusOK {
+		t.Fatalf("result by key: HTTP %d: %s", w.Code, w.Body)
+	}
+	if !bytes.Equal(w.Body.Bytes(), got.Result) {
+		t.Fatal("replica read bytes differ from the batch result")
+	}
+
+	r = httptest.NewRequest("GET", "/v1/results/"+strings.Repeat("0", 64), nil)
+	w = httptest.NewRecorder()
+	srv.ServeHTTP(w, r)
+	if w.Code != http.StatusNotFound {
+		t.Fatalf("unknown key: HTTP %d, want 404", w.Code)
+	}
+}

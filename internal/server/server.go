@@ -2,10 +2,13 @@
 // serving layer of cmd/sramd:
 //
 //	POST   /v1/jobs             submit a job spec (202; 200 on cache hit)
+//	POST   /v1/batch            NDJSON specs in, streamed results out
 //	GET    /v1/jobs             list job records
 //	GET    /v1/jobs/{id}        poll status and progress
 //	GET    /v1/jobs/{id}/result fetch the result bytes (CLI-identical)
 //	DELETE /v1/jobs/{id}        cancel an active job / forget a finished one
+//	GET    /v1/results/{key}    serve a stored result by content address
+//	GET    /v1/load             queue pressure (for coordinators/monitors)
 //	GET    /healthz             liveness probe
 //	GET    /metrics             Prometheus-text counters and histograms
 //
@@ -32,17 +35,25 @@ type Server struct {
 	mgr *jobs.Manager
 	st  *store.Store // may be nil (no caching)
 	mux *http.ServeMux
+
+	// BatchInflight bounds concurrently executing specs per /v1/batch
+	// request; intake beyond it waits (backpressure). <= 0 selects the
+	// default of 16. Set before serving.
+	BatchInflight int
 }
 
 // New builds the API handler around mgr; st (the manager's store, may be
-// nil) is only consulted for metrics.
+// nil) is consulted for metrics and serves /v1/results/{key}.
 func New(mgr *jobs.Manager, st *store.Store) *Server {
 	s := &Server{mgr: mgr, st: st, mux: http.NewServeMux()}
 	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleStatus)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDelete)
+	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResultByKey)
+	s.mux.HandleFunc("GET /v1/load", s.handleLoad)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s

@@ -110,6 +110,21 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	return el.Value.(*Entry).Result, true
 }
 
+// Probe returns the stored result for key without promoting the entry
+// in the LRU order and without counting toward the hit/miss telemetry.
+// Cross-node replication reads in cluster mode use it so remote traffic
+// can neither distort a node's cache statistics nor pin entries the
+// local workload no longer touches.
+func (s *Store) Probe(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.entries[key]
+	if !ok {
+		return nil, false
+	}
+	return el.Value.(*Entry).Result, true
+}
+
 // Put stores a result under key, evicting the least recently used entry
 // when over capacity. When persistence is on, the entry is written to
 // <dir>/<key>.json before the in-memory insert; a failed write is

@@ -1,0 +1,116 @@
+#!/bin/sh
+# cluster-smoke.sh — end-to-end smoke test of clustered sramd, as run by
+# CI and `make cluster-smoke`: build sramd and batchdiff, run a small
+# real-job NDJSON batch through a single node, then boot a 3-node
+# cluster with a coordinator, run the identical batch through it, and
+# diff the two outputs for byte identity. Also checks the coordinator's
+# topology and metrics endpoints and that a resubmitted batch is served
+# entirely from the replica store.
+#
+# Requires only a POSIX shell, curl and go. Exits non-zero on any
+# failure and prints the daemon logs.
+set -eu
+
+PORT_BASE="${SRAMD_PORT_BASE:-8360}"
+TMP="$(mktemp -d)"
+PIDS=""
+
+fail() {
+	echo "cluster-smoke: FAIL: $*" >&2
+	for log in "$TMP"/*.log; do
+		echo "--- $log ---" >&2
+		cat "$log" >&2 || true
+	done
+	exit 1
+}
+
+cleanup() {
+	for pid in $PIDS; do
+		kill -TERM "$pid" 2>/dev/null || true
+	done
+	for pid in $PIDS; do
+		wait "$pid" 2>/dev/null || true
+	done
+	rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+wait_healthy() { # $1 = base URL, $2 = name
+	i=0
+	until curl -fsS "$1/healthz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		[ "$i" -lt 50 ] || fail "$2 never became healthy"
+		sleep 0.2
+	done
+}
+
+echo "cluster-smoke: building sramd and batchdiff"
+go build -o "$TMP/sramd" ./cmd/sramd
+go build -o "$TMP/batchdiff" ./cmd/batchdiff
+
+# A small batch of REAL jobs (not the -sim-job fixture): byte identity
+# between cluster and single node must hold for actual characterization
+# bytes. Tiny specs keep the run to a few seconds.
+cat >"$TMP/batch.ndjson" <<'EOF'
+{"kind":"charac","charac":{"defects":[16],"caseStudies":[1]}}
+{"kind":"charac","charac":{"defects":[16],"caseStudies":[2]}}
+{"kind":"charac","charac":{"defects":[17],"caseStudies":[1]}}
+{"kind":"exp","exp":{"samples":8}}
+{"kind":"exp","exp":{"samples":8,"seed":7}}
+{"kind":"exp","exp":{"samples":16,"seed":3}}
+EOF
+
+echo "cluster-smoke: single-node reference run"
+"$TMP/sramd" -addr "127.0.0.1:$PORT_BASE" -jobs 2 >"$TMP/single.log" 2>&1 &
+PIDS="$PIDS $!"
+SINGLE="http://127.0.0.1:$PORT_BASE"
+wait_healthy "$SINGLE" "single node"
+curl -fsS --data-binary @"$TMP/batch.ndjson" "$SINGLE/v1/batch" >"$TMP/single.ndjson" ||
+	fail "single-node batch request failed"
+
+echo "cluster-smoke: booting 3 nodes + coordinator"
+NODES=""
+for i in 1 2 3; do
+	PORT=$((PORT_BASE + i))
+	"$TMP/sramd" -addr "127.0.0.1:$PORT" -jobs 2 >"$TMP/node$i.log" 2>&1 &
+	PIDS="$PIDS $!"
+	NODES="$NODES${NODES:+,}http://127.0.0.1:$PORT"
+done
+for i in 1 2 3; do
+	wait_healthy "http://127.0.0.1:$((PORT_BASE + i))" "node $i"
+done
+COORD_PORT=$((PORT_BASE + 4))
+"$TMP/sramd" -coordinator -nodes "$NODES" -addr "127.0.0.1:$COORD_PORT" >"$TMP/coord.log" 2>&1 &
+PIDS="$PIDS $!"
+COORD="http://127.0.0.1:$COORD_PORT"
+wait_healthy "$COORD" "coordinator"
+
+echo "cluster-smoke: cluster batch run"
+curl -fsS --data-binary @"$TMP/batch.ndjson" "$COORD/v1/batch" >"$TMP/cluster.ndjson" ||
+	fail "cluster batch request failed"
+
+echo "cluster-smoke: diffing cluster vs single node"
+"$TMP/batchdiff" "$TMP/single.ndjson" "$TMP/cluster.ndjson" || fail "cluster results are not byte-identical"
+
+# The batch must actually have been sharded: more than one node name in
+# the result lines.
+NODES_USED=$(sed -n 's/.*"node":"\([^"]*\)".*/\1/p' "$TMP/cluster.ndjson" | sort -u | wc -l)
+[ "$NODES_USED" -ge 2 ] || fail "all jobs ran on one node; sharding is not happening"
+echo "cluster-smoke: batch spread over $NODES_USED nodes"
+
+echo "cluster-smoke: checking topology and metrics"
+TOPO=$(curl -fsS "$COORD/v1/cluster")
+printf '%s' "$TOPO" | grep -q '"healthy":true' || fail "no healthy node in topology: $TOPO"
+METRICS=$(curl -fsS "$COORD/metrics")
+printf '%s\n' "$METRICS" | grep -q '^sramd_cluster_nodes 3$' || fail "coordinator does not report 3 nodes"
+printf '%s\n' "$METRICS" | grep -q '^sramd_cluster_batches_total 1$' || fail "batch not counted in /metrics"
+printf '%s\n' "$METRICS" | grep -q '^sramd_cluster_batch_errors_total 0$' || fail "batch errors reported in /metrics"
+
+echo "cluster-smoke: resubmitting — must be all replica-store hits"
+curl -fsS --data-binary @"$TMP/batch.ndjson" "$COORD/v1/batch" >"$TMP/cached.ndjson" ||
+	fail "resubmitted batch request failed"
+"$TMP/batchdiff" "$TMP/single.ndjson" "$TMP/cached.ndjson" || fail "cached results are not byte-identical"
+MISSES=$(grep -cv '"cached":true' "$TMP/cached.ndjson" || true)
+[ "$MISSES" = "0" ] || fail "$MISSES resubmitted lines were recomputed instead of served from the replica store"
+
+echo "cluster-smoke: PASS"

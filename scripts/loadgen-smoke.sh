@@ -1,0 +1,60 @@
+#!/bin/sh
+# loadgen-smoke.sh — short load-generator gate, as run by CI and
+# `make loadgen-smoke`: boot one fixture-mode sramd node (-sim-job, so
+# the ~10s run measures the serving fabric, not SPICE), drive a low-rate
+# mega-sweep slice through cmd/loadgen, and fail on any dropped or
+# errored request. The throughput/latency report is written to
+# results/loadgen-smoke.json and uploaded as a CI artifact.
+set -eu
+
+ADDR="${SRAMD_ADDR:-127.0.0.1:8380}"
+BASE="http://$ADDR"
+OUT="${LOADGEN_REPORT:-results/loadgen-smoke.json}"
+TMP="$(mktemp -d)"
+PID=""
+
+fail() {
+	echo "loadgen-smoke: FAIL: $*" >&2
+	echo "--- daemon log ---" >&2
+	cat "$TMP/sramd.log" >&2 || true
+	exit 1
+}
+
+cleanup() {
+	if [ -n "$PID" ] && kill -0 "$PID" 2>/dev/null; then
+		kill -TERM "$PID" 2>/dev/null || true
+		wait "$PID" 2>/dev/null || true
+	fi
+	rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "loadgen-smoke: building sramd and loadgen"
+go build -o "$TMP/sramd" ./cmd/sramd
+go build -o "$TMP/loadgen" ./cmd/loadgen
+
+echo "loadgen-smoke: starting fixture-mode sramd on $ADDR"
+"$TMP/sramd" -addr "$ADDR" -sim-job 5ms -jobs 4 -queue 64 >"$TMP/sramd.log" 2>&1 &
+PID=$!
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -lt 50 ] || fail "daemon never became healthy"
+	kill -0 "$PID" 2>/dev/null || fail "daemon exited early"
+	sleep 0.2
+done
+
+mkdir -p "$(dirname "$OUT")"
+
+echo "loadgen-smoke: rate-limited job-mode run (~5s)"
+"$TMP/loadgen" -target "$BASE" -mode jobs -set mega -n 60 -rate 20 -inflight 8 \
+	-o "$TMP/jobs-report.json" || fail "job-mode load run dropped or errored requests"
+
+echo "loadgen-smoke: batch-mode run"
+"$TMP/loadgen" -target "$BASE" -mode batch -set mega -n 200 -inflight 16 \
+	-o "$OUT" || fail "batch-mode load run dropped or errored requests"
+
+grep -q '"errors": 0' "$OUT" || fail "report claims errors: $(cat "$OUT")"
+echo "loadgen-smoke: report:"
+cat "$OUT"
+echo "loadgen-smoke: PASS"
