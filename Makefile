@@ -3,16 +3,18 @@
 #   make verify       build + vet + gofmt + test — the tier-1 gate
 #   make race         race-enabled test run
 #   make bench        one iteration of every benchmark (smoke)
-#   make bench-report solver benchmarks vs baseline -> BENCH_5.json
+#   make bench-report solver benchmarks vs baseline -> BENCH_7.json
 #   make serve-smoke  end-to-end sramd daemon smoke test
 #   make diag-smoke   end-to-end diagnose CLI smoke test
 #   make engine-smoke engine matrix: spice vs tiered must emit identical bytes
 #   make cluster-smoke  3-node cluster batch must be byte-identical to one node
 #   make loadgen-smoke  short load-generator run; fails on any dropped request
+#   make yield-smoke  yield estimate: local, cluster shards and daemon job
+#                     must be byte-identical; /metrics counters checked
 
 GO ?= go
 
-.PHONY: verify build vet fmt test race bench bench-report serve-smoke diag-smoke engine-smoke cluster-smoke loadgen-smoke
+.PHONY: verify build vet fmt test race bench bench-report serve-smoke diag-smoke engine-smoke cluster-smoke loadgen-smoke yield-smoke
 
 verify: build vet fmt test
 
@@ -56,3 +58,6 @@ cluster-smoke:
 
 loadgen-smoke:
 	sh scripts/loadgen-smoke.sh
+
+yield-smoke:
+	sh scripts/yield-smoke.sh

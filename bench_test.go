@@ -19,6 +19,7 @@ package sramtest
 // tools run the full paper grids.
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"testing"
@@ -38,6 +39,7 @@ import (
 	"sramtest/internal/spice"
 	"sramtest/internal/sram"
 	"sramtest/internal/testflow"
+	"sramtest/internal/yield"
 )
 
 func hot(vdd float64) process.Condition {
@@ -675,5 +677,44 @@ func BenchmarkAblationCompensation(b *testing.B) {
 	})
 	if with > 0 && without > 0 {
 		b.Logf("phase margin: compensated %.1f° vs uncompensated %.1f°", with, without)
+	}
+}
+
+// BenchmarkYield6Sigma — EXP-YD: the rare-event retention-yield
+// estimate at the default deep-tail reference (Vref = 0.50 V, ~5.4σ)
+// on the real cell model. The estimate is deterministic at any worker
+// count, so the embedded gate is stable: the importance sampler must
+// reach the tail with at least 100× fewer exact DRV solves than a
+// naive Monte-Carlo run sized for the same CI width (Result.Speedup =
+// NaiveSolves/ExactSolves; in practice it clears the bar by orders of
+// magnitude). A variance regression — ESS collapse, a bad mean shift,
+// a broken boundary search — widens the CI, inflates NaiveSolves'
+// denominator and trips the gate.
+func BenchmarkYield6Sigma(b *testing.B) {
+	est, err := yield.New(yield.MethodIS)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var res yield.Result
+	for i := 0; i < b.N; i++ {
+		res, err = est.Estimate(context.Background(), yield.Params{
+			Cond:    hot(1.1),
+			Vref:    yield.DefaultVref,
+			Samples: yield.DefaultSamples,
+			Seed:    yield.DefaultSeed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(res.Speedup, "speedup")
+	b.ReportMetric(res.SigmaEquiv, "tail-sigma")
+	b.ReportMetric(float64(res.ExactSolves), "exact-solves/op")
+	b.ReportMetric(res.ESS, "ess")
+	if res.SigmaEquiv < 5 {
+		b.Errorf("tail depth %.2fσ, want >= 5σ at the default Vref", res.SigmaEquiv)
+	}
+	if res.Speedup < 100 {
+		b.Errorf("speedup over naive MC %.0fx, want >= 100x", res.Speedup)
 	}
 }

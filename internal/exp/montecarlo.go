@@ -2,11 +2,13 @@ package exp
 
 import (
 	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 
 	"sramtest/internal/cell"
+	"sramtest/internal/num"
 	"sramtest/internal/process"
 	"sramtest/internal/report"
 	"sramtest/internal/sweep"
@@ -56,7 +58,7 @@ func MonteCarloCtx(ctx context.Context, cond process.Condition, n int, seed int6
 	}
 	chunks := (n + mcChunk - 1) / mcChunk
 	drv, err := sweep.MapCtx(ctx, chunks, func(c int) ([]float64, error) {
-		rng := rand.New(rand.NewSource(chunkSeed(seed, c)))
+		rng := rand.New(rand.NewSource(sweep.ChunkSeed(seed, c)))
 		lo, hi := c*mcChunk, (c+1)*mcChunk
 		if hi > n {
 			hi = n
@@ -79,15 +81,6 @@ func MonteCarloCtx(ctx context.Context, cond process.Condition, n int, seed int6
 	return res, nil
 }
 
-// chunkSeed derives an independent per-chunk seed from the master seed
-// with a splitmix64 finalizer, decorrelating the chunk streams.
-func chunkSeed(seed int64, chunk int) int64 {
-	z := uint64(seed) + uint64(chunk+1)*0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return int64(z ^ (z >> 31))
-}
-
 // Quantile returns the q-quantile (0..1) of the sampled distribution,
 // rounding to the nearest order statistic (half away from zero) so small
 // samples do not bias high quantiles low.
@@ -105,6 +98,33 @@ func (r MonteCarloResult) Quantile(q float64) float64 {
 	return r.DRV[idx]
 }
 
+// QuantileCI returns a distribution-free confidence interval on the
+// q-quantile at confidence conf (e.g. 0.95): the order-statistic
+// bracket [x(l), x(u)] whose ranks come from the normal approximation
+// of the Binomial(n, q) rank distribution. It makes no assumption
+// about the DRV distribution's shape, so the naive-MC baseline reports
+// honest uncertainty the yield estimators can be compared against.
+// Ranks are clamped to the sample, so extreme quantiles of small
+// samples degrade to the sample extremes rather than lying.
+func (r MonteCarloResult) QuantileCI(q, conf float64) (lo, hi float64) {
+	n := len(r.DRV)
+	if n == 0 {
+		return 0, 0
+	}
+	z := num.NormQuantile(0.5 + conf/2)
+	mean := q * float64(n)
+	half := z * math.Sqrt(float64(n)*q*(1-q))
+	l := int(math.Floor(mean - half))
+	u := int(math.Ceil(mean + half))
+	if l < 0 {
+		l = 0
+	}
+	if u > n-1 {
+		u = n - 1
+	}
+	return r.DRV[l], r.DRV[u]
+}
+
 // Max returns the worst sampled cell.
 func (r MonteCarloResult) Max() float64 {
 	if len(r.DRV) == 0 {
@@ -113,15 +133,23 @@ func (r MonteCarloResult) Max() float64 {
 	return r.DRV[len(r.DRV)-1]
 }
 
+// ci renders a QuantileCI bracket for the report.
+func (r MonteCarloResult) ci(q float64) string {
+	lo, hi := r.QuantileCI(q, 0.95)
+	return fmt.Sprintf("[%s, %s]", report.SI(lo, "V"), report.SI(hi, "V"))
+}
+
 // MonteCarloReport renders the distribution summary against the
-// deterministic worst case.
+// deterministic worst case. Quantile rows carry the distribution-free
+// 95% order-statistic interval of QuantileCI, so the sampled numbers
+// are never quoted with more certainty than n supports.
 func MonteCarloReport(r MonteCarloResult, worstCase float64) *report.Table {
-	t := report.NewTable("EXP-MC — sampled per-cell DRV_DS distribution", "Statistic", "DRV_DS")
+	t := report.NewTable("EXP-MC — sampled per-cell DRV_DS distribution", "Statistic", "DRV_DS", "95% CI")
 	t.AddRow("condition", r.Cond.String())
 	t.AddRow("samples", report.SI(float64(r.Samples), ""))
-	t.AddRow("median", report.SI(r.Quantile(0.5), "V"))
-	t.AddRow("90th percentile", report.SI(r.Quantile(0.9), "V"))
-	t.AddRow("99th percentile", report.SI(r.Quantile(0.99), "V"))
+	t.AddRow("median", report.SI(r.Quantile(0.5), "V"), r.ci(0.5))
+	t.AddRow("90th percentile", report.SI(r.Quantile(0.9), "V"), r.ci(0.9))
+	t.AddRow("99th percentile", report.SI(r.Quantile(0.99), "V"), r.ci(0.99))
 	t.AddRow("sampled max", report.SI(r.Max(), "V"))
 	t.AddRow("deterministic 6σ worst case", report.SI(worstCase, "V"))
 	return t

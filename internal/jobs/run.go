@@ -3,6 +3,7 @@ package jobs
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 
 	"sramtest/internal/charac"
@@ -15,6 +16,7 @@ import (
 	"sramtest/internal/process"
 	"sramtest/internal/regulator"
 	"sramtest/internal/testflow"
+	"sramtest/internal/yield"
 )
 
 // Run executes a job spec and returns exactly the bytes the matching CLI
@@ -53,8 +55,55 @@ func Run(ctx context.Context, spec Spec) ([]byte, error) {
 		return runTestFlow(ctx, spec, eng)
 	case KindDiag:
 		return runDiag(ctx, spec, eng)
+	case KindYield:
+		return runYield(ctx, spec)
 	}
 	return nil, fmt.Errorf("%w: unknown kind %q", ErrBadSpec, spec.Kind)
+}
+
+// runYield estimates the rare-event retention yield at the fixed
+// Monte-Carlo condition. A whole estimate renders the EXP-YD table
+// (identical to `yield` CLI output); a shard job (Shards > 1) emits the
+// mergeable yield.Partial JSON artifact the cluster fan-out reassembles
+// with yield.MergePartials. Like KindExp, the estimate samples the cell
+// model directly and ignores the engine field.
+func runYield(ctx context.Context, spec Spec) ([]byte, error) {
+	y := spec.Yield
+	est, err := yield.New(y.Method)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+	}
+	p := yield.Params{
+		Cond:    mcCondition,
+		Vref:    y.Vref,
+		Samples: y.Samples,
+		Seed:    y.Seed,
+		Shards:  y.Shards,
+		Shard:   y.Shard,
+	}
+	if y.Shards > 1 {
+		part, err := est.Partial(ctx, p)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(part)
+	}
+	res, err := est.Estimate(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	t := yield.Report(res)
+	if spec.CSV {
+		err = t.WriteCSV(&buf)
+	} else {
+		err = t.Write(&buf)
+	}
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintln(&buf) // match cmd/yield's trailing blank line
+	return buf.Bytes(), nil
 }
 
 // runDiag builds the fault dictionary; the job bytes are the versioned

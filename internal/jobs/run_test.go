@@ -7,10 +7,14 @@ import (
 	"testing"
 	"time"
 
+	"encoding/json"
+	"fmt"
+
 	"sramtest/internal/charac"
 	"sramtest/internal/exp"
 	"sramtest/internal/regulator"
 	"sramtest/internal/sweep"
+	"sramtest/internal/yield"
 )
 
 // cliCharacBytes reproduces cmd/defectchar's stdout path literally: the
@@ -80,6 +84,7 @@ func TestRunWorkerInvariance(t *testing.T) {
 		"charac":   {Kind: KindCharac, Charac: &CharacSpec{Defects: []int{16}, CaseStudies: []int{1}}},
 		"exp":      {Kind: KindExp, Exp: &ExpSpec{Samples: 96, Seed: 99}},
 		"testflow": {Kind: KindTestFlow, TestFlow: &TestFlowSpec{Defects: []int{16}}},
+		"yield":    {Kind: KindYield, Yield: &YieldSpec{Samples: 64, Vref: 0.34}},
 	}
 	for name, spec := range specs {
 		t.Run(name, func(t *testing.T) {
@@ -100,6 +105,78 @@ func TestRunWorkerInvariance(t *testing.T) {
 				}
 			}
 		})
+	}
+}
+
+// TestYieldJobMatchesCLIBytes pins the yield job to the exact bytes
+// cmd/yield writes: estimator → Report table → trailing blank line.
+// Byte identity here is what lets the daemon serve cached yield results
+// interchangeably with local CLI runs.
+func TestYieldJobMatchesCLIBytes(t *testing.T) {
+	spec := Spec{Kind: KindYield, Yield: &YieldSpec{Samples: 64, Vref: 0.34}}
+	got, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The CLI path, spelled out literally.
+	est, err := yield.New("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := est.Estimate(context.Background(), yield.Params{
+		Cond: mcCondition, Vref: 0.34, Samples: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := yield.Report(res).Write(&want); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(&want)
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("job bytes differ from the CLI path:\n--- job ---\n%s\n--- cli ---\n%s", got, want.Bytes())
+	}
+	if !bytes.Contains(got, []byte("EXP-YD")) {
+		t.Errorf("implausible result:\n%s", got)
+	}
+}
+
+// TestYieldShardJobsMerge runs the cluster fan-out shape end to end at
+// the jobs layer: two shard jobs emit Partial JSON, the merged result
+// renders byte-identically to the equivalent whole-estimate job.
+func TestYieldShardJobsMerge(t *testing.T) {
+	whole, err := Run(context.Background(), Spec{
+		Kind: KindYield, Yield: &YieldSpec{Samples: 64, Vref: 0.34},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([]yield.Partial, 2)
+	for s := 0; s < 2; s++ {
+		raw, err := Run(context.Background(), Spec{
+			Kind:  KindYield,
+			Yield: &YieldSpec{Samples: 64, Vref: 0.34, Shards: 2, Shard: s},
+		})
+		if err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+		if err := json.Unmarshal(raw, &parts[s]); err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+	}
+	merged, err := yield.MergePartials(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := yield.Report(merged).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(&buf)
+	if !bytes.Equal(whole, buf.Bytes()) {
+		t.Errorf("merged shard report differs from the whole job:\n--- whole ---\n%s\n--- merged ---\n%s", whole, buf.Bytes())
 	}
 }
 

@@ -17,12 +17,13 @@ import (
 	"sramtest/internal/engine"
 	"sramtest/internal/regulator"
 	"sramtest/internal/store"
+	"sramtest/internal/yield"
 )
 
 // Kind selects which sweep product a job computes.
 type Kind string
 
-// The four job kinds, covering the repo's sweep products.
+// The five job kinds, covering the repo's sweep products.
 const (
 	// KindCharac is the Table II defect characterization (cmd/defectchar).
 	KindCharac Kind = "charac"
@@ -32,6 +33,8 @@ const (
 	KindTestFlow Kind = "testflow"
 	// KindDiag is the fault-dictionary build (cmd/diagnose build).
 	KindDiag Kind = "diag"
+	// KindYield is the rare-event retention-yield estimate (cmd/yield).
+	KindYield Kind = "yield"
 )
 
 // ErrBadSpec marks submission-time validation failures (HTTP 400).
@@ -62,6 +65,9 @@ type Spec struct {
 	Exp      *ExpSpec      `json:"exp,omitempty"`
 	TestFlow *TestFlowSpec `json:"testflow,omitempty"`
 	Diag     *DiagSpec     `json:"diag,omitempty"`
+	// Yield is appended after the original sub-specs: the canonical field
+	// order is append-only (see the struct comment).
+	Yield *YieldSpec `json:"yield,omitempty"`
 }
 
 // CharacSpec parameterizes a Table II characterization, mirroring
@@ -109,6 +115,28 @@ type DiagSpec struct {
 	BaseOnly bool `json:"baseOnly,omitempty"`
 }
 
+// YieldSpec parameterizes a rare-event retention-yield estimate,
+// mirroring cmd/yield's flags. The estimate runs at the fixed
+// Monte-Carlo condition (FS, 1.1 V, 125 °C), like KindExp.
+type YieldSpec struct {
+	// Samples is the total sample budget across all shards; must be >= 1.
+	Samples int `json:"samples"`
+	// Seed of the sharded RNG; 0 selects the fixed seed 2013.
+	Seed int64 `json:"seed"`
+	// Vref is the retention reference voltage (V); 0 selects
+	// yield.DefaultVref. Must not be negative.
+	Vref float64 `json:"vref"`
+	// Method selects the estimator ("is" or "blockade"); empty selects
+	// the importance sampler and normalizes to its explicit name.
+	Method string `json:"method"`
+	// Shards/Shard select one shard of a cluster fan-out: the job covers
+	// only the sample chunks with index ≡ Shard (mod Shards) and emits a
+	// mergeable JSON partial (yield.Partial) instead of the report table.
+	// Shards <= 1 normalizes to the omitted whole-estimate form.
+	Shards int `json:"shards,omitempty"`
+	Shard  int `json:"shard,omitempty"`
+}
+
 // defaultSeed is cmd/drv's hard-coded Monte-Carlo seed.
 const defaultSeed = 2013
 
@@ -127,7 +155,7 @@ func (s Spec) Normalize() (Spec, error) {
 	}
 	switch s.Kind {
 	case KindCharac:
-		if s.Exp != nil || s.TestFlow != nil || s.Diag != nil {
+		if s.Exp != nil || s.TestFlow != nil || s.Diag != nil || s.Yield != nil {
 			return Spec{}, fmt.Errorf("%w: kind %q with mismatched sub-spec", ErrBadSpec, s.Kind)
 		}
 		c := CharacSpec{}
@@ -143,7 +171,7 @@ func (s Spec) Normalize() (Spec, error) {
 		}
 		out.Charac = &c
 	case KindExp:
-		if s.Charac != nil || s.TestFlow != nil || s.Diag != nil {
+		if s.Charac != nil || s.TestFlow != nil || s.Diag != nil || s.Yield != nil {
 			return Spec{}, fmt.Errorf("%w: kind %q with mismatched sub-spec", ErrBadSpec, s.Kind)
 		}
 		if s.Exp == nil {
@@ -161,7 +189,7 @@ func (s Spec) Normalize() (Spec, error) {
 		}
 		out.Exp = &e
 	case KindTestFlow:
-		if s.Charac != nil || s.Exp != nil || s.Diag != nil {
+		if s.Charac != nil || s.Exp != nil || s.Diag != nil || s.Yield != nil {
 			return Spec{}, fmt.Errorf("%w: kind %q with mismatched sub-spec", ErrBadSpec, s.Kind)
 		}
 		f := TestFlowSpec{}
@@ -174,7 +202,7 @@ func (s Spec) Normalize() (Spec, error) {
 		}
 		out.TestFlow = &f
 	case KindDiag:
-		if s.Charac != nil || s.Exp != nil || s.TestFlow != nil {
+		if s.Charac != nil || s.Exp != nil || s.TestFlow != nil || s.Yield != nil {
 			return Spec{}, fmt.Errorf("%w: kind %q with mismatched sub-spec", ErrBadSpec, s.Kind)
 		}
 		if s.CSV {
@@ -195,6 +223,46 @@ func (s Spec) Normalize() (Spec, error) {
 			return Spec{}, err
 		}
 		out.Diag = &dg
+	case KindYield:
+		if s.Charac != nil || s.Exp != nil || s.TestFlow != nil || s.Diag != nil {
+			return Spec{}, fmt.Errorf("%w: kind %q with mismatched sub-spec", ErrBadSpec, s.Kind)
+		}
+		if s.Yield == nil {
+			return Spec{}, fmt.Errorf("%w: kind %q requires a yield sub-spec with samples", ErrBadSpec, s.Kind)
+		}
+		y := *s.Yield
+		if y.Samples < 1 {
+			return Spec{}, fmt.Errorf("%w: yield.samples = %d, want >= 1", ErrBadSpec, y.Samples)
+		}
+		if y.Samples > yield.MaxSamples {
+			return Spec{}, fmt.Errorf("%w: yield.samples = %d exceeds the %d cap", ErrBadSpec, y.Samples, yield.MaxSamples)
+		}
+		if y.Seed == 0 {
+			y.Seed = defaultSeed
+		}
+		if y.Vref < 0 {
+			return Spec{}, fmt.Errorf("%w: yield.vref = %g, want >= 0", ErrBadSpec, y.Vref)
+		}
+		if y.Vref == 0 {
+			y.Vref = yield.DefaultVref
+		}
+		if _, err := yield.New(y.Method); err != nil {
+			return Spec{}, fmt.Errorf("%w: yield.method %q (have %v)", ErrBadSpec, y.Method, yield.Methods())
+		}
+		if y.Method == "" {
+			y.Method = yield.MethodIS
+		}
+		if y.Shards <= 1 {
+			y.Shards, y.Shard = 0, 0
+		} else {
+			if y.Shard < 0 || y.Shard >= y.Shards {
+				return Spec{}, fmt.Errorf("%w: yield.shard = %d not in [0, %d)", ErrBadSpec, y.Shard, y.Shards)
+			}
+			if s.CSV {
+				return Spec{}, fmt.Errorf("%w: sharded yield jobs emit a JSON partial, csv does not apply", ErrBadSpec)
+			}
+		}
+		out.Yield = &y
 	default:
 		return Spec{}, fmt.Errorf("%w: unknown kind %q", ErrBadSpec, s.Kind)
 	}

@@ -132,6 +132,16 @@ func TestNormalizeRejectsBadSpecs(t *testing.T) {
 		{Kind: KindDiag, Diag: &DiagSpec{Decades: []float64{0}}},
 		{Kind: KindDiag, Exp: &ExpSpec{Samples: 1}},
 		{Kind: KindDiag, CSV: true},
+		{Kind: KindYield},
+		{Kind: KindYield, Yield: &YieldSpec{Samples: 0}},
+		{Kind: KindYield, Yield: &YieldSpec{Samples: 1 << 23}},
+		{Kind: KindYield, Yield: &YieldSpec{Samples: 64, Vref: -0.1}},
+		{Kind: KindYield, Yield: &YieldSpec{Samples: 64, Method: "bogus"}},
+		{Kind: KindYield, Yield: &YieldSpec{Samples: 64, Shards: 4, Shard: 4}},
+		{Kind: KindYield, Yield: &YieldSpec{Samples: 64, Shards: 4, Shard: -1}},
+		{Kind: KindYield, CSV: true, Yield: &YieldSpec{Samples: 64, Shards: 4}},
+		{Kind: KindYield, Yield: &YieldSpec{Samples: 64}, Exp: &ExpSpec{Samples: 1}},
+		{Kind: KindExp, Exp: &ExpSpec{Samples: 1}, Yield: &YieldSpec{Samples: 64}},
 	}
 	for i, s := range bad {
 		if _, err := s.Normalize(); !errors.Is(err, ErrBadSpec) {
@@ -157,6 +167,34 @@ func TestEquivalentSpecsShareKeys(t *testing.T) {
 	c := Spec{Kind: KindExp, Exp: &ExpSpec{Samples: 64, Seed: 7}}
 	if kc, _ := c.Key(); kc == ka {
 		t.Error("different seeds must not share a cache key")
+	}
+}
+
+func TestYieldSpecsShareKeys(t *testing.T) {
+	// The bare default and the fully explicit spelling of the defaults
+	// (seed 2013, Vref 0.5, method "is") must land on one cache key.
+	a := Spec{Kind: KindYield, Yield: &YieldSpec{Samples: 64}}
+	b := Spec{Kind: KindYield, Yield: &YieldSpec{
+		Samples: 64, Seed: 2013, Vref: 0.5, Method: "is",
+	}}
+	ka, err := a.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := b.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Error("default yield spec and explicit spelling must share a cache key")
+	}
+	c := Spec{Kind: KindYield, Yield: &YieldSpec{Samples: 64, Method: "blockade"}}
+	if kc, _ := c.Key(); kc == ka {
+		t.Error("different estimators must not share a cache key")
+	}
+	d := Spec{Kind: KindYield, Yield: &YieldSpec{Samples: 64, Shards: 2, Shard: 1}}
+	if kd, _ := d.Key(); kd == ka {
+		t.Error("a shard job must not share the whole estimate's key")
 	}
 }
 

@@ -1,0 +1,75 @@
+package num
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNormCDFAndTail(t *testing.T) {
+	cases := []struct{ x, want float64 }{
+		{0, 0.5},
+		{1.959963984540054, 0.975},
+		{-1.959963984540054, 0.025},
+		{6, 1 - 9.865876450376946e-10},
+	}
+	for _, c := range cases {
+		if got := NormCDF(c.x); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("NormCDF(%g) = %.15g, want %.15g", c.x, got, c.want)
+		}
+	}
+	// Deep tail keeps relative precision.
+	if got := NormTail(6); math.Abs(got/9.865876450376946e-10-1) > 1e-9 {
+		t.Errorf("NormTail(6) = %g", got)
+	}
+	if got := NormTail(8); got <= 0 || got > 1e-14 {
+		t.Errorf("NormTail(8) = %g, want a positive sub-1e-14 value", got)
+	}
+}
+
+// TestNormQuantileRoundTrip drives Φ⁻¹(Φ(x)) = x across the practical
+// sigma range, including the deep tail the yield estimators quote.
+func TestNormQuantileRoundTrip(t *testing.T) {
+	for _, x := range []float64{-8, -6, -4.5, -2, -0.5, 0, 0.5, 2, 4.5, 6} {
+		p := NormCDF(x)
+		got := NormQuantile(p)
+		// For x > 0, p sits near 1 where one ulp (~1.1e-16) already moves
+		// the quantile by ulp/φ(x); the representable accuracy degrades
+		// with depth and the test must allow that much. (The lower tail
+		// keeps full relative precision in p, so no such term.)
+		tol := 1e-9
+		if x > 0 {
+			tol += 2.3e-16 / (math.Exp(-x*x/2) / math.Sqrt(2*math.Pi))
+		}
+		if math.Abs(got-x) > tol {
+			t.Errorf("NormQuantile(NormCDF(%g)) = %.12g", x, got)
+		}
+	}
+	// Tail round trip at 1e-10: quantile of the upper tail.
+	x := NormQuantile(1 - 1e-10)
+	if math.Abs(NormTail(x)/1e-10-1) > 1e-6 {
+		t.Errorf("tail round trip drifted: Φ̄(%g) = %g", x, NormTail(x))
+	}
+	if !math.IsInf(NormQuantile(0), -1) || !math.IsInf(NormQuantile(1), 1) {
+		t.Error("NormQuantile must saturate to ±Inf at 0 and 1")
+	}
+}
+
+func TestWilsonInterval(t *testing.T) {
+	// k=0 keeps a nonzero upper bound (the rule-of-three regime).
+	lo, hi := WilsonInterval(0, 100, 1.96)
+	if lo != 0 {
+		t.Errorf("lo = %g, want 0", lo)
+	}
+	if hi < 0.01 || hi > 0.06 {
+		t.Errorf("hi = %g, want ≈ 0.037", hi)
+	}
+	// Symmetric case brackets the point estimate.
+	lo, hi = WilsonInterval(50, 100, 1.96)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Errorf("interval [%g, %g] must bracket 0.5", lo, hi)
+	}
+	// Degenerate n.
+	if lo, hi = WilsonInterval(0, 0, 1.96); lo != 0 || hi != 1 {
+		t.Errorf("n=0 interval = [%g, %g], want [0, 1]", lo, hi)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -11,6 +12,7 @@ import (
 
 	"sramtest/internal/cluster"
 	"sramtest/internal/jobs"
+	"sramtest/internal/yield"
 )
 
 // decodeBatch reads an NDJSON batch response into index-keyed results,
@@ -97,6 +99,45 @@ func TestBatchServesCacheOnResubmit(t *testing.T) {
 	}
 	if !bytes.Equal(first.Result, second.Result) {
 		t.Fatal("cached bytes differ from the computed ones")
+	}
+}
+
+// TestBatchYieldShardsMerge is the cluster yield fan-out end to end
+// through the real runner: two shard specs stream back Partial JSON,
+// and the merged result renders byte-identically to the whole-estimate
+// job — what cmd/yield -cluster does against a live daemon.
+func TestBatchYieldShardsMerge(t *testing.T) {
+	srv, _, _ := newTestServer(t, nil)
+	body := `{"kind":"yield","yield":{"samples":64,"vref":0.34,"shards":2,"shard":0}}
+{"kind":"yield","yield":{"samples":64,"vref":0.34,"shards":2,"shard":1}}`
+	got := decodeBatch(t, postBatch(t, srv, body), 2)
+	parts := make([]yield.Partial, 2)
+	for i := 0; i < 2; i++ {
+		br := got[i]
+		if br.State != cluster.BatchStateDone {
+			t.Fatalf("shard %d: state %s (%s)", i, br.State, br.Error)
+		}
+		if err := json.Unmarshal(br.Result, &parts[i]); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+	}
+	merged, err := yield.MergePartials(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := jobs.Run(context.Background(), jobs.Spec{
+		Kind: jobs.KindYield, Yield: &jobs.YieldSpec{Samples: 64, Vref: 0.34},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := yield.Report(merged).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(&buf)
+	if !bytes.Equal(whole, buf.Bytes()) {
+		t.Errorf("merged cluster report differs from the whole job:\n--- whole ---\n%s\n--- merged ---\n%s", whole, buf.Bytes())
 	}
 }
 

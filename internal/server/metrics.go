@@ -8,6 +8,7 @@ import (
 	"sramtest/internal/jobs"
 	"sramtest/internal/spice"
 	"sramtest/internal/store"
+	"sramtest/internal/yield"
 )
 
 // writeMetrics renders the Prometheus text exposition of the daemon:
@@ -96,6 +97,38 @@ func writeMetrics(w io.Writer, mgr *jobs.Manager, st *store.Store) {
 	fmt.Fprintln(w, "# TYPE sramd_engine_exact_inserts_total counter")
 	fmt.Fprintf(w, "sramd_engine_exact_inserts_total %d\n", es.ExactInserts)
 
+	// Yield-estimator counters: the screen economy of the rare-event
+	// path plus last-estimate health gauges (ESS, shift, tail depth).
+	ys := yield.Stats()
+	fmt.Fprintln(w, "# HELP sramd_yield_runs_total Completed full yield estimates.")
+	fmt.Fprintln(w, "# TYPE sramd_yield_runs_total counter")
+	fmt.Fprintf(w, "sramd_yield_runs_total %d\n", ys.Runs)
+	fmt.Fprintln(w, "# HELP sramd_yield_partials_total Completed shard partials.")
+	fmt.Fprintln(w, "# TYPE sramd_yield_partials_total counter")
+	fmt.Fprintf(w, "sramd_yield_partials_total %d\n", ys.Partials)
+	fmt.Fprintln(w, "# HELP sramd_yield_decisions_total Yield samples by outcome.")
+	fmt.Fprintln(w, "# TYPE sramd_yield_decisions_total counter")
+	fmt.Fprintf(w, "sramd_yield_decisions_total{outcome=\"screened\"} %d\n", ys.Screens)
+	fmt.Fprintf(w, "sramd_yield_decisions_total{outcome=\"escalated\"} %d\n", ys.Escalations)
+	fmt.Fprintln(w, "# HELP sramd_yield_screen_ratio Screened over screened+escalated since start.")
+	fmt.Fprintln(w, "# TYPE sramd_yield_screen_ratio gauge")
+	fmt.Fprintf(w, "sramd_yield_screen_ratio %g\n", ys.ScreenRatio())
+	fmt.Fprintln(w, "# HELP sramd_yield_exact_solves_total Full DRV bisections spent on yield estimation.")
+	fmt.Fprintln(w, "# TYPE sramd_yield_exact_solves_total counter")
+	fmt.Fprintf(w, "sramd_yield_exact_solves_total %d\n", ys.ExactSolves)
+	fmt.Fprintln(w, "# HELP sramd_yield_failures_total Exact-confirmed failing samples.")
+	fmt.Fprintln(w, "# TYPE sramd_yield_failures_total counter")
+	fmt.Fprintf(w, "sramd_yield_failures_total %d\n", ys.Failures)
+	fmt.Fprintln(w, "# HELP sramd_yield_last_ess Effective sample size of the latest full estimate.")
+	fmt.Fprintln(w, "# TYPE sramd_yield_last_ess gauge")
+	fmt.Fprintf(w, "sramd_yield_last_ess %g\n", ys.LastESS)
+	fmt.Fprintln(w, "# HELP sramd_yield_last_shift_sigma Mean-shift norm of the latest full estimate.")
+	fmt.Fprintln(w, "# TYPE sramd_yield_last_shift_sigma gauge")
+	fmt.Fprintf(w, "sramd_yield_last_shift_sigma %g\n", ys.LastShiftNorm)
+	fmt.Fprintln(w, "# HELP sramd_yield_last_tail_sigma Tail depth of the latest full estimate.")
+	fmt.Fprintln(w, "# TYPE sramd_yield_last_tail_sigma gauge")
+	fmt.Fprintf(w, "sramd_yield_last_tail_sigma %g\n", ys.LastSigma)
+
 	fmt.Fprintln(w, "# HELP sramd_job_duration_seconds Job execution latency.")
 	fmt.Fprintln(w, "# TYPE sramd_job_duration_seconds histogram")
 	cum := int64(0)
@@ -114,7 +147,17 @@ func snapshot(mgr *jobs.Manager, st *store.Store) map[string]any {
 	s := mgr.Stats()
 	sp := spice.Stats()
 	es := engine.Stats()
+	ys := yield.Stats()
 	out := map[string]any{
+		"yield_runs":              ys.Runs,
+		"yield_partials":          ys.Partials,
+		"yield_screened":          ys.Screens,
+		"yield_escalations":       ys.Escalations,
+		"yield_exact_solves":      ys.ExactSolves,
+		"yield_failures":          ys.Failures,
+		"yield_last_ess":          ys.LastESS,
+		"yield_last_shift_sigma":  ys.LastShiftNorm,
+		"yield_last_tail_sigma":   ys.LastSigma,
 		"engine_screened":         es.Screened,
 		"engine_escalations":      es.Escalations,
 		"engine_transient_direct": es.TransientDirect,

@@ -210,6 +210,9 @@ func TestHealthzAndMetricsShape(t *testing.T) {
 		"sramd_job_duration_seconds_bucket{le=\"+Inf\"} 1",
 		"sramd_job_duration_seconds_count 1",
 		"sramd_store_entries 1",
+		"sramd_yield_runs_total",
+		`sramd_yield_decisions_total{outcome="screened"}`,
+		"sramd_yield_last_ess",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q:\n%s", want, body)

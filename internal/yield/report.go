@@ -1,0 +1,67 @@
+package yield
+
+import (
+	"fmt"
+
+	"sramtest/internal/report"
+)
+
+// methodLabel renders the estimator name for humans.
+func methodLabel(method string) string {
+	switch method {
+	case MethodIS:
+		return "mean-shifted importance sampling"
+	case MethodBlockade:
+		return "statistical blockade"
+	}
+	return method
+}
+
+// prob renders a tail probability in scientific notation.
+func prob(p float64) string { return fmt.Sprintf("%.3g", p) }
+
+// Report renders the estimate as the EXP-YD table. Every cell is a pure
+// function of the Result, which is itself a pure function of the
+// Params, so rendered bytes are comparable across the CLI, the daemon,
+// and a merged cluster run.
+func Report(r Result) *report.Table {
+	t := report.NewTable("EXP-YD — rare-event retention yield, P(DRV_DS > Vref)", "Quantity", "Value")
+	t.AddRow("condition", r.Cond.String())
+	t.AddRow("estimator", methodLabel(r.Method))
+	t.AddRow("samples", report.SI(float64(r.Samples), ""))
+	t.AddRow("seed", fmt.Sprintf("%d", r.Seed))
+	t.AddRow("Vref", report.SI(r.Vref, "V"))
+
+	if r.Certificate != "" {
+		t.AddRow("failure probability", "0 (certified)")
+		t.AddRow("certificate", r.Certificate)
+		t.AddRow("exact solves", fmt.Sprintf("%d (calibration %d, boundary %d)",
+			r.ExactSolves, r.CalSolves, r.BoundarySolves))
+		return t
+	}
+
+	t.AddRow("failure probability", prob(r.P))
+	t.AddRow("95% CI", fmt.Sprintf("[%s, %s]", prob(r.CILo), prob(r.CIHi)))
+	if r.P == 0 {
+		t.AddRow("tail depth", "beyond sampled resolution")
+	} else {
+		t.AddRow("tail depth", fmt.Sprintf("%.2fσ", r.SigmaEquiv))
+	}
+	t.AddRow("effective sample size", report.SI(r.ESS, ""))
+	if r.Method == MethodIS {
+		t.AddRow("mean shift |µ|", fmt.Sprintf("%.2fσ", r.ShiftNorm))
+	}
+	if r.Method == MethodBlockade {
+		t.AddRow("blockade threshold", report.SI(r.Threshold, "V"))
+	}
+	t.AddRow("confirmed failures", fmt.Sprintf("%d", r.Failures))
+	t.AddRow("screened / escalated", fmt.Sprintf("%d / %d", r.Screens, r.Escalations))
+	t.AddRow("exact solves", fmt.Sprintf("%d (calibration %d, boundary %d, confirm %d)",
+		r.ExactSolves, r.CalSolves, r.BoundarySolves,
+		r.ExactSolves-r.CalSolves-r.BoundarySolves))
+	if r.NaiveSolves > 0 {
+		t.AddRow("naive-MC solves at this CI", report.SI(r.NaiveSolves, ""))
+		t.AddRow("speedup", fmt.Sprintf("%.0f×", r.Speedup))
+	}
+	return t
+}

@@ -1,0 +1,146 @@
+package yield
+
+import (
+	"fmt"
+	"sort"
+
+	"sramtest/internal/process"
+)
+
+// PartialVersion tags the Partial wire format; a merger refuses any
+// other version rather than silently misreading future fields.
+const PartialVersion = 1
+
+// Calib is the exported screen calibration that travels with every
+// Partial. Calibration is a pure, sequential function of (cond, vref,
+// seed), so every shard computes the identical Calib; MergePartials
+// verifies that instead of trusting it.
+type Calib struct {
+	Shift          process.Variation `json:"shift"`
+	ShiftNorm      float64           `json:"shiftNorm"`
+	Margin         float64           `json:"margin"`
+	CalSolves      int64             `json:"calSolves"`
+	BoundarySolves int64             `json:"boundarySolves"`
+	// Certified is the P = 0 certificate: no failure boundary inside the
+	// ±6σ support, verified at the worst support corner. Certified shards
+	// carry no chunks.
+	Certified bool `json:"certified"`
+}
+
+// export snapshots the screen's calibration for the Partial wire format.
+func (s *screen) export() Calib {
+	return Calib{
+		Shift:          s.shift,
+		ShiftNorm:      s.shiftNorm,
+		Margin:         s.margin(s.shiftNorm),
+		CalSolves:      s.calSolves,
+		BoundarySolves: s.boundarySolves,
+		Certified:      s.certified(s.vref),
+	}
+}
+
+// Partial is one shard's share of a yield estimate: the job header, the
+// (shard-invariant) screen calibration, and the per-chunk sufficient
+// statistics of the chunks the shard owns (index ≡ Shard mod Shards).
+// It is the artifact a sharded yield job emits and the unit
+// MergePartials consumes; all fields are exact-roundtrip JSON (float64
+// survives encoding/json bit-for-bit), so a merged estimate is
+// byte-identical to the unsharded run.
+type Partial struct {
+	Version int               `json:"version"`
+	Method  string            `json:"method"`
+	Cond    process.Condition `json:"cond"`
+	Vref    float64           `json:"vref"`
+	Samples int               `json:"samples"`
+	Seed    int64             `json:"seed"`
+	Shards  int               `json:"shards"`
+	Shard   int               `json:"shard"`
+	Calib   Calib             `json:"calib"`
+	Chunks  []ChunkStat       `json:"chunks"`
+}
+
+// Certified reports whether this partial carries a P = 0 certificate
+// (in which case it has no chunks to merge).
+func (p Partial) Certified() bool { return p.Calib.Certified }
+
+// mergeHeader is the merge-identity of a partial: everything that must
+// agree across shards, in a comparable struct.
+type mergeHeader struct {
+	Version int
+	Method  string
+	Cond    process.Condition
+	Vref    float64
+	Samples int
+	Seed    int64
+	Shards  int
+	Calib   Calib
+}
+
+// header extracts the merge-identity of the partial.
+func (p Partial) header() mergeHeader {
+	return mergeHeader{
+		Version: p.Version,
+		Method:  p.Method,
+		Cond:    p.Cond,
+		Vref:    p.Vref,
+		Samples: p.Samples,
+		Seed:    p.Seed,
+		Shards:  p.Shards,
+		Calib:   p.Calib,
+	}
+}
+
+// MergePartials reassembles a full estimate from one partial per shard.
+// It verifies that every shard ran the same job (identical header and
+// calibration), that exactly the expected shards are present, and that
+// the union of chunks covers the sample budget with no gap or overlap —
+// then reduces them through the same chunk-ordered finalize as a local
+// run, reproducing its bytes exactly.
+func MergePartials(parts []Partial) (Result, error) {
+	if len(parts) == 0 {
+		return Result{}, fmt.Errorf("%w: no partials to merge", ErrBadParams)
+	}
+	ref := parts[0]
+	if ref.Version != PartialVersion {
+		return Result{}, fmt.Errorf("%w: partial version %d, want %d", ErrBadParams, ref.Version, PartialVersion)
+	}
+	if len(parts) != ref.Shards {
+		return Result{}, fmt.Errorf("%w: %d partials for %d shards", ErrBadParams, len(parts), ref.Shards)
+	}
+
+	head := ref.header()
+	seen := make(map[int]bool, len(parts))
+	var chunks []ChunkStat
+	for _, p := range parts {
+		if p.header() != head {
+			return Result{}, fmt.Errorf("%w: shard %d disagrees on the job header or calibration", ErrBadParams, p.Shard)
+		}
+		if p.Shard < 0 || p.Shard >= ref.Shards || seen[p.Shard] {
+			return Result{}, fmt.Errorf("%w: bad or duplicate shard index %d", ErrBadParams, p.Shard)
+		}
+		seen[p.Shard] = true
+		for _, st := range p.Chunks {
+			if st.Chunk%ref.Shards != p.Shard {
+				return Result{}, fmt.Errorf("%w: shard %d reports foreign chunk %d", ErrBadParams, p.Shard, st.Chunk)
+			}
+		}
+		chunks = append(chunks, p.Chunks...)
+	}
+
+	sort.Slice(chunks, func(i, j int) bool { return chunks[i].Chunk < chunks[j].Chunk })
+	if !ref.Certified() {
+		want := (ref.Samples + Chunk - 1) / Chunk
+		if len(chunks) != want {
+			return Result{}, fmt.Errorf("%w: merged %d chunks, want %d", ErrBadParams, len(chunks), want)
+		}
+		for i, st := range chunks {
+			if st.Chunk != i {
+				return Result{}, fmt.Errorf("%w: chunk %d missing from the merge", ErrBadParams, i)
+			}
+		}
+	}
+
+	merged := ref
+	merged.Shards, merged.Shard, merged.Chunks = 1, 0, chunks
+	return finalize(merged), nil
+}

@@ -1,0 +1,108 @@
+package yield
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Package-level yield counters, in the idiom of internal/engine's and
+// internal/spice's: cumulative since process start (or ResetStats),
+// atomically updated, purely observational. The daemon's /metrics
+// endpoint exposes them so an operator can watch the screen economy
+// (screens vs escalations), the exact-solve spend, and the health of
+// the latest estimate (ESS, shift depth, tail depth) without parsing
+// job artifacts.
+var (
+	statRuns        atomic.Int64 // completed full estimates
+	statPartials    atomic.Int64 // completed shard partials
+	statScreens     atomic.Int64 // samples answered by the surrogate band
+	statEscalations atomic.Int64 // samples escalated to exact confirmation
+	statExactSolves atomic.Int64 // full DRV bisections spent (all causes)
+	statFailures    atomic.Int64 // exact-confirmed failing samples
+
+	// Last-run gauges (full estimates only), stored as float64 bits.
+	statLastESS   atomic.Uint64
+	statLastShift atomic.Uint64
+	statLastSigma atomic.Uint64
+)
+
+// YieldStats is a snapshot of the cumulative yield counters.
+type YieldStats struct {
+	Runs        int64 // completed full estimates
+	Partials    int64 // completed shard partials
+	Screens     int64 // samples answered by the surrogate band
+	Escalations int64 // samples escalated to exact confirmation
+	ExactSolves int64 // full DRV bisections spent
+	Failures    int64 // exact-confirmed failures
+
+	LastESS       float64 // effective sample size of the latest estimate
+	LastShiftNorm float64 // |shift| of the latest estimate (σ units)
+	LastSigma     float64 // tail depth Φ⁻¹(1−P) of the latest estimate
+}
+
+// Stats returns a snapshot of the cumulative yield counters.
+func Stats() YieldStats {
+	return YieldStats{
+		Runs:          statRuns.Load(),
+		Partials:      statPartials.Load(),
+		Screens:       statScreens.Load(),
+		Escalations:   statEscalations.Load(),
+		ExactSolves:   statExactSolves.Load(),
+		Failures:      statFailures.Load(),
+		LastESS:       math.Float64frombits(statLastESS.Load()),
+		LastShiftNorm: math.Float64frombits(statLastShift.Load()),
+		LastSigma:     math.Float64frombits(statLastSigma.Load()),
+	}
+}
+
+// ScreenRatio returns the fraction of samples the band answered, or 0
+// when none ran.
+func (s YieldStats) ScreenRatio() float64 {
+	total := s.Screens + s.Escalations
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Screens) / float64(total)
+}
+
+// ResetStats zeroes all yield counters (test/benchmark hygiene).
+func ResetStats() {
+	statRuns.Store(0)
+	statPartials.Store(0)
+	statScreens.Store(0)
+	statEscalations.Store(0)
+	statExactSolves.Store(0)
+	statFailures.Store(0)
+	statLastESS.Store(0)
+	statLastShift.Store(0)
+	statLastSigma.Store(0)
+}
+
+// countRun folds a completed full estimate into the counters.
+func countRun(r Result) {
+	statRuns.Add(1)
+	statScreens.Add(r.Screens)
+	statEscalations.Add(r.Escalations)
+	statExactSolves.Add(r.ExactSolves)
+	statFailures.Add(int64(r.Failures))
+	statLastESS.Store(math.Float64bits(r.ESS))
+	statLastShift.Store(math.Float64bits(r.ShiftNorm))
+	sigma := r.SigmaEquiv
+	if math.IsInf(sigma, 0) || math.IsNaN(sigma) {
+		sigma = 0
+	}
+	statLastSigma.Store(math.Float64bits(sigma))
+}
+
+// countPartial folds a completed shard partial into the counters. The
+// last-run gauges are left to full (merged) estimates.
+func countPartial(p Partial) {
+	statPartials.Add(1)
+	statExactSolves.Add(p.Calib.CalSolves + p.Calib.BoundarySolves)
+	for _, st := range p.Chunks {
+		statScreens.Add(st.Screens)
+		statEscalations.Add(st.Escalations)
+		statExactSolves.Add(st.Solves)
+		statFailures.Add(int64(st.Fails))
+	}
+}

@@ -1,26 +1,42 @@
 #!/bin/sh
 # bench-report.sh — run the solver-centric benchmark suite and emit a
-# machine-readable report (BENCH_5.json) comparing it against the
+# machine-readable report (BENCH_7.json) comparing it against the
 # checked-in pre-optimization baseline (benchmarks/baseline.txt), as run
 # by CI and `make bench-report`.
 #
 # The allocation gate is enforced (allocs/op is machine-independent);
 # wall-clock ratios are reported but not gated, since the baseline was
 # recorded on different hardware than the CI runners. The tiered-engine
-# benchmarks carry their own deterministic gate (>=3x fewer full-SPICE
-# solves than the exact backend) inside the benchmark bodies, so a
-# regression there fails this script through the bench run itself.
+# and yield benchmarks carry their own deterministic gates (>=3x fewer
+# full-SPICE solves than the exact backend; >=100x fewer exact solves
+# than naive Monte-Carlo at matched CI width) inside the benchmark
+# bodies; the yield gate is re-checked here from the bench output so a
+# failure cannot hide behind the tee pipeline.
 #
 # Requires only a POSIX shell and go. Exits non-zero on any failure.
 set -eu
 
-OUT="${1:-BENCH_5.json}"
+OUT="${1:-BENCH_7.json}"
 RAW="${OUT%.json}.bench.txt"
 BASELINE="benchmarks/baseline.txt"
-BENCHES='^(BenchmarkTable2|BenchmarkTable2Tiered|BenchmarkDictionaryBuild|BenchmarkDictionaryBuildTiered|BenchmarkRegulatorOP|BenchmarkRegulatorOPWarm|BenchmarkDSEntryTransient|BenchmarkDiagnose)$'
+BENCHES='^(BenchmarkTable2|BenchmarkTable2Tiered|BenchmarkDictionaryBuild|BenchmarkDictionaryBuildTiered|BenchmarkRegulatorOP|BenchmarkRegulatorOPWarm|BenchmarkDSEntryTransient|BenchmarkDiagnose|BenchmarkYield6Sigma)$'
 
 echo "bench-report: running benchmark suite (this takes a few minutes)"
 go test -run '^$' -bench "$BENCHES" -benchmem -benchtime=1x -count=5 . | tee "$RAW"
+
+echo "bench-report: checking yield speedup gate (>= 100x over naive MC)"
+YIELD_SPEEDUP=$(awk '/^BenchmarkYield6Sigma/ {
+	for (i = 1; i < NF; i++) if ($(i + 1) == "speedup") { print $i; exit }
+}' "$RAW")
+[ -n "$YIELD_SPEEDUP" ] || {
+	echo "bench-report: FAIL: no speedup metric in BenchmarkYield6Sigma output" >&2
+	exit 1
+}
+awk "BEGIN { exit !($YIELD_SPEEDUP >= 100) }" || {
+	echo "bench-report: FAIL: yield speedup ${YIELD_SPEEDUP}x < 100x" >&2
+	exit 1
+}
+echo "bench-report: yield speedup ${YIELD_SPEEDUP}x"
 
 echo "bench-report: generating $OUT"
 go run ./cmd/benchreport \

@@ -1,0 +1,105 @@
+#!/bin/sh
+# yield-smoke.sh — end-to-end smoke test of the rare-event yield path,
+# as run by CI and `make yield-smoke`: build the yield CLI and sramd,
+# run a small local estimate at two worker counts (must be
+# byte-identical), fan the same estimate out as two shard jobs through
+# a daemon's POST /v1/batch (cmd/yield -cluster; merged output must be
+# byte-identical to the local run), submit it once more as a whole
+# daemon job (same bytes again), and check the yield counters surface
+# on /metrics. Writes the report to results/yield-smoke.txt.
+#
+# The estimate itself is kept small (64 samples at a shallow Vref) so
+# the whole script runs in well under a minute; the deep-tail default
+# is exercised by BenchmarkYield6Sigma and results/yield.txt.
+#
+# Requires only a POSIX shell, curl and go. Exits non-zero on any
+# failure and prints the daemon log.
+set -eu
+
+ADDR="${SRAMD_ADDR:-127.0.0.1:8358}"
+BASE="http://$ADDR"
+TMP="$(mktemp -d)"
+LOG="$TMP/sramd.log"
+PID=""
+ARGS="-n 64 -vref 0.34"
+
+fail() {
+	echo "yield-smoke: FAIL: $*" >&2
+	echo "--- daemon log ---" >&2
+	cat "$LOG" >&2 || true
+	exit 1
+}
+
+cleanup() {
+	if [ -n "$PID" ] && kill -0 "$PID" 2>/dev/null; then
+		kill -TERM "$PID" 2>/dev/null || true
+		wait "$PID" 2>/dev/null || true
+	fi
+	rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+echo "yield-smoke: building yield and sramd"
+go build -o "$TMP/yield" ./cmd/yield
+go build -o "$TMP/sramd" ./cmd/sramd
+
+echo "yield-smoke: local estimate at workers=1 and workers=4"
+# shellcheck disable=SC2086 # ARGS is a flag list
+"$TMP/yield" $ARGS -workers 1 >"$TMP/w1.txt" || fail "local run (workers=1) failed"
+# shellcheck disable=SC2086
+"$TMP/yield" $ARGS -workers 4 >"$TMP/w4.txt" || fail "local run (workers=4) failed"
+cmp -s "$TMP/w1.txt" "$TMP/w4.txt" || fail "worker count changed the estimate bytes"
+grep -q "EXP-YD" "$TMP/w1.txt" || fail "not a yield report: $(cat "$TMP/w1.txt")"
+grep -q "failure probability" "$TMP/w1.txt" || fail "no probability row in the report"
+
+echo "yield-smoke: starting sramd on $ADDR"
+"$TMP/sramd" -addr "$ADDR" -store-dir "$TMP/store" >"$LOG" 2>&1 &
+PID=$!
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -lt 50 ] || fail "daemon never became healthy"
+	kill -0 "$PID" 2>/dev/null || fail "daemon exited early"
+	sleep 0.2
+done
+
+echo "yield-smoke: sharded cluster estimate through POST /v1/batch"
+# shellcheck disable=SC2086
+"$TMP/yield" $ARGS -cluster "$BASE" -shards 2 >"$TMP/cluster.txt" || fail "cluster run failed"
+cmp -s "$TMP/w1.txt" "$TMP/cluster.txt" || fail "cluster shards changed the estimate bytes"
+
+echo "yield-smoke: whole yield job through POST /v1/jobs"
+SUBMIT=$(curl -fsS -X POST "$BASE/v1/jobs" \
+	-d '{"kind":"yield","yield":{"samples":64,"vref":0.34}}')
+ID=$(printf '%s' "$SUBMIT" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$ID" ] || fail "no job id in submit response: $SUBMIT"
+i=0
+while :; do
+	STATUS=$(curl -fsS "$BASE/v1/jobs/$ID")
+	STATE=$(printf '%s' "$STATUS" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+	case "$STATE" in
+	done) break ;;
+	failed | canceled) fail "job ended in state $STATE: $STATUS" ;;
+	esac
+	i=$((i + 1))
+	[ "$i" -lt 300 ] || fail "job did not finish in time: $STATUS"
+	sleep 0.5
+done
+curl -fsS "$BASE/v1/jobs/$ID/result" >"$TMP/daemon.txt"
+cmp -s "$TMP/w1.txt" "$TMP/daemon.txt" || fail "daemon job bytes differ from the local CLI run"
+
+echo "yield-smoke: checking yield counters on /metrics"
+METRICS=$(curl -fsS "$BASE/metrics")
+printf '%s\n' "$METRICS" | grep -q '^sramd_yield_runs_total 1$' || fail "whole estimate not counted in /metrics"
+printf '%s\n' "$METRICS" | grep -q '^sramd_yield_partials_total 2$' || fail "shard partials not counted in /metrics"
+printf '%s\n' "$METRICS" | grep -q '^sramd_yield_exact_solves_total [1-9]' || fail "no exact solves counted in /metrics"
+printf '%s\n' "$METRICS" | grep -q '^sramd_yield_last_ess [0-9]' || fail "no ESS gauge in /metrics"
+
+echo "yield-smoke: shutting down"
+kill -TERM "$PID"
+wait "$PID" || fail "daemon exited non-zero on SIGTERM"
+PID=""
+
+mkdir -p results
+cp "$TMP/w1.txt" results/yield-smoke.txt
+echo "yield-smoke: PASS (results/yield-smoke.txt)"

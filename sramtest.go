@@ -44,6 +44,7 @@ import (
 	"sramtest/internal/regulator"
 	"sramtest/internal/sram"
 	"sramtest/internal/testflow"
+	"sramtest/internal/yield"
 )
 
 // Core PVT and variation types.
@@ -303,6 +304,39 @@ func OptimizeFlow(opt FlowMeasureOptions, worstDRV float64) (Flow, error) {
 	}
 	return testflow.Optimize(sens, testflow.DefaultOptimizeOptions(worstDRV)), nil
 }
+
+// Rare-event yield estimation (DESIGN.md §5.11): P(DRV_DS > Vref) at
+// 5-6σ tail depths via mean-shifted importance sampling or statistical
+// blockade, orders of magnitude cheaper than naive Monte-Carlo at
+// matched confidence.
+type (
+	// YieldEstimator is a rare-event tail estimator ("is" or "blockade").
+	YieldEstimator = yield.Estimator
+	// YieldParams configures one estimate (condition, Vref, samples, seed).
+	YieldParams = yield.Params
+	// YieldResult is a completed estimate with its 95% CI and solve economy.
+	YieldResult = yield.Result
+	// YieldPartial is one shard's mergeable contribution to an estimate.
+	YieldPartial = yield.Partial
+	// YieldStats are the cumulative yield counters the daemon exports.
+	YieldStats = yield.YieldStats
+)
+
+// NewYieldEstimator resolves an estimator by method name; the empty
+// name selects mean-shifted importance sampling.
+func NewYieldEstimator(method string) (YieldEstimator, error) { return yield.New(method) }
+
+// YieldMethods lists the registered estimator names.
+func YieldMethods() []string { return yield.Methods() }
+
+// MergeYieldPartials reassembles shard partials into the estimate a
+// single-shard run of the same parameters would produce, byte for byte.
+func MergeYieldPartials(parts []YieldPartial) (YieldResult, error) {
+	return yield.MergePartials(parts)
+}
+
+// YieldStatsNow snapshots the cumulative yield counters.
+func YieldStatsNow() YieldStats { return yield.Stats() }
 
 // Fault-dictionary defect diagnosis: from the failure signature the
 // optimized flow observes on a failing device back to the causing
