@@ -3,7 +3,7 @@
 #   make verify       build + vet + gofmt + test — the tier-1 gate
 #   make race         race-enabled test run
 #   make bench        one iteration of every benchmark (smoke)
-#   make bench-report solver benchmarks vs baseline -> BENCH_7.json
+#   make bench-report solver benchmarks vs baseline -> BENCH_8.json
 #   make serve-smoke  end-to-end sramd daemon smoke test
 #   make diag-smoke   end-to-end diagnose CLI smoke test
 #   make engine-smoke engine matrix: spice vs tiered must emit identical bytes
@@ -11,10 +11,12 @@
 #   make loadgen-smoke  short load-generator run; fails on any dropped request
 #   make yield-smoke  yield estimate: local, cluster shards and daemon job
 #                     must be byte-identical; /metrics counters checked
+#   make faultmap-smoke  1000-map corpus: worker counts, corpus dump,
+#                     cluster shards and daemon job must be byte-identical
 
 GO ?= go
 
-.PHONY: verify build vet fmt test race bench bench-report serve-smoke diag-smoke engine-smoke cluster-smoke loadgen-smoke yield-smoke
+.PHONY: verify build vet fmt test race bench bench-report serve-smoke diag-smoke engine-smoke cluster-smoke loadgen-smoke yield-smoke faultmap-smoke
 
 verify: build vet fmt test
 
@@ -61,3 +63,6 @@ loadgen-smoke:
 
 yield-smoke:
 	sh scripts/yield-smoke.sh
+
+faultmap-smoke:
+	sh scripts/faultmap-smoke.sh

@@ -32,6 +32,7 @@ import (
 	"sramtest/internal/engine/surrogate"
 	tieredbe "sramtest/internal/engine/tiered"
 	"sramtest/internal/exp"
+	"sramtest/internal/faultmap"
 	"sramtest/internal/march"
 	"sramtest/internal/power"
 	"sramtest/internal/process"
@@ -716,5 +717,55 @@ func BenchmarkYield6Sigma(b *testing.B) {
 	}
 	if res.Speedup < 100 {
 		b.Errorf("speedup over naive MC %.0fx, want >= 100x", res.Speedup)
+	}
+}
+
+// BenchmarkFaultMapCoverage — EXP-FM: correlated fault-map corpus
+// generation and March coverage evaluation on the real cell model (48
+// calibration DRV solves, then array-scale map generation and
+// evaluation). The corpus is deterministic at any worker count, so the
+// embedded gate is stable: on a corpus with a nonzero DRF population,
+// March m-LZ (two deep-sleep dwells) must fully cover the retention
+// faults the dwell-free March C- escapes entirely — the paper's case
+// for a dwelling production test, measured at array scale.
+func BenchmarkFaultMapCoverage(b *testing.B) {
+	p := faultmap.Params{
+		Maps:  32,
+		Seed:  faultmap.DefaultSeed,
+		Cond:  hot(1.1),
+		Vref:  faultmap.DefaultVref,
+		Tests: []march.Test{march.MarchMLZ(), march.MarchCMinus()},
+	}
+	var res faultmap.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = faultmap.Estimate(context.Background(), p)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(res.Bits), "fault-bits")
+	b.ReportMetric(res.BitsPerMap, "bits/map")
+	drfBits := res.ByClass[faultmap.ClassDRF0] + res.ByClass[faultmap.ClassDRF1]
+	b.ReportMetric(float64(drfBits), "drf-bits")
+	if drfBits == 0 {
+		b.Errorf("corpus has no DRF bits — the coverage gate is vacuous")
+	}
+	mlz, ok := res.Test("March m-LZ")
+	if !ok {
+		b.Fatal("March m-LZ missing from the result")
+	}
+	cm, ok := res.Test("March C-")
+	if !ok {
+		b.Fatal("March C- missing from the result")
+	}
+	mlzDRF, _ := mlz.GroupCoverage(res.ByClass, "DRF")
+	cmDRF, _ := cm.GroupCoverage(res.ByClass, "DRF")
+	b.ReportMetric(mlzDRF, "mlz-drf-cov")
+	if mlzDRF != 1 {
+		b.Errorf("March m-LZ DRF coverage %.3f, want 1 (detects both polarities by construction)", mlzDRF)
+	}
+	if cmDRF != 0 {
+		b.Errorf("March C- DRF coverage %.3f, want 0 (no sleep element)", cmDRF)
 	}
 }

@@ -195,7 +195,7 @@ func TestFailCaptureBounded(t *testing.T) {
 	}
 }
 
-func TestFailCaptureUnbounded(t *testing.T) {
+func TestFailCaptureFull(t *testing.T) {
 	cond := process.Condition{Corner: process.FS, VDD: 1.0, TempC: 125}
 	s := sram.New()
 	s.SetRetention(sram.NewThresholdRetention(cond, 0.01)) // whole-array wipe
@@ -207,18 +207,44 @@ func TestFailCaptureUnbounded(t *testing.T) {
 	}
 	log := res.FailLog()
 	if log.Overflowed() {
-		t.Errorf("unbounded capture dropped records: %d of %d", len(log.Entries), log.Total)
+		t.Errorf("full capture dropped records below the limit: %d of %d", len(log.Entries), log.Total)
 	}
 	if len(log.Entries) != res.Total || res.Total <= FailCapacity {
 		t.Errorf("recorded %d of %d miscompares", len(log.Entries), res.Total)
 	}
-	if log.Capacity >= 0 {
-		t.Errorf("capacity %d, want unbounded (<0)", log.Capacity)
+	// The full-signature mode is bounded at march.CaptureLimit, never
+	// unbounded — array-scale fault maps must not grow the log without
+	// limit.
+	if log.Capacity != march.CaptureLimit {
+		t.Errorf("capacity %d, want march.CaptureLimit %d", log.Capacity, march.CaptureLimit)
 	}
 	// Controller-side export matches the result.
 	if cl := c.FailLog(); len(cl.Entries) != len(log.Entries) || cl.Total != log.Total {
 		t.Errorf("controller log %d/%d, result log %d/%d",
 			len(cl.Entries), cl.Total, len(log.Entries), log.Total)
+	}
+}
+
+// TestFailHookSeesEveryMiscompare pins the streaming observer contract:
+// with a tiny capture depth, the hook still sees every miscompare while
+// the recorded log stays bounded.
+func TestFailHookSeesEveryMiscompare(t *testing.T) {
+	cond := process.Condition{Corner: process.FS, VDD: 1.0, TempC: 125}
+	s := sram.New()
+	s.SetRetention(sram.NewThresholdRetention(cond, 0.01))
+	c := New(compileMust(t, march.MarchMLZ()), s)
+	c.SetFailCapacity(8)
+	var seen int
+	c.SetFailHook(func(march.Failure) { seen++ })
+	res, err := c.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seen != res.Total {
+		t.Errorf("hook saw %d of %d miscompares", seen, res.Total)
+	}
+	if len(res.Failures) != 8 {
+		t.Errorf("recorded %d failures, want the capture depth 8", len(res.Failures))
 	}
 }
 

@@ -39,8 +39,7 @@ type FailLog struct {
 	Entries []march.Failure
 	// Total counts every miscompare, recorded or not.
 	Total int
-	// Capacity is the capture depth the log was recorded with
-	// (<0 = unbounded).
+	// Capacity is the capture depth the log was recorded with.
 	Capacity int
 }
 
@@ -51,10 +50,11 @@ func (l FailLog) Overflowed() bool { return l.Total > len(l.Entries) }
 // Controller is the BIST engine: a program sequencer, address counter,
 // background register, dwell counter, comparator and fail log.
 type Controller struct {
-	prog    *Program
-	mem     march.Memory
-	bg      uint64 // data background register
-	failCap int    // fail-capture depth (<0 = unbounded)
+	prog     *Program
+	mem      march.Memory
+	bg       uint64 // data background register
+	failCap  int    // fail-capture depth (always bounded; see SetFailCapacity)
+	failHook func(march.Failure)
 
 	state   State
 	pc      int // start instruction of the current element
@@ -80,17 +80,29 @@ func New(p *Program, m march.Memory) *Controller {
 func (c *Controller) SetBackground(w uint64) { c.bg = w }
 
 // SetFailCapacity resizes the fail-capture memory: n > 0 sets the depth,
-// n == 0 restores the default FailCapacity, n < 0 removes the bound
-// (every miscompare is recorded — the full-signature capture mode that
-// diagnosis needs, mirroring march.RunOptions.CaptureAll).
+// n == 0 restores the default FailCapacity, n < 0 selects the full-
+// signature capture mode that diagnosis needs (mirroring
+// march.RunOptions.CaptureAll). Like the software executor, the full
+// mode stays bounded at march.CaptureLimit — an array-scale fault map
+// where most cells miscompare only counts beyond the limit; streaming
+// consumers observe every miscompare through SetFailHook. Explicit
+// depths above the limit are clamped to it.
 func (c *Controller) SetFailCapacity(n int) {
 	switch {
 	case n == 0:
 		c.failCap = FailCapacity
+	case n < 0 || n > march.CaptureLimit:
+		c.failCap = march.CaptureLimit
 	default:
 		c.failCap = n
 	}
 }
+
+// SetFailHook installs a streaming observer called on every miscompare,
+// including those beyond the capture depth — the bounded-memory path
+// array-scale consumers (internal/faultmap) use to accumulate per-bit
+// detection maps without materializing the fail log.
+func (c *Controller) SetFailHook(fn func(march.Failure)) { c.failHook = fn }
 
 // FailLog exports the fail-capture memory observed so far.
 func (c *Controller) FailLog() FailLog {
@@ -229,10 +241,12 @@ func (c *Controller) advanceAddr(desc bool) bool {
 
 func (c *Controller) fail(op int, want, got uint64) {
 	c.total++
+	f := march.Failure{Element: c.elemOrd, OpIndex: op, Addr: c.addr, Expected: want, Got: got}
+	if c.failHook != nil {
+		c.failHook(f)
+	}
 	if c.failCap < 0 || len(c.failures) < c.failCap {
-		c.failures = append(c.failures, march.Failure{
-			Element: c.elemOrd, OpIndex: op, Addr: c.addr, Expected: want, Got: got,
-		})
+		c.failures = append(c.failures, f)
 	}
 }
 

@@ -102,12 +102,19 @@ func (in *Injector) Faults() []Fault { return in.faults }
 // Attach installs the combined hooks on the SRAM. It must be called after
 // any other SetHooks call (it replaces the hook set).
 func (in *Injector) Attach(s *sram.SRAM) {
-	s.SetHooks(sram.Hooks{
+	s.SetHooks(in.Hooks())
+}
+
+// Hooks returns the combined hook set without installing it, so callers
+// composing additional behavior (internal/faultmap's retention-decay
+// layer) can wrap individual hooks before SetHooks.
+func (in *Injector) Hooks() sram.Hooks {
+	return sram.Hooks{
 		StoreBit:        in.storeBit,
 		AfterWrite:      in.afterWrite,
 		ReadBit:         in.readBit,
 		PowerTransition: in.powerTransition,
-	})
+	}
 }
 
 // storeBit applies victim-local write faults.

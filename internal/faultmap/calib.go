@@ -1,0 +1,63 @@
+package faultmap
+
+import (
+	"math"
+	"math/rand"
+
+	"sramtest/internal/num"
+	"sramtest/internal/process"
+	"sramtest/internal/sweep"
+)
+
+// CalSamples is the number of exact DRV solves the calibration spends.
+// Each solve is a full bisection (~tens of ms on the production model),
+// so the calibration is deliberately small: it only needs the bulk
+// moments of the DRV distribution, not its tail — the tail is internal/
+// yield's business.
+const CalSamples = 48
+
+// Calib is the DRV calibration behind a corpus: the normal fit to the
+// per-cell DRV_DS1 distribution at the corpus condition, and the
+// per-bit, per-polarity retention-fault probability it implies at the
+// retention rail. It travels with every Partial; calibration is a pure,
+// sequential function of (model, cond, vref, seed), so every shard
+// computes the identical Calib and MergePartials verifies that instead
+// of trusting it.
+type Calib struct {
+	// Mu/Sigma are the sample mean and standard deviation of the DRV_DS1
+	// fit (V).
+	Mu    float64 `json:"mu"`
+	Sigma float64 `json:"sigma"`
+	// PDRF is the implied per-bit probability that one polarity fails at
+	// the rail: P(DRV > Vref) under the normal fit. By mirror symmetry
+	// the same probability applies to each polarity independently.
+	PDRF float64 `json:"pDRF"`
+	// Solves counts the exact DRV bisections spent.
+	Solves int64 `json:"solves"`
+}
+
+// calibrate fits the DRV normal from CalSamples exact solves drawn on
+// the reserved calibration stream (ChunkSeed chunk calibChunk, disjoint
+// from every map stream) and evaluates the rail tail probability.
+func calibrate(model Model, cond process.Condition, vref float64, seed int64) Calib {
+	rng := rand.New(rand.NewSource(sweep.ChunkSeed(seed, calibChunk)))
+	var sum, sum2 float64
+	for i := 0; i < CalSamples; i++ {
+		d := model.DRV1(process.RandomVariation(rng), cond)
+		sum += d
+		sum2 += d * d
+	}
+	n := float64(CalSamples)
+	mu := sum / n
+	variance := (sum2 - n*mu*mu) / (n - 1)
+	sigma := math.Sqrt(math.Max(variance, 0))
+	if sigma < 1e-9 {
+		sigma = 1e-9 // a degenerate (constant) model still calibrates
+	}
+	return Calib{
+		Mu:     mu,
+		Sigma:  sigma,
+		PDRF:   num.NormTail((vref - mu) / sigma),
+		Solves: CalSamples,
+	}
+}

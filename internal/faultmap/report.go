@@ -1,0 +1,89 @@
+package faultmap
+
+import (
+	"fmt"
+
+	"sramtest/internal/report"
+)
+
+// pct renders a coverage fraction as a percentage.
+func pct(v float64) string { return fmt.Sprintf("%.2f%%", 100*v) }
+
+// Summary renders the corpus composition and calibration as a
+// Quantity/Value table — the header block of an EXP-FM record. Every
+// cell is a pure function of the Result, so rendered bytes are
+// comparable across the CLI, the daemon, and a merged cluster run.
+func Summary(r Result) *report.Table {
+	t := report.NewTable("EXP-FM — correlated fault-map corpus", "Quantity", "Value")
+	t.AddRow("condition", r.Cond.String())
+	t.AddRow("retention rail", report.SI(r.Vref, "V"))
+	t.AddRow("maps", fmt.Sprintf("%d", r.Maps))
+	t.AddRow("seed", fmt.Sprintf("%d", r.Seed))
+	t.AddRow("engine", r.Engine)
+	t.AddRow("base defect rate", fmt.Sprintf("%.3g/bit", r.Defect))
+	t.AddRow("DRV fit", fmt.Sprintf("N(%.1f mV, %.1f mV), %d solves",
+		1e3*r.Calib.Mu, 1e3*r.Calib.Sigma, r.Calib.Solves))
+	t.AddRow("P(DRF per polarity)", fmt.Sprintf("%.3g/bit", r.Calib.PDRF))
+	t.AddRow("fault bits", fmt.Sprintf("%d (%.2f/map)", r.Bits, r.BitsPerMap))
+	for _, g := range Groups() {
+		var bits int64
+		for _, c := range GroupClasses(g) {
+			bits += r.ByClass[c]
+		}
+		t.AddRow("  "+g+" bits", fmt.Sprintf("%d", bits))
+	}
+	t.AddRow("corpus digest", r.Digest[:16])
+	return t
+}
+
+// RailCurve renders coverage vs retention rail, one row per Result (all
+// evaluated with the same test list): as the rail drops deeper into the
+// DRV tail the DRF population grows, dwell-free baselines bleed
+// coverage, and the dwelling March m-LZ holds — the EXP-FM sweep.
+func RailCurve(rows []Result) *report.Table {
+	headers := []string{"Rail", "Fault bits", "DRF bits"}
+	if len(rows) > 0 {
+		for _, tc := range rows[0].Tests {
+			headers = append(headers, tc.Name)
+		}
+	}
+	t := report.NewTable("EXP-FM — coverage vs retention rail", headers...)
+	for _, r := range rows {
+		row := []string{
+			report.SI(r.Vref, "V"),
+			fmt.Sprintf("%d", r.Bits),
+			fmt.Sprintf("%d", r.ByClass[ClassDRF0]+r.ByClass[ClassDRF1]),
+		}
+		for _, tc := range r.Tests {
+			row = append(row, pct(tc.Coverage))
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// Coverage renders the per-test coverage table of an EXP-FM record:
+// overall coverage plus the per-group split, one row per test. Groups
+// absent from the corpus render as "-".
+func Coverage(r Result) *report.Table {
+	headers := append([]string{"Test", "Coverage", "Detected"}, Groups()...)
+	headers = append(headers, "Full maps")
+	t := report.NewTable("EXP-FM — March coverage on correlated fault maps", headers...)
+	for _, tc := range r.Tests {
+		row := []string{
+			tc.Name,
+			pct(tc.Coverage),
+			fmt.Sprintf("%d/%d", tc.Detected, r.Bits),
+		}
+		for _, g := range Groups() {
+			if cov, ok := tc.GroupCoverage(r.ByClass, g); ok {
+				row = append(row, pct(cov))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		row = append(row, fmt.Sprintf("%d/%d", tc.CleanMaps, r.Maps))
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,121 @@
+package faultmap
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sramtest/internal/process"
+)
+
+// PartialVersion tags the Partial wire format; a merger refuses any
+// other version rather than silently misreading future fields.
+const PartialVersion = 1
+
+// Partial is one shard's share of a corpus evaluation: the job header,
+// the (shard-invariant) DRV calibration, and the per-chunk statistics
+// of the chunks the shard owns (index ≡ Shard mod Shards). All fields
+// are exact-roundtrip JSON, so a merged evaluation is byte-identical to
+// the unsharded run.
+type Partial struct {
+	Version int               `json:"version"`
+	Cond    process.Condition `json:"cond"`
+	Vref    float64           `json:"vref"`
+	Maps    int               `json:"maps"`
+	Seed    int64             `json:"seed"`
+	Defect  float64           `json:"defect"`
+	Engine  string            `json:"engine"`
+	Tests   []string          `json:"tests"`
+	Shards  int               `json:"shards"`
+	Shard   int               `json:"shard"`
+	Calib   Calib             `json:"calib"`
+	Chunks  []ChunkStat       `json:"chunks"`
+}
+
+// mergeHeader is the merge-identity of a partial: everything that must
+// agree across shards, in a comparable struct (the test list joined on
+// an unprintable separator).
+type mergeHeader struct {
+	Version int
+	Cond    process.Condition
+	Vref    float64
+	Maps    int
+	Seed    int64
+	Defect  float64
+	Engine  string
+	Tests   string
+	Shards  int
+	Calib   Calib
+}
+
+// header extracts the merge-identity of the partial.
+func (p Partial) header() mergeHeader {
+	return mergeHeader{
+		Version: p.Version,
+		Cond:    p.Cond,
+		Vref:    p.Vref,
+		Maps:    p.Maps,
+		Seed:    p.Seed,
+		Defect:  p.Defect,
+		Engine:  p.Engine,
+		Tests:   strings.Join(p.Tests, "\x1f"),
+		Shards:  p.Shards,
+		Calib:   p.Calib,
+	}
+}
+
+// MergePartials reassembles a full corpus evaluation from one partial
+// per shard. It verifies that every shard ran the same job (identical
+// header and calibration), that exactly the expected shards are
+// present, and that the union of chunks covers the corpus with no gap
+// or overlap — then reduces them through the same chunk-ordered
+// finalize as a local run, reproducing its bytes exactly.
+func MergePartials(parts []Partial) (Result, error) {
+	if len(parts) == 0 {
+		return Result{}, fmt.Errorf("%w: no partials to merge", ErrBadParams)
+	}
+	ref := parts[0]
+	if ref.Version != PartialVersion {
+		return Result{}, fmt.Errorf("%w: partial version %d, want %d", ErrBadParams, ref.Version, PartialVersion)
+	}
+	if len(parts) != ref.Shards {
+		return Result{}, fmt.Errorf("%w: %d partials for %d shards", ErrBadParams, len(parts), ref.Shards)
+	}
+
+	head := ref.header()
+	seen := make(map[int]bool, len(parts))
+	var chunks []ChunkStat
+	for _, p := range parts {
+		if p.header() != head {
+			return Result{}, fmt.Errorf("%w: shard %d disagrees on the job header or calibration", ErrBadParams, p.Shard)
+		}
+		if p.Shard < 0 || p.Shard >= ref.Shards || seen[p.Shard] {
+			return Result{}, fmt.Errorf("%w: bad or duplicate shard index %d", ErrBadParams, p.Shard)
+		}
+		seen[p.Shard] = true
+		for _, st := range p.Chunks {
+			if st.Chunk%ref.Shards != p.Shard {
+				return Result{}, fmt.Errorf("%w: shard %d reports foreign chunk %d", ErrBadParams, p.Shard, st.Chunk)
+			}
+			if len(st.Tests) != len(ref.Tests) {
+				return Result{}, fmt.Errorf("%w: chunk %d carries %d tallies for %d tests", ErrBadParams, st.Chunk, len(st.Tests), len(ref.Tests))
+			}
+		}
+		chunks = append(chunks, p.Chunks...)
+	}
+
+	sort.Slice(chunks, func(i, j int) bool { return chunks[i].Chunk < chunks[j].Chunk })
+	want := (ref.Maps + MapChunk - 1) / MapChunk
+	if len(chunks) != want {
+		return Result{}, fmt.Errorf("%w: merged %d chunks, want %d", ErrBadParams, len(chunks), want)
+	}
+	for i, st := range chunks {
+		if st.Chunk != i {
+			return Result{}, fmt.Errorf("%w: chunk %d missing from the merge", ErrBadParams, i)
+		}
+	}
+
+	merged := ref
+	merged.Shards, merged.Shard, merged.Chunks = 1, 0, chunks
+	return finalize(merged), nil
+}

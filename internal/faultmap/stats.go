@@ -1,0 +1,94 @@
+package faultmap
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Package-level counters in the idiom of internal/yield's: cumulative
+// since process start (or ResetStats), atomically updated, purely
+// observational. The daemon's /metrics endpoint exposes them so an
+// operator can watch corpus throughput and the health of the latest
+// evaluation without parsing job artifacts.
+var (
+	statRuns      atomic.Int64 // completed full corpus evaluations
+	statPartials  atomic.Int64 // completed shard partials
+	statMaps      atomic.Int64 // maps generated and evaluated
+	statFaultBits atomic.Int64 // fault bits across those maps
+	statDetected  atomic.Int64 // detected fault bits, summed over tests
+	statDropped   atomic.Int64 // miscompares beyond the bounded capture
+
+	// Last-run gauges (full evaluations only), stored as float64 bits.
+	statLastBest    atomic.Uint64 // best per-test coverage
+	statLastDensity atomic.Uint64 // fault bits per map
+)
+
+// FaultMapStats is a snapshot of the cumulative faultmap counters.
+type FaultMapStats struct {
+	Runs      int64 // completed full corpus evaluations
+	Partials  int64 // completed shard partials
+	Maps      int64 // maps generated and evaluated
+	FaultBits int64 // fault bits across those maps
+	Detected  int64 // detected fault bits, summed over tests
+	Dropped   int64 // miscompares beyond the bounded capture
+
+	LastBestCoverage float64 // best per-test coverage of the latest run
+	LastBitsPerMap   float64 // fault density of the latest run
+}
+
+// Stats returns a snapshot of the cumulative faultmap counters.
+func Stats() FaultMapStats {
+	return FaultMapStats{
+		Runs:             statRuns.Load(),
+		Partials:         statPartials.Load(),
+		Maps:             statMaps.Load(),
+		FaultBits:        statFaultBits.Load(),
+		Detected:         statDetected.Load(),
+		Dropped:          statDropped.Load(),
+		LastBestCoverage: math.Float64frombits(statLastBest.Load()),
+		LastBitsPerMap:   math.Float64frombits(statLastDensity.Load()),
+	}
+}
+
+// ResetStats zeroes all faultmap counters (test/benchmark hygiene).
+func ResetStats() {
+	statRuns.Store(0)
+	statPartials.Store(0)
+	statMaps.Store(0)
+	statFaultBits.Store(0)
+	statDetected.Store(0)
+	statDropped.Store(0)
+	statLastBest.Store(0)
+	statLastDensity.Store(0)
+}
+
+// countRun folds a completed full evaluation into the counters.
+func countRun(r Result) {
+	statRuns.Add(1)
+	statMaps.Add(int64(r.Maps))
+	statFaultBits.Add(r.Bits)
+	best := 0.0
+	for _, t := range r.Tests {
+		statDetected.Add(t.Detected)
+		statDropped.Add(t.Dropped)
+		if t.Coverage > best {
+			best = t.Coverage
+		}
+	}
+	statLastBest.Store(math.Float64bits(best))
+	statLastDensity.Store(math.Float64bits(r.BitsPerMap))
+}
+
+// countPartial folds a completed shard partial into the counters. The
+// last-run gauges are left to full (merged) evaluations.
+func countPartial(p Partial) {
+	statPartials.Add(1)
+	for _, st := range p.Chunks {
+		statMaps.Add(int64(st.Maps))
+		statFaultBits.Add(st.Bits)
+		for _, t := range st.Tests {
+			statDetected.Add(t.Detected)
+			statDropped.Add(t.Dropped)
+		}
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 
 	"sramtest/internal/charac"
 	"sramtest/internal/diag"
@@ -13,6 +14,8 @@ import (
 	_ "sramtest/internal/engine/surrogate" // spec engine "surrogate"
 	_ "sramtest/internal/engine/tiered"    // spec engine "tiered"
 	"sramtest/internal/exp"
+	"sramtest/internal/faultmap"
+	"sramtest/internal/march"
 	"sramtest/internal/process"
 	"sramtest/internal/regulator"
 	"sramtest/internal/testflow"
@@ -57,8 +60,72 @@ func Run(ctx context.Context, spec Spec) ([]byte, error) {
 		return runDiag(ctx, spec, eng)
 	case KindYield:
 		return runYield(ctx, spec)
+	case KindFaultMap:
+		return runFaultMap(ctx, spec)
 	}
 	return nil, fmt.Errorf("%w: unknown kind %q", ErrBadSpec, spec.Kind)
+}
+
+// runFaultMap generates the correlated fault-map corpus at the fixed
+// Monte-Carlo condition and evaluates March coverage against it. A
+// whole run renders the EXP-FM summary and coverage tables (identical
+// to `faultmap` CLI output); a shard job (Shards > 1) emits the
+// mergeable faultmap.Partial JSON artifact the cluster fan-out
+// reassembles with faultmap.MergePartials. Like KindExp and KindYield,
+// the corpus samples the cell model directly and ignores the engine
+// field (the sub-spec's BIST switch selects the coverage evaluator, not
+// the simulation backend).
+func runFaultMap(ctx context.Context, spec Spec) ([]byte, error) {
+	f := spec.FaultMap
+	p := faultmap.Params{
+		Maps:   f.Maps,
+		Seed:   f.Seed,
+		Cond:   mcCondition,
+		Vref:   f.Vref,
+		Defect: f.Defect,
+		Shards: f.Shards,
+		Shard:  f.Shard,
+	}
+	for _, name := range f.Tests {
+		t, ok := march.ByName(name)
+		if !ok {
+			return nil, fmt.Errorf("%w: unknown March test %q", ErrBadSpec, name)
+		}
+		p.Tests = append(p.Tests, t)
+	}
+	if f.BIST {
+		p.Engine = faultmap.EngineBIST
+	}
+	if f.RandomOps > 0 {
+		p.Random = []march.RandomSpec{faultmap.DefaultRandom(f.RandomOps, f.Seed)}
+	}
+	if f.Shards > 1 {
+		part, err := faultmap.ShardPartial(ctx, p)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(part)
+	}
+	res, err := faultmap.Estimate(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	for _, t := range []interface {
+		Write(w io.Writer) error
+		WriteCSV(w io.Writer) error
+	}{faultmap.Summary(res), faultmap.Coverage(res)} {
+		if spec.CSV {
+			err = t.WriteCSV(&buf)
+		} else {
+			err = t.Write(&buf)
+		}
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(&buf) // match cmd/faultmap's blank line after each table
+	}
+	return buf.Bytes(), nil
 }
 
 // runYield estimates the rare-event retention yield at the fixed

@@ -12,6 +12,8 @@ import (
 
 	"sramtest/internal/charac"
 	"sramtest/internal/exp"
+	"sramtest/internal/faultmap"
+	"sramtest/internal/march"
 	"sramtest/internal/regulator"
 	"sramtest/internal/sweep"
 	"sramtest/internal/yield"
@@ -85,6 +87,9 @@ func TestRunWorkerInvariance(t *testing.T) {
 		"exp":      {Kind: KindExp, Exp: &ExpSpec{Samples: 96, Seed: 99}},
 		"testflow": {Kind: KindTestFlow, TestFlow: &TestFlowSpec{Defects: []int{16}}},
 		"yield":    {Kind: KindYield, Yield: &YieldSpec{Samples: 64, Vref: 0.34}},
+		"faultmap": {Kind: KindFaultMap, FaultMap: &FaultMapSpec{
+			Maps: 8, Tests: []string{"March m-LZ", "March C-"},
+		}},
 	}
 	for name, spec := range specs {
 		t.Run(name, func(t *testing.T) {
@@ -172,6 +177,89 @@ func TestYieldShardJobsMerge(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	if err := yield.Report(merged).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(&buf)
+	if !bytes.Equal(whole, buf.Bytes()) {
+		t.Errorf("merged shard report differs from the whole job:\n--- whole ---\n%s\n--- merged ---\n%s", whole, buf.Bytes())
+	}
+}
+
+// TestFaultMapJobMatchesCLIBytes pins the faultmap job to the exact
+// bytes cmd/faultmap writes: Estimate → Summary table → blank line →
+// Coverage table → blank line, at the fixed Monte-Carlo condition.
+func TestFaultMapJobMatchesCLIBytes(t *testing.T) {
+	spec := Spec{Kind: KindFaultMap, FaultMap: &FaultMapSpec{
+		Maps: 8, Tests: []string{"March m-LZ", "March C-"}, RandomOps: 2000,
+	}}
+	got, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The CLI path, spelled out literally.
+	mlz, _ := march.ByName("March m-LZ")
+	cm, _ := march.ByName("March C-")
+	res, err := faultmap.Estimate(context.Background(), faultmap.Params{
+		Maps:   8,
+		Seed:   2013,
+		Cond:   mcCondition,
+		Vref:   faultmap.DefaultVref,
+		Defect: faultmap.DefaultDefect,
+		Tests:  []march.Test{mlz, cm},
+		Random: []march.RandomSpec{faultmap.DefaultRandom(2000, 2013)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := faultmap.Summary(res).Write(&want); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(&want)
+	if err := faultmap.Coverage(res).Write(&want); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(&want)
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("job bytes differ from the CLI path:\n--- job ---\n%s\n--- cli ---\n%s", got, want.Bytes())
+	}
+	if !bytes.Contains(got, []byte("EXP-FM")) || !bytes.Contains(got, []byte("random(2000)")) {
+		t.Errorf("implausible result:\n%s", got)
+	}
+}
+
+// TestFaultMapShardJobsMerge runs the faultmap cluster fan-out shape end
+// to end at the jobs layer: two shard jobs emit Partial JSON, the merged
+// result renders byte-identically to the equivalent whole-corpus job.
+func TestFaultMapShardJobsMerge(t *testing.T) {
+	sub := FaultMapSpec{Maps: 16, Tests: []string{"March m-LZ", "March C-"}}
+	whole, err := Run(context.Background(), Spec{Kind: KindFaultMap, FaultMap: &sub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([]faultmap.Partial, 2)
+	for s := 0; s < 2; s++ {
+		shard := sub
+		shard.Shards, shard.Shard = 2, s
+		raw, err := Run(context.Background(), Spec{Kind: KindFaultMap, FaultMap: &shard})
+		if err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+		if err := json.Unmarshal(raw, &parts[s]); err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+	}
+	merged, err := faultmap.MergePartials(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := faultmap.Summary(merged).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(&buf)
+	if err := faultmap.Coverage(merged).Write(&buf); err != nil {
 		t.Fatal(err)
 	}
 	fmt.Fprintln(&buf)

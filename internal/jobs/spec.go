@@ -15,6 +15,8 @@ import (
 
 	"sramtest/internal/diag"
 	"sramtest/internal/engine"
+	"sramtest/internal/faultmap"
+	"sramtest/internal/march"
 	"sramtest/internal/regulator"
 	"sramtest/internal/store"
 	"sramtest/internal/yield"
@@ -35,6 +37,9 @@ const (
 	KindDiag Kind = "diag"
 	// KindYield is the rare-event retention-yield estimate (cmd/yield).
 	KindYield Kind = "yield"
+	// KindFaultMap is the correlated fault-map coverage evaluation
+	// (cmd/faultmap).
+	KindFaultMap Kind = "faultmap"
 )
 
 // ErrBadSpec marks submission-time validation failures (HTTP 400).
@@ -68,6 +73,8 @@ type Spec struct {
 	// Yield is appended after the original sub-specs: the canonical field
 	// order is append-only (see the struct comment).
 	Yield *YieldSpec `json:"yield,omitempty"`
+	// FaultMap is appended after Yield (append-only field order).
+	FaultMap *FaultMapSpec `json:"faultmap,omitempty"`
 }
 
 // CharacSpec parameterizes a Table II characterization, mirroring
@@ -137,6 +144,45 @@ type YieldSpec struct {
 	Shard  int `json:"shard,omitempty"`
 }
 
+// FaultMapSpec parameterizes a correlated fault-map coverage evaluation,
+// mirroring cmd/faultmap's flags. Like KindExp and KindYield, the corpus
+// is generated at the fixed Monte-Carlo condition (FS, 1.1 V, 125 °C).
+type FaultMapSpec struct {
+	// Maps is the corpus size (total across all shards); 0 selects
+	// faultmap.DefaultMaps.
+	Maps int `json:"maps"`
+	// Seed of the derived per-map rand streams; 0 selects the fixed seed
+	// 2013.
+	Seed int64 `json:"seed"`
+	// Vref is the deep-sleep retention rail (V); 0 selects
+	// faultmap.DefaultVref. Must not be negative.
+	Vref float64 `json:"vref"`
+	// Defect is the per-bit base probability of each static fault class;
+	// 0 selects faultmap.DefaultDefect. Must not be negative.
+	Defect float64 `json:"defect"`
+	// Tests selects March algorithms by exact library name, evaluated
+	// (and reported) in the given order; empty = the whole library. The
+	// order is semantic — reorderings are distinct jobs — so it is
+	// validated, not sorted.
+	Tests []string `json:"tests,omitempty"`
+	// RandomOps, when positive, adds the canonical dwelling
+	// constrained-random stream of that many operations alongside the
+	// March tests (faultmap.DefaultRandom).
+	RandomOps int `json:"randomOps,omitempty"`
+	// BIST evaluates through the compiled on-chip BIST engine instead of
+	// the software March executor.
+	BIST bool `json:"bist,omitempty"`
+	// Shards/Shard select one shard of a cluster fan-out: the job covers
+	// only the map chunks with index ≡ Shard (mod Shards) and emits a
+	// mergeable JSON partial (faultmap.Partial) instead of the report
+	// tables. Shards <= 1 normalizes to the omitted whole-corpus form.
+	Shards int `json:"shards,omitempty"`
+	Shard  int `json:"shard,omitempty"`
+}
+
+// maxRandomOps caps one job's random stream.
+const maxRandomOps = 1 << 22
+
 // defaultSeed is cmd/drv's hard-coded Monte-Carlo seed.
 const defaultSeed = 2013
 
@@ -155,7 +201,7 @@ func (s Spec) Normalize() (Spec, error) {
 	}
 	switch s.Kind {
 	case KindCharac:
-		if s.Exp != nil || s.TestFlow != nil || s.Diag != nil || s.Yield != nil {
+		if s.Exp != nil || s.TestFlow != nil || s.Diag != nil || s.Yield != nil || s.FaultMap != nil {
 			return Spec{}, fmt.Errorf("%w: kind %q with mismatched sub-spec", ErrBadSpec, s.Kind)
 		}
 		c := CharacSpec{}
@@ -171,7 +217,7 @@ func (s Spec) Normalize() (Spec, error) {
 		}
 		out.Charac = &c
 	case KindExp:
-		if s.Charac != nil || s.TestFlow != nil || s.Diag != nil || s.Yield != nil {
+		if s.Charac != nil || s.TestFlow != nil || s.Diag != nil || s.Yield != nil || s.FaultMap != nil {
 			return Spec{}, fmt.Errorf("%w: kind %q with mismatched sub-spec", ErrBadSpec, s.Kind)
 		}
 		if s.Exp == nil {
@@ -189,7 +235,7 @@ func (s Spec) Normalize() (Spec, error) {
 		}
 		out.Exp = &e
 	case KindTestFlow:
-		if s.Charac != nil || s.Exp != nil || s.Diag != nil || s.Yield != nil {
+		if s.Charac != nil || s.Exp != nil || s.Diag != nil || s.Yield != nil || s.FaultMap != nil {
 			return Spec{}, fmt.Errorf("%w: kind %q with mismatched sub-spec", ErrBadSpec, s.Kind)
 		}
 		f := TestFlowSpec{}
@@ -202,7 +248,7 @@ func (s Spec) Normalize() (Spec, error) {
 		}
 		out.TestFlow = &f
 	case KindDiag:
-		if s.Charac != nil || s.Exp != nil || s.TestFlow != nil || s.Yield != nil {
+		if s.Charac != nil || s.Exp != nil || s.TestFlow != nil || s.Yield != nil || s.FaultMap != nil {
 			return Spec{}, fmt.Errorf("%w: kind %q with mismatched sub-spec", ErrBadSpec, s.Kind)
 		}
 		if s.CSV {
@@ -224,7 +270,7 @@ func (s Spec) Normalize() (Spec, error) {
 		}
 		out.Diag = &dg
 	case KindYield:
-		if s.Charac != nil || s.Exp != nil || s.TestFlow != nil || s.Diag != nil {
+		if s.Charac != nil || s.Exp != nil || s.TestFlow != nil || s.Diag != nil || s.FaultMap != nil {
 			return Spec{}, fmt.Errorf("%w: kind %q with mismatched sub-spec", ErrBadSpec, s.Kind)
 		}
 		if s.Yield == nil {
@@ -263,6 +309,55 @@ func (s Spec) Normalize() (Spec, error) {
 			}
 		}
 		out.Yield = &y
+	case KindFaultMap:
+		if s.Charac != nil || s.Exp != nil || s.TestFlow != nil || s.Diag != nil || s.Yield != nil {
+			return Spec{}, fmt.Errorf("%w: kind %q with mismatched sub-spec", ErrBadSpec, s.Kind)
+		}
+		fm := FaultMapSpec{}
+		if s.FaultMap != nil {
+			fm = *s.FaultMap
+		}
+		if fm.Maps < 0 {
+			return Spec{}, fmt.Errorf("%w: faultmap.maps = %d, want >= 0", ErrBadSpec, fm.Maps)
+		}
+		if fm.Maps == 0 {
+			fm.Maps = faultmap.DefaultMaps
+		}
+		if fm.Maps > faultmap.MaxMaps {
+			return Spec{}, fmt.Errorf("%w: faultmap.maps = %d exceeds the %d cap", ErrBadSpec, fm.Maps, faultmap.MaxMaps)
+		}
+		if fm.Seed == 0 {
+			fm.Seed = defaultSeed
+		}
+		if fm.Vref < 0 {
+			return Spec{}, fmt.Errorf("%w: faultmap.vref = %g, want >= 0", ErrBadSpec, fm.Vref)
+		}
+		if fm.Vref == 0 {
+			fm.Vref = faultmap.DefaultVref
+		}
+		if fm.Defect < 0 {
+			return Spec{}, fmt.Errorf("%w: faultmap.defect = %g, want >= 0", ErrBadSpec, fm.Defect)
+		}
+		if fm.Defect == 0 {
+			fm.Defect = faultmap.DefaultDefect
+		}
+		if fm.Tests, err = normalizeMarchTests(fm.Tests); err != nil {
+			return Spec{}, err
+		}
+		if fm.RandomOps < 0 || fm.RandomOps > maxRandomOps {
+			return Spec{}, fmt.Errorf("%w: faultmap.randomOps = %d not in [0, %d]", ErrBadSpec, fm.RandomOps, maxRandomOps)
+		}
+		if fm.Shards <= 1 {
+			fm.Shards, fm.Shard = 0, 0
+		} else {
+			if fm.Shard < 0 || fm.Shard >= fm.Shards {
+				return Spec{}, fmt.Errorf("%w: faultmap.shard = %d not in [0, %d)", ErrBadSpec, fm.Shard, fm.Shards)
+			}
+			if s.CSV {
+				return Spec{}, fmt.Errorf("%w: sharded faultmap jobs emit a JSON partial, csv does not apply", ErrBadSpec)
+			}
+		}
+		out.FaultMap = &fm
 	default:
 		return Spec{}, fmt.Errorf("%w: unknown kind %q", ErrBadSpec, s.Kind)
 	}
@@ -316,6 +411,33 @@ func normalizeDecades(rs []float64) ([]float64, error) {
 	}
 	sort.Float64s(out)
 	return out, nil
+}
+
+// normalizeMarchTests validates a March algorithm selection against the
+// library; empty expands to the full library in its canonical order, so
+// the default and its explicit spelling share one cache key. Order is
+// preserved (it is the evaluation and report order); duplicates are
+// rejected rather than deduped because a repeat is always a mistake.
+func normalizeMarchTests(names []string) ([]string, error) {
+	if len(names) == 0 {
+		lib := march.Library()
+		out := make([]string, len(lib))
+		for i, t := range lib {
+			out[i] = t.Name
+		}
+		return out, nil
+	}
+	seen := map[string]bool{}
+	for _, n := range names {
+		if _, ok := march.ByName(n); !ok {
+			return nil, fmt.Errorf("%w: unknown March test %q", ErrBadSpec, n)
+		}
+		if seen[n] {
+			return nil, fmt.Errorf("%w: duplicate March test %q", ErrBadSpec, n)
+		}
+		seen[n] = true
+	}
+	return append([]string(nil), names...), nil
 }
 
 // normalizeCaseStudies validates, sorts and dedupes case-study indices;

@@ -142,6 +142,20 @@ func TestNormalizeRejectsBadSpecs(t *testing.T) {
 		{Kind: KindYield, CSV: true, Yield: &YieldSpec{Samples: 64, Shards: 4}},
 		{Kind: KindYield, Yield: &YieldSpec{Samples: 64}, Exp: &ExpSpec{Samples: 1}},
 		{Kind: KindExp, Exp: &ExpSpec{Samples: 1}, Yield: &YieldSpec{Samples: 64}},
+		{Kind: KindFaultMap, FaultMap: &FaultMapSpec{Maps: -1}},
+		{Kind: KindFaultMap, FaultMap: &FaultMapSpec{Maps: 1 << 21}},
+		{Kind: KindFaultMap, FaultMap: &FaultMapSpec{Vref: -0.1}},
+		{Kind: KindFaultMap, FaultMap: &FaultMapSpec{Defect: -1e-5}},
+		{Kind: KindFaultMap, FaultMap: &FaultMapSpec{Tests: []string{"March X"}}},
+		{Kind: KindFaultMap, FaultMap: &FaultMapSpec{Tests: []string{"March m-LZ", "March m-LZ"}}},
+		{Kind: KindFaultMap, FaultMap: &FaultMapSpec{RandomOps: -1}},
+		{Kind: KindFaultMap, FaultMap: &FaultMapSpec{RandomOps: 1 << 23}},
+		{Kind: KindFaultMap, FaultMap: &FaultMapSpec{Shards: 4, Shard: 4}},
+		{Kind: KindFaultMap, FaultMap: &FaultMapSpec{Shards: 4, Shard: -1}},
+		{Kind: KindFaultMap, CSV: true, FaultMap: &FaultMapSpec{Shards: 4}},
+		{Kind: KindFaultMap, Yield: &YieldSpec{Samples: 64}},
+		{Kind: KindYield, Yield: &YieldSpec{Samples: 64}, FaultMap: &FaultMapSpec{}},
+		{Kind: KindCharac, FaultMap: &FaultMapSpec{}},
 	}
 	for i, s := range bad {
 		if _, err := s.Normalize(); !errors.Is(err, ErrBadSpec) {
@@ -195,6 +209,45 @@ func TestYieldSpecsShareKeys(t *testing.T) {
 	d := Spec{Kind: KindYield, Yield: &YieldSpec{Samples: 64, Shards: 2, Shard: 1}}
 	if kd, _ := d.Key(); kd == ka {
 		t.Error("a shard job must not share the whole estimate's key")
+	}
+}
+
+func TestFaultMapSpecsShareKeys(t *testing.T) {
+	// The bare default and the fully explicit spelling of the defaults
+	// (256 maps, seed 2013, the whole March library) must land on one
+	// cache key.
+	a := Spec{Kind: KindFaultMap}
+	b := Spec{Kind: KindFaultMap, FaultMap: &FaultMapSpec{
+		Maps: 256, Seed: 2013, Vref: 0.40, Defect: 2e-5,
+		Tests: []string{"MATS+", "March C-", "March SS", "March LZ", "March m-LZ"},
+	}}
+	ka, err := a.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := b.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Error("default faultmap spec and explicit spelling must share a cache key")
+	}
+	// Test order is semantic (evaluation and report order), so a
+	// reordered selection is a different job.
+	c := Spec{Kind: KindFaultMap, FaultMap: &FaultMapSpec{Tests: []string{"March m-LZ", "March C-"}}}
+	d := Spec{Kind: KindFaultMap, FaultMap: &FaultMapSpec{Tests: []string{"March C-", "March m-LZ"}}}
+	kc, _ := c.Key()
+	kd, _ := d.Key()
+	if kc == kd {
+		t.Error("reordered test selections must not share a cache key")
+	}
+	e := Spec{Kind: KindFaultMap, FaultMap: &FaultMapSpec{Shards: 2, Shard: 1}}
+	if ke, _ := e.Key(); ke == ka {
+		t.Error("a shard job must not share the whole corpus's key")
+	}
+	f := Spec{Kind: KindFaultMap, FaultMap: &FaultMapSpec{BIST: true}}
+	if kf, _ := f.Key(); kf == ka {
+		t.Error("the BIST evaluator must not share the software executor's key")
 	}
 }
 

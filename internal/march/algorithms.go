@@ -106,3 +106,14 @@ func MarchMLZ() Test {
 func Library() []Test {
 	return []Test{MATSPlus(), MarchCMinus(), MarchSS(), MarchLZ(), MarchMLZ()}
 }
+
+// ByName resolves a library algorithm by its exact Name, for callers
+// that select tests from string-typed specs (jobs, CLIs).
+func ByName(name string) (Test, bool) {
+	for _, t := range Library() {
+		if t.Name == name {
+			return t, true
+		}
+	}
+	return Test{}, false
+}

@@ -61,9 +61,12 @@ func RunAllBackgrounds(t Test, fresh func() Memory, bgs []BackgroundFunc) (Repor
 		merged.Ops += rep.Ops
 		merged.TestTime += rep.TestTime
 		merged.TotalMiscompares += rep.TotalMiscompares
+		merged.DroppedFailures += rep.DroppedFailures
 		for _, f := range rep.Failures {
 			if len(merged.Failures) < maxRecordedFailures {
 				merged.Failures = append(merged.Failures, f)
+			} else {
+				merged.DroppedFailures++
 			}
 		}
 	}
@@ -78,11 +81,38 @@ type RunOptions struct {
 	// AddrMap(i). It must be a bijection on [0, Size). nil = identity
 	// (fast-column order for the studied layout).
 	AddrMap func(i int) int
-	// CaptureAll lifts the maxRecordedFailures cap so every failing
-	// operation is recorded, not just the first 64 — the full failure
-	// map that diagnosis signatures are built from (internal/diag).
-	// Pass/fail semantics (Detected, TotalMiscompares) are unchanged.
+	// CaptureAll raises the failure-recording cap from the default 64 to
+	// CaptureLimit — the full failure map that diagnosis signatures are
+	// built from (internal/diag). The capture stays bounded even on
+	// array-scale fault maps: miscompares beyond the limit are counted
+	// in TotalMiscompares and DroppedFailures but not recorded. Pass/
+	// fail semantics (Detected, TotalMiscompares) are unchanged.
 	CaptureAll bool
+	// FailureCap overrides the recording cap explicitly (> 0). 0 selects
+	// the default (64, or CaptureLimit under CaptureAll); values above
+	// CaptureLimit are clamped to it — no option spells unbounded growth.
+	FailureCap int
+	// OnFailure, when non-nil, observes every miscompare as it happens,
+	// including those beyond the recording cap. It is the bounded-memory
+	// path for array-scale consumers (internal/faultmap accumulates
+	// per-bit detection maps here without materializing the failure
+	// list).
+	OnFailure func(Failure)
+}
+
+// failureCap resolves the effective recording cap of the options.
+func (o RunOptions) failureCap() int {
+	cap := maxRecordedFailures
+	if o.CaptureAll {
+		cap = CaptureLimit
+	}
+	if o.FailureCap > 0 {
+		cap = o.FailureCap
+	}
+	if cap > CaptureLimit {
+		cap = CaptureLimit
+	}
+	return cap
 }
 
 // RunWith executes the test with explicit options; Run is the solid
@@ -100,10 +130,7 @@ func RunWith(t Test, m Memory, opts RunOptions) (Report, error) {
 		amap = func(i int) int { return i }
 	}
 	rep := Report{Test: t}
-	failCap := maxRecordedFailures
-	if opts.CaptureAll {
-		failCap = -1 // unbounded
-	}
+	failCap := opts.failureCap()
 	n := m.Size()
 	for ei, e := range t.Elems {
 		if e.IsMode() {
@@ -150,10 +177,14 @@ func RunWith(t Test, m Memory, opts RunOptions) (Report, error) {
 					}
 					if got != want {
 						rep.TotalMiscompares++
-						if failCap < 0 || len(rep.Failures) < failCap {
-							rep.Failures = append(rep.Failures, Failure{
-								Element: ei, OpIndex: oi, Addr: addr, Expected: want, Got: got,
-							})
+						f := Failure{Element: ei, OpIndex: oi, Addr: addr, Expected: want, Got: got}
+						if opts.OnFailure != nil {
+							opts.OnFailure(f)
+						}
+						if len(rep.Failures) < failCap {
+							rep.Failures = append(rep.Failures, f)
+						} else {
+							rep.DroppedFailures++
 						}
 					}
 				}

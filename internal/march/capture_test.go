@@ -1,0 +1,73 @@
+package march
+
+import (
+	"testing"
+
+	"sramtest/internal/sram"
+)
+
+// saf1Array returns a 4K×64 array where every cell is stuck at 1 — the
+// densest failure map a March run can produce, the regression workload
+// for bounded capture. The whole-array fault is injected through the
+// word-level hooks directly (a per-cell fault.Injector list would make
+// the hook scan quadratic at this scale).
+func saf1Array() *sram.SRAM {
+	s := sram.New()
+	s.SetHooks(sram.Hooks{
+		StoreBit: func(_ *sram.SRAM, _, _ int, _, _ bool) bool { return true },
+		ReadBit:  func(_ *sram.SRAM, _, _ int, _ bool) bool { return true },
+	})
+	return s
+}
+
+// TestCaptureAllBoundedOnArrayScaleFailures pins the array-scale memory
+// contract of the fail capture: a 4K×64 map where every cell is stuck
+// at 1 drives March SS to ~53k miscompares, and CaptureAll must record
+// at most CaptureLimit of them while counting the rest in
+// DroppedFailures — bounded memory instead of unbounded growth.
+func TestCaptureAllBoundedOnArrayScaleFailures(t *testing.T) {
+	rep, err := RunWith(MarchSS(), saf1Array(), RunOptions{CaptureAll: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalMiscompares <= CaptureLimit {
+		t.Fatalf("workload too light for the regression: %d miscompares <= CaptureLimit %d",
+			rep.TotalMiscompares, CaptureLimit)
+	}
+	if len(rep.Failures) != CaptureLimit {
+		t.Errorf("recorded %d failures, want exactly CaptureLimit %d", len(rep.Failures), CaptureLimit)
+	}
+	if !rep.Overflowed() {
+		t.Error("overflow not flagged")
+	}
+	if got, want := rep.DroppedFailures, rep.TotalMiscompares-CaptureLimit; got != want {
+		t.Errorf("DroppedFailures = %d, want TotalMiscompares-CaptureLimit = %d", got, want)
+	}
+}
+
+// TestFailureCapOverride pins the explicit cap: recording stops at the
+// cap, counting and the streaming observer do not.
+func TestFailureCapOverride(t *testing.T) {
+	var streamed int
+	rep, err := RunWith(MATSPlus(), saf1Array(), RunOptions{
+		CaptureAll: true,
+		FailureCap: 10,
+		OnFailure:  func(Failure) { streamed++ },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Failures) != 10 {
+		t.Errorf("recorded %d failures, want the explicit cap 10", len(rep.Failures))
+	}
+	if streamed != rep.TotalMiscompares {
+		t.Errorf("OnFailure saw %d of %d miscompares", streamed, rep.TotalMiscompares)
+	}
+	if rep.DroppedFailures != rep.TotalMiscompares-10 {
+		t.Errorf("DroppedFailures = %d, want %d", rep.DroppedFailures, rep.TotalMiscompares-10)
+	}
+	// A cap above the limit is clamped, never unbounded.
+	if got := (RunOptions{FailureCap: CaptureLimit * 4}).failureCap(); got != CaptureLimit {
+		t.Errorf("failureCap(%d) = %d, want clamp to %d", CaptureLimit*4, got, CaptureLimit)
+	}
+}

@@ -1,0 +1,158 @@
+package march
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// RandomSpec configures a constrained-random memory test: a seeded
+// stream of randomized poke/expect operations in the style of the
+// `fault` framework's SRAMTester loops — write a random word to a
+// random address, read a random address and expect the value a
+// fault-free memory would hold. A shadow copy of the expected contents
+// supplies the per-operation expectation, so any fault that corrupts a
+// subsequently read cell is flagged exactly where it is observed.
+//
+// The run is a pure function of the spec: the same (Seed, Ops, knobs)
+// replays the identical operation stream against any Memory, which
+// makes random escapes reproducible — report the spec, not the trace.
+// Deterministic March tests and the random harness are complementary:
+// March guarantees class coverage by construction, the random stream
+// estimates what an unconstrained workload would catch (internal/
+// faultmap reports both side by side).
+type RandomSpec struct {
+	// Name labels the run's Report (default "random(N)").
+	Name string
+	// Ops is the number of poke/expect operations after the randomized
+	// initialization pass; must be >= 1.
+	Ops int
+	// Seed drives the operation stream (addresses, data, op mix).
+	Seed int64
+	// ProbWrite is the probability an operation is a write (default 0.5).
+	ProbWrite float64
+	// Prob1 is the per-bit probability of a '1' in random data words —
+	// the randomized data background (default 0.5).
+	Prob1 float64
+	// DwellEvery inserts a deep-sleep entry/wake pair every DwellEvery
+	// operations, sensitizing retention faults mid-stream (0 disables;
+	// the paper's DRF_DS needs at least one dwell to ever be observed).
+	DwellEvery int
+	// Dwell is the deep-sleep residence time of each entry (0 selects
+	// DefaultDwell).
+	Dwell float64
+}
+
+// WithDefaults validates the spec and fills the defaulted fields in —
+// exported so corpus evaluators (internal/faultmap) can resolve the
+// run's Name without executing it.
+func (s RandomSpec) WithDefaults() (RandomSpec, error) {
+	if s.Ops < 1 {
+		return s, fmt.Errorf("march: random spec needs ops >= 1 (got %d)", s.Ops)
+	}
+	if s.Name == "" {
+		s.Name = fmt.Sprintf("random(%d)", s.Ops)
+	}
+	if s.ProbWrite <= 0 || s.ProbWrite >= 1 {
+		s.ProbWrite = 0.5
+	}
+	if s.Prob1 <= 0 || s.Prob1 >= 1 {
+		s.Prob1 = 0.5
+	}
+	if s.Dwell <= 0 {
+		s.Dwell = DefaultDwell
+	}
+	return s, nil
+}
+
+// randWord draws one data word with independent P(bit=1) = prob1. The
+// balanced default takes one rng draw; biased backgrounds pay 64.
+func randWord(rng *rand.Rand, prob1 float64) uint64 {
+	if prob1 == 0.5 {
+		return rng.Uint64()
+	}
+	var w uint64
+	for b := 0; b < 64; b++ {
+		if rng.Float64() < prob1 {
+			w |= 1 << uint(b)
+		}
+	}
+	return w
+}
+
+// RunRandom executes the constrained-random test against the memory
+// with default capture options. The memory must be in ACT mode.
+func RunRandom(spec RandomSpec, m Memory) (Report, error) {
+	return RunRandomWith(spec, m, RunOptions{})
+}
+
+// RunRandomWith is RunRandom with explicit capture options. Only the
+// failure-capture fields apply (CaptureAll, FailureCap, OnFailure);
+// Background and AddrMap are the randomized stream's own business and
+// are ignored. Failure.Element records the operation index within the
+// stream (the initialization pass is element -1), OpIndex is 0.
+func RunRandomWith(spec RandomSpec, m Memory, opts RunOptions) (Report, error) {
+	spec, err := spec.WithDefaults()
+	if err != nil {
+		return Report{}, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	n := m.Size()
+	rep := Report{Test: Test{Name: spec.Name, Dwell: spec.Dwell}}
+	failCap := opts.failureCap()
+	record := func(f Failure) {
+		rep.TotalMiscompares++
+		if opts.OnFailure != nil {
+			opts.OnFailure(f)
+		}
+		if len(rep.Failures) < failCap {
+			rep.Failures = append(rep.Failures, f)
+		} else {
+			rep.DroppedFailures++
+		}
+	}
+
+	// Initialization pass: every word gets a fresh random background, so
+	// the expected contents are themselves a randomized pattern (not a
+	// solid value some fault classes never disturb).
+	shadow := make([]uint64, n)
+	for addr := 0; addr < n; addr++ {
+		w := randWord(rng, spec.Prob1)
+		if err := m.Write(addr, w); err != nil {
+			return rep, fmt.Errorf("march: %s init @%d: %w", spec.Name, addr, err)
+		}
+		shadow[addr] = w
+		rep.Ops++
+	}
+
+	dwells := 0
+	for i := 0; i < spec.Ops; i++ {
+		if spec.DwellEvery > 0 && i%spec.DwellEvery == spec.DwellEvery-1 {
+			if err := m.EnterDS(spec.Dwell); err != nil {
+				return rep, fmt.Errorf("march: %s op %d DSM: %w", spec.Name, i, err)
+			}
+			if err := m.WakeUp(); err != nil {
+				return rep, fmt.Errorf("march: %s op %d WUP: %w", spec.Name, i, err)
+			}
+			dwells++
+		}
+		addr := rng.Intn(n)
+		if rng.Float64() < spec.ProbWrite {
+			w := randWord(rng, spec.Prob1)
+			if err := m.Write(addr, w); err != nil {
+				return rep, fmt.Errorf("march: %s op %d write @%d: %w", spec.Name, i, addr, err)
+			}
+			shadow[addr] = w
+		} else {
+			got, err := m.Read(addr)
+			if err != nil {
+				return rep, fmt.Errorf("march: %s op %d read @%d: %w", spec.Name, i, addr, err)
+			}
+			if got != shadow[addr] {
+				record(Failure{Element: i, OpIndex: 0, Addr: addr, Expected: shadow[addr], Got: got})
+			}
+		}
+		rep.Ops++
+	}
+	rep.TestTime = float64(rep.Ops)*cycleTimeOf(m) + float64(dwells)*(spec.Dwell+cycleTimeOf(m))
+	return rep, nil
+}

@@ -54,15 +54,31 @@ type Report struct {
 	Failures []Failure
 	Ops      int     // cell operations executed
 	TestTime float64 // accounted wall-clock test time (s)
-	// MaxFailures caps recording; the run continues counting.
+	// TotalMiscompares counts every failing read; the failure cap only
+	// bounds recording, the run continues counting.
 	TotalMiscompares int
+	// DroppedFailures counts miscompares beyond the failure cap that
+	// were counted but not recorded in Failures (the capture overflow).
+	DroppedFailures int
 }
 
 // Detected reports whether the run flagged at least one fault.
 func (r Report) Detected() bool { return r.TotalMiscompares > 0 }
 
+// Overflowed reports whether the failure capture dropped records.
+func (r Report) Overflowed() bool { return r.DroppedFailures > 0 }
+
 // maxRecordedFailures bounds the memory used by heavily failing runs.
 const maxRecordedFailures = 64
+
+// CaptureLimit is the hard ceiling of the CaptureAll fail capture. A
+// heavily failing array-scale run (a 4K×64 fault map where most cells
+// miscompare) would otherwise grow the failure list into the millions;
+// beyond the limit the run keeps counting (TotalMiscompares,
+// DroppedFailures) but stops recording. Streaming consumers that need
+// every miscompare observe them through RunOptions.OnFailure instead of
+// the recorded list.
+const CaptureLimit = 1 << 14
 
 // Run executes the test against the memory with the solid zero background
 // and identity address order. The memory must be in ACT mode. Execution

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"sramtest/internal/engine"
+	"sramtest/internal/faultmap"
 	"sramtest/internal/jobs"
 	"sramtest/internal/spice"
 	"sramtest/internal/store"
@@ -129,6 +130,34 @@ func writeMetrics(w io.Writer, mgr *jobs.Manager, st *store.Store) {
 	fmt.Fprintln(w, "# TYPE sramd_yield_last_tail_sigma gauge")
 	fmt.Fprintf(w, "sramd_yield_last_tail_sigma %g\n", ys.LastSigma)
 
+	// Fault-map corpus counters: generation/evaluation throughput plus
+	// last-run health gauges (best coverage, fault density).
+	fs := faultmap.Stats()
+	fmt.Fprintln(w, "# HELP sramd_faultmap_runs_total Completed full fault-map corpus evaluations.")
+	fmt.Fprintln(w, "# TYPE sramd_faultmap_runs_total counter")
+	fmt.Fprintf(w, "sramd_faultmap_runs_total %d\n", fs.Runs)
+	fmt.Fprintln(w, "# HELP sramd_faultmap_partials_total Completed fault-map shard partials.")
+	fmt.Fprintln(w, "# TYPE sramd_faultmap_partials_total counter")
+	fmt.Fprintf(w, "sramd_faultmap_partials_total %d\n", fs.Partials)
+	fmt.Fprintln(w, "# HELP sramd_faultmap_maps_total Fault maps generated and evaluated.")
+	fmt.Fprintln(w, "# TYPE sramd_faultmap_maps_total counter")
+	fmt.Fprintf(w, "sramd_faultmap_maps_total %d\n", fs.Maps)
+	fmt.Fprintln(w, "# HELP sramd_faultmap_fault_bits_total Fault bits across all generated maps.")
+	fmt.Fprintln(w, "# TYPE sramd_faultmap_fault_bits_total counter")
+	fmt.Fprintf(w, "sramd_faultmap_fault_bits_total %d\n", fs.FaultBits)
+	fmt.Fprintln(w, "# HELP sramd_faultmap_detected_total Detected fault bits, summed over tests.")
+	fmt.Fprintln(w, "# TYPE sramd_faultmap_detected_total counter")
+	fmt.Fprintf(w, "sramd_faultmap_detected_total %d\n", fs.Detected)
+	fmt.Fprintln(w, "# HELP sramd_faultmap_dropped_failures_total Miscompares beyond the bounded capture.")
+	fmt.Fprintln(w, "# TYPE sramd_faultmap_dropped_failures_total counter")
+	fmt.Fprintf(w, "sramd_faultmap_dropped_failures_total %d\n", fs.Dropped)
+	fmt.Fprintln(w, "# HELP sramd_faultmap_last_best_coverage Best per-test coverage of the latest full run.")
+	fmt.Fprintln(w, "# TYPE sramd_faultmap_last_best_coverage gauge")
+	fmt.Fprintf(w, "sramd_faultmap_last_best_coverage %g\n", fs.LastBestCoverage)
+	fmt.Fprintln(w, "# HELP sramd_faultmap_last_bits_per_map Fault density of the latest full run.")
+	fmt.Fprintln(w, "# TYPE sramd_faultmap_last_bits_per_map gauge")
+	fmt.Fprintf(w, "sramd_faultmap_last_bits_per_map %g\n", fs.LastBitsPerMap)
+
 	fmt.Fprintln(w, "# HELP sramd_job_duration_seconds Job execution latency.")
 	fmt.Fprintln(w, "# TYPE sramd_job_duration_seconds histogram")
 	cum := int64(0)
@@ -148,7 +177,16 @@ func snapshot(mgr *jobs.Manager, st *store.Store) map[string]any {
 	sp := spice.Stats()
 	es := engine.Stats()
 	ys := yield.Stats()
+	fs := faultmap.Stats()
 	out := map[string]any{
+		"faultmap_runs":           fs.Runs,
+		"faultmap_partials":       fs.Partials,
+		"faultmap_maps":           fs.Maps,
+		"faultmap_fault_bits":     fs.FaultBits,
+		"faultmap_detected":       fs.Detected,
+		"faultmap_dropped":        fs.Dropped,
+		"faultmap_last_best":      fs.LastBestCoverage,
+		"faultmap_last_bits_map":  fs.LastBitsPerMap,
 		"yield_runs":              ys.Runs,
 		"yield_partials":          ys.Partials,
 		"yield_screened":          ys.Screens,

@@ -213,6 +213,9 @@ func TestHealthzAndMetricsShape(t *testing.T) {
 		"sramd_yield_runs_total",
 		`sramd_yield_decisions_total{outcome="screened"}`,
 		"sramd_yield_last_ess",
+		"sramd_faultmap_runs_total",
+		"sramd_faultmap_maps_total",
+		"sramd_faultmap_last_best_coverage",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q:\n%s", want, body)

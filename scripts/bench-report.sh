@@ -1,25 +1,27 @@
 #!/bin/sh
 # bench-report.sh — run the solver-centric benchmark suite and emit a
-# machine-readable report (BENCH_7.json) comparing it against the
+# machine-readable report (BENCH_8.json) comparing it against the
 # checked-in pre-optimization baseline (benchmarks/baseline.txt), as run
 # by CI and `make bench-report`.
 #
 # The allocation gate is enforced (allocs/op is machine-independent);
 # wall-clock ratios are reported but not gated, since the baseline was
-# recorded on different hardware than the CI runners. The tiered-engine
-# and yield benchmarks carry their own deterministic gates (>=3x fewer
-# full-SPICE solves than the exact backend; >=100x fewer exact solves
-# than naive Monte-Carlo at matched CI width) inside the benchmark
-# bodies; the yield gate is re-checked here from the bench output so a
-# failure cannot hide behind the tee pipeline.
+# recorded on different hardware than the CI runners. The tiered-engine,
+# yield and faultmap benchmarks carry their own deterministic gates
+# (>=3x fewer full-SPICE solves than the exact backend; >=100x fewer
+# exact solves than naive Monte-Carlo at matched CI width; March m-LZ
+# fully covers a nonzero DRF population that March C- escapes) inside
+# the benchmark bodies; the yield and faultmap gates are re-checked here
+# from the bench output so a failure cannot hide behind the tee
+# pipeline.
 #
 # Requires only a POSIX shell and go. Exits non-zero on any failure.
 set -eu
 
-OUT="${1:-BENCH_7.json}"
+OUT="${1:-BENCH_8.json}"
 RAW="${OUT%.json}.bench.txt"
 BASELINE="benchmarks/baseline.txt"
-BENCHES='^(BenchmarkTable2|BenchmarkTable2Tiered|BenchmarkDictionaryBuild|BenchmarkDictionaryBuildTiered|BenchmarkRegulatorOP|BenchmarkRegulatorOPWarm|BenchmarkDSEntryTransient|BenchmarkDiagnose|BenchmarkYield6Sigma)$'
+BENCHES='^(BenchmarkTable2|BenchmarkTable2Tiered|BenchmarkDictionaryBuild|BenchmarkDictionaryBuildTiered|BenchmarkRegulatorOP|BenchmarkRegulatorOPWarm|BenchmarkDSEntryTransient|BenchmarkDiagnose|BenchmarkYield6Sigma|BenchmarkFaultMapCoverage)$'
 
 echo "bench-report: running benchmark suite (this takes a few minutes)"
 go test -run '^$' -bench "$BENCHES" -benchmem -benchtime=1x -count=5 . | tee "$RAW"
@@ -37,6 +39,23 @@ awk "BEGIN { exit !($YIELD_SPEEDUP >= 100) }" || {
 	exit 1
 }
 echo "bench-report: yield speedup ${YIELD_SPEEDUP}x"
+
+echo "bench-report: checking faultmap DRF gate (m-LZ DRF coverage = 1 on a nonzero DRF population)"
+FM_DRF_COV=$(awk '/^BenchmarkFaultMapCoverage/ {
+	for (i = 1; i < NF; i++) if ($(i + 1) == "mlz-drf-cov") { print $i; exit }
+}' "$RAW")
+FM_DRF_BITS=$(awk '/^BenchmarkFaultMapCoverage/ {
+	for (i = 1; i < NF; i++) if ($(i + 1) == "drf-bits") { print $i; exit }
+}' "$RAW")
+[ -n "$FM_DRF_COV" ] && [ -n "$FM_DRF_BITS" ] || {
+	echo "bench-report: FAIL: no DRF metrics in BenchmarkFaultMapCoverage output" >&2
+	exit 1
+}
+awk "BEGIN { exit !($FM_DRF_BITS >= 1 && $FM_DRF_COV >= 1) }" || {
+	echo "bench-report: FAIL: faultmap DRF gate: coverage $FM_DRF_COV on $FM_DRF_BITS DRF bits" >&2
+	exit 1
+}
+echo "bench-report: faultmap m-LZ covers $FM_DRF_BITS DRF bits"
 
 echo "bench-report: generating $OUT"
 go run ./cmd/benchreport \

@@ -29,6 +29,8 @@
 package sramtest
 
 import (
+	"context"
+
 	"sramtest/internal/bist"
 	"sramtest/internal/cell"
 	"sramtest/internal/charac"
@@ -37,6 +39,7 @@ import (
 	_ "sramtest/internal/engine/spicebe"   // default backend
 	_ "sramtest/internal/engine/surrogate" // EngineNames: "surrogate"
 	_ "sramtest/internal/engine/tiered"    // EngineNames: "tiered"
+	"sramtest/internal/faultmap"
 	"sramtest/internal/march"
 	"sramtest/internal/power"
 	"sramtest/internal/process"
@@ -337,6 +340,48 @@ func MergeYieldPartials(parts []YieldPartial) (YieldResult, error) {
 
 // YieldStatsNow snapshots the cumulative yield counters.
 func YieldStatsNow() YieldStats { return yield.Stats() }
+
+// Array-scale correlated fault maps and March coverage evaluation
+// (DESIGN.md §5.12): whole-array fault populations with DRV-calibrated
+// retention-fault marginals and streak/cluster spatial correlation,
+// scored against the March library — the statistical complement of the
+// one-fault-at-a-time diagnosis flows.
+type (
+	// FaultMap is one sampled whole-array fault population.
+	FaultMap = faultmap.Map
+	// FaultMapParams configures a corpus and its coverage evaluation.
+	FaultMapParams = faultmap.Params
+	// FaultMapGenerator deterministically regenerates any map of a corpus.
+	FaultMapGenerator = faultmap.Generator
+	// FaultMapResult is a completed corpus coverage evaluation.
+	FaultMapResult = faultmap.Result
+	// FaultMapPartial is one shard's mergeable contribution.
+	FaultMapPartial = faultmap.Partial
+	// FaultMapStats are the cumulative faultmap counters the daemon exports.
+	FaultMapStats = faultmap.FaultMapStats
+)
+
+// NewFaultMapGenerator calibrates the DRF marginal from the cell-level
+// DRV distribution and returns the corpus generator.
+func NewFaultMapGenerator(p FaultMapParams) (*FaultMapGenerator, error) {
+	return faultmap.NewGenerator(p)
+}
+
+// EstimateFaultMapCoverage generates the corpus and evaluates every
+// configured test against it; the result is byte-identical at any
+// worker count.
+func EstimateFaultMapCoverage(ctx context.Context, p FaultMapParams) (FaultMapResult, error) {
+	return faultmap.Estimate(ctx, p)
+}
+
+// MergeFaultMapPartials reassembles shard partials into the result a
+// single-shard run of the same parameters would produce, byte for byte.
+func MergeFaultMapPartials(parts []FaultMapPartial) (FaultMapResult, error) {
+	return faultmap.MergePartials(parts)
+}
+
+// FaultMapStatsNow snapshots the cumulative faultmap counters.
+func FaultMapStatsNow() FaultMapStats { return faultmap.Stats() }
 
 // Fault-dictionary defect diagnosis: from the failure signature the
 // optimized flow observes on a failing device back to the causing
