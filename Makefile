@@ -3,9 +3,10 @@
 #   make verify       build + vet + gofmt + test — the tier-1 gate
 #   make race         race-enabled test run
 #   make bench        one iteration of every benchmark (smoke)
-#   make bench-report solver benchmarks vs baseline -> BENCH_8.json
+#   make bench-report solver benchmarks vs baseline -> BENCH_9.json
 #   make serve-smoke  end-to-end sramd daemon smoke test
 #   make diag-smoke   end-to-end diagnose CLI smoke test
+#   make diag-index-smoke  fleet-scale dictionary: index byte-identity, >=20x, streaming
 #   make engine-smoke engine matrix: spice vs tiered must emit identical bytes
 #   make cluster-smoke  3-node cluster batch must be byte-identical to one node
 #   make loadgen-smoke  short load-generator run; fails on any dropped request
@@ -16,7 +17,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet fmt test race bench bench-report serve-smoke diag-smoke engine-smoke cluster-smoke loadgen-smoke yield-smoke faultmap-smoke
+.PHONY: verify build vet fmt test race bench bench-report serve-smoke diag-smoke diag-index-smoke engine-smoke cluster-smoke loadgen-smoke yield-smoke faultmap-smoke
 
 verify: build vet fmt test
 
@@ -51,6 +52,9 @@ serve-smoke:
 
 diag-smoke:
 	sh scripts/diag-smoke.sh
+
+diag-index-smoke:
+	sh scripts/diag-index-smoke.sh
 
 engine-smoke:
 	sh scripts/engine-smoke.sh

@@ -1,0 +1,302 @@
+package main
+
+// Fleet-scale subcommands: serve a dictionary over the streaming
+// /v1/diagnose endpoint, drive such an endpoint as a client, and verify
+// the inverted index against the linear matcher on a real artifact.
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"flag"
+
+	"sramtest/internal/diag"
+	"sramtest/internal/diag/diagtest"
+	"sramtest/internal/diag/index"
+	"sramtest/internal/jobs"
+	"sramtest/internal/server"
+	"sramtest/internal/store"
+)
+
+// loadIndex loads a dictionary artifact and builds its inverted index,
+// reporting the shape on stderr. Shared by serve and verify.
+func loadIndex(path string) (*diag.Dictionary, *index.Index) {
+	d, err := diag.Load(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diagnose:", err)
+		os.Exit(1)
+	}
+	ix, err := index.New(d)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diagnose:", err)
+		os.Exit(1)
+	}
+	st := ix.Stats()
+	fmt.Fprintf(os.Stderr, "diagnose: %s: %d entries, %d signatures, %d buckets, %d residue\n",
+		path, st.Entries, st.Groups, st.Buckets, st.Residue)
+	return d, ix
+}
+
+// runServe stands up a diagnosis-only sramd node: the full HTTP API
+// with the dictionary loaded, but a minimal job pool — the fleet path
+// for "give every tester a diagnosis endpoint" without configuring a
+// characterization daemon.
+func runServe(args []string) {
+	fs := flag.NewFlagSet("diagnose serve", flag.ExitOnError)
+	dict := fs.String("dict", defaultDict, "dictionary artifact to serve")
+	addr := fs.String("addr", ":8348", "listen address")
+	fs.Parse(args)
+
+	d, ix := loadIndex(*dict)
+	st, err := store.Open("", 16)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diagnose:", err)
+		os.Exit(1)
+	}
+	api := server.New(jobs.NewManager(jobs.Config{Workers: 1, QueueDepth: 4, Store: st}), st)
+	ist := ix.Stats()
+	api.Diag = ix
+	api.DiagInfo = server.DiagInfo{
+		Entries: ist.Entries, Flow: len(d.Flow), Indexed: true,
+		Groups: ist.Groups, Buckets: ist.Buckets,
+	}
+	fmt.Fprintf(os.Stderr, "diagnose: serving POST /v1/diagnose on %s\n", *addr)
+	if err := http.ListenAndServe(*addr, api); err != nil {
+		fmt.Fprintln(os.Stderr, "diagnose:", err)
+		os.Exit(1)
+	}
+}
+
+// diagLine is the shape both a node and a coordinator emit per input
+// line, decoded loosely so the client works against either.
+type diagLine struct {
+	Index     int             `json:"index"`
+	Diagnosis json.RawMessage `json:"diagnosis"`
+	Node      string          `json:"node,omitempty"`
+	Error     string          `json:"error,omitempty"`
+}
+
+// streamLines derives a deterministic signature stream from the
+// dictionary: verbatim entry signatures interleaved with the four
+// near-miss Perturb flavors, encoded as JSON or binary-codec lines.
+func streamLines(rng *rand.Rand, d *diag.Dictionary, n int, bin bool) []string {
+	lines := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		sig := d.Entries[rng.Intn(len(d.Entries))].Sig
+		if i%2 == 1 {
+			sig = diagtest.Perturb(rng, sig, i/2)
+		}
+		if bin {
+			raw, err := sig.MarshalBinary()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "diagnose:", err)
+				os.Exit(1)
+			}
+			lines = append(lines, fmt.Sprintf(`{"bin":%q}`, base64.StdEncoding.EncodeToString(raw)))
+			continue
+		}
+		js, err := json.Marshal(sig)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "diagnose:", err)
+			os.Exit(1)
+		}
+		lines = append(lines, fmt.Sprintf(`{"sig":%s}`, js))
+	}
+	return lines
+}
+
+// runStream drives a /v1/diagnose endpoint (node or coordinator) with
+// a synthetic BIST fail-log stream sampled from the dictionary and
+// reports end-to-end signatures per minute. Exit status is non-zero
+// when any line errors or goes unanswered.
+func runStream(args []string) {
+	fs := flag.NewFlagSet("diagnose stream", flag.ExitOnError)
+	url := fs.String("url", "http://127.0.0.1:8348", "sramd node or coordinator base URL")
+	dict := fs.String("dict", defaultDict, "dictionary artifact to sample signatures from")
+	n := fs.Int("n", 240, "signatures to stream")
+	bin := fs.Bool("bin", false, "send compact binary-codec lines instead of JSON signatures")
+	seed := fs.Int64("seed", 1, "sampling seed")
+	fs.Parse(args)
+
+	d, err := diag.Load(*dict)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diagnose:", err)
+		os.Exit(1)
+	}
+	if len(d.Entries) == 0 {
+		fmt.Fprintln(os.Stderr, "diagnose: empty dictionary")
+		os.Exit(1)
+	}
+	lines := streamLines(rand.New(rand.NewSource(*seed)), d, *n, *bin)
+	body := strings.Join(lines, "\n")
+
+	start := time.Now()
+	resp, err := http.Post(*url+"/v1/diagnose", "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "diagnose:", err)
+		os.Exit(1)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		fmt.Fprintf(os.Stderr, "diagnose: stream: HTTP %d: %s\n", resp.StatusCode, strings.TrimSpace(string(msg)))
+		os.Exit(1)
+	}
+	answered := make([]bool, len(lines))
+	errors, exact := 0, 0
+	dec := json.NewDecoder(resp.Body)
+	for dec.More() {
+		var dl diagLine
+		if err := dec.Decode(&dl); err != nil {
+			fmt.Fprintln(os.Stderr, "diagnose: stream:", err)
+			os.Exit(1)
+		}
+		if dl.Index < 0 || dl.Index >= len(lines) || answered[dl.Index] {
+			fmt.Fprintf(os.Stderr, "diagnose: stream: bad or duplicate index %d\n", dl.Index)
+			os.Exit(1)
+		}
+		answered[dl.Index] = true
+		if dl.Error != "" {
+			errors++
+			continue
+		}
+		var dg diag.Diagnosis
+		if json.Unmarshal(dl.Diagnosis, &dg) == nil && dg.Exact {
+			exact++
+		}
+	}
+	elapsed := time.Since(start)
+	missing := 0
+	for _, ok := range answered {
+		if !ok {
+			missing++
+		}
+	}
+	perMin := float64(*n-errors) / elapsed.Minutes()
+	fmt.Printf("diagnose stream: %s\n", *url)
+	fmt.Printf("  signatures  %d (%d exact, %d errors, %d missing)\n", *n, exact, errors, missing)
+	fmt.Printf("  payload     %d bytes (%s lines)\n", len(body), lineKind(*bin))
+	fmt.Printf("  duration    %.2fs\n", elapsed.Seconds())
+	fmt.Printf("  throughput  %.0f signatures/min\n", perMin)
+	if errors > 0 || missing > 0 {
+		fmt.Fprintf(os.Stderr, "diagnose: FAIL: %d errored, %d unanswered of %d lines\n", errors, missing, *n)
+		os.Exit(1)
+	}
+}
+
+func lineKind(bin bool) string {
+	if bin {
+		return "binary-codec"
+	}
+	return "JSON"
+}
+
+// runVerify gates the inverted index against the linear matcher on a
+// real dictionary artifact: byte-identical diagnoses over a mixed query
+// stream (including the fallback shapes), then a throughput comparison
+// over indexable queries. Exit status is non-zero on any divergence or
+// when the speedup misses -min-speedup.
+func runVerify(args []string) {
+	fs := flag.NewFlagSet("diagnose verify", flag.ExitOnError)
+	dict := fs.String("dict", defaultDict, "dictionary artifact to verify")
+	queries := fs.Int("queries", 240, "queries per phase")
+	seed := fs.Int64("seed", 1, "query-sampling seed")
+	minSpeedup := fs.Float64("min-speedup", 0, "fail unless indexed/linear throughput ratio reaches this (0 = report only)")
+	fs.Parse(args)
+
+	d, ix := loadIndex(*dict)
+	if len(d.Entries) == 0 {
+		fmt.Fprintln(os.Stderr, "diagnose: empty dictionary")
+		os.Exit(1)
+	}
+	ist := ix.Stats()
+
+	// Phase 1: byte-identity over the full query mix, fallback shapes
+	// included — the same contract the equivalence tests gate.
+	rng := rand.New(rand.NewSource(*seed))
+	equiv := diagtest.Queries(rng, d, *queries)
+	mismatches := 0
+	for i, q := range equiv {
+		want, err := json.Marshal(d.Match(q))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "diagnose:", err)
+			os.Exit(1)
+		}
+		got, err := json.Marshal(ix.Match(q))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "diagnose:", err)
+			os.Exit(1)
+		}
+		if !bytes.Equal(want, got) {
+			mismatches++
+			if mismatches <= 3 {
+				fmt.Fprintf(os.Stderr, "diagnose: query %d: indexed diagnosis differs from linear\n  linear  %s\n  indexed %s\n", i, want, got)
+			}
+		}
+	}
+
+	// Phase 2: throughput over indexable queries only (entry signatures
+	// and near-miss perturbations), so the comparison measures the index
+	// rather than its deliberate linear escape hatch.
+	timing := streamTiming(rand.New(rand.NewSource(*seed+1)), d, *queries)
+	diag.ResetStats()
+	t0 := time.Now()
+	for _, q := range timing {
+		ix.Match(q)
+	}
+	indexed := time.Since(t0)
+	scanned := diag.Stats().MeanScanned()
+	t0 = time.Now()
+	for _, q := range timing {
+		d.Match(q)
+	}
+	linear := time.Since(t0)
+	speedup := linear.Seconds() / indexed.Seconds()
+
+	fmt.Printf("diagnose verify: %s\n", *dict)
+	fmt.Printf("  dictionary   %d entries, %d signatures, %d buckets, %d residue\n",
+		ist.Entries, ist.Groups, ist.Buckets, ist.Residue)
+	fmt.Printf("  equivalence  %d/%d queries byte-identical (fallback shapes included)\n",
+		len(equiv)-mismatches, len(equiv))
+	fmt.Printf("  linear       %d queries in %.3fs  (%.2f ms/query, %.0f q/s)\n",
+		len(timing), linear.Seconds(), msPerQuery(linear, len(timing)), qps(linear, len(timing)))
+	fmt.Printf("  indexed      %d queries in %.3fs  (%.2f ms/query, %.0f q/s)\n",
+		len(timing), indexed.Seconds(), msPerQuery(indexed, len(timing)), qps(indexed, len(timing)))
+	fmt.Printf("  speedup      %.1fx  (mean %.1f of %d entries scanned per query)\n",
+		speedup, scanned, ist.Entries)
+
+	if mismatches > 0 {
+		fmt.Fprintf(os.Stderr, "diagnose: FAIL: %d of %d queries diverged\n", mismatches, len(equiv))
+		os.Exit(1)
+	}
+	if *minSpeedup > 0 && speedup < *minSpeedup {
+		fmt.Fprintf(os.Stderr, "diagnose: FAIL: speedup %.1fx below required %.1fx\n", speedup, *minSpeedup)
+		os.Exit(1)
+	}
+}
+
+// streamTiming samples indexable queries: verbatim entry signatures
+// interleaved with the four near-miss Perturb flavors.
+func streamTiming(rng *rand.Rand, d *diag.Dictionary, n int) []diag.Signature {
+	out := make([]diag.Signature, 0, n)
+	for i := 0; i < n; i++ {
+		sig := d.Entries[rng.Intn(len(d.Entries))].Sig
+		if i%2 == 1 {
+			sig = diagtest.Perturb(rng, sig, i/2)
+		}
+		out = append(out, sig)
+	}
+	return out
+}
+
+func msPerQuery(d time.Duration, n int) float64 { return d.Seconds() * 1e3 / float64(n) }
+
+func qps(d time.Duration, n int) float64 { return float64(n) / d.Seconds() }

@@ -10,6 +10,9 @@
 //	diagnose match -defect N -res R [-cs CS1-1] [-dict path]
 //	diagnose adaptive -defect N -res R [-cs CS1-1] [-dict path]
 //	diagnose stats [-dict path]
+//	diagnose serve [-dict path] [-addr :8348]
+//	diagnose stream [-url http://host:8348] [-dict path] [-n N] [-bin]
+//	diagnose verify [-dict path] [-queries N] [-min-speedup X]
 //
 // build writes the versioned dictionary artifact (default
 // results/diag-dictionary.json; -o - streams it to stdout, byte-identical
@@ -18,6 +21,13 @@
 // against the signature. adaptive continues where match stops: it greedily
 // observes extra (VDD, Vref) conditions until the ambiguity set collapses.
 // stats prints the EXP-DG ambiguity statistics of a dictionary.
+//
+// The fleet-scale subcommands serve and drive the streaming diagnosis
+// endpoint: serve loads a dictionary behind POST /v1/diagnose (a
+// diagnosis-only sramd node), stream replays a synthetic BIST fail-log
+// stream against a node or coordinator and reports signatures/minute,
+// and verify gates the inverted index against the linear matcher
+// (byte-identity plus a throughput table) on a real artifact.
 package main
 
 import (
@@ -55,6 +65,12 @@ func main() {
 		runDiagnose(os.Args[2:], true)
 	case "stats":
 		runStats(os.Args[2:])
+	case "serve":
+		runServe(os.Args[2:])
+	case "stream":
+		runStream(os.Args[2:])
+	case "verify":
+		runVerify(os.Args[2:])
 	case "-h", "-help", "--help", "help":
 		usage()
 	default:
@@ -70,6 +86,9 @@ func usage() {
   diagnose match    -defect N -res R [-cs CS1-1] [-dict path] [-workers N]
   diagnose adaptive -defect N -res R [-cs CS1-1] [-dict path] [-workers N]
   diagnose stats    [-dict path]
+  diagnose serve    [-dict path] [-addr :8348]
+  diagnose stream   [-url http://host:8348] [-dict path] [-n N] [-bin] [-seed S]
+  diagnose verify   [-dict path] [-queries N] [-min-speedup X] [-seed S]
 `)
 }
 
@@ -82,6 +101,7 @@ func runBuild(args []string) {
 	csFlag := fs.String("cs", "", "comma-separated Table I case-study indices 1..5 (default: all)")
 	decadesFlag := fs.String("decades", "", "comma-separated open resistances in Ω (default: 1 kΩ..100 MΩ decades)")
 	baseOnly := fs.Bool("base-only", false, "skip the refiner's extra-condition signatures (~4× cheaper build)")
+	points := fs.Int("points-per-decade", 0, "subdivide each decade pair into N log-spaced steps (fine fleet grid, interpolated build)")
 	engineName := fs.String("engine", "", "simulation engine, recorded in the job spec (default spice)")
 	applyWorkers := cli.Workers(fs)
 	fs.Parse(args)
@@ -90,10 +110,11 @@ func runBuild(args []string) {
 	// The engine rides in the spec (not the process default) so the bytes
 	// land under the same store key the sramd diag job would use.
 	spec := jobs.Spec{Kind: jobs.KindDiag, Engine: *engineName, Diag: &jobs.DiagSpec{
-		Defects:     parseInts(*defectsFlag, "defect"),
-		CaseStudies: parseInts(*csFlag, "case study"),
-		Decades:     parseFloats(*decadesFlag),
-		BaseOnly:    *baseOnly,
+		Defects:         parseInts(*defectsFlag, "defect"),
+		CaseStudies:     parseInts(*csFlag, "case study"),
+		Decades:         parseFloats(*decadesFlag),
+		BaseOnly:        *baseOnly,
+		PointsPerDecade: *points,
 	}}
 	norm, err := spec.Normalize()
 	if err != nil {
@@ -104,7 +125,11 @@ func runBuild(args []string) {
 	if !norm.Diag.BaseOnly {
 		nconds += len(diag.ExtraConditions(diag.DefaultFlowConditions()))
 	}
-	ncand := len(norm.Diag.Defects) * len(norm.Diag.Decades) * 2 * len(norm.Diag.CaseStudies)
+	ndec := len(norm.Diag.Decades)
+	if norm.Diag.PointsPerDecade > 1 {
+		ndec = len(diag.FineDecades(norm.Diag.Decades, norm.Diag.PointsPerDecade))
+	}
+	ncand := len(norm.Diag.Defects) * ndec * 2 * len(norm.Diag.CaseStudies)
 	fmt.Fprintf(os.Stderr, "building dictionary: %d candidates × %d conditions...\n", ncand, nconds)
 
 	b, err := jobs.Run(context.Background(), norm)

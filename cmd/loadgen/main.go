@@ -19,6 +19,10 @@
 //	batch  a single POST /v1/batch NDJSON request; the server paces
 //	       intake (the -rate flag does not apply), latency is
 //	       time-to-line since the batch started
+//	diag   a single POST /v1/diagnose NDJSON signature stream sampled
+//	       from -diag-dict (the spec-set flags do not apply); reports
+//	       end-to-end signatures/minute against a node or coordinator
+//	       serving the same dictionary
 //
 // Exit status is non-zero when any request errored, which is the CI
 // gate. Against a fixture daemon (`sramd -sim-job 25ms`) the workload
@@ -29,11 +33,13 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/base64"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"math"
+	"math/rand"
 	"net/http"
 	"os"
 	"sort"
@@ -42,6 +48,8 @@ import (
 	"time"
 
 	"sramtest/internal/cluster"
+	"sramtest/internal/diag"
+	"sramtest/internal/diag/diagtest"
 	"sramtest/internal/jobs"
 	"sramtest/internal/regulator"
 )
@@ -49,7 +57,7 @@ import (
 func main() {
 	var (
 		target    = flag.String("target", "http://127.0.0.1:8347", "sramd node or coordinator base URL")
-		mode      = flag.String("mode", "jobs", "driving mode: jobs|batch")
+		mode      = flag.String("mode", "jobs", "driving mode: jobs|batch|diag")
 		set       = flag.String("set", "mc", "spec set: mc|table2|mega")
 		n         = flag.Int("n", 200, "total requests (jobs mode) or batch lines")
 		duration  = flag.Duration("duration", 0, "stop submitting after this long (jobs mode; 0 = run all -n)")
@@ -58,25 +66,34 @@ func main() {
 		mcSamples = flag.Int("mc-samples", 32, "samples per Monte-Carlo spec")
 		seed      = flag.Int64("seed", 1, "base seed for unique Monte-Carlo specs")
 		engineN   = flag.String("engine", "", "engine field stamped on every spec (default: the daemon's default)")
+		diagDict  = flag.String("diag-dict", "", "dictionary artifact to sample diagnosis queries from (diag mode)")
+		diagBin   = flag.Bool("diag-bin", false, "send compact binary-codec lines instead of JSON signatures (diag mode)")
 		out       = flag.String("o", "", "write the JSON report to this file")
 		quiet     = flag.Bool("quiet", false, "suppress the human-readable summary")
 	)
 	flag.Parse()
 
-	specs, err := buildSpecs(*set, *n, *mcSamples, *seed, *engineN)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "loadgen:", err)
-		os.Exit(2)
-	}
-
 	var rep *report
 	switch *mode {
-	case "jobs":
-		rep = runJobs(*target, specs, *rate, *inflight, *duration)
-	case "batch":
-		rep = runBatch(*target, specs)
+	case "jobs", "batch":
+		specs, err := buildSpecs(*set, *n, *mcSamples, *seed, *engineN)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "loadgen:", err)
+			os.Exit(2)
+		}
+		if *mode == "jobs" {
+			rep = runJobs(*target, specs, *rate, *inflight, *duration)
+		} else {
+			rep = runBatch(*target, specs)
+		}
+	case "diag":
+		if *diagDict == "" {
+			fmt.Fprintln(os.Stderr, "loadgen: -mode diag requires -diag-dict")
+			os.Exit(2)
+		}
+		rep = runDiag(*target, *diagDict, *n, *seed, *diagBin)
 	default:
-		fmt.Fprintf(os.Stderr, "loadgen: unknown mode %q (want jobs|batch)\n", *mode)
+		fmt.Fprintf(os.Stderr, "loadgen: unknown mode %q (want jobs|batch|diag)\n", *mode)
 		os.Exit(2)
 	}
 	rep.Set, rep.Mode = *set, *mode
@@ -166,6 +183,7 @@ type report struct {
 	LatencyMsP99 float64   `json:"latencyMsP99"`
 	LatencyMsMax float64   `json:"latencyMsMax"`
 	ResultBytes  int64     `json:"resultBytes"`
+	SigsPerMin   float64   `json:"signaturesPerMin,omitempty"`
 	ErrorSamples []string  `json:"errorSamples,omitempty"`
 	Started      time.Time `json:"started"`
 }
@@ -178,6 +196,9 @@ func (r *report) print(w io.Writer) {
 	fmt.Fprintf(w, "  latency    p50 %.1fms  p90 %.1fms  p99 %.1fms  max %.1fms\n",
 		r.LatencyMsP50, r.LatencyMsP90, r.LatencyMsP99, r.LatencyMsMax)
 	fmt.Fprintf(w, "  results    %d bytes\n", r.ResultBytes)
+	if r.SigsPerMin > 0 {
+		fmt.Fprintf(w, "  diagnosis  %.0f signatures/min\n", r.SigsPerMin)
+	}
 }
 
 // finish folds the collected latencies into the report.
@@ -335,6 +356,97 @@ func runOneJob(ctx context.Context, client *http.Client, target string, spec job
 		return cached, 0, fmt.Errorf("result %s: HTTP %d", st.ID, resp2.StatusCode)
 	}
 	return cached, int64(len(res)), nil
+}
+
+// runDiag streams n dictionary-sampled signatures through one POST
+// /v1/diagnose and measures end-to-end diagnosis throughput. Half the
+// lines are verbatim entry signatures, half near-miss perturbations —
+// the mix a BIST fail log replays at the fleet's diagnosis tier.
+func runDiag(target, dictPath string, n int, seed int64, bin bool) *report {
+	rep := &report{Target: target, Requested: n, Started: time.Now().UTC()}
+	d, err := diag.Load(dictPath)
+	if err != nil {
+		rep.addError(err.Error())
+		return rep
+	}
+	if len(d.Entries) == 0 {
+		rep.addError("empty dictionary")
+		return rep
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var body bytes.Buffer
+	for i := 0; i < n; i++ {
+		sig := d.Entries[rng.Intn(len(d.Entries))].Sig
+		if i%2 == 1 {
+			sig = diagtest.Perturb(rng, sig, i/2)
+		}
+		if bin {
+			raw, err := sig.MarshalBinary()
+			if err != nil {
+				rep.addError(err.Error())
+				return rep
+			}
+			fmt.Fprintf(&body, "{\"bin\":%q}\n", base64.StdEncoding.EncodeToString(raw))
+			continue
+		}
+		js, err := json.Marshal(sig)
+		if err != nil {
+			rep.addError(err.Error())
+			return rep
+		}
+		fmt.Fprintf(&body, "{\"sig\":%s}\n", js)
+	}
+
+	start := time.Now()
+	resp, err := http.Post(target+"/v1/diagnose", "application/x-ndjson", &body)
+	if err != nil {
+		rep.addError(err.Error())
+		return rep
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		rep.addError(fmt.Sprintf("diagnose: HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(data))))
+		return rep
+	}
+	var lats []float64
+	seen := map[int]bool{}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var dl struct {
+			Index     int             `json:"index"`
+			Diagnosis json.RawMessage `json:"diagnosis"`
+			Error     string          `json:"error"`
+		}
+		if err := dec.Decode(&dl); err != nil {
+			if err != io.EOF {
+				rep.addError(fmt.Sprintf("diagnose stream: %v", err))
+			}
+			break
+		}
+		if seen[dl.Index] {
+			rep.addError(fmt.Sprintf("duplicate result for index %d", dl.Index))
+			continue
+		}
+		seen[dl.Index] = true
+		if dl.Error != "" {
+			rep.addError(fmt.Sprintf("index %d: %s", dl.Index, dl.Error))
+			continue
+		}
+		rep.Completed++
+		rep.ResultBytes += int64(len(dl.Diagnosis))
+		lats = append(lats, time.Since(start).Seconds()*1e3)
+	}
+	for i := 0; i < n; i++ {
+		if !seen[i] {
+			rep.addError(fmt.Sprintf("missing result for index %d", i))
+		}
+	}
+	rep.finish(lats, time.Since(start))
+	if rep.DurationSec > 0 {
+		rep.SigsPerMin = float64(rep.Completed) / rep.DurationSec * 60
+	}
+	return rep
 }
 
 // runBatch drives all specs through one streaming POST /v1/batch.

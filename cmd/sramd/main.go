@@ -39,6 +39,8 @@ import (
 
 	"sramtest/internal/cli"
 	"sramtest/internal/cluster"
+	"sramtest/internal/diag"
+	"sramtest/internal/diag/index"
 	"sramtest/internal/engine"
 	"sramtest/internal/jobs"
 	"sramtest/internal/server"
@@ -62,6 +64,8 @@ func main() {
 		nodeList    = flag.String("nodes", "", "comma-separated node base URLs (coordinator mode)")
 		stealAt     = flag.Int("steal-threshold", 8, "owner-shard depth above which work is stolen (coordinator mode)")
 		poll        = flag.Duration("node-poll", 25*time.Millisecond, "remote job poll interval (coordinator mode)")
+
+		diagDict = flag.String("diag-dict", "", "serve streaming diagnosis (POST /v1/diagnose) from this dictionary artifact (node mode; coordinator mode fans out to nodes)")
 
 		simJob = flag.Duration("sim-job", 0, "load-harness fixture: replace the runners with a deterministic sleep of this length (results are NOT real characterizations)")
 	)
@@ -127,6 +131,26 @@ func main() {
 		mgr = jobs.NewManager(cfg)
 		api := server.New(mgr, st)
 		api.BatchInflight = *inflight
+		if *diagDict != "" {
+			d, err := diag.Load(*diagDict)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sramd: -diag-dict:", err)
+				os.Exit(2)
+			}
+			ix, err := index.New(d)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sramd: -diag-dict:", err)
+				os.Exit(2)
+			}
+			ist := ix.Stats()
+			api.Diag = ix
+			api.DiagInfo = server.DiagInfo{
+				Entries: ist.Entries, Flow: len(d.Flow), Indexed: true,
+				Groups: ist.Groups, Buckets: ist.Buckets,
+			}
+			fmt.Fprintf(os.Stderr, "sramd: diagnosis dictionary %s: %d entries, %d signatures, %d buckets\n",
+				*diagDict, ist.Entries, ist.Groups, ist.Buckets)
+		}
 		api.PublishExpvar()
 		handler = api
 	}

@@ -65,12 +65,18 @@ type Stats struct {
 	Batches, BatchJobs      int64
 	BatchErrors             int64
 	ProxiedJobs             int64
+	// DiagBatches/DiagLines/DiagErrors count the streaming-diagnosis
+	// fan-out: requests, signature lines received, lines ended failed.
+	DiagBatches, DiagLines int64
+	DiagErrors             int64
 }
 
 // Coordinator fronts a fleet of sramd nodes with the same HTTP API a
 // single node serves, plus the fan-out batch endpoint:
 //
 //	POST   /v1/batch            NDJSON specs in, streamed results out
+//	POST   /v1/diagnose         NDJSON signatures fanned out over the fleet
+//	GET    /v1/diagnose         dictionary info proxied from a live node
 //	POST   /v1/jobs             route one spec to its owner node
 //	GET    /v1/jobs             list proxied job records
 //	GET    /v1/jobs/{id}        proxy status from the owning node
@@ -160,6 +166,8 @@ func New(cfg Config) (*Coordinator, error) {
 	c.mux.HandleFunc("GET /v1/jobs/{id}", c.handleStatus)
 	c.mux.HandleFunc("GET /v1/jobs/{id}/result", c.handleResult)
 	c.mux.HandleFunc("DELETE /v1/jobs/{id}", c.handleDelete)
+	c.mux.HandleFunc("POST /v1/diagnose", c.handleDiagnose)
+	c.mux.HandleFunc("GET /v1/diagnose", c.handleDiagnoseInfo)
 	c.mux.HandleFunc("GET /v1/cluster", c.handleTopology)
 	c.mux.HandleFunc("GET /healthz", c.handleHealthz)
 	c.mux.HandleFunc("GET /metrics", c.handleMetrics)

@@ -25,6 +25,7 @@ import (
 // testNode is one sramd node: HTTP API, manager, and store.
 type testNode struct {
 	srv *httptest.Server
+	api *server.Server
 	mgr *jobs.Manager
 	st  *store.Store
 }
@@ -49,8 +50,9 @@ func startNodes(t *testing.T, n int, cfg jobs.Config) ([]*testNode, []string) {
 			c.QueueDepth = 64
 		}
 		mgr := jobs.NewManager(c)
-		srv := httptest.NewServer(server.New(mgr, st))
-		nodes[i] = &testNode{srv: srv, mgr: mgr, st: st}
+		api := server.New(mgr, st)
+		srv := httptest.NewServer(api)
+		nodes[i] = &testNode{srv: srv, api: api, mgr: mgr, st: st}
 		bases[i] = srv.URL
 		t.Cleanup(func() {
 			srv.Close()

@@ -477,6 +477,15 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	fmt.Fprintln(w, "# HELP sramd_cluster_proxied_jobs_total Single jobs routed through the proxy endpoints.")
 	fmt.Fprintln(w, "# TYPE sramd_cluster_proxied_jobs_total counter")
 	fmt.Fprintf(w, "sramd_cluster_proxied_jobs_total %d\n", s.ProxiedJobs)
+	fmt.Fprintln(w, "# HELP sramd_cluster_diag_batches_total Streaming diagnosis requests fanned out.")
+	fmt.Fprintln(w, "# TYPE sramd_cluster_diag_batches_total counter")
+	fmt.Fprintf(w, "sramd_cluster_diag_batches_total %d\n", s.DiagBatches)
+	fmt.Fprintln(w, "# HELP sramd_cluster_diag_lines_total Signature lines received across diagnosis requests.")
+	fmt.Fprintln(w, "# TYPE sramd_cluster_diag_lines_total counter")
+	fmt.Fprintf(w, "sramd_cluster_diag_lines_total %d\n", s.DiagLines)
+	fmt.Fprintln(w, "# HELP sramd_cluster_diag_errors_total Diagnosis lines that ended failed.")
+	fmt.Fprintln(w, "# TYPE sramd_cluster_diag_errors_total counter")
+	fmt.Fprintf(w, "sramd_cluster_diag_errors_total %d\n", s.DiagErrors)
 
 	now := time.Now()
 	c.mu.Lock()

@@ -1,0 +1,223 @@
+package diag
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"sramtest/internal/regulator"
+	"sramtest/internal/testflow"
+)
+
+// CodecVersion is the binary signature wire-format version, the first
+// byte of every encoded signature. Bump it when the layout changes; the
+// decoder rejects anything else.
+const CodecVersion = 1
+
+// The binary signature codec is the compact wire format for streamed
+// BIST fail logs: a fleet tester uploads one encoded signature per
+// failing device instead of the ~10× larger JSON form. Passing
+// conditions collapse to three bytes (condition + flag) because a pass
+// carries no locator or syndrome content — the decoder restores the
+// canonical pass signature (Element/Op = -1, everything else zero),
+// which is distance-equivalent to whatever the encoder held. The same
+// bytes double as the dictionary's duplicate-signature key: fine
+// resistance grids produce long runs of identical signatures, and two
+// entries are grouped iff their encodings match.
+
+// AppendBinary appends the compact binary encoding of s to dst and
+// returns the extended slice.
+func (s Signature) AppendBinary(dst []byte) []byte {
+	dst = append(dst, CodecVersion)
+	dst = binary.AppendUvarint(dst, uint64(len(s.Test)))
+	dst = append(dst, s.Test...)
+	dst = appendFloat(dst, s.Dwell)
+	dst = binary.AppendUvarint(dst, uint64(len(s.Conds)))
+	for _, c := range s.Conds {
+		dst = appendCondSignature(dst, c)
+	}
+	return dst
+}
+
+// MarshalBinary implements encoding.BinaryMarshaler.
+func (s Signature) MarshalBinary() ([]byte, error) {
+	return s.AppendBinary(nil), nil
+}
+
+// UnmarshalBinary implements encoding.BinaryUnmarshaler. The input must
+// be exactly one encoded signature; trailing bytes are an error.
+func (s *Signature) UnmarshalBinary(data []byte) error {
+	sig, n, err := decodeSignature(data)
+	if err != nil {
+		return err
+	}
+	if n != len(data) {
+		return fmt.Errorf("diag: binary signature: %d trailing bytes", len(data)-n)
+	}
+	*s = sig
+	return nil
+}
+
+// DecodeBinarySignature decodes one signature from the front of data and
+// returns it with the number of bytes consumed, so callers can walk a
+// concatenated stream.
+func DecodeBinarySignature(data []byte) (Signature, int, error) {
+	return decodeSignature(data)
+}
+
+func appendFloat(dst []byte, f float64) []byte {
+	return binary.LittleEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+func appendCondSignature(dst []byte, c CondSignature) []byte {
+	dst = appendFloat(dst, c.Cond.VDD)
+	dst = binary.AppendVarint(dst, int64(c.Cond.Level))
+	if c.Pass {
+		return append(dst, 1)
+	}
+	dst = append(dst, 0)
+	dst = binary.AppendVarint(dst, int64(c.Element))
+	dst = binary.AppendVarint(dst, int64(c.Op))
+	dst = binary.AppendUvarint(dst, uint64(c.Elements))
+	dst = binary.AppendUvarint(dst, uint64(c.Miscompares))
+	dst = binary.AppendUvarint(dst, uint64(c.Syn.Fails))
+	dst = binary.AppendUvarint(dst, uint64(c.Syn.Rows))
+	dst = binary.AppendUvarint(dst, uint64(c.Syn.Cols))
+	for _, v := range c.Syn.RowCounts {
+		dst = binary.AppendUvarint(dst, uint64(v))
+	}
+	for _, v := range c.Syn.ColCounts {
+		dst = binary.AppendUvarint(dst, uint64(v))
+	}
+	return dst
+}
+
+// binReader walks an encoded signature, remembering the first error so
+// the decode logic stays linear.
+type binReader struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *binReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("diag: binary signature: "+format, args...)
+	}
+}
+
+func (r *binReader) byte() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos >= len(r.data) {
+		r.fail("truncated at byte %d", r.pos)
+		return 0
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b
+}
+
+func (r *binReader) float() float64 {
+	if r.err != nil {
+		return 0
+	}
+	if r.pos+8 > len(r.data) {
+		r.fail("truncated float at byte %d", r.pos)
+		return 0
+	}
+	f := math.Float64frombits(binary.LittleEndian.Uint64(r.data[r.pos:]))
+	r.pos += 8
+	return f
+}
+
+func (r *binReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail("bad uvarint at byte %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *binReader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail("bad varint at byte %d", r.pos)
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *binReader) bytes(n uint64) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.data)-r.pos) {
+		r.fail("truncated %d-byte field at byte %d", n, r.pos)
+		return nil
+	}
+	b := r.data[r.pos : r.pos+int(n)]
+	r.pos += int(n)
+	return b
+}
+
+// maxBinaryConds bounds the per-signature condition count the decoder
+// accepts, against corrupt or hostile length prefixes. The full
+// condition universe is 12; refined signatures never exceed it.
+const maxBinaryConds = 64
+
+func decodeSignature(data []byte) (Signature, int, error) {
+	r := &binReader{data: data}
+	if v := r.byte(); r.err == nil && v != CodecVersion {
+		return Signature{}, 0, fmt.Errorf("diag: binary signature version %d, want %d", v, CodecVersion)
+	}
+	var sig Signature
+	sig.Test = string(r.bytes(r.uvarint()))
+	sig.Dwell = r.float()
+	nc := r.uvarint()
+	if r.err == nil && nc > maxBinaryConds {
+		return Signature{}, 0, fmt.Errorf("diag: binary signature: %d conditions exceeds limit %d", nc, maxBinaryConds)
+	}
+	if r.err == nil && nc > 0 {
+		sig.Conds = make([]CondSignature, 0, nc)
+	}
+	for i := uint64(0); i < nc && r.err == nil; i++ {
+		var c CondSignature
+		c.Cond = testflow.TestCondition{
+			VDD:   r.float(),
+			Level: regulator.VrefLevel(r.varint()),
+		}
+		if r.byte() == 1 {
+			c.Pass, c.Element, c.Op = true, -1, -1
+		} else {
+			c.Element = int(r.varint())
+			c.Op = int(r.varint())
+			c.Elements = uint32(r.uvarint())
+			c.Miscompares = int(r.uvarint())
+			c.Syn.Fails = int(r.uvarint())
+			c.Syn.Rows = int(r.uvarint())
+			c.Syn.Cols = int(r.uvarint())
+			for j := range c.Syn.RowCounts {
+				c.Syn.RowCounts[j] = int(r.uvarint())
+			}
+			for j := range c.Syn.ColCounts {
+				c.Syn.ColCounts[j] = int(r.uvarint())
+			}
+		}
+		sig.Conds = append(sig.Conds, c)
+	}
+	if r.err != nil {
+		return Signature{}, 0, r.err
+	}
+	return sig, r.pos, nil
+}

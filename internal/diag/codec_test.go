@@ -1,0 +1,121 @@
+package diag_test
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"sramtest/internal/diag"
+	"sramtest/internal/diag/diagtest"
+)
+
+func codecSamples(t *testing.T) []diag.Signature {
+	t.Helper()
+	rng := rand.New(rand.NewSource(33))
+	d, err := diagtest.RandomDictionary(rng, 64, 48, diag.DefaultFlowConditions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigs := []diag.Signature{
+		{}, // zero signature
+		{Test: "March m-LZ", Dwell: 1e-3},
+	}
+	for _, e := range d.Entries[:16] {
+		sigs = append(sigs, e.Sig)
+	}
+	sigs = append(sigs, diagtest.Queries(rng, d, 24)...)
+	return sigs
+}
+
+func TestBinarySignatureRoundTrip(t *testing.T) {
+	for i, sig := range codecSamples(t) {
+		b, err := sig.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got diag.Signature
+		if err := got.UnmarshalBinary(b); err != nil {
+			t.Fatalf("sample %d: %v", i, err)
+		}
+		// Passing conditions canonicalize (zero locator/syndrome); the
+		// generator only emits canonical signatures, so round trips are
+		// exact.
+		if !reflect.DeepEqual(normalizeEmpty(sig), normalizeEmpty(got)) {
+			t.Fatalf("sample %d: round trip diverges\n got %+v\nwant %+v", i, got, sig)
+		}
+		// Re-encoding must reproduce the same bytes (the encoding is the
+		// dictionary's duplicate-signature key).
+		b2 := got.AppendBinary(nil)
+		if string(b) != string(b2) {
+			t.Fatalf("sample %d: re-encoding differs", i)
+		}
+	}
+}
+
+// normalizeEmpty maps a nil Conds slice to an empty one: the decoder
+// cannot distinguish them and neither can any consumer.
+func normalizeEmpty(s diag.Signature) diag.Signature {
+	if s.Conds == nil {
+		s.Conds = []diag.CondSignature{}
+	}
+	return s
+}
+
+func TestBinarySignatureCompression(t *testing.T) {
+	var jsonBytes, binBytes int
+	for _, sig := range codecSamples(t) {
+		j, err := json.Marshal(sig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		jsonBytes += len(j)
+		binBytes += len(sig.AppendBinary(nil))
+	}
+	if binBytes*4 > jsonBytes {
+		t.Fatalf("binary codec %d bytes vs JSON %d: want at least 4x compression", binBytes, jsonBytes)
+	}
+	t.Logf("codec: %d binary vs %d JSON bytes (%.1fx)", binBytes, jsonBytes, float64(jsonBytes)/float64(binBytes))
+}
+
+func TestBinarySignatureErrors(t *testing.T) {
+	sig := codecSamples(t)[4]
+	b, err := sig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every strict prefix must fail — no silent truncation.
+	for n := 0; n < len(b); n++ {
+		var got diag.Signature
+		if err := got.UnmarshalBinary(b[:n]); err == nil {
+			t.Fatalf("truncation to %d/%d bytes decoded without error", n, len(b))
+		}
+	}
+	// Trailing garbage must fail.
+	var got diag.Signature
+	if err := got.UnmarshalBinary(append(append([]byte{}, b...), 0xff)); err == nil {
+		t.Fatal("trailing byte decoded without error")
+	}
+	// Wrong version must fail.
+	bad := append([]byte{}, b...)
+	bad[0] = diag.CodecVersion + 1
+	if err := got.UnmarshalBinary(bad); err == nil {
+		t.Fatal("wrong codec version decoded without error")
+	}
+	// Hostile condition count must be rejected, not allocated.
+	if err := got.UnmarshalBinary([]byte{diag.CodecVersion, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0xff, 0xff, 0xff, 0xff, 0x7f}); err == nil {
+		t.Fatal("hostile condition count decoded without error")
+	}
+	// Streaming decode reports consumed bytes.
+	stream := append(sig.AppendBinary(nil), sig.AppendBinary(nil)...)
+	first, n, err := diag.DecodeBinarySignature(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(stream)/2 {
+		t.Fatalf("streaming decode consumed %d bytes, want %d", n, len(stream)/2)
+	}
+	if !reflect.DeepEqual(normalizeEmpty(first), normalizeEmpty(sig)) {
+		t.Fatal("streaming decode diverges from round trip")
+	}
+}

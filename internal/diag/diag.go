@@ -26,6 +26,7 @@ package diag
 
 import (
 	"context"
+	"math"
 
 	"sramtest/internal/engine"
 	"sramtest/internal/march"
@@ -70,6 +71,15 @@ type Options struct {
 	// BaseOnly skips the Extra signatures: the dictionary is ~4× cheaper
 	// to build but cannot drive the adaptive refiner.
 	BaseOnly bool
+	// PointsPerDecade, when > 1, subdivides every adjacent Decades pair
+	// into that many log-spaced steps (FineDecades) and builds the fine
+	// grid by interpolation: decade anchors simulate exactly, equal
+	// anchor signatures fill the span, and differing spans bisect down
+	// to the grid until every change point is located (expand.go). The
+	// result is byte-identical to an exhaustive build of the same fine
+	// grid wherever signatures are span-monotone — the regime the
+	// equivalence tests pin — at a small fraction of the simulations.
+	PointsPerDecade int
 	// Workers bounds the sweep-engine concurrency; 0 uses the process
 	// default. The dictionary never depends on it.
 	Workers int
@@ -118,6 +128,26 @@ func ExtraConditions(flow []testflow.TestCondition) []testflow.TestCondition {
 // to 100 MΩ, spanning every sensitivity of the measured Table III matrix.
 func DefaultDecades() []float64 {
 	return []float64{1e3, 1e4, 1e5, 1e6, 1e7, 1e8}
+}
+
+// FineDecades expands a resistance grid: every adjacent pair of the
+// (ascending) input grid is subdivided into points log-spaced steps.
+// The input points appear verbatim as anchors, so the fine grid of a
+// decade ladder is 10^(1/points)-spaced. points <= 1 returns the input.
+func FineDecades(decades []float64, points int) []float64 {
+	if points <= 1 || len(decades) < 2 {
+		return decades
+	}
+	out := make([]float64, 0, (len(decades)-1)*points+1)
+	for i := 0; i < len(decades)-1; i++ {
+		a, b := decades[i], decades[i+1]
+		out = append(out, a)
+		la, lb := math.Log(a), math.Log(b)
+		for k := 1; k < points; k++ {
+			out = append(out, math.Exp(la+(lb-la)*float64(k)/float64(points)))
+		}
+	}
+	return append(out, decades[len(decades)-1])
 }
 
 // DefaultOptions mirrors the paper's production-test setup.

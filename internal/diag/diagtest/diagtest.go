@@ -1,0 +1,232 @@
+// Package diagtest generates synthetic dictionaries and query streams
+// for the matcher equivalence suites. Signatures are drawn from a small
+// pool so dictionaries carry the heavy duplication a fine resistance
+// grid produces — the regime the inverted index (diag/index) exploits —
+// and queries cover exact hits, near misses inside and outside a
+// signature's discrete bucket, all-pass signatures, and condition sets
+// that force the index onto its linear fallback. Everything is driven
+// by a caller-owned *rand.Rand, so suites stay reproducible.
+package diagtest
+
+import (
+	"fmt"
+	"math/rand"
+
+	"sramtest/internal/diag"
+	"sramtest/internal/regulator"
+	"sramtest/internal/testflow"
+)
+
+// randCondSignature draws one per-condition signature. Roughly a third
+// pass; failing ones look like plausible March m-LZ records (first fail
+// in ME4 or ME7, mask covering the first element, syndrome mass equal
+// to the failing-address count).
+func randCondSignature(rng *rand.Rand, cond testflow.TestCondition) diag.CondSignature {
+	c := diag.CondSignature{Cond: cond, Element: -1, Op: -1}
+	if rng.Intn(3) == 0 {
+		c.Pass = true
+		return c
+	}
+	c.Element = []int{3, 6, rng.Intn(7)}[rng.Intn(3)]
+	c.Op = rng.Intn(3)
+	c.Elements = 1 << uint(c.Element)
+	if rng.Intn(4) == 0 {
+		c.Elements |= 1 << uint(rng.Intn(7))
+	}
+	fails := 1 + rng.Intn(256)
+	c.Miscompares = fails * (1 + rng.Intn(4))
+	c.Syn.Fails = fails
+	c.Syn.Rows = 1 + rng.Intn(8)
+	c.Syn.Cols = 1 + rng.Intn(8)
+	for i := 0; i < fails; i++ {
+		c.Syn.RowCounts[rng.Intn(len(c.Syn.RowCounts))]++
+		c.Syn.ColCounts[rng.Intn(len(c.Syn.ColCounts))]++
+	}
+	return c
+}
+
+// RandomDictionary builds a synthetic base-only dictionary of n entries
+// whose signatures are drawn from a pool of at most pool distinct rows
+// (drawn over flow), mimicking the duplication of fine resistance
+// grids. Entries carry unique (defect, res, cs) triples. The result is
+// round-tripped through Encode/Decode so it is exactly what a consumer
+// of a dictionary artifact holds (validated, condition maps cached).
+func RandomDictionary(rng *rand.Rand, n, pool int, flow []testflow.TestCondition) (*diag.Dictionary, error) {
+	rows := make([][]diag.CondSignature, pool)
+	for i := range rows {
+		row := make([]diag.CondSignature, len(flow))
+		fails := false
+		for j, tc := range flow {
+			row[j] = randCondSignature(rng, tc)
+			fails = fails || !row[j].Pass
+		}
+		if !fails {
+			// Dictionaries never hold all-pass entries (those are
+			// undetected escapes); force one failing condition.
+			j := rng.Intn(len(flow))
+			row[j] = randCondSignature(rng, flow[j])
+			row[j].Pass = false
+			if row[j].Element < 0 {
+				row[j].Element, row[j].Op = 3, 0
+				row[j].Elements = 1 << 3
+				row[j].Miscompares, row[j].Syn.Fails = 8, 8
+				row[j].Syn.Rows, row[j].Syn.Cols = 1, 1
+				row[j].Syn.RowCounts[0], row[j].Syn.ColCounts[0] = 8, 8
+			}
+		}
+		rows[i] = row
+	}
+	d := &diag.Dictionary{
+		Version: diag.Version,
+		Test:    "March m-LZ",
+		Corner:  "fs",
+		TempC:   125,
+		Dwell:   1e-3,
+		Flow:    flow,
+		Decades: []float64{1e3},
+	}
+	defects := regulator.DRFCandidates()
+	for i := 0; i < n; i++ {
+		row := rows[rng.Intn(pool)]
+		e := diag.Entry{
+			Defect: defects[i%len(defects)],
+			// Unique res per entry keeps the canonical match order total.
+			Res:   1e3 * float64(1+i/len(defects)),
+			CS:    fmt.Sprintf("CS%d", i%10),
+			Cells: 1,
+			Sig:   diag.Signature{Test: d.Test, Dwell: d.Dwell, Conds: append([]diag.CondSignature(nil), row...)},
+		}
+		d.Entries = append(d.Entries, e)
+	}
+	b, err := d.Encode()
+	if err != nil {
+		return nil, err
+	}
+	return diag.Decode(b)
+}
+
+// FleetDictionary builds a fleet-scale synthetic dictionary of n
+// entries by replicating the signature pool of a RandomDictionary seed
+// in memory. The seed (pool-sized, so its JSON is small) still
+// round-trips through Encode/Decode; the replicas reuse its decoded
+// rows and are cached with Prepare, sidestepping the multi-hundred-MB
+// JSON round-trip a 10^5..10^6-entry RandomDictionary would pay. The
+// result mirrors what diagnose build -points-per-decade emits at fleet
+// scale: ~pool distinct signatures heavily duplicated across entries
+// with unique (defect, res, cs) triples.
+func FleetDictionary(rng *rand.Rand, n, pool int, flow []testflow.TestCondition) (*diag.Dictionary, error) {
+	seed, err := RandomDictionary(rng, pool, pool, flow)
+	if err != nil {
+		return nil, err
+	}
+	d := &diag.Dictionary{
+		Version: seed.Version,
+		Test:    seed.Test,
+		Corner:  seed.Corner,
+		TempC:   seed.TempC,
+		Dwell:   seed.Dwell,
+		Flow:    seed.Flow,
+		Decades: seed.Decades,
+	}
+	defects := regulator.DRFCandidates()
+	d.Entries = make([]diag.Entry, n)
+	for i := range d.Entries {
+		d.Entries[i] = diag.Entry{
+			Defect: defects[i%len(defects)],
+			Res:    1e3 * float64(1+i/len(defects)),
+			CS:     fmt.Sprintf("CS%d", i%10),
+			Cells:  1,
+			Sig:    seed.Entries[rng.Intn(len(seed.Entries))].Sig,
+		}
+	}
+	d.Prepare()
+	return d, nil
+}
+
+// Perturb returns a copy of sig with one field nudged. kind selects the
+// flavor: 0 tweaks the miscompare count (same discrete bucket), 1 shifts
+// syndrome mass (same bucket), 2 flips an extra element-mask bit (a
+// neighboring bucket), 3 flips one condition's pass/fail (a distant
+// bucket).
+func Perturb(rng *rand.Rand, sig diag.Signature, kind int) diag.Signature {
+	out := sig
+	out.Conds = append([]diag.CondSignature(nil), sig.Conds...)
+	// Pick a failing condition to perturb; fall back to any.
+	idx := -1
+	for _, i := range rng.Perm(len(out.Conds)) {
+		if !out.Conds[i].Pass {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		idx = rng.Intn(len(out.Conds))
+	}
+	c := &out.Conds[idx]
+	switch kind % 4 {
+	case 0:
+		c.Miscompares += 1 + rng.Intn(3)
+	case 1:
+		c.Syn.RowCounts[rng.Intn(len(c.Syn.RowCounts))]++
+		c.Syn.Fails++
+	case 2:
+		c.Elements ^= 1 << uint(rng.Intn(7))
+		if c.Elements == 0 {
+			c.Elements = 1
+		}
+	case 3:
+		if c.Pass {
+			c.Pass, c.Element, c.Op = false, 3, 0
+			c.Elements = 1 << 3
+			c.Miscompares, c.Syn.Fails = 4, 4
+			c.Syn.Rows, c.Syn.Cols = 1, 1
+			c.Syn.RowCounts[0], c.Syn.ColCounts[0] = 4, 4
+		} else {
+			*c = diag.CondSignature{Cond: c.Cond, Pass: true, Element: -1, Op: -1}
+		}
+	}
+	return out
+}
+
+// Queries derives a deterministic query mix from the dictionary: exact
+// entry signatures, the four Perturb flavors, an all-pass signature,
+// fully random signatures, and two fallback shapes (a missing condition
+// and an appended off-flow condition) that the index must route to the
+// linear scan.
+func Queries(rng *rand.Rand, d *diag.Dictionary, n int) []diag.Signature {
+	allPass := diag.Signature{Test: d.Test, Dwell: d.Dwell}
+	for _, tc := range d.Flow {
+		allPass.Conds = append(allPass.Conds, diag.CondSignature{Cond: tc, Pass: true, Element: -1, Op: -1})
+	}
+	extra := diag.ExtraConditions(d.Flow)
+	var out []diag.Signature
+	for i := 0; i < n; i++ {
+		base := d.Entries[rng.Intn(len(d.Entries))].Sig
+		switch i % 8 {
+		case 0:
+			out = append(out, base)
+		case 1, 2, 3, 4:
+			out = append(out, Perturb(rng, base, i))
+		case 5:
+			out = append(out, allPass)
+		case 6:
+			// Random signature, mostly off-dictionary.
+			q := diag.Signature{Test: d.Test, Dwell: d.Dwell}
+			for _, tc := range d.Flow {
+				q.Conds = append(q.Conds, randCondSignature(rng, tc))
+			}
+			out = append(out, q)
+		default:
+			// Fallback shapes for the index's linear escape hatch.
+			q := base
+			q.Conds = append([]diag.CondSignature(nil), base.Conds...)
+			if len(extra) > 0 && rng.Intn(2) == 0 {
+				q.Conds = append(q.Conds, randCondSignature(rng, extra[rng.Intn(len(extra))]))
+			} else if len(q.Conds) > 1 {
+				q.Conds = q.Conds[:len(q.Conds)-1]
+			}
+			out = append(out, q)
+		}
+	}
+	return out
+}

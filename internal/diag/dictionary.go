@@ -29,6 +29,13 @@ type Entry struct {
 	// Extra holds the signatures at the refiner's extra conditions
 	// (absent in base-only dictionaries).
 	Extra []CondSignature `json:"extra,omitempty"`
+
+	// conds is the by-condition view of Sig+Extra, cached by prepare at
+	// build/decode time so the matcher's hot loop never rebuilds it.
+	// Entries with byte-identical signatures share one map: fine
+	// resistance grids are dominated by duplicate signatures, so the
+	// cache costs one map per distinct signature, not per entry.
+	conds map[testflow.TestCondition]CondSignature
 }
 
 // Candidate reconstructs the entry's hypothesis (the case-study name is
@@ -48,8 +55,18 @@ func caseStudyByName(name string) process.CaseStudy {
 	return process.CaseStudy{Name: name, Cells: 1}
 }
 
-// at indexes the entry's signatures by condition.
-func (e Entry) at() map[testflow.TestCondition]CondSignature {
+// Conds returns the entry's signatures indexed by condition. Built and
+// decoded dictionaries carry a cached (possibly shared) map; entries
+// constructed by hand fall back to building one per call. Callers must
+// not mutate the result.
+func (e *Entry) Conds() map[testflow.TestCondition]CondSignature {
+	if e.conds != nil {
+		return e.conds
+	}
+	return e.buildConds()
+}
+
+func (e *Entry) buildConds() map[testflow.TestCondition]CondSignature {
 	m := make(map[testflow.TestCondition]CondSignature, len(e.Sig.Conds)+len(e.Extra))
 	for _, c := range e.Sig.Conds {
 		m[c.Cond] = c
@@ -81,12 +98,45 @@ type Dictionary struct {
 	Entries    []Entry `json:"entries"`
 }
 
+// prepare caches every entry's by-condition signature map, sharing one
+// map among entries whose signatures encode to identical bytes. It is
+// idempotent and called from Build and Decode; dictionaries assembled
+// by hand work without it (Conds falls back to a per-call build).
+func (d *Dictionary) prepare() {
+	shared := make(map[string]map[testflow.TestCondition]CondSignature)
+	var buf []byte
+	for i := range d.Entries {
+		e := &d.Entries[i]
+		buf = e.Sig.AppendBinary(buf[:0])
+		for _, c := range e.Extra {
+			buf = appendCondSignature(buf, c)
+		}
+		m, ok := shared[string(buf)]
+		if !ok {
+			m = e.buildConds()
+			shared[string(buf)] = m
+		}
+		e.conds = m
+	}
+}
+
+// Prepare caches the by-condition signature views the way Build and
+// Decode do, for consumers that assemble large dictionaries in memory
+// (the fleet-scale benchmark mirrors) instead of decoding an artifact.
+// Idempotent; entries with byte-identical signatures share one map.
+func (d *Dictionary) Prepare() { d.prepare() }
+
 // Build simulates every candidate at every condition and assembles the
 // dictionary. Work fans out over the sweep engine one (candidate,
 // condition) task at a time; results are assembled in enumeration order,
-// so the dictionary is identical for any Workers setting.
+// so the dictionary is identical for any Workers setting. When
+// PointsPerDecade > 1 the resistance grid is refined and built by
+// interpolation (expand.go) instead of exhaustive simulation.
 func Build(opt Options) (*Dictionary, error) {
 	opt = opt.withDefaults()
+	if opt.PointsPerDecade > 1 {
+		return buildFine(opt)
+	}
 	var cands []Candidate
 	for _, d := range opt.Defects {
 		for _, r := range opt.Decades {
@@ -117,11 +167,13 @@ func Build(opt Options) (*Dictionary, error) {
 	if err != nil {
 		return nil, err
 	}
-	sigs := make([]CondSignature, 0, len(cands)*nc)
-	for _, row := range perCand {
-		sigs = append(sigs, row...)
-	}
+	return assemble(opt, opt.Decades, cands, perCand), nil
+}
 
+// assemble folds per-candidate condition rows (flow conditions first,
+// then extras, matching cands' enumeration order) into the versioned
+// dictionary artifact, dropping undetected escapes.
+func assemble(opt Options, decades []float64, cands []Candidate, perCand [][]CondSignature) *Dictionary {
 	d := &Dictionary{
 		Version: Version,
 		Test:    opt.test().Name,
@@ -130,9 +182,10 @@ func Build(opt Options) (*Dictionary, error) {
 		Dwell:   opt.Dwell,
 		Flow:    opt.Flow,
 		Extra:   opt.Extra,
-		Decades: opt.Decades,
+		Decades: decades,
 	}
 	for ci, cand := range cands {
+		row := perCand[ci]
 		e := Entry{
 			Defect: cand.Defect,
 			Res:    cand.Res,
@@ -142,7 +195,7 @@ func Build(opt Options) (*Dictionary, error) {
 		}
 		detected := false
 		for j := range opt.Flow {
-			cs := sigs[ci*nc+j]
+			cs := row[j]
 			e.Sig.Conds = append(e.Sig.Conds, cs)
 			detected = detected || !cs.Pass
 		}
@@ -151,11 +204,12 @@ func Build(opt Options) (*Dictionary, error) {
 			continue
 		}
 		for j := range opt.Extra {
-			e.Extra = append(e.Extra, sigs[ci*nc+len(opt.Flow)+j])
+			e.Extra = append(e.Extra, row[len(opt.Flow)+j])
 		}
 		d.Entries = append(d.Entries, e)
 	}
-	return d, nil
+	d.prepare()
+	return d
 }
 
 // Encode serializes the dictionary deterministically (indented JSON with
@@ -180,6 +234,7 @@ func Decode(data []byte) (*Dictionary, error) {
 	if len(d.Flow) == 0 {
 		return nil, fmt.Errorf("diag: dictionary has no flow conditions")
 	}
+	d.prepare()
 	return &d, nil
 }
 

@@ -1,0 +1,150 @@
+package diag
+
+import (
+	"fmt"
+	"sort"
+
+	"sramtest/internal/spice"
+	"sramtest/internal/sweep"
+	"sramtest/internal/testflow"
+)
+
+// Fine-grid dictionary construction. A fleet-scale dictionary refines
+// the decade ladder to PointsPerDecade log-spaced steps per decade —
+// 10^5..10^6 candidates — where exhaustive simulation is out of the
+// question. The electrical behaviour that the signatures summarize is
+// monotone in the open resistance: a defect is undetectable below some
+// threshold, and above it the failure pattern marches through a handful
+// of shapes as the resistance grows (the measured default grid shows
+// under one signature change per (defect, case-study) chain). buildFine
+// exploits that: it simulates the original decade anchors exactly,
+// copies spans whose anchor signatures agree, and binary-searches every
+// disagreeing span down to the fine grid until each change point is
+// located. Cost is O(anchors + changes·log points) simulations instead
+// of O(points).
+//
+// Determinism: work fans out one (defect, case study) chain per sweep
+// task; within a chain the simulation order (anchors ascending, then
+// bisection midpoints) is a pure function of the signatures, and
+// signatures are warm-start invariant (the PR 4 contract), so the
+// artifact is byte-identical at any worker count. Wherever a signature
+// were to change twice inside one span — not observed on the measured
+// grids; the equivalence test pins representative boundaries — the
+// interpolated artifact would still be internally consistent (every
+// point carries a signature some grid point produced), it would just
+// place the inner change at a bisection probe rather than the exact
+// grid point.
+
+// buildFine builds the dictionary over FineDecades(opt.Decades,
+// opt.PointsPerDecade) by anchor simulation + span interpolation.
+func buildFine(opt Options) (*Dictionary, error) {
+	anchors := append([]float64{}, opt.Decades...)
+	sort.Float64s(anchors)
+	if len(anchors) < 2 {
+		return nil, fmt.Errorf("diag: fine grid needs >= 2 decades, have %d", len(anchors))
+	}
+	ppd := opt.PointsPerDecade
+	grid := FineDecades(anchors, ppd)
+	conds := append(append([]testflow.TestCondition{}, opt.Flow...), opt.Extra...)
+
+	type chain struct {
+		cand Candidate // Res varies per grid point
+	}
+	var chains []chain
+	for _, df := range opt.Defects {
+		for _, cs := range opt.CaseStudies {
+			chains = append(chains, chain{cand: Candidate{Defect: df, CS: cs}})
+		}
+	}
+
+	// One task per (defect, case study): simulate its whole resistance
+	// ladder. rows[g] is the condition row at grid[g].
+	perChain, err := sweep.MapCtx(opt.Ctx, len(chains), func(ci int) ([][]CondSignature, error) {
+		cand := chains[ci].cand
+		var warm *spice.Solution
+		simRow := func(g int) ([]CondSignature, error) {
+			c := cand
+			c.Res = grid[g]
+			row := make([]CondSignature, len(conds))
+			for j, tc := range conds {
+				cs, err := simulate(opt, c, tc, &warm)
+				if err != nil {
+					return nil, err
+				}
+				row[j] = cs
+			}
+			return row, nil
+		}
+		rows := make([][]CondSignature, len(grid))
+		for a := 0; a < len(anchors); a++ {
+			g := a * ppd
+			row, err := simRow(g)
+			if err != nil {
+				return nil, err
+			}
+			rows[g] = row
+		}
+		// Fill each anchor span: copy when the ends agree, else bisect.
+		var fill func(lo, hi int) error
+		fill = func(lo, hi int) error {
+			if hi-lo <= 1 {
+				return nil
+			}
+			if rowEqual(rows[lo], rows[hi]) {
+				for g := lo + 1; g < hi; g++ {
+					rows[g] = rows[lo]
+				}
+				return nil
+			}
+			mid := (lo + hi) / 2
+			row, err := simRow(mid)
+			if err != nil {
+				return err
+			}
+			rows[mid] = row
+			if err := fill(lo, mid); err != nil {
+				return err
+			}
+			return fill(mid, hi)
+		}
+		for a := 0; a < len(anchors)-1; a++ {
+			if err := fill(a*ppd, (a+1)*ppd); err != nil {
+				return nil, err
+			}
+		}
+		return rows, nil
+	}, sweep.Workers(opt.Workers))
+	if err != nil {
+		return nil, err
+	}
+
+	// Reassemble in the canonical enumeration order (defect-major, then
+	// resistance, then case study) so the artifact is byte-identical to
+	// an exhaustive Build over the same fine grid.
+	ncs := len(opt.CaseStudies)
+	var cands []Candidate
+	var perCand [][]CondSignature
+	for di, df := range opt.Defects {
+		for g, r := range grid {
+			for si, cs := range opt.CaseStudies {
+				cands = append(cands, Candidate{Defect: df, Res: r, CS: cs})
+				perCand = append(perCand, perChain[di*ncs+si][g])
+			}
+		}
+	}
+	return assemble(opt, grid, cands, perCand), nil
+}
+
+// rowEqual reports whether two condition rows are identical.
+// CondSignature is comparable, so this is exact.
+func rowEqual(a, b []CondSignature) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

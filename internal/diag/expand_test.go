@@ -1,0 +1,121 @@
+package diag
+
+import (
+	"bytes"
+	"math"
+	"testing"
+)
+
+func TestFineDecades(t *testing.T) {
+	got := FineDecades([]float64{1e3, 1e4, 1e5}, 4)
+	if len(got) != 9 {
+		t.Fatalf("fine grid has %d points, want 9", len(got))
+	}
+	for _, anchor := range []struct {
+		idx  int
+		want float64
+	}{{0, 1e3}, {4, 1e4}, {8, 1e5}} {
+		if got[anchor.idx] != anchor.want {
+			t.Errorf("grid[%d] = %g, want anchor %g verbatim", anchor.idx, got[anchor.idx], anchor.want)
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i] <= got[i-1] {
+			t.Fatalf("grid not strictly ascending at %d: %g <= %g", i, got[i], got[i-1])
+		}
+	}
+	// Log-spacing: the interior ratio matches 10^(1/4) to float accuracy.
+	want := math.Pow(10, 0.25)
+	if r := got[1] / got[0]; math.Abs(r-want) > 1e-9 {
+		t.Errorf("fine step ratio %g, want %g", r, want)
+	}
+	// Degenerate inputs pass through.
+	if g := FineDecades([]float64{1e5}, 4); len(g) != 1 {
+		t.Errorf("single-point grid expanded to %d points", len(g))
+	}
+	if g := FineDecades([]float64{1e3, 1e4}, 1); len(g) != 2 {
+		t.Errorf("points=1 expanded to %d points", len(g))
+	}
+}
+
+// fineOptions is the cheap fine-grid build: Df12/Df16 cross their
+// detection threshold between 1 kΩ and 10 kΩ, so the interpolated build
+// must locate a pass→fail change point by bisection inside the first
+// span — the mechanism under test, not just the copy-equal-spans path.
+func fineOptions() Options {
+	opt := reducedOptions()
+	opt.BaseOnly = true
+	opt.Decades = []float64{1e3, 1e4, 1e5}
+	opt.PointsPerDecade = 4
+	return opt
+}
+
+// TestFineBuildEquivalence pins the interpolation contract: the
+// anchor-and-bisect build must be byte-identical to exhaustively
+// simulating every fine grid point.
+func TestFineBuildEquivalence(t *testing.T) {
+	opt := fineOptions()
+	fine, err := Build(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fine.Decades) != 9 {
+		t.Fatalf("fine dictionary has %d decades, want 9", len(fine.Decades))
+	}
+	if len(fine.Entries) == 0 || fine.Undetected == 0 {
+		t.Fatalf("fine grid should mix detected and undetected candidates, have %d/%d",
+			len(fine.Entries), fine.Undetected)
+	}
+
+	exh := opt
+	exh.PointsPerDecade = 0
+	exh.Decades = FineDecades(opt.Decades, opt.PointsPerDecade)
+	want, err := Build(exh)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fb, err := fine.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wb, err := want.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fb, wb) {
+		t.Fatalf("interpolated fine build diverges from exhaustive build (%d vs %d entries)",
+			len(fine.Entries), len(want.Entries))
+	}
+}
+
+// TestFineBuildWorkerInvariance extends the dictionary determinism
+// contract to the interpolated path.
+func TestFineBuildWorkerInvariance(t *testing.T) {
+	opt := fineOptions()
+
+	opt.Workers = 1
+	ResetCache()
+	d1, err := Build(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := d1.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	opt.Workers = 8
+	ResetCache()
+	d8, err := Build(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b8, err := d8.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b8) {
+		t.Fatal("fine dictionary bytes differ between -workers 1 and -workers 8")
+	}
+}

@@ -1,0 +1,87 @@
+package index
+
+import (
+	"math/bits"
+
+	"sramtest/internal/diag"
+)
+
+// Syndrome banding: each failing condition's row/column histograms (8+8
+// coarse buckets) are quantized to log2 magnitude classes and split into
+// bands of bandWidth values; each band hashes to one uint64. Two
+// signatures whose syndromes agree on any band — same spatial shape in
+// some slice of the array, at the same condition position — collide, so
+// a near-miss query (a few miscompares off an entry) shares most bands
+// with it while unrelated shapes share none. The hashes only order group
+// evaluation inside a bucket (near-misses first, tightening the pruning
+// threshold early); they never decide membership of the result.
+
+// bandWidth is the number of quantized histogram values per band: 16
+// values per condition → 4 bands of 4.
+const bandWidth = 4
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// quantize maps a histogram count to its log2 magnitude class, so bands
+// survive the small count jitter that separates near-miss signatures.
+func quantize(v int) uint64 {
+	if v < 0 {
+		v = 0
+	}
+	return uint64(bits.Len(uint(v)))
+}
+
+// bandHashes computes the band hash set of an aligned condition row.
+// Passing conditions contribute nothing (their syndrome is empty by
+// construction).
+func bandHashes(row []diag.CondSignature) []uint64 {
+	var out []uint64
+	var vals [2 * len(diag.Syndrome{}.RowCounts)]uint64
+	for ci, c := range row {
+		if c.Pass {
+			continue
+		}
+		n := 0
+		for _, v := range c.Syn.RowCounts {
+			vals[n] = quantize(v)
+			n++
+		}
+		for _, v := range c.Syn.ColCounts {
+			vals[n] = quantize(v)
+			n++
+		}
+		for b := 0; b*bandWidth < n; b++ {
+			h := uint64(fnvOffset)
+			h = fnvMix(h, uint64(ci))
+			h = fnvMix(h, uint64(b))
+			for i := b * bandWidth; i < (b+1)*bandWidth && i < n; i++ {
+				h = fnvMix(h, vals[i])
+			}
+			out = append(out, h)
+		}
+	}
+	return out
+}
+
+// fnvMix folds one value into an FNV-1a style hash, byte by byte.
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}
+
+// sharesBand reports whether any of hs is in the query band set.
+func sharesBand(q map[uint64]bool, hs []uint64) bool {
+	for _, h := range hs {
+		if q[h] {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,215 @@
+// Package index accelerates fault-dictionary matching with a
+// syndrome-keyed inverted index, turning the linear scan of
+// diag.(*Dictionary).Match into a candidate-set traversal that touches
+// a few distinct signatures per query while returning byte-identical
+// Diagnosis results.
+//
+// The structure exploits how fleet-scale dictionaries are built: a fine
+// resistance grid multiplies candidates but not behaviours, so entries
+// collapse into a small number of distinct signatures. Three layers:
+//
+//  1. Groups — entries whose flow signatures encode to identical bytes
+//     form one group; the weighted distance is computed once per group,
+//     never per entry. Members are pre-sorted by the canonical
+//     (defect, res, cs) tie-break so result assembly is a merge of
+//     sorted runs, not a sort.
+//  2. Buckets — groups sharing the discrete per-condition key vector
+//     (pass/fail, first failing element/op, failing-element mask —
+//     diag.CondKey) form a bucket. Summed key distance is an exact
+//     lower bound on any member's distance (diag.KeyDistance), so an
+//     exact-hit query resolves inside one bucket and buckets are pruned
+//     in best-first order the moment their bound exceeds the running
+//     threshold.
+//  3. Bands — within a bucket, locality-sensitive bands over the
+//     quantized row/column syndrome histograms (bands.go) order group
+//     evaluation so near-misses are scored first, tightening the
+//     pruning threshold early. Banding is a heuristic for evaluation
+//     order only; correctness always comes from the exact bounds.
+//
+// Determinism contract: Match(sig) returns bytes identical to
+// dict.Match(sig) for every signature — the traversal keeps every
+// candidate whose bound does not exceed the final threshold
+// max(10th-best distance, best+AmbiguityTol), which provably covers the
+// linear matcher's Ranked and Ambiguity sets. Queries whose condition
+// set differs from the indexed flow conditions (adaptive-refinement
+// signatures with appended extra conditions, truncated logs) fall back
+// to the linear scan, as do entries that do not cover the flow exactly
+// (residue). The index never mutates the dictionary and is safe for
+// concurrent queries.
+package index
+
+import (
+	"fmt"
+
+	"sramtest/internal/diag"
+	"sramtest/internal/testflow"
+)
+
+// group is one distinct flow signature and every entry that carries it.
+type group struct {
+	// conds is the representative entry's by-condition signature map —
+	// all members produce identical distances against flow queries.
+	conds map[testflow.TestCondition]diag.CondSignature
+	// keys is the discrete key vector aligned to Index.conds.
+	keys []diag.CondKey
+	// mis holds per-condition miscompare counts aligned to Index.conds
+	// (-1 for passing conditions), the cheap per-group bound refinement.
+	mis []int
+	// bands are the syndrome band hashes (bands.go).
+	bands []uint64
+	// members lists every entry of the group as a Match with Distance
+	// left zero, pre-sorted by (Defect, Res, CS); queries copy it with
+	// the distance filled in.
+	members []diag.Match
+}
+
+// bucket collects the groups sharing one discrete key vector.
+type bucket struct {
+	keys   []diag.CondKey
+	groups []*group
+}
+
+// Index is the inverted index over one dictionary. Build it once with
+// New; Match is safe for concurrent use.
+type Index struct {
+	dict    *diag.Dictionary
+	conds   []testflow.TestCondition
+	condPos map[testflow.TestCondition]int
+	buckets []*bucket
+	groups  int
+	// residue lists entries whose signature conditions do not cover the
+	// flow exactly; they are scored linearly on every query.
+	residue []int
+}
+
+// New builds the index over d. The dictionary must not be mutated while
+// the index is in use.
+func New(d *diag.Dictionary) (*Index, error) {
+	if len(d.Flow) == 0 {
+		return nil, fmt.Errorf("index: dictionary has no flow conditions")
+	}
+	ix := &Index{
+		dict:    d,
+		conds:   d.Flow,
+		condPos: make(map[testflow.TestCondition]int, len(d.Flow)),
+	}
+	for i, tc := range d.Flow {
+		if _, dup := ix.condPos[tc]; dup {
+			return nil, fmt.Errorf("index: duplicate flow condition %s", tc)
+		}
+		ix.condPos[tc] = i
+	}
+
+	groups := make(map[string]*group)
+	buckets := make(map[string]*bucket)
+	var keybuf []byte
+	for i := range d.Entries {
+		e := &d.Entries[i]
+		row := ix.align(e.Sig.Conds)
+		if row == nil {
+			ix.residue = append(ix.residue, i)
+			continue
+		}
+		keybuf = diag.Signature{Conds: row}.AppendBinary(keybuf[:0])
+		g, ok := groups[string(keybuf)]
+		if !ok {
+			g = &group{conds: e.Conds(), bands: bandHashes(row)}
+			for _, c := range row {
+				g.keys = append(g.keys, c.Key())
+				if c.Pass {
+					g.mis = append(g.mis, -1)
+				} else {
+					g.mis = append(g.mis, c.Miscompares)
+				}
+			}
+			groups[string(keybuf)] = g
+			ix.groups++
+
+			keybuf = appendBucketKey(keybuf[:0], g.keys)
+			b, ok := buckets[string(keybuf)]
+			if !ok {
+				b = &bucket{keys: g.keys}
+				buckets[string(keybuf)] = b
+				ix.buckets = append(ix.buckets, b)
+			}
+			b.groups = append(b.groups, g)
+		}
+		g.members = append(g.members, diag.Match{
+			Index: i, Defect: e.Defect, Res: e.Res, CS: e.CS,
+		})
+	}
+	// Entries arrive in the dictionary's canonical enumeration order
+	// (defect-major, then resistance, then case study), which is exactly
+	// the (Defect, Res, CS) tie-break order — members are born sorted.
+	// Hand-built dictionaries may violate that, so normalize.
+	for _, b := range ix.buckets {
+		for _, g := range b.groups {
+			if !membersSorted(g.members) {
+				sortMembers(g.members)
+			}
+		}
+	}
+	return ix, nil
+}
+
+// align maps a condition-signature list onto the flow-condition
+// positions; nil when the list does not cover the flow set exactly.
+func (ix *Index) align(conds []diag.CondSignature) []diag.CondSignature {
+	if len(conds) != len(ix.conds) {
+		return nil
+	}
+	row := make([]diag.CondSignature, len(ix.conds))
+	var filled uint64
+	for _, c := range conds {
+		p, ok := ix.condPos[c.Cond]
+		if !ok || filled&(1<<uint(p)) != 0 {
+			return nil
+		}
+		filled |= 1 << uint(p)
+		row[p] = c
+	}
+	return row
+}
+
+// appendBucketKey encodes a discrete key vector by reusing the binary
+// signature codec on key-only signatures (pass collapses to the short
+// form, so distinct vectors encode distinctly).
+func appendBucketKey(dst []byte, keys []diag.CondKey) []byte {
+	row := make([]diag.CondSignature, len(keys))
+	for i, k := range keys {
+		row[i] = diag.CondSignature{
+			Pass: k.Pass, Element: k.Element, Op: k.Op, Elements: k.Elements,
+		}
+	}
+	return diag.Signature{Conds: row}.AppendBinary(dst)
+}
+
+func membersSorted(ms []diag.Match) bool {
+	for i := 1; i < len(ms); i++ {
+		if !ms[i-1].Less(ms[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats describes the shape of a built index.
+type Stats struct {
+	Entries int // dictionary entries covered
+	Groups  int // distinct flow signatures
+	Buckets int // distinct discrete key vectors
+	Residue int // entries scored linearly on every query
+}
+
+// Stats returns the index shape.
+func (ix *Index) Stats() Stats {
+	return Stats{
+		Entries: len(ix.dict.Entries),
+		Groups:  ix.groups,
+		Buckets: len(ix.buckets),
+		Residue: len(ix.residue),
+	}
+}
+
+// Dictionary returns the indexed dictionary.
+func (ix *Index) Dictionary() *diag.Dictionary { return ix.dict }

@@ -1,0 +1,185 @@
+package index_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"sramtest/internal/diag"
+	"sramtest/internal/diag/diagtest"
+	"sramtest/internal/diag/index"
+	"sramtest/internal/process"
+	"sramtest/internal/regulator"
+)
+
+// mustJSON canonicalizes a diagnosis for byte comparison.
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestIndexMatchEquivalence is the core determinism gate: over random
+// dictionaries of many shapes and a mixed query stream (verbatim
+// entries, four perturbation flavours, all-pass, random noise, and
+// fallback-shaped condition sets), the indexed matcher must return
+// byte-identical Diagnosis values to the linear scan.
+func TestIndexMatchEquivalence(t *testing.T) {
+	flow := diag.DefaultFlowConditions()
+	for trial, n := range []int{1, 3, 17, 60, 250, 900} {
+		rng := rand.New(rand.NewSource(int64(7000 + trial)))
+		d, err := diagtest.RandomDictionary(rng, n, 1+n/20, flow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ix, err := index.New(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := ix.Stats()
+		if st.Entries != len(d.Entries) || st.Groups > st.Entries || st.Buckets > st.Groups {
+			t.Fatalf("n=%d: implausible index shape %+v", n, st)
+		}
+		for qi, q := range diagtest.Queries(rng, d, 48) {
+			want := d.Match(q)
+			got := ix.Match(q)
+			wb, gb := mustJSON(t, want), mustJSON(t, got)
+			if !bytes.Equal(wb, gb) {
+				t.Fatalf("n=%d query %d: indexed diagnosis diverges\nlinear:  %s\nindexed: %s",
+					n, qi, wb, gb)
+			}
+		}
+	}
+}
+
+// TestIndexEmptyAndDegenerate covers the edge shapes: an empty
+// dictionary (delegates to the linear matcher's zero Diagnosis) and a
+// dictionary whose every query is an exact hit.
+func TestIndexEmptyAndDegenerate(t *testing.T) {
+	flow := diag.DefaultFlowConditions()
+	empty := &diag.Dictionary{Flow: flow}
+	ix, err := index.New(empty)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dg := ix.Match(diag.Signature{})
+	if len(dg.Ranked) != 0 || len(dg.Ambiguity) != 0 || dg.Exact {
+		t.Fatalf("empty dictionary produced %+v", dg)
+	}
+
+	if _, err := index.New(&diag.Dictionary{}); err == nil {
+		t.Fatal("index over a dictionary without flow conditions should fail")
+	}
+
+	rng := rand.New(rand.NewSource(99))
+	d, err := diagtest.RandomDictionary(rng, 40, 2, flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err = index.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Entries {
+		dg := ix.Match(d.Entries[i].Sig)
+		if !dg.Exact {
+			t.Fatalf("entry %d: verbatim signature not an exact hit", i)
+		}
+		if dg.Ranked[0].Distance != 0 {
+			t.Fatalf("entry %d: exact hit ranked with distance %g", i, dg.Ranked[0].Distance)
+		}
+	}
+}
+
+// TestIndexStatsCounting checks the matcher telemetry: indexed queries
+// must evaluate far fewer candidates than the dictionary holds, and
+// off-flow queries must count as fallbacks.
+func TestIndexStatsCounting(t *testing.T) {
+	flow := diag.DefaultFlowConditions()
+	rng := rand.New(rand.NewSource(4242))
+	d, err := diagtest.RandomDictionary(rng, 600, 12, flow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := index.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	diag.ResetStats()
+	const queries = 50
+	for i := 0; i < queries; i++ {
+		ix.Match(d.Entries[rng.Intn(len(d.Entries))].Sig)
+	}
+	st := diag.Stats()
+	if st.Matches != queries {
+		t.Fatalf("counted %d matches, want %d", st.Matches, queries)
+	}
+	if mean := st.MeanScanned(); mean >= float64(len(d.Entries))/2 {
+		t.Fatalf("indexed matcher scanned %.1f candidates per query on average, want far fewer than %d",
+			mean, len(d.Entries))
+	}
+
+	// A query with an extra condition falls back to the linear scan.
+	q := d.Entries[0].Sig
+	q.Conds = append(append([]diag.CondSignature{}, q.Conds...), q.Conds[0])
+	ix.Match(q)
+	if st := diag.Stats(); st.Fallbacks != 1 {
+		t.Fatalf("off-flow query counted %d fallbacks, want 1", st.Fallbacks)
+	}
+}
+
+// TestIndexRealBuildEquivalence runs the gate on a real (reduced)
+// fine-grid dictionary rather than synthetic signatures, and checks
+// that indexing is invariant to the build worker count.
+func TestIndexRealBuildEquivalence(t *testing.T) {
+	opt := diag.DefaultOptions()
+	opt.Defects = []regulator.Defect{regulator.Df12, regulator.Df16}
+	opt.CaseStudies = process.Table1CaseStudies()[:2]
+	opt.Decades = []float64{1e3, 1e4, 1e5}
+	opt.BaseOnly = true
+	opt.PointsPerDecade = 4
+
+	opt.Workers = 1
+	d1, err := diag.Build(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt.Workers = 8
+	d8, err := diag.Build(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ix1, err := index.New(d1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix8, err := index.New(d8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ix1.Stats() != ix8.Stats() {
+		t.Fatalf("index shape differs across build worker counts: %+v vs %+v",
+			ix1.Stats(), ix8.Stats())
+	}
+
+	rng := rand.New(rand.NewSource(5))
+	queries := diagtest.Queries(rng, d1, 40)
+	for i := range d1.Entries {
+		queries = append(queries, d1.Entries[i].Sig)
+	}
+	for qi, q := range queries {
+		want := mustJSON(t, d1.Match(q))
+		for which, dg := range []diag.Diagnosis{ix1.Match(q), ix8.Match(q)} {
+			if got := mustJSON(t, dg); !bytes.Equal(want, got) {
+				t.Fatalf("query %d (index %d): diverges from linear scan\nlinear:  %s\nindexed: %s",
+					qi, which, want, got)
+			}
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package index
+
+import (
+	"math"
+	"sort"
+
+	"sramtest/internal/diag"
+)
+
+// lbSlack pads the pruning comparison: the bucket/group bounds sum the
+// same weighted terms as the exact distance but in a different order, so
+// float rounding can push a bound a few ulps past the exact value. The
+// pad only admits extra candidates for exact scoring (they are filtered
+// against exact distances at the end) — it can never change the result.
+const lbSlack = 1e-7
+
+// cand is one scored candidate: a signature group (members shared with
+// the index, distance filled at assembly) or a residue entry.
+type cand struct {
+	members []diag.Match
+	dist    float64
+}
+
+// topK tracks the MaxRanked smallest entry distances seen, counting
+// group multiplicity, to reproduce the linear matcher's implicit
+// "10th-best distance" cut-off as a pruning threshold.
+type topK struct {
+	d [diag.MaxRanked]float64
+	n int
+}
+
+func (t *topK) add(dist float64, count int) {
+	for c := 0; c < count; c++ {
+		i := t.n
+		if i == len(t.d) {
+			if dist >= t.d[i-1] {
+				return
+			}
+			i--
+		} else {
+			t.n++
+		}
+		for ; i > 0 && t.d[i-1] > dist; i-- {
+			t.d[i] = t.d[i-1]
+		}
+		t.d[i] = dist
+	}
+}
+
+// kth is the distance an entry must beat (weakly) to enter the top
+// MaxRanked; +Inf until the list fills.
+func (t *topK) kth() float64 {
+	if t.n < len(t.d) {
+		return math.Inf(1)
+	}
+	return t.d[t.n-1]
+}
+
+// Match diagnoses sig, returning bytes identical to
+// ix.Dictionary().Match(sig). Queries whose condition set is not exactly
+// the indexed flow fall back to the linear scan (counted via
+// diag.CountFallback); indexed queries count one diag.CountIndexMatch
+// with the number of exact distance evaluations performed.
+func (ix *Index) Match(sig diag.Signature) diag.Diagnosis {
+	d := ix.dict
+	if len(d.Entries) == 0 {
+		return d.Match(sig)
+	}
+	row := ix.align(sig.Conds)
+	if row == nil {
+		diag.CountFallback()
+		return d.Match(sig)
+	}
+
+	qkeys := make([]diag.CondKey, len(row))
+	qmis := make([]int, len(row))
+	for i, c := range row {
+		qkeys[i] = c.Key()
+		if c.Pass {
+			qmis[i] = -1
+		} else {
+			qmis[i] = c.Miscompares
+		}
+	}
+	qbands := make(map[uint64]bool)
+	for _, h := range bandHashes(row) {
+		qbands[h] = true
+	}
+
+	best := math.Inf(1)
+	var top topK
+	evals := 0
+	var cands []cand
+
+	// eval records one exactly-scored candidate. Distances come from the
+	// same DistanceTo call over the same shared condition map the linear
+	// matcher uses, so the float sums are bit-identical.
+	eval := func(members []diag.Match, dist float64) {
+		evals++
+		if dist < best {
+			best = dist
+		}
+		top.add(dist, len(members))
+		cands = append(cands, cand{members: members, dist: dist})
+	}
+
+	// Residue entries (signatures that do not cover the flow exactly)
+	// are always scored, like any entry in the linear scan.
+	for _, ei := range ix.residue {
+		e := &d.Entries[ei]
+		eval([]diag.Match{{Index: ei, Defect: e.Defect, Res: e.Res, CS: e.CS}},
+			sig.DistanceTo(e.Conds()))
+	}
+
+	thr := func() float64 {
+		t := best + diag.AmbiguityTol
+		if k := top.kth(); k > t {
+			t = k
+		}
+		return t
+	}
+
+	// Best-first bucket traversal: ascending exact lower bound, stable on
+	// build order so traversal (and the stats it produces) is
+	// deterministic.
+	type scoredBucket struct {
+		b   *bucket
+		lb  float64
+		ord int
+	}
+	sb := make([]scoredBucket, len(ix.buckets))
+	for i, b := range ix.buckets {
+		lb := 0.0
+		for j, k := range b.keys {
+			lb += diag.KeyDistance(qkeys[j], k)
+		}
+		sb[i] = scoredBucket{b: b, lb: lb, ord: i}
+	}
+	sort.Slice(sb, func(i, j int) bool {
+		if sb[i].lb != sb[j].lb {
+			return sb[i].lb < sb[j].lb
+		}
+		return sb[i].ord < sb[j].ord
+	})
+
+	evalGroup := func(g *group, bucketLB float64) {
+		lb := bucketLB
+		for i, m := range g.mis {
+			if m >= 0 && qmis[i] >= 0 {
+				lb += diag.MiscompareDistance(qmis[i], m)
+			}
+		}
+		if lb > thr()+lbSlack {
+			return
+		}
+		eval(g.members, sig.DistanceTo(g.conds))
+	}
+
+	for _, s := range sb {
+		if s.lb > thr()+lbSlack {
+			break
+		}
+		// Band-sharing groups first: scoring likely near-misses early
+		// tightens the threshold before the rest of the bucket is bounded.
+		for _, g := range s.b.groups {
+			if sharesBand(qbands, g.bands) {
+				evalGroup(g, s.lb)
+			}
+		}
+		for _, g := range s.b.groups {
+			if !sharesBand(qbands, g.bands) {
+				evalGroup(g, s.lb)
+			}
+		}
+	}
+
+	dg := ix.assemble(cands, best, thr())
+	diag.CountIndexMatch(int64(evals), dg.Exact)
+	return dg
+}
+
+// assemble builds the Diagnosis from scored candidates without sorting
+// matches: candidates order by exact distance, and members inside each
+// are pre-sorted by the canonical tie-break, so equal-distance runs
+// merge in O(result) — the step that keeps huge tied ambiguity sets
+// (half a fine-grid dictionary) cheap for the indexed matcher.
+func (ix *Index) assemble(cands []cand, best, final float64) diag.Diagnosis {
+	kept := cands[:0]
+	for _, c := range cands {
+		if c.dist <= final {
+			kept = append(kept, c)
+		}
+	}
+	sort.Slice(kept, func(i, j int) bool { return kept[i].dist < kept[j].dist })
+
+	var dg diag.Diagnosis
+	dg.Exact = best == 0
+
+	ranked := make([]diag.Match, 0, diag.MaxRanked)
+	for i := 0; i < len(kept) && len(ranked) < diag.MaxRanked; {
+		j := i
+		for j < len(kept) && kept[j].dist == kept[i].dist {
+			j++
+		}
+		ranked = appendRun(ranked, kept[i:j], diag.MaxRanked-len(ranked))
+		i = j
+	}
+	dg.Ranked = ranked
+
+	n := 0
+	ambEnd := 0
+	for _, c := range kept {
+		if c.dist <= best+diag.AmbiguityTol {
+			n += len(c.members)
+			ambEnd++
+		}
+	}
+	amb := make([]diag.Match, 0, n)
+	for i := 0; i < ambEnd; {
+		j := i
+		for j < ambEnd && kept[j].dist == kept[i].dist {
+			j++
+		}
+		amb = appendRun(amb, kept[i:j], -1)
+		i = j
+	}
+	dg.Ambiguity = amb
+	return dg
+}
+
+// appendRun appends the members of one equal-distance candidate run in
+// canonical (defect, res, cs) order, filling in the distance. limit < 0
+// means unbounded. Single-candidate runs — the overwhelmingly common
+// case — reduce to a copy.
+func appendRun(dst []diag.Match, run []cand, limit int) []diag.Match {
+	dist := run[0].dist
+	if len(run) == 1 {
+		ms := run[0].members
+		if limit >= 0 && len(ms) > limit {
+			ms = ms[:limit]
+		}
+		for _, m := range ms {
+			m.Distance = dist
+			dst = append(dst, m)
+		}
+		return dst
+	}
+	pos := make([]int, len(run))
+	for limit != 0 {
+		bi := -1
+		for i := range run {
+			if pos[i] >= len(run[i].members) {
+				continue
+			}
+			if bi < 0 || lessMember(run[i].members[pos[i]], run[bi].members[pos[bi]]) {
+				bi = i
+			}
+		}
+		if bi < 0 {
+			break
+		}
+		m := run[bi].members[pos[bi]]
+		pos[bi]++
+		m.Distance = dist
+		dst = append(dst, m)
+		if limit > 0 {
+			limit--
+		}
+	}
+	return dst
+}
+
+// lessMember is Match.Less restricted to the tie-break fields — runs
+// share one exact distance, and Distance is not yet filled in.
+func lessMember(a, b diag.Match) bool {
+	if a.Defect != b.Defect {
+		return a.Defect < b.Defect
+	}
+	if a.Res != b.Res {
+		return a.Res < b.Res
+	}
+	return a.CS < b.CS
+}
+
+// sortMembers restores the canonical member order for dictionaries not
+// produced by the canonical build enumeration.
+func sortMembers(ms []diag.Match) {
+	sort.Slice(ms, func(i, j int) bool { return lessMember(ms[i], ms[j]) })
+}

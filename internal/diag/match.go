@@ -2,6 +2,7 @@ package diag
 
 import (
 	"sort"
+	"sync"
 
 	"sramtest/internal/regulator"
 )
@@ -10,10 +11,10 @@ import (
 // set is never truncated.
 const MaxRanked = 10
 
-// ambiguityTol is the distance slack within which candidates count as
+// AmbiguityTol is the distance slack within which candidates count as
 // tied with the best match. Distances are sums of exact weights, so this
 // only absorbs float rounding.
-const ambiguityTol = 1e-9
+const AmbiguityTol = 1e-9
 
 // Match is one ranked dictionary hit.
 type Match struct {
@@ -23,6 +24,22 @@ type Match struct {
 	Res      float64          `json:"res"`
 	CS       string           `json:"cs"`
 	Distance float64          `json:"distance"`
+}
+
+// Less is the canonical match ordering: ascending distance, ties broken
+// by (defect, res, cs). Build-produced dictionaries never repeat a
+// (defect, res, cs) triple, so the order is total on them.
+func (m Match) Less(o Match) bool {
+	if m.Distance != o.Distance {
+		return m.Distance < o.Distance
+	}
+	if m.Defect != o.Defect {
+		return m.Defect < o.Defect
+	}
+	if m.Res != o.Res {
+		return m.Res < o.Res
+	}
+	return m.CS < o.CS
 }
 
 // Diagnosis is the matcher's verdict on one observed signature.
@@ -52,41 +69,21 @@ func (dg Diagnosis) Defects() []regulator.Defect {
 	return out
 }
 
-// Match ranks the dictionary against an observed signature: exact hits
-// first, then Hamming-nearest under the weighted per-field distance.
-// Entries tied with the best distance form the ambiguity set.
-func (d *Dictionary) Match(sig Signature) Diagnosis {
-	ms := make([]Match, 0, len(d.Entries))
-	for i, e := range d.Entries {
-		ms = append(ms, Match{
-			Index:    i,
-			Defect:   e.Defect,
-			Res:      e.Res,
-			CS:       e.CS,
-			Distance: sig.DistanceTo(e.at()),
-		})
-	}
-	sort.Slice(ms, func(i, j int) bool {
-		a, b := ms[i], ms[j]
-		if a.Distance != b.Distance {
-			return a.Distance < b.Distance
-		}
-		if a.Defect != b.Defect {
-			return a.Defect < b.Defect
-		}
-		if a.Res != b.Res {
-			return a.Res < b.Res
-		}
-		return a.CS < b.CS
-	})
+// NewDiagnosis assembles a Diagnosis from scored matches, sorting ms in
+// place by the canonical order. ms must contain every entry within
+// AmbiguityTol of the best distance and the true top MaxRanked — any
+// complete candidate superset works, which is how the inverted index
+// (diag/index) reuses the linear matcher's exact semantics.
+func NewDiagnosis(ms []Match) Diagnosis {
 	var dg Diagnosis
 	if len(ms) == 0 {
 		return dg
 	}
+	sort.Slice(ms, func(i, j int) bool { return ms[i].Less(ms[j]) })
 	best := ms[0].Distance
 	dg.Exact = best == 0
 	for _, m := range ms {
-		if m.Distance <= best+ambiguityTol {
+		if m.Distance <= best+AmbiguityTol {
 			dg.Ambiguity = append(dg.Ambiguity, m)
 		}
 	}
@@ -95,4 +92,120 @@ func (d *Dictionary) Match(sig Signature) Diagnosis {
 	}
 	dg.Ranked = ms
 	return dg
+}
+
+// idxDist is a scored entry reference inside the matcher's scratch
+// space; full Match values materialize only for the final result.
+type idxDist struct {
+	idx  int
+	dist float64
+}
+
+// matchScratch is the reusable workspace of one Match call. Pooled so a
+// steady diagnosis stream allocates only its results, not O(N) interior
+// state per query.
+type matchScratch struct {
+	top []idxDist // current top-MaxRanked, ascending canonical order
+	amb []idxDist // candidates within AmbiguityTol of the running best
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(matchScratch) }}
+
+// lessAt compares two scored entries by the canonical match order.
+func (d *Dictionary) lessAt(a, b idxDist) bool {
+	if a.dist != b.dist {
+		return a.dist < b.dist
+	}
+	ea, eb := &d.Entries[a.idx], &d.Entries[b.idx]
+	if ea.Defect != eb.Defect {
+		return ea.Defect < eb.Defect
+	}
+	if ea.Res != eb.Res {
+		return ea.Res < eb.Res
+	}
+	return ea.CS < eb.CS
+}
+
+// Match ranks the dictionary against an observed signature: exact hits
+// first, then Hamming-nearest under the weighted per-field distance.
+// Entries tied with the best distance form the ambiguity set. The scan
+// is allocation-free apart from the returned slices: it keeps a bounded
+// top-MaxRanked list plus the running ambiguity set in pooled scratch
+// instead of materializing and sorting all N matches.
+func (d *Dictionary) Match(sig Signature) Diagnosis {
+	if len(d.Entries) == 0 {
+		return Diagnosis{}
+	}
+	sc := scratchPool.Get().(*matchScratch)
+	sc.top, sc.amb = sc.top[:0], sc.amb[:0]
+	bestSet := false
+	var bestDist float64
+	compacted := 0
+	for i := range d.Entries {
+		dist := sig.DistanceTo(d.Entries[i].Conds())
+		c := idxDist{idx: i, dist: dist}
+
+		// Bounded top-K: insertion-sort into at most MaxRanked slots.
+		if len(sc.top) < MaxRanked || d.lessAt(c, sc.top[len(sc.top)-1]) {
+			j := len(sc.top)
+			if j < MaxRanked {
+				sc.top = append(sc.top, c)
+			} else {
+				j--
+			}
+			for ; j > 0 && d.lessAt(c, sc.top[j-1]); j-- {
+				sc.top[j] = sc.top[j-1]
+			}
+			sc.top[j] = c
+		}
+
+		// Running ambiguity set: keep everything within tolerance of the
+		// best distance seen so far (a superset of the final set, since
+		// the best only improves), compacting amortized-linearly.
+		if !bestSet || dist <= bestDist+AmbiguityTol {
+			if !bestSet || dist < bestDist {
+				bestDist, bestSet = dist, true
+			}
+			sc.amb = append(sc.amb, c)
+			if len(sc.amb) >= 32 && len(sc.amb) >= 2*compacted {
+				kept := sc.amb[:0]
+				for _, a := range sc.amb {
+					if a.dist <= bestDist+AmbiguityTol {
+						kept = append(kept, a)
+					}
+				}
+				sc.amb = kept
+				compacted = len(sc.amb)
+			}
+		}
+	}
+
+	var dg Diagnosis
+	dg.Exact = bestDist == 0
+	dg.Ranked = make([]Match, len(sc.top))
+	for i, c := range sc.top {
+		dg.Ranked[i] = d.matchAt(c)
+	}
+	n := 0
+	for _, a := range sc.amb {
+		if a.dist <= bestDist+AmbiguityTol {
+			n++
+		}
+	}
+	dg.Ambiguity = make([]Match, 0, n)
+	for _, a := range sc.amb {
+		if a.dist <= bestDist+AmbiguityTol {
+			dg.Ambiguity = append(dg.Ambiguity, d.matchAt(a))
+		}
+	}
+	sort.Slice(dg.Ambiguity, func(i, j int) bool { return dg.Ambiguity[i].Less(dg.Ambiguity[j]) })
+	scratchPool.Put(sc)
+	countMatch(int64(len(d.Entries)), dg.Exact)
+	return dg
+}
+
+// matchAt materializes the Match for a scored entry.
+func (d *Dictionary) matchAt(c idxDist) Match {
+	e := &d.Entries[c.idx]
+	return Match{Index: c.idx, Defect: e.Defect, Res: e.Res, CS: e.CS, Distance: c.dist}
 }

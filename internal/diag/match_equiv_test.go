@@ -1,0 +1,120 @@
+package diag_test
+
+import (
+	"encoding/json"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"sramtest/internal/diag"
+	"sramtest/internal/diag/diagtest"
+)
+
+// referenceMatch is the pre-optimization linear matcher, kept verbatim
+// as the semantic oracle: materialize every match, full sort, then
+// assemble. The production Match must stay byte-identical to it.
+func referenceMatch(d *diag.Dictionary, sig diag.Signature) diag.Diagnosis {
+	ms := make([]diag.Match, 0, len(d.Entries))
+	for i := range d.Entries {
+		e := &d.Entries[i]
+		ms = append(ms, diag.Match{
+			Index:    i,
+			Defect:   e.Defect,
+			Res:      e.Res,
+			CS:       e.CS,
+			Distance: sig.DistanceTo(e.Conds()),
+		})
+	}
+	sort.Slice(ms, func(i, j int) bool {
+		a, b := ms[i], ms[j]
+		if a.Distance != b.Distance {
+			return a.Distance < b.Distance
+		}
+		if a.Defect != b.Defect {
+			return a.Defect < b.Defect
+		}
+		if a.Res != b.Res {
+			return a.Res < b.Res
+		}
+		return a.CS < b.CS
+	})
+	var dg diag.Diagnosis
+	if len(ms) == 0 {
+		return dg
+	}
+	best := ms[0].Distance
+	dg.Exact = best == 0
+	for _, m := range ms {
+		if m.Distance <= best+diag.AmbiguityTol {
+			dg.Ambiguity = append(dg.Ambiguity, m)
+		}
+	}
+	if len(ms) > diag.MaxRanked {
+		ms = ms[:diag.MaxRanked]
+	}
+	dg.Ranked = ms
+	return dg
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestMatchReferenceEquivalence pits the bounded-heap Match against the
+// materialize-and-sort oracle over randomized dictionaries and query
+// mixes (exact hits, near misses, all-pass, off-dictionary).
+func TestMatchReferenceEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	for trial := 0; trial < 6; trial++ {
+		n := []int{1, 7, 40, 200, 500, 900}[trial]
+		pool := 1 + n/10
+		d, err := diagtest.RandomDictionary(rng, n, pool, diag.DefaultFlowConditions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for qi, q := range diagtest.Queries(rng, d, 40) {
+			got := mustJSON(t, d.Match(q))
+			want := mustJSON(t, referenceMatch(d, q))
+			if string(got) != string(want) {
+				t.Fatalf("trial %d query %d: Match diverges from reference\n got %s\nwant %s",
+					trial, qi, got, want)
+			}
+		}
+	}
+}
+
+// TestMatchEmptyDictionary pins the zero-entry behavior.
+func TestMatchEmptyDictionary(t *testing.T) {
+	d := &diag.Dictionary{Version: diag.Version, Flow: diag.DefaultFlowConditions()}
+	dg := d.Match(diag.Signature{})
+	if dg.Exact || dg.Ranked != nil || dg.Ambiguity != nil {
+		t.Fatalf("empty dictionary produced non-zero diagnosis: %+v", dg)
+	}
+}
+
+// TestMatchAllocs guards the satellite fix: a prepared dictionary must
+// serve Match with only the result slices on the heap — no O(N)
+// interior allocation, no per-entry condition maps.
+func TestMatchAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	d, err := diagtest.RandomDictionary(rng, 600, 24, diag.DefaultFlowConditions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := d.Entries[41].Sig
+	d.Match(sig) // warm the scratch pool
+	avg := testing.AllocsPerRun(100, func() {
+		d.Match(sig)
+	})
+	// Results (Ranked, Ambiguity), the ambiguity sort closure, and the
+	// occasional pool refill. The pre-fix matcher allocated the full
+	// N-entry match slice plus a map per entry per distance call.
+	if avg > 12 {
+		t.Fatalf("Match allocates %.1f objects/run, want <= 12", avg)
+	}
+}

@@ -98,7 +98,7 @@ func (d *Dictionary) Refine(sig Signature, obs Observer) (RefineResult, error) {
 		e := d.Entries[i]
 		res.Final = append(res.Final, Match{
 			Index: i, Defect: e.Defect, Res: e.Res, CS: e.CS,
-			Distance: sig.DistanceTo(e.at()),
+			Distance: sig.DistanceTo(e.Conds()),
 		})
 	}
 	sort.Slice(res.Final, func(i, j int) bool {

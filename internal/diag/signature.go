@@ -172,6 +172,64 @@ func condDistance(a, b CondSignature) float64 {
 	return d
 }
 
+// CondKey is the discrete projection of a CondSignature: the fields
+// whose distance contribution is a fixed weight rather than a
+// continuous magnitude term. Two failing signatures with equal keys
+// differ by at most the miscompare/syndrome shape terms, which makes
+// the key the exact-bucket axis of the inverted index (diag/index).
+type CondKey struct {
+	Pass     bool
+	Element  int
+	Op       int
+	Elements uint32
+}
+
+// Key projects the signature onto its discrete fields. Passing
+// signatures canonicalize to the zero locator (Element/Op -1 per the
+// SignatureFromFailures convention carries no distance weight).
+func (c CondSignature) Key() CondKey {
+	if c.Pass {
+		return CondKey{Pass: true, Element: -1, Op: -1}
+	}
+	return CondKey{Element: c.Element, Op: c.Op, Elements: c.Elements}
+}
+
+// KeyDistance is the discrete part of the per-condition distance: for
+// any two same-condition signatures a, b,
+//
+//	condDistance(a, b) = KeyDistance(a.Key(), b.Key()) + cont
+//
+// with cont ≥ 0 the miscompare/syndrome term — so summing key distances
+// over conditions is an exact lower bound, the pruning bound of the
+// inverted index.
+func KeyDistance(a, b CondKey) float64 {
+	if a.Pass != b.Pass {
+		return wPass
+	}
+	if a.Pass {
+		return 0
+	}
+	d := 0.0
+	if a.Element != b.Element {
+		d += wElement
+	}
+	d += wMask * float64(bits.OnesCount32(a.Elements^b.Elements))
+	if a.Op != b.Op {
+		d += wOp
+	}
+	return d
+}
+
+// MiscompareDistance is the miscompare term of the per-condition
+// distance — a cheap per-signature refinement of the KeyDistance lower
+// bound for two failing signatures (the syndrome terms it omits are
+// nonnegative).
+func MiscompareDistance(a, b int) float64 { return wMiscompare * relDiff(a, b) }
+
+// CondDistance is the full per-condition distance, exported for the
+// index package's bound checks and equivalence tests.
+func CondDistance(a, b CondSignature) float64 { return condDistance(a, b) }
+
 // relDiff is |a-b| / max(a,b) in [0,1]; 0 when both are 0.
 func relDiff(a, b int) float64 {
 	if a == b {

@@ -1,0 +1,98 @@
+package diag
+
+import "sync/atomic"
+
+// Package-level diagnosis counters, in the idiom of internal/yield's and
+// internal/spice's: cumulative since process start (or ResetStats),
+// atomically updated, purely observational. The daemon's /metrics
+// endpoint exposes them as sramd_diag_* so an operator can watch the
+// matcher economy — how many signatures were diagnosed, how much of the
+// dictionary each one actually touched — and the streaming ingest
+// volume without parsing logs.
+var (
+	statMatches   atomic.Int64 // completed Match calls (either matcher)
+	statExact     atomic.Int64 // matches that hit distance zero
+	statFallbacks atomic.Int64 // index queries served by the linear scan
+	statScanned   atomic.Int64 // full distance evaluations performed
+
+	statStreamRequests atomic.Int64 // /v1/diagnose requests served
+	statStreamSigs     atomic.Int64 // signatures diagnosed over the stream
+	statStreamErrors   atomic.Int64 // malformed or failed stream lines
+	statStreamBytes    atomic.Int64 // request bytes consumed by the stream
+)
+
+// MatchStats is a snapshot of the cumulative diagnosis counters.
+type MatchStats struct {
+	Matches   int64 // completed Match calls (either matcher)
+	Exact     int64 // matches with a perfect dictionary hit
+	Fallbacks int64 // index queries that fell back to the linear scan
+	Scanned   int64 // full distance evaluations performed
+
+	StreamRequests   int64 // /v1/diagnose requests served
+	StreamSignatures int64 // signatures diagnosed over the stream
+	StreamErrors     int64 // malformed or failed stream lines
+	StreamBytes      int64 // request bytes consumed by the stream
+}
+
+// Stats returns a snapshot of the cumulative diagnosis counters.
+func Stats() MatchStats {
+	return MatchStats{
+		Matches:          statMatches.Load(),
+		Exact:            statExact.Load(),
+		Fallbacks:        statFallbacks.Load(),
+		Scanned:          statScanned.Load(),
+		StreamRequests:   statStreamRequests.Load(),
+		StreamSignatures: statStreamSigs.Load(),
+		StreamErrors:     statStreamErrors.Load(),
+		StreamBytes:      statStreamBytes.Load(),
+	}
+}
+
+// MeanScanned returns the mean number of full distance evaluations per
+// match, or 0 when nothing ran — the entry count for the linear scan,
+// far below it for the inverted index.
+func (s MatchStats) MeanScanned() float64 {
+	if s.Matches == 0 {
+		return 0
+	}
+	return float64(s.Scanned) / float64(s.Matches)
+}
+
+// ResetStats zeroes all diagnosis counters (test/benchmark hygiene).
+func ResetStats() {
+	statMatches.Store(0)
+	statExact.Store(0)
+	statFallbacks.Store(0)
+	statScanned.Store(0)
+	statStreamRequests.Store(0)
+	statStreamSigs.Store(0)
+	statStreamErrors.Store(0)
+	statStreamBytes.Store(0)
+}
+
+// countMatch records one completed match that evaluated scanned full
+// distances.
+func countMatch(scanned int64, exact bool) {
+	statMatches.Add(1)
+	statScanned.Add(scanned)
+	if exact {
+		statExact.Add(1)
+	}
+}
+
+// CountIndexMatch records one completed indexed match that evaluated
+// scanned full distances (one per unique-signature group visited).
+func CountIndexMatch(scanned int64, exact bool) { countMatch(scanned, exact) }
+
+// CountFallback records an index query answered by the linear scan
+// (non-flow condition sets; the linear path itself counts the match).
+func CountFallback() { statFallbacks.Add(1) }
+
+// CountStream records one streaming diagnosis request: signatures
+// diagnosed, malformed/failed lines, and request bytes consumed.
+func CountStream(sigs, errs, bytes int64) {
+	statStreamRequests.Add(1)
+	statStreamSigs.Add(sigs)
+	statStreamErrors.Add(errs)
+	statStreamBytes.Add(bytes)
+}

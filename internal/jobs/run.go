@@ -187,6 +187,7 @@ func runDiag(ctx context.Context, spec Spec, eng engine.Engine) ([]byte, error) 
 	opt.CaseStudies = css
 	opt.Decades = spec.Diag.Decades
 	opt.BaseOnly = spec.Diag.BaseOnly
+	opt.PointsPerDecade = spec.Diag.PointsPerDecade
 	opt.Ctx = ctx
 	d, err := diag.Build(opt)
 	if err != nil {

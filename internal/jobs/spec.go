@@ -120,6 +120,12 @@ type DiagSpec struct {
 	// BaseOnly skips the extra-condition signatures the adaptive refiner
 	// needs, quartering the build cost.
 	BaseOnly bool `json:"baseOnly,omitempty"`
+	// PointsPerDecade, when > 1, subdivides every adjacent decade pair
+	// into that many log-spaced steps and builds the fine grid by
+	// anchor-and-bisect interpolation (diag.FineDecades) — the
+	// fleet-scale dictionary. Appended after the original fields so
+	// plain-grid specs keep their store keys.
+	PointsPerDecade int `json:"pointsPerDecade,omitempty"`
 }
 
 // YieldSpec parameterizes a rare-event retention-yield estimate,
@@ -182,6 +188,11 @@ type FaultMapSpec struct {
 
 // maxRandomOps caps one job's random stream.
 const maxRandomOps = 1 << 22
+
+// maxPointsPerDecade caps the fine-grid subdivision of one dictionary
+// build (the default six-decade ladder yields ~1.7e6 candidates at the
+// cap, comfortably past the fleet-dictionary regime).
+const maxPointsPerDecade = 2000
 
 // defaultSeed is cmd/drv's hard-coded Monte-Carlo seed.
 const defaultSeed = 2013
@@ -267,6 +278,16 @@ func (s Spec) Normalize() (Spec, error) {
 		}
 		if dg.Decades, err = normalizeDecades(dg.Decades); err != nil {
 			return Spec{}, err
+		}
+		if dg.PointsPerDecade < 0 || dg.PointsPerDecade > maxPointsPerDecade {
+			return Spec{}, fmt.Errorf("%w: diag.pointsPerDecade = %d, want 0..%d", ErrBadSpec, dg.PointsPerDecade, maxPointsPerDecade)
+		}
+		if dg.PointsPerDecade == 1 {
+			// One point per decade is the plain grid; share its key.
+			dg.PointsPerDecade = 0
+		}
+		if dg.PointsPerDecade > 1 && len(dg.Decades) < 2 {
+			return Spec{}, fmt.Errorf("%w: diag.pointsPerDecade needs >= 2 decades, have %d", ErrBadSpec, len(dg.Decades))
 		}
 		out.Diag = &dg
 	case KindYield:

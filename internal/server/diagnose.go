@@ -1,0 +1,185 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"sync"
+
+	"sramtest/internal/cluster"
+	"sramtest/internal/diag"
+)
+
+// Diagnoser answers dictionary-matching queries. Both the linear
+// *diag.Dictionary and the inverted *index.Index satisfy it; the two
+// return byte-identical diagnoses, so which one serves is purely an
+// operational choice (sramd always indexes).
+type Diagnoser interface {
+	Match(sig diag.Signature) diag.Diagnosis
+}
+
+// DiagInfo describes the loaded dictionary on GET /v1/diagnose, so
+// clients and smoke tests can see what a node is serving.
+type DiagInfo struct {
+	// Entries is the dictionary size; Flow its condition count.
+	Entries int `json:"entries"`
+	Flow    int `json:"flowConds"`
+	// Indexed reports the inverted index is in front of the scan, with
+	// its shape (distinct signatures / discrete key buckets).
+	Indexed bool `json:"indexed"`
+	Groups  int  `json:"groups,omitempty"`
+	Buckets int  `json:"buckets,omitempty"`
+}
+
+// diagRequest is one NDJSON line of POST /v1/diagnose: a JSON signature
+// or the binary codec's bytes (base64 in JSON), exactly one of the two.
+type diagRequest struct {
+	Sig *diag.Signature `json:"sig,omitempty"`
+	Bin []byte          `json:"bin,omitempty"`
+}
+
+// DiagResult is one streamed NDJSON response line of POST /v1/diagnose.
+// Lines arrive in completion order; Index ties them to request lines.
+type DiagResult struct {
+	Index     int             `json:"index"`
+	Diagnosis *diag.Diagnosis `json:"diagnosis,omitempty"`
+	// Node is filled by the cluster coordinator when fanning out.
+	Node  string `json:"node,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// handleDiagnoseInfo reports the loaded dictionary (503 when none).
+func (s *Server) handleDiagnoseInfo(w http.ResponseWriter, r *http.Request) {
+	if s.Diag == nil {
+		writeError(w, http.StatusServiceUnavailable, "no diagnosis dictionary loaded")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.DiagInfo)
+}
+
+// handleDiagnose is the streaming diagnosis endpoint: NDJSON signature
+// lines in, one DiagResult line out per input line as matches complete,
+// through a bounded in-flight worker window (the same backpressure
+// shape as /v1/batch). Malformed lines fail individually; the stream
+// always emits exactly one line per input line.
+func (s *Server) handleDiagnose(w http.ResponseWriter, r *http.Request) {
+	if s.Diag == nil {
+		writeError(w, http.StatusServiceUnavailable, "no diagnosis dictionary loaded")
+		return
+	}
+	lines, err := cluster.ReadBatchLines(http.MaxBytesReader(w, r.Body, cluster.MaxBatchBody))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(lines) == 0 {
+		writeError(w, http.StatusBadRequest, "empty diagnosis batch")
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	enc := newNDJSONWriter(w)
+
+	inflight := s.BatchInflight
+	if inflight <= 0 {
+		inflight = defaultBatchInflight
+	}
+	if inflight > len(lines) {
+		inflight = len(lines)
+	}
+	out := make(chan DiagResult, inflight)
+	var writerWg sync.WaitGroup
+	writerWg.Add(1)
+	var bytes, errs int64
+	go func() {
+		defer writerWg.Done()
+		for dr := range out {
+			if dr.Error != "" {
+				errs++
+			}
+			_ = enc.write(dr)
+		}
+	}()
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for i := 0; i < inflight; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out <- s.diagnoseLine(i, lines[i])
+			}
+		}()
+	}
+	for i := range lines {
+		bytes += int64(len(lines[i]))
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	close(out)
+	writerWg.Wait()
+	diag.CountStream(int64(len(lines))-errs, errs, bytes)
+}
+
+// diagnoseLine decodes and matches one request line.
+func (s *Server) diagnoseLine(i int, line []byte) DiagResult {
+	sig, err := DecodeDiagLine(line)
+	if err != nil {
+		return DiagResult{Index: i, Error: err.Error()}
+	}
+	dg := s.Diag.Match(sig)
+	return DiagResult{Index: i, Diagnosis: &dg}
+}
+
+// errSigOrBin rejects lines carrying neither or both payload forms.
+var errSigOrBin = errors.New(`exactly one of "sig" or "bin" is required`)
+
+// DecodeDiagLine parses one diagnosis request line into the signature
+// it carries (JSON form or binary codec bytes).
+func DecodeDiagLine(line []byte) (diag.Signature, error) {
+	var req diagRequest
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		return diag.Signature{}, errors.New("malformed line: " + err.Error())
+	}
+	switch {
+	case req.Sig != nil && req.Bin == nil:
+		return *req.Sig, nil
+	case req.Bin != nil && req.Sig == nil:
+		var sig diag.Signature
+		if err := sig.UnmarshalBinary(req.Bin); err != nil {
+			return diag.Signature{}, errors.New("malformed binary signature: " + err.Error())
+		}
+		return sig, nil
+	}
+	return diag.Signature{}, errSigOrBin
+}
+
+// ndjsonWriter streams JSON lines, flushing each through to the client.
+type ndjsonWriter struct {
+	enc *json.Encoder
+	f   http.Flusher
+}
+
+func newNDJSONWriter(w io.Writer) *ndjsonWriter {
+	e := &ndjsonWriter{enc: json.NewEncoder(w)}
+	e.enc.SetEscapeHTML(false)
+	if f, ok := w.(http.Flusher); ok {
+		e.f = f
+	}
+	return e
+}
+
+func (e *ndjsonWriter) write(v any) error {
+	if err := e.enc.Encode(v); err != nil {
+		return err
+	}
+	if e.f != nil {
+		e.f.Flush()
+	}
+	return nil
+}

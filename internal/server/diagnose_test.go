@@ -1,0 +1,172 @@
+package server
+
+import (
+	"bytes"
+	"encoding/base64"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"sramtest/internal/diag"
+	"sramtest/internal/diag/diagtest"
+	"sramtest/internal/diag/index"
+	"sramtest/internal/jobs"
+)
+
+// diagServer is a node server with a synthetic dictionary loaded, the
+// way sramd -diag-dict wires one.
+func diagServer(t *testing.T, entries int) (*Server, *diag.Dictionary) {
+	t.Helper()
+	srv, _, _ := newTestServer(t, jobs.FixtureRunner(0))
+	rng := rand.New(rand.NewSource(77))
+	d, err := diagtest.RandomDictionary(rng, entries, 1+entries/10, diag.DefaultFlowConditions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := index.New(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ix.Stats()
+	srv.Diag = ix
+	srv.DiagInfo = DiagInfo{Entries: st.Entries, Flow: len(d.Flow), Indexed: true,
+		Groups: st.Groups, Buckets: st.Buckets}
+	return srv, d
+}
+
+func postDiagnose(t *testing.T, h http.Handler, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	r := httptest.NewRequest("POST", "/v1/diagnose", strings.NewReader(body))
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, r)
+	return w
+}
+
+// decodeDiagnose reads the NDJSON response into index-keyed results,
+// enforcing the exactly-one-line-per-input contract.
+func decodeDiagnose(t *testing.T, w *httptest.ResponseRecorder, want int) map[int]DiagResult {
+	t.Helper()
+	if w.Code != http.StatusOK {
+		t.Fatalf("diagnose: HTTP %d: %s", w.Code, w.Body)
+	}
+	if ct := w.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/x-ndjson") {
+		t.Fatalf("diagnose: Content-Type %q, want NDJSON", ct)
+	}
+	out := map[int]DiagResult{}
+	dec := json.NewDecoder(w.Body)
+	for dec.More() {
+		var dr DiagResult
+		if err := dec.Decode(&dr); err != nil {
+			t.Fatal(err)
+		}
+		if _, dup := out[dr.Index]; dup {
+			t.Fatalf("duplicate result for index %d", dr.Index)
+		}
+		out[dr.Index] = dr
+	}
+	if len(out) != want {
+		t.Fatalf("got %d results, want %d", len(out), want)
+	}
+	return out
+}
+
+func TestDiagnoseWithoutDictionary(t *testing.T) {
+	srv, _, _ := newTestServer(t, jobs.FixtureRunner(0))
+	if w := postDiagnose(t, srv, `{"sig":{}}`); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("POST without dictionary: HTTP %d, want 503", w.Code)
+	}
+	r := httptest.NewRequest("GET", "/v1/diagnose", nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, r)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("GET without dictionary: HTTP %d, want 503", w.Code)
+	}
+}
+
+// TestDiagnoseStream drives the full line protocol: JSON signatures,
+// binary-codec signatures, malformed lines, and the one-line-per-input
+// contract, with results byte-identical to calling Match directly.
+func TestDiagnoseStream(t *testing.T) {
+	srv, d := diagServer(t, 60)
+	diag.ResetStats()
+
+	sig0, _ := json.Marshal(d.Entries[0].Sig)
+	bin1, err := d.Entries[1].Sig.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := []string{
+		fmt.Sprintf(`{"sig":%s}`, sig0),
+		fmt.Sprintf(`{"bin":%q}`, base64.StdEncoding.EncodeToString(bin1)),
+		`this is not json`,
+		`{"sig":{},"bin":"AA=="}`,
+		`{}`,
+	}
+	res := decodeDiagnose(t, postDiagnose(t, srv, strings.Join(lines, "\n")), len(lines))
+
+	for i, wantSig := range map[int]diag.Signature{0: d.Entries[0].Sig, 1: d.Entries[1].Sig} {
+		dr := res[i]
+		if dr.Error != "" || dr.Diagnosis == nil {
+			t.Fatalf("line %d: %+v", i, dr)
+		}
+		want, _ := json.Marshal(d.Match(wantSig))
+		got, _ := json.Marshal(dr.Diagnosis)
+		if !bytes.Equal(want, got) {
+			t.Fatalf("line %d: streamed diagnosis differs from direct Match\nwant %s\ngot  %s", i, want, got)
+		}
+		if !dr.Diagnosis.Exact {
+			t.Fatalf("line %d: verbatim entry signature not exact", i)
+		}
+	}
+	for _, i := range []int{2, 3, 4} {
+		if res[i].Error == "" || res[i].Diagnosis != nil {
+			t.Fatalf("bad line %d should fail individually: %+v", i, res[i])
+		}
+	}
+
+	st := diag.Stats()
+	if st.StreamRequests != 1 || st.StreamSignatures != 2 || st.StreamErrors != 3 {
+		t.Fatalf("stream counters %+v, want 1 request / 2 signatures / 3 errors", st)
+	}
+	if st.StreamBytes == 0 {
+		t.Fatal("stream bytes not counted")
+	}
+
+	// The info endpoint reports the loaded dictionary.
+	r := httptest.NewRequest("GET", "/v1/diagnose", nil)
+	w := httptest.NewRecorder()
+	srv.ServeHTTP(w, r)
+	var info DiagInfo
+	if err := json.Unmarshal(w.Body.Bytes(), &info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Entries != len(d.Entries) || !info.Indexed || info.Groups == 0 {
+		t.Fatalf("diagnose info %+v", info)
+	}
+
+	// And the metrics endpoint exposes the sramd_diag_* family.
+	r = httptest.NewRequest("GET", "/metrics", nil)
+	w = httptest.NewRecorder()
+	srv.ServeHTTP(w, r)
+	// 2 streamed matches + the 2 direct d.Match comparison calls above.
+	for _, metric := range []string{
+		"sramd_diag_matches_total 4",
+		"sramd_diag_stream_signatures_total 2",
+		"sramd_diag_stream_errors_total 3",
+	} {
+		if !strings.Contains(w.Body.String(), metric) {
+			t.Fatalf("metrics missing %q", metric)
+		}
+	}
+}
+
+func TestDiagnoseEmptyBatch(t *testing.T) {
+	srv, _ := diagServer(t, 10)
+	if w := postDiagnose(t, srv, "\n\n"); w.Code != http.StatusBadRequest {
+		t.Fatalf("empty batch: HTTP %d, want 400", w.Code)
+	}
+}

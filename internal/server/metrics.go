@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"io"
 
+	"sramtest/internal/diag"
 	"sramtest/internal/engine"
 	"sramtest/internal/faultmap"
 	"sramtest/internal/jobs"
@@ -158,6 +159,37 @@ func writeMetrics(w io.Writer, mgr *jobs.Manager, st *store.Store) {
 	fmt.Fprintln(w, "# TYPE sramd_faultmap_last_bits_per_map gauge")
 	fmt.Fprintf(w, "sramd_faultmap_last_bits_per_map %g\n", fs.LastBitsPerMap)
 
+	// Diagnosis counters: the matcher economy (how much of the
+	// dictionary each signature touched) and streaming-ingest volume.
+	ds := diag.Stats()
+	fmt.Fprintln(w, "# HELP sramd_diag_matches_total Completed dictionary matches (either matcher).")
+	fmt.Fprintln(w, "# TYPE sramd_diag_matches_total counter")
+	fmt.Fprintf(w, "sramd_diag_matches_total %d\n", ds.Matches)
+	fmt.Fprintln(w, "# HELP sramd_diag_exact_total Matches that hit distance zero.")
+	fmt.Fprintln(w, "# TYPE sramd_diag_exact_total counter")
+	fmt.Fprintf(w, "sramd_diag_exact_total %d\n", ds.Exact)
+	fmt.Fprintln(w, "# HELP sramd_diag_fallbacks_total Index queries served by the linear scan.")
+	fmt.Fprintln(w, "# TYPE sramd_diag_fallbacks_total counter")
+	fmt.Fprintf(w, "sramd_diag_fallbacks_total %d\n", ds.Fallbacks)
+	fmt.Fprintln(w, "# HELP sramd_diag_scanned_total Full distance evaluations across all matches.")
+	fmt.Fprintln(w, "# TYPE sramd_diag_scanned_total counter")
+	fmt.Fprintf(w, "sramd_diag_scanned_total %d\n", ds.Scanned)
+	fmt.Fprintln(w, "# HELP sramd_diag_mean_scanned Mean distance evaluations per match since start.")
+	fmt.Fprintln(w, "# TYPE sramd_diag_mean_scanned gauge")
+	fmt.Fprintf(w, "sramd_diag_mean_scanned %g\n", ds.MeanScanned())
+	fmt.Fprintln(w, "# HELP sramd_diag_stream_requests_total /v1/diagnose requests served.")
+	fmt.Fprintln(w, "# TYPE sramd_diag_stream_requests_total counter")
+	fmt.Fprintf(w, "sramd_diag_stream_requests_total %d\n", ds.StreamRequests)
+	fmt.Fprintln(w, "# HELP sramd_diag_stream_signatures_total Signatures diagnosed over the stream.")
+	fmt.Fprintln(w, "# TYPE sramd_diag_stream_signatures_total counter")
+	fmt.Fprintf(w, "sramd_diag_stream_signatures_total %d\n", ds.StreamSignatures)
+	fmt.Fprintln(w, "# HELP sramd_diag_stream_errors_total Malformed or failed stream lines.")
+	fmt.Fprintln(w, "# TYPE sramd_diag_stream_errors_total counter")
+	fmt.Fprintf(w, "sramd_diag_stream_errors_total %d\n", ds.StreamErrors)
+	fmt.Fprintln(w, "# HELP sramd_diag_stream_bytes_total Request bytes consumed by the stream.")
+	fmt.Fprintln(w, "# TYPE sramd_diag_stream_bytes_total counter")
+	fmt.Fprintf(w, "sramd_diag_stream_bytes_total %d\n", ds.StreamBytes)
+
 	fmt.Fprintln(w, "# HELP sramd_job_duration_seconds Job execution latency.")
 	fmt.Fprintln(w, "# TYPE sramd_job_duration_seconds histogram")
 	cum := int64(0)
@@ -178,7 +210,16 @@ func snapshot(mgr *jobs.Manager, st *store.Store) map[string]any {
 	es := engine.Stats()
 	ys := yield.Stats()
 	fs := faultmap.Stats()
+	ds := diag.Stats()
 	out := map[string]any{
+		"diag_matches":            ds.Matches,
+		"diag_exact":              ds.Exact,
+		"diag_fallbacks":          ds.Fallbacks,
+		"diag_scanned":            ds.Scanned,
+		"diag_stream_requests":    ds.StreamRequests,
+		"diag_stream_signatures":  ds.StreamSignatures,
+		"diag_stream_errors":      ds.StreamErrors,
+		"diag_stream_bytes":       ds.StreamBytes,
 		"faultmap_runs":           fs.Runs,
 		"faultmap_partials":       fs.Partials,
 		"faultmap_maps":           fs.Maps,

@@ -8,6 +8,8 @@
 //	GET    /v1/jobs/{id}/result fetch the result bytes (CLI-identical)
 //	DELETE /v1/jobs/{id}        cancel an active job / forget a finished one
 //	GET    /v1/results/{key}    serve a stored result by content address
+//	POST   /v1/diagnose         NDJSON signatures in, streamed diagnoses out
+//	GET    /v1/diagnose         loaded-dictionary info
 //	GET    /v1/load             queue pressure (for coordinators/monitors)
 //	GET    /healthz             liveness probe
 //	GET    /metrics             Prometheus-text counters and histograms
@@ -40,6 +42,12 @@ type Server struct {
 	// request; intake beyond it waits (backpressure). <= 0 selects the
 	// default of 16. Set before serving.
 	BatchInflight int
+
+	// Diag, when non-nil, serves the streaming POST /v1/diagnose
+	// endpoint; DiagInfo describes it on GET /v1/diagnose. Set before
+	// serving (sramd -diag-dict).
+	Diag     Diagnoser
+	DiagInfo DiagInfo
 }
 
 // New builds the API handler around mgr; st (the manager's store, may be
@@ -53,6 +61,8 @@ func New(mgr *jobs.Manager, st *store.Store) *Server {
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleDelete)
 	s.mux.HandleFunc("GET /v1/results/{key}", s.handleResultByKey)
+	s.mux.HandleFunc("POST /v1/diagnose", s.handleDiagnose)
+	s.mux.HandleFunc("GET /v1/diagnose", s.handleDiagnoseInfo)
 	s.mux.HandleFunc("GET /v1/load", s.handleLoad)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)

@@ -1,6 +1,6 @@
 #!/bin/sh
 # bench-report.sh — run the solver-centric benchmark suite and emit a
-# machine-readable report (BENCH_8.json) comparing it against the
+# machine-readable report (BENCH_9.json) comparing it against the
 # checked-in pre-optimization baseline (benchmarks/baseline.txt), as run
 # by CI and `make bench-report`.
 #
@@ -18,10 +18,10 @@
 # Requires only a POSIX shell and go. Exits non-zero on any failure.
 set -eu
 
-OUT="${1:-BENCH_8.json}"
+OUT="${1:-BENCH_9.json}"
 RAW="${OUT%.json}.bench.txt"
 BASELINE="benchmarks/baseline.txt"
-BENCHES='^(BenchmarkTable2|BenchmarkTable2Tiered|BenchmarkDictionaryBuild|BenchmarkDictionaryBuildTiered|BenchmarkRegulatorOP|BenchmarkRegulatorOPWarm|BenchmarkDSEntryTransient|BenchmarkDiagnose|BenchmarkYield6Sigma|BenchmarkFaultMapCoverage)$'
+BENCHES='^(BenchmarkTable2|BenchmarkTable2Tiered|BenchmarkDictionaryBuild|BenchmarkDictionaryBuildTiered|BenchmarkDiagnoseIndexed|BenchmarkRegulatorOP|BenchmarkRegulatorOPWarm|BenchmarkDSEntryTransient|BenchmarkDiagnose|BenchmarkYield6Sigma|BenchmarkFaultMapCoverage)$'
 
 echo "bench-report: running benchmark suite (this takes a few minutes)"
 go test -run '^$' -bench "$BENCHES" -benchmem -benchtime=1x -count=5 . | tee "$RAW"
@@ -56,6 +56,23 @@ awk "BEGIN { exit !($FM_DRF_BITS >= 1 && $FM_DRF_COV >= 1) }" || {
 	exit 1
 }
 echo "bench-report: faultmap m-LZ covers $FM_DRF_BITS DRF bits"
+
+echo "bench-report: checking indexed-matcher gate (>= 20x over the linear scan on >= 1e5 entries)"
+DX_SPEEDUP=$(awk '/^BenchmarkDiagnoseIndexed/ {
+	for (i = 1; i < NF; i++) if ($(i + 1) == "speedup") { print $i; exit }
+}' "$RAW")
+DX_ENTRIES=$(awk '/^BenchmarkDiagnoseIndexed/ {
+	for (i = 1; i < NF; i++) if ($(i + 1) == "dict-entries") { print $i; exit }
+}' "$RAW")
+[ -n "$DX_SPEEDUP" ] && [ -n "$DX_ENTRIES" ] || {
+	echo "bench-report: FAIL: no speedup/dict-entries metrics in BenchmarkDiagnoseIndexed output" >&2
+	exit 1
+}
+awk "BEGIN { exit !($DX_ENTRIES >= 100000 && $DX_SPEEDUP >= 20) }" || {
+	echo "bench-report: FAIL: indexed matcher ${DX_SPEEDUP}x on $DX_ENTRIES entries (want >= 20x on >= 1e5)" >&2
+	exit 1
+}
+echo "bench-report: indexed matcher ${DX_SPEEDUP}x over the linear scan on $DX_ENTRIES entries"
 
 echo "bench-report: generating $OUT"
 go run ./cmd/benchreport \

@@ -1,0 +1,110 @@
+#!/bin/sh
+# diag-index-smoke.sh — end-to-end smoke test of the fleet-scale
+# diagnosis path, as run by CI and `make diag-index-smoke`: build a
+# fine-grid dictionary of >= 10^5 entries (diagnose build
+# -points-per-decade), gate the inverted index byte-identical against
+# the linear matcher at >= 20x throughput (diagnose verify), then serve
+# the artifact from sramd -diag-dict and stream NDJSON signatures at it
+# directly and through a two-node coordinator, checking the
+# sramd_diag_* and cluster fan-out metrics.
+#
+# DIAG_SMOKE_PPD / DIAG_SMOKE_MIN_ENTRIES shrink the build for quick
+# local runs (the defaults are the CI gate: 360 points per decade,
+# ~111k entries, a few minutes of build time).
+#
+# Requires only a POSIX shell, curl and go. Exits non-zero on any
+# failure and prints the daemon logs.
+set -eu
+
+PORT_BASE="${SRAMD_PORT_BASE:-8370}"
+PPD="${DIAG_SMOKE_PPD:-360}"
+MIN_ENTRIES="${DIAG_SMOKE_MIN_ENTRIES:-100000}"
+TMP="$(mktemp -d)"
+DICT="$TMP/dict-fine.json"
+PIDS=""
+
+fail() {
+	echo "diag-index-smoke: FAIL: $*" >&2
+	for log in "$TMP"/*.log; do
+		[ -f "$log" ] || continue
+		echo "--- $log ---" >&2
+		cat "$log" >&2 || true
+	done
+	exit 1
+}
+
+cleanup() {
+	for pid in $PIDS; do
+		kill -TERM "$pid" 2>/dev/null || true
+	done
+	for pid in $PIDS; do
+		wait "$pid" 2>/dev/null || true
+	done
+	rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+wait_healthy() { # $1 = base URL, $2 = name
+	i=0
+	until curl -fsS "$1/healthz" >/dev/null 2>&1; do
+		i=$((i + 1))
+		[ "$i" -lt 300 ] || fail "$2 never became healthy"
+		sleep 0.2
+	done
+}
+
+echo "diag-index-smoke: building diagnose, sramd and loadgen"
+go build -o "$TMP/diagnose" ./cmd/diagnose
+go build -o "$TMP/sramd" ./cmd/sramd
+go build -o "$TMP/loadgen" ./cmd/loadgen
+
+echo "diag-index-smoke: building the fine-grid dictionary ($PPD points/decade; this takes a few minutes)"
+"$TMP/diagnose" build -base-only -points-per-decade "$PPD" -o "$DICT"
+[ -s "$DICT" ] || fail "dictionary artifact missing"
+
+echo "diag-index-smoke: verifying index byte-identity and >= 20x throughput"
+"$TMP/diagnose" verify -dict "$DICT" -queries 160 -min-speedup 20 | tee "$TMP/verify.txt"
+ENTRIES=$(awk '/^  dictionary/ {print $2; exit}' "$TMP/verify.txt")
+[ -n "$ENTRIES" ] || fail "no entry count in verify output"
+[ "$ENTRIES" -ge "$MIN_ENTRIES" ] || fail "dictionary holds $ENTRIES entries, want >= $MIN_ENTRIES"
+grep -q 'byte-identical' "$TMP/verify.txt" || fail "verify reported no equivalence line"
+
+echo "diag-index-smoke: serving the dictionary from a single node"
+NODE1="http://127.0.0.1:$((PORT_BASE + 1))"
+"$TMP/sramd" -addr "127.0.0.1:$((PORT_BASE + 1))" -diag-dict "$DICT" >"$TMP/node1.log" 2>&1 &
+PIDS="$PIDS $!"
+wait_healthy "$NODE1" "node 1"
+curl -fsS "$NODE1/v1/diagnose" | grep -q '"indexed":true' || fail "diagnose info does not report an index"
+
+echo "diag-index-smoke: streaming JSON and binary-codec signatures"
+"$TMP/diagnose" stream -url "$NODE1" -dict "$DICT" -n 120 || fail "JSON stream errored"
+"$TMP/diagnose" stream -url "$NODE1" -dict "$DICT" -n 120 -bin || fail "binary stream errored"
+
+echo "diag-index-smoke: loadgen diag mode (signatures/minute)"
+"$TMP/loadgen" -target "$NODE1" -mode diag -diag-dict "$DICT" -n 120 || fail "loadgen diag run errored"
+
+echo "diag-index-smoke: checking node metrics"
+curl -fsS "$NODE1/metrics" >"$TMP/metrics.txt"
+grep -q '^sramd_diag_stream_requests_total 3' "$TMP/metrics.txt" || fail "stream request counter wrong"
+grep -q '^sramd_diag_stream_signatures_total 360' "$TMP/metrics.txt" || fail "stream signature counter wrong"
+grep -q '^sramd_diag_stream_errors_total 0' "$TMP/metrics.txt" || fail "stream errors counted on a clean run"
+grep -q '^sramd_diag_fallbacks_total 0' "$TMP/metrics.txt" || fail "indexable stream hit the linear fallback"
+
+echo "diag-index-smoke: booting a second node + coordinator fan-out"
+NODE2="http://127.0.0.1:$((PORT_BASE + 2))"
+"$TMP/sramd" -addr "127.0.0.1:$((PORT_BASE + 2))" -diag-dict "$DICT" >"$TMP/node2.log" 2>&1 &
+PIDS="$PIDS $!"
+wait_healthy "$NODE2" "node 2"
+COORD="http://127.0.0.1:$((PORT_BASE + 3))"
+"$TMP/sramd" -addr "127.0.0.1:$((PORT_BASE + 3))" -coordinator -nodes "$NODE1,$NODE2" >"$TMP/coord.log" 2>&1 &
+PIDS="$PIDS $!"
+wait_healthy "$COORD" "coordinator"
+
+curl -fsS "$COORD/v1/diagnose" | grep -q '"indexed":true' || fail "coordinator does not proxy diagnose info"
+"$TMP/diagnose" stream -url "$COORD" -dict "$DICT" -n 120 || fail "coordinator stream errored"
+curl -fsS "$COORD/metrics" >"$TMP/coord-metrics.txt"
+grep -q '^sramd_cluster_diag_batches_total 1' "$TMP/coord-metrics.txt" || fail "cluster batch counter wrong"
+grep -q '^sramd_cluster_diag_lines_total 120' "$TMP/coord-metrics.txt" || fail "cluster line counter wrong"
+grep -q '^sramd_cluster_diag_errors_total 0' "$TMP/coord-metrics.txt" || fail "cluster errors counted on a clean run"
+
+echo "diag-index-smoke: PASS"
