@@ -3,7 +3,7 @@
 #   make verify       build + vet + gofmt + test — the tier-1 gate
 #   make race         race-enabled test run
 #   make bench        one iteration of every benchmark (smoke)
-#   make bench-report solver benchmarks vs baseline -> BENCH_9.json
+#   make bench-report solver benchmarks vs baseline -> BENCH_10.json
 #   make serve-smoke  end-to-end sramd daemon smoke test
 #   make diag-smoke   end-to-end diagnose CLI smoke test
 #   make diag-index-smoke  fleet-scale dictionary: index byte-identity, >=20x, streaming
@@ -14,10 +14,13 @@
 #                     must be byte-identical; /metrics counters checked
 #   make faultmap-smoke  1000-map corpus: worker counts, corpus dump,
 #                     cluster shards and daemon job must be byte-identical
+#   make noise-smoke  EXP-NS flip-probability scan: static-vs-noise
+#                     divergence gate on the near-DRV cell; worker counts,
+#                     cluster shards and daemon job must be byte-identical
 
 GO ?= go
 
-.PHONY: verify build vet fmt test race bench bench-report serve-smoke diag-smoke diag-index-smoke engine-smoke cluster-smoke loadgen-smoke yield-smoke faultmap-smoke
+.PHONY: verify build vet fmt test race bench bench-report serve-smoke diag-smoke diag-index-smoke engine-smoke cluster-smoke loadgen-smoke yield-smoke faultmap-smoke noise-smoke
 
 verify: build vet fmt test
 
@@ -70,3 +73,6 @@ yield-smoke:
 
 faultmap-smoke:
 	sh scripts/faultmap-smoke.sh
+
+noise-smoke:
+	sh scripts/noise-smoke.sh

@@ -826,6 +826,80 @@ func BenchmarkYield6Sigma(b *testing.B) {
 	}
 }
 
+// BenchmarkNoiseCriterion — EXP-NS: the dynamic retention criterion's
+// ensemble bisection on the near-DRV CS5-1 cell at the retention-worst
+// condition. The body times the full effective-DRV computation (cold
+// memo every iteration) and reports the ensemble economy from the
+// solver counters. Two embedded deterministic gates:
+//
+//  1. the noise criterion must tighten CS5-1's threshold by >= 20 mV —
+//     the EXP-NS divergence the noise-smoke CI job also pins; and
+//  2. warm-start reuse across the ensembles' operating-point ladder
+//     must cost >= 2x fewer Newton iterations than re-seeding every
+//     member from the stored-'1' bias (cold ensembles). The transient
+//     phase is identical either way (the OP is verified before each
+//     window), so the OP ladder is measured in isolation, exactly as
+//     the criterion's bisection drives it.
+func BenchmarkNoiseCriterion(b *testing.B) {
+	cs := process.Table1CaseStudies()[8] // CS5-1
+	cond := hot(1.1)
+	p := engine.DefaultNoiseParams()
+	static := engine.CachedDRV1(cs.Variation, cond)
+
+	before := spice.Stats()
+	var eff float64
+	for i := 0; i < b.N; i++ {
+		eff = engine.EffectiveDRV1(cs.Variation, cond, p, spice.DefaultOptions())
+	}
+	d := spice.Stats().Sub(before)
+	n := int64(b.N)
+	b.ReportMetric((eff-static)*1e3, "tighten-mv")
+	b.ReportMetric(float64(d.EnsembleRuns/n), "ensemble-runs/op")
+	b.ReportMetric(float64(d.EnsembleSteps/n), "ensemble-steps/op")
+	b.ReportMetric(float64(d.NoiseEvals/n), "noise-evals/op")
+	if tighten := (eff - static) * 1e3; tighten < 20 {
+		b.Errorf("CS5-1 tightening %.1f mV, want >= 20 mV (the EXP-NS divergence cell)", tighten)
+	}
+
+	// Warm-start-reuse gate: the OP ladder of a bisection's ensembles,
+	// warm-chained vs bias-reseeded, on the rail probes the criterion
+	// visits (static .. static+MaxTighten).
+	var rails []float64
+	for i := 0; i <= 4; i++ {
+		rails = append(rails, static+float64(i)*p.MaxTighten/4)
+	}
+	opLadder := func(chain bool) spice.SolverStats {
+		ds := cell.New(cs.Variation, cond).DSCircuit(p.Sigma, p.SlotDt)
+		bias := ds.BiasStored1()
+		var warm spice.Solution
+		warmOK := false
+		before := spice.Stats()
+		for _, rail := range rails {
+			for r := 0; r < p.Runs; r++ {
+				ds.Supply.V = rail
+				seed := bias
+				if chain && warmOK {
+					seed = &warm
+				} else {
+					bias.SetV(ds.S, rail)
+				}
+				if err := spice.OPInto(ds.Ckt, seed, spice.DefaultOptions(), &warm); err != nil {
+					b.Fatal(err)
+				}
+				warmOK = warm.V(ds.S) > warm.V(ds.SN)
+			}
+		}
+		return spice.Stats().Sub(before)
+	}
+	warm := opLadder(true)
+	cold := opLadder(false)
+	ratio := float64(cold.NewtonIters) / float64(warm.NewtonIters)
+	b.ReportMetric(ratio, "cold/warm-dc-iters")
+	if ratio < 2 {
+		b.Errorf("warm-start reuse saves only %.2fx DC Newton iters over cold ensembles, want >= 2x", ratio)
+	}
+}
+
 // BenchmarkFaultMapCoverage — EXP-FM: correlated fault-map corpus
 // generation and March coverage evaluation on the real cell model (48
 // calibration DRV solves, then array-scale map generation and

@@ -1,0 +1,79 @@
+package cell
+
+import (
+	"sramtest/internal/process"
+	"sramtest/internal/spice"
+)
+
+// DSCircuit is the spice-level twin of the analytic Cell in deep-sleep
+// conditions: the same six corner/variation-shifted device models wired
+// as a full MNA netlist — cross-coupled inverters, pass gates to the
+// grounded word/bit lines, NodeCap storage capacitance on each internal
+// node — plus one stochastic NoiseSource per storage node. The analytic
+// path (InverterS/SNM/DRV bisection) stays the workhorse for static
+// questions; this netlist exists for questions the KCL solver cannot
+// answer, namely transient noise ensembles where the node voltages are
+// driven by an injected random current rather than settling to an
+// equilibrium.
+//
+// The *device.MOS instances are shared with the owning Cell (they carry
+// a single-goroutine beta memo), so a DSCircuit, its Cell and the spice
+// workspace form one single-goroutine unit — exactly the per-worker
+// ownership discipline the rest of the repo uses.
+type DSCircuit struct {
+	Cell   *Cell
+	Ckt    *spice.Circuit
+	Supply *spice.VSource // V_DD_CC rail; set .V per probe, then re-solve
+	S, SN  spice.NodeID   // internal storage nodes
+
+	// NoiseS/NoiseSN inject per-node noise current to ground. Callers
+	// set Seed per ensemble run; Sigma/Dt are fixed at build time.
+	NoiseS, NoiseSN *spice.NoiseSource
+}
+
+// DSCircuit builds the deep-sleep netlist for the cell. sigma is the RMS
+// noise current per storage node (A; 0 disables the sources) and slotDt
+// the piecewise-constant noise slot width (s).
+func (c *Cell) DSCircuit(sigma, slotDt float64) *DSCircuit {
+	ckt := spice.New()
+	ckt.Temp = c.Cond.TempC
+	vdd := ckt.Node("vdd")
+	s := ckt.Node("s")
+	sn := ckt.Node("sn")
+
+	d := &DSCircuit{Cell: c, Ckt: ckt, S: s, SN: sn}
+	d.Supply = &spice.VSource{Name: "VDDCC", Pos: vdd, Neg: spice.Ground, V: c.Cond.VDD}
+	ckt.Add(d.Supply)
+
+	// Terminal wiring mirrors nodeCurrentS/nodeCurrentSN: Eval(vg, vs,
+	// vd, vb) there maps to Mosfet{G, S, D, B} here, with WL = BL = 0.
+	mos := func(t process.CellTransistor, drain, gate, src, bulk spice.NodeID) {
+		ckt.Add(&spice.Mosfet{Name: t.String(), D: drain, G: gate, S: src, B: bulk, Dev: c.devs[t]})
+	}
+	mos(process.MPcc1, s, sn, vdd, vdd)
+	mos(process.MNcc1, s, sn, spice.Ground, spice.Ground)
+	mos(process.MPcc2, sn, s, vdd, vdd)
+	mos(process.MNcc2, sn, s, spice.Ground, spice.Ground)
+	mos(process.MNcc3, s, spice.Ground, spice.Ground, spice.Ground)
+	mos(process.MNcc4, sn, spice.Ground, spice.Ground, spice.Ground)
+
+	ckt.Add(&spice.Capacitor{Name: "CS", A: s, B: spice.Ground, C: NodeCap})
+	ckt.Add(&spice.Capacitor{Name: "CSN", A: sn, B: spice.Ground, C: NodeCap})
+
+	d.NoiseS = &spice.NoiseSource{Name: "INS", Pos: s, Neg: spice.Ground, Sigma: sigma, Dt: slotDt}
+	d.NoiseSN = &spice.NoiseSource{Name: "INSN", Pos: sn, Neg: spice.Ground, Sigma: sigma, Dt: slotDt}
+	ckt.Add(d.NoiseS)
+	ckt.Add(d.NoiseSN)
+	return d
+}
+
+// BiasStored1 returns a bias Solution seeding the stored-'1' state
+// (S at the current supply voltage, SN at 0) so the first operating
+// point lands in the right lobe of the bistable cell rather than the
+// metastable midpoint. The result is a fresh Solution each call; reuse
+// it as the warm seed and recycle OP results thereafter.
+func (d *DSCircuit) BiasStored1() *spice.Solution {
+	sol := spice.NewSolution(d.Ckt)
+	sol.SetV(d.S, d.Supply.V)
+	return sol
+}

@@ -61,6 +61,12 @@ type Options struct {
 	// -engine flag picked another). The backend's name is part of the
 	// point memo key, so runs with different engines never share points.
 	Engine engine.Engine
+	// Criterion selects the retention-decision criterion; nil uses the
+	// process default (engine.DefaultCriterion — Static unless the
+	// -criterion flag picked another). Like the engine, the criterion's
+	// name is part of the point memo key: a noise-tightened minimal
+	// resistance must never masquerade as a static one.
+	Criterion engine.Criterion
 }
 
 // ctx returns the options' context, defaulting to context.Background.
@@ -73,6 +79,10 @@ func (o Options) ctx() context.Context {
 
 // engine returns the options' backend, defaulting to the process default.
 func (o Options) engine() engine.Engine { return engine.Pick(o.Engine) }
+
+// criterion returns the options' retention criterion, defaulting to the
+// process default.
+func (o Options) criterion() engine.Criterion { return engine.PickCriterion(o.Criterion) }
 
 // level returns the reference level for a condition under the options'
 // override.
@@ -87,7 +97,7 @@ func (o Options) level(cond process.Condition) regulator.VrefLevel {
 func newEval(cond process.Condition, opt Options) (engine.Eval, error) {
 	sopt := spice.DefaultOptions()
 	sopt.ColdStart = opt.ColdStart
-	return opt.engine().Eval(cond, opt.level(cond), sopt)
+	return opt.engine().Eval(cond, opt.level(cond), sopt, opt.criterion())
 }
 
 // DefaultOptions mirrors the paper's experimental setup.
@@ -184,10 +194,18 @@ func MinResistanceAt(d regulator.Defect, cs process.CaseStudy, cond process.Cond
 // (the DRF predicate is monotone in the defect resistance — tested in the
 // regulator package). Returns +Inf when the full open line causes no DRF.
 func minResistance(ev engine.Eval, cond process.Condition, d regulator.Defect, cs process.CaseStudy, opt Options) (float64, error) {
-	// Fault-free sanity: the healthy regulator must retain.
+	// Fault-free sanity: the healthy regulator must retain. Under the
+	// static criterion a fault-free DRF can only mean the calibration is
+	// broken. A dynamic criterion can legitimately fail a fault-free
+	// cell at a margin-poor condition (the effective DRV tightens past
+	// the healthy rail); there the minimal DRF-causing resistance is
+	// zero — the condition itself cannot retain — not an error.
 	if bad, err := ev.Lost(d, 0, cs, opt.Dwell); err != nil {
 		return 0, err
 	} else if bad {
+		if opt.criterion().MaxTighten() > 0 {
+			return 0, nil
+		}
 		return 0, fmt.Errorf("charac: fault-free DRF at %s for %s — calibration broken", cond, cs.Name)
 	}
 
@@ -229,6 +247,7 @@ type pointKey struct {
 	level  regulator.VrefLevel // -1 = per-VDD default (regulator.SelectFor)
 	cold   bool                // ColdStart ablation runs are cached separately
 	eng    string              // backend name, calibration-versioned
+	crit   string              // criterion name, parameterized ("static", "noise.v1(...)")
 }
 
 func keyOf(d regulator.Defect, cs process.CaseStudy, cond process.Condition, opt Options) pointKey {
@@ -237,7 +256,7 @@ func keyOf(d regulator.Defect, cs process.CaseStudy, cond process.Condition, opt
 		level = *opt.Level
 	}
 	return pointKey{defect: d, cs: cs, cond: cond, dwell: opt.Dwell, resTol: opt.ResTol,
-		level: level, cold: opt.ColdStart, eng: opt.engine().Name()}
+		level: level, cold: opt.ColdStart, eng: opt.engine().Name(), crit: opt.criterion().Name()}
 }
 
 // pointCache memoizes characterization points across calls, so repeated

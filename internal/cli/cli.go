@@ -47,6 +47,27 @@ func Engine(fs *flag.FlagSet) (apply func() error) {
 	}
 }
 
+// Criterion registers the standard -criterion flag on fs and returns an
+// apply function to call after fs.Parse: it resolves the chosen
+// retention criterion and installs it as the process-wide default
+// (engine.SetDefaultCriterion), so every evaluation whose options leave
+// the criterion nil follows the flag. The empty value keeps the static
+// DRV rule — the paper's criterion and the pre-seam behavior, byte for
+// byte. "noise" switches retention decisions to the accelerated
+// stochastic-transient ensemble with the engine's default NoiseParams.
+func Criterion(fs *flag.FlagSet) (apply func() error) {
+	name := fs.String("criterion", "",
+		fmt.Sprintf("retention criterion: %s (default static)", strings.Join(engine.CriterionNames(), "|")))
+	return func() error {
+		c, err := engine.ResolveCriterion(*name)
+		if err != nil {
+			return err
+		}
+		engine.SetDefaultCriterion(c)
+		return nil
+	}
+}
+
 // Profile registers the standard -cpuprofile/-memprofile flags on fs and
 // returns a start function to call after fs.Parse. start begins CPU
 // profiling (when requested) and returns a stop function the caller must

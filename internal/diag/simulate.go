@@ -75,7 +75,13 @@ func simulate(opt Options, cand Candidate, tc testflow.TestCondition, warm **spi
 		if warm != nil {
 			seed = *warm
 		}
-		ev, err := eng.Eval(cond, tc.Level, sopt)
+		// Diagnosis signatures are static-calibrated by design: the
+		// dictionary, the matcher corpus and every fielded signature were
+		// generated under the static DRV rule, and a criterion mismatch
+		// between dictionary and observation would silently corrupt
+		// matching. The criterion is therefore pinned (not picked from the
+		// process default) and needs no simKey field.
+		ev, err := eng.Eval(cond, tc.Level, sopt, engine.Static{})
 		if err != nil {
 			return CondSignature{}, fmt.Errorf("diag: %s R=%.3g at %s: %w", cand.Defect, cand.Res, tc, err)
 		}

@@ -1,7 +1,10 @@
 package engine
 
 import (
+	"fmt"
 	"math"
+	"sort"
+	"sync"
 
 	"sramtest/internal/cell"
 	"sramtest/internal/process"
@@ -30,34 +33,121 @@ const CrowbarBreak = 0.5e-6 // A
 // model's own floating-point wiggle.
 const crowbarScreenLimit = 0.49e-6 // A
 
-// CellCrit caches the cell-side quantities of the DRF criterion for one
-// (case study, condition): the 6T model and its static DRV. Both the
-// exact backend and the tiered screen evaluate the same object, so a
-// screened decision and an escalated one can never disagree on the
-// cell's thresholds.
-type CellCrit struct {
-	CS   process.CaseStudy
-	Cell *cell.Cell
-	DRV1 float64 // static DRV of the stored-'1' state at this condition
+// Criterion is the pluggable retention-decision seam: given a settled
+// deep-sleep rail, does the cell lose its datum? The historical decision
+// — below the static DRV and flipping within the dwell — is the Static
+// criterion; the noise criterion (NewNoiseCriterion) tightens the
+// threshold with stochastic transient ensembles. Everything that is NOT
+// the lose/keep decision itself (crowbar activation, the DS fixed
+// point's exit rule, the band-screen soundness argument) stays anchored
+// on the static DRV regardless of criterion, so the exact backend's
+// operating points — and with them every warm-start chain — are
+// byte-identical across criteria.
+//
+// Implementations are immutable after construction and safe for
+// concurrent use; the Name is part of every memo and store key that
+// caches criterion-dependent results.
+type Criterion interface {
+	// Name identifies the criterion, including any parameters that change
+	// its answers ("static", "noise.v1(...)").
+	Name() string
+	// DRV1 is the criterion's effective data-retention voltage for a
+	// stored '1': the lowest rail at which the datum survives the
+	// criterion's retention model. Never below the static oracle's value.
+	DRV1(v process.Variation, cond process.Condition) float64
+	// DRV0 is the stored-'0' twin of DRV1.
+	DRV0(v process.Variation, cond process.Condition) float64
+	// LostDC decides the DC-defect DRF criterion at a settled rail v for
+	// the cell bundle c. Must be monotone: a lower rail is never safer.
+	LostDC(c *CellCrit, v, dwell float64) bool
+	// MaxTighten bounds DRV1 − static DRV1 over all variations and
+	// conditions (0 for the static criterion). The band screens use it as
+	// a conservative noise margin: rails at least MaxTighten above the
+	// static DRV can be decided without running a single ensemble.
+	MaxTighten() float64
 }
 
-// NewCellCrit builds the criterion bundle, with the DRV taken from the
-// process-wide oracle memo.
-func NewCellCrit(cs process.CaseStudy, cond process.Condition) *CellCrit {
-	return &CellCrit{CS: cs, Cell: cell.New(cs.Variation, cond), DRV1: CachedDRV1(cs.Variation, cond)}
+// Static is the paper's original DRF criterion: a datum is lost when the
+// settled rail sits below the static DRV (SNM → 0) and the flip
+// completes within the DS dwell. It is the process default and the
+// identity element of the seam — a Static-criterion run is byte-
+// identical to the pre-seam code at every layer.
+type Static struct{}
+
+// Name implements Criterion.
+func (Static) Name() string { return "static" }
+
+// DRV1 implements Criterion via the process-wide static oracle memo.
+func (Static) DRV1(v process.Variation, cond process.Condition) float64 {
+	return CachedDRV1(v, cond)
 }
 
-// LostDC decides the DC-defect DRF criterion at a settled rail v: below
-// the static DRV and flipping within the dwell.
-func (c *CellCrit) LostDC(v, dwell float64) bool {
+// DRV0 implements Criterion.
+func (Static) DRV0(v process.Variation, cond process.Condition) float64 {
+	return CachedDRV0(v, cond)
+}
+
+// LostDC implements Criterion: below the static DRV and flipping within
+// the dwell.
+func (Static) LostDC(c *CellCrit, v, dwell float64) bool {
 	if v >= c.DRV1 {
 		return false
 	}
 	return c.Cell.FlipTime(v, dwell) <= dwell
 }
 
+// MaxTighten implements Criterion: the static criterion never tightens.
+func (Static) MaxTighten() float64 { return 0 }
+
+// CellCrit caches the cell-side quantities of the DRF criterion for one
+// (case study, condition): the 6T model, its static DRV, and the
+// pluggable decision criterion. Both the exact backend and the tiered
+// screen evaluate the same object, so a screened decision and an
+// escalated one can never disagree on the cell's thresholds.
+//
+// DRV1 is always the STATIC threshold: the crowbar activation and the
+// solver-side fixed-point behaviour hang off it and must not move when
+// the decision criterion changes. The criterion's (possibly tightened)
+// threshold is EffDRV1.
+type CellCrit struct {
+	CS   process.CaseStudy
+	Cell *cell.Cell
+	Cond process.Condition
+	Crit Criterion
+	DRV1 float64 // static DRV of the stored-'1' state at this condition
+}
+
+// NewCellCrit builds the criterion bundle, with the static DRV taken
+// from the process-wide oracle memo. A nil crit resolves to the process
+// default criterion.
+func NewCellCrit(cs process.CaseStudy, cond process.Condition, crit Criterion) *CellCrit {
+	return &CellCrit{
+		CS:   cs,
+		Cell: cell.New(cs.Variation, cond),
+		Cond: cond,
+		Crit: PickCriterion(crit),
+		DRV1: CachedDRV1(cs.Variation, cond),
+	}
+}
+
+// LostDC decides the DC-defect DRF criterion at a settled rail v through
+// the pluggable criterion.
+func (c *CellCrit) LostDC(v, dwell float64) bool {
+	return c.Crit.LostDC(c, v, dwell)
+}
+
+// EffDRV1 returns the criterion's effective stored-'1' threshold —
+// equal to the static DRV1 field for the Static criterion, tightened
+// upward for the noise criterion. Criterion implementations memoize, so
+// repeated calls are cheap.
+func (c *CellCrit) EffDRV1() float64 {
+	return c.Crit.DRV1(c.CS.Variation, c.Cond)
+}
+
 // Activation is the soft flip-activation factor at rail v (1 well below
-// the DRV, 0 well above).
+// the DRV, 0 well above). Anchored on the static DRV by design: it
+// models the cell's DC crowbar draw, which transient noise does not
+// change.
 func (c *CellCrit) Activation(v float64) float64 {
 	return 1.0 / (1.0 + math.Exp((v-c.DRV1)/FlipActivationWidth*4))
 }
@@ -68,37 +158,51 @@ func (c *CellCrit) CrowbarNext(v float64) float64 {
 	return float64(c.CS.Cells) * c.Cell.CrowbarCurrent(v) * c.Activation(v)
 }
 
+// crowbarQuiet reports whether the worst-case first-iteration crowbar
+// load over the band is below the fixed point's own exit threshold, so
+// the exact backend would break out with the no-load rail the band
+// bounds. The activation is monotone decreasing in the rail (worst at
+// Lo); the per-cell crowbar current is smooth, so its band extremes
+// bound it.
+func (c *CellCrit) crowbarQuiet(band Rail) bool {
+	ib := math.Max(c.Cell.CrowbarCurrent(band.Lo), c.Cell.CrowbarCurrent(band.Hi))
+	return float64(c.CS.Cells)*ib*c.Activation(band.Lo) < crowbarScreenLimit
+}
+
 // DecideLostDC screens the DC DRF criterion against a rail band without
 // solving. It returns (lost, true) only when the exact backend would
 // provably agree for any true no-load rail inside the band:
 //
+//   - Pass is safe without consulting the criterion at all when the
+//     band's bottom clears the static DRV by the criterion's MaxTighten
+//     margin (no criterion can declare a loss up there) AND the crowbar
+//     load cannot move the operating point. For the noise criterion this
+//     conservative-margin branch is what lets the surrogate and tiered
+//     backends skip transient ensembles on the vast majority of clearly
+//     passing points.
 //   - Fail is safe when the band's TOP already loses the datum: the
 //     criterion is monotone in the rail (a lower rail flips no slower),
 //     and the exact backend's crowbar load only pulls the rail further
 //     down from the no-load value the band bounds.
 //   - Pass is safe when the band's BOTTOM retains the datum (the full
-//     criterion, not just the static DRV: marginally below the DRV the
+//     criterion, not just the threshold: marginally below the DRV the
 //     flip outlasts the dwell, and the flip time is monotone in the
-//     rail) AND the worst-case first-iteration crowbar load over the
-//     band is below the fixed point's own exit threshold: the exact
-//     backend would break out with the no-load rail and report
-//     "retains".
+//     rail) AND the crowbar condition above holds.
 //
 // Anything else — the band straddles the threshold, or the crowbar load
 // could move the operating point — is left undecided for escalation.
 func (c *CellCrit) DecideLostDC(band Rail, dwell float64) (lost, decided bool) {
+	if mt := c.Crit.MaxTighten(); mt > 0 && band.Lo > 0 && band.Lo >= c.DRV1+mt {
+		if c.crowbarQuiet(band) {
+			return false, true
+		}
+		return false, false
+	}
 	if c.LostDC(band.Hi, dwell) {
 		return true, true
 	}
-	if band.Lo > 0 && !c.LostDC(band.Lo, dwell) {
-		// Bound the first-iteration load over the band: the activation is
-		// monotone decreasing in the rail (worst at Lo); the per-cell
-		// crowbar current is smooth, so its band extremes bound it.
-		ib := math.Max(c.Cell.CrowbarCurrent(band.Lo), c.Cell.CrowbarCurrent(band.Hi))
-		next := float64(c.CS.Cells) * ib * c.Activation(band.Lo)
-		if next < crowbarScreenLimit {
-			return false, true
-		}
+	if band.Lo > 0 && !c.LostDC(band.Lo, dwell) && c.crowbarQuiet(band) {
+		return false, true
 	}
 	return false, false
 }
@@ -108,6 +212,11 @@ func (c *CellCrit) DecideLostDC(band Rail, dwell float64) (lost, decided bool) {
 // retention model solves the plain no-load operating point) against a
 // rail band. drv is the static DRV of the mirrored-as-needed cell. It
 // returns (survives, true) only when both band edges agree.
+//
+// The behavioral March/BIST retention path deliberately stays on the
+// static criterion: diagnosis dictionaries and coverage corpora are
+// static-calibrated artifacts, and the noise seam reaches fault maps
+// through their DRF marginals (faultmap.Model) instead.
 func DecideSurvives(cl *cell.Cell, drv float64, band Rail, dwell float64) (survives, decided bool) {
 	if dwell <= 0 {
 		if band.Lo >= drv {
@@ -129,4 +238,115 @@ func DecideSurvives(cl *cell.Cell, drv float64, band Rail, dwell float64) (survi
 		return false, true
 	}
 	return false, false
+}
+
+// CriterionModel adapts a Criterion to the DRV-model seams of the
+// consumers that sample thresholds directly — yield.Params.Model and
+// faultmap.Params.Model both accept exactly this shape — so the noise
+// criterion tightens the yield boundary and the fault-map DRF marginals
+// through one adapter.
+type CriterionModel struct {
+	Crit Criterion
+}
+
+// DRV1 returns the criterion's effective stored-'1' threshold.
+func (m CriterionModel) DRV1(v process.Variation, cond process.Condition) float64 {
+	return m.Crit.DRV1(v, cond)
+}
+
+// criterionCtors maps flag-level criterion names to constructors,
+// mirroring the engine registry. The two built-ins are pre-registered;
+// the map exists so tests can stub criteria the same way they stub
+// engines.
+var criterionRegistry = struct {
+	sync.Mutex
+	ctors map[string]func() Criterion
+}{ctors: map[string]func() Criterion{
+	"static": func() Criterion { return Static{} },
+	"noise":  func() Criterion { return NewNoiseCriterion(DefaultNoiseParams()) },
+}}
+
+// RegisterCriterion installs a criterion constructor under a flag-level
+// name. Later registrations of the same name win.
+func RegisterCriterion(name string, ctor func() Criterion) {
+	criterionRegistry.Lock()
+	defer criterionRegistry.Unlock()
+	criterionRegistry.ctors[name] = ctor
+}
+
+// CriterionNames lists the registered criteria, sorted (flag help text).
+func CriterionNames() []string {
+	criterionRegistry.Lock()
+	defer criterionRegistry.Unlock()
+	out := make([]string, 0, len(criterionRegistry.ctors))
+	for n := range criterionRegistry.ctors {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ResolveCriterion constructs the criterion registered under name. The
+// empty name resolves to "static" (the pre-seam behaviour, and the
+// spelling canonical job specs fold to). Parameterized names are
+// accepted too ("noise.v1(...)" matches a registered constructor whose
+// Name() agrees), so canonical spellings round-trip.
+func ResolveCriterion(name string) (Criterion, error) {
+	if name == "" {
+		name = "static"
+	}
+	criterionRegistry.Lock()
+	ctor, ok := criterionRegistry.ctors[name]
+	criterionRegistry.Unlock()
+	if ok {
+		return ctor(), nil
+	}
+	criterionRegistry.Lock()
+	ctors := make([]func() Criterion, 0, len(criterionRegistry.ctors))
+	for _, c := range criterionRegistry.ctors {
+		ctors = append(ctors, c)
+	}
+	criterionRegistry.Unlock()
+	for _, c := range ctors {
+		if cr := c(); cr.Name() == name {
+			return cr, nil
+		}
+	}
+	return nil, fmt.Errorf("engine: unknown criterion %q (have %v)", name, CriterionNames())
+}
+
+// defaultCriterion is the process-wide default, settable by the shared
+// -criterion flag (internal/cli), mirroring the engine default.
+var (
+	defaultCritMu    sync.Mutex
+	defaultCriterion Criterion
+)
+
+// SetDefaultCriterion installs the process-wide default criterion. nil
+// resets to Static.
+func SetDefaultCriterion(c Criterion) {
+	defaultCritMu.Lock()
+	defaultCriterion = c
+	defaultCritMu.Unlock()
+}
+
+// DefaultCriterion returns the process-wide default criterion: the one
+// installed by SetDefaultCriterion, else Static.
+func DefaultCriterion() Criterion {
+	defaultCritMu.Lock()
+	c := defaultCriterion
+	defaultCritMu.Unlock()
+	if c != nil {
+		return c
+	}
+	return Static{}
+}
+
+// PickCriterion returns c when non-nil, else the process default. Sweep
+// options use it to resolve their Criterion field.
+func PickCriterion(c Criterion) Criterion {
+	if c != nil {
+		return c
+	}
+	return DefaultCriterion()
 }

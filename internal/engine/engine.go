@@ -58,9 +58,11 @@ type Engine interface {
 	// Eval prepares a per-condition evaluation context (netlist, cell
 	// thresholds, calibration tables) for the given PVT condition and
 	// reference level. sopt carries the solver settings, notably the
-	// ColdStart ablation. The Eval is NOT safe for concurrent use; each
-	// worker holds its own.
-	Eval(cond process.Condition, level regulator.VrefLevel, sopt spice.Options) (Eval, error)
+	// ColdStart ablation. crit selects the retention-decision criterion;
+	// nil resolves to the process default (Static unless a -criterion
+	// flag installed another). The Eval is NOT safe for concurrent use;
+	// each worker holds its own.
+	Eval(cond process.Condition, level regulator.VrefLevel, sopt spice.Options, crit Criterion) (Eval, error)
 	// DRV1 is the static data-retention-voltage oracle for a stored '1'
 	// (the bisection over the cell's retention criterion). It is pure
 	// cell-level math, identical across backends, and memoized

@@ -63,18 +63,18 @@ func putRegulator(cond process.Condition, r *regulator.Regulator) {
 
 // Eval implements engine.Engine: it prepares a per-condition context
 // with a pooled regulator set to the requested reference level.
-func (g *Engine) Eval(cond process.Condition, level regulator.VrefLevel, sopt spice.Options) (engine.Eval, error) {
-	return g.NewEval(cond, level, sopt), nil
+func (g *Engine) Eval(cond process.Condition, level regulator.VrefLevel, sopt spice.Options, crit engine.Criterion) (engine.Eval, error) {
+	return g.NewEval(cond, level, sopt, crit), nil
 }
 
 // NewEval is Eval without the interface wrapping, for the surrogate's
 // calibrator and the tiered backend, which need the concrete type
 // (RailAt, LostDetail, Crit).
-func (g *Engine) NewEval(cond process.Condition, level regulator.VrefLevel, sopt spice.Options) *Eval {
+func (g *Engine) NewEval(cond process.Condition, level regulator.VrefLevel, sopt spice.Options, crit engine.Criterion) *Eval {
 	reg := getRegulator(cond)
 	reg.ClearDefects()
 	reg.SetVref(level)
-	return &Eval{cond: cond, level: level, sopt: sopt, reg: reg, crits: map[string]*engine.CellCrit{}}
+	return &Eval{cond: cond, level: level, sopt: sopt, crit: engine.PickCriterion(crit), reg: reg, crits: map[string]*engine.CellCrit{}}
 }
 
 // Eval is the exact backend's per-condition context. Not safe for
@@ -83,6 +83,7 @@ type Eval struct {
 	cond  process.Condition
 	level regulator.VrefLevel
 	sopt  spice.Options
+	crit  engine.Criterion
 	reg   *regulator.Regulator
 	crits map[string]*engine.CellCrit // per case-study criterion bundle
 
@@ -98,7 +99,7 @@ func (e *Eval) critFor(cs process.CaseStudy) *engine.CellCrit {
 	if c, ok := e.crits[cs.Name]; ok {
 		return c
 	}
-	c := engine.NewCellCrit(cs, e.cond)
+	c := engine.NewCellCrit(cs, e.cond, e.crit)
 	e.crits[cs.Name] = c
 	return c
 }
@@ -153,7 +154,11 @@ func (e *Eval) lostTransient(c *engine.CellCrit, dwell float64) (bool, error) {
 	}
 	e.warmACT = act
 	// Fast path: a supply that never crosses below the static DRV cannot
-	// flip the cell — skip the trajectory integration.
+	// flip the cell — skip the trajectory integration. The criterion seam
+	// deliberately does not reach into this waveform decision: transient
+	// defects are µs-scale rail excursions, far shorter than the noise
+	// criterion's observation window (NoiseCriterion.LostDC likewise
+	// falls back to the static rule for dwells shorter than the window).
 	if _, min := wf.Min("vddcc"); min >= c.DRV1 {
 		return false, nil
 	}

@@ -26,7 +26,10 @@ func Calibrate(cond process.Condition, level regulator.VrefLevel, d regulator.De
 	if regulator.Lookup(d).Transient {
 		return nil, nil, fmt.Errorf("surrogate: defect %v is transient-mode, no DS rail to calibrate", d)
 	}
-	ev := spicebe.New().NewEval(cond, level, spice.DefaultOptions())
+	// Calibration samples no-load rails only — RailAt never consults the
+	// retention criterion — so the tables are criterion-independent and
+	// one calibration serves static and noise runs alike.
+	ev := spicebe.New().NewEval(cond, level, spice.DefaultOptions(), engine.Static{})
 	defer ev.Release()
 	ladder := CalRange(n)
 	x = make([]float64, 0, len(ladder))

@@ -29,8 +29,8 @@ func New() *Engine { return &Engine{} }
 func (*Engine) Name() string { return fmt.Sprintf("surrogate.v%d", CalVersion) }
 
 // Eval implements engine.Engine.
-func (g *Engine) Eval(cond process.Condition, level regulator.VrefLevel, sopt spice.Options) (engine.Eval, error) {
-	return &Eval{cond: cond, level: level, sopt: sopt, store: FixedTables(), crits: map[string]*engine.CellCrit{}}, nil
+func (g *Engine) Eval(cond process.Condition, level regulator.VrefLevel, sopt spice.Options, crit engine.Criterion) (engine.Eval, error) {
+	return &Eval{cond: cond, level: level, sopt: sopt, crit: engine.PickCriterion(crit), store: FixedTables(), crits: map[string]*engine.CellCrit{}}, nil
 }
 
 // Eval is the surrogate's per-condition context. Not safe for concurrent
@@ -39,6 +39,7 @@ type Eval struct {
 	cond  process.Condition
 	level regulator.VrefLevel
 	sopt  spice.Options
+	crit  engine.Criterion
 	store *Store
 	crits map[string]*engine.CellCrit
 	inner *spicebe.Eval // lazy exact context for the SPICE-only queries
@@ -48,14 +49,14 @@ func (e *Eval) critFor(cs process.CaseStudy) *engine.CellCrit {
 	if c, ok := e.crits[cs.Name]; ok {
 		return c
 	}
-	c := engine.NewCellCrit(cs, e.cond)
+	c := engine.NewCellCrit(cs, e.cond, e.crit)
 	e.crits[cs.Name] = c
 	return c
 }
 
 func (e *Eval) exact() *spicebe.Eval {
 	if e.inner == nil {
-		e.inner = spicebe.New().NewEval(e.cond, e.level, e.sopt)
+		e.inner = spicebe.New().NewEval(e.cond, e.level, e.sopt, e.crit)
 	}
 	return e.inner
 }

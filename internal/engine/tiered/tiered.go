@@ -40,12 +40,15 @@ func New() *Engine { return &Engine{} }
 // calibration scheme (a screen is only as good as its band).
 func (*Engine) Name() string { return fmt.Sprintf("tiered.v%d", surrogate.CalVersion) }
 
-// Eval implements engine.Engine.
-func (g *Engine) Eval(cond process.Condition, level regulator.VrefLevel, sopt spice.Options) (engine.Eval, error) {
+// Eval implements engine.Engine. The criterion threads through to the
+// shared spicebe context, so the screen (engine.CellCrit.DecideLostDC,
+// whose conservative-margin branch covers the criterion's MaxTighten)
+// and the escalation evaluate the very same criterion bundle.
+func (g *Engine) Eval(cond process.Condition, level regulator.VrefLevel, sopt spice.Options, crit engine.Criterion) (engine.Eval, error) {
 	return &Eval{
 		cond:  cond,
 		level: level,
-		inner: spicebe.New().NewEval(cond, level, sopt),
+		inner: spicebe.New().NewEval(cond, level, sopt, crit),
 		store: surrogate.RefinableTables(),
 	}, nil
 }

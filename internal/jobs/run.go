@@ -16,6 +16,7 @@ import (
 	"sramtest/internal/exp"
 	"sramtest/internal/faultmap"
 	"sramtest/internal/march"
+	"sramtest/internal/noisescan"
 	"sramtest/internal/process"
 	"sramtest/internal/regulator"
 	"sramtest/internal/testflow"
@@ -62,8 +63,73 @@ func Run(ctx context.Context, spec Spec) ([]byte, error) {
 		return runYield(ctx, spec)
 	case KindFaultMap:
 		return runFaultMap(ctx, spec)
+	case KindNoiseScan:
+		return runNoiseScan(ctx, spec)
 	}
 	return nil, fmt.Errorf("%w: unknown kind %q", ErrBadSpec, spec.Kind)
+}
+
+// specCriterion resolves the spec's retention criterion. Like the
+// engine, the spec names it explicitly ("" ≡ static after
+// normalization) and the process default is deliberately not consulted,
+// so a store key always maps to one criterion regardless of daemon
+// configuration.
+func specCriterion(spec Spec) (engine.Criterion, error) {
+	switch spec.Criterion {
+	case "":
+		return engine.Static{}, nil
+	case "noise":
+		return engine.NewNoiseCriterion(spec.Noise.params()), nil
+	}
+	return nil, fmt.Errorf("%w: unknown criterion %q", ErrBadSpec, spec.Criterion)
+}
+
+// runNoiseScan measures the flip-probability curve at the fixed
+// Monte-Carlo condition. A whole scan renders the EXP-NS summary and
+// curve tables (identical to `noisescan` CLI output); a shard job
+// (Shards > 1) emits the mergeable noisescan.Partial JSON artifact the
+// cluster fan-out reassembles with noisescan.MergePartials. Like
+// KindExp and KindYield, the scan drives the cell netlist directly and
+// ignores the engine field.
+func runNoiseScan(ctx context.Context, spec Spec) ([]byte, error) {
+	ns := spec.NoiseScan
+	p := noisescan.Params{
+		CaseStudy: ns.CaseStudy,
+		Cond:      mcCondition,
+		Points:    ns.Points,
+		Below:     ns.Below,
+		Above:     ns.Above,
+		Noise:     spec.Noise.params(),
+		Shards:    ns.Shards,
+		Shard:     ns.Shard,
+	}
+	if ns.Shards > 1 {
+		part, err := noisescan.ShardPartial(ctx, p)
+		if err != nil {
+			return nil, err
+		}
+		return json.Marshal(part)
+	}
+	res, err := noisescan.Scan(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	for _, t := range []interface {
+		Write(w io.Writer) error
+		WriteCSV(w io.Writer) error
+	}{noisescan.Summary(res), noisescan.Curve(res)} {
+		if spec.CSV {
+			err = t.WriteCSV(&buf)
+		} else {
+			err = t.Write(&buf)
+		}
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintln(&buf) // match cmd/noisescan's blank line after each table
+	}
+	return buf.Bytes(), nil
 }
 
 // runFaultMap generates the correlated fault-map corpus at the fixed
@@ -85,6 +151,15 @@ func runFaultMap(ctx context.Context, spec Spec) ([]byte, error) {
 		Defect: f.Defect,
 		Shards: f.Shards,
 		Shard:  f.Shard,
+	}
+	// A noise criterion tightens the per-bit DRF marginals through the
+	// Model seam; static jobs keep the default memo-free CellModel.
+	if spec.Criterion == "noise" {
+		crit, err := specCriterion(spec)
+		if err != nil {
+			return nil, err
+		}
+		p.Model = engine.CriterionModel{Crit: crit}
 	}
 	for _, name := range f.Tests {
 		t, ok := march.ByName(name)
@@ -148,6 +223,16 @@ func runYield(ctx context.Context, spec Spec) ([]byte, error) {
 		Shards:  y.Shards,
 		Shard:   y.Shard,
 	}
+	// A noise criterion tightens the failure boundary through the Model
+	// seam; the static criterion keeps the default memo-free CellModel,
+	// so static jobs stay byte-identical to pre-criterion runs.
+	if spec.Criterion == "noise" {
+		crit, err := specCriterion(spec)
+		if err != nil {
+			return nil, err
+		}
+		p.Model = engine.CriterionModel{Crit: crit}
+	}
 	if y.Shards > 1 {
 		part, err := est.Partial(ctx, p)
 		if err != nil {
@@ -197,8 +282,13 @@ func runDiag(ctx context.Context, spec Spec, eng engine.Engine) ([]byte, error) 
 }
 
 func runCharac(ctx context.Context, spec Spec, eng engine.Engine) ([]byte, error) {
+	crit, err := specCriterion(spec)
+	if err != nil {
+		return nil, err
+	}
 	opt := charac.DefaultOptions()
 	opt.Engine = eng
+	opt.Criterion = crit
 	if !spec.Charac.Full {
 		opt.Conditions = charac.ReducedGrid()
 	}

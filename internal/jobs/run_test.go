@@ -14,6 +14,7 @@ import (
 	"sramtest/internal/exp"
 	"sramtest/internal/faultmap"
 	"sramtest/internal/march"
+	"sramtest/internal/noisescan"
 	"sramtest/internal/regulator"
 	"sramtest/internal/sweep"
 	"sramtest/internal/yield"
@@ -89,6 +90,9 @@ func TestRunWorkerInvariance(t *testing.T) {
 		"yield":    {Kind: KindYield, Yield: &YieldSpec{Samples: 64, Vref: 0.34}},
 		"faultmap": {Kind: KindFaultMap, FaultMap: &FaultMapSpec{
 			Maps: 8, Tests: []string{"March m-LZ", "March C-"},
+		}},
+		"noisescan": {Kind: KindNoiseScan, NoiseScan: &NoiseScanSpec{
+			CaseStudy: 5, Points: 5,
 		}},
 	}
 	for name, spec := range specs {
@@ -265,6 +269,104 @@ func TestFaultMapShardJobsMerge(t *testing.T) {
 	fmt.Fprintln(&buf)
 	if !bytes.Equal(whole, buf.Bytes()) {
 		t.Errorf("merged shard report differs from the whole job:\n--- whole ---\n%s\n--- merged ---\n%s", whole, buf.Bytes())
+	}
+}
+
+// TestNoiseScanJobMatchesCLIBytes pins the noisescan job to the exact
+// bytes cmd/noisescan writes: Scan → Summary table → blank line → Curve
+// table → blank line, at the fixed Monte-Carlo condition. This is one
+// leg of the satellite determinism contract — CLI, daemon and cluster
+// must agree byte for byte.
+func TestNoiseScanJobMatchesCLIBytes(t *testing.T) {
+	spec := Spec{Kind: KindNoiseScan, NoiseScan: &NoiseScanSpec{CaseStudy: 5, Points: 5}}
+	got, err := Run(context.Background(), spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The CLI path, spelled out literally.
+	res, err := noisescan.Scan(context.Background(), noisescan.Params{CaseStudy: 5, Points: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want bytes.Buffer
+	if err := noisescan.Summary(res).Write(&want); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(&want)
+	if err := noisescan.Curve(res).Write(&want); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(&want)
+	if !bytes.Equal(got, want.Bytes()) {
+		t.Errorf("job bytes differ from the CLI path:\n--- job ---\n%s\n--- cli ---\n%s", got, want.Bytes())
+	}
+	if !bytes.Contains(got, []byte("EXP-NS")) {
+		t.Errorf("implausible result:\n%s", got)
+	}
+}
+
+// TestNoiseScanShardJobsMerge runs the noisescan cluster fan-out shape
+// end to end at the jobs layer: two shard jobs emit Partial JSON, the
+// merged result renders byte-identically to the equivalent whole-scan
+// job — the third leg of the satellite determinism contract.
+func TestNoiseScanShardJobsMerge(t *testing.T) {
+	sub := NoiseScanSpec{CaseStudy: 5, Points: 5}
+	whole, err := Run(context.Background(), Spec{Kind: KindNoiseScan, NoiseScan: &sub})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([]noisescan.Partial, 2)
+	for s := 0; s < 2; s++ {
+		shard := sub
+		shard.Shards, shard.Shard = 2, s
+		raw, err := Run(context.Background(), Spec{Kind: KindNoiseScan, NoiseScan: &shard})
+		if err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+		if err := json.Unmarshal(raw, &parts[s]); err != nil {
+			t.Fatalf("shard %d: %v", s, err)
+		}
+	}
+	merged, err := noisescan.MergePartials(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := noisescan.Summary(merged).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(&buf)
+	if err := noisescan.Curve(merged).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(&buf)
+	if !bytes.Equal(whole, buf.Bytes()) {
+		t.Errorf("merged shard report differs from the whole job:\n--- whole ---\n%s\n--- merged ---\n%s", whole, buf.Bytes())
+	}
+}
+
+// TestCriterionChangesCharacJob: the criterion field must reach the
+// characterization engine — a noise-criterion job may not emit the same
+// bytes as the static default for a case study whose retention limit the
+// noise ensemble tightens.
+func TestCriterionChangesCharacJob(t *testing.T) {
+	if testing.Short() {
+		t.Skip("noise-criterion characterization is slow")
+	}
+	static := Spec{Kind: KindCharac, Charac: &CharacSpec{Defects: []int{16}, CaseStudies: []int{5}}}
+	noise := Spec{Kind: KindCharac, Criterion: "noise",
+		Charac: &CharacSpec{Defects: []int{16}, CaseStudies: []int{5}}}
+	a, err := Run(context.Background(), static)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(context.Background(), noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a, b) {
+		t.Error("noise-criterion job emitted the static job's bytes — the criterion never reached the engine")
 	}
 }
 

@@ -17,6 +17,7 @@ import (
 	"sramtest/internal/engine"
 	"sramtest/internal/faultmap"
 	"sramtest/internal/march"
+	"sramtest/internal/noisescan"
 	"sramtest/internal/regulator"
 	"sramtest/internal/store"
 	"sramtest/internal/yield"
@@ -40,6 +41,9 @@ const (
 	// KindFaultMap is the correlated fault-map coverage evaluation
 	// (cmd/faultmap).
 	KindFaultMap Kind = "faultmap"
+	// KindNoiseScan is the flip-probability vs V_DD_DS scan under the
+	// noise criterion's accelerated transient ensembles (cmd/noisescan).
+	KindNoiseScan Kind = "noisescan"
 )
 
 // ErrBadSpec marks submission-time validation failures (HTTP 400).
@@ -75,6 +79,23 @@ type Spec struct {
 	Yield *YieldSpec `json:"yield,omitempty"`
 	// FaultMap is appended after Yield (append-only field order).
 	FaultMap *FaultMapSpec `json:"faultmap,omitempty"`
+	// NoiseScan is appended after FaultMap (append-only field order).
+	NoiseScan *NoiseScanSpec `json:"noisescan,omitempty"`
+	// Criterion selects the retention-decision criterion for the
+	// criterion-aware kinds (charac, yield, faultmap): "static" or
+	// "noise". Empty means static; normalization folds "static" to the
+	// empty spelling so every pre-criterion store key stays valid. The
+	// criterion — and, for "noise", the explicit ensemble parameters
+	// below — is part of the content address: a noise-tightened result
+	// must never be served for a static request. Kinds whose artifacts
+	// are static-calibrated by design (exp, testflow, diag) and the
+	// noisescan kind (inherently noise) reject a non-static criterion.
+	Criterion string `json:"criterion,omitempty"`
+	// Noise overrides the noise-criterion ensemble parameters; nil means
+	// the calibrated defaults. Only valid with criterion "noise" or kind
+	// noisescan; normalization makes every field explicit so a default
+	// and its explicit spelling share one cache key.
+	Noise *NoiseSpec `json:"noise,omitempty"`
 }
 
 // CharacSpec parameterizes a Table II characterization, mirroring
@@ -186,6 +207,123 @@ type FaultMapSpec struct {
 	Shard  int `json:"shard,omitempty"`
 }
 
+// NoiseScanSpec parameterizes a flip-probability scan, mirroring
+// cmd/noisescan's flags. Like KindExp and KindYield, the scan runs at
+// the fixed Monte-Carlo condition (FS, 1.1 V, 125 °C); the ensemble
+// parameters come from the Spec-level Noise field.
+type NoiseScanSpec struct {
+	// CaseStudy is the Table I scenario index (1..5), scanned on its
+	// stored-'1' side; 0 selects noisescan.DefaultCaseStudy (CS5).
+	CaseStudy int `json:"caseStudy"`
+	// Points is the rail-grid size (>= 2); 0 selects
+	// noisescan.DefaultPoints.
+	Points int `json:"points"`
+	// Below/Above bound the scanned rails relative to the static DRV
+	// (V); 0 selects the noisescan defaults.
+	Below float64 `json:"below"`
+	Above float64 `json:"above"`
+	// Shards/Shard select one shard of a cluster fan-out: the job covers
+	// only the rail points with index ≡ Shard (mod Shards) and emits a
+	// mergeable JSON partial (noisescan.Partial) instead of the report
+	// tables. Shards <= 1 normalizes to the omitted whole-scan form.
+	Shards int `json:"shards,omitempty"`
+	Shard  int `json:"shard,omitempty"`
+}
+
+// NoiseSpec mirrors engine.NoiseParams field for field, with JSON names
+// pinned for the canonical serialization.
+type NoiseSpec struct {
+	Runs       int     `json:"runs"`
+	Sigma      float64 `json:"sigma"`
+	SlotDt     float64 `json:"slotDt"`
+	Window     float64 `json:"window"`
+	PFail      float64 `json:"pFail"`
+	Tol        float64 `json:"tol"`
+	MaxTighten float64 `json:"maxTighten"`
+	Seed       int64   `json:"seed"`
+}
+
+// params converts the spec to engine ensemble parameters, filling the
+// calibrated defaults into zero fields (a nil spec is all defaults).
+func (n *NoiseSpec) params() engine.NoiseParams {
+	p := engine.DefaultNoiseParams()
+	if n == nil {
+		return p
+	}
+	if n.Runs != 0 {
+		p.Runs = n.Runs
+	}
+	if n.Sigma != 0 {
+		p.Sigma = n.Sigma
+	}
+	if n.SlotDt != 0 {
+		p.SlotDt = n.SlotDt
+	}
+	if n.Window != 0 {
+		p.Window = n.Window
+	}
+	if n.PFail != 0 {
+		p.PFail = n.PFail
+	}
+	if n.Tol != 0 {
+		p.Tol = n.Tol
+	}
+	if n.MaxTighten != 0 {
+		p.MaxTighten = n.MaxTighten
+	}
+	if n.Seed != 0 {
+		p.Seed = n.Seed
+	}
+	return p
+}
+
+// noiseSpecOf spells ensemble parameters back as the explicit canonical
+// sub-spec.
+func noiseSpecOf(p engine.NoiseParams) *NoiseSpec {
+	return &NoiseSpec{
+		Runs:       p.Runs,
+		Sigma:      p.Sigma,
+		SlotDt:     p.SlotDt,
+		Window:     p.Window,
+		PFail:      p.PFail,
+		Tol:        p.Tol,
+		MaxTighten: p.MaxTighten,
+		Seed:       p.Seed,
+	}
+}
+
+// normalizeCriterion validates the Spec-level criterion/noise pair for
+// the given kind and returns their canonical forms.
+func normalizeCriterion(s Spec) (crit string, noise *NoiseSpec, err error) {
+	critAware := s.Kind == KindCharac || s.Kind == KindYield || s.Kind == KindFaultMap
+	switch s.Criterion {
+	case "", "static":
+		if s.Noise != nil && s.Kind != KindNoiseScan {
+			return "", nil, fmt.Errorf("%w: noise params without criterion %q", ErrBadSpec, "noise")
+		}
+	case "noise":
+		if !critAware {
+			return "", nil, fmt.Errorf("%w: kind %q does not take criterion %q", ErrBadSpec, s.Kind, s.Criterion)
+		}
+	default:
+		return "", nil, fmt.Errorf("%w: unknown criterion %q (have static, noise)", ErrBadSpec, s.Criterion)
+	}
+	if s.Criterion == "noise" || s.Kind == KindNoiseScan {
+		p := s.Noise.params()
+		if p.Seed == 0 {
+			p.Seed = defaultSeed
+		}
+		if err := p.Validate(); err != nil {
+			return "", nil, fmt.Errorf("%w: %v", ErrBadSpec, err)
+		}
+		noise = noiseSpecOf(p)
+	}
+	if s.Criterion == "noise" {
+		crit = "noise"
+	}
+	return crit, noise, nil
+}
+
 // maxRandomOps caps one job's random stream.
 const maxRandomOps = 1 << 22
 
@@ -210,9 +348,12 @@ func (s Spec) Normalize() (Spec, error) {
 	if n := eng.Name(); n != "spice" {
 		out.Engine = n
 	}
+	if out.Criterion, out.Noise, err = normalizeCriterion(s); err != nil {
+		return Spec{}, err
+	}
 	switch s.Kind {
 	case KindCharac:
-		if s.Exp != nil || s.TestFlow != nil || s.Diag != nil || s.Yield != nil || s.FaultMap != nil {
+		if s.Exp != nil || s.TestFlow != nil || s.Diag != nil || s.Yield != nil || s.FaultMap != nil || s.NoiseScan != nil {
 			return Spec{}, fmt.Errorf("%w: kind %q with mismatched sub-spec", ErrBadSpec, s.Kind)
 		}
 		c := CharacSpec{}
@@ -228,7 +369,7 @@ func (s Spec) Normalize() (Spec, error) {
 		}
 		out.Charac = &c
 	case KindExp:
-		if s.Charac != nil || s.TestFlow != nil || s.Diag != nil || s.Yield != nil || s.FaultMap != nil {
+		if s.Charac != nil || s.TestFlow != nil || s.Diag != nil || s.Yield != nil || s.FaultMap != nil || s.NoiseScan != nil {
 			return Spec{}, fmt.Errorf("%w: kind %q with mismatched sub-spec", ErrBadSpec, s.Kind)
 		}
 		if s.Exp == nil {
@@ -246,7 +387,7 @@ func (s Spec) Normalize() (Spec, error) {
 		}
 		out.Exp = &e
 	case KindTestFlow:
-		if s.Charac != nil || s.Exp != nil || s.Diag != nil || s.Yield != nil || s.FaultMap != nil {
+		if s.Charac != nil || s.Exp != nil || s.Diag != nil || s.Yield != nil || s.FaultMap != nil || s.NoiseScan != nil {
 			return Spec{}, fmt.Errorf("%w: kind %q with mismatched sub-spec", ErrBadSpec, s.Kind)
 		}
 		f := TestFlowSpec{}
@@ -259,7 +400,7 @@ func (s Spec) Normalize() (Spec, error) {
 		}
 		out.TestFlow = &f
 	case KindDiag:
-		if s.Charac != nil || s.Exp != nil || s.TestFlow != nil || s.Yield != nil || s.FaultMap != nil {
+		if s.Charac != nil || s.Exp != nil || s.TestFlow != nil || s.Yield != nil || s.FaultMap != nil || s.NoiseScan != nil {
 			return Spec{}, fmt.Errorf("%w: kind %q with mismatched sub-spec", ErrBadSpec, s.Kind)
 		}
 		if s.CSV {
@@ -291,7 +432,7 @@ func (s Spec) Normalize() (Spec, error) {
 		}
 		out.Diag = &dg
 	case KindYield:
-		if s.Charac != nil || s.Exp != nil || s.TestFlow != nil || s.Diag != nil || s.FaultMap != nil {
+		if s.Charac != nil || s.Exp != nil || s.TestFlow != nil || s.Diag != nil || s.FaultMap != nil || s.NoiseScan != nil {
 			return Spec{}, fmt.Errorf("%w: kind %q with mismatched sub-spec", ErrBadSpec, s.Kind)
 		}
 		if s.Yield == nil {
@@ -331,7 +472,7 @@ func (s Spec) Normalize() (Spec, error) {
 		}
 		out.Yield = &y
 	case KindFaultMap:
-		if s.Charac != nil || s.Exp != nil || s.TestFlow != nil || s.Diag != nil || s.Yield != nil {
+		if s.Charac != nil || s.Exp != nil || s.TestFlow != nil || s.Diag != nil || s.Yield != nil || s.NoiseScan != nil {
 			return Spec{}, fmt.Errorf("%w: kind %q with mismatched sub-spec", ErrBadSpec, s.Kind)
 		}
 		fm := FaultMapSpec{}
@@ -379,6 +520,46 @@ func (s Spec) Normalize() (Spec, error) {
 			}
 		}
 		out.FaultMap = &fm
+	case KindNoiseScan:
+		if s.Charac != nil || s.Exp != nil || s.TestFlow != nil || s.Diag != nil || s.Yield != nil || s.FaultMap != nil {
+			return Spec{}, fmt.Errorf("%w: kind %q with mismatched sub-spec", ErrBadSpec, s.Kind)
+		}
+		ns := NoiseScanSpec{}
+		if s.NoiseScan != nil {
+			ns = *s.NoiseScan
+		}
+		if ns.CaseStudy == 0 {
+			ns.CaseStudy = noisescan.DefaultCaseStudy
+		}
+		if ns.CaseStudy < 1 || ns.CaseStudy > 5 {
+			return Spec{}, fmt.Errorf("%w: noisescan.caseStudy = %d, want 1..5", ErrBadSpec, ns.CaseStudy)
+		}
+		if ns.Points == 0 {
+			ns.Points = noisescan.DefaultPoints
+		}
+		if ns.Points < 2 || ns.Points > noisescan.MaxPoints {
+			return Spec{}, fmt.Errorf("%w: noisescan.points = %d, want 2..%d", ErrBadSpec, ns.Points, noisescan.MaxPoints)
+		}
+		if ns.Below == 0 {
+			ns.Below = noisescan.DefaultBelow
+		}
+		if ns.Above == 0 {
+			ns.Above = noisescan.DefaultAbove
+		}
+		if ns.Below < 0 || ns.Above < 0 {
+			return Spec{}, fmt.Errorf("%w: noisescan range −%g/+%g V, want >= 0", ErrBadSpec, ns.Below, ns.Above)
+		}
+		if ns.Shards <= 1 {
+			ns.Shards, ns.Shard = 0, 0
+		} else {
+			if ns.Shard < 0 || ns.Shard >= ns.Shards {
+				return Spec{}, fmt.Errorf("%w: noisescan.shard = %d not in [0, %d)", ErrBadSpec, ns.Shard, ns.Shards)
+			}
+			if s.CSV {
+				return Spec{}, fmt.Errorf("%w: sharded noisescan jobs emit a JSON partial, csv does not apply", ErrBadSpec)
+			}
+		}
+		out.NoiseScan = &ns
 	default:
 		return Spec{}, fmt.Errorf("%w: unknown kind %q", ErrBadSpec, s.Kind)
 	}

@@ -156,6 +156,23 @@ func TestNormalizeRejectsBadSpecs(t *testing.T) {
 		{Kind: KindFaultMap, Yield: &YieldSpec{Samples: 64}},
 		{Kind: KindYield, Yield: &YieldSpec{Samples: 64}, FaultMap: &FaultMapSpec{}},
 		{Kind: KindCharac, FaultMap: &FaultMapSpec{}},
+		{Kind: KindCharac, Criterion: "bogus"},
+		{Kind: KindExp, Exp: &ExpSpec{Samples: 1}, Criterion: "noise"},
+		{Kind: KindTestFlow, Criterion: "noise"},
+		{Kind: KindDiag, Criterion: "noise"},
+		{Kind: KindNoiseScan, Criterion: "noise"},
+		{Kind: KindCharac, Noise: &NoiseSpec{Runs: 4}},
+		{Kind: KindCharac, Criterion: "noise", Noise: &NoiseSpec{Runs: -1}},
+		{Kind: KindCharac, Criterion: "noise", Noise: &NoiseSpec{Sigma: -1e-9}},
+		{Kind: KindNoiseScan, NoiseScan: &NoiseScanSpec{CaseStudy: 6}},
+		{Kind: KindNoiseScan, NoiseScan: &NoiseScanSpec{Points: 1}},
+		{Kind: KindNoiseScan, NoiseScan: &NoiseScanSpec{Points: 1 << 21}},
+		{Kind: KindNoiseScan, NoiseScan: &NoiseScanSpec{Below: -0.01}},
+		{Kind: KindNoiseScan, NoiseScan: &NoiseScanSpec{Shards: 4, Shard: 4}},
+		{Kind: KindNoiseScan, NoiseScan: &NoiseScanSpec{Shards: 4, Shard: -1}},
+		{Kind: KindNoiseScan, CSV: true, NoiseScan: &NoiseScanSpec{Shards: 4}},
+		{Kind: KindNoiseScan, Yield: &YieldSpec{Samples: 64}},
+		{Kind: KindYield, Yield: &YieldSpec{Samples: 64}, NoiseScan: &NoiseScanSpec{}},
 	}
 	for i, s := range bad {
 		if _, err := s.Normalize(); !errors.Is(err, ErrBadSpec) {
@@ -248,6 +265,72 @@ func TestFaultMapSpecsShareKeys(t *testing.T) {
 	f := Spec{Kind: KindFaultMap, FaultMap: &FaultMapSpec{BIST: true}}
 	if kf, _ := f.Key(); kf == ka {
 		t.Error("the BIST evaluator must not share the software executor's key")
+	}
+}
+
+func TestNoiseScanSpecsShareKeys(t *testing.T) {
+	// The bare default and the fully explicit spelling of the defaults
+	// (CS5, 13 points, the engine's accelerated-noise parameters) must
+	// land on one cache key.
+	a := Spec{Kind: KindNoiseScan}
+	b := Spec{Kind: KindNoiseScan,
+		NoiseScan: &NoiseScanSpec{CaseStudy: 5, Points: 13, Below: 0.02, Above: 0.10},
+		Noise: &NoiseSpec{
+			Runs: 8, Sigma: 2e-9, SlotDt: 1e-6, Window: 4e-5,
+			PFail: 0.5, Tol: 2e-3, MaxTighten: 0.15, Seed: 2013,
+		}}
+	ka, err := a.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := b.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Error("default noisescan spec and explicit spelling must share a cache key")
+	}
+	c := Spec{Kind: KindNoiseScan, Noise: &NoiseSpec{Sigma: 5e-9}}
+	if kc, _ := c.Key(); kc == ka {
+		t.Error("different noise amplitudes must not share a cache key")
+	}
+	d := Spec{Kind: KindNoiseScan, NoiseScan: &NoiseScanSpec{Shards: 2, Shard: 1}}
+	if kd, _ := d.Key(); kd == ka {
+		t.Error("a shard job must not share the whole scan's key")
+	}
+}
+
+func TestCriterionSpecsShareKeys(t *testing.T) {
+	// "static" is the process default: folding it away must leave the
+	// pre-criterion cache key untouched, so every result cached before
+	// the criterion seam existed stays addressable.
+	a := Spec{Kind: KindCharac, Charac: &CharacSpec{Defects: []int{16}}}
+	b := Spec{Kind: KindCharac, Criterion: "static", Charac: &CharacSpec{Defects: []int{16}}}
+	ka, err := a.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb, err := b.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ka != kb {
+		t.Error(`criterion "static" must fold to the pre-criterion cache key`)
+	}
+	// The noise criterion changes the retention decision, so it must be
+	// part of the content address — with its parameters.
+	c := Spec{Kind: KindCharac, Criterion: "noise", Charac: &CharacSpec{Defects: []int{16}}}
+	kc, err := c.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if kc == ka {
+		t.Error("the noise criterion must not share the static criterion's key")
+	}
+	d := Spec{Kind: KindCharac, Criterion: "noise", Noise: &NoiseSpec{Runs: 16},
+		Charac: &CharacSpec{Defects: []int{16}}}
+	if kd, _ := d.Key(); kd == kc {
+		t.Error("different ensemble sizes must not share a cache key")
 	}
 }
 

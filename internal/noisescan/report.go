@@ -1,0 +1,46 @@
+package noisescan
+
+import (
+	"fmt"
+
+	"sramtest/internal/report"
+)
+
+// Summary renders the scan header as the EXP-NS summary table. Every
+// cell is a pure function of the Result, which is itself a pure
+// function of the Params, so rendered bytes are comparable across the
+// CLI, the daemon, and a merged cluster run.
+func Summary(r Result) *report.Table {
+	t := report.NewTable("EXP-NS — dynamic retention under accelerated noise", "Quantity", "Value")
+	t.AddRow("case study", r.CS)
+	t.AddRow("condition", r.Cond.String())
+	t.AddRow("noise sigma", report.SI(r.Noise.Sigma, "A"))
+	t.AddRow("noise slot", report.SI(r.Noise.SlotDt, "s"))
+	t.AddRow("window", report.SI(r.Noise.Window, "s"))
+	t.AddRow("runs per rail", fmt.Sprintf("%d", r.Noise.Runs))
+	t.AddRow("seed", fmt.Sprintf("%d", r.Noise.Seed))
+	t.AddRow("static DRV_DS", fmt.Sprintf("%.4f V", r.StaticDRV))
+	t.AddRow("effective DRV_DS (noise)", fmt.Sprintf("%.4f V", r.EffDRV))
+	t.AddRow("tightening", fmt.Sprintf("%.1f mV", r.Tighten*1e3))
+	return t
+}
+
+// Curve renders the P(flip) vs V_DD_DS curve of EXP-NS.
+func Curve(r Result) *report.Table {
+	t := report.NewTable("EXP-NS — flip probability vs deep-sleep rail",
+		"V_DD_DS (V)", "ΔDRV (mV)", "P(flip)", "flips", "mean t_flip")
+	for _, p := range r.Curve {
+		mt := "—"
+		if p.Flips > 0 {
+			mt = report.SI(p.MeanFlipT, "s")
+		}
+		t.AddRow(
+			fmt.Sprintf("%.4f", p.VDD),
+			fmt.Sprintf("%+.1f", (p.VDD-r.StaticDRV)*1e3),
+			fmt.Sprintf("%.3f", p.PFlip),
+			fmt.Sprintf("%d/%d", p.Flips, p.Runs),
+			mt,
+		)
+	}
+	return t
+}

@@ -1,0 +1,126 @@
+package noisescan
+
+import (
+	"fmt"
+	"sort"
+
+	"sramtest/internal/engine"
+	"sramtest/internal/process"
+)
+
+// PartialVersion tags the Partial wire format; a merger refuses any
+// other version rather than silently misreading future fields.
+const PartialVersion = 1
+
+// Calib is the shard-invariant threshold pair that travels with every
+// Partial: the static DRV anchoring the scan grid and the noise
+// criterion's effective DRV under the scan's own ensemble parameters.
+// Both are pure functions of (case study, cond, noise params), so every
+// shard computes the identical Calib; MergePartials verifies that
+// instead of trusting it.
+type Calib struct {
+	CS        string  `json:"cs"`
+	StaticDRV float64 `json:"staticDRV"`
+	EffDRV    float64 `json:"effDRV"`
+}
+
+// Partial is one shard's share of a scan: the job header, the
+// (shard-invariant) calibration, and the raw tallies of the rail points
+// the shard owns (index ≡ Shard mod Shards). It is the artifact a
+// sharded noisescan job emits and the unit MergePartials consumes; all
+// fields are exact-roundtrip JSON, so a merged scan is byte-identical
+// to the unsharded run.
+type Partial struct {
+	Version   int                `json:"version"`
+	CaseStudy int                `json:"caseStudy"`
+	Cond      process.Condition  `json:"cond"`
+	Points    int                `json:"points"`
+	Below     float64            `json:"below"`
+	Above     float64            `json:"above"`
+	Noise     engine.NoiseParams `json:"noise"`
+	Shards    int                `json:"shards"`
+	Shard     int                `json:"shard"`
+	Calib     Calib              `json:"calib"`
+	Stats     []PointStat        `json:"stats"`
+}
+
+// mergeHeader is the merge-identity of a partial: everything that must
+// agree across shards, in a comparable struct.
+type mergeHeader struct {
+	Version   int
+	CaseStudy int
+	Cond      process.Condition
+	Points    int
+	Below     float64
+	Above     float64
+	Noise     engine.NoiseParams
+	Shards    int
+	Calib     Calib
+}
+
+// header extracts the merge-identity of the partial.
+func (p Partial) header() mergeHeader {
+	return mergeHeader{
+		Version:   p.Version,
+		CaseStudy: p.CaseStudy,
+		Cond:      p.Cond,
+		Points:    p.Points,
+		Below:     p.Below,
+		Above:     p.Above,
+		Noise:     p.Noise,
+		Shards:    p.Shards,
+		Calib:     p.Calib,
+	}
+}
+
+// MergePartials reassembles a full scan from one partial per shard. It
+// verifies that every shard ran the same job (identical header and
+// calibration), that exactly the expected shards are present, and that
+// the union of points covers the grid with no gap or overlap — then
+// reduces them through the same point-ordered finalize as a local run,
+// reproducing its bytes exactly.
+func MergePartials(parts []Partial) (Result, error) {
+	if len(parts) == 0 {
+		return Result{}, fmt.Errorf("%w: no partials to merge", ErrBadParams)
+	}
+	ref := parts[0]
+	if ref.Version != PartialVersion {
+		return Result{}, fmt.Errorf("%w: partial version %d, want %d", ErrBadParams, ref.Version, PartialVersion)
+	}
+	if len(parts) != ref.Shards {
+		return Result{}, fmt.Errorf("%w: %d partials for %d shards", ErrBadParams, len(parts), ref.Shards)
+	}
+
+	head := ref.header()
+	seen := make(map[int]bool, len(parts))
+	var stats []PointStat
+	for _, p := range parts {
+		if p.header() != head {
+			return Result{}, fmt.Errorf("%w: shard %d disagrees on the job header or calibration", ErrBadParams, p.Shard)
+		}
+		if p.Shard < 0 || p.Shard >= ref.Shards || seen[p.Shard] {
+			return Result{}, fmt.Errorf("%w: bad or duplicate shard index %d", ErrBadParams, p.Shard)
+		}
+		seen[p.Shard] = true
+		for _, st := range p.Stats {
+			if st.Point%ref.Shards != p.Shard {
+				return Result{}, fmt.Errorf("%w: shard %d reports foreign point %d", ErrBadParams, p.Shard, st.Point)
+			}
+		}
+		stats = append(stats, p.Stats...)
+	}
+
+	sort.Slice(stats, func(i, j int) bool { return stats[i].Point < stats[j].Point })
+	if len(stats) != ref.Points {
+		return Result{}, fmt.Errorf("%w: merged %d points, want %d", ErrBadParams, len(stats), ref.Points)
+	}
+	for i, st := range stats {
+		if st.Point != i {
+			return Result{}, fmt.Errorf("%w: point %d missing from the merge", ErrBadParams, i)
+		}
+	}
+
+	merged := ref
+	merged.Shards, merged.Shard, merged.Stats = 1, 0, stats
+	return finalize(merged), nil
+}

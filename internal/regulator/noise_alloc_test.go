@@ -1,0 +1,53 @@
+package regulator
+
+import (
+	"testing"
+
+	"sramtest/internal/power"
+	"sramtest/internal/process"
+	"sramtest/internal/spice"
+)
+
+// TestRegulatorNoiseTranZeroAllocSteadyState extends the transient
+// steady-state guard to noise-enabled circuits: a DS-mode transient on
+// the full regulator netlist with a stochastic NoiseSource hanging off
+// V_DD_CC must stay allocation-free once the workspace and buffers are
+// warm. The noise criterion's ensembles lean on this — an allocation per
+// noise evaluation would multiply by Runs × steps × rail probes.
+func TestRegulatorNoiseTranZeroAllocSteadyState(t *testing.T) {
+	cond := process.Condition{Corner: process.FS, VDD: 1.0, TempC: 125}
+	r := Build(cond, power.NewModel(cond).LoadFunc(), DefaultParams())
+	r.SetVref(SelectFor(cond.VDD))
+	r.SetRegOn(true)
+	vddcc, ok := r.Ckt.FindNode("vddcc")
+	if !ok {
+		t.Fatal("no vddcc node")
+	}
+	// Supply-side disturbance: µA-scale so the regulator visibly works
+	// against it without losing the operating point.
+	ns := &spice.NoiseSource{Name: "INCC", Pos: vddcc, Neg: spice.Ground, Sigma: 1e-6, Dt: 20e-9, Seed: 7}
+	r.Ckt.Add(ns)
+
+	opt := spice.DefaultOptions()
+	var op spice.Solution
+	if err := spice.OPInto(r.Ckt, nil, opt, &op); err != nil {
+		t.Fatalf("OP: %v", err)
+	}
+	spec := spice.TranSpec{TStop: 200e-9, DtMax: 20e-9, Record: []spice.NodeID{vddcc}}
+	var wf spice.Waveform
+	var final spice.Solution
+	if err := spice.TranInto(r.Ckt, &op, spec, opt, &wf, &final); err != nil {
+		t.Fatalf("warm-up Tran: %v", err)
+	}
+	seed := int64(7)
+	allocs := testing.AllocsPerRun(5, func() {
+		seed++
+		ns.Seed = seed // fresh ensemble member each run, like the criterion
+		if err := spice.TranInto(r.Ckt, &op, spec, opt, &wf, &final); err != nil {
+			t.Fatalf("TranInto: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("noise-enabled regulator TranInto allocates %.1f allocs/op, want 0", allocs)
+	}
+}

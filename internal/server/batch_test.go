@@ -12,6 +12,7 @@ import (
 
 	"sramtest/internal/cluster"
 	"sramtest/internal/jobs"
+	"sramtest/internal/noisescan"
 	"sramtest/internal/yield"
 )
 
@@ -133,6 +134,51 @@ func TestBatchYieldShardsMerge(t *testing.T) {
 	}
 	var buf bytes.Buffer
 	if err := yield.Report(merged).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(&buf)
+	if !bytes.Equal(whole, buf.Bytes()) {
+		t.Errorf("merged cluster report differs from the whole job:\n--- whole ---\n%s\n--- merged ---\n%s", whole, buf.Bytes())
+	}
+}
+
+// TestBatchNoiseScanShardsMerge is the cluster noisescan fan-out end to
+// end through the real runner: two shard specs stream back Partial
+// JSON, and the merged result renders byte-identically to the
+// whole-scan job — what cmd/noisescan -cluster does against a live
+// daemon. With TestNoiseScanJobMatchesCLIBytes this closes the CLI ≡
+// daemon ≡ cluster determinism triangle for the noise criterion.
+func TestBatchNoiseScanShardsMerge(t *testing.T) {
+	srv, _, _ := newTestServer(t, nil)
+	body := `{"kind":"noisescan","noisescan":{"caseStudy":5,"points":5,"shards":2,"shard":0}}
+{"kind":"noisescan","noisescan":{"caseStudy":5,"points":5,"shards":2,"shard":1}}`
+	got := decodeBatch(t, postBatch(t, srv, body), 2)
+	parts := make([]noisescan.Partial, 2)
+	for i := 0; i < 2; i++ {
+		br := got[i]
+		if br.State != cluster.BatchStateDone {
+			t.Fatalf("shard %d: state %s (%s)", i, br.State, br.Error)
+		}
+		if err := json.Unmarshal(br.Result, &parts[i]); err != nil {
+			t.Fatalf("shard %d: %v", i, err)
+		}
+	}
+	merged, err := noisescan.MergePartials(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	whole, err := jobs.Run(context.Background(), jobs.Spec{
+		Kind: jobs.KindNoiseScan, NoiseScan: &jobs.NoiseScanSpec{CaseStudy: 5, Points: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := noisescan.Summary(merged).Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintln(&buf)
+	if err := noisescan.Curve(merged).Write(&buf); err != nil {
 		t.Fatal(err)
 	}
 	fmt.Fprintln(&buf)

@@ -8,6 +8,7 @@ import (
 	"sramtest/internal/engine"
 	"sramtest/internal/faultmap"
 	"sramtest/internal/jobs"
+	"sramtest/internal/noisescan"
 	"sramtest/internal/spice"
 	"sramtest/internal/store"
 	"sramtest/internal/yield"
@@ -76,6 +77,15 @@ func writeMetrics(w io.Writer, mgr *jobs.Manager, st *store.Store) {
 	fmt.Fprintln(w, "# HELP sramd_spice_newton_iters_per_solve Mean Newton iterations per solve since start.")
 	fmt.Fprintln(w, "# TYPE sramd_spice_newton_iters_per_solve gauge")
 	fmt.Fprintf(w, "sramd_spice_newton_iters_per_solve %g\n", sp.ItersPerSolve())
+	fmt.Fprintln(w, "# HELP sramd_spice_noise_evals_total Noise-source current evaluations in stochastic transients.")
+	fmt.Fprintln(w, "# TYPE sramd_spice_noise_evals_total counter")
+	fmt.Fprintf(w, "sramd_spice_noise_evals_total %d\n", sp.NoiseEvals)
+	fmt.Fprintln(w, "# HELP sramd_spice_ensemble_runs_total Stochastic-transient ensemble members completed.")
+	fmt.Fprintln(w, "# TYPE sramd_spice_ensemble_runs_total counter")
+	fmt.Fprintf(w, "sramd_spice_ensemble_runs_total %d\n", sp.EnsembleRuns)
+	fmt.Fprintln(w, "# HELP sramd_spice_ensemble_steps_total Transient timesteps across all ensemble members.")
+	fmt.Fprintln(w, "# TYPE sramd_spice_ensemble_steps_total counter")
+	fmt.Fprintf(w, "sramd_spice_ensemble_steps_total %d\n", sp.EnsembleSteps)
 
 	// Tiered-engine counters: all zero while every job runs the exact
 	// backend; under -engine tiered the screened/escalated split is the
@@ -159,6 +169,25 @@ func writeMetrics(w io.Writer, mgr *jobs.Manager, st *store.Store) {
 	fmt.Fprintln(w, "# TYPE sramd_faultmap_last_bits_per_map gauge")
 	fmt.Fprintf(w, "sramd_faultmap_last_bits_per_map %g\n", fs.LastBitsPerMap)
 
+	// Noise-scan counters: the dynamic-retention experiment's ensemble
+	// spend plus the latest measured tightening of the DRV threshold.
+	ns := noisescan.Stats()
+	fmt.Fprintln(w, "# HELP sramd_noise_scans_total Completed full flip-probability scans.")
+	fmt.Fprintln(w, "# TYPE sramd_noise_scans_total counter")
+	fmt.Fprintf(w, "sramd_noise_scans_total %d\n", ns.Scans)
+	fmt.Fprintln(w, "# HELP sramd_noise_partials_total Completed noise-scan shard partials.")
+	fmt.Fprintln(w, "# TYPE sramd_noise_partials_total counter")
+	fmt.Fprintf(w, "sramd_noise_partials_total %d\n", ns.Partials)
+	fmt.Fprintln(w, "# HELP sramd_noise_points_total Rail points measured across all scans.")
+	fmt.Fprintln(w, "# TYPE sramd_noise_points_total counter")
+	fmt.Fprintf(w, "sramd_noise_points_total %d\n", ns.Points)
+	fmt.Fprintln(w, "# HELP sramd_noise_flips_total Flipped ensemble members observed across all scans.")
+	fmt.Fprintln(w, "# TYPE sramd_noise_flips_total counter")
+	fmt.Fprintf(w, "sramd_noise_flips_total %d\n", ns.Flips)
+	fmt.Fprintln(w, "# HELP sramd_noise_last_tighten_volts DRV tightening of the latest full scan.")
+	fmt.Fprintln(w, "# TYPE sramd_noise_last_tighten_volts gauge")
+	fmt.Fprintf(w, "sramd_noise_last_tighten_volts %g\n", ns.LastTighten)
+
 	// Diagnosis counters: the matcher economy (how much of the
 	// dictionary each signature touched) and streaming-ingest volume.
 	ds := diag.Stats()
@@ -211,7 +240,16 @@ func snapshot(mgr *jobs.Manager, st *store.Store) map[string]any {
 	ys := yield.Stats()
 	fs := faultmap.Stats()
 	ds := diag.Stats()
+	ns := noisescan.Stats()
 	out := map[string]any{
+		"noise_scans":             ns.Scans,
+		"noise_partials":          ns.Partials,
+		"noise_points":            ns.Points,
+		"noise_flips":             ns.Flips,
+		"noise_last_tighten":      ns.LastTighten,
+		"spice_noise_evals":       sp.NoiseEvals,
+		"spice_ensemble_runs":     sp.EnsembleRuns,
+		"spice_ensemble_steps":    sp.EnsembleSteps,
 		"diag_matches":            ds.Matches,
 		"diag_exact":              ds.Exact,
 		"diag_fallbacks":          ds.Fallbacks,

@@ -216,6 +216,12 @@ func TestHealthzAndMetricsShape(t *testing.T) {
 		"sramd_faultmap_runs_total",
 		"sramd_faultmap_maps_total",
 		"sramd_faultmap_last_best_coverage",
+		"sramd_noise_scans_total",
+		"sramd_noise_flips_total",
+		"sramd_noise_last_tighten_volts",
+		"sramd_spice_noise_evals_total",
+		"sramd_spice_ensemble_runs_total",
+		"sramd_spice_ensemble_steps_total",
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("metrics missing %q:\n%s", want, body)

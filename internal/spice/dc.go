@@ -74,6 +74,23 @@ func (s *Solution) Clone() *Solution {
 	return &Solution{c: s.c, X: append([]float64(nil), s.X...)}
 }
 
+// NewSolution returns a zeroed Solution sized for the circuit, for
+// callers outside this package that construct an explicit bias point —
+// e.g. seeding a bistable cell into one stored state before the first
+// operating point, as the in-package tests do with seed6T.
+func NewSolution(c *Circuit) *Solution {
+	return &Solution{c: c, X: make([]float64, numUnknowns(c))}
+}
+
+// SetV sets the voltage of node n in a bias Solution. Setting Ground is
+// a no-op (it is 0 by definition).
+func (s *Solution) SetV(n NodeID, v float64) {
+	if n == Ground {
+		return
+	}
+	s.X[int(n)-1] = v
+}
+
 // set copies x into the solution, reusing its buffer when already large
 // enough, so a recycled Solution absorbs a result without allocating.
 func (s *Solution) set(c *Circuit, x []float64) {

@@ -1,0 +1,175 @@
+package spice
+
+import (
+	"math"
+	"testing"
+)
+
+// addNoise6T attaches one NoiseSource per storage node of the 6T test
+// cell, the configuration the engine's noise criterion uses.
+func addNoise6T(c *Circuit, sigma, dt float64) (ns, nsn *NoiseSource) {
+	s, _ := c.FindNode("s")
+	sn, _ := c.FindNode("sn")
+	ns = &NoiseSource{Name: "INS", Pos: s, Neg: Ground, Sigma: sigma, Dt: dt}
+	nsn = &NoiseSource{Name: "INSN", Pos: sn, Neg: Ground, Sigma: sigma, Dt: dt}
+	c.Add(ns)
+	c.Add(nsn)
+	return ns, nsn
+}
+
+// TestNoiseSampleStream pins the deterministic stream contract: the slot
+// value is a pure function of (seed, slot), distinct seeds give distinct
+// streams, and the marginal is standard normal to within Monte-Carlo
+// tolerance. The exact values are load-bearing (content-addressed noise
+// results), so a change here is a breaking change.
+func TestNoiseSampleStream(t *testing.T) {
+	if a, b := NoiseSample(7, 3), NoiseSample(7, 3); a != b {
+		t.Fatalf("NoiseSample not pure: %g != %g", a, b)
+	}
+	if a, b := NoiseSample(7, 3), NoiseSample(8, 3); a == b {
+		t.Fatalf("seeds 7 and 8 collide at slot 3: %g", a)
+	}
+	if a, b := NoiseSample(7, 3), NoiseSample(7, 4); a == b {
+		t.Fatalf("slots 3 and 4 collide under seed 7: %g", a)
+	}
+	const n = 200000
+	var sum, sum2 float64
+	for k := int64(0); k < n; k++ {
+		x := NoiseSample(12345, k)
+		sum += x
+		sum2 += x * x
+	}
+	mean := sum / n
+	std := math.Sqrt(sum2/n - mean*mean)
+	if math.Abs(mean) > 0.01 {
+		t.Errorf("stream mean %.4f, want ~0", mean)
+	}
+	if math.Abs(std-1) > 0.01 {
+		t.Errorf("stream std %.4f, want ~1", std)
+	}
+}
+
+// TestNoiseSourceDCNoOp verifies the DC contract: adding noise sources —
+// even absurdly strong ones — leaves the operating point untouched,
+// because zero-mean noise must not move the bias and the warm-start
+// chains that hang off it.
+func TestNoiseSourceDCNoOp(t *testing.T) {
+	quiet, _ := build6T()
+	noisy, _ := build6T()
+	addNoise6T(noisy, 1e-3, 1e-6) // mA-scale RMS: would be obvious if stamped
+
+	ref, err := OP(quiet, seed6T(quiet), DefaultOptions())
+	if err != nil {
+		t.Fatalf("quiet OP: %v", err)
+	}
+	got, err := OP(noisy, seed6T(noisy), DefaultOptions())
+	if err != nil {
+		t.Fatalf("noisy OP: %v", err)
+	}
+	for _, name := range []string{"s", "sn", "vdd"} {
+		if a, b := ref.VName(name), got.VName(name); a != b {
+			t.Errorf("node %s: quiet %g != noisy %g", name, a, b)
+		}
+	}
+}
+
+// noisyTran runs one noisy transient on a fresh 6T cell and returns the
+// recorded waveform.
+func noisyTran(t *testing.T, seed int64) *Waveform {
+	t.Helper()
+	c, _ := build6T()
+	ns, nsn := addNoise6T(c, 2e-12, 1e-6)
+	ns.Seed = seed
+	nsn.Seed = seed + 1
+	opt := DefaultOptions()
+	var op Solution
+	if err := OPInto(c, seed6T(c), opt, &op); err != nil {
+		t.Fatalf("OP: %v", err)
+	}
+	s, _ := c.FindNode("s")
+	sn, _ := c.FindNode("sn")
+	spec := TranSpec{TStop: 2e-5, DtMax: 1e-6, Record: []NodeID{s, sn}}
+	wf, _, err := Tran(c, &op, spec, opt)
+	if err != nil {
+		t.Fatalf("Tran: %v", err)
+	}
+	return wf
+}
+
+// TestNoiseTranDeterministic is the repo's byte-identity contract at the
+// lowest level: the same seed reproduces the noisy waveform exactly;
+// a different seed visibly decorrelates it.
+func TestNoiseTranDeterministic(t *testing.T) {
+	a := noisyTran(t, 42)
+	b := noisyTran(t, 42)
+	if len(a.Time) != len(b.Time) {
+		t.Fatalf("run lengths differ: %d vs %d", len(a.Time), len(b.Time))
+	}
+	for i := range a.Time {
+		if a.Time[i] != b.Time[i] || a.Signals[0][i] != b.Signals[0][i] || a.Signals[1][i] != b.Signals[1][i] {
+			t.Fatalf("sample %d differs between identical seeds", i)
+		}
+	}
+	c := noisyTran(t, 43)
+	same := len(a.Time) == len(c.Time)
+	if same {
+		for i := range a.Time {
+			if a.Signals[0][i] != c.Signals[0][i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("seeds 42 and 43 produced identical waveforms")
+	}
+}
+
+// TestNoiseTranZeroAllocSteadyState extends the PR-4 allocation guard to
+// the noise path: a repeated noisy transient with recycled waveform and
+// final-state buffers must not touch the heap — the noise stamp is pure
+// arithmetic on the existing workspace.
+func TestNoiseTranZeroAllocSteadyState(t *testing.T) {
+	c, _ := build6T()
+	ns, nsn := addNoise6T(c, 2e-12, 1e-6)
+	opt := DefaultOptions()
+	var op Solution
+	if err := OPInto(c, seed6T(c), opt, &op); err != nil {
+		t.Fatalf("OP: %v", err)
+	}
+	s, _ := c.FindNode("s")
+	sn, _ := c.FindNode("sn")
+	spec := TranSpec{TStop: 5e-6, DtMax: 1e-6, Record: []NodeID{s, sn}}
+	var wf Waveform
+	var final Solution
+	if err := TranInto(c, &op, spec, opt, &wf, &final); err != nil {
+		t.Fatalf("warm-up Tran: %v", err)
+	}
+	seed := int64(0)
+	allocs := testing.AllocsPerRun(20, func() {
+		// A fresh stream per run, as ensemble members install.
+		seed++
+		ns.Seed = seed
+		nsn.Seed = seed + 1
+		if err := TranInto(c, &op, spec, opt, &wf, &final); err != nil {
+			t.Fatalf("TranInto: %v", err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("noisy TranInto steady state allocates %.1f allocs/op, want 0", allocs)
+	}
+}
+
+// TestEnsembleStatsCounters checks the AddEnsembleStats plumbing surfaces
+// through Stats() and Sub like the native solver counters.
+func TestEnsembleStatsCounters(t *testing.T) {
+	before := Stats()
+	AddEnsembleStats(3, 170)
+	d := Stats().Sub(before)
+	if d.EnsembleRuns != 3 || d.EnsembleSteps != 170 {
+		t.Errorf("ensemble delta = (%d runs, %d steps), want (3, 170)", d.EnsembleRuns, d.EnsembleSteps)
+	}
+	if noisyTran(t, 7); Stats().Sub(before).NoiseEvals == 0 {
+		t.Error("noisy transient did not count any NoiseSource evaluations")
+	}
+}

@@ -16,6 +16,9 @@ var (
 	statSourceFallbacks atomic.Int64 // solves that entered source stepping
 	statTranSteps       atomic.Int64 // accepted transient time steps
 	statTranRejects     atomic.Int64 // rejected (halved) transient time steps
+	statNoiseEvals      atomic.Int64 // NoiseSource transient stamp evaluations
+	statEnsembleRuns    atomic.Int64 // transient-ensemble member runs (AddEnsembleStats)
+	statEnsembleSteps   atomic.Int64 // accepted steps inside ensemble runs (AddEnsembleStats)
 )
 
 // SolverStats is a snapshot of the cumulative solver counters.
@@ -28,6 +31,9 @@ type SolverStats struct {
 	SourceFallbacks int64 // solves that needed source stepping
 	TranSteps       int64 // accepted transient steps
 	TranRejects     int64 // rejected transient steps (step halved)
+	NoiseEvals      int64 // NoiseSource stamp evaluations in transient solves
+	EnsembleRuns    int64 // noise-ensemble member runs accounted by the engine
+	EnsembleSteps   int64 // accepted transient steps within ensemble runs
 }
 
 // Stats returns a snapshot of the cumulative solver counters.
@@ -41,6 +47,9 @@ func Stats() SolverStats {
 		SourceFallbacks: statSourceFallbacks.Load(),
 		TranSteps:       statTranSteps.Load(),
 		TranRejects:     statTranRejects.Load(),
+		NoiseEvals:      statNoiseEvals.Load(),
+		EnsembleRuns:    statEnsembleRuns.Load(),
+		EnsembleSteps:   statEnsembleSteps.Load(),
 	}
 }
 
@@ -56,6 +65,9 @@ func (s SolverStats) Sub(prev SolverStats) SolverStats {
 		SourceFallbacks: s.SourceFallbacks - prev.SourceFallbacks,
 		TranSteps:       s.TranSteps - prev.TranSteps,
 		TranRejects:     s.TranRejects - prev.TranRejects,
+		NoiseEvals:      s.NoiseEvals - prev.NoiseEvals,
+		EnsembleRuns:    s.EnsembleRuns - prev.EnsembleRuns,
+		EnsembleSteps:   s.EnsembleSteps - prev.EnsembleSteps,
 	}
 }
 
@@ -78,4 +90,7 @@ func ResetStats() {
 	statSourceFallbacks.Store(0)
 	statTranSteps.Store(0)
 	statTranRejects.Store(0)
+	statNoiseEvals.Store(0)
+	statEnsembleRuns.Store(0)
+	statEnsembleSteps.Store(0)
 }

@@ -1,6 +1,6 @@
 #!/bin/sh
 # bench-report.sh — run the solver-centric benchmark suite and emit a
-# machine-readable report (BENCH_9.json) comparing it against the
+# machine-readable report (BENCH_10.json) comparing it against the
 # checked-in pre-optimization baseline (benchmarks/baseline.txt), as run
 # by CI and `make bench-report`.
 #
@@ -18,10 +18,10 @@
 # Requires only a POSIX shell and go. Exits non-zero on any failure.
 set -eu
 
-OUT="${1:-BENCH_9.json}"
+OUT="${1:-BENCH_10.json}"
 RAW="${OUT%.json}.bench.txt"
 BASELINE="benchmarks/baseline.txt"
-BENCHES='^(BenchmarkTable2|BenchmarkTable2Tiered|BenchmarkDictionaryBuild|BenchmarkDictionaryBuildTiered|BenchmarkDiagnoseIndexed|BenchmarkRegulatorOP|BenchmarkRegulatorOPWarm|BenchmarkDSEntryTransient|BenchmarkDiagnose|BenchmarkYield6Sigma|BenchmarkFaultMapCoverage)$'
+BENCHES='^(BenchmarkTable2|BenchmarkTable2Tiered|BenchmarkDictionaryBuild|BenchmarkDictionaryBuildTiered|BenchmarkDiagnoseIndexed|BenchmarkRegulatorOP|BenchmarkRegulatorOPWarm|BenchmarkDSEntryTransient|BenchmarkDiagnose|BenchmarkYield6Sigma|BenchmarkFaultMapCoverage|BenchmarkNoiseCriterion)$'
 
 echo "bench-report: running benchmark suite (this takes a few minutes)"
 go test -run '^$' -bench "$BENCHES" -benchmem -benchtime=1x -count=5 . | tee "$RAW"
@@ -73,6 +73,23 @@ awk "BEGIN { exit !($DX_ENTRIES >= 100000 && $DX_SPEEDUP >= 20) }" || {
 	exit 1
 }
 echo "bench-report: indexed matcher ${DX_SPEEDUP}x over the linear scan on $DX_ENTRIES entries"
+
+echo "bench-report: checking noise-criterion gates (>= 2x warm-start reuse, >= 20 mV near-DRV tightening)"
+NS_RATIO=$(awk '/^BenchmarkNoiseCriterion/ {
+	for (i = 1; i < NF; i++) if ($(i + 1) == "cold/warm-dc-iters") { print $i; exit }
+}' "$RAW")
+NS_TIGHTEN=$(awk '/^BenchmarkNoiseCriterion/ {
+	for (i = 1; i < NF; i++) if ($(i + 1) == "tighten-mv") { print $i; exit }
+}' "$RAW")
+[ -n "$NS_RATIO" ] && [ -n "$NS_TIGHTEN" ] || {
+	echo "bench-report: FAIL: no warm-reuse/tightening metrics in BenchmarkNoiseCriterion output" >&2
+	exit 1
+}
+awk "BEGIN { exit !($NS_RATIO >= 2 && $NS_TIGHTEN >= 20) }" || {
+	echo "bench-report: FAIL: noise criterion: warm-start reuse ${NS_RATIO}x (want >= 2x), tightening ${NS_TIGHTEN} mV (want >= 20)" >&2
+	exit 1
+}
+echo "bench-report: noise ensembles reuse warm starts at ${NS_RATIO}x fewer DC iters; CS5-1 tightens ${NS_TIGHTEN} mV"
 
 echo "bench-report: generating $OUT"
 go run ./cmd/benchreport \

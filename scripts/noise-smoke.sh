@@ -1,0 +1,129 @@
+#!/bin/sh
+# noise-smoke.sh — end-to-end smoke test of the dynamic retention
+# criterion, as run by CI and `make noise-smoke`: build the noisescan
+# CLI and sramd, run the EXP-NS flip-probability scan on the known
+# near-DRV cell (CS5-1 at fs/1.1V/125C) at two worker counts (must be
+# byte-identical), gate the static-vs-noise criterion divergence — the
+# noise ensemble must tighten CS5-1's retention threshold by >= 20 mV
+# while leaving the strong-margin CS1-1 within a few mV of its static
+# DRV — then fan the same scan out as two shard jobs through a daemon's
+# POST /v1/batch (cmd/noisescan -cluster; merged output must be
+# byte-identical to the local run), submit it once more as a whole
+# daemon job (same bytes again), and check the noise counters surface
+# on /metrics. Writes the report to results/noise-smoke.txt.
+#
+# The scan is kept small (5 rail points, the default 8-member
+# ensembles) so the whole script runs in well under a minute; the full
+# 13-point curve is the checked-in results/noise.txt artifact.
+#
+# Requires only a POSIX shell, curl and go. Exits non-zero on any
+# failure and prints the daemon log.
+set -eu
+
+ADDR="${SRAMD_ADDR:-127.0.0.1:8359}"
+BASE="http://$ADDR"
+TMP="$(mktemp -d)"
+LOG="$TMP/sramd.log"
+PID=""
+ARGS="-cs 5 -points 5"
+
+fail() {
+	echo "noise-smoke: FAIL: $*" >&2
+	echo "--- daemon log ---" >&2
+	cat "$LOG" >&2 || true
+	exit 1
+}
+
+cleanup() {
+	if [ -n "$PID" ] && kill -0 "$PID" 2>/dev/null; then
+		kill -TERM "$PID" 2>/dev/null || true
+		wait "$PID" 2>/dev/null || true
+	fi
+	rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+# tighten FILE — extract the tightening row's millivolt value from an
+# EXP-NS summary table.
+tighten() {
+	sed -n 's/.*tightening.*[^0-9.-]\([0-9][0-9]*\.[0-9]\) mV.*/\1/p' "$1" | head -n 1
+}
+
+echo "noise-smoke: building noisescan and sramd"
+go build -o "$TMP/noisescan" ./cmd/noisescan
+go build -o "$TMP/sramd" ./cmd/sramd
+
+echo "noise-smoke: local scan at workers=1 and workers=4"
+# shellcheck disable=SC2086 # ARGS is a flag list
+"$TMP/noisescan" $ARGS -workers 1 >"$TMP/w1.txt" || fail "local run (workers=1) failed"
+# shellcheck disable=SC2086
+"$TMP/noisescan" $ARGS -workers 4 >"$TMP/w4.txt" || fail "local run (workers=4) failed"
+cmp -s "$TMP/w1.txt" "$TMP/w4.txt" || fail "worker count changed the scan bytes"
+grep -q "EXP-NS" "$TMP/w1.txt" || fail "not a noise report: $(cat "$TMP/w1.txt")"
+grep -q "P(flip)" "$TMP/w1.txt" || fail "no flip-probability curve in the report"
+
+echo "noise-smoke: static-vs-noise divergence gate"
+CS5_MV=$(tighten "$TMP/w1.txt")
+[ -n "$CS5_MV" ] || fail "no tightening row in the CS5-1 summary"
+awk "BEGIN { exit !($CS5_MV >= 20) }" ||
+	fail "near-DRV CS5-1 tightened only $CS5_MV mV, want >= 20 mV (criterion indistinguishable from static)"
+"$TMP/noisescan" -cs 1 -points 5 -workers 2 >"$TMP/cs1.txt" || fail "CS1-1 scan failed"
+CS1_MV=$(tighten "$TMP/cs1.txt")
+[ -n "$CS1_MV" ] || fail "no tightening row in the CS1-1 summary"
+awk "BEGIN { exit !($CS1_MV < 10) }" ||
+	fail "strong-margin CS1-1 tightened $CS1_MV mV, want < 10 mV (noise criterion not selective)"
+echo "noise-smoke: CS5-1 tightens $CS5_MV mV, CS1-1 only $CS1_MV mV"
+
+echo "noise-smoke: starting sramd on $ADDR"
+"$TMP/sramd" -addr "$ADDR" -store-dir "$TMP/store" >"$LOG" 2>&1 &
+PID=$!
+i=0
+until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+	i=$((i + 1))
+	[ "$i" -lt 50 ] || fail "daemon never became healthy"
+	kill -0 "$PID" 2>/dev/null || fail "daemon exited early"
+	sleep 0.2
+done
+
+echo "noise-smoke: sharded cluster scan through POST /v1/batch"
+# shellcheck disable=SC2086
+"$TMP/noisescan" $ARGS -cluster "$BASE" -shards 2 >"$TMP/cluster.txt" || fail "cluster run failed"
+cmp -s "$TMP/w1.txt" "$TMP/cluster.txt" || fail "cluster shards changed the scan bytes"
+
+echo "noise-smoke: whole noisescan job through POST /v1/jobs"
+SUBMIT=$(curl -fsS -X POST "$BASE/v1/jobs" \
+	-d '{"kind":"noisescan","noisescan":{"caseStudy":5,"points":5}}')
+ID=$(printf '%s' "$SUBMIT" | sed -n 's/.*"id":"\([^"]*\)".*/\1/p')
+[ -n "$ID" ] || fail "no job id in submit response: $SUBMIT"
+i=0
+while :; do
+	STATUS=$(curl -fsS "$BASE/v1/jobs/$ID")
+	STATE=$(printf '%s' "$STATUS" | sed -n 's/.*"state":"\([^"]*\)".*/\1/p')
+	case "$STATE" in
+	done) break ;;
+	failed | canceled) fail "job ended in state $STATE: $STATUS" ;;
+	esac
+	i=$((i + 1))
+	[ "$i" -lt 300 ] || fail "job did not finish in time: $STATUS"
+	sleep 0.5
+done
+curl -fsS "$BASE/v1/jobs/$ID/result" >"$TMP/daemon.txt"
+cmp -s "$TMP/w1.txt" "$TMP/daemon.txt" || fail "daemon job bytes differ from the local CLI run"
+
+echo "noise-smoke: checking noise counters on /metrics"
+METRICS=$(curl -fsS "$BASE/metrics")
+printf '%s\n' "$METRICS" | grep -q '^sramd_noise_scans_total 1$' || fail "whole scan not counted in /metrics"
+printf '%s\n' "$METRICS" | grep -q '^sramd_noise_partials_total 2$' || fail "shard partials not counted in /metrics"
+printf '%s\n' "$METRICS" | grep -q '^sramd_noise_flips_total [1-9]' || fail "no flips counted in /metrics"
+printf '%s\n' "$METRICS" | grep -q '^sramd_noise_last_tighten_volts 0\.0[0-9]' || fail "no tightening gauge in /metrics"
+printf '%s\n' "$METRICS" | grep -q '^sramd_spice_ensemble_runs_total [1-9]' || fail "no ensemble runs counted in /metrics"
+printf '%s\n' "$METRICS" | grep -q '^sramd_spice_noise_evals_total [1-9]' || fail "no noise evals counted in /metrics"
+
+echo "noise-smoke: shutting down"
+kill -TERM "$PID"
+wait "$PID" || fail "daemon exited non-zero on SIGTERM"
+PID=""
+
+mkdir -p results
+cp "$TMP/w1.txt" results/noise-smoke.txt
+echo "noise-smoke: PASS (results/noise-smoke.txt)"
